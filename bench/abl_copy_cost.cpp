@@ -1,0 +1,38 @@
+// Ablation: depot copy cost. A user-level relay pays per-byte copy
+// bandwidth and per-wakeup scheduling latency; this sweep shows how depot
+// host capability bounds the LSL gain (and why the paper calls its
+// unprivileged prototype "a worst-case scenario in some sense").
+#include "bench_common.hpp"
+#include "exp/runner.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const exp::PathParams path = exp::case1_ucsb_uiuc();
+
+  util::Table t("Ablation: depot relay rate / wakeup latency vs LSL "
+                "throughput (64MB, Case 1; direct ~11 Mbit/s)",
+                {"relay_rate_mbps", "wakeup_ms", "lsl_mbps"});
+  const double rates[] = {10, 18, 30, 60, 200};
+  const double wakeups_ms[] = {0.2, 2.0, 10.0};
+  for (const double rate : rates) {
+    for (const double w : wakeups_ms) {
+      exp::RunConfig cfg;
+      cfg.mode = exp::Mode::kLsl;
+      cfg.bytes = 64 * util::kMiB;
+      cfg.seed = bench::base_seed();
+      core::DepotConfig d;
+      d.buffer_bytes = path.depot_relay_buffer;
+      d.copy_rate = util::DataRate::mbps(rate);
+      d.wakeup_latency = util::millis(w);
+      d.session_setup_latency = path.depot_setup;
+      cfg.depot_override = d;
+      const auto runs = exp::run_many(path, cfg, bench::iterations(3));
+      t.add_row({util::Cell(rate, 0), util::Cell(w, 1),
+                 util::Cell(exp::mean_mbps(runs), 2)});
+    }
+  }
+  bench::emit(t, "abl_copy_cost");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: depot relay-buffer size. LSL deliberately uses "small,
+// short-lived intermediate buffers"; this sweep asks how small is enough.
+// Too small a buffer stalls the upstream sublink (backpressure) before the
+// downstream can drain it; beyond a few bandwidth-delay products there is
+// nothing left to gain.
+#include "bench_common.hpp"
+#include "exp/runner.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const std::uint64_t buffers[] = {16 * util::kKiB,  64 * util::kKiB,
+                                   256 * util::kKiB, 1 * util::kMiB,
+                                   4 * util::kMiB,   16 * util::kMiB};
+
+  const exp::PathParams path = exp::case1_ucsb_uiuc();
+  util::Table t("Ablation: depot buffer size vs LSL throughput (64MB, Case 1)",
+                {"buffer", "lsl_mbps", "lsl_sd"});
+  for (const std::uint64_t b : buffers) {
+    exp::RunConfig cfg;
+    cfg.mode = exp::Mode::kLsl;
+    cfg.bytes = 64 * util::kMiB;
+    cfg.seed = bench::base_seed();
+    core::DepotConfig d;
+    d.buffer_bytes = b;
+    d.copy_rate = path.depot_relay_rate;
+    d.wakeup_latency = path.depot_wakeup;
+    d.session_setup_latency = path.depot_setup;
+    cfg.depot_override = d;
+    const auto runs = exp::run_many(path, cfg, bench::iterations(4));
+    util::RunningStats s;
+    for (const auto& r : runs) {
+      if (r.completed) s.add(r.mbps);
+    }
+    t.add_row({util::format_bytes(b), util::Cell(s.mean(), 2),
+               util::Cell(s.stddev(), 2)});
+  }
+  bench::emit(t, "abl_depot_buffer");
+  return 0;
+}

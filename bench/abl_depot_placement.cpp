@@ -1,0 +1,37 @@
+// Ablation: depot placement. The paper chose depots "to minimize the
+// divergence of the LSL path from the default TCP path" (Figure 2). This
+// sweep moves the depot progressively farther off-path (larger attachment
+// delay) and shows the gain eroding: a long detour both lengthens the
+// cascade RTT sum and unbalances the sublink control loops.
+#include "bench_common.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const double detours_ms[] = {0.25, 1.5, 5.0, 10.0, 20.0, 40.0};
+
+  util::Table t("Ablation: depot attachment delay vs LSL gain (64MB, Case 1)",
+                {"detour_ms", "direct_mbps", "lsl_mbps", "gain_%",
+                 "rtt_sum_ms", "rtt_e2e_ms"});
+  for (const double d : detours_ms) {
+    exp::PathParams p = exp::case1_ucsb_uiuc();
+    p.depot_link_delay = util::millis(d);
+    const auto runs =
+        bench::traced_runs(p, 64 * util::kMiB, bench::iterations(4));
+    util::RunningStats dm, lm, s1, s2, e2e;
+    for (const auto& r : runs) {
+      if (r.direct.completed) dm.add(r.direct.mbps);
+      if (r.lsl.completed) lm.add(r.lsl.mbps);
+      if (!r.direct.rtt_ms.empty()) e2e.add(r.direct.rtt_ms[0]);
+      if (r.lsl.rtt_ms.size() > 0) s1.add(r.lsl.rtt_ms[0]);
+      if (r.lsl.rtt_ms.size() > 1) s2.add(r.lsl.rtt_ms[1]);
+    }
+    t.add_row({util::Cell(d, 2), util::Cell(dm.mean(), 2),
+               util::Cell(lm.mean(), 2),
+               util::Cell((lm.mean() / dm.mean() - 1.0) * 100.0, 1),
+               util::Cell(s1.mean() + s2.mean(), 1),
+               util::Cell(e2e.mean(), 1)});
+  }
+  bench::emit(t, "abl_depot_placement");
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Scalability (paper §VII): contention and depot pooling. "We did not
+// measure the effects of multiple-connection contention ... admission
+// control and load balancing over a pool of available depots could easily
+// be used to provide scalability."
+//
+// N concurrent LSL sessions share the POP; they are balanced round-robin
+// over K depot daemons attached to it. With one depot, every session queues
+// behind the daemon's single copy resource; adding depots restores
+// per-session throughput until the WAN segments bind.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "lsl/apps.hpp"
+#include "lsl/depot.hpp"
+#include "lsl/directory.hpp"
+#include "lsl/session_id.hpp"
+#include "sim/network.hpp"
+#include "tcp/stack.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+using namespace lsl;
+
+namespace {
+
+constexpr sim::PortNum kDepotPort = 4000;
+
+struct Result {
+  double aggregate_mbps = 0.0;
+  double per_session_mean = 0.0;
+  bool ok = false;
+};
+
+Result run_pool(std::size_t sessions, std::size_t depots, std::uint64_t bytes,
+                std::uint64_t seed) {
+  sim::Network net(seed);
+  sim::Node& src = net.add_host("src");
+  sim::Node& dst = net.add_host("dst");
+  sim::Node& gw_s = net.add_router("gw_s");
+  sim::Node& pop = net.add_router("pop");
+  sim::Node& gw_d = net.add_router("gw_d");
+
+  sim::LinkConfig access;
+  access.rate = util::DataRate::mbps(200);
+  access.delay = util::millis(0.5);
+  net.connect(src, gw_s, access);
+  net.connect(gw_d, dst, access);
+
+  sim::LinkConfig wan;
+  wan.rate = util::DataRate::mbps(60);
+  wan.delay = util::millis(14);
+  wan.loss_rate = 1.4e-4;
+  net.connect(gw_s, pop, wan);
+  net.connect(pop, gw_d, wan);
+
+  std::vector<sim::Node*> depot_nodes;
+  for (std::size_t i = 0; i < depots; ++i) {
+    sim::Node& d = net.add_host("depot" + std::to_string(i));
+    sim::LinkConfig dlink;
+    dlink.rate = util::DataRate::mbps(100);
+    dlink.delay = util::millis(1.5);
+    net.connect(pop, d, dlink);
+    depot_nodes.push_back(&d);
+  }
+  net.compute_routes();
+
+  tcp::TcpConfig tcp;
+  tcp.initial_ssthresh = 64 * util::kKiB;
+  tcp::TcpStack s_src(net, src, tcp);
+  tcp::TcpStack s_dst(net, dst, tcp);
+  std::vector<std::unique_ptr<tcp::TcpStack>> depot_stacks;
+  core::SessionDirectory dir;
+  std::vector<std::unique_ptr<core::DepotApp>> depot_apps;
+  for (sim::Node* d : depot_nodes) {
+    depot_stacks.push_back(std::make_unique<tcp::TcpStack>(net, *d, tcp));
+    core::DepotConfig dcfg;
+    dcfg.port = kDepotPort;
+    dcfg.buffer_bytes = util::kMiB;
+    dcfg.copy_rate = util::DataRate::mbps(18);
+    dcfg.wakeup_latency = util::micros(200);
+    dcfg.session_setup_latency = util::millis(40);
+    depot_apps.push_back(std::make_unique<core::DepotApp>(
+        *depot_stacks.back(), dcfg, &dir));
+  }
+
+  std::size_t completed = 0;
+  util::SimTime last_done = 0;
+  std::vector<double> per_session;
+  std::vector<std::unique_ptr<core::SinkServer>> sinks;
+  std::vector<std::unique_ptr<core::SourceApp>> sources;
+  std::vector<util::SimTime> starts(sessions, 0);
+
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const sim::PortNum sink_port = static_cast<sim::PortNum>(5001 + i);
+    core::SinkConfig scfg;
+    scfg.expect_header = true;
+    sinks.push_back(
+        std::make_unique<core::SinkServer>(s_dst, sink_port, scfg, &dir));
+    sinks.back()->on_complete = [&, i](core::SinkApp& app) {
+      ++completed;
+      last_done = std::max(last_done, app.complete_time());
+      per_session.push_back(util::throughput_mbps(
+          app.payload_received(), app.complete_time() - starts[i]));
+    };
+
+    sim::Node* depot = depot_nodes[i % depots];
+    core::SourceConfig cfg;
+    cfg.payload_bytes = bytes;
+    cfg.use_header = true;
+    util::Rng rng(seed * 100 + i);
+    cfg.header.session = core::SessionId::generate(rng);
+    cfg.header.payload_length = bytes;
+    cfg.header.hops = {{depot->id(), kDepotPort}};
+    cfg.header.destination = {dst.id(), sink_port};
+    sources.push_back(std::make_unique<core::SourceApp>(
+        s_src, sim::Endpoint{depot->id(), kDepotPort}, cfg, &dir));
+    sources.back()->start();
+    starts[i] = sources.back()->start_time();
+  }
+
+  auto& ev = net.sim().events();
+  while (completed < sessions && ev.now() <= 3600ll * util::kSecond &&
+         ev.step()) {
+  }
+  Result res;
+  if (completed < sessions) return res;
+  res.ok = true;
+  res.aggregate_mbps = util::throughput_mbps(
+      bytes * sessions, last_done - starts[0]);
+  res.per_session_mean = util::mean(per_session);
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t bytes = 16 * util::kMiB;
+  const std::size_t iters = lsl::bench::iterations(3);
+
+  struct Combo {
+    std::size_t sessions, depots;
+  };
+  const Combo combos[] = {{1, 1}, {2, 1}, {4, 1}, {8, 1},
+                          {2, 2}, {4, 2}, {4, 4}, {8, 4}};
+
+  util::Table t("Scalability: N concurrent sessions over K pooled depots "
+                "(16MB each; one depot sustains ~18 Mbit/s of relay copy)",
+                {"sessions", "depots", "aggregate_mbps", "per_session_mbps"});
+  for (const Combo& c : combos) {
+    util::RunningStats agg, per;
+    for (std::size_t i = 0; i < iters; ++i) {
+      const Result r =
+          run_pool(c.sessions, c.depots, bytes, lsl::bench::base_seed() + i);
+      if (r.ok) {
+        agg.add(r.aggregate_mbps);
+        per.add(r.per_session_mean);
+      }
+    }
+    t.add_row({util::Cell(static_cast<std::uint64_t>(c.sessions)),
+               util::Cell(static_cast<std::uint64_t>(c.depots)),
+               util::Cell(agg.mean(), 2), util::Cell(per.mean(), 2)});
+  }
+  lsl::bench::emit(t, "abl_depot_pool");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Ablation: end-host socket buffers. The paper notes (§IV.A) that LSL's
+// improvement is *more* profound when end hosts have limited buffers — the
+// situation of lightweight mobile devices — because a small receive window
+// caps direct TCP at window/RTT(e2e), while each LSL sublink only needs
+// window/RTT(sublink).
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const std::uint64_t bufs[] = {64 * util::kKiB, 128 * util::kKiB,
+                                256 * util::kKiB, 1 * util::kMiB,
+                                8 * util::kMiB};
+
+  const exp::PathParams path = exp::case1_ucsb_uiuc();
+  util::Table t(
+      "Ablation: end-host socket buffer vs throughput (16MB, Case 1)",
+      {"buffer", "direct_mbps", "lsl_mbps", "gain_%"});
+  for (const std::uint64_t b : bufs) {
+    exp::RunConfig cfg;
+    cfg.bytes = 16 * util::kMiB;
+    cfg.seed = bench::base_seed();
+    cfg.tcp.send_buffer = b;
+    cfg.tcp.recv_buffer = b;
+
+    cfg.mode = exp::Mode::kDirectTcp;
+    const auto direct = exp::run_many(path, cfg, bench::iterations(4));
+    cfg.mode = exp::Mode::kLsl;
+    const auto lsl = exp::run_many(path, cfg, bench::iterations(4));
+    const double dm = exp::mean_mbps(direct);
+    const double lm = exp::mean_mbps(lsl);
+    t.add_row({util::format_bytes(b), util::Cell(dm, 2), util::Cell(lm, 2),
+               util::Cell(dm > 0 ? (lm / dm - 1.0) * 100.0 : 0.0, 1)});
+  }
+  bench::emit(t, "abl_endhost_buffer");
+  return 0;
+}

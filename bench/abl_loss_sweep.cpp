@@ -1,0 +1,26 @@
+// Ablation: LSL gain vs path loss rate. The Mathis model predicts direct
+// throughput ~ MSS/(RTT*sqrt(p)) while each LSL sublink sees roughly half
+// the RTT and half the loss — so the gain should *grow* with the loss rate
+// until other limits (depot capacity, link rate) bind.
+#include "bench_common.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const double losses[] = {1e-5, 5e-5, 1.4e-4, 5e-4, 1e-3};
+
+  util::Table t("Ablation: per-segment loss rate vs LSL gain (16MB, Case 1)",
+                {"loss_per_segment", "direct_mbps", "lsl_mbps", "gain_%"});
+  for (const double p : losses) {
+    exp::PathParams path = exp::case1_ucsb_uiuc();
+    path.wan1_loss = p;
+    path.wan2_loss = p;
+    const auto pts = bench::size_sweep(path, {16 * util::kMiB},
+                                       bench::iterations(4));
+    t.add_row({util::Cell(p, 6), util::Cell(pts[0].direct_mbps, 2),
+               util::Cell(pts[0].lsl_mbps, 2),
+               util::Cell(pts[0].gain_percent, 1)});
+  }
+  bench::emit(t, "abl_loss_sweep");
+  return 0;
+}

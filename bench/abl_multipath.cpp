@@ -1,0 +1,226 @@
+// Extension (paper §VII): multipath sessions. "We believe that this
+// abstraction is also useful for other approaches such as multi-path
+// performance optimizations and parallel TCP streams."
+//
+// Topology: two disjoint WAN paths between the endpoints, each with its own
+// POP and depot. The session layer stripes one logical transfer across two
+// cascaded sessions, one per path; completion is when both stripes land.
+//
+//        popA(25 Mbit, 27 ms one-way, lossier)--- depotA
+//   src <                                              > dst
+//        popB(18 Mbit, 35 ms one-way, cleaner) --- depotB
+//
+// Compared: direct TCP (routed over the best path), single-path LSL via
+// each depot, a naive 50/50 stripe, and a rate-weighted stripe using the
+// per-path LSL throughput the single-path runs measured (what an
+// NWS-informed splitter would do).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "lsl/apps.hpp"
+#include "lsl/depot.hpp"
+#include "lsl/directory.hpp"
+#include "lsl/session_id.hpp"
+#include "sim/network.hpp"
+#include "tcp/stack.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+using namespace lsl;
+
+namespace {
+
+constexpr sim::PortNum kSinkA = 5001;
+constexpr sim::PortNum kSinkB = 5002;
+constexpr sim::PortNum kDepotPort = 4000;
+
+struct World {
+  std::unique_ptr<sim::Network> net;
+  sim::Node *src, *dst, *depot_a, *depot_b;
+  std::unique_ptr<tcp::TcpStack> s_src, s_dst, s_da, s_db;
+  core::SessionDirectory dir;
+};
+
+std::unique_ptr<World> make_world(std::uint64_t seed) {
+  auto w = std::make_unique<World>();
+  w->net = std::make_unique<sim::Network>(seed);
+  auto& net = *w->net;
+  w->src = &net.add_host("src");
+  w->dst = &net.add_host("dst");
+  sim::Node& gw_s = net.add_router("gw_s");
+  sim::Node& gw_d = net.add_router("gw_d");
+  sim::Node& pop_a = net.add_router("pop_a");
+  sim::Node& pop_b = net.add_router("pop_b");
+  w->depot_a = &net.add_host("depot_a");
+  w->depot_b = &net.add_host("depot_b");
+
+  sim::LinkConfig access;
+  access.rate = util::DataRate::mbps(100);
+  access.delay = util::millis(0.5);
+  net.connect(*w->src, gw_s, access);
+  net.connect(gw_d, *w->dst, access);
+
+  sim::LinkConfig wan_a;  // fast but lossy
+  wan_a.rate = util::DataRate::mbps(25);
+  wan_a.delay = util::millis(13.5);
+  wan_a.loss_rate = 2e-4;
+  net.connect(gw_s, pop_a, wan_a);
+  net.connect(pop_a, gw_d, wan_a);
+
+  sim::LinkConfig wan_b = wan_a;  // slower, longer, cleaner
+  wan_b.rate = util::DataRate::mbps(18);
+  wan_b.delay = util::millis(17.5);
+  wan_b.loss_rate = 5e-5;
+  net.connect(gw_s, pop_b, wan_b);
+  net.connect(pop_b, gw_d, wan_b);
+
+  sim::LinkConfig dlink;
+  dlink.rate = util::DataRate::mbps(100);
+  dlink.delay = util::millis(1);
+  net.connect(pop_a, *w->depot_a, dlink);
+  net.connect(pop_b, *w->depot_b, dlink);
+  net.compute_routes();
+
+  tcp::TcpConfig tcp;
+  tcp.initial_ssthresh = 64 * util::kKiB;
+  w->s_src = std::make_unique<tcp::TcpStack>(net, *w->src, tcp);
+  w->s_dst = std::make_unique<tcp::TcpStack>(net, *w->dst, tcp);
+  w->s_da = std::make_unique<tcp::TcpStack>(net, *w->depot_a, tcp);
+  w->s_db = std::make_unique<tcp::TcpStack>(net, *w->depot_b, tcp);
+  return w;
+}
+
+struct Stripe {
+  char path;  ///< 'A' or 'B'
+  sim::PortNum sink_port;
+  std::uint64_t bytes;
+};
+
+/// Run `stripes` concurrent LSL sessions; returns aggregate Mbit/s
+/// (total bytes / time to the LAST sink completion), or 0 on failure.
+double run_striped(std::uint64_t seed, const std::vector<Stripe>& stripes) {
+  auto w = make_world(seed);
+  std::vector<std::unique_ptr<core::DepotApp>> depots;
+  std::vector<std::unique_ptr<core::SinkServer>> sinks;
+  std::vector<std::unique_ptr<core::SourceApp>> sources;
+
+  std::size_t completed = 0;
+  util::SimTime last_done = 0;
+  std::uint64_t total = 0;
+  for (const Stripe& st : stripes) total += st.bytes;
+
+  for (const Stripe& st : stripes) {
+    tcp::TcpStack& depot_stack =
+        st.path == 'A' ? *w->s_da : *w->s_db;
+    core::DepotConfig dcfg;
+    dcfg.port = kDepotPort;
+    dcfg.buffer_bytes = util::kMiB;
+    dcfg.copy_rate = util::DataRate::mbps(60);
+    dcfg.session_setup_latency = util::millis(40);
+    depots.push_back(
+        std::make_unique<core::DepotApp>(depot_stack, dcfg, &w->dir));
+
+    core::SinkConfig scfg;
+    scfg.expect_header = true;
+    sinks.push_back(std::make_unique<core::SinkServer>(*w->s_dst, st.sink_port,
+                                                       scfg, &w->dir));
+    sinks.back()->on_complete = [&](core::SinkApp& app) {
+      ++completed;
+      last_done = std::max(last_done, app.complete_time());
+    };
+  }
+
+  util::SimTime start = 0;
+  for (std::size_t i = 0; i < stripes.size(); ++i) {
+    const Stripe& st = stripes[i];
+    sim::Node* depot = st.path == 'A' ? w->depot_a : w->depot_b;
+    core::SourceConfig cfg;
+    cfg.payload_bytes = st.bytes;
+    cfg.use_header = true;
+    util::Rng rng(seed + i);
+    cfg.header.session = core::SessionId::generate(rng);
+    cfg.header.payload_length = st.bytes;
+    cfg.header.hops = {{depot->id(), kDepotPort}};
+    cfg.header.destination = {w->dst->id(), st.sink_port};
+    sources.push_back(std::make_unique<core::SourceApp>(
+        *w->s_src, sim::Endpoint{depot->id(), kDepotPort}, cfg, &w->dir));
+    sources.back()->start();
+    start = sources.back()->start_time();
+  }
+
+  auto& ev = w->net->sim().events();
+  while (completed < stripes.size() &&
+         ev.now() <= 3600ll * util::kSecond && ev.step()) {
+  }
+  if (completed < stripes.size()) return 0.0;
+  return util::throughput_mbps(total, last_done - start);
+}
+
+/// Direct TCP over the (routed) best path.
+double run_direct(std::uint64_t seed, std::uint64_t bytes) {
+  auto w = make_world(seed);
+  core::SinkConfig scfg;  // raw sink
+  core::SinkServer sink(*w->s_dst, kSinkA, scfg, nullptr);
+  bool done = false;
+  util::SimTime done_time = 0;
+  sink.on_complete = [&](core::SinkApp& app) {
+    done = true;
+    done_time = app.complete_time();
+  };
+  core::SourceConfig cfg;
+  cfg.payload_bytes = bytes;
+  core::SourceApp src(*w->s_src, sim::Endpoint{w->dst->id(), kSinkA}, cfg,
+                      nullptr);
+  src.start();
+  auto& ev = w->net->sim().events();
+  while (!done && ev.now() <= 3600ll * util::kSecond && ev.step()) {
+  }
+  return done ? util::throughput_mbps(bytes, done_time - src.start_time())
+              : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t bytes = 32 * util::kMiB;
+  const std::size_t iters = lsl::bench::iterations(4);
+  const std::uint64_t seed0 = lsl::bench::base_seed();
+
+  util::RunningStats direct, via_a, via_b, stripe_even, stripe_weighted;
+
+  for (std::size_t i = 0; i < iters; ++i) {
+    const std::uint64_t seed = seed0 + i;
+    direct.add(run_direct(seed, bytes));
+    via_a.add(run_striped(seed, {{'A', kSinkA, bytes}}));
+    via_b.add(run_striped(seed, {{'B', kSinkB, bytes}}));
+    stripe_even.add(run_striped(seed, {{'A', kSinkA, bytes / 2},
+                                       {'B', kSinkB, bytes - bytes / 2}}));
+    // Rate-weighted split using the single-path measurements so far — the
+    // decision an NWS-informed splitter would make.
+    const double ra = via_a.mean(), rb = via_b.mean();
+    const double frac = ra + rb > 0 ? ra / (ra + rb) : 0.5;
+    const auto ba =
+        static_cast<std::uint64_t>(frac * static_cast<double>(bytes));
+    stripe_weighted.add(run_striped(
+        seed, {{'A', kSinkA, ba}, {'B', kSinkB, bytes - ba}}));
+  }
+
+  util::Table t("Extension: multipath striped sessions (32MB, two disjoint "
+                "WAN paths)",
+                {"configuration", "mbps", "sd"});
+  t.add_row({"direct TCP (best path)", util::Cell(direct.mean(), 2),
+             util::Cell(direct.stddev(), 2)});
+  t.add_row({"LSL via path A depot", util::Cell(via_a.mean(), 2),
+             util::Cell(via_a.stddev(), 2)});
+  t.add_row({"LSL via path B depot", util::Cell(via_b.mean(), 2),
+             util::Cell(via_b.stddev(), 2)});
+  t.add_row({"LSL multipath 50/50", util::Cell(stripe_even.mean(), 2),
+             util::Cell(stripe_even.stddev(), 2)});
+  t.add_row({"LSL multipath rate-weighted",
+             util::Cell(stripe_weighted.mean(), 2),
+             util::Cell(stripe_weighted.stddev(), 2)});
+  lsl::bench::emit(t, "abl_multipath");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Ablation: PSockets-style parallel TCP (related work, §II) vs LSL.
+// Striping over N connections also beats a single direct stream (each
+// stream recovers independently and the aggregate window grows N times
+// faster), but unlike LSL it multiplies the flow's aggressiveness at the
+// shared bottleneck instead of shortening the control loops.
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const exp::PathParams path = exp::case1_ucsb_uiuc();
+  const std::uint64_t bytes = 64 * util::kMiB;
+  const std::size_t iters = bench::iterations(4);
+
+  util::Table t("Ablation: direct vs parallel-TCP vs LSL (64MB, Case 1)",
+                {"mode", "mbps", "sd"});
+
+  const auto add = [&](const std::string& name, exp::RunConfig cfg) {
+    cfg.bytes = bytes;
+    cfg.seed = bench::base_seed();
+    const auto runs = exp::run_many(path, cfg, iters);
+    util::RunningStats s;
+    for (const auto& r : runs) {
+      if (r.completed) s.add(r.mbps);
+    }
+    t.add_row({name, util::Cell(s.mean(), 2), util::Cell(s.stddev(), 2)});
+  };
+
+  exp::RunConfig cfg;
+  cfg.mode = exp::Mode::kDirectTcp;
+  add("direct TCP", cfg);
+  cfg.mode = exp::Mode::kParallelTcp;
+  for (std::size_t n : {2u, 4u, 8u}) {
+    cfg.parallel_streams = n;
+    add("parallel x" + std::to_string(n), cfg);
+  }
+  cfg.mode = exp::Mode::kLsl;
+  add("LSL (1 depot)", cfg);
+
+  bench::emit(t, "abl_parallel_tcp");
+  return 0;
+}

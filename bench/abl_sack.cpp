@@ -1,0 +1,33 @@
+// Ablation: SACK vs NewReno endpoints. The paper's Linux 2.4 hosts
+// negotiated SACK; this sweep quantifies how much of both modes' throughput
+// depends on it (burst losses from slow-start overshoot are where NewReno's
+// one-hole-per-RTT recovery hurts).
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const exp::PathParams path = exp::case1_ucsb_uiuc();
+
+  util::Table t("Ablation: SACK vs NewReno (64MB, Case 1)",
+                {"tcp_variant", "direct_mbps", "lsl_mbps", "gain_%"});
+  for (const bool sack : {true, false}) {
+    exp::RunConfig cfg;
+    cfg.bytes = 64 * util::kMiB;
+    cfg.seed = bench::base_seed();
+    cfg.tcp.sack = sack;
+
+    cfg.mode = exp::Mode::kDirectTcp;
+    const double dm = exp::mean_mbps(
+        exp::run_many(path, cfg, bench::iterations(4)));
+    cfg.mode = exp::Mode::kLsl;
+    const double lm = exp::mean_mbps(
+        exp::run_many(path, cfg, bench::iterations(4)));
+    t.add_row({sack ? "SACK" : "NewReno", util::Cell(dm, 2),
+               util::Cell(lm, 2),
+               util::Cell(dm > 0 ? (lm / dm - 1.0) * 100.0 : 0.0, 1)});
+  }
+  bench::emit(t, "abl_sack");
+  return 0;
+}

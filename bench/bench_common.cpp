@@ -1,0 +1,204 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "trace/analysis.hpp"
+#include "util/stats.hpp"
+
+namespace lsl::bench {
+
+std::size_t iterations(std::size_t fallback) {
+  if (const char* s = std::getenv("LSL_BENCH_ITERS")) {
+    const auto v = std::strtoull(s, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+std::uint64_t base_seed() {
+  if (const char* s = std::getenv("LSL_BENCH_SEED")) {
+    return std::strtoull(s, nullptr, 10);
+  }
+  return 1000;
+}
+
+void emit(const util::Table& t, const std::string& stem) {
+  t.print(std::cout);
+  std::cout << std::endl;
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (!ec) {
+    std::ofstream csv("bench_results/" + stem + ".csv");
+    if (csv) t.write_csv(csv);
+  }
+}
+
+std::vector<SweepPoint> size_sweep(const exp::PathParams& path,
+                                   const std::vector<std::uint64_t>& sizes,
+                                   std::size_t iters) {
+  std::vector<SweepPoint> out;
+  out.reserve(sizes.size());
+  const std::uint64_t seed0 = base_seed();
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    SweepPoint pt;
+    pt.bytes = sizes[si];
+
+    exp::RunConfig cfg;
+    cfg.bytes = sizes[si];
+    cfg.seed = seed0 + si * 1000;
+
+    cfg.mode = exp::Mode::kDirectTcp;
+    const auto direct = exp::run_many(path, cfg, iters);
+    cfg.mode = exp::Mode::kLsl;
+    const auto lsl = exp::run_many(path, cfg, iters);
+
+    util::RunningStats ds, ls;
+    for (const auto& r : direct) {
+      if (r.completed) ds.add(r.mbps);
+    }
+    for (const auto& r : lsl) {
+      if (r.completed) ls.add(r.mbps);
+    }
+    pt.direct_mbps = ds.mean();
+    pt.direct_stddev = ds.stddev();
+    pt.lsl_mbps = ls.mean();
+    pt.lsl_stddev = ls.stddev();
+    pt.gain_percent =
+        pt.direct_mbps > 0 ? (pt.lsl_mbps / pt.direct_mbps - 1.0) * 100.0 : 0;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+util::Table sweep_table(const std::string& title,
+                        const std::vector<SweepPoint>& points) {
+  util::Table t(title, {"xfer_size", "direct_mbps", "direct_sd", "lsl_mbps",
+                        "lsl_sd", "lsl_gain_%"});
+  for (const auto& p : points) {
+    t.add_row({util::format_bytes(p.bytes), util::Cell(p.direct_mbps, 2),
+               util::Cell(p.direct_stddev, 2), util::Cell(p.lsl_mbps, 2),
+               util::Cell(p.lsl_stddev, 2), util::Cell(p.gain_percent, 1)});
+  }
+  return t;
+}
+
+std::vector<TracePair> traced_runs(const exp::PathParams& path,
+                                   std::uint64_t bytes, std::size_t iters) {
+  std::vector<TracePair> out;
+  out.reserve(iters);
+  const std::uint64_t seed0 = base_seed();
+  for (std::size_t i = 0; i < iters; ++i) {
+    TracePair pair;
+    exp::RunConfig cfg;
+    cfg.bytes = bytes;
+    cfg.seed = seed0 + i;
+    cfg.capture_traces = true;
+    cfg.mode = exp::Mode::kDirectTcp;
+    pair.direct = exp::run_transfer(path, cfg);
+    cfg.mode = exp::Mode::kLsl;
+    pair.lsl = exp::run_transfer(path, cfg);
+    out.push_back(std::move(pair));
+  }
+  return out;
+}
+
+util::Table rtt_figure(const std::string& title,
+                       const std::vector<TracePair>& runs) {
+  util::RunningStats sub1, sub2, e2e;
+  for (const auto& r : runs) {
+    if (r.direct.rtt_ms.size() > 0 && r.direct.rtt_ms[0] > 0) {
+      e2e.add(r.direct.rtt_ms[0]);
+    }
+    if (r.lsl.rtt_ms.size() > 0 && r.lsl.rtt_ms[0] > 0) {
+      sub1.add(r.lsl.rtt_ms[0]);
+    }
+    if (r.lsl.rtt_ms.size() > 1 && r.lsl.rtt_ms[1] > 0) {
+      sub2.add(r.lsl.rtt_ms[1]);
+    }
+  }
+  util::Table t(title, {"subpath", "avg_rtt_ms"});
+  t.add_row({"sublink1", util::Cell(sub1.mean(), 1)});
+  t.add_row({"sublink2", util::Cell(sub2.mean(), 1)});
+  t.add_row({"end-to-end", util::Cell(e2e.mean(), 1)});
+  t.add_row({"sub1+sub2", util::Cell(sub1.mean() + sub2.mean(), 1)});
+  return t;
+}
+
+std::vector<util::Series> growth_series(const TracePair& r) {
+  std::vector<util::Series> out(3);
+  if (!r.direct.traces.empty()) {
+    out[0] = trace::sequence_growth(*r.direct.traces[0]);
+  }
+  if (!r.lsl.traces.empty()) {
+    out[1] = trace::sequence_growth(*r.lsl.traces[0]);
+    if (r.lsl.traces.size() > 1) {
+      // Normalize sublink 2's clock to sublink 1's start so the cascade's
+      // relative growth is visible (paper Figure 13).
+      out[2] = trace::sequence_growth(*r.lsl.traces[1],
+                                      r.lsl.traces[0]->start_time());
+    }
+  }
+  return out;
+}
+
+namespace {
+
+util::Table growth_rows(const std::string& title,
+                        const std::vector<util::Series>& avg, std::size_t n) {
+  double t_max = 0.0;
+  for (const auto& s : avg) t_max = std::max(t_max, util::duration(s));
+  util::Table t(title,
+                {"time_s", "direct_bytes", "sublink1_bytes", "sublink2_bytes"});
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ts =
+        n == 1 ? 0.0
+               : t_max * static_cast<double>(i) / static_cast<double>(n - 1);
+    t.add_row({util::Cell(ts, 2),
+               util::Cell(util::interpolate(avg[0], ts), 0),
+               util::Cell(util::interpolate(avg[1], ts), 0),
+               util::Cell(util::interpolate(avg[2], ts), 0)});
+  }
+  return t;
+}
+
+}  // namespace
+
+util::Table growth_table(const std::string& title,
+                         const std::vector<TracePair>& runs, std::size_t n) {
+  std::vector<util::Series> direct_runs, sub1_runs, sub2_runs;
+  for (const auto& r : runs) {
+    auto s = growth_series(r);
+    if (!s[0].empty()) direct_runs.push_back(std::move(s[0]));
+    if (!s[1].empty()) sub1_runs.push_back(std::move(s[1]));
+    if (!s[2].empty()) sub2_runs.push_back(std::move(s[2]));
+  }
+  std::vector<util::Series> avg{util::average_series(direct_runs, 200),
+                                util::average_series(sub1_runs, 200),
+                                util::average_series(sub2_runs, 200)};
+  return growth_rows(title, avg, n);
+}
+
+util::Table growth_table_single(const std::string& title, const TracePair& r,
+                                std::size_t n) {
+  return growth_rows(title, growth_series(r), n);
+}
+
+const TracePair& select_by_loss(const std::vector<TracePair>& runs,
+                                int which) {
+  // Rank by the total retransmissions of the direct connection — the
+  // paper's per-case loss metric.
+  std::vector<std::size_t> order(runs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return runs[a].direct.retransmits < runs[b].direct.retransmits;
+  });
+  if (which == 0) return runs[order.front()];
+  if (which == 2) return runs[order.back()];
+  return runs[order[order.size() / 2]];
+}
+
+}  // namespace lsl::bench

@@ -1,0 +1,90 @@
+// Shared machinery for the figure-reproduction benches.
+//
+// Every bench binary reproduces one figure (or figure group) of the paper:
+// it runs the corresponding workload on the corresponding scenario, prints
+// an aligned table of the same series the paper plots, and writes a CSV
+// next to the binary (./bench_results/<name>.csv) for re-plotting.
+//
+// Environment knobs:
+//   LSL_BENCH_ITERS  — override the per-point iteration count (default is
+//                      per-bench; the paper used 10, or 120 for Fig 28/29).
+//   LSL_BENCH_SEED   — base RNG seed (default 1000).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+#include "exp/scenarios.hpp"
+#include "util/series.hpp"
+#include "util/table.hpp"
+
+namespace lsl::bench {
+
+/// Iteration count: `fallback` unless LSL_BENCH_ITERS is set.
+std::size_t iterations(std::size_t fallback);
+
+/// Base seed: 1000 unless LSL_BENCH_SEED is set.
+std::uint64_t base_seed();
+
+/// Print `t` to stdout and write `bench_results/<stem>.csv`.
+void emit(const util::Table& t, const std::string& stem);
+
+/// One (mode, size) measurement cell of a bandwidth figure.
+struct SweepPoint {
+  std::uint64_t bytes = 0;
+  double direct_mbps = 0.0;
+  double direct_stddev = 0.0;
+  double lsl_mbps = 0.0;
+  double lsl_stddev = 0.0;
+  double gain_percent = 0.0;
+};
+
+/// Run direct + LSL transfers of every size, `iters` iterations each, and
+/// return the per-size averages (the paper's bandwidth-vs-size figures).
+std::vector<SweepPoint> size_sweep(const exp::PathParams& path,
+                                   const std::vector<std::uint64_t>& sizes,
+                                   std::size_t iters);
+
+/// Render a size sweep as the standard bandwidth figure table.
+util::Table sweep_table(const std::string& title,
+                        const std::vector<SweepPoint>& points);
+
+/// Per-iteration traces of one LSL + one direct transfer (seq-growth and
+/// RTT figures). Index semantics follow exp::TransferResult::traces.
+struct TracePair {
+  exp::TransferResult direct;
+  exp::TransferResult lsl;
+};
+
+/// Run `iters` paired (direct, LSL) transfers of `bytes` with trace capture.
+std::vector<TracePair> traced_runs(const exp::PathParams& path,
+                                   std::uint64_t bytes, std::size_t iters);
+
+/// The average RTT bar chart of Figures 3/4/9: sublink1, sublink2,
+/// end-to-end, and sum-of-sublinks, averaged over the traced runs.
+util::Table rtt_figure(const std::string& title,
+                       const std::vector<TracePair>& runs);
+
+/// Normalized sequence-growth series for run `r`: [0] = direct, [1] =
+/// sublink 1, [2] = sublink 2 (sublink 2 normalized against sublink 1's
+/// start, as in the paper's Figures 12-13).
+std::vector<util::Series> growth_series(const TracePair& r);
+
+/// Table of `n` sampled rows overlaying direct / sublink1 / sublink2
+/// averaged sequence growth (Figures 14, 18, 22, 26, 27).
+util::Table growth_table(const std::string& title,
+                         const std::vector<TracePair>& runs, std::size_t n);
+
+/// Select the run with minimum / median / maximum total retransmissions —
+/// the paper's loss-case selection for Figures 15-17, 19-21, 23-25.
+/// `which` is 0 = min, 1 = median, 2 = max.
+const TracePair& select_by_loss(const std::vector<TracePair>& runs,
+                                int which);
+
+/// Single-run (loss-case) growth table for the selected run.
+util::Table growth_table_single(const std::string& title, const TracePair& r,
+                                std::size_t n);
+
+}  // namespace lsl::bench

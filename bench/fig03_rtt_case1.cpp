@@ -1,0 +1,17 @@
+// Figure 3: average observed TCP round-trip time, Case 1 (UCSB -> UIUC via
+// the Denver depot). RTTs are ACK-matched from sender-side traces of 64 MB
+// transfers, exactly as the paper derives them from tcpdump.
+#include "bench_common.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const auto runs = bench::traced_runs(exp::case1_ucsb_uiuc(),
+                                       64 * util::kMiB,
+                                       bench::iterations(6));
+  bench::emit(bench::rtt_figure(
+                  "Fig 3: Average observed TCP RTT, Case 1 (via Denver)",
+                  runs),
+              "fig03_rtt_case1");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 4: average observed TCP round-trip time, Case 2 (UCSB -> UF via
+// the Houston depot). The sum of sublink RTTs exceeds the direct RTT by
+// ~20 ms of load-induced depot-attachment latency (paper §IV.A footnote).
+#include "bench_common.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const auto runs = bench::traced_runs(exp::case2_ucsb_uf(), 64 * util::kMiB,
+                                       bench::iterations(6));
+  bench::emit(bench::rtt_figure(
+                  "Fig 4: Average observed TCP RTT, Case 2 (via Houston)",
+                  runs),
+              "fig04_rtt_case2");
+  return 0;
+}

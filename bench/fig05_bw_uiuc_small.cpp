@@ -1,0 +1,19 @@
+// Figure 5: average observed bandwidth, UCSB -> UIUC, 32 KB - 256 KB.
+// LSL loses below the crossover (two handshakes + depot processing), then
+// wins by a growing margin.
+#include "bench_common.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const std::vector<std::uint64_t> sizes = {
+      32 * util::kKiB,  48 * util::kKiB,  64 * util::kKiB, 96 * util::kKiB,
+      128 * util::kKiB, 192 * util::kKiB, 256 * util::kKiB};
+  const auto pts = bench::size_sweep(exp::case1_ucsb_uiuc(), sizes,
+                                     bench::iterations(10));
+  bench::emit(bench::sweep_table(
+                  "Fig 5: Bandwidth UCSB->UIUC (32K-256K), direct vs LSL",
+                  pts),
+              "fig05_bw_uiuc_small");
+  return 0;
+}

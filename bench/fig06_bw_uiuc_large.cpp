@@ -1,0 +1,18 @@
+// Figure 6: average observed bandwidth, UCSB -> UIUC, 1 MB - 64 MB.
+// LSL's advantage holds at roughly +60% across the range.
+#include "bench_common.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const std::vector<std::uint64_t> sizes = {
+      1 * util::kMiB, 2 * util::kMiB,  4 * util::kMiB,
+      8 * util::kMiB, 16 * util::kMiB, 32 * util::kMiB,
+      64 * util::kMiB};
+  const auto pts = bench::size_sweep(exp::case1_ucsb_uiuc(), sizes,
+                                     bench::iterations(10));
+  bench::emit(bench::sweep_table(
+                  "Fig 6: Bandwidth UCSB->UIUC (1M-64M), direct vs LSL", pts),
+              "fig06_bw_uiuc_large");
+  return 0;
+}

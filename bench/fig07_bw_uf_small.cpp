@@ -1,0 +1,17 @@
+// Figure 7: average observed bandwidth, UCSB -> UF, 32 KB - 256 KB.
+// On this faster, cleaner path small transfers are roughly equivalent.
+#include "bench_common.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const std::vector<std::uint64_t> sizes = {
+      32 * util::kKiB,  48 * util::kKiB,  64 * util::kKiB, 96 * util::kKiB,
+      128 * util::kKiB, 192 * util::kKiB, 256 * util::kKiB};
+  const auto pts = bench::size_sweep(exp::case2_ucsb_uf(), sizes,
+                                     bench::iterations(10));
+  bench::emit(bench::sweep_table(
+                  "Fig 7: Bandwidth UCSB->UF (32K-256K), direct vs LSL", pts),
+              "fig07_bw_uf_small");
+  return 0;
+}

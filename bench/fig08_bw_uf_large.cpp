@@ -1,0 +1,17 @@
+// Figure 8: average observed bandwidth, UCSB -> UF, 1 MB - 128 MB.
+// LSL's advantage appears once the two-connection overhead is amortized.
+#include "bench_common.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const std::vector<std::uint64_t> sizes = {
+      1 * util::kMiB,  2 * util::kMiB,  4 * util::kMiB,  8 * util::kMiB,
+      16 * util::kMiB, 32 * util::kMiB, 64 * util::kMiB, 128 * util::kMiB};
+  const auto pts = bench::size_sweep(exp::case2_ucsb_uf(), sizes,
+                                     bench::iterations(8));
+  bench::emit(bench::sweep_table(
+                  "Fig 8: Bandwidth UCSB->UF (1M-128M), direct vs LSL", pts),
+              "fig08_bw_uf_large");
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 9: average observed TCP round-trip time, Case 3 (UTK -> UCSB with
+// an 802.11b last hop; depot at the UCSB wired edge). Sublink 1 — the long
+// wired path — carries nearly all of the latency.
+#include "bench_common.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const auto runs = bench::traced_runs(exp::case3_utk_wireless(),
+                                       32 * util::kMiB,
+                                       bench::iterations(6));
+  bench::emit(bench::rtt_figure(
+                  "Fig 9: Average observed TCP RTT, Case 3 (wireless edge)",
+                  runs),
+              "fig09_rtt_case3");
+  return 0;
+}

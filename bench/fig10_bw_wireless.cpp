@@ -1,0 +1,20 @@
+// Figure 10: average observed bandwidth, UTK -> UCSB over the 802.11b edge,
+// 1 MB - 256 MB (the paper plots a log-scale x axis). LSL yields a modest
+// (~13%) average improvement; sublink 1 (the wired path) is the bottleneck.
+#include "bench_common.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const std::vector<std::uint64_t> sizes = {
+      1 * util::kMiB,  4 * util::kMiB,   16 * util::kMiB,
+      64 * util::kMiB, 128 * util::kMiB, 256 * util::kMiB};
+  const auto pts = bench::size_sweep(exp::case3_utk_wireless(), sizes,
+                                     bench::iterations(5));
+  bench::emit(
+      bench::sweep_table(
+          "Fig 10: Bandwidth UTK->UCSB wireless (1M-256M), direct vs LSL",
+          pts),
+      "fig10_bw_wireless");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figures 11-14: normalized sequence-number growth for 64 MB transfers,
+// UCSB -> UIUC. Figure 11 plots the individual direct-TCP runs and their
+// average; Figures 12/13 the LSL sublinks; Figure 14 overlays the three
+// averages. We print the per-run summaries (the individual curves' end
+// points and loss counts) plus the averaged overlay table.
+#include "bench_common.hpp"
+#include "trace/analysis.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const auto runs = bench::traced_runs(exp::case1_ucsb_uiuc(),
+                                       64 * util::kMiB,
+                                       bench::iterations(10));
+
+  util::Table per_run(
+      "Fig 11-13: individual 64MB runs (UCSB->UIUC): durations and "
+      "retransmissions per connection",
+      {"test", "direct_s", "direct_retx", "sublink1_s", "sublink1_retx",
+       "sublink2_s", "sublink2_retx"});
+  int test = 0;
+  for (const auto& r : runs) {
+    const double s1 = r.lsl.traces.size() > 0
+                          ? util::duration(trace::sequence_growth(
+                                *r.lsl.traces[0]))
+                          : 0.0;
+    const double s2 = r.lsl.traces.size() > 1
+                          ? util::duration(trace::sequence_growth(
+                                *r.lsl.traces[1]))
+                          : 0.0;
+    per_run.add_row(
+        {++test, util::Cell(r.direct.seconds, 2),
+         util::Cell(r.direct.retransmits),
+         util::Cell(s1, 2),
+         util::Cell(r.lsl.retx_per_link.size() > 0 ? r.lsl.retx_per_link[0]
+                                                   : 0),
+         util::Cell(s2, 2),
+         util::Cell(r.lsl.retx_per_link.size() > 1 ? r.lsl.retx_per_link[1]
+                                                   : 0)});
+  }
+  bench::emit(per_run, "fig11_13_individual");
+
+  bench::emit(bench::growth_table(
+                  "Fig 14: average sequence growth, 64MB UCSB->UIUC "
+                  "(direct vs LSL sublinks)",
+                  runs, 40),
+              "fig14_seq_avg_64m");
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figures 15-18: sequence growth of 4 MB transfers, UCSB -> UIUC, under the
+// minimum (ideally zero), median and maximum observed loss, plus the
+// all-runs average. Even at zero loss the direct connection's window opens
+// more slowly than the cascaded sublinks'.
+#include "bench_common.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const auto runs = bench::traced_runs(exp::case1_ucsb_uiuc(),
+                                       4 * util::kMiB,
+                                       bench::iterations(10));
+  const char* names[3] = {"Fig 15: 4MB, minimum-loss case",
+                          "Fig 16: 4MB, median-loss case",
+                          "Fig 17: 4MB, maximum-loss case"};
+  const char* stems[3] = {"fig15_seq_4m_minloss", "fig16_seq_4m_medloss",
+                          "fig17_seq_4m_maxloss"};
+  for (int which = 0; which < 3; ++which) {
+    const auto& r = bench::select_by_loss(runs, which);
+    bench::emit(bench::growth_table_single(names[which], r, 30),
+                stems[which]);
+  }
+  bench::emit(bench::growth_table("Fig 18: 4MB, average over all runs", runs,
+                                  30),
+              "fig18_seq_4m_avg");
+  return 0;
+}

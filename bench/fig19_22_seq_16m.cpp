@@ -1,0 +1,26 @@
+// Figures 19-22: sequence growth of 16 MB transfers, UCSB -> UIUC: min /
+// median / max loss cases and the average. The LSL-vs-direct gap widens
+// with the loss rate, because each sublink recovers on its own shorter RTT.
+#include "bench_common.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const auto runs = bench::traced_runs(exp::case1_ucsb_uiuc(),
+                                       16 * util::kMiB,
+                                       bench::iterations(10));
+  const char* names[3] = {"Fig 19: 16MB, minimum-loss case",
+                          "Fig 20: 16MB, median-loss case",
+                          "Fig 21: 16MB, maximum-loss case"};
+  const char* stems[3] = {"fig19_seq_16m_minloss", "fig20_seq_16m_medloss",
+                          "fig21_seq_16m_maxloss"};
+  for (int which = 0; which < 3; ++which) {
+    const auto& r = bench::select_by_loss(runs, which);
+    bench::emit(bench::growth_table_single(names[which], r, 30),
+                stems[which]);
+  }
+  bench::emit(bench::growth_table("Fig 22: 16MB, average over all runs",
+                                  runs, 30),
+              "fig22_seq_16m_avg");
+  return 0;
+}

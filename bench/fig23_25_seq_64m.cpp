@@ -1,0 +1,23 @@
+// Figures 23-25: sequence growth of 64 MB transfers, UCSB -> UIUC, at the
+// minimum / median / maximum observed loss (the average is Figure 14,
+// reproduced by bench/fig11_14_seq_64m).
+#include "bench_common.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const auto runs = bench::traced_runs(exp::case1_ucsb_uiuc(),
+                                       64 * util::kMiB,
+                                       bench::iterations(8));
+  const char* names[3] = {"Fig 23: 64MB, minimum-loss case",
+                          "Fig 24: 64MB, median-loss case",
+                          "Fig 25: 64MB, maximum-loss case"};
+  const char* stems[3] = {"fig23_seq_64m_minloss", "fig24_seq_64m_medloss",
+                          "fig25_seq_64m_maxloss"};
+  for (int which = 0; which < 3; ++which) {
+    const auto& r = bench::select_by_loss(runs, which);
+    bench::emit(bench::growth_table_single(names[which], r, 30),
+                stems[which]);
+  }
+  return 0;
+}

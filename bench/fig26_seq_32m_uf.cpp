@@ -1,0 +1,15 @@
+// Figure 26: average sequence growth of 32 MB transfers UCSB -> UF (via
+// Houston). The sublink slopes sit close together: sublink 1 — nearer the
+// sender — is the bottleneck on this path.
+#include "bench_common.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const auto runs = bench::traced_runs(exp::case2_ucsb_uf(), 32 * util::kMiB,
+                                       bench::iterations(8));
+  bench::emit(bench::growth_table(
+                  "Fig 26: average sequence growth, 32MB UCSB->UF", runs, 30),
+              "fig26_seq_32m_uf");
+  return 0;
+}

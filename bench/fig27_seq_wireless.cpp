@@ -1,0 +1,15 @@
+// Figure 27: sequence growth of one 256 MB transfer over the wireless edge
+// path (UTK -> UCSB). Sublink 1 (the long wired path) is the bottleneck.
+#include "bench_common.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const auto runs = bench::traced_runs(exp::case3_utk_wireless(),
+                                       256 * util::kMiB, 1);
+  bench::emit(bench::growth_table_single(
+                  "Fig 27: sequence growth, 256MB wireless case", runs[0],
+                  40),
+              "fig27_seq_wireless");
+  return 0;
+}

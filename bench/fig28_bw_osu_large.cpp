@@ -1,0 +1,23 @@
+// Figure 28: "steady-state" study — UCSB -> OSU, 1 MB to 512 MB (log x).
+// The paper ran 120 iterations per size; the default here is scaled down
+// for wall-clock reasons (LSL_BENCH_ITERS raises it). The point being
+// reproduced: the LSL advantage persists at 512 MB with no sign of
+// convergence — TCP's RTT dependence governs the whole life of the
+// connection, not just slow start.
+#include "bench_common.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const std::vector<std::uint64_t> sizes = {
+      1 * util::kMiB,  2 * util::kMiB,  4 * util::kMiB,   8 * util::kMiB,
+      16 * util::kMiB, 32 * util::kMiB, 64 * util::kMiB, 128 * util::kMiB,
+      256 * util::kMiB, 512 * util::kMiB};
+  const auto pts = bench::size_sweep(exp::case_osu_steady(), sizes,
+                                     bench::iterations(5));
+  bench::emit(bench::sweep_table(
+                  "Fig 28: Bandwidth UCSB->OSU (1M-512M), direct vs LSL",
+                  pts),
+              "fig28_bw_osu_large");
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 29: UCSB -> OSU, 32 KB - 1024 KB: the small-transfer end of the
+// steady-state study, showing the connection-setup crossover.
+#include "bench_common.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace lsl;
+  const std::vector<std::uint64_t> sizes = {
+      32 * util::kKiB,  64 * util::kKiB,  128 * util::kKiB, 256 * util::kKiB,
+      384 * util::kKiB, 512 * util::kKiB, 768 * util::kKiB, 1024 * util::kKiB};
+  const auto pts = bench::size_sweep(exp::case_osu_steady(), sizes,
+                                     bench::iterations(10));
+  bench::emit(bench::sweep_table(
+                  "Fig 29: Bandwidth UCSB->OSU (32K-1024K), direct vs LSL",
+                  pts),
+              "fig29_bw_osu_small");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// mobile_resume — session survival across roaming disconnects.
+//
+// The paper's §III: "Intermittently connected devices could use the session
+// layer to mitigate connection creation overhead and the effects of roaming
+// (in that the ultimate server need not know of an address change)." This
+// example runs a transfer whose client-side sublink is killed twice in
+// flight; each time, the client redials the depot with a resume header and
+// the session continues over the SAME depot-to-server connection. The
+// server's single TCP connection never breaks, and the delivered stream is
+// verified byte for byte.
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "lsl/apps.hpp"
+#include "lsl/depot.hpp"
+#include "lsl/session_id.hpp"
+#include "sim/network.hpp"
+#include "tcp/stack.hpp"
+#include "util/units.hpp"
+
+using namespace lsl;
+
+int main(int argc, char** argv) {
+  std::uint64_t bytes = 8 * util::kMiB;
+  if (argc > 1) bytes = std::strtoull(argv[1], nullptr, 10);
+
+  sim::Network net(2026);
+  sim::Node& client = net.add_host("mobile_client");
+  sim::Node& server = net.add_host("server");
+  sim::Node& depot_host = net.add_host("edge_depot");
+  sim::Node& r = net.add_router("r");
+
+  sim::LinkConfig wan;
+  wan.rate = util::DataRate::mbps(20);
+  wan.delay = util::millis(15);
+  net.connect(client, r, wan);
+  net.connect(r, server, wan);
+  sim::LinkConfig dlink;
+  dlink.rate = util::DataRate::mbps(100);
+  dlink.delay = util::millis(1);
+  net.connect(r, depot_host, dlink);
+  net.compute_routes();
+
+  tcp::TcpConfig tcp;
+  tcp.carry_data = true;  // real bytes: the far end verifies content
+  tcp::TcpStack client_stack(net, client, tcp);
+  tcp::TcpStack server_stack(net, server, tcp);
+  tcp::TcpStack depot_stack(net, depot_host, tcp);
+
+  core::DepotConfig dcfg;
+  dcfg.port = 4000;
+  dcfg.resume_grace = 60 * util::kSecond;
+  core::DepotApp depot(depot_stack, dcfg, nullptr);
+
+  bool done = false;
+  bool verified = false;
+  std::uint64_t received = 0;
+  util::SimTime done_time = 0;
+  core::SinkConfig sink_cfg;
+  sink_cfg.expect_header = true;
+  sink_cfg.verify_payload = true;
+  sink_cfg.payload_seed = 314;
+  core::SinkServer sink(server_stack, 5001, sink_cfg, nullptr);
+  sink.on_complete = [&](core::SinkApp& app) {
+    done = true;
+    verified = app.verified();
+    received = app.payload_received();
+    done_time = app.complete_time();
+  };
+
+  core::SourceConfig scfg;
+  scfg.payload_bytes = bytes;
+  scfg.payload_seed = 314;
+  scfg.use_header = true;
+  scfg.resumable = true;
+  util::Rng rng(1);
+  scfg.header.session = core::SessionId::generate(rng);
+  scfg.header.payload_length = bytes;
+  scfg.header.hops = {{depot_host.id(), 4000}};
+  scfg.header.destination = {server.id(), 5001};
+  core::SourceApp source(client_stack,
+                         sim::Endpoint{depot_host.id(), 4000}, scfg, nullptr);
+
+  std::printf("session %s: %s from mobile client to server via edge depot\n",
+              scfg.header.session.hex().c_str(),
+              util::format_bytes(bytes).c_str());
+  source.start();
+
+  // Roam twice: the client's connection is torn down mid-transfer.
+  for (double at_s : {0.6, 1.4}) {
+    net.sim().events().schedule_in(util::seconds(at_s), [&source, at_s] {
+      std::printf("t=%.1fs  client roams: sublink torn down\n", at_s);
+      source.simulate_disconnect();
+    });
+  }
+
+  auto& ev = net.sim().events();
+  while (!done && ev.now() <= 3600ll * util::kSecond && ev.step()) {
+  }
+
+  if (!done) {
+    std::fprintf(stderr, "transfer did not complete\n");
+    return 1;
+  }
+  std::printf("\ncompleted in %.2f s (simulated), %s delivered\n",
+              util::to_seconds(done_time - source.start_time()),
+              util::format_bytes(received).c_str());
+  std::printf("reconnect/resume cycles : %zu\n", source.resumes());
+  std::printf("duplicate bytes dropped : %llu (unacked in-flight data "
+              "retransmitted after each roam)\n",
+              static_cast<unsigned long long>(depot.stats().bytes_discarded));
+  std::printf("server-side connections : 1 (the server never noticed)\n");
+  std::printf("content verification    : %s\n",
+              verified ? "EVERY BYTE CORRECT" : "MISMATCH");
+  return verified ? 0 : 1;
+}

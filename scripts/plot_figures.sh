@@ -1,0 +1,55 @@
+#!/bin/sh
+# Render the reproduced figures from bench_results/*.csv with gnuplot
+# (optional; the benches' printed tables are the primary output).
+#
+# Usage: run the benches first, then  scripts/plot_figures.sh [outdir]
+set -eu
+
+outdir="${1:-bench_plots}"
+indir="bench_results"
+
+command -v gnuplot >/dev/null 2>&1 || {
+  echo "plot_figures.sh: gnuplot not found; tables and CSVs are still in $indir" >&2
+  exit 1
+}
+[ -d "$indir" ] || { echo "plot_figures.sh: run the benches first" >&2; exit 1; }
+mkdir -p "$outdir"
+
+# Bandwidth-vs-size figures: columns xfer_size,direct_mbps,...,lsl_mbps,...
+for f in fig05_bw_uiuc_small fig06_bw_uiuc_large fig07_bw_uf_small \
+         fig08_bw_uf_large fig10_bw_wireless fig28_bw_osu_large \
+         fig29_bw_osu_small; do
+  [ -f "$indir/$f.csv" ] || continue
+  gnuplot <<EOF
+set datafile separator comma
+set terminal pngcairo size 800,500
+set output "$outdir/$f.png"
+set key left top
+set ylabel "Mbit/s"
+set xlabel "transfer size"
+set style data linespoints
+set xtics rotate by -45
+plot "$indir/$f.csv" using 0:2:xtic(1) every ::1 title "direct TCP", \
+     "$indir/$f.csv" using 0:4 every ::1 title "LSL"
+EOF
+  echo "wrote $outdir/$f.png"
+done
+
+# Sequence-growth figures: columns time_s,direct,sublink1,sublink2.
+for f in fig14_seq_avg_64m fig18_seq_4m_avg fig22_seq_16m_avg \
+         fig26_seq_32m_uf fig27_seq_wireless; do
+  [ -f "$indir/$f.csv" ] || continue
+  gnuplot <<EOF
+set datafile separator comma
+set terminal pngcairo size 800,500
+set output "$outdir/$f.png"
+set key left top
+set xlabel "time (s)"
+set ylabel "normalized sequence number (bytes)"
+set style data lines
+plot "$indir/$f.csv" using 1:2 every ::1 title "direct TCP", \
+     "$indir/$f.csv" using 1:3 every ::1 title "sublink 1", \
+     "$indir/$f.csv" using 1:4 every ::1 title "sublink 2"
+EOF
+  echo "wrote $outdir/$f.png"
+done

@@ -1,0 +1,125 @@
+#include "exp/chain.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "lsl/apps.hpp"
+#include "lsl/directory.hpp"
+#include "lsl/session_id.hpp"
+#include "sim/network.hpp"
+#include "tcp/stack.hpp"
+#include "util/rng.hpp"
+
+namespace lsl::exp {
+
+namespace {
+constexpr sim::PortNum kSinkPort = 5001;
+constexpr sim::PortNum kDepotPort = 4000;
+}  // namespace
+
+ChainResult run_chain(const ChainParams& params) {
+  ChainResult res;
+  const std::size_t segments = params.depots + 1;
+
+  sim::Network net(params.seed);
+  sim::Node& src = net.add_host("src");
+  sim::Node& dst = net.add_host("dst");
+  sim::Node& gw_a = net.add_router("gw_a");
+  sim::Node& gw_b = net.add_router("gw_b");
+
+  sim::LinkConfig access;
+  access.rate = util::DataRate::mbps(100);
+  access.delay = params.access_delay;
+  access.queue_bytes = 512 * util::kKiB;
+  net.connect(src, gw_a, access);
+  net.connect(gw_b, dst, access);
+
+  sim::LinkConfig seg;
+  seg.rate = params.wan_rate;
+  seg.delay = params.total_one_way_delay /
+              static_cast<util::SimDuration>(segments);
+  seg.loss_rate = params.total_loss / static_cast<double>(segments);
+  seg.queue_bytes = params.wan_queue_bytes;
+
+  // Junction routers J1..Jk with a depot host on each.
+  std::vector<sim::Node*> junctions;
+  std::vector<sim::Node*> depot_hosts;
+  sim::Node* prev = &gw_a;
+  for (std::size_t i = 0; i < params.depots; ++i) {
+    sim::Node& j = net.add_router("J" + std::to_string(i + 1));
+    net.connect(*prev, j, seg);
+    sim::Node& d = net.add_host("depot" + std::to_string(i + 1));
+    sim::LinkConfig dlink;
+    dlink.rate = util::DataRate::mbps(100);
+    dlink.delay = util::millis(0.5);
+    dlink.queue_bytes = 512 * util::kKiB;
+    net.connect(j, d, dlink);
+    junctions.push_back(&j);
+    depot_hosts.push_back(&d);
+    prev = &j;
+  }
+  net.connect(*prev, gw_b, seg);
+  net.compute_routes();
+
+  tcp::TcpConfig tcpc = params.tcp;
+  tcp::TcpStack src_stack(net, src, tcpc);
+  tcp::TcpStack dst_stack(net, dst, tcpc);
+  std::vector<std::unique_ptr<tcp::TcpStack>> depot_stacks;
+  for (sim::Node* d : depot_hosts) {
+    depot_stacks.push_back(std::make_unique<tcp::TcpStack>(net, *d, tcpc));
+  }
+
+  core::SessionDirectory dir;
+  std::vector<std::unique_ptr<core::DepotApp>> depot_apps;
+  std::vector<tcp::TcpSocket*> senders;
+  for (auto& st : depot_stacks) {
+    core::DepotConfig dcfg = params.depot;
+    dcfg.port = kDepotPort;
+    auto app = std::make_unique<core::DepotApp>(*st, dcfg, &dir);
+    app->on_downstream_open = [&senders](tcp::TcpSocket* s) {
+      senders.push_back(s);
+    };
+    depot_apps.push_back(std::move(app));
+  }
+
+  bool done = false;
+  util::SimTime done_time = 0;
+  core::SinkConfig sink_cfg;
+  sink_cfg.expect_header = params.depots > 0;
+  core::SinkServer sink(dst_stack, kSinkPort, sink_cfg, &dir);
+  sink.on_complete = [&](core::SinkApp& app) {
+    done = true;
+    done_time = app.complete_time();
+  };
+
+  core::SourceConfig scfg;
+  scfg.payload_bytes = params.bytes;
+  sim::Endpoint first_hop{dst.id(), kSinkPort};
+  if (params.depots > 0) {
+    scfg.use_header = true;
+    util::Rng id_rng(params.seed);
+    scfg.header.session = core::SessionId::generate(id_rng);
+    scfg.header.payload_length = params.bytes;
+    for (sim::Node* d : depot_hosts) {
+      scfg.header.hops.push_back({d->id(), kDepotPort});
+    }
+    scfg.header.destination = {dst.id(), kSinkPort};
+    first_hop = {depot_hosts.front()->id(), kDepotPort};
+  }
+  core::SourceApp source(src_stack, first_hop, scfg, &dir);
+  source.start();
+  senders.insert(senders.begin(), source.socket());
+
+  auto& ev = net.sim().events();
+  while (!done && ev.now() <= params.deadline && ev.step()) {
+  }
+  res.completed = done;
+  if (done) {
+    res.seconds = util::to_seconds(done_time - source.start_time());
+    res.mbps = util::throughput_mbps(params.bytes, done_time - source.start_time());
+  }
+  for (tcp::TcpSocket* s : senders) res.retransmits += s->stats().retransmits;
+  return res;
+}
+
+}  // namespace lsl::exp

@@ -1,0 +1,56 @@
+// Generalized cascade experiments: a source and sink joined by N+1 WAN
+// segments with N depots at the junctions, holding the *total* path delay
+// and loss constant while varying how many times the path is articulated.
+//
+// This answers the design question the single-depot paper setup leaves
+// open: how does the LSL effect scale with the number of cascaded TCP
+// connections, and where do per-depot costs (setup latency, copy rate)
+// eat the gains?
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "lsl/depot.hpp"
+#include "tcp/tcp.hpp"
+#include "util/units.hpp"
+
+namespace lsl::exp {
+
+/// Parameters of one chain run.
+struct ChainParams {
+  std::size_t depots = 1;  ///< cascaded depots (0 = direct TCP)
+  std::uint64_t bytes = 16 * util::kMiB;
+  std::uint64_t seed = 1;
+
+  /// Total one-way propagation delay of the backbone, split evenly across
+  /// the depots+1 segments.
+  util::SimDuration total_one_way_delay = util::millis(28);
+  /// Total one-way per-packet loss probability of the backbone, split
+  /// evenly across the segments.
+  double total_loss = 2.8e-4;
+  util::DataRate wan_rate = util::DataRate::mbps(40);
+  std::size_t wan_queue_bytes = 256 * util::kKiB;
+  util::SimDuration access_delay = util::millis(0.5);
+
+  tcp::TcpConfig tcp{.initial_ssthresh = 64 * util::kKiB};
+  core::DepotConfig depot{.buffer_bytes = util::kMiB,
+                          .copy_rate = util::DataRate::mbps(60),
+                          .session_setup_latency = util::millis(40)};
+
+  util::SimDuration deadline = 4ull * 3600 * util::kSecond;
+};
+
+/// Outcome of one chain transfer.
+struct ChainResult {
+  bool completed = false;
+  double seconds = 0.0;
+  double mbps = 0.0;
+  std::uint64_t retransmits = 0;
+};
+
+/// Build the chain, run one transfer through all depots, and measure it the
+/// same way run_transfer does (source start -> sink completion).
+ChainResult run_chain(const ChainParams& params);
+
+}  // namespace lsl::exp

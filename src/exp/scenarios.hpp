@@ -1,0 +1,118 @@
+// The paper's measurement configurations as simulated topologies.
+//
+// Every experiment in the paper runs over one of four wide-area paths
+// (Figure 2 shape): a campus source host behind an access link, one or two
+// Abilene-like backbone segments meeting at an intermediate POP, a campus
+// destination host, and a depot host attached to the POP by a short link so
+// that "the latency being added should be minimal" (§IV.A):
+//
+//   src --access-- gw_src --wan1-- pop --wan2-- gw_dst --access-- dst
+//                                   |
+//                                 depot
+//
+// Link rates, delays and loss rates are calibrated so the *direct* TCP
+// path reproduces the paper's observed end-to-end RTT and throughput; the
+// LSL numbers are then whatever the protocol actually achieves — that is
+// the reproduction. Loss uses i.i.d. Bernoulli on the WAN segments (random
+// background loss on a shared backbone) and optionally a Gilbert–Elliott
+// bursty model on a wireless last hop (Case 3). On/off UDP cross-traffic
+// across the shared segments supplies the queueing variance real traces
+// show.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/cross_traffic.hpp"
+#include "sim/network.hpp"
+#include "util/units.hpp"
+
+namespace lsl::exp {
+
+/// Parameters of one measurement path.
+struct PathParams {
+  std::string name = "unnamed";
+
+  // Campus access links (both ends unless wireless_dst).
+  util::DataRate access_rate = util::DataRate::mbps(100);
+  util::SimDuration access_delay = util::millis(0.5);
+
+  // Backbone segments: gw_src <-> pop <-> gw_dst.
+  util::DataRate wan_rate = util::DataRate::mbps(20);
+  util::SimDuration wan1_delay = util::millis(14.5);
+  util::SimDuration wan2_delay = util::millis(13.0);
+  double wan1_loss = 1.4e-4;  ///< per-packet, each direction
+  double wan2_loss = 1.4e-4;
+  std::size_t wan_queue_bytes = 256 * util::kKiB;
+  util::SimDuration wan_jitter = util::micros(200);
+
+  // Depot attachment.
+  util::DataRate depot_link_rate = util::DataRate::mbps(100);
+  util::SimDuration depot_link_delay = util::millis(1.5);
+
+  // Depot host capability. The paper's depots are unprivileged processes on
+  // shared general-purpose machines "not designed to forward traffic
+  // efficiently" (§VII); relay_rate is the end-to-end rate such a host can
+  // sustain through recv()+copy+send(), and relay_buffer is the "small,
+  // short-lived" session buffer.
+  util::DataRate depot_relay_rate = util::DataRate::mbps(100);
+  std::uint64_t depot_relay_buffer = util::kMiB;
+  util::SimDuration depot_wakeup = util::micros(200);
+  util::SimDuration depot_setup = util::millis(140);
+
+  // Optional 802.11b-style wireless last hop replacing dst's access link.
+  bool wireless_dst = false;
+  util::DataRate wireless_rate = util::DataRate::mbps(6);
+  util::SimDuration wireless_delay = util::millis(2.0);
+  double wireless_ge_good_to_bad = 2e-4;
+  double wireless_ge_bad_to_good = 0.4;
+  double wireless_ge_loss_bad = 0.2;
+  double wireless_ge_loss_good = 1e-5;
+
+  // Background cross-traffic over each WAN segment (0 disables).
+  double cross_traffic_mbps = 0.0;
+
+  /// Warmed route-metric ssthresh applied to every connection in this
+  /// scenario (Linux 2.4 cached ssthresh per destination; the paper's
+  /// 10-120 iterations per configuration ran over warmed routes).
+  std::uint64_t initial_ssthresh = 112 * util::kKiB;
+};
+
+/// A constructed topology ready to host transport stacks.
+struct Scenario {
+  std::unique_ptr<sim::Network> net;
+  sim::Node* src = nullptr;
+  sim::Node* dst = nullptr;
+  sim::Node* depot = nullptr;
+  sim::Node* pop = nullptr;
+  std::vector<std::unique_ptr<sim::OnOffUdpSource>> cross_sources;
+
+  /// Start all configured cross-traffic sources.
+  void start_cross_traffic();
+  /// Stop them (lets the event queue drain after a transfer).
+  void stop_cross_traffic();
+};
+
+/// Build the topology for `p`, seeding all simulation randomness from
+/// `seed` (distinct seeds give statistically independent iterations).
+Scenario build_scenario(const PathParams& p, std::uint64_t seed);
+
+/// Case 1 (§IV.A, Figures 3, 5, 6, 11–25): UCSB -> UIUC via a Denver depot.
+/// Direct path: ~57 ms RTT, ~11 Mbit/s at 64 MB.
+PathParams case1_ucsb_uiuc();
+
+/// Case 2 (Figures 4, 7, 8, 26): UCSB -> UF via a Houston depot whose
+/// access is load-delayed (~+20 ms on the sum of sublink RTTs).
+/// Direct path: ~60 ms RTT, ~33 Mbit/s at 128 MB.
+PathParams case2_ucsb_uf();
+
+/// Case 3 (Figures 9, 10, 27): UTK -> UCSB with an 802.11b last hop and the
+/// depot at the wired network edge near the client.
+PathParams case3_utk_wireless();
+
+/// Steady-state study (Figures 28, 29): UCSB -> OSU via Denver, transfers
+/// up to 512 MB. Direct path: ~20 Mbit/s at 512 MB.
+PathParams case_osu_steady();
+
+}  // namespace lsl::exp

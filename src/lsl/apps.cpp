@@ -1,0 +1,386 @@
+#include "lsl/apps.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace lsl::core {
+
+// --- SourceApp ---------------------------------------------------------------
+
+SourceApp::SourceApp(tcp::TcpStack& stack, sim::Endpoint first_hop,
+                     SourceConfig config, SessionDirectory* dir)
+    : stack_(stack), first_hop_(first_hop), config_(config), dir_(dir) {}
+
+void SourceApp::start() {
+  assert(socket_ == nullptr && "start() may only be called once");
+  assert((!config_.resumable ||
+          (config_.use_header && !config_.header.has_digest())) &&
+         "resumable sessions need a header and cannot carry a digest "
+         "trailer (MD5 cannot rewind across a resume boundary)");
+  start_time_ = stack_.sim().now();
+
+  const bool real = stack_.default_config().carry_data;
+  if (real) {
+    generator_.emplace(config_.payload_seed);
+    if (config_.use_header && config_.header.has_digest()) hasher_.emplace();
+  }
+  open_connection(0);
+}
+
+void SourceApp::open_connection(std::uint64_t resume_offset) {
+  const bool real = stack_.default_config().carry_data;
+  pending_.clear();
+  pending_off_ = 0;
+  header_virtual_left_ = 0;
+  trailer_staged_ = false;
+  payload_left_ = config_.payload_bytes - resume_offset;
+
+  SessionHeader wire_header;
+  if (config_.use_header) {
+    // The route's first hop is the endpoint we dial; the header we transmit
+    // carries the *remaining* hops (the depot we connect to must not see
+    // itself in the route, or it would relay to itself).
+    wire_header = config_.header.popped();
+    if (resumes_ > 0) {
+      wire_header.flags |= kFlagResume;
+      wire_header.resume_offset = resume_offset;
+    }
+    header_wire_bytes_ = wire_header.encoded_size();
+    if (real) {
+      encode_header(wire_header, pending_);
+    } else {
+      header_virtual_left_ = header_wire_bytes_;
+    }
+  } else {
+    header_wire_bytes_ = 0;
+  }
+  if (real && generator_) generator_->seek(resume_offset);
+
+  socket_ = stack_.connect(first_hop_);
+  if (config_.use_header && dir_ != nullptr && !real) {
+    dir_->publish(socket_->local(), wire_header);
+  }
+  socket_->on_established = [this] {
+    established_time_ = stack_.sim().now();
+    pump();
+  };
+  socket_->on_writable = [this] { pump(); };
+  socket_->on_error = [this](tcp::TcpError err) {
+    LSL_LOG_DEBUG("source: connection error %s", tcp::to_string(err));
+    handle_connection_error();
+  };
+}
+
+void SourceApp::handle_connection_error() {
+  if (finished_) return;
+  if (!config_.resumable) {
+    finished_ = true;
+    if (on_finished) on_finished();
+    return;
+  }
+  // Resume from the highest payload byte the dead connection delivered and
+  // had acknowledged; everything beyond it is retransmitted.
+  const std::uint64_t acked = socket_->stats().bytes_acked;
+  std::uint64_t acked_payload =
+      acked > header_wire_bytes_ ? acked - header_wire_bytes_ : 0;
+  acked_payload = std::min(acked_payload, config_.payload_bytes);
+  ++resumes_;
+  // Detach from the dead socket: its on_closed (fired right after this
+  // error callback) must not mark the session finished.
+  socket_->on_closed = nullptr;
+  socket_->on_writable = nullptr;
+  socket_ = nullptr;  // the dead socket stays owned by the stack
+  stack_.sim().events().schedule_in(
+      config_.resume_reconnect_delay, [this, acked_payload] {
+        if (!finished_) open_connection(acked_payload);
+      });
+}
+
+void SourceApp::simulate_disconnect() {
+  if (socket_ != nullptr && socket_->state() != tcp::TcpState::kClosed) {
+    socket_->abort();  // fires on_error -> resume machinery
+  }
+}
+
+void SourceApp::pump() {
+  if (finished_ || socket_ == nullptr) return;
+  const bool real = socket_->config().carry_data;
+
+  for (;;) {
+    // 1. Header bytes.
+    if (!real && header_virtual_left_ > 0) {
+      const std::uint64_t took = socket_->send_virtual(header_virtual_left_);
+      header_virtual_left_ -= took;
+      if (header_virtual_left_ > 0) return;  // buffer full; resume on_writable
+    }
+    if (real && pending_off_ < pending_.size()) {
+      const std::size_t took = socket_->send(std::span<const std::uint8_t>(
+          pending_.data() + pending_off_, pending_.size() - pending_off_));
+      pending_off_ += took;
+      if (pending_off_ < pending_.size()) return;
+      if (trailer_staged_) break;  // trailer fully queued: done
+      pending_.clear();
+      pending_off_ = 0;
+    }
+
+    // 2. Payload.
+    if (payload_left_ > 0) {
+      if (real) {
+        std::uint8_t buf[16 * 1024];
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>({payload_left_, sizeof(buf),
+                                     socket_->send_space()}));
+        if (want == 0) return;
+        generator_->generate(std::span<std::uint8_t>(buf, want));
+        if (hasher_) {
+          hasher_->update(std::span<const std::uint8_t>(buf, want));
+        }
+        const std::size_t took =
+            socket_->send(std::span<const std::uint8_t>(buf, want));
+        assert(took == want);
+        payload_left_ -= took;
+      } else {
+        const std::uint64_t took = socket_->send_virtual(payload_left_);
+        payload_left_ -= took;
+        if (payload_left_ > 0) return;
+      }
+      continue;
+    }
+
+    // 3. Digest trailer (real mode with the digest flag).
+    if (hasher_ && !trailer_staged_) {
+      const md5::Digest d = hasher_->finalize();
+      pending_.assign(d.bytes.begin(), d.bytes.end());
+      pending_off_ = 0;
+      trailer_staged_ = true;
+      continue;
+    }
+    break;
+  }
+
+  // Everything queued into the socket buffer: half-close.
+  socket_->close();
+  socket_->on_writable = nullptr;
+  if (config_.resumable) {
+    // Delivery is only certain once the FIN handshake completes; a failure
+    // before that re-enters the resume machinery via on_error.
+    socket_->on_closed = [this] {
+      if (finished_) return;
+      finished_ = true;
+      if (on_finished) on_finished();
+    };
+    return;
+  }
+  finished_ = true;
+  if (on_finished) on_finished();
+}
+
+// --- SinkApp -----------------------------------------------------------------
+
+SinkApp::SinkApp(tcp::TcpSocket* socket, SinkConfig config,
+                 SessionDirectory* dir)
+    : socket_(socket), config_(config), dir_(dir) {
+  const bool real = socket_->config().carry_data;
+
+  if (config_.expect_header && !real) {
+    // Virtual mode: header contents come from the directory; the bytes are
+    // still consumed from the stream below.
+    auto h = dir_ != nullptr ? dir_->consume(socket_->remote()) : std::nullopt;
+    if (h) {
+      header_ = std::move(*h);
+      header_virtual_left_ = header_->encoded_size();
+    } else {
+      LSL_LOG_WARN("sink: no published header for incoming session");
+      header_virtual_left_ = 0;
+      header_done_ = true;
+    }
+  }
+  if (!config_.expect_header) header_done_ = true;
+
+  if (config_.verify_payload && real) {
+    verifier_.emplace(config_.payload_seed);
+  }
+
+  socket_->on_readable = [this] { on_readable(); };
+  socket_->on_error = [this](tcp::TcpError err) {
+    LSL_LOG_WARN("sink: connection error %s", tcp::to_string(err));
+  };
+  // Data may already be buffered (header piggybacked on the establishing
+  // segment exchange).
+  if (socket_->readable() > 0 || socket_->eof()) on_readable();
+}
+
+void SinkApp::on_readable() {
+  if (complete_) return;
+  if (socket_->config().carry_data) {
+    consume_real();
+  } else {
+    consume_virtual();
+  }
+  if (socket_->eof() && socket_->readable() == 0 && !complete_) finish();
+}
+
+void SinkApp::consume_virtual() {
+  if (!header_done_) {
+    const std::uint64_t took = socket_->recv_virtual(header_virtual_left_);
+    header_virtual_left_ -= took;
+    if (header_virtual_left_ > 0) return;
+    header_done_ = true;
+  }
+  payload_received_ += socket_->recv_virtual(~std::uint64_t{0});
+}
+
+void SinkApp::consume_real() {
+  std::vector<std::uint8_t> buf(config_.read_chunk);
+  while (socket_->readable() > 0) {
+    // Header phase: accumulate until decodable.
+    if (!header_done_) {
+      // Read the prefix first, then exactly the remainder.
+      std::size_t want = kHeaderPrefixBytes > header_buf_.size()
+                             ? kHeaderPrefixBytes - header_buf_.size()
+                             : 0;
+      if (want == 0) {
+        const auto len = header_length(header_buf_);
+        if (!len) {
+          LSL_LOG_ERROR("sink: malformed LSL header");
+          socket_->abort();
+          return;
+        }
+        if (header_buf_.size() >= *len) {
+          header_ = decode_header(header_buf_);
+          header_done_ = true;
+          header_buf_.clear();
+          continue;
+        }
+        want = *len - header_buf_.size();
+      }
+      const std::size_t got = socket_->recv(std::span<std::uint8_t>(
+          buf.data(), std::min(want, buf.size())));
+      if (got == 0) return;
+      header_buf_.insert(header_buf_.end(), buf.data(), buf.data() + got);
+      continue;
+    }
+
+    // Payload phase: everything except a possible 16-byte trailer. With a
+    // header, payload_length is exact unless the unbounded flag is set.
+    const bool digest = header_ && header_->has_digest();
+    const bool bounded =
+        header_ && (header_->flags & kFlagUnboundedStream) == 0;
+    const std::uint64_t payload_total =
+        bounded ? header_->payload_length : ~std::uint64_t{0};
+    if (payload_received_ < payload_total) {
+      const std::size_t want = static_cast<std::size_t>(
+          std::min<std::uint64_t>(payload_total - payload_received_,
+                                  buf.size()));
+      const std::size_t got =
+          socket_->recv(std::span<std::uint8_t>(buf.data(), want));
+      if (got == 0) return;
+      if (verifier_) {
+        if (!verifier_->feed(std::span<const std::uint8_t>(buf.data(), got))) {
+          content_ok_ = false;
+        }
+      }
+      payload_received_ += got;
+      continue;
+    }
+
+    // Trailer phase.
+    if (digest && trailer_.size() < kDigestTrailerBytes) {
+      const std::size_t want = kDigestTrailerBytes - trailer_.size();
+      const std::size_t got = socket_->recv(std::span<std::uint8_t>(
+          buf.data(), std::min(want, buf.size())));
+      if (got == 0) return;
+      trailer_.insert(trailer_.end(), buf.data(), buf.data() + got);
+      continue;
+    }
+
+    // Unexpected surplus bytes: drain (defensive).
+    const std::size_t got =
+        socket_->recv(std::span<std::uint8_t>(buf.data(), buf.size()));
+    if (got == 0) return;
+    LSL_LOG_WARN("sink: %zu unexpected trailing bytes", got);
+  }
+}
+
+void SinkApp::finish() {
+  complete_ = true;
+  complete_time_ = socket_->now();
+
+  if (verifier_) {
+    content_ok_ = content_ok_ && verifier_->ok();
+    if (header_ && header_->has_digest()) {
+      if (trailer_.size() == kDigestTrailerBytes) {
+        md5::Digest expect;
+        std::copy(trailer_.begin(), trailer_.end(), expect.bytes.begin());
+        digest_ok_ = (verifier_->digest() == expect);
+      } else {
+        digest_ok_ = false;
+      }
+    }
+  }
+
+  socket_->close();  // complete the FIN handshake from our side
+  if (on_complete) on_complete(*this);
+}
+
+// --- SinkServer --------------------------------------------------------------
+
+SinkServer::SinkServer(tcp::TcpStack& stack, sim::PortNum port,
+                       SinkConfig config, SessionDirectory* dir)
+    : stack_(stack), config_(config), dir_(dir) {
+  stack_.listen(port, [this](tcp::TcpSocket* s) {
+    auto sink = std::make_unique<SinkApp>(s, config_, dir_);
+    sink->on_complete = [this](SinkApp& app) {
+      if (on_complete) on_complete(app);
+    };
+    sinks_.push_back(std::move(sink));
+  });
+}
+
+// --- Parallel (PSockets-style) baseline --------------------------------------
+
+ParallelSource::ParallelSource(tcp::TcpStack& stack, sim::Endpoint sink,
+                               std::uint64_t payload_bytes,
+                               std::size_t streams) {
+  assert(streams > 0);
+  const std::uint64_t share = payload_bytes / streams;
+  std::uint64_t remainder = payload_bytes % streams;
+  for (std::size_t i = 0; i < streams; ++i) {
+    SourceConfig cfg;
+    cfg.payload_bytes = share + (remainder > 0 ? 1 : 0);
+    if (remainder > 0) --remainder;
+    sources_.push_back(
+        std::make_unique<SourceApp>(stack, sink, cfg, nullptr));
+  }
+}
+
+void ParallelSource::start() {
+  for (auto& s : sources_) {
+    s->start();
+    if (start_time_ == 0) start_time_ = s->start_time();
+  }
+}
+
+ParallelSinkServer::ParallelSinkServer(tcp::TcpStack& stack, sim::PortNum port,
+                                       std::size_t streams)
+    : expected_(streams) {
+  SinkConfig cfg;  // plain TCP streams, no header
+  server_ = std::make_unique<SinkServer>(stack, port, cfg, nullptr);
+  server_->on_complete = [this](SinkApp& app) {
+    ++completed_;
+    if (completed_ == expected_) {
+      complete_time_ = app.complete_time();
+      if (on_complete) on_complete();
+    }
+  };
+}
+
+std::uint64_t ParallelSinkServer::payload_received() const {
+  std::uint64_t total = 0;
+  for (const auto& s : server_->sinks()) total += s->payload_received();
+  return total;
+}
+
+}  // namespace lsl::core

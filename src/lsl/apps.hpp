@@ -1,0 +1,211 @@
+// Endpoint applications for simulated transfers.
+//
+//  * SourceApp — the sending end system: opens the first-hop connection
+//    (directly to the sink for plain TCP, or to the first depot for LSL),
+//    optionally emits the LSL header, streams the payload, appends the MD5
+//    digest trailer in real-payload mode, and closes.
+//  * SinkApp / SinkServer — the receiving end system: accepts connections,
+//    optionally parses the LSL header, consumes and (in real mode) verifies
+//    the payload and digest, and timestamps completion. Transfer throughput
+//    in every reproduced figure is (payload bytes) / (sink completion time -
+//    source start time), matching the paper's host-to-host wall-clock
+//    measurement that includes connection setup and depot overheads.
+//  * ParallelSource / ParallelSinkServer — the PSockets-style striped-TCP
+//    baseline discussed in the paper's related work (§II), used by the
+//    ablation benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lsl/directory.hpp"
+#include "lsl/payload.hpp"
+#include "lsl/wire.hpp"
+#include "tcp/stack.hpp"
+#include "util/units.hpp"
+
+namespace lsl::core {
+
+/// Configuration of one sending application.
+struct SourceConfig {
+  std::uint64_t payload_bytes = 0;       ///< bytes to transfer
+  bool use_header = false;               ///< LSL session (vs. plain TCP)
+  SessionHeader header;                  ///< when use_header
+  std::uint64_t payload_seed = 1;        ///< real-mode content stream seed
+  std::size_t write_chunk = 64 * 1024;   ///< application write granularity
+  /// Reconnect-and-resume on connection failure (the §III mobility story).
+  /// Requires use_header and no digest trailer (MD5 cannot rewind across
+  /// an unknown retransmission boundary).
+  bool resumable = false;
+  /// Delay before re-dialing after a failure (models re-association).
+  util::SimDuration resume_reconnect_delay = util::millis(50);
+};
+
+/// The sending end system.
+class SourceApp {
+ public:
+  /// `first_hop` is the transport endpoint this app dials: the sink itself
+  /// for direct TCP, or the first depot of the route for LSL. `dir` may be
+  /// null for real-payload transfers.
+  SourceApp(tcp::TcpStack& stack, sim::Endpoint first_hop, SourceConfig config,
+            SessionDirectory* dir);
+
+  SourceApp(const SourceApp&) = delete;
+  SourceApp& operator=(const SourceApp&) = delete;
+
+  /// Initiate the connection; records start_time.
+  void start();
+
+  /// Fires when the source has written everything and closed its socket.
+  std::function<void()> on_finished;
+
+  bool started() const { return socket_ != nullptr; }
+  bool finished() const { return finished_; }
+  util::SimTime start_time() const { return start_time_; }
+  util::SimTime established_time() const { return established_time_; }
+  tcp::TcpSocket* socket() { return socket_; }
+
+  /// Abort the current connection (simulated roaming / address change).
+  /// With `resumable`, the source reconnects and resumes automatically.
+  void simulate_disconnect();
+
+  /// Number of successful reconnect-and-resume cycles so far.
+  std::size_t resumes() const { return resumes_; }
+
+ private:
+  void pump();
+  void open_connection(std::uint64_t resume_offset);
+  void handle_connection_error();
+
+  tcp::TcpStack& stack_;
+  sim::Endpoint first_hop_;
+  SourceConfig config_;
+  SessionDirectory* dir_;
+  tcp::TcpSocket* socket_ = nullptr;
+
+  std::vector<std::uint8_t> pending_;   ///< staged header bytes (real mode)
+  std::size_t pending_off_ = 0;
+  std::uint64_t header_virtual_left_ = 0;
+  std::uint64_t payload_left_ = 0;
+  std::optional<PayloadGenerator> generator_;  // real mode
+  std::optional<md5::Md5> hasher_;             // real mode with digest
+  bool trailer_staged_ = false;
+  bool finished_ = false;
+  std::size_t resumes_ = 0;
+  std::size_t header_wire_bytes_ = 0;
+  util::SimTime start_time_ = 0;
+  util::SimTime established_time_ = 0;
+};
+
+/// Configuration of the receiving application.
+struct SinkConfig {
+  bool expect_header = false;   ///< parse an LSL header before the payload
+  bool verify_payload = false;  ///< real mode: check content + MD5 trailer
+  std::uint64_t payload_seed = 1;
+  std::size_t read_chunk = 64 * 1024;
+};
+
+/// One accepted receiving connection.
+class SinkApp {
+ public:
+  SinkApp(tcp::TcpSocket* socket, SinkConfig config, SessionDirectory* dir);
+
+  SinkApp(const SinkApp&) = delete;
+  SinkApp& operator=(const SinkApp&) = delete;
+
+  /// Fires exactly once when the stream has fully arrived (EOF) and, in
+  /// verifying mode, the digest has been checked.
+  std::function<void(SinkApp&)> on_complete;
+
+  bool complete() const { return complete_; }
+  util::SimTime complete_time() const { return complete_time_; }
+  /// Payload bytes received (headers and trailers excluded).
+  std::uint64_t payload_received() const { return payload_received_; }
+  /// Real mode: true when content matched and the MD5 trailer verified.
+  bool verified() const { return content_ok_ && digest_ok_; }
+  /// Parsed session header (when expect_header).
+  const std::optional<SessionHeader>& header() const { return header_; }
+
+ private:
+  void on_readable();
+  void consume_real();
+  void consume_virtual();
+  void finish();
+
+  tcp::TcpSocket* socket_;
+  SinkConfig config_;
+  SessionDirectory* dir_;
+
+  std::optional<SessionHeader> header_;
+  std::vector<std::uint8_t> header_buf_;
+  std::uint64_t header_virtual_left_ = 0;
+  bool header_done_ = false;
+
+  std::uint64_t payload_received_ = 0;
+  std::optional<PayloadVerifier> verifier_;
+  std::vector<std::uint8_t> trailer_;
+  bool content_ok_ = true;
+  bool digest_ok_ = true;
+  bool complete_ = false;
+  util::SimTime complete_time_ = 0;
+};
+
+/// Listens on a port and runs a SinkApp per accepted connection.
+class SinkServer {
+ public:
+  SinkServer(tcp::TcpStack& stack, sim::PortNum port, SinkConfig config,
+             SessionDirectory* dir);
+
+  /// Forwarded to every SinkApp.
+  std::function<void(SinkApp&)> on_complete;
+
+  const std::vector<std::unique_ptr<SinkApp>>& sinks() const {
+    return sinks_;
+  }
+
+ private:
+  tcp::TcpStack& stack_;
+  SinkConfig config_;
+  SessionDirectory* dir_;
+  std::vector<std::unique_ptr<SinkApp>> sinks_;
+};
+
+/// PSockets-style striped sender: `streams` parallel plain-TCP connections,
+/// each carrying an equal share of the payload.
+class ParallelSource {
+ public:
+  ParallelSource(tcp::TcpStack& stack, sim::Endpoint sink,
+                 std::uint64_t payload_bytes, std::size_t streams);
+
+  void start();
+  util::SimTime start_time() const { return start_time_; }
+
+ private:
+  std::vector<std::unique_ptr<SourceApp>> sources_;
+  util::SimTime start_time_ = 0;
+};
+
+/// Receives a striped transfer; completes when every stream has finished.
+class ParallelSinkServer {
+ public:
+  ParallelSinkServer(tcp::TcpStack& stack, sim::PortNum port,
+                     std::size_t streams);
+
+  /// Fires once, when the last stream completes.
+  std::function<void()> on_complete;
+
+  bool complete() const { return completed_ == expected_; }
+  util::SimTime complete_time() const { return complete_time_; }
+  std::uint64_t payload_received() const;
+
+ private:
+  std::unique_ptr<SinkServer> server_;
+  std::size_t expected_;
+  std::size_t completed_ = 0;
+  util::SimTime complete_time_ = 0;
+};
+
+}  // namespace lsl::core

@@ -1,0 +1,385 @@
+#include "lsl/depot.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace lsl::core {
+
+DepotApp::DepotApp(tcp::TcpStack& stack, DepotConfig config,
+                   SessionDirectory* dir)
+    : stack_(stack), config_(config), dir_(dir) {
+  stack_.listen(config_.port,
+                [this](tcp::TcpSocket* s) { on_accept(s); });
+}
+
+std::size_t DepotApp::live_sessions() const {
+  std::size_t n = 0;
+  for (const auto& r : relays_) {
+    if (!r->done) ++n;
+  }
+  return n;
+}
+
+void DepotApp::on_accept(tcp::TcpSocket* up) {
+  if (config_.max_sessions > 0 && live_sessions() >= config_.max_sessions) {
+    ++stats_.sessions_refused;
+    up->abort();
+    return;
+  }
+  ++stats_.sessions_accepted;
+  auto relay = std::make_unique<Relay>();
+  Relay* r = relay.get();
+  r->up = up;
+  relays_.push_back(std::move(relay));
+
+  const bool real = up->config().carry_data;
+  if (!real) {
+    auto h = dir_ != nullptr ? dir_->consume(up->remote()) : std::nullopt;
+    if (!h) {
+      LSL_LOG_ERROR("depot: virtual session without published header");
+      fail_relay(*r);
+      return;
+    }
+    r->header = std::move(*h);
+    r->header_virtual_left = r->header->encoded_size();
+  }
+
+  up->on_readable = [this, r] { pull_upstream(*r); };
+  up->on_error = [this, r](tcp::TcpError) { on_upstream_error(*r); };
+  if (up->readable() > 0 || up->eof()) pull_upstream(*r);
+}
+
+void DepotApp::pull_upstream(Relay& r) {
+  if (r.done) return;
+  const bool real = r.up->config().carry_data;
+
+  // Phase 1: ingest the LSL header.
+  if (!r.header_done) {
+    if (real) {
+      std::uint8_t buf[512];
+      while (!r.header_done && r.up->readable() > 0) {
+        std::size_t want = kHeaderPrefixBytes > r.header_buf.size()
+                               ? kHeaderPrefixBytes - r.header_buf.size()
+                               : 0;
+        if (want == 0) {
+          const auto len = header_length(r.header_buf);
+          if (!len) {
+            LSL_LOG_ERROR("depot: malformed LSL header");
+            fail_relay(r);
+            return;
+          }
+          if (r.header_buf.size() >= *len) {
+            r.header = decode_header(r.header_buf);
+            r.header_done = true;
+            break;
+          }
+          want = *len - r.header_buf.size();
+        }
+        const std::size_t got = r.up->recv(std::span<std::uint8_t>(
+            buf, std::min(want, sizeof(buf))));
+        if (got == 0) break;
+        r.header_buf.insert(r.header_buf.end(), buf, buf + got);
+      }
+    } else {
+      const std::uint64_t got = r.up->recv_virtual(r.header_virtual_left);
+      r.header_virtual_left -= got;
+      if (r.header_virtual_left == 0) r.header_done = true;
+    }
+    if (!r.header_done) {
+      if (r.up->eof()) fail_relay(r);  // truncated header
+      return;
+    }
+  }
+
+  // Phase 2a: a resume header re-binds an existing parked session instead
+  // of dialing a new downstream path.
+  if (r.header->is_resume() && !r.downstream_dialed) {
+    if (!try_resume(r)) fail_relay(r);
+    return;  // `r` is a husk either way; the merged relay carries on
+  }
+
+  // Phase 2b: dial the next hop as soon as the header is known, after the
+  // daemon's per-session processing delay.
+  if (!r.downstream_dialed) {
+    r.downstream_dialed = true;
+    if (config_.resume_grace > 0) {
+      sessions_[r.header->session] = &r;
+    }
+    if (config_.session_setup_latency > 0) {
+      Relay* rp = &r;
+      stack_.sim().events().schedule_in(config_.session_setup_latency,
+                                        [this, rp] {
+                                          if (!rp->done) dial_downstream(*rp);
+                                        });
+    } else {
+      dial_downstream(r);
+    }
+  }
+
+  // Phase 3: relay payload through the bounded buffer with the copy model.
+  pull_payload(r, /*ignore_space=*/false);
+
+  if (r.up->eof()) {
+    r.up_eof = true;
+    maybe_complete(r);
+  }
+}
+
+void DepotApp::pull_payload(Relay& r, bool ignore_space) {
+  const bool real = r.up->config().carry_data;
+  while (r.up->readable() > 0) {
+    std::uint64_t space = ~std::uint64_t{0};
+    if (!ignore_space) {
+      space = config_.buffer_bytes > buffered(r)
+                  ? config_.buffer_bytes - buffered(r)
+                  : 0;
+      if (space == 0) return;  // backpressure: upstream window will close
+    }
+
+    const std::uint64_t want =
+        std::min<std::uint64_t>({space, r.up->readable(), 64 * util::kKiB});
+    std::vector<std::uint8_t> chunk;
+    std::uint64_t got = 0;
+    if (real) {
+      chunk.resize(static_cast<std::size_t>(want));
+      got = r.up->recv(chunk);
+      chunk.resize(static_cast<std::size_t>(got));
+    } else {
+      got = r.up->recv_virtual(want);
+    }
+    if (got == 0) break;
+    r.payload_pulled += got;
+
+    // Drop the duplicated prefix of a resumed session.
+    if (r.discard_left > 0) {
+      const std::uint64_t drop = std::min(r.discard_left, got);
+      r.discard_left -= drop;
+      stats_.bytes_discarded += drop;
+      got -= drop;
+      if (real) {
+        chunk.erase(chunk.begin(),
+                    chunk.begin() + static_cast<long>(drop));
+      }
+      if (got == 0) continue;
+    }
+
+    // Serial copy resource, shared by all of the daemon's relays: chunks
+    // become downstream-eligible in FIFO order after the wakeup latency and
+    // the proportional copy time, and concurrent sessions queue behind one
+    // another for the host's copy bandwidth.
+    auto& ev = stack_.sim().events();
+    const util::SimTime start =
+        std::max(stack_.sim().now() + config_.wakeup_latency,
+                 copy_busy_until_);
+    const util::SimTime ready_at =
+        start + config_.copy_rate.transmission_time(got);
+    copy_busy_until_ = ready_at;
+    r.in_copy_bytes += got;
+    stats_.max_buffered = std::max(stats_.max_buffered, buffered(r));
+    Relay* rp = &r;
+    ev.schedule_at(ready_at,
+                   [this, rp, got, c = std::move(chunk)]() mutable {
+                     copy_complete(*rp, got, std::move(c));
+                   });
+  }
+}
+
+void DepotApp::dial_downstream(Relay& r) {
+  assert(r.header);
+  const bool real = r.up->config().carry_data;
+
+  const SessionHeader fwd = r.header->popped();
+  const HopAddress next = r.header->next_hop();
+  const sim::Endpoint next_ep{static_cast<sim::NodeId>(next.addr), next.port};
+
+  r.down = stack_.connect(next_ep);
+  if (!real && dir_ != nullptr) {
+    dir_->publish(r.down->local(), fwd);
+  }
+  if (real) {
+    encode_header(fwd, r.fwd_header);
+  } else {
+    r.fwd_virtual_left = fwd.encoded_size();
+  }
+
+  Relay* rp = &r;
+  r.down->on_established = [this, rp] {
+    rp->downstream_up = true;
+    pump_downstream(*rp);
+  };
+  r.down->on_writable = [this, rp] { pump_downstream(*rp); };
+  r.down->on_error = [this, rp](tcp::TcpError) { fail_relay(*rp); };
+  if (on_downstream_open) on_downstream_open(r.down);
+}
+
+void DepotApp::copy_complete(Relay& r, std::uint64_t bytes,
+                             std::vector<std::uint8_t> chunk) {
+  if (r.done) return;
+  r.in_copy_bytes -= bytes;
+  r.ready_bytes += bytes;
+  if (!chunk.empty()) r.ready_chunks.push_back(std::move(chunk));
+  pump_downstream(r);
+}
+
+void DepotApp::pump_downstream(Relay& r) {
+  if (r.done || r.down == nullptr || !r.downstream_up) return;
+  const bool real = r.down->config().carry_data;
+
+  // Forwarded header goes first.
+  if (real && r.fwd_off < r.fwd_header.size()) {
+    const std::size_t took = r.down->send(std::span<const std::uint8_t>(
+        r.fwd_header.data() + r.fwd_off, r.fwd_header.size() - r.fwd_off));
+    r.fwd_off += took;
+    if (r.fwd_off < r.fwd_header.size()) return;
+  }
+  if (!real && r.fwd_virtual_left > 0) {
+    const std::uint64_t took = r.down->send_virtual(r.fwd_virtual_left);
+    r.fwd_virtual_left -= took;
+    if (r.fwd_virtual_left > 0) return;
+  }
+
+  // Then buffered payload.
+  bool freed = false;
+  if (real) {
+    while (!r.ready_chunks.empty()) {
+      auto& front = r.ready_chunks.front();
+      const std::size_t remaining = front.size() - r.ready_consumed;
+      const std::size_t took = r.down->send(std::span<const std::uint8_t>(
+          front.data() + r.ready_consumed, remaining));
+      if (took == 0) break;
+      r.ready_consumed += took;
+      r.ready_bytes -= took;
+      stats_.bytes_relayed += took;
+      freed = true;
+      if (r.ready_consumed == front.size()) {
+        r.ready_chunks.pop_front();
+        r.ready_consumed = 0;
+      }
+    }
+  } else {
+    while (r.ready_bytes > 0) {
+      const std::uint64_t took = r.down->send_virtual(r.ready_bytes);
+      if (took == 0) break;
+      r.ready_bytes -= took;
+      stats_.bytes_relayed += took;
+      freed = true;
+    }
+  }
+
+  // Space freed: resume reading from upstream (we may have declined earlier).
+  if (freed && r.up != nullptr && r.up->readable() > 0) pull_upstream(r);
+
+  maybe_complete(r);
+}
+
+void DepotApp::on_upstream_error(Relay& r) {
+  if (r.done || r.parked) return;
+  // Park only sessions whose downstream path is (or is becoming) live and
+  // whose operator enabled resumption; everything else aborts.
+  if (config_.resume_grace > 0 && r.header_done && r.downstream_dialed &&
+      !r.up_eof) {
+    park_relay(r);
+    return;
+  }
+  fail_relay(r);
+}
+
+void DepotApp::park_relay(Relay& r) {
+  // Salvage everything the dead connection's TCP had already received in
+  // order — those bytes were acknowledged to the sender, so the resumed
+  // connection will not carry them again. The ring may temporarily exceed
+  // its configured bound here; that is the price of not losing acked data.
+  pull_payload(r, /*ignore_space=*/true);
+  r.parked = true;
+  Relay* rp = &r;
+  r.park_expiry = stack_.sim().events().schedule_in(
+      config_.resume_grace, [this, rp] {
+        rp->park_expiry = sim::kInvalidEvent;
+        if (rp->parked && !rp->done) fail_relay(*rp);
+      });
+  pump_downstream(r);
+}
+
+bool DepotApp::try_resume(Relay& fresh) {
+  const auto it = sessions_.find(fresh.header->session);
+  if (it == sessions_.end()) return false;
+  Relay* old = it->second;
+  if (!old->parked || old->done) return false;
+  // Invariant: payload_pulled is the stream position of the next byte the
+  // (dead) upstream would have delivered; discard_left counts duplicated
+  // positions below the distinct high-water mark still awaiting re-receipt
+  // from an earlier resume. Their sum is the highest distinct byte secured.
+  const std::uint64_t high_water = old->payload_pulled + old->discard_left;
+  if (fresh.header->resume_offset > old->payload_pulled) {
+    // The reconnecting sender claims bytes we never received: a gap we
+    // cannot paper over. Refuse; the whole session fails.
+    fail_relay(*old);
+    return false;
+  }
+
+  // Re-bind the fresh upstream connection to the parked relay.
+  old->discard_left = high_water - fresh.header->resume_offset;
+  old->payload_pulled = fresh.header->resume_offset;  // re-counts from here
+  old->up = fresh.up;
+  old->parked = false;
+  if (old->park_expiry != sim::kInvalidEvent) {
+    stack_.sim().events().cancel(old->park_expiry);
+    old->park_expiry = sim::kInvalidEvent;
+  }
+  ++stats_.sessions_resumed;
+
+  old->up->on_readable = [this, old] { pull_upstream(*old); };
+  old->up->on_error = [this, old](tcp::TcpError) { on_upstream_error(*old); };
+
+  // Neutralize the husk so its callbacks never fire again.
+  fresh.done = true;
+  fresh.up = nullptr;
+
+  pull_upstream(*old);
+  return true;
+}
+
+void DepotApp::maybe_complete(Relay& r) {
+  if (r.done || r.parked) return;
+  if (r.up_eof && r.in_copy_bytes == 0 && r.ready_bytes == 0 &&
+      r.fwd_virtual_left == 0 &&
+      (r.fwd_header.empty() || r.fwd_off == r.fwd_header.size())) {
+    if (r.down == nullptr || !r.downstream_up) {
+      // EOF before the downstream is up. If the dial is pending (setup
+      // latency or handshake in flight), wait — pump_downstream() re-invokes
+      // us on establishment. Only an undialed relay (truncated session) is
+      // a failure.
+      if (!r.downstream_dialed) fail_relay(r);
+      return;
+    }
+    r.done = true;
+    ++stats_.sessions_completed;
+    if (r.header) sessions_.erase(r.header->session);
+    r.down->close();
+    r.up->close();  // completes the upstream FIN handshake from our side
+  }
+}
+
+void DepotApp::fail_relay(Relay& r) {
+  if (r.done) return;
+  r.done = true;
+  ++stats_.sessions_failed;
+  if (r.park_expiry != sim::kInvalidEvent) {
+    stack_.sim().events().cancel(r.park_expiry);
+    r.park_expiry = sim::kInvalidEvent;
+  }
+  if (r.header) {
+    const auto it = sessions_.find(r.header->session);
+    if (it != sessions_.end() && it->second == &r) sessions_.erase(it);
+  }
+  if (r.up != nullptr && r.up->state() != tcp::TcpState::kClosed) {
+    r.up->abort();
+  }
+  if (r.down != nullptr && r.down->state() != tcp::TcpState::kClosed) {
+    r.down->abort();
+  }
+}
+
+}  // namespace lsl::core

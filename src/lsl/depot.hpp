@@ -1,0 +1,154 @@
+// The simulated LSL depot — the paper's `lsd` forwarding daemon.
+//
+// A depot accepts session connections, reads the LSL header, dials the next
+// hop of the loose source route (pipelining: payload is buffered while the
+// downstream handshake completes), forwards the popped header, and then
+// relays bytes through a bounded ring buffer. Three costs of the real
+// user-level daemon are modeled explicitly because the paper calls them out
+// as the price LSL pays (§I, §IV footnote 1):
+//
+//  * bounded buffering ("small, short-lived intermediate buffers") — when
+//    the relay buffer fills, the depot stops reading and TCP flow control
+//    closes the upstream window (hop-by-hop backpressure);
+//  * copy bandwidth — moving bytes between the two sockets through a
+//    user-level process is rate-limited (a serial copy resource);
+//  * scheduling wakeup latency — each relay pull pays a fixed delay before
+//    its bytes are eligible to be written downstream.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lsl/directory.hpp"
+#include "lsl/wire.hpp"
+#include "tcp/stack.hpp"
+#include "util/units.hpp"
+
+namespace lsl::core {
+
+/// Depot tuning knobs.
+struct DepotConfig {
+  sim::PortNum port = 4000;                        ///< listening port
+  std::uint64_t buffer_bytes = 4 * util::kMiB;     ///< relay ring capacity
+  util::DataRate copy_rate = util::DataRate::gbps(2);  ///< memcpy throughput
+  util::SimDuration wakeup_latency = util::micros(200);  ///< per-pull delay
+  /// Fixed per-session cost between parsing the header and dialing onward:
+  /// the unprivileged daemon's scheduling, route lookup and connect()
+  /// processing on a shared host. This is what makes very small transfers
+  /// slower over LSL than direct TCP (paper Figures 5, 7, 29).
+  util::SimDuration session_setup_latency = 0;
+  /// How long a session whose upstream connection died is kept parked,
+  /// downstream intact, awaiting a kFlagResume reconnect (the paper's §III
+  /// mobility scenario). 0 disables resumption: upstream failure aborts.
+  util::SimDuration resume_grace = 0;
+  /// Admission control (paper §VII): maximum concurrently live sessions;
+  /// additional connections are refused at accept. 0 = unlimited.
+  std::size_t max_sessions = 0;
+};
+
+/// Aggregate depot counters.
+struct DepotStats {
+  std::uint64_t sessions_accepted = 0;
+  std::uint64_t sessions_completed = 0;
+  std::uint64_t sessions_failed = 0;
+  std::uint64_t sessions_refused = 0;  ///< admission-control rejections
+  std::uint64_t sessions_resumed = 0;  ///< successful kFlagResume rebinds
+  std::uint64_t bytes_relayed = 0;
+  std::uint64_t bytes_discarded = 0;   ///< duplicate prefix on resume
+  std::uint64_t max_buffered = 0;  ///< relay-buffer high-water mark
+};
+
+/// The depot application on one simulated host.
+class DepotApp {
+ public:
+  /// Binds the listener immediately. `dir` may be null when the stack's
+  /// sockets carry real data (headers are then parsed from the stream).
+  DepotApp(tcp::TcpStack& stack, DepotConfig config, SessionDirectory* dir);
+
+  DepotApp(const DepotApp&) = delete;
+  DepotApp& operator=(const DepotApp&) = delete;
+
+  const DepotStats& stats() const { return stats_; }
+  const DepotConfig& config() const { return config_; }
+
+  /// Observation hook: fires with the downstream socket as each relayed
+  /// session dials onward — the experiment harness attaches sublink-2
+  /// trace recorders here.
+  std::function<void(tcp::TcpSocket*)> on_downstream_open;
+
+ private:
+  /// One relayed session (upstream + downstream sockets and the buffer).
+  struct Relay {
+    tcp::TcpSocket* up = nullptr;
+    tcp::TcpSocket* down = nullptr;
+    std::optional<SessionHeader> header;
+
+    // Header ingest.
+    std::vector<std::uint8_t> header_buf;   // real mode
+    std::uint64_t header_virtual_left = 0;  // virtual mode
+    bool header_done = false;
+    bool downstream_dialed = false;
+    bool downstream_up = false;
+
+    // Forwarded header staged for downstream (real mode).
+    std::vector<std::uint8_t> fwd_header;
+    std::size_t fwd_off = 0;
+    std::uint64_t fwd_virtual_left = 0;
+
+    // Relay ring: bytes pulled from upstream, in copy, then ready.
+    std::deque<std::vector<std::uint8_t>> ready_chunks;  // real mode
+    std::uint64_t ready_bytes = 0;
+    std::uint64_t in_copy_bytes = 0;
+    std::size_t ready_consumed = 0;  ///< bytes consumed of front chunk
+
+    bool up_eof = false;
+    bool done = false;
+
+    // Resumption state.
+    std::uint64_t payload_pulled = 0;   ///< payload bytes taken upstream
+    std::uint64_t discard_left = 0;     ///< duplicate prefix still to drop
+    bool parked = false;                ///< upstream gone, awaiting resume
+    sim::EventId park_expiry = sim::kInvalidEvent;
+  };
+
+  void on_accept(tcp::TcpSocket* up);
+  void pull_upstream(Relay& r);
+  void pull_payload(Relay& r, bool ignore_space);
+  void dial_downstream(Relay& r);
+  void on_upstream_error(Relay& r);
+  void park_relay(Relay& r);
+  /// Re-bind a parked session to the fresh relay's upstream connection.
+  /// Returns false when the session is unknown or the offsets are
+  /// inconsistent (the fresh relay is then failed).
+  bool try_resume(Relay& fresh);
+  void copy_complete(Relay& r, std::uint64_t bytes,
+                     std::vector<std::uint8_t> chunk);
+  void pump_downstream(Relay& r);
+  void maybe_complete(Relay& r);
+  void fail_relay(Relay& r);
+  std::uint64_t buffered(const Relay& r) const {
+    return r.ready_bytes + r.in_copy_bytes;
+  }
+
+  /// Number of relays that are neither done nor husks (admission control).
+  std::size_t live_sessions() const;
+
+  tcp::TcpStack& stack_;
+  DepotConfig config_;
+  SessionDirectory* dir_;
+  DepotStats stats_;
+  /// The daemon's single copy resource, shared by every relay: one
+  /// user-level process has one CPU, so concurrent sessions contend for
+  /// copy bandwidth (paper §VII's scalability concern).
+  util::SimTime copy_busy_until_ = 0;
+  std::vector<std::unique_ptr<Relay>> relays_;
+  /// Live sessions by id (only maintained when resume_grace > 0).
+  std::map<SessionId, Relay*> sessions_;
+};
+
+}  // namespace lsl::core

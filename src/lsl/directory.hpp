@@ -1,0 +1,46 @@
+// Out-of-band session-header directory for virtual-payload simulations.
+//
+// When a simulated transfer runs in virtual-payload mode, packets carry only
+// byte counts, so a depot cannot literally parse the LSL header out of the
+// stream. The header *bytes* still traverse the wire and are counted (the
+// timing is identical to real mode); the header *contents* are published
+// here by the sender, keyed by the connecting socket's local endpoint, and
+// consumed by the accepting depot/sink. Real-payload runs and the posix
+// implementation never use this — they parse the stream, and the tests
+// verify both paths agree.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "lsl/wire.hpp"
+#include "sim/types.hpp"
+
+namespace lsl::core {
+
+/// Maps a connection's client-side endpoint to the header it will carry.
+class SessionDirectory {
+ public:
+  /// Publish the header the connection from `client_local` carries. The
+  /// publisher calls this immediately after initiating the connection.
+  void publish(sim::Endpoint client_local, SessionHeader header) {
+    entries_[client_local] = std::move(header);
+  }
+
+  /// Look up (and erase) the header for a connection whose peer is
+  /// `remote`; nullopt when the peer never published one.
+  std::optional<SessionHeader> consume(sim::Endpoint remote) {
+    const auto it = entries_.find(remote);
+    if (it == entries_.end()) return std::nullopt;
+    SessionHeader h = std::move(it->second);
+    entries_.erase(it);
+    return h;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<sim::Endpoint, SessionHeader> entries_;
+};
+
+}  // namespace lsl::core

@@ -1,0 +1,74 @@
+// Deterministic payload streams.
+//
+// When transfers carry real bytes (tests, the MD5 integrity path, the posix
+// client) the payload is generated from a PRNG seeded by the session id, so
+// the source and sink can independently produce byte-identical streams —
+// the sink verifies content without any side channel, exactly as a file
+// transfer would, but without storing multi-megabyte fixtures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "md5/md5.hpp"
+#include "util/rng.hpp"
+
+namespace lsl::core {
+
+/// Deterministic byte-stream generator. The stream content is a pure
+/// function of (seed, byte offset), so chunking never affects the bytes.
+class PayloadGenerator {
+ public:
+  explicit PayloadGenerator(std::uint64_t seed) : mix_(util::Rng(seed)()) {}
+
+  /// Fill `out` with the next out.size() bytes of the stream.
+  void generate(std::span<std::uint8_t> out);
+
+  /// Total bytes generated so far.
+  std::uint64_t position() const { return position_; }
+
+  /// Jump to an absolute stream position (content is random-access); used
+  /// when a resumed session retransmits from its acknowledged offset.
+  void seek(std::uint64_t position) { position_ = position; }
+
+ private:
+  std::uint64_t mix_;
+  std::uint64_t position_ = 0;
+};
+
+/// Sequential verifier for the same stream: feeds received bytes, checks
+/// them against the expected generator output, and accumulates the MD5 the
+/// sender will ship in the digest trailer.
+class PayloadVerifier {
+ public:
+  /// With `check_content` false, feed() only accumulates the MD5 (for the
+  /// digest trailer) without comparing bytes against the generator — the
+  /// mode used for arbitrary (non-generated) payloads such as files.
+  explicit PayloadVerifier(std::uint64_t seed, bool check_content = true)
+      : expect_(seed), check_content_(check_content) {}
+
+  /// Check the next received chunk. Returns false (and latches failure) on
+  /// the first mismatching byte.
+  bool feed(std::span<const std::uint8_t> data);
+
+  bool ok() const { return ok_; }
+  std::uint64_t verified_bytes() const { return verified_; }
+
+  /// MD5 over everything fed so far (mirrors the sender's stream digest).
+  md5::Digest digest() { return hash_copy_digest(); }
+
+ private:
+  md5::Digest hash_copy_digest() const;
+
+  PayloadGenerator expect_;
+  md5::Md5 hasher_;
+  bool check_content_ = true;
+  bool ok_ = true;
+  std::uint64_t verified_ = 0;
+};
+
+/// MD5 of the first `length` bytes of the stream seeded with `seed` —
+/// what the sender computes while transmitting.
+md5::Digest stream_digest(std::uint64_t seed, std::uint64_t length);
+
+}  // namespace lsl::core

@@ -1,0 +1,128 @@
+#include "lsl/selector.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace lsl::core {
+
+SublinkForecast& PathDatabase::edge(const std::string& from,
+                                    const std::string& to) {
+  return edges_[{from, to}];
+}
+
+void PathDatabase::observe_rtt_ms(const std::string& from,
+                                  const std::string& to, double ms) {
+  edge(from, to).rtt_ms.observe(ms);
+}
+
+void PathDatabase::observe_bandwidth_mbps(const std::string& from,
+                                          const std::string& to, double mbps) {
+  edge(from, to).bandwidth_mbps.observe(mbps);
+}
+
+void PathDatabase::observe_loss_rate(const std::string& from,
+                                     const std::string& to, double p) {
+  edge(from, to).loss_rate.observe(p);
+}
+
+bool PathDatabase::knows(const std::string& from, const std::string& to) const {
+  const auto it = edges_.find({from, to});
+  if (it == edges_.end()) return false;
+  return it->second.rtt_ms.observations() > 0 &&
+         it->second.bandwidth_mbps.observations() > 0;
+}
+
+std::string CandidateRoute::describe() const {
+  std::string s;
+  for (std::size_t i = 0; i < waypoints.size(); ++i) {
+    if (i) s += " -> ";
+    s += waypoints[i];
+  }
+  return s;
+}
+
+double RouteSelector::sublink_rate_mbps(const std::string& from,
+                                        const std::string& to) const {
+  if (!db_.knows(from, to)) return 0.0;
+  SublinkForecast& f = db_.edge(from, to);
+  const double path_mbps = f.bandwidth_mbps.predict();
+  const double rtt_s = f.rtt_ms.predict() / 1e3;
+  const double loss = f.loss_rate.observations() > 0
+                          ? std::max(f.loss_rate.predict(), 0.0)
+                          : 0.0;
+  if (rtt_s <= 0.0) return path_mbps;
+  if (loss <= 0.0) return path_mbps;
+  // Mathis et al.: BW <= (MSS / RTT) * (1 / sqrt(p)), with the usual
+  // sqrt(3/2) constant for periodic loss.
+  const double mathis_bps =
+      (mss_ * 8.0 / rtt_s) * std::sqrt(1.5) / std::sqrt(loss);
+  return std::min(path_mbps, mathis_bps / 1e6);
+}
+
+double RouteSelector::predict_transfer_seconds(const CandidateRoute& route,
+                                               std::uint64_t bytes) const {
+  if (route.sublink_count() == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  double setup = 0.0;
+  double bottleneck_mbps = std::numeric_limits<double>::infinity();
+  double bottleneck_rtt_s = 0.0;
+
+  for (std::size_t i = 0; i + 1 < route.waypoints.size(); ++i) {
+    const std::string& a = route.waypoints[i];
+    const std::string& b = route.waypoints[i + 1];
+    if (!db_.knows(a, b)) return std::numeric_limits<double>::infinity();
+    SublinkForecast& f = db_.edge(a, b);
+    const double rtt_s = std::max(f.rtt_ms.predict(), 0.0) / 1e3;
+    // First sublink pays 1.5 RTT (SYN exchange + header flight); each
+    // cascade hop adds its own handshake, pipelined behind the header,
+    // plus the depot's per-session processing.
+    setup += (i == 0 ? 1.5 : 1.0) * rtt_s;
+    if (i > 0) setup += depot_setup_s_;
+    const double rate = sublink_rate_mbps(a, b);
+    if (rate < bottleneck_mbps) {
+      bottleneck_mbps = rate;
+      bottleneck_rtt_s = rtt_s;
+    }
+  }
+  if (bottleneck_mbps <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  // Slow-start ramp on the bottleneck sublink: doubling from 2 MSS up to
+  // the window the transfer actually needs — the bandwidth-delay product,
+  // or the whole transfer if it is smaller than that — costs about one RTT
+  // per doubling.
+  const double bdp_bytes = bottleneck_mbps * 1e6 / 8.0 * bottleneck_rtt_s;
+  const double target_window =
+      std::min(bdp_bytes, static_cast<double>(bytes));
+  double ramp = 0.0;
+  if (target_window > 2.0 * mss_ && bottleneck_rtt_s > 0.0) {
+    ramp = bottleneck_rtt_s * std::log2(target_window / (2.0 * mss_));
+  }
+
+  const double steady =
+      static_cast<double>(bytes) * 8.0 / (bottleneck_mbps * 1e6);
+  return setup + ramp + steady;
+}
+
+const CandidateRoute& RouteSelector::choose(
+    const std::vector<CandidateRoute>& candidates, std::uint64_t bytes) const {
+  assert(!candidates.empty());
+  std::size_t best = 0;
+  double best_t = predict_transfer_seconds(candidates[0], bytes);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const double t = predict_transfer_seconds(candidates[i], bytes);
+    if (t < best_t ||
+        (t == best_t && candidates[i].sublink_count() <
+                            candidates[best].sublink_count())) {
+      best = i;
+      best_t = t;
+    }
+  }
+  return candidates[best];
+}
+
+}  // namespace lsl::core

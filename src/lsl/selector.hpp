@@ -1,0 +1,96 @@
+// Logistical route selection.
+//
+// "LSL clients and depots are assumed to have network performance
+// information available from a system such as the Network Weather Service,
+// in order to make decisions about paths" (§III). This module is that
+// decision layer: a PathDatabase holds NWS forecasters for each observed
+// sublink (RTT, bandwidth, loss), and a RouteSelector scores candidate
+// loose source routes by predicted transfer time — the logistics objective —
+// using a TCP macroscopic model (Mathis et al., 1997) plus handshake and
+// slow-start costs, which is precisely why cascading wins: splitting a path
+// halves each control loop's RTT in the model just as it does on the wire.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nws/forecaster.hpp"
+
+namespace lsl::core {
+
+/// Forecast state for one directed sublink.
+struct SublinkForecast {
+  nws::Forecaster rtt_ms;          ///< round-trip time, milliseconds
+  nws::Forecaster bandwidth_mbps;  ///< achievable bulk bandwidth, Mbit/s
+  nws::Forecaster loss_rate;       ///< packet loss probability
+};
+
+/// Observed-performance database keyed by (from, to) node names.
+class PathDatabase {
+ public:
+  /// The forecast record for a directed edge (created on first use).
+  SublinkForecast& edge(const std::string& from, const std::string& to);
+
+  /// Convenience observers.
+  void observe_rtt_ms(const std::string& from, const std::string& to,
+                      double ms);
+  void observe_bandwidth_mbps(const std::string& from, const std::string& to,
+                              double mbps);
+  void observe_loss_rate(const std::string& from, const std::string& to,
+                         double p);
+
+  /// True once the edge has at least one observation of each metric.
+  bool knows(const std::string& from, const std::string& to) const;
+
+ private:
+  std::map<std::pair<std::string, std::string>, SublinkForecast> edges_;
+};
+
+/// A candidate session path: node names from source through depots to sink.
+struct CandidateRoute {
+  std::vector<std::string> waypoints;  ///< size >= 2 (src ... dst)
+
+  std::size_t sublink_count() const {
+    return waypoints.empty() ? 0 : waypoints.size() - 1;
+  }
+  std::string describe() const;
+};
+
+/// Scores candidate routes by predicted transfer time.
+class RouteSelector {
+ public:
+  /// `depot_setup_seconds` is the per-depot session processing cost added
+  /// to a cascaded route's setup time (header parse, route lookup, onward
+  /// connect in a loaded user-level daemon) — the term that makes direct
+  /// TCP win for small transfers.
+  explicit RouteSelector(PathDatabase& db, double mss_bytes = 1448.0,
+                         double depot_setup_seconds = 0.1)
+      : db_(db), mss_(mss_bytes), depot_setup_s_(depot_setup_seconds) {}
+
+  /// Predicted wall-clock seconds to move `bytes` over `route`:
+  /// sequential sublink handshakes + slow-start ramp on the bottleneck
+  /// sublink + steady transfer at the route's predicted end-to-end rate.
+  /// Routes with unknown sublinks predict +infinity.
+  double predict_transfer_seconds(const CandidateRoute& route,
+                                  std::uint64_t bytes) const;
+
+  /// Predicted steady-state throughput of one sublink in Mbit/s — the lower
+  /// of the forecast path bandwidth and the Mathis TCP model
+  /// MSS / (RTT * sqrt(loss)).
+  double sublink_rate_mbps(const std::string& from,
+                           const std::string& to) const;
+
+  /// The candidate with the smallest predicted transfer time. Ties go to
+  /// the route with fewer sublinks. `candidates` must be non-empty.
+  const CandidateRoute& choose(const std::vector<CandidateRoute>& candidates,
+                               std::uint64_t bytes) const;
+
+ private:
+  PathDatabase& db_;
+  double mss_;
+  double depot_setup_s_;
+};
+
+}  // namespace lsl::core

@@ -1,0 +1,66 @@
+#include "lsl/session_id.hpp"
+
+namespace lsl::core {
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+SessionId SessionId::generate(util::Rng& rng) {
+  std::array<std::uint8_t, 16> b{};
+  for (int w = 0; w < 2; ++w) {
+    const std::uint64_t v = rng();
+    for (int i = 0; i < 8; ++i) {
+      b[w * 8 + i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+  }
+  return SessionId(b);
+}
+
+std::optional<SessionId> SessionId::from_hex(std::string_view hex) {
+  if (hex.size() != 32) return std::nullopt;
+  std::array<std::uint8_t, 16> b{};
+  for (int i = 0; i < 16; ++i) {
+    const int hi = hex_digit(hex[2 * i]);
+    const int lo = hex_digit(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    b[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return SessionId(b);
+}
+
+std::string SessionId::hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (std::uint8_t b : bytes_) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 15]);
+  }
+  return out;
+}
+
+bool SessionId::valid() const {
+  for (std::uint8_t b : bytes_) {
+    if (b != 0) return true;
+  }
+  return false;
+}
+
+std::uint64_t SessionId::seed() const {
+  // FNV-1a over the 16 bytes.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint8_t b : bytes_) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace lsl::core

@@ -1,0 +1,54 @@
+// 128-bit session identifiers.
+//
+// "The session is described by a 128-bit session identifier. Conceptually,
+// the ultimate sending and receiving ports need not exist at the same time"
+// (§III). The identifier names the end-to-end conversation independently of
+// any transport connection, which is what lets sublinks come and go without
+// disturbing the session handle.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace lsl::core {
+
+/// A 128-bit LSL session identifier.
+class SessionId {
+ public:
+  /// The all-zero id (invalid sentinel).
+  SessionId() = default;
+
+  /// Construct from raw bytes.
+  explicit SessionId(const std::array<std::uint8_t, 16>& bytes)
+      : bytes_(bytes) {}
+
+  /// Generate a fresh random id from `rng`.
+  static SessionId generate(util::Rng& rng);
+
+  /// Parse a 32-hex-digit string; nullopt on malformed input.
+  static std::optional<SessionId> from_hex(std::string_view hex);
+
+  const std::array<std::uint8_t, 16>& bytes() const { return bytes_; }
+
+  /// Lowercase 32-digit hex rendering.
+  std::string hex() const;
+
+  /// True unless this is the all-zero sentinel.
+  bool valid() const;
+
+  /// A 64-bit hash of the id, used to seed deterministic payload streams.
+  std::uint64_t seed() const;
+
+  friend bool operator==(const SessionId&, const SessionId&) = default;
+  friend auto operator<=>(const SessionId&, const SessionId&) = default;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_{};
+};
+
+}  // namespace lsl::core

@@ -1,0 +1,104 @@
+#include "lsl/wire.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace lsl::core {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'L', 'S', 'L', '1'};
+constexpr std::uint8_t kVersion = 1;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return (static_cast<std::uint64_t>(get_u32(p)) << 32) | get_u32(p + 4);
+}
+
+}  // namespace
+
+SessionHeader SessionHeader::popped() const {
+  SessionHeader h = *this;
+  if (!h.hops.empty()) h.hops.erase(h.hops.begin());
+  return h;
+}
+
+void encode_header(const SessionHeader& h, std::vector<std::uint8_t>& out) {
+  if (h.hops.size() > kMaxHops) {
+    throw std::length_error("LSL route exceeds kMaxHops");
+  }
+  out.reserve(out.size() + h.encoded_size());
+  out.insert(out.end(), kMagic, kMagic + 4);
+  out.push_back(kVersion);
+  out.push_back(h.flags);
+  put_u16(out, static_cast<std::uint16_t>(h.hops.size()));
+  out.insert(out.end(), h.session.bytes().begin(), h.session.bytes().end());
+  put_u64(out, h.payload_length);
+  put_u64(out, h.resume_offset);
+  for (const HopAddress& hop : h.hops) {
+    put_u32(out, hop.addr);
+    put_u16(out, hop.port);
+  }
+  put_u32(out, h.destination.addr);
+  put_u16(out, h.destination.port);
+}
+
+std::optional<std::size_t> header_length(
+    std::span<const std::uint8_t> prefix) {
+  if (prefix.size() < kHeaderPrefixBytes) return std::nullopt;
+  if (std::memcmp(prefix.data(), kMagic, 4) != 0) return std::nullopt;
+  if (prefix[4] != kVersion) return std::nullopt;
+  const std::uint16_t hops = get_u16(prefix.data() + 6);
+  if (hops > kMaxHops) return std::nullopt;
+  return 46 + 6 * static_cast<std::size_t>(hops);
+}
+
+std::optional<SessionHeader> decode_header(std::span<const std::uint8_t> buf) {
+  const auto len = header_length(buf);
+  if (!len || buf.size() < *len) return std::nullopt;
+
+  SessionHeader h;
+  h.flags = buf[5];
+  const std::uint16_t hop_count = get_u16(buf.data() + 6);
+  std::array<std::uint8_t, 16> id{};
+  std::memcpy(id.data(), buf.data() + 8, 16);
+  h.session = SessionId(id);
+  h.payload_length = get_u64(buf.data() + 24);
+  h.resume_offset = get_u64(buf.data() + 32);
+  const std::uint8_t* p = buf.data() + 40;
+  h.hops.reserve(hop_count);
+  for (std::uint16_t i = 0; i < hop_count; ++i) {
+    h.hops.push_back({get_u32(p), get_u16(p + 4)});
+    p += 6;
+  }
+  h.destination = {get_u32(p), get_u16(p + 4)};
+  return h;
+}
+
+}  // namespace lsl::core

@@ -1,0 +1,110 @@
+// The LSL wire header and its codec.
+//
+// A session's initiator specifies a "loose source route" — the list of
+// depots the flow should cascade through (§III). The header travels as the
+// first bytes of every sublink's byte stream: each depot parses it, pops the
+// next hop, dials onward, and forwards the header with the remaining route
+// before relaying payload. The same codec is used by the simulated depot
+// (src/lsl/depot.*) and the real-socket lsd daemon (src/posix), so the two
+// implementations are wire compatible by construction.
+//
+// Layout (big-endian):
+//   0   4  magic "LSL1"
+//   4   1  version (currently 1)
+//   5   1  flags (SessionFlags bits)
+//   6   2  remaining hop count (excluding final destination)
+//   8  16  session id
+//  24   8  payload length in bytes
+//  32   8  resume offset (first payload byte carried; 0 for new sessions)
+//  40  6*n remaining hops: address(4) + port(2)
+//   ..  6  final destination: address(4) + port(2)
+//
+// "address" is a node id in the simulator and an IPv4 address in the posix
+// implementation — both 32 bits, so headers are layout-identical.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "lsl/session_id.hpp"
+
+namespace lsl::core {
+
+/// One hop of a loose source route: 32-bit address + 16-bit port.
+struct HopAddress {
+  std::uint32_t addr = 0;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const HopAddress&, const HopAddress&) = default;
+};
+
+/// Maximum number of relay hops a header may carry.
+inline constexpr std::size_t kMaxHops = 16;
+
+/// Header flags.
+enum SessionFlags : std::uint8_t {
+  kFlagDigestTrailer = 1u << 0,  ///< MD5 trailer (16 bytes) after payload
+  /// payload_length is advisory only; the stream runs until FIN. Mutually
+  /// exclusive with kFlagDigestTrailer (the trailer needs a known length).
+  kFlagUnboundedStream = 1u << 1,
+  /// This connection resumes an existing session: resume_offset is the
+  /// first payload byte the sender will (re)transmit. A depot holding the
+  /// session re-binds its relay to this connection and discards the
+  /// duplicated prefix — the paper's §III mobility scenario ("transport
+  /// connections may come and go without disrupting the integrity of the
+  /// session-layer handle"; the ultimate server never notices).
+  kFlagResume = 1u << 2,
+};
+
+/// Session completion status byte sent by the sink back to the source just
+/// before it closes: the end-to-end acknowledgment that the stream arrived
+/// intact (or not). A close without a status byte means the session died in
+/// transit (e.g. a depot failed to reach the next hop).
+inline constexpr std::uint8_t kStatusOk = 0x06;    // ASCII ACK
+inline constexpr std::uint8_t kStatusFail = 0x15;  // ASCII NAK
+
+/// The parsed LSL session header.
+struct SessionHeader {
+  SessionId session;
+  std::uint8_t flags = 0;
+  /// Exact payload byte count (headers/trailers excluded); advisory only
+  /// when kFlagUnboundedStream is set.
+  std::uint64_t payload_length = 0;
+  /// First payload byte this connection carries (kFlagResume sessions).
+  std::uint64_t resume_offset = 0;
+  std::vector<HopAddress> hops;         ///< remaining relay depots
+  HopAddress destination;               ///< ultimate sink
+
+  bool has_digest() const { return (flags & kFlagDigestTrailer) != 0; }
+  bool is_resume() const { return (flags & kFlagResume) != 0; }
+
+  /// Next endpoint to dial: the first remaining hop, or the destination.
+  HopAddress next_hop() const { return hops.empty() ? destination : hops[0]; }
+
+  /// The header this node forwards onward (first hop popped).
+  SessionHeader popped() const;
+
+  /// Encoded size of this header in bytes.
+  std::size_t encoded_size() const { return 46 + 6 * hops.size(); }
+};
+
+/// Fixed prefix length needed before the total header length is known.
+inline constexpr std::size_t kHeaderPrefixBytes = 8;
+
+/// Size in bytes of the MD5 digest trailer.
+inline constexpr std::size_t kDigestTrailerBytes = 16;
+
+/// Serialize `h` (appends to `out`). Throws std::length_error if the route
+/// exceeds kMaxHops.
+void encode_header(const SessionHeader& h, std::vector<std::uint8_t>& out);
+
+/// Total header length implied by a prefix of >= kHeaderPrefixBytes bytes;
+/// nullopt if the prefix is malformed (bad magic/version/hop count).
+std::optional<std::size_t> header_length(std::span<const std::uint8_t> prefix);
+
+/// Parse a complete header. nullopt on malformed input.
+std::optional<SessionHeader> decode_header(std::span<const std::uint8_t> buf);
+
+}  // namespace lsl::core

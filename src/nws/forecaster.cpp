@@ -1,0 +1,194 @@
+#include "nws/forecaster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lsl::nws {
+namespace {
+
+class LastValue final : public Predictor {
+ public:
+  LastValue() : name_("last_value") {}
+  const std::string& name() const override { return name_; }
+  double predict(double fallback) const override {
+    return has_ ? last_ : fallback;
+  }
+  void observe(double v) override {
+    last_ = v;
+    has_ = true;
+  }
+
+ private:
+  std::string name_;
+  double last_ = 0.0;
+  bool has_ = false;
+};
+
+class RunningMean final : public Predictor {
+ public:
+  RunningMean() : name_("running_mean") {}
+  const std::string& name() const override { return name_; }
+  double predict(double fallback) const override {
+    return n_ ? sum_ / static_cast<double>(n_) : fallback;
+  }
+  void observe(double v) override {
+    sum_ += v;
+    ++n_;
+  }
+
+ private:
+  std::string name_;
+  double sum_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+class SlidingMean final : public Predictor {
+ public:
+  explicit SlidingMean(std::size_t window)
+      : name_("sliding_mean(" + std::to_string(window) + ")"),
+        window_(std::max<std::size_t>(window, 1)) {}
+  const std::string& name() const override { return name_; }
+  double predict(double fallback) const override {
+    return hist_.empty() ? fallback
+                         : sum_ / static_cast<double>(hist_.size());
+  }
+  void observe(double v) override {
+    hist_.push_back(v);
+    sum_ += v;
+    if (hist_.size() > window_) {
+      sum_ -= hist_.front();
+      hist_.pop_front();
+    }
+  }
+
+ private:
+  std::string name_;
+  std::size_t window_;
+  std::deque<double> hist_;
+  double sum_ = 0.0;
+};
+
+class SlidingMedian final : public Predictor {
+ public:
+  explicit SlidingMedian(std::size_t window)
+      : name_("sliding_median(" + std::to_string(window) + ")"),
+        window_(std::max<std::size_t>(window, 1)) {}
+  const std::string& name() const override { return name_; }
+  double predict(double fallback) const override {
+    if (hist_.empty()) return fallback;
+    std::vector<double> v(hist_.begin(), hist_.end());
+    const std::size_t mid = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + mid, v.end());
+    if (v.size() % 2 == 1) return v[mid];
+    const double hi = v[mid];
+    const double lo = *std::max_element(v.begin(), v.begin() + mid);
+    return (lo + hi) / 2.0;
+  }
+  void observe(double v) override {
+    hist_.push_back(v);
+    if (hist_.size() > window_) hist_.pop_front();
+  }
+
+ private:
+  std::string name_;
+  std::size_t window_;
+  std::deque<double> hist_;
+};
+
+class ExpSmoothing final : public Predictor {
+ public:
+  explicit ExpSmoothing(double alpha)
+      : name_("exp_smoothing(" + std::to_string(alpha) + ")"),
+        alpha_(std::clamp(alpha, 1e-6, 1.0)) {}
+  const std::string& name() const override { return name_; }
+  double predict(double fallback) const override {
+    return has_ ? value_ : fallback;
+  }
+  void observe(double v) override {
+    value_ = has_ ? alpha_ * v + (1.0 - alpha_) * value_ : v;
+    has_ = true;
+  }
+
+ private:
+  std::string name_;
+  double alpha_;
+  double value_ = 0.0;
+  bool has_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Predictor> make_last_value() {
+  return std::make_unique<LastValue>();
+}
+std::unique_ptr<Predictor> make_running_mean() {
+  return std::make_unique<RunningMean>();
+}
+std::unique_ptr<Predictor> make_sliding_mean(std::size_t window) {
+  return std::make_unique<SlidingMean>(window);
+}
+std::unique_ptr<Predictor> make_sliding_median(std::size_t window) {
+  return std::make_unique<SlidingMedian>(window);
+}
+std::unique_ptr<Predictor> make_exp_smoothing(double alpha) {
+  return std::make_unique<ExpSmoothing>(alpha);
+}
+
+Forecaster::Forecaster() {
+  battery_.push_back({make_last_value(), 0.0});
+  battery_.push_back({make_running_mean(), 0.0});
+  battery_.push_back({make_sliding_mean(5), 0.0});
+  battery_.push_back({make_sliding_mean(31), 0.0});
+  battery_.push_back({make_sliding_median(5), 0.0});
+  battery_.push_back({make_sliding_median(31), 0.0});
+  battery_.push_back({make_exp_smoothing(0.25), 0.0});
+  battery_.push_back({make_exp_smoothing(0.5), 0.0});
+}
+
+Forecaster::Forecaster(std::vector<std::unique_ptr<Predictor>> battery) {
+  if (battery.empty()) {
+    throw std::invalid_argument("Forecaster: empty predictor battery");
+  }
+  for (auto& p : battery) battery_.push_back({std::move(p), 0.0});
+}
+
+void Forecaster::observe(double value) {
+  // Score each predictor's standing forecast against the new truth, then
+  // let it learn the value.
+  for (Entry& e : battery_) {
+    if (count_ > 0) {
+      const double err = e.predictor->predict(last_) - value;
+      e.squared_error_sum += err * err;
+    }
+    e.predictor->observe(value);
+  }
+  last_ = value;
+  ++count_;
+}
+
+std::size_t Forecaster::best_index() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < battery_.size(); ++i) {
+    if (battery_[i].squared_error_sum < battery_[best].squared_error_sum) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+double Forecaster::predict() const {
+  if (count_ == 0) return 0.0;
+  return battery_[best_index()].predictor->predict(last_);
+}
+
+const std::string& Forecaster::best_predictor() const {
+  return battery_[best_index()].predictor->name();
+}
+
+double Forecaster::best_mse() const {
+  if (count_ < 2) return 0.0;
+  return battery_[best_index()].squared_error_sum /
+         static_cast<double>(count_ - 1);
+}
+
+}  // namespace lsl::nws

@@ -1,0 +1,91 @@
+// Network Weather Service-style time-series forecasting.
+//
+// The paper assumes "LSL clients and depots ... have network performance
+// information available from a system such as the Network Weather Service,
+// in order to make decisions about paths" (§III). This module implements the
+// NWS forecasting architecture (Wolski, Cluster Computing 1998): a family of
+// simple predictors run side by side over the measurement history, and an
+// adaptive selector that, for each prediction, answers with the predictor
+// whose past forecasts have the lowest accumulated error. src/lsl/selector.*
+// builds depot/path choice on top of these forecasts.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lsl::nws {
+
+/// Interface of one forecasting method over a scalar measurement stream.
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Name for reports ("sliding_median(31)").
+  virtual const std::string& name() const = 0;
+
+  /// Current forecast of the next measurement; `fallback` until the method
+  /// has enough history.
+  virtual double predict(double fallback) const = 0;
+
+  /// Fold in an observed measurement.
+  virtual void observe(double value) = 0;
+};
+
+/// Forecasts the most recent measurement (persistence model).
+std::unique_ptr<Predictor> make_last_value();
+
+/// Forecasts the mean of the entire history.
+std::unique_ptr<Predictor> make_running_mean();
+
+/// Forecasts the mean of the last `window` measurements.
+std::unique_ptr<Predictor> make_sliding_mean(std::size_t window);
+
+/// Forecasts the median of the last `window` measurements.
+std::unique_ptr<Predictor> make_sliding_median(std::size_t window);
+
+/// Exponential smoothing with gain `alpha` in (0, 1].
+std::unique_ptr<Predictor> make_exp_smoothing(double alpha);
+
+/// The NWS adaptive forecaster: runs every registered predictor in parallel
+/// and answers with the one whose historical mean-squared error is lowest.
+class Forecaster {
+ public:
+  /// Constructs with the standard NWS predictor battery (last value, running
+  /// mean, sliding mean/median at several windows, exponential smoothing at
+  /// several gains).
+  Forecaster();
+
+  /// Constructs with a caller-supplied battery (must be non-empty).
+  explicit Forecaster(std::vector<std::unique_ptr<Predictor>> battery);
+
+  /// Record a new measurement; updates every predictor's error history.
+  void observe(double value);
+
+  /// Forecast of the next measurement. Before any observation, returns 0.
+  double predict() const;
+
+  /// Name of the predictor currently winning the error tournament.
+  const std::string& best_predictor() const;
+
+  /// Mean squared error of the winning predictor so far.
+  double best_mse() const;
+
+  /// Number of observations folded in.
+  std::size_t observations() const { return count_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<Predictor> predictor;
+    double squared_error_sum = 0.0;
+  };
+  std::size_t best_index() const;
+
+  std::vector<Entry> battery_;
+  std::size_t count_ = 0;
+  double last_ = 0.0;
+};
+
+}  // namespace lsl::nws

@@ -1,0 +1,315 @@
+#include "posix/client.hpp"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cstring>
+#include <random>
+#include <system_error>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace lsl::posix {
+
+// --- PosixSource -------------------------------------------------------------
+
+PosixSource::PosixSource(EpollLoop& loop, PosixSourceConfig config)
+    : loop_(loop),
+      config_(std::move(config)),
+      generator_(config_.payload_seed) {}
+
+PosixSource::~PosixSource() {
+  if (sock_.valid()) loop_.remove(sock_.get());
+}
+
+void PosixSource::start() {
+  payload_left_ = config_.payload_bytes;
+
+  const bool use_header = !config_.route.empty() || config_.send_digest;
+  if (use_header) {
+    core::SessionHeader h;
+    util::Rng rng(config_.payload_seed ^ 0xabcdef);
+    h.session = core::SessionId::generate(rng);
+    if (config_.send_digest) h.flags |= core::kFlagDigestTrailer;
+    h.payload_length = config_.payload_bytes;
+    for (std::size_t i = 1; i < config_.route.size(); ++i) {
+      h.hops.push_back({config_.route[i].addr, config_.route[i].port});
+    }
+    h.destination = {config_.destination.addr, config_.destination.port};
+    core::encode_header(h, staged_);
+  }
+
+  const InetAddress first =
+      config_.route.empty() ? config_.destination : config_.route[0];
+  sock_ = connect_tcp(first);
+  if (!sock_.valid()) {
+    finish(false);
+    return;
+  }
+  connecting_ = true;
+  loop_.add(sock_.get(), EPOLLOUT | EPOLLIN,
+            [this](std::uint32_t ev) { on_io(ev); });
+}
+
+void PosixSource::on_io(std::uint32_t events) {
+  if (connecting_) {
+    const int err = connect_result(sock_.get());
+    if (err != 0) {
+      LSL_LOG_WARN("source: connect failed: %s", std::strerror(err));
+      finish(false);
+      return;
+    }
+    connecting_ = false;
+  }
+  if (events & EPOLLERR) {
+    finish(false);
+    return;
+  }
+  if (events & EPOLLIN) {
+    // The sink sends a one-byte end-to-end status before closing; a close
+    // without it means the session died in transit.
+    std::uint8_t buf[256];
+    const long n = read_some(sock_.get(), buf, sizeof(buf));
+    if (n > 0) status_ = buf[static_cast<std::size_t>(n) - 1];
+    if (n == 0) {
+      finish(write_done_ && status_ == core::kStatusOk);
+      return;
+    }
+    if (n == -2) {
+      finish(false);
+      return;
+    }
+  }
+  pump();
+}
+
+void PosixSource::pump() {
+  if (finished_ || write_done_) return;
+  for (;;) {
+    // Flush the staged buffer.
+    while (staged_off_ < staged_.size()) {
+      const long n = write_some(sock_.get(), staged_.data() + staged_off_,
+                                staged_.size() - staged_off_);
+      if (n < 0) {
+        finish(false);
+        return;
+      }
+      if (n == 0) return;  // kernel buffer full; EPOLLOUT re-arms us
+      staged_off_ += static_cast<std::size_t>(n);
+    }
+    staged_.clear();
+    staged_off_ = 0;
+
+    // Refill with payload or trailer.
+    if (payload_left_ > 0) {
+      const std::size_t chunk = static_cast<std::size_t>(
+          std::min<std::uint64_t>(payload_left_, 64 * 1024));
+      staged_.resize(chunk);
+      generator_.generate(staged_);
+      hasher_.update(std::span<const std::uint8_t>(staged_.data(), chunk));
+      if (config_.corrupt_one_byte && !corrupted_yet_) {
+        staged_[chunk / 2] ^= 0xff;  // after hashing: wire differs from hash
+        corrupted_yet_ = true;
+      }
+      payload_left_ -= chunk;
+      continue;
+    }
+    if (config_.send_digest && !trailer_sent_) {
+      const md5::Digest d = hasher_.finalize();
+      staged_.assign(d.bytes.begin(), d.bytes.end());
+      trailer_sent_ = true;
+      continue;
+    }
+    break;
+  }
+  // Everything written: half-close and await the sink's close.
+  ::shutdown(sock_.get(), SHUT_WR);
+  write_done_ = true;
+  loop_.modify(sock_.get(), EPOLLIN);
+}
+
+void PosixSource::finish(bool ok) {
+  if (finished_) return;
+  finished_ = true;
+  if (sock_.valid()) {
+    loop_.remove(sock_.get());
+    sock_.reset();
+  }
+  if (on_done) on_done(ok);
+}
+
+// --- PosixSinkServer ---------------------------------------------------------
+
+struct PosixSinkServer::Conn {
+  Fd sock;
+  std::chrono::steady_clock::time_point accepted_at;
+  std::vector<std::uint8_t> header_buf;
+  std::optional<core::SessionHeader> header;
+  bool header_done = false;
+  std::uint64_t payload_received = 0;
+  core::PayloadVerifier verifier;
+  std::vector<std::uint8_t> trailer;
+  bool failed = false;
+
+  Conn(std::uint64_t seed, bool check_content)
+      : verifier(seed, check_content) {}
+};
+
+PosixSinkServer::PosixSinkServer(EpollLoop& loop, const InetAddress& bind,
+                                 bool expect_header,
+                                 std::uint64_t payload_seed,
+                                 bool verify_content)
+    : loop_(loop),
+      expect_header_(expect_header),
+      payload_seed_(payload_seed),
+      verify_content_(verify_content) {
+  listener_ = listen_tcp(bind, 64, &port_);
+  if (!listener_.valid()) {
+    throw std::system_error(errno, std::generic_category(), "sink: bind");
+  }
+  loop_.add(listener_.get(), EPOLLIN, [this](std::uint32_t) { on_accept(); });
+}
+
+PosixSinkServer::~PosixSinkServer() {
+  if (listener_.valid()) loop_.remove(listener_.get());
+  for (auto& c : conns_) {
+    if (c->sock.valid()) loop_.remove(c->sock.get());
+  }
+}
+
+void PosixSinkServer::on_accept() {
+  for (;;) {
+    Fd conn = accept_connection(listener_.get());
+    if (!conn.valid()) return;
+    auto c = std::make_unique<Conn>(payload_seed_, verify_content_);
+    c->sock = std::move(conn);
+    c->accepted_at = std::chrono::steady_clock::now();
+    if (!expect_header_) c->header_done = true;
+    Conn* cp = c.get();
+    loop_.add(cp->sock.get(), EPOLLIN,
+              [this, cp](std::uint32_t) { on_readable(cp); });
+    conns_.push_back(std::move(c));
+  }
+}
+
+void PosixSinkServer::on_readable(Conn* c) {
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    // Header phase reads exactly what the header needs.
+    if (!c->header_done) {
+      std::size_t want = core::kHeaderPrefixBytes > c->header_buf.size()
+                             ? core::kHeaderPrefixBytes - c->header_buf.size()
+                             : 0;
+      if (want == 0) {
+        const auto len = core::header_length(c->header_buf);
+        if (!len) {
+          c->failed = true;
+          finish(c);
+          return;
+        }
+        if (c->header_buf.size() >= *len) {
+          c->header = core::decode_header(c->header_buf);
+          c->header_done = true;
+          continue;
+        }
+        want = *len - c->header_buf.size();
+      }
+      const long n =
+          read_some(c->sock.get(), buf, std::min(want, sizeof(buf)));
+      if (n == 0) {
+        c->failed = true;
+        finish(c);
+        return;
+      }
+      if (n < 0) {
+        if (n == -2) {
+          c->failed = true;
+          finish(c);
+        }
+        return;
+      }
+      c->header_buf.insert(c->header_buf.end(), buf, buf + n);
+      continue;
+    }
+
+    // Payload / trailer phase. With a header, payload_length is exact
+    // (unless the unbounded-stream flag is set); headerless raw transfers
+    // run until FIN.
+    const bool digest = c->header && c->header->has_digest();
+    const bool bounded =
+        c->header &&
+        (c->header->flags & core::kFlagUnboundedStream) == 0;
+    const std::uint64_t payload_total =
+        bounded ? c->header->payload_length : ~std::uint64_t{0};
+    std::size_t want = sizeof(buf);
+    if (c->payload_received < payload_total) {
+      want = static_cast<std::size_t>(std::min<std::uint64_t>(
+          payload_total - c->payload_received, sizeof(buf)));
+    } else if (digest) {
+      want = core::kDigestTrailerBytes - c->trailer.size();
+      if (want == 0) want = sizeof(buf);  // drain unexpected surplus
+    }
+    const long n = read_some(c->sock.get(), buf, want);
+    if (n == 0) {
+      finish(c);
+      return;
+    }
+    if (n < 0) {
+      if (n == -2) {
+        c->failed = true;
+        finish(c);
+      }
+      return;
+    }
+    if (c->payload_received < payload_total) {
+      c->verifier.feed(std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+      c->payload_received += static_cast<std::uint64_t>(n);
+    } else if (digest && c->trailer.size() < core::kDigestTrailerBytes) {
+      c->trailer.insert(c->trailer.end(), buf, buf + n);
+    }
+  }
+}
+
+void PosixSinkServer::finish(Conn* c) {
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - c->accepted_at)
+                           .count();
+  SinkResult res;
+  res.payload_bytes = c->payload_received;
+  res.seconds = elapsed;
+  res.header = c->header;
+
+  bool ok = !c->failed && c->verifier.ok();
+  if (ok && c->header) {
+    if ((c->header->flags & core::kFlagUnboundedStream) == 0 &&
+        c->payload_received != c->header->payload_length) {
+      ok = false;
+    }
+    if (c->header->has_digest()) {
+      if (c->trailer.size() == core::kDigestTrailerBytes) {
+        md5::Digest expect;
+        std::copy(c->trailer.begin(), c->trailer.end(), expect.bytes.begin());
+        ok = ok && (c->verifier.digest() == expect);
+      } else {
+        ok = false;
+      }
+    }
+  }
+  res.verified = ok;
+
+  // End-to-end status byte, then close: the source's completion signal.
+  const std::uint8_t status = ok ? core::kStatusOk : core::kStatusFail;
+  write_some(c->sock.get(), &status, 1);
+  loop_.remove(c->sock.get());
+  c->sock.reset();
+
+  if (on_complete) on_complete(res);
+
+  conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                              [c](const auto& p) { return p.get() == c; }),
+               conns_.end());
+}
+
+}  // namespace lsl::posix

@@ -1,0 +1,122 @@
+// Real-socket LSL endpoints: a session source that streams a deterministic
+// payload through a depot route with an MD5 trailer, and a sink server that
+// receives, verifies and timestamps sessions. Both are nonblocking apps on
+// an EpollLoop, so a full cascade (source -> lsd -> lsd -> sink) runs in a
+// single process over loopback — which is exactly how the posix integration
+// tests and the lsd_relay example drive them.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lsl/payload.hpp"
+#include "lsl/session_id.hpp"
+#include "lsl/wire.hpp"
+#include "md5/md5.hpp"
+#include "posix/epoll_loop.hpp"
+#include "posix/socket_util.hpp"
+
+namespace lsl::posix {
+
+/// Source configuration.
+struct PosixSourceConfig {
+  /// Depot hops to cascade through (may be empty = direct to destination).
+  std::vector<InetAddress> route;
+  InetAddress destination;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t payload_seed = 1;
+  bool send_digest = true;
+  /// Failure injection: flip one payload byte so the sink's MD5 check must
+  /// fail (tests the end-to-end integrity path).
+  bool corrupt_one_byte = false;
+};
+
+/// Streams one LSL session (or a raw TCP transfer when route is empty and
+/// send_digest is false — then no header is sent either).
+class PosixSource {
+ public:
+  PosixSource(EpollLoop& loop, PosixSourceConfig config);
+  ~PosixSource();
+
+  PosixSource(const PosixSource&) = delete;
+  PosixSource& operator=(const PosixSource&) = delete;
+
+  /// Connect and start streaming. on_done(ok) fires when the peer confirms
+  /// completion by closing the connection after our FIN.
+  void start();
+
+  /// Completion callback: `ok` is false on any socket/protocol error.
+  std::function<void(bool ok)> on_done;
+
+  bool finished() const { return finished_; }
+
+ private:
+  void on_io(std::uint32_t events);
+  void pump();
+  void finish(bool ok);
+
+  EpollLoop& loop_;
+  PosixSourceConfig config_;
+  Fd sock_;
+  bool connecting_ = false;
+  bool write_done_ = false;
+  bool finished_ = false;
+
+  std::vector<std::uint8_t> staged_;  ///< header, then refilled chunks
+  std::size_t staged_off_ = 0;
+  std::uint64_t payload_left_ = 0;
+  core::PayloadGenerator generator_;
+  md5::Md5 hasher_;
+  bool trailer_sent_ = false;
+  bool corrupted_yet_ = false;
+  std::uint8_t status_ = 0;  ///< sink's end-to-end status byte
+};
+
+/// Result of one received session.
+struct SinkResult {
+  bool verified = false;        ///< content + digest matched
+  std::uint64_t payload_bytes = 0;
+  double seconds = 0.0;         ///< accept -> completion wall time
+  std::optional<core::SessionHeader> header;
+};
+
+/// Accepts sessions and verifies their payload streams.
+class PosixSinkServer {
+ public:
+  /// Binds immediately (throws std::system_error on failure). Sessions are
+  /// expected to carry an LSL header iff `expect_header`. With
+  /// `verify_content` false, only the MD5 trailer is checked (arbitrary
+  /// payloads); otherwise bytes are also compared against the generator
+  /// stream seeded with `payload_seed`.
+  PosixSinkServer(EpollLoop& loop, const InetAddress& bind, bool expect_header,
+                  std::uint64_t payload_seed, bool verify_content = true);
+  ~PosixSinkServer();
+
+  PosixSinkServer(const PosixSinkServer&) = delete;
+  PosixSinkServer& operator=(const PosixSinkServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Fires once per completed session.
+  std::function<void(const SinkResult&)> on_complete;
+
+ private:
+  struct Conn;
+  void on_accept();
+  void on_readable(Conn* c);
+  void finish(Conn* c);
+
+  EpollLoop& loop_;
+  bool expect_header_;
+  std::uint64_t payload_seed_;
+  bool verify_content_;
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace lsl::posix

@@ -1,0 +1,68 @@
+#include "posix/epoll_loop.hpp"
+
+#include <sys/epoll.h>
+
+#include <array>
+#include <cerrno>
+#include <stdexcept>
+#include <system_error>
+
+namespace lsl::posix {
+
+EpollLoop::EpollLoop() : epoll_(::epoll_create1(EPOLL_CLOEXEC)) {
+  if (!epoll_.valid()) {
+    throw std::system_error(errno, std::generic_category(), "epoll_create1");
+  }
+}
+
+void EpollLoop::add(int fd, std::uint32_t events, IoCallback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw std::system_error(errno, std::generic_category(), "epoll_ctl ADD");
+  }
+  callbacks_[fd] = std::move(cb);
+}
+
+void EpollLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw std::system_error(errno, std::generic_category(), "epoll_ctl MOD");
+  }
+}
+
+void EpollLoop::remove(int fd) {
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+int EpollLoop::run_once(int timeout_ms) {
+  std::array<epoll_event, 64> events;
+  const int n = ::epoll_wait(epoll_.get(), events.data(),
+                             static_cast<int>(events.size()), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return -1;
+    throw std::system_error(errno, std::generic_category(), "epoll_wait");
+  }
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[static_cast<std::size_t>(i)].data.fd;
+    const auto it = callbacks_.find(fd);
+    if (it == callbacks_.end()) continue;  // removed by an earlier callback
+    // Copy: the callback may remove (and thus invalidate) its own entry.
+    IoCallback cb = it->second;
+    cb(events[static_cast<std::size_t>(i)].events);
+  }
+  return n;
+}
+
+void EpollLoop::run() {
+  stopped_ = false;
+  while (!stopped_ && !callbacks_.empty()) {
+    run_once(-1);
+  }
+}
+
+}  // namespace lsl::posix

@@ -1,0 +1,57 @@
+// Single-threaded epoll event loop.
+//
+// The real-socket half of the repository (the lsd daemon, the posix client
+// and sink) is written against this loop so a whole relay chain — client,
+// several depots, sink — can run in one process over loopback, mirroring
+// how the simulated apps share one event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "posix/fd.hpp"
+
+namespace lsl::posix {
+
+/// Edge-triggered-free (level-triggered) epoll wrapper.
+class EpollLoop {
+ public:
+  /// Callback receives the ready EPOLL* event mask.
+  using IoCallback = std::function<void(std::uint32_t events)>;
+
+  EpollLoop();
+  ~EpollLoop() = default;
+
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  /// Register `fd` for `events` (EPOLLIN/EPOLLOUT/...). The callback stays
+  /// installed until remove().
+  void add(int fd, std::uint32_t events, IoCallback cb);
+
+  /// Change the interest mask of a registered fd.
+  void modify(int fd, std::uint32_t events);
+
+  /// Deregister; safe to call from inside the fd's own callback.
+  void remove(int fd);
+
+  /// Dispatch ready events once, waiting up to `timeout_ms` (-1 = forever).
+  /// Returns the number of events handled, or -1 on EINTR.
+  int run_once(int timeout_ms = -1);
+
+  /// Loop until stop() is called or no fds remain registered.
+  void run();
+
+  /// Make run() return after the current dispatch round.
+  void stop() { stopped_ = true; }
+
+  std::size_t watched_count() const { return callbacks_.size(); }
+
+ private:
+  Fd epoll_;
+  std::unordered_map<int, IoCallback> callbacks_;
+  bool stopped_ = false;
+};
+
+}  // namespace lsl::posix

@@ -1,0 +1,309 @@
+#include "posix/lsd.hpp"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cstring>
+#include <system_error>
+
+#include "util/log.hpp"
+
+namespace lsl::posix {
+
+/// Per-session relay state machine.
+struct Lsd::Relay {
+  Fd up;
+  Fd down;
+
+  // Header ingest.
+  std::vector<std::uint8_t> header_buf;
+  core::SessionHeader header;
+  bool header_done = false;
+
+  // Downstream connection.
+  bool down_connecting = false;
+  bool down_connected = false;
+
+  // Forwarded header.
+  std::vector<std::uint8_t> fwd;
+  std::size_t fwd_off = 0;
+
+  // Bounded relay ring buffer.
+  std::vector<std::uint8_t> ring;
+  std::size_t head = 0;  ///< read position
+  std::size_t size = 0;  ///< bytes buffered
+
+  bool up_eof = false;
+  bool flushed = false;  ///< EOF propagated downstream (SHUT_WR sent)
+
+  // Reverse path (sink -> source): the end-to-end status byte and any
+  // other upstream-bound traffic are relayed back verbatim.
+  std::vector<std::uint8_t> rev;
+  std::size_t rev_off = 0;
+
+  // Current epoll interest, to avoid redundant epoll_ctl calls.
+  std::uint32_t up_events = 0;
+  std::uint32_t down_events = 0;
+
+  std::size_t space() const { return ring.size() - size; }
+};
+
+Lsd::Lsd(EpollLoop& loop, const LsdConfig& config)
+    : loop_(loop), config_(config) {
+  listener_ = listen_tcp(config_.bind, 64, &port_);
+  if (!listener_.valid()) {
+    throw std::system_error(errno, std::generic_category(), "lsd: bind");
+  }
+  loop_.add(listener_.get(), EPOLLIN, [this](std::uint32_t) { on_accept(); });
+  LSL_LOG_INFO("lsd: listening on %s",
+               InetAddress{config_.bind.addr, port_}.to_string().c_str());
+}
+
+Lsd::~Lsd() { shutdown(); }
+
+void Lsd::shutdown() {
+  if (listener_.valid()) {
+    loop_.remove(listener_.get());
+    listener_.reset();
+  }
+  while (!relays_.empty()) {
+    finish(*relays_.begin(), false);
+  }
+}
+
+void Lsd::on_accept() {
+  for (;;) {
+    Fd conn = accept_connection(listener_.get());
+    if (!conn.valid()) return;
+    ++stats_.sessions_accepted;
+    auto* r = new Relay();
+    r->up = std::move(conn);
+    r->ring.resize(config_.buffer_bytes);
+    relays_.insert(r);
+    r->up_events = EPOLLIN;
+    loop_.add(r->up.get(), EPOLLIN,
+              [this, r](std::uint32_t ev) { on_upstream(r, ev); });
+  }
+}
+
+void Lsd::on_upstream(Relay* r, std::uint32_t events) {
+  if (events & EPOLLOUT) flush_reverse(r);
+  if (events & (EPOLLERR | EPOLLHUP)) {
+    // EPOLLHUP with pending data still allows reads; try to pump first.
+    pump_upstream(r);
+    if (!r->up_eof && (events & EPOLLERR)) finish(r, false);
+    return;
+  }
+  pump_upstream(r);
+}
+
+void Lsd::flush_reverse(Relay* r) {
+  while (r->rev_off < r->rev.size()) {
+    const long n = write_some(r->up.get(), r->rev.data() + r->rev_off,
+                              r->rev.size() - r->rev_off);
+    if (n < 0) {
+      finish(r, false);
+      return;
+    }
+    if (n == 0) break;  // upstream send buffer full; EPOLLOUT re-arms
+    r->rev_off += static_cast<std::size_t>(n);
+  }
+  if (r->rev_off == r->rev.size()) {
+    r->rev.clear();
+    r->rev_off = 0;
+  }
+  update_interest(r);
+}
+
+void Lsd::on_downstream(Relay* r, std::uint32_t events) {
+  if (r->down_connecting) {
+    const int err = connect_result(r->down.get());
+    if (err != 0) {
+      LSL_LOG_WARN("lsd: downstream connect failed: %s", std::strerror(err));
+      finish(r, false);
+      return;
+    }
+    r->down_connecting = false;
+    r->down_connected = true;
+  }
+  if (events & EPOLLERR) {
+    finish(r, false);
+    return;
+  }
+  if (events & EPOLLIN) {
+    // Reverse-path traffic (the sink's end-to-end status byte) is relayed
+    // back to the upstream peer verbatim; EOF completes the session.
+    std::uint8_t buf[4096];
+    for (;;) {
+      const long n = read_some(r->down.get(), buf, sizeof(buf));
+      if (n == 0) {
+        flush_reverse(r);
+        finish(r, r->flushed);
+        return;
+      }
+      if (n < 0) break;  // EAGAIN (-1) or error (-2: treat on next event)
+      r->rev.insert(r->rev.end(), buf, buf + n);
+    }
+    flush_reverse(r);
+  }
+  pump_downstream(r);
+}
+
+void Lsd::pump_upstream(Relay* r) {
+  // Phase 1: header bytes.
+  while (!r->header_done) {
+    std::uint8_t tmp[512];
+    std::size_t want = core::kHeaderPrefixBytes > r->header_buf.size()
+                           ? core::kHeaderPrefixBytes - r->header_buf.size()
+                           : 0;
+    if (want == 0) {
+      const auto len = core::header_length(r->header_buf);
+      if (!len) {
+        LSL_LOG_WARN("lsd: malformed session header");
+        finish(r, false);
+        return;
+      }
+      if (r->header_buf.size() >= *len) {
+        const auto h = core::decode_header(r->header_buf);
+        if (!h) {
+          finish(r, false);
+          return;
+        }
+        r->header = *h;
+        r->header_done = true;
+
+        // Dial onward and stage the popped header.
+        const core::HopAddress next = r->header.next_hop();
+        core::encode_header(r->header.popped(), r->fwd);
+        r->down = connect_tcp(InetAddress{next.addr, next.port});
+        if (!r->down.valid()) {
+          finish(r, false);
+          return;
+        }
+        r->down_connecting = true;
+        r->down_events = EPOLLOUT | EPOLLIN;
+        loop_.add(r->down.get(), r->down_events,
+                  [this, rp = r](std::uint32_t ev) { on_downstream(rp, ev); });
+        break;
+      }
+      want = *len - r->header_buf.size();
+    }
+    const long n = read_some(r->up.get(), tmp, std::min(want, sizeof(tmp)));
+    if (n == 0) {
+      finish(r, false);  // EOF mid-header
+      return;
+    }
+    if (n < 0) {
+      if (n == -2) finish(r, false);
+      return;
+    }
+    r->header_buf.insert(r->header_buf.end(), tmp, tmp + n);
+  }
+
+  // Phase 2: payload into the ring.
+  while (!r->up_eof && r->space() > 0) {
+    const std::size_t tail = (r->head + r->size) % r->ring.size();
+    const std::size_t contig =
+        std::min(r->space(), r->ring.size() - tail);
+    const long n = read_some(r->up.get(), r->ring.data() + tail, contig);
+    if (n == 0) {
+      r->up_eof = true;
+      break;
+    }
+    if (n < 0) {
+      if (n == -2) {
+        finish(r, false);
+        return;
+      }
+      break;  // EAGAIN
+    }
+    r->size += static_cast<std::size_t>(n);
+  }
+
+  pump_downstream(r);
+  update_interest(r);
+}
+
+void Lsd::pump_downstream(Relay* r) {
+  if (!r->down_connected) return;
+
+  // Forwarded header first.
+  while (r->fwd_off < r->fwd.size()) {
+    const long n = write_some(r->down.get(), r->fwd.data() + r->fwd_off,
+                              r->fwd.size() - r->fwd_off);
+    if (n < 0) {
+      finish(r, false);
+      return;
+    }
+    if (n == 0) {
+      update_interest(r);
+      return;
+    }
+    r->fwd_off += static_cast<std::size_t>(n);
+  }
+
+  // Then ring contents.
+  while (r->size > 0) {
+    const std::size_t contig = std::min(r->size, r->ring.size() - r->head);
+    const long n = write_some(r->down.get(), r->ring.data() + r->head, contig);
+    if (n < 0) {
+      finish(r, false);
+      return;
+    }
+    if (n == 0) break;  // downstream full
+    r->head = (r->head + static_cast<std::size_t>(n)) % r->ring.size();
+    r->size -= static_cast<std::size_t>(n);
+    stats_.bytes_relayed += static_cast<std::uint64_t>(n);
+  }
+
+  // Propagate EOF once everything is flushed.
+  if (r->up_eof && r->size == 0 && r->fwd_off == r->fwd.size() &&
+      !r->flushed) {
+    ::shutdown(r->down.get(), SHUT_WR);
+    r->flushed = true;
+    // Relay completion is confirmed when the downstream peer closes
+    // (on_downstream sees EOF); the upstream socket stays open until then.
+  }
+  update_interest(r);
+}
+
+void Lsd::update_interest(Relay* r) {
+  // Upstream: read while there is buffer space and no EOF; write when
+  // reverse-path bytes are pending.
+  std::uint32_t up_want =
+      (!r->up_eof && (r->space() > 0 || !r->header_done))
+          ? static_cast<std::uint32_t>(EPOLLIN)
+          : 0u;
+  if (r->rev_off < r->rev.size()) up_want |= EPOLLOUT;
+  if (r->up.valid() && up_want != r->up_events) {
+    loop_.modify(r->up.get(), up_want);
+    r->up_events = up_want;
+  }
+  // Downstream: write while anything is staged; always watch for EOF/err.
+  if (r->down.valid() && r->down_connected) {
+    std::uint32_t down_want = EPOLLIN;
+    if (r->size > 0 || r->fwd_off < r->fwd.size() ||
+        (r->up_eof && !r->flushed)) {
+      down_want |= EPOLLOUT;
+    }
+    if (down_want != r->down_events) {
+      loop_.modify(r->down.get(), down_want);
+      r->down_events = down_want;
+    }
+  }
+}
+
+void Lsd::finish(Relay* r, bool ok) {
+  if (relays_.erase(r) == 0) return;  // already finished
+  if (ok) {
+    ++stats_.sessions_completed;
+  } else {
+    ++stats_.sessions_failed;
+  }
+  if (r->up.valid()) loop_.remove(r->up.get());
+  if (r->down.valid()) loop_.remove(r->down.get());
+  delete r;
+}
+
+}  // namespace lsl::posix

@@ -1,0 +1,83 @@
+// lsd — the Logistical Session Layer forwarding daemon, on real sockets.
+//
+// This is the artifact the paper describes in §IV.A: a user-level process,
+// running without privileges, that "very simply establishes a transport to
+// transport binding based on the LSL header information". It accepts a
+// session connection, reads the LSL header (src/lsl/wire.hpp — the same
+// codec the simulator uses, so the two are wire compatible), dials the next
+// hop of the loose source route, forwards the popped header, and then
+// relays bytes through a bounded ring buffer. When the buffer fills, it
+// stops reading and lets TCP flow control push back on the upstream
+// sublink — the hop-by-hop buffering the paper replaces end-to-end
+// buffering with.
+//
+// Single-threaded, nonblocking, driven by an EpollLoop; multiple relays
+// multiplex over one loop, and several Lsd instances (a cascade) can share
+// a loop in one process for testing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "lsl/wire.hpp"
+#include "posix/epoll_loop.hpp"
+#include "posix/socket_util.hpp"
+
+namespace lsl::posix {
+
+/// Daemon configuration.
+struct LsdConfig {
+  InetAddress bind = InetAddress::loopback(0);  ///< port 0 = ephemeral
+  std::size_t buffer_bytes = 1024 * 1024;       ///< per-session relay ring
+};
+
+/// Daemon counters.
+struct LsdStats {
+  std::uint64_t sessions_accepted = 0;
+  std::uint64_t sessions_completed = 0;
+  std::uint64_t sessions_failed = 0;
+  std::uint64_t bytes_relayed = 0;
+};
+
+/// One forwarding daemon instance.
+class Lsd {
+ public:
+  /// Binds and starts listening immediately; throws std::system_error if
+  /// the socket cannot be bound.
+  Lsd(EpollLoop& loop, const LsdConfig& config);
+  ~Lsd();
+
+  Lsd(const Lsd&) = delete;
+  Lsd& operator=(const Lsd&) = delete;
+
+  /// Actual bound port (after ephemeral resolution).
+  std::uint16_t port() const { return port_; }
+
+  const LsdStats& stats() const { return stats_; }
+
+  /// Stop accepting and tear down all live relays.
+  void shutdown();
+
+ private:
+  struct Relay;
+
+  void on_accept();
+  void on_upstream(Relay* r, std::uint32_t events);
+  void on_downstream(Relay* r, std::uint32_t events);
+  void pump_upstream(Relay* r);
+  void pump_downstream(Relay* r);
+  void flush_reverse(Relay* r);
+  void update_interest(Relay* r);
+  void finish(Relay* r, bool ok);
+
+  EpollLoop& loop_;
+  LsdConfig config_;
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  LsdStats stats_;
+  std::unordered_set<Relay*> relays_;
+};
+
+}  // namespace lsl::posix

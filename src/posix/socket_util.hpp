@@ -1,0 +1,62 @@
+// Nonblocking TCP socket helpers shared by the lsd daemon and the posix
+// client/sink applications.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "posix/fd.hpp"
+
+namespace lsl::posix {
+
+/// IPv4 address + port in host byte order.
+struct InetAddress {
+  std::uint32_t addr = 0;  ///< e.g. 0x7f000001 for 127.0.0.1
+  std::uint16_t port = 0;
+
+  static InetAddress loopback(std::uint16_t port) {
+    return {0x7f000001u, port};
+  }
+  sockaddr_in to_sockaddr() const;
+  std::string to_string() const;
+};
+
+/// Parse dotted-quad "a.b.c.d" into host-order u32; nullopt on error.
+std::optional<std::uint32_t> parse_ipv4(const std::string& dotted);
+
+/// Set O_NONBLOCK on `fd`; returns false on error.
+bool set_nonblocking(int fd);
+
+/// Disable Nagle (TCP_NODELAY).
+bool set_nodelay(int fd);
+
+/// Create a nonblocking listening socket bound to `bind_addr` with
+/// SO_REUSEADDR. If bind_addr.port == 0, an ephemeral port is chosen;
+/// `bound_port` (when non-null) receives the actual port. Invalid Fd on
+/// failure (errno is preserved).
+Fd listen_tcp(const InetAddress& bind_addr, int backlog = 64,
+              std::uint16_t* bound_port = nullptr);
+
+/// Begin a nonblocking connect to `remote`. On return the socket is either
+/// connected or connecting (EINPROGRESS) — wait for EPOLLOUT and check
+/// connect_result(). Invalid Fd on immediate failure.
+Fd connect_tcp(const InetAddress& remote);
+
+/// After EPOLLOUT on a connecting socket: 0 on success, else the errno.
+int connect_result(int fd);
+
+/// Accept one connection (nonblocking); invalid Fd when none pending.
+Fd accept_connection(int listen_fd);
+
+/// write() as much of [data, data+len) as the socket accepts.
+/// Returns bytes written (possibly 0 on EAGAIN), or -1 on fatal error.
+long write_some(int fd, const std::uint8_t* data, std::size_t len);
+
+/// read() up to `len` bytes. Returns bytes read, 0 on orderly EOF, -1 on
+/// EAGAIN (no data), -2 on fatal error.
+long read_some(int fd, std::uint8_t* data, std::size_t len);
+
+}  // namespace lsl::posix

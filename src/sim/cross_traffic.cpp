@@ -1,0 +1,49 @@
+#include "sim/cross_traffic.hpp"
+
+namespace lsl::sim {
+
+OnOffUdpSource::OnOffUdpSource(Network& net, Node& src, NodeId dst,
+                               const CrossTrafficConfig& config)
+    : net_(net), src_(src), dst_(dst), config_(config),
+      rng_(net.sim().make_rng()) {}
+
+void OnOffUdpSource::start() {
+  if (running_) return;
+  running_ = true;
+  const auto off = static_cast<util::SimDuration>(
+      rng_.exponential(static_cast<double>(config_.mean_off)));
+  net_.sim().events().schedule_in(off, [this] { begin_on_period(); });
+}
+
+void OnOffUdpSource::begin_on_period() {
+  if (!running_) return;
+  const auto on = static_cast<util::SimDuration>(
+      rng_.exponential(static_cast<double>(config_.mean_on)));
+  on_until_ = net_.now() + on;
+  send_next();
+}
+
+void OnOffUdpSource::send_next() {
+  if (!running_) return;
+  if (net_.now() >= on_until_) {
+    const auto off = static_cast<util::SimDuration>(
+        rng_.exponential(static_cast<double>(config_.mean_off)));
+    net_.sim().events().schedule_in(off, [this] { begin_on_period(); });
+    return;
+  }
+  Packet p;
+  p.src = src_.id();
+  p.dst = dst_;
+  p.proto = Protocol::kUdp;
+  p.payload_bytes = config_.packet_bytes;
+  p.serial = net_.sim().next_packet_serial();
+  src_.send(std::move(p));
+  ++packets_sent_;
+
+  const util::SimDuration gap =
+      config_.peak_rate.transmission_time(config_.packet_bytes +
+                                          kUdpIpHeaderBytes);
+  net_.sim().events().schedule_in(gap, [this] { send_next(); });
+}
+
+}  // namespace lsl::sim

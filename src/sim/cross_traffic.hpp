@@ -1,0 +1,57 @@
+// Background cross-traffic generator.
+//
+// The paper's wide-area measurements ran on the shared Abilene backbone, so
+// the direct and LSL flows competed with real traffic; queueing from that
+// traffic is what gives the observed RTTs their variance. This on/off UDP
+// source reproduces that effect: exponentially distributed ON periods at a
+// configured peak rate and OFF periods of silence, aimed across the shared
+// segments of the experiment topologies.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/network.hpp"
+#include "sim/packet.hpp"
+#include "sim/types.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace lsl::sim {
+
+/// Configuration of one on/off source.
+struct CrossTrafficConfig {
+  util::DataRate peak_rate = util::DataRate::mbps(10);  ///< rate while ON
+  util::SimDuration mean_on = util::millis(200);   ///< exponential mean
+  util::SimDuration mean_off = util::millis(300);  ///< exponential mean
+  std::uint32_t packet_bytes = 1000;               ///< UDP payload size
+};
+
+/// Exponential on/off UDP traffic from one host toward a destination node.
+class OnOffUdpSource {
+ public:
+  OnOffUdpSource(Network& net, Node& src, NodeId dst,
+                 const CrossTrafficConfig& config);
+
+  /// Begin generating traffic (schedules the first ON period).
+  void start();
+
+  /// Stop after the current packet; no further periods are scheduled.
+  void stop() { running_ = false; }
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  void begin_on_period();
+  void send_next();
+
+  Network& net_;
+  Node& src_;
+  NodeId dst_;
+  CrossTrafficConfig config_;
+  util::Rng rng_;
+  bool running_ = false;
+  util::SimTime on_until_ = 0;
+  std::uint64_t packets_sent_ = 0;
+};
+
+}  // namespace lsl::sim

@@ -1,0 +1,78 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace lsl::sim {
+
+EventId EventQueue::schedule_at(util::SimTime t, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{std::max(t, now_), id, std::move(cb)});
+  pending_.insert(id);
+  ++live_count_;
+  return id;
+}
+
+EventId EventQueue::schedule_in(util::SimDuration delay, Callback cb) {
+  return schedule_at(now_ + std::max<util::SimDuration>(delay, 0),
+                     std::move(cb));
+}
+
+void EventQueue::cancel(EventId id) {
+  // Cancelling an id that never existed or has already fired is a no-op.
+  if (pending_.erase(id) == 0) return;
+  // We cannot cheaply remove from the heap; remember the id and skip it at
+  // pop time. The tombstone is erased when the entry surfaces.
+  cancelled_.insert(id);
+  --live_count_;
+}
+
+bool EventQueue::pop_next(Entry& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; we move via const_cast which is safe
+    // because we pop immediately after.
+    Entry& top = const_cast<Entry&>(heap_.top());
+    Entry e{top.time, top.id, std::move(top.cb)};
+    heap_.pop();
+    const auto it = cancelled_.find(e.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    out = std::move(e);
+    return true;
+  }
+  return false;
+}
+
+bool EventQueue::step() {
+  Entry e;
+  if (!pop_next(e)) return false;
+  now_ = e.time;
+  pending_.erase(e.id);
+  --live_count_;
+  ++executed_;
+  e.cb();
+  return true;
+}
+
+void EventQueue::run_until(util::SimTime deadline) {
+  Entry e;
+  while (!heap_.empty()) {
+    if (heap_.top().time > deadline) break;
+    if (!pop_next(e)) break;
+    now_ = e.time;
+    pending_.erase(e.id);
+    --live_count_;
+    ++executed_;
+    e.cb();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace lsl::sim

@@ -1,0 +1,87 @@
+// The discrete-event engine.
+//
+// A cancellable min-heap of (time, sequence) keyed events. Ties in time are
+// broken by insertion order, which — together with integral nanosecond
+// timestamps and explicitly seeded RNG streams — makes every simulation in
+// this repository bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace lsl::sim {
+
+/// Token identifying a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+/// An EventId that never names a live event.
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Discrete-event priority queue with cancellation.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time. Advances only inside run()/step().
+  util::SimTime now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (>= now, clamped otherwise).
+  EventId schedule_at(util::SimTime t, Callback cb);
+
+  /// Schedule `cb` after `delay` (>= 0, clamped otherwise).
+  EventId schedule_in(util::SimDuration delay, Callback cb);
+
+  /// Cancel a pending event. Cancelling an already-fired or invalid id is a
+  /// harmless no-op, so callers don't have to track firing themselves.
+  void cancel(EventId id);
+
+  /// True if no runnable events remain.
+  bool empty() const { return live_count_ == 0; }
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t size() const { return live_count_; }
+
+  /// Execute the earliest pending event. Returns false if none remain.
+  bool step();
+
+  /// Run until the queue is empty or `deadline` is passed (events scheduled
+  /// at exactly `deadline` still run). Time is left at the last executed
+  /// event or at `deadline`, whichever is later.
+  void run_until(util::SimTime deadline);
+
+  /// Run until the queue drains completely.
+  void run();
+
+  /// Total events executed (diagnostics / micro-benchmarks).
+  std::uint64_t executed_count() const { return executed_; }
+
+ private:
+  struct Entry {
+    util::SimTime time;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  bool pop_next(Entry& out);
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;    ///< scheduled, not yet fired/cancelled
+  std::unordered_set<EventId> cancelled_;  ///< tombstones awaiting heap pop
+  util::SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace lsl::sim

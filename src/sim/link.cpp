@@ -1,0 +1,85 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace lsl::sim {
+
+Link::Link(Simulator& sim, std::string name, const LinkConfig& config,
+           DeliverFn deliver)
+    : sim_(sim),
+      name_(std::move(name)),
+      config_(config),
+      deliver_(std::move(deliver)),
+      rng_(sim.make_rng()) {}
+
+void Link::send(Packet&& p) {
+  const std::size_t size = p.wire_bytes();
+  if (queued_bytes_ + size > config_.queue_bytes && !queue_.empty()) {
+    ++stats_.drops_queue;
+    return;
+  }
+  queued_bytes_ += size;
+  stats_.max_queue_bytes = std::max(stats_.max_queue_bytes, queued_bytes_);
+  queue_.push_back(std::move(p));
+  if (!transmitting_) start_transmission();
+}
+
+void Link::start_transmission() {
+  if (queue_.empty()) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  const auto& head = queue_.front();
+  const util::SimDuration tx = config_.rate.transmission_time(head.wire_bytes());
+  sim_.events().schedule_in(tx, [this] { finish_transmission(); });
+}
+
+bool Link::wire_drops(const Packet& p) {
+  (void)p;
+  if (config_.gilbert_elliott) {
+    // State transition is evaluated per packet, then loss is drawn from the
+    // current state's loss probability.
+    if (ge_bad_state_) {
+      if (rng_.bernoulli(config_.ge_bad_to_good)) ge_bad_state_ = false;
+    } else {
+      if (rng_.bernoulli(config_.ge_good_to_bad)) ge_bad_state_ = true;
+    }
+    const double p_loss =
+        ge_bad_state_ ? config_.ge_loss_bad : config_.ge_loss_good;
+    return rng_.bernoulli(p_loss);
+  }
+  return rng_.bernoulli(config_.loss_rate);
+}
+
+void Link::finish_transmission() {
+  Packet p = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= p.wire_bytes();
+
+  ++stats_.packets_sent;
+  stats_.bytes_sent += p.wire_bytes();
+
+  if (wire_drops(p)) {
+    ++stats_.drops_wire;
+  } else {
+    util::SimDuration prop = config_.delay;
+    if (config_.jitter > 0) {
+      prop += static_cast<util::SimDuration>(
+          rng_.uniform(0.0, static_cast<double>(config_.jitter)));
+    }
+    // A physical link is FIFO: jitter may stretch delays but never reorder.
+    util::SimTime deliver_at = sim_.now() + prop;
+    deliver_at = std::max(deliver_at, last_delivery_);
+    last_delivery_ = deliver_at;
+    // The callback owns the packet; shared payload buffers make this cheap.
+    sim_.events().schedule_at(
+        deliver_at,
+        [this, pkt = std::move(p)]() mutable { deliver_(std::move(pkt)); });
+  }
+
+  start_transmission();
+}
+
+}  // namespace lsl::sim

@@ -1,0 +1,189 @@
+#include "tcp/buffers.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace lsl::tcp {
+
+// --- SendBuffer --------------------------------------------------------------
+
+SendBuffer::SendBuffer(std::uint64_t capacity, bool real)
+    : capacity_(capacity) {
+  if (capacity_ == 0) throw std::invalid_argument("SendBuffer: zero capacity");
+  if (real) ring_.resize(capacity_);
+}
+
+std::size_t SendBuffer::write(std::span<const std::uint8_t> data) {
+  assert(real() && "write() requires real mode");
+  const std::uint64_t n =
+      std::min<std::uint64_t>(data.size(), free_space());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ring_[(written_ + i) % capacity_] = data[i];
+  }
+  written_ += n;
+  return static_cast<std::size_t>(n);
+}
+
+std::uint64_t SendBuffer::write_virtual(std::uint64_t n) {
+  assert(!real() && "write_virtual() requires virtual mode");
+  const std::uint64_t take = std::min(n, free_space());
+  written_ += take;
+  return take;
+}
+
+void SendBuffer::ack_to(std::uint64_t offset) {
+  if (offset <= acked_) return;
+  acked_ = std::min(offset, written_);
+}
+
+std::shared_ptr<const std::vector<std::uint8_t>> SendBuffer::slice(
+    std::uint64_t offset, std::uint32_t len) const {
+  if (!real()) return nullptr;
+  assert(offset >= acked_ && offset + len <= written_);
+  auto out = std::make_shared<std::vector<std::uint8_t>>(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    (*out)[i] = ring_[(offset + i) % capacity_];
+  }
+  return out;
+}
+
+// --- RecvBuffer --------------------------------------------------------------
+
+RecvBuffer::RecvBuffer(std::uint64_t capacity, bool real)
+    : capacity_(capacity), real_(real) {
+  if (capacity_ == 0) throw std::invalid_argument("RecvBuffer: zero capacity");
+}
+
+std::uint64_t RecvBuffer::window() const {
+  const std::uint64_t used = (rcv_nxt_ - app_read_) + ooo_bytes_;
+  return used >= capacity_ ? 0 : capacity_ - used;
+}
+
+bool RecvBuffer::insert(std::uint64_t offset, std::uint32_t len,
+                        std::shared_ptr<const std::vector<std::uint8_t>> data) {
+  std::uint64_t start = std::max(offset, rcv_nxt_);
+  // Never buffer beyond the space we could ever have advertised; a correct
+  // sender respects the window, so this only trims pathological input.
+  std::uint64_t end = std::min(offset + len, app_read_ + capacity_);
+  if (end <= start) {
+    // Entirely duplicate (or empty): frontier unchanged.
+    return false;
+  }
+
+  const std::uint64_t old_frontier = rcv_nxt_;
+
+  // Gap-fill: walk existing chunks in [start, end) and insert only the
+  // missing ranges, so chunks_ stays non-overlapping.
+  auto it = chunks_.lower_bound(start);
+  // A predecessor chunk may cover the beginning of our range.
+  if (it != chunks_.begin()) {
+    auto prev = std::prev(it);
+    const std::uint64_t prev_end = prev->first + prev->second.len;
+    if (prev_end > start) start = prev_end;
+  }
+  while (start < end) {
+    std::uint64_t next_start = (it != chunks_.end()) ? it->first : end;
+    if (next_start <= start) {
+      // Existing chunk covers [next_start, ...); skip past it.
+      start = std::max(start, it->first + it->second.len);
+      ++it;
+      continue;
+    }
+    const std::uint64_t gap_end = std::min(end, next_start);
+    Chunk c;
+    c.len = static_cast<std::uint32_t>(gap_end - start);
+    if (real_) {
+      if (!data) {
+        throw std::invalid_argument("RecvBuffer: real mode requires payload");
+      }
+      c.data = data;
+      c.trim_front = static_cast<std::uint32_t>(start - offset);
+    }
+    ooo_bytes_ += c.len;
+    it = chunks_.emplace_hint(it, start, std::move(c));
+    ++it;
+    start = gap_end;
+  }
+
+  advance_frontier();
+  return rcv_nxt_ != old_frontier;
+}
+
+void RecvBuffer::advance_frontier() {
+  while (true) {
+    const auto it = chunks_.find(rcv_nxt_);
+    if (it == chunks_.end()) break;
+    rcv_nxt_ += it->second.len;
+    ooo_bytes_ -= it->second.len;
+    // The chunk stays in the map until the application reads it.
+  }
+}
+
+std::size_t RecvBuffer::read(std::span<std::uint8_t> out) {
+  std::size_t copied = 0;
+  while (copied < out.size() && app_read_ < rcv_nxt_) {
+    // Find the chunk containing app_read_ (contiguity below the frontier
+    // guarantees it exists).
+    auto it = chunks_.upper_bound(app_read_);
+    assert(it != chunks_.begin());
+    --it;
+    const std::uint64_t chunk_start = it->first;
+    const Chunk& c = it->second;
+    assert(chunk_start <= app_read_ && app_read_ < chunk_start + c.len);
+    const std::uint64_t within = app_read_ - chunk_start;
+    const std::uint64_t avail =
+        std::min<std::uint64_t>(c.len - within, out.size() - copied);
+    if (real_) {
+      assert(c.data);
+      std::memcpy(out.data() + copied,
+                  c.data->data() + c.trim_front + within, avail);
+    } else {
+      // Virtual chunks read as zero bytes.
+      std::memset(out.data() + copied, 0, avail);
+    }
+    copied += static_cast<std::size_t>(avail);
+    app_read_ += avail;
+    if (app_read_ >= chunk_start + c.len) chunks_.erase(it);
+  }
+  return copied;
+}
+
+std::optional<std::pair<std::uint64_t, std::uint64_t>>
+RecvBuffer::ooo_block_containing(std::uint64_t offset) const {
+  if (offset < rcv_nxt_) return std::nullopt;
+  auto it = chunks_.upper_bound(offset);
+  if (it == chunks_.begin()) return std::nullopt;
+  --it;
+  if (offset >= it->first + it->second.len) return std::nullopt;
+  // Extend left across adjacent chunks.
+  auto lo = it;
+  while (lo != chunks_.begin()) {
+    auto prev = std::prev(lo);
+    if (prev->first + prev->second.len != lo->first) break;
+    lo = prev;
+  }
+  // Extend right across adjacent chunks.
+  auto hi = it;
+  std::uint64_t end = hi->first + hi->second.len;
+  for (auto next = std::next(hi); next != chunks_.end() && next->first == end;
+       ++next) {
+    end = next->first + next->second.len;
+  }
+  return std::pair{lo->first, end};
+}
+
+std::uint64_t RecvBuffer::read_virtual(std::uint64_t max) {
+  const std::uint64_t n = std::min(max, readable());
+  app_read_ += n;
+  // Prune chunks that are now fully consumed.
+  while (!chunks_.empty()) {
+    auto it = chunks_.begin();
+    if (it->first + it->second.len > app_read_) break;
+    chunks_.erase(it);
+  }
+  return n;
+}
+
+}  // namespace lsl::tcp

@@ -1,0 +1,139 @@
+#include "tcp/stack.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace lsl::tcp {
+
+TcpStack::TcpStack(sim::Network& net, sim::Node& host, TcpConfig default_config)
+    : net_(net), host_(host), default_config_(default_config) {
+  if (host.is_router()) {
+    throw std::invalid_argument("TcpStack must attach to a host, not router");
+  }
+  host_.set_protocol_handler(
+      sim::Protocol::kTcp,
+      [this](sim::Packet&& p) { handle_packet(std::move(p)); });
+}
+
+TcpSocket* TcpStack::connect(sim::Endpoint remote) {
+  return connect(remote, default_config_);
+}
+
+TcpSocket* TcpStack::connect(sim::Endpoint remote, const TcpConfig& config) {
+  const sim::Endpoint local{host_.id(), allocate_ephemeral_port()};
+  auto sock = std::unique_ptr<TcpSocket>(
+      new TcpSocket(*this, local, remote, config, /*active_open=*/true));
+  TcpSocket* raw = sock.get();
+  flows_.emplace(FlowKey{local, remote}, std::move(sock));
+  raw->start_connect();
+  return raw;
+}
+
+TcpListener& TcpStack::listen(sim::PortNum port,
+                              TcpListener::AcceptFn on_accept) {
+  return listen(port, default_config_, std::move(on_accept));
+}
+
+TcpListener& TcpStack::listen(sim::PortNum port, const TcpConfig& config,
+                              TcpListener::AcceptFn on_accept) {
+  if (listeners_.count(port) != 0) {
+    throw std::invalid_argument("port already bound: " + std::to_string(port));
+  }
+  auto l = std::make_unique<TcpListener>(port, config, std::move(on_accept));
+  TcpListener& ref = *l;
+  listeners_.emplace(port, std::move(l));
+  return ref;
+}
+
+void TcpStack::close_listener(sim::PortNum port) { listeners_.erase(port); }
+
+std::size_t TcpStack::connection_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, sock] : flows_) {
+    if (sock->state() != TcpState::kClosed) ++n;
+  }
+  return n;
+}
+
+sim::PortNum TcpStack::allocate_ephemeral_port() {
+  for (int attempts = 0; attempts < 65536; ++attempts) {
+    const sim::PortNum port = next_ephemeral_;
+    next_ephemeral_ =
+        next_ephemeral_ >= 65535 ? sim::PortNum{32768}
+                                 : static_cast<sim::PortNum>(next_ephemeral_ + 1);
+    if (listeners_.count(port) != 0) continue;
+    bool used = false;
+    for (const auto& [key, sock] : flows_) {
+      if (key.local.port == port) {
+        used = true;
+        break;
+      }
+    }
+    if (!used) return port;
+  }
+  throw std::runtime_error("ephemeral port space exhausted");
+}
+
+void TcpStack::handle_packet(sim::Packet&& p) {
+  const FlowKey key{{host_.id(), p.tcp.dst_port}, {p.src, p.tcp.src_port}};
+  const auto it = flows_.find(key);
+  if (it != flows_.end()) {
+    it->second->handle_packet(std::move(p));
+    return;
+  }
+
+  // New connection?
+  if (p.has(sim::kFlagSyn) && !p.has(sim::kFlagAck)) {
+    const auto lt = listeners_.find(p.tcp.dst_port);
+    if (lt != listeners_.end()) {
+      auto sock = std::unique_ptr<TcpSocket>(
+          new TcpSocket(*this, key.local, key.remote, lt->second->config(),
+                        /*active_open=*/false));
+      TcpSocket* raw = sock.get();
+      // Report the socket through the listener once established. The port is
+      // re-resolved at fire time in case the listener was closed meanwhile.
+      const sim::PortNum lport = p.tcp.dst_port;
+      raw->on_established = [this, lport, raw] {
+        const auto jt = listeners_.find(lport);
+        accepted_established(jt == listeners_.end() ? nullptr : jt->second.get(),
+                             raw);
+      };
+      flows_.emplace(key, std::move(sock));
+      raw->start_passive(p.tcp.seq);
+      return;
+    }
+  }
+
+  if (!p.has(sim::kFlagRst)) send_rst(p);
+}
+
+void TcpStack::accepted_established(TcpListener* l, TcpSocket* s) {
+  s->on_established = nullptr;
+  if (l == nullptr) {
+    // Listener closed between SYN and establishment: refuse the connection.
+    s->abort();
+    return;
+  }
+  if (l->on_accept_) l->on_accept_(s);
+}
+
+void TcpStack::send_rst(const sim::Packet& cause) {
+  sim::Packet p;
+  p.src = host_.id();
+  p.dst = cause.src;
+  p.proto = sim::Protocol::kTcp;
+  p.tcp.src_port = cause.tcp.dst_port;
+  p.tcp.dst_port = cause.tcp.src_port;
+  p.tcp.seq = cause.tcp.ack;
+  p.tcp.flags = sim::kFlagRst;
+  p.serial = net_.sim().next_packet_serial();
+  LSL_LOG_DEBUG("%s: RST to node %u port %u", host_.name().c_str(), p.dst,
+                p.tcp.dst_port);
+  transmit(std::move(p));
+}
+
+void TcpStack::transmit(sim::Packet&& p) { host_.send(std::move(p)); }
+
+}  // namespace lsl::tcp

@@ -1,0 +1,110 @@
+// Per-host TCP stack: demultiplexes incoming segments to connections by
+// 4-tuple, owns all sockets and listeners, and hands outgoing packets to the
+// host for routing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/node.hpp"
+#include "sim/packet.hpp"
+#include "sim/types.hpp"
+#include "tcp/socket.hpp"
+#include "tcp/tcp.hpp"
+
+namespace lsl::tcp {
+
+/// A passive listener bound to a local port.
+class TcpListener {
+ public:
+  /// Invoked when an accepted connection completes its handshake. The
+  /// callback should install the application's socket callbacks.
+  using AcceptFn = std::function<void(TcpSocket*)>;
+
+  TcpListener(sim::PortNum port, TcpConfig config, AcceptFn on_accept)
+      : port_(port), config_(config), on_accept_(std::move(on_accept)) {}
+
+  sim::PortNum port() const { return port_; }
+  const TcpConfig& config() const { return config_; }
+
+ private:
+  friend class TcpStack;
+  sim::PortNum port_;
+  TcpConfig config_;
+  AcceptFn on_accept_;
+};
+
+/// The TCP protocol instance on one simulated host.
+class TcpStack {
+ public:
+  /// Attaches to `host` as its TCP protocol handler. `default_config`
+  /// applies to sockets created without an explicit config.
+  TcpStack(sim::Network& net, sim::Node& host,
+           TcpConfig default_config = {});
+
+  TcpStack(const TcpStack&) = delete;
+  TcpStack& operator=(const TcpStack&) = delete;
+
+  /// Open an active connection to `remote`; the handshake starts
+  /// immediately. The returned socket is owned by the stack.
+  TcpSocket* connect(sim::Endpoint remote);
+  TcpSocket* connect(sim::Endpoint remote, const TcpConfig& config);
+
+  /// Bind a listener; incoming SYNs to `port` spawn accepted sockets which
+  /// are reported through `on_accept` once established.
+  TcpListener& listen(sim::PortNum port, TcpListener::AcceptFn on_accept);
+  TcpListener& listen(sim::PortNum port, const TcpConfig& config,
+                      TcpListener::AcceptFn on_accept);
+
+  /// Stop accepting on `port` (existing connections unaffected).
+  void close_listener(sim::PortNum port);
+
+  sim::Node& host() { return host_; }
+  sim::Network& network() { return net_; }
+  sim::Simulator& sim() { return net_.sim(); }
+  const TcpConfig& default_config() const { return default_config_; }
+
+  /// Number of live (not fully closed) connections.
+  std::size_t connection_count() const;
+
+  /// Visit every connection the stack has ever created (diagnostics).
+  void for_each_connection(
+      const std::function<void(const TcpSocket&)>& fn) const {
+    for (const auto& [key, sock] : flows_) fn(*sock);
+  }
+
+ private:
+  friend class TcpSocket;
+
+  struct FlowKey {
+    sim::Endpoint local;
+    sim::Endpoint remote;
+    friend bool operator==(const FlowKey&, const FlowKey&) = default;
+  };
+  struct FlowKeyHash {
+    std::size_t operator()(const FlowKey& k) const noexcept {
+      const std::size_t h1 = std::hash<sim::Endpoint>{}(k.local);
+      const std::size_t h2 = std::hash<sim::Endpoint>{}(k.remote);
+      return h1 ^ (h2 * 0x9e3779b97f4a7c15ull);
+    }
+  };
+
+  void handle_packet(sim::Packet&& p);
+  void transmit(sim::Packet&& p);
+  void send_rst(const sim::Packet& cause);
+  sim::PortNum allocate_ephemeral_port();
+  void accepted_established(TcpListener* l, TcpSocket* s);
+
+  sim::Network& net_;
+  sim::Node& host_;
+  TcpConfig default_config_;
+  sim::PortNum next_ephemeral_ = 32768;
+  std::unordered_map<FlowKey, std::unique_ptr<TcpSocket>, FlowKeyHash> flows_;
+  std::unordered_map<sim::PortNum, std::unique_ptr<TcpListener>> listeners_;
+};
+
+}  // namespace lsl::tcp

@@ -1,0 +1,99 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/packet.hpp"
+
+namespace lsl::trace {
+
+std::vector<double> rtt_samples(const TraceRecorder& trace) {
+  std::vector<double> samples;
+
+  // Outstanding first transmissions keyed by the sequence number of the
+  // byte *after* the segment — a cumulative ACK >= that key acknowledges it.
+  struct Pending {
+    util::SimTime send_time;
+    bool ambiguous;  ///< retransmitted at least once (Karn: no sample)
+  };
+  std::map<std::uint64_t, Pending> pending;
+
+  for (const TraceEvent& e : trace.events()) {
+    if (e.outgoing) {
+      std::uint32_t slen = e.payload;
+      if (e.flags & sim::kFlagSyn) ++slen;
+      if (e.flags & sim::kFlagFin) ++slen;
+      if (slen == 0) continue;
+      const std::uint64_t end = e.seq + slen;
+      auto [it, inserted] = pending.try_emplace(end, Pending{e.time, false});
+      if (!inserted || e.retransmit) {
+        // Retransmission of the same range: both copies are ambiguous.
+        it->second.ambiguous = true;
+      }
+    } else if (e.flags & sim::kFlagAck) {
+      // The freshest information is carried by the segment whose end equals
+      // the ACK; older covered segments were acknowledged implicitly and
+      // would bias samples upward, so only the exact match is sampled
+      // (tcptrace behaves the same way).
+      const auto exact = pending.find(e.ack);
+      if (exact != pending.end() && !exact->second.ambiguous) {
+        samples.push_back(
+            util::to_seconds(e.time - exact->second.send_time));
+      }
+      // Discard everything the cumulative ACK covered.
+      pending.erase(pending.begin(), pending.upper_bound(e.ack));
+    }
+  }
+  return samples;
+}
+
+double average_rtt_ms(const TraceRecorder& trace) {
+  const auto samples = rtt_samples(trace);
+  if (samples.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : samples) s += v;
+  return s / static_cast<double>(samples.size()) * 1e3;
+}
+
+std::uint64_t retransmission_count(const TraceRecorder& trace) {
+  std::uint64_t n = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.outgoing && e.retransmit && e.payload > 0) ++n;
+  }
+  return n;
+}
+
+util::Series sequence_growth(const TraceRecorder& trace, util::SimTime origin) {
+  util::Series out;
+  if (trace.empty()) return out;
+  const util::SimTime t0 = origin >= 0 ? origin : trace.start_time();
+
+  std::uint64_t high_water = 0;
+  bool first = true;
+  std::uint64_t base = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (!e.outgoing || e.payload == 0) continue;
+    if (first) {
+      base = e.seq;
+      first = false;
+      out.push_back({util::to_seconds(e.time - t0), 0.0});
+    }
+    const std::uint64_t end = e.seq + e.payload - base;
+    if (end > high_water) {
+      high_water = end;
+      out.push_back(
+          {util::to_seconds(e.time - t0), static_cast<double>(high_water)});
+    }
+  }
+  return out;
+}
+
+std::uint64_t unique_bytes_sent(const TraceRecorder& trace) {
+  std::uint64_t n = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.outgoing && !e.retransmit) n += e.payload;
+  }
+  return n;
+}
+
+}  // namespace lsl::trace

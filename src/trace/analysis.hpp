@@ -1,0 +1,43 @@
+// Trace-derived metrics: the analyses behind every figure in the paper.
+//
+//  * ACK-matched RTT estimation with Karn's rule (Figures 3, 4, 9):
+//    a sample is taken when a cumulative ACK first covers a data segment
+//    that was transmitted exactly once. As in the paper, depot-internal
+//    latency is *not* included — these are per-TCP-connection RTTs.
+//  * Retransmission counting (the min/median/max "loss case" selection of
+//    Figures 15–25).
+//  * Normalized sequence-number growth over time (Figures 11–27): the
+//    high-water mark of sent sequence numbers, time- and seq-normalized to
+//    the transfer start, averaged across iterations on a common grid.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/series.hpp"
+#include "util/units.hpp"
+
+namespace lsl::trace {
+
+/// All RTT samples (seconds) derived from a sender-side trace by matching
+/// cumulative ACKs against first transmissions (Karn's algorithm).
+std::vector<double> rtt_samples(const TraceRecorder& trace);
+
+/// Mean of rtt_samples() in milliseconds; 0 when no sample exists.
+double average_rtt_ms(const TraceRecorder& trace);
+
+/// Number of retransmitted data segments in the trace.
+std::uint64_t retransmission_count(const TraceRecorder& trace);
+
+/// Sequence-number growth curve: (seconds since `origin`, bytes of sequence
+/// space sent beyond the first data byte). Monotone non-decreasing — the
+/// high-water mark, matching how sequence plots are drawn from tcpdump.
+/// `origin` defaults to the trace's own first event when negative.
+util::Series sequence_growth(const TraceRecorder& trace,
+                             util::SimTime origin = -1);
+
+/// Bytes of unique payload the traced sender transmitted.
+std::uint64_t unique_bytes_sent(const TraceRecorder& trace);
+
+}  // namespace lsl::trace

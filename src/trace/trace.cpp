@@ -1,0 +1,34 @@
+#include "trace/trace.hpp"
+
+namespace lsl::trace {
+
+void TraceRecorder::attach(tcp::TcpSocket* socket) {
+  auto* events = &events_;
+
+  socket->set_packet_out_hook(
+      [events, socket](const sim::Packet& p, bool retx) {
+        TraceEvent e;
+        e.time = socket->now();
+        e.outgoing = true;
+        e.seq = p.tcp.seq;
+        e.ack = p.tcp.ack;
+        e.payload = p.payload_bytes;
+        e.flags = p.tcp.flags;
+        e.window = p.tcp.window;
+        e.retransmit = retx;
+        events->push_back(e);
+      });
+  socket->set_packet_in_hook([events, socket](const sim::Packet& p) {
+    TraceEvent e;
+    e.time = socket->now();
+    e.outgoing = false;
+    e.seq = p.tcp.seq;
+    e.ack = p.tcp.ack;
+    e.payload = p.payload_bytes;
+    e.flags = p.tcp.flags;
+    e.window = p.tcp.window;
+    events->push_back(e);
+  });
+}
+
+}  // namespace lsl::trace

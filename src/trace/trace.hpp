@@ -1,0 +1,72 @@
+// Sender-side packet trace capture — the simulator's tcpdump.
+//
+// The paper's methodology (§IV.A, §V) captures packet traces at the sending
+// host of every TCP connection (direct, sublink 1, sublink 2), then derives
+// three things from them: ACK-matched round-trip times, retransmission
+// counts, and normalized sequence-number-growth curves. TraceRecorder
+// captures the same signal by hooking a simulated socket's packet-out /
+// packet-in paths; src/trace/analysis.hpp reproduces the derivations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/packet.hpp"
+#include "tcp/socket.hpp"
+#include "util/units.hpp"
+
+namespace lsl::trace {
+
+/// One captured packet, as seen at the traced (sending) host.
+struct TraceEvent {
+  util::SimTime time = 0;
+  bool outgoing = false;       ///< sent by the traced host vs. received
+  std::uint64_t seq = 0;       ///< TCP sequence number
+  std::uint64_t ack = 0;       ///< acknowledgment number (if kFlagAck)
+  std::uint32_t payload = 0;   ///< payload bytes
+  std::uint8_t flags = 0;      ///< TcpFlags bits
+  std::uint64_t window = 0;    ///< advertised window
+  bool retransmit = false;     ///< sender marked this as a retransmission
+};
+
+/// Captures the packet stream of one connection at its sending host.
+///
+/// The recorder must outlive the socket's traffic (it is referenced from the
+/// socket's trace hooks). Detach by destroying the socket or replacing its
+/// hooks.
+class TraceRecorder {
+ public:
+  TraceRecorder() = default;
+  explicit TraceRecorder(std::string label) : label_(std::move(label)) {}
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+  TraceRecorder(TraceRecorder&&) = default;
+  TraceRecorder& operator=(TraceRecorder&&) = default;
+
+  /// Install capture hooks on `socket`. Call before traffic flows.
+  void attach(tcp::TcpSocket* socket);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  const std::string& label() const { return label_; }
+  bool empty() const { return events_.empty(); }
+
+  /// Timestamp of the first captured packet (0 when empty).
+  util::SimTime start_time() const {
+    return events_.empty() ? 0 : events_.front().time;
+  }
+  /// Timestamp of the last captured packet (0 when empty).
+  util::SimTime end_time() const {
+    return events_.empty() ? 0 : events_.back().time;
+  }
+
+  /// Discard captured events (reuse between iterations).
+  void clear() { events_.clear(); }
+
+ private:
+  std::string label_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace lsl::trace

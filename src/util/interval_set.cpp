@@ -1,0 +1,90 @@
+#include "util/interval_set.hpp"
+
+#include <algorithm>
+
+namespace lsl::util {
+
+void IntervalSet::insert(std::uint64_t start, std::uint64_t end) {
+  if (start >= end) return;
+
+  // Find the first interval that could merge: the one before `start` if it
+  // reaches start, else the first beginning at or after start.
+  auto it = set_.upper_bound(start);
+  if (it != set_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) it = prev;
+  }
+  // Absorb all overlapping/adjacent intervals.
+  while (it != set_.end() && it->first <= end) {
+    start = std::min(start, it->first);
+    end = std::max(end, it->second);
+    total_ -= it->second - it->first;
+    it = set_.erase(it);
+  }
+  set_.emplace(start, end);
+  total_ += end - start;
+}
+
+void IntervalSet::erase_below(std::uint64_t bound) {
+  auto it = set_.begin();
+  while (it != set_.end() && it->first < bound) {
+    if (it->second <= bound) {
+      total_ -= it->second - it->first;
+      it = set_.erase(it);
+    } else {
+      // Trim the straddling interval.
+      total_ -= bound - it->first;
+      const std::uint64_t end = it->second;
+      set_.erase(it);
+      set_.emplace(bound, end);
+      break;
+    }
+  }
+}
+
+bool IntervalSet::contains(std::uint64_t start, std::uint64_t end) const {
+  if (start >= end) return true;
+  auto it = set_.upper_bound(start);
+  if (it == set_.begin()) return false;
+  --it;
+  return it->first <= start && end <= it->second;
+}
+
+std::uint64_t IntervalSet::covered_within(std::uint64_t start,
+                                          std::uint64_t end) const {
+  if (start >= end) return 0;
+  std::uint64_t covered = 0;
+  auto it = set_.upper_bound(start);
+  if (it != set_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > start) {
+      covered += std::min(prev->second, end) - start;
+    }
+  }
+  for (; it != set_.end() && it->first < end; ++it) {
+    covered += std::min(it->second, end) - it->first;
+  }
+  return covered;
+}
+
+std::optional<IntervalSet::Interval> IntervalSet::next_gap(
+    std::uint64_t from, std::uint64_t limit) const {
+  while (from < limit) {
+    auto it = set_.upper_bound(from);
+    if (it != set_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > from) {
+        from = prev->second;  // `from` is covered; skip past the interval
+        continue;
+      }
+    }
+    // `from` is uncovered; the gap runs to the next interval or the limit.
+    const std::uint64_t gap_end =
+        it == set_.end() ? limit : std::min(it->first, limit);
+    if (from >= gap_end) return std::nullopt;
+    return Interval{from, gap_end};
+  }
+  return std::nullopt;
+}
+
+}  // namespace lsl::util

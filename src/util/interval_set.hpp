@@ -1,0 +1,66 @@
+// A set of disjoint half-open uint64 intervals [start, end).
+//
+// Used by the TCP model's SACK machinery: the sender's scoreboard of
+// selectively acknowledged sequence ranges, and the per-recovery record of
+// retransmitted ranges. Intervals merge on insert; queries support coverage
+// accounting and hole (gap) scanning.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+
+namespace lsl::util {
+
+/// Disjoint-interval set over std::uint64_t with merge-on-insert.
+class IntervalSet {
+ public:
+  using Interval = std::pair<std::uint64_t, std::uint64_t>;  // [first, second)
+
+  /// Insert [start, end), merging with any overlapping/adjacent intervals.
+  /// Empty ranges are ignored.
+  void insert(std::uint64_t start, std::uint64_t end);
+
+  /// Remove everything below `bound` (cumulative-ACK advance).
+  void erase_below(std::uint64_t bound);
+
+  /// Drop all intervals.
+  void clear() { set_.clear(); total_ = 0; }
+
+  /// True if [start, end) is entirely contained.
+  bool contains(std::uint64_t start, std::uint64_t end) const;
+
+  /// True if the point `x` is covered.
+  bool contains(std::uint64_t x) const { return contains(x, x + 1); }
+
+  /// Number of bytes of [start, end) that are covered.
+  std::uint64_t covered_within(std::uint64_t start, std::uint64_t end) const;
+
+  /// First maximal uncovered gap [gap_start, gap_end) with gap_start >= from
+  /// and gap_start < limit; gap_end is clamped to limit. nullopt if the
+  /// range [from, limit) is fully covered.
+  std::optional<Interval> next_gap(std::uint64_t from,
+                                   std::uint64_t limit) const;
+
+  /// Total bytes covered.
+  std::uint64_t total() const { return total_; }
+
+  /// Highest covered point + 1 (0 when empty).
+  std::uint64_t max_end() const {
+    return set_.empty() ? 0 : std::prev(set_.end())->second;
+  }
+
+  bool empty() const { return set_.empty(); }
+  std::size_t interval_count() const { return set_.size(); }
+
+  /// Iteration over the disjoint intervals in ascending order.
+  auto begin() const { return set_.begin(); }
+  auto end() const { return set_.end(); }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> set_;  // start -> end
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace lsl::util

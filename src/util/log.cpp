@@ -1,0 +1,48 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace lsl::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void logf(LogLevel level, const char* fmt, ...) {
+  if (level < log_level()) return;
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), buf);
+}
+
+}  // namespace lsl::util

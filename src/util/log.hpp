@@ -1,0 +1,33 @@
+// Minimal leveled logger.
+//
+// The simulator and the real-socket daemon share this facility; it is
+// intentionally tiny (printf-style, a global level, stderr sink) because
+// observability inside the simulator comes from packet traces, not logs.
+#pragma once
+
+#include <cstdarg>
+
+namespace lsl::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+
+/// Current global log threshold.
+LogLevel log_level();
+
+/// printf-style log statement; thread-safe line-at-a-time output to stderr.
+void logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace lsl::util
+
+#define LSL_LOG_DEBUG(...) \
+  ::lsl::util::logf(::lsl::util::LogLevel::kDebug, __VA_ARGS__)
+#define LSL_LOG_INFO(...) \
+  ::lsl::util::logf(::lsl::util::LogLevel::kInfo, __VA_ARGS__)
+#define LSL_LOG_WARN(...) \
+  ::lsl::util::logf(::lsl::util::LogLevel::kWarn, __VA_ARGS__)
+#define LSL_LOG_ERROR(...) \
+  ::lsl::util::logf(::lsl::util::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,64 @@
+#include "util/series.hpp"
+
+#include <algorithm>
+
+namespace lsl::util {
+
+double interpolate(const Series& s, double t) {
+  if (s.empty()) return 0.0;
+  if (t <= s.front().t) return s.front().v;
+  if (t >= s.back().t) return s.back().v;
+  // First point with time > t; s is sorted by construction.
+  const auto it = std::upper_bound(
+      s.begin(), s.end(), t,
+      [](double lhs, const SeriesPoint& p) { return lhs < p.t; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double span = hi.t - lo.t;
+  if (span <= 0.0) return hi.v;
+  const double frac = (t - lo.t) / span;
+  return lo.v + frac * (hi.v - lo.v);
+}
+
+Series resample(const Series& s, double t_max, std::size_t n) {
+  Series out;
+  if (n == 0) return out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t =
+        n == 1 ? 0.0
+               : t_max * static_cast<double>(i) / static_cast<double>(n - 1);
+    out.push_back({t, interpolate(s, t)});
+  }
+  return out;
+}
+
+double duration(const Series& s) { return s.empty() ? 0.0 : s.back().t; }
+
+Series average_series(const std::vector<Series>& runs, std::size_t n) {
+  Series out;
+  if (n == 0) return out;
+  double t_max = 0.0;
+  std::size_t live = 0;
+  for (const auto& r : runs) {
+    if (r.empty()) continue;
+    ++live;
+    t_max = std::max(t_max, duration(r));
+  }
+  if (live == 0) return out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t =
+        n == 1 ? 0.0
+               : t_max * static_cast<double>(i) / static_cast<double>(n - 1);
+    double sum = 0.0;
+    for (const auto& r : runs) {
+      if (r.empty()) continue;
+      sum += interpolate(r, t);
+    }
+    out.push_back({t, sum / static_cast<double>(live)});
+  }
+  return out;
+}
+
+}  // namespace lsl::util

@@ -1,0 +1,39 @@
+// Time-series utilities for the sequence-number-growth analysis
+// (paper Figures 11–27): resampling irregular (time, value) traces onto a
+// common grid and averaging many runs point-wise, exactly as the paper
+// normalizes and averages per-iteration tcpdump traces.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lsl::util {
+
+/// One sample of a piecewise-linear time series.
+struct SeriesPoint {
+  double t = 0.0;  ///< time, seconds
+  double v = 0.0;  ///< value (e.g. normalized sequence number, bytes)
+};
+
+/// An irregularly sampled, monotonically timed series.
+using Series = std::vector<SeriesPoint>;
+
+/// Linear interpolation of `s` at time `t`.
+///
+/// Values are clamped to the endpoints outside the sampled range (a finished
+/// transfer holds its final sequence number; before the first sample the
+/// series holds its initial value), matching how averaged traces are plotted
+/// in the paper.
+double interpolate(const Series& s, double t);
+
+/// Resample `s` at `n` evenly spaced points covering [0, t_max].
+Series resample(const Series& s, double t_max, std::size_t n);
+
+/// Point-wise average of several runs on a common grid of `n` points over
+/// [0, max run duration]. Empty runs are skipped.
+Series average_series(const std::vector<Series>& runs, std::size_t n);
+
+/// Final time of the series (0 if empty).
+double duration(const Series& s);
+
+}  // namespace lsl::util

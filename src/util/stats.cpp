@@ -1,0 +1,83 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsl::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n = n_ + other.n_;
+  const double delta = other.mean_ - mean_;
+  const double mean =
+      mean_ + delta * static_cast<double>(other.n_) / static_cast<double>(n);
+  m2_ = m2_ + other.m2_ +
+        delta * delta * static_cast<double>(n_) *
+            static_cast<double>(other.n_) / static_cast<double>(n);
+  mean_ = mean;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = n;
+}
+
+double quantile(const std::vector<double>& values, double q) {
+  if (values.empty()) return 0.0;
+  std::vector<double> v = values;
+  std::sort(v.begin(), v.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double median(const std::vector<double>& values) {
+  return quantile(values, 0.5);
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values) s += v;
+  return s / static_cast<double>(values.size());
+}
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  RunningStats rs;
+  for (double v : values) rs.add(v);
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.median = median(values);
+  return s;
+}
+
+}  // namespace lsl::util

@@ -1,0 +1,66 @@
+// Descriptive statistics used by the experiment harness and the trace
+// analyzer: streaming moments (Welford), order statistics, and a compact
+// Summary type printed into every reproduced table.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lsl::util {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long runs; O(1) space. Used for per-connection RTT
+/// averages and throughput aggregation across iterations.
+class RunningStats {
+ public:
+  /// Fold one observation into the accumulator.
+  void add(double x);
+
+  /// Number of observations folded in so far.
+  std::size_t count() const { return n_; }
+  /// Arithmetic mean; 0 if empty.
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+  /// Square root of variance().
+  double stddev() const;
+  /// Smallest observation; 0 if empty.
+  double min() const { return n_ ? min_ : 0.0; }
+  /// Largest observation; 0 if empty.
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Merge another accumulator into this one (parallel-combine form).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+};
+
+/// Compute a Summary of `values` (copies and partially sorts internally).
+Summary summarize(const std::vector<double>& values);
+
+/// Median of `values`; 0 if empty. Does not modify the input.
+double median(const std::vector<double>& values);
+
+/// Linear-interpolated quantile q in [0,1]; 0 if empty.
+double quantile(const std::vector<double>& values, double q);
+
+/// Arithmetic mean; 0 if empty.
+double mean(const std::vector<double>& values);
+
+}  // namespace lsl::util

@@ -1,0 +1,102 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+namespace lsl::util {
+
+Cell::Cell(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  text_ = buf;
+}
+
+Cell::Cell(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  text_ = buf;
+}
+
+Cell::Cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  text_ = buf;
+}
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != columns_.size()) {
+    throw std::invalid_argument("Table::add_row: expected " +
+                                std::to_string(columns_.size()) +
+                                " cells, got " + std::to_string(cells.size()));
+  }
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (auto& c : cells) row.push_back(c.text());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  const auto rule = [&] {
+    os << '+';
+    for (auto w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) os << '-';
+      os << '+';
+    }
+    os << '\n';
+  };
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << ' ' << cells[i];
+      for (std::size_t p = cells[i].size(); p < widths[i] + 1; ++p) os << ' ';
+      os << '|';
+    }
+    os << '\n';
+  };
+
+  os << "== " << title_ << " ==\n";
+  rule();
+  emit_row(columns_);
+  rule();
+  for (const auto& row : rows_) emit_row(row);
+  rule();
+}
+
+void Table::write_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      const auto& s = cells[i];
+      if (s.find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (char c : s) {
+          if (c == '"') os << '"';
+          os << c;
+        }
+        os << '"';
+      } else {
+        os << s;
+      }
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace lsl::util

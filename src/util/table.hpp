@@ -1,0 +1,55 @@
+// Tabular output for the benchmark harness: every reproduced figure prints
+// an aligned ASCII table to stdout and can optionally emit CSV so the series
+// can be re-plotted. Columns are declared once; rows accept heterogeneous
+// cells (string / integer / fixed-precision double).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace lsl::util {
+
+/// One table cell: text, integer, or a double with explicit precision.
+class Cell {
+ public:
+  Cell(const char* s) : text_(s) {}                    // NOLINT(runtime/explicit)
+  Cell(std::string s) : text_(std::move(s)) {}         // NOLINT(runtime/explicit)
+  Cell(std::int64_t v);                                // NOLINT(runtime/explicit)
+  Cell(std::uint64_t v);                               // NOLINT(runtime/explicit)
+  Cell(int v) : Cell(static_cast<std::int64_t>(v)) {}  // NOLINT(runtime/explicit)
+  /// Double rendered with `precision` digits after the decimal point.
+  Cell(double v, int precision = 2);                   // NOLINT(runtime/explicit)
+
+  const std::string& text() const { return text_; }
+
+ private:
+  std::string text_;
+};
+
+/// An aligned ASCII / CSV table with a title and fixed column headers.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Append a row; must have exactly as many cells as there are columns.
+  void add_row(std::vector<Cell> cells);
+
+  /// Render as an aligned, boxed ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (header row + data rows, RFC-4180 quoting for commas).
+  void write_csv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lsl::util

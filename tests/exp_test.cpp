@@ -1,0 +1,186 @@
+// Tests of the experiment layer: scenario construction, the transfer
+// runner in all three modes, the chain builder, and the reproduction's
+// headline invariants (LSL beats direct on the paper's paths; sublink RTTs
+// are shorter than end-to-end; the sum exceeds end-to-end slightly).
+#include <gtest/gtest.h>
+
+#include "exp/chain.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenarios.hpp"
+#include "util/units.hpp"
+
+namespace lsl::exp {
+namespace {
+
+TEST(Scenarios, Case1TopologyWellFormed) {
+  Scenario sc = build_scenario(case1_ucsb_uiuc(), 1);
+  ASSERT_NE(sc.src, nullptr);
+  ASSERT_NE(sc.dst, nullptr);
+  ASSERT_NE(sc.depot, nullptr);
+  EXPECT_FALSE(sc.src->is_router());
+  EXPECT_FALSE(sc.depot->is_router());
+  EXPECT_GE(sc.net->node_count(), 6u);
+  EXPECT_EQ(sc.cross_sources.size(), 2u);
+}
+
+TEST(Scenarios, AllCasesBuild) {
+  for (const PathParams& p :
+       {case1_ucsb_uiuc(), case2_ucsb_uf(), case3_utk_wireless(),
+        case_osu_steady()}) {
+    Scenario sc = build_scenario(p, 7);
+    EXPECT_NE(sc.net->find_node("src"), nullptr) << p.name;
+    EXPECT_NE(sc.net->find_node("depot"), nullptr) << p.name;
+  }
+}
+
+TEST(Runner, DirectTransferCompletes) {
+  RunConfig cfg;
+  cfg.mode = Mode::kDirectTcp;
+  cfg.bytes = util::kMiB;
+  cfg.seed = 5;
+  const TransferResult r = run_transfer(case1_ucsb_uiuc(), cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.mbps, 1.0);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(Runner, LslTransferCompletesWithTraces) {
+  RunConfig cfg;
+  cfg.mode = Mode::kLsl;
+  cfg.bytes = util::kMiB;
+  cfg.seed = 5;
+  cfg.capture_traces = true;
+  const TransferResult r = run_transfer(case1_ucsb_uiuc(), cfg);
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.traces.size(), 2u);  // sublink 1 + sublink 2
+  ASSERT_EQ(r.rtt_ms.size(), 2u);
+  EXPECT_GT(r.rtt_ms[0], 20.0);
+  EXPECT_GT(r.rtt_ms[1], 20.0);
+}
+
+TEST(Runner, RealPayloadLslVerifiesEndToEnd) {
+  RunConfig cfg;
+  cfg.mode = Mode::kLsl;
+  cfg.bytes = 512 * util::kKiB;
+  cfg.seed = 6;
+  cfg.carry_data = true;
+  const TransferResult r = run_transfer(case1_ucsb_uiuc(), cfg);
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.verified);
+}
+
+TEST(Runner, ParallelTcpCompletesAndBeatsSingleStream) {
+  RunConfig cfg;
+  cfg.bytes = 8 * util::kMiB;
+  cfg.seed = 9;
+  cfg.mode = Mode::kDirectTcp;
+  const TransferResult direct = run_transfer(case1_ucsb_uiuc(), cfg);
+  cfg.mode = Mode::kParallelTcp;
+  cfg.parallel_streams = 4;
+  const TransferResult par = run_transfer(case1_ucsb_uiuc(), cfg);
+  ASSERT_TRUE(direct.completed);
+  ASSERT_TRUE(par.completed);
+  EXPECT_GT(par.mbps, direct.mbps);
+}
+
+TEST(Runner, HeadlineInvariantLslBeatsDirectAtLargeSizes) {
+  // The reproduction's core claim, as a regression test: on Case 1 at
+  // 16 MB, LSL through the Denver depot must beat direct TCP by >= 25%.
+  RunConfig cfg;
+  cfg.bytes = 16 * util::kMiB;
+  cfg.seed = 30;
+  cfg.mode = Mode::kDirectTcp;
+  const auto direct = run_many(case1_ucsb_uiuc(), cfg, 3);
+  cfg.mode = Mode::kLsl;
+  const auto lsl = run_many(case1_ucsb_uiuc(), cfg, 3);
+  const double dm = mean_mbps(direct);
+  const double lm = mean_mbps(lsl);
+  ASSERT_GT(dm, 0.0);
+  EXPECT_GT(lm, dm * 1.25) << "direct=" << dm << " lsl=" << lm;
+}
+
+TEST(Runner, SublinkRttsShorterThanEndToEnd) {
+  RunConfig cfg;
+  cfg.bytes = 8 * util::kMiB;
+  cfg.seed = 44;
+  cfg.capture_traces = true;
+  cfg.mode = Mode::kDirectTcp;
+  const TransferResult direct = run_transfer(case1_ucsb_uiuc(), cfg);
+  cfg.mode = Mode::kLsl;
+  const TransferResult lsl = run_transfer(case1_ucsb_uiuc(), cfg);
+  ASSERT_TRUE(direct.completed);
+  ASSERT_TRUE(lsl.completed);
+  ASSERT_EQ(lsl.rtt_ms.size(), 2u);
+  const double e2e = direct.rtt_ms[0];
+  // Each sublink's control loop is much shorter than the direct loop...
+  EXPECT_LT(lsl.rtt_ms[0], e2e * 0.85);
+  EXPECT_LT(lsl.rtt_ms[1], e2e * 0.85);
+  // ...but their sum exceeds it (the depot detour), paper Figures 3/4.
+  EXPECT_GT(lsl.rtt_ms[0] + lsl.rtt_ms[1], e2e);
+}
+
+TEST(Runner, SeedsChangeOutcomes) {
+  RunConfig cfg;
+  cfg.mode = Mode::kDirectTcp;
+  cfg.bytes = 4 * util::kMiB;
+  cfg.seed = 100;
+  const TransferResult a = run_transfer(case1_ucsb_uiuc(), cfg);
+  cfg.seed = 101;
+  const TransferResult b = run_transfer(case1_ucsb_uiuc(), cfg);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_NE(a.seconds, b.seconds);
+}
+
+TEST(Runner, SameSeedIsDeterministic) {
+  RunConfig cfg;
+  cfg.mode = Mode::kLsl;
+  cfg.bytes = 2 * util::kMiB;
+  cfg.seed = 77;
+  const TransferResult a = run_transfer(case1_ucsb_uiuc(), cfg);
+  const TransferResult b = run_transfer(case1_ucsb_uiuc(), cfg);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+}
+
+TEST(Chain, ZeroDepotsIsDirect) {
+  ChainParams p;
+  p.depots = 0;
+  p.bytes = 2 * util::kMiB;
+  const ChainResult r = run_chain(p);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.mbps, 1.0);
+}
+
+TEST(Chain, CascadingImprovesLossLimitedPath) {
+  ChainParams base;
+  base.bytes = 8 * util::kMiB;
+  base.seed = 12;
+
+  ChainParams direct = base;
+  direct.depots = 0;
+  ChainParams two = base;
+  two.depots = 2;
+
+  const ChainResult d = run_chain(direct);
+  const ChainResult t = run_chain(two);
+  ASSERT_TRUE(d.completed);
+  ASSERT_TRUE(t.completed);
+  EXPECT_GT(t.mbps, d.mbps * 1.3);
+}
+
+TEST(Runner, MeanMbpsIgnoresIncompleteRuns) {
+  std::vector<TransferResult> rs(3);
+  rs[0].completed = true;
+  rs[0].mbps = 10;
+  rs[1].completed = false;
+  rs[1].mbps = 1000;
+  rs[2].completed = true;
+  rs[2].mbps = 20;
+  EXPECT_DOUBLE_EQ(mean_mbps(rs), 15.0);
+}
+
+}  // namespace
+}  // namespace lsl::exp

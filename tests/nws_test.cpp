@@ -1,0 +1,111 @@
+// Tests of the NWS-style forecaster battery and adaptive selection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nws/forecaster.hpp"
+#include "util/rng.hpp"
+
+namespace lsl::nws {
+namespace {
+
+TEST(Predictors, LastValueTracksLatest) {
+  auto p = make_last_value();
+  EXPECT_DOUBLE_EQ(p->predict(7.0), 7.0);  // fallback before data
+  p->observe(3.0);
+  p->observe(5.0);
+  EXPECT_DOUBLE_EQ(p->predict(0.0), 5.0);
+}
+
+TEST(Predictors, RunningMean) {
+  auto p = make_running_mean();
+  for (double v : {2.0, 4.0, 6.0}) p->observe(v);
+  EXPECT_DOUBLE_EQ(p->predict(0.0), 4.0);
+}
+
+TEST(Predictors, SlidingMeanWindow) {
+  auto p = make_sliding_mean(2);
+  for (double v : {100.0, 2.0, 4.0}) p->observe(v);
+  EXPECT_DOUBLE_EQ(p->predict(0.0), 3.0);  // 100 slid out
+}
+
+TEST(Predictors, SlidingMedianRobustToOutlier) {
+  auto p = make_sliding_median(5);
+  for (double v : {10.0, 10.0, 10.0, 10.0, 1000.0}) p->observe(v);
+  EXPECT_DOUBLE_EQ(p->predict(0.0), 10.0);
+}
+
+TEST(Predictors, SlidingMedianEvenWindow) {
+  auto p = make_sliding_median(4);
+  for (double v : {1.0, 3.0, 5.0, 7.0}) p->observe(v);
+  EXPECT_DOUBLE_EQ(p->predict(0.0), 4.0);
+}
+
+TEST(Predictors, ExpSmoothingConverges) {
+  auto p = make_exp_smoothing(0.5);
+  p->observe(0.0);
+  for (int i = 0; i < 30; ++i) p->observe(10.0);
+  EXPECT_NEAR(p->predict(0.0), 10.0, 1e-6);
+}
+
+TEST(Forecaster, EmptyPredictsZero) {
+  Forecaster f;
+  EXPECT_DOUBLE_EQ(f.predict(), 0.0);
+  EXPECT_EQ(f.observations(), 0u);
+}
+
+TEST(Forecaster, ConstantSeriesPredictedExactly) {
+  Forecaster f;
+  for (int i = 0; i < 50; ++i) f.observe(42.0);
+  EXPECT_DOUBLE_EQ(f.predict(), 42.0);
+  EXPECT_NEAR(f.best_mse(), 0.0, 1e-12);
+}
+
+TEST(Forecaster, SpikesDoNotDerailPrediction) {
+  // A stable level with occasional large spikes: the adaptive forecaster
+  // must not answer with a spike-following predictor — right after a spike
+  // its prediction should stay near the base level (robustness the raw
+  // last-value predictor cannot offer).
+  Forecaster f;
+  auto last = make_last_value();
+  util::Rng rng(4);
+  for (int i = 0; i < 400; ++i) {
+    const double v = (i % 29 == 7) ? 100.0 : 10.0 + rng.uniform(-0.5, 0.5);
+    f.observe(v);
+    last->observe(v);
+  }
+  // Feed one final spike: last-value now predicts 100; the tournament
+  // winner must stay anchored near 10.
+  f.observe(100.0);
+  last->observe(100.0);
+  EXPECT_DOUBLE_EQ(last->predict(0.0), 100.0);
+  EXPECT_LT(f.predict(), 25.0) << "winner was " << f.best_predictor();
+  EXPECT_NE(f.best_predictor(), "last_value");
+}
+
+TEST(Forecaster, TrackingSeriesPrefersAdaptivePredictors) {
+  // A slowly drifting series: running mean (which lags) must not win
+  // against tracking predictors.
+  Forecaster f;
+  for (int i = 0; i < 300; ++i) f.observe(static_cast<double>(i));
+  EXPECT_NEAR(f.predict(), 299.0, 20.0);
+  EXPECT_EQ(f.best_predictor().find("running_mean"), std::string::npos);
+}
+
+TEST(Forecaster, CustomBatteryRespected) {
+  std::vector<std::unique_ptr<Predictor>> battery;
+  battery.push_back(make_last_value());
+  Forecaster f(std::move(battery));
+  f.observe(1.0);
+  f.observe(9.0);
+  EXPECT_DOUBLE_EQ(f.predict(), 9.0);
+  EXPECT_EQ(f.best_predictor(), "last_value");
+}
+
+TEST(Forecaster, EmptyBatteryRejected) {
+  EXPECT_THROW(Forecaster(std::vector<std::unique_ptr<Predictor>>{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsl::nws

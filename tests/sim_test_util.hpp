@@ -1,0 +1,91 @@
+// Shared helpers for simulator-level tests: a minimal two-host topology
+// and a bulk-transfer driver with controllable link characteristics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "lsl/apps.hpp"
+#include "sim/network.hpp"
+#include "tcp/stack.hpp"
+#include "trace/analysis.hpp"
+#include "trace/trace.hpp"
+#include "util/units.hpp"
+
+namespace lsl::test {
+
+/// Two hosts joined by one duplex link: a <-> b.
+struct TwoHosts {
+  std::unique_ptr<sim::Network> net;
+  sim::Node* a = nullptr;
+  sim::Node* b = nullptr;
+  std::unique_ptr<tcp::TcpStack> stack_a;
+  std::unique_ptr<tcp::TcpStack> stack_b;
+};
+
+inline TwoHosts make_two_hosts(const sim::LinkConfig& link,
+                               const tcp::TcpConfig& tcp = {},
+                               std::uint64_t seed = 1) {
+  TwoHosts t;
+  t.net = std::make_unique<sim::Network>(seed);
+  t.a = &t.net->add_host("a");
+  t.b = &t.net->add_host("b");
+  t.net->connect(*t.a, *t.b, link);
+  t.net->compute_routes();
+  t.stack_a = std::make_unique<tcp::TcpStack>(*t.net, *t.a, tcp);
+  t.stack_b = std::make_unique<tcp::TcpStack>(*t.net, *t.b, tcp);
+  return t;
+}
+
+/// Result of one driven bulk transfer a -> b.
+struct BulkResult {
+  bool completed = false;
+  double seconds = 0.0;  ///< source start -> sink EOF
+  double mbps = 0.0;
+  std::uint64_t received = 0;
+  tcp::TcpStats sender;  ///< sending socket's final counters
+  std::unique_ptr<trace::TraceRecorder> trace;  ///< sender-side capture
+};
+
+/// Drive `bytes` from a to b over plain TCP and run to completion (or the
+/// given simulated-time cap).
+inline BulkResult run_bulk(TwoHosts& t, std::uint64_t bytes,
+                           bool capture_trace = false,
+                           util::SimDuration cap = 3600ll * util::kSecond) {
+  BulkResult res;
+
+  core::SinkConfig sink_cfg;
+  core::SinkServer sink(*t.stack_b, 7000, sink_cfg, nullptr);
+  bool done = false;
+  util::SimTime done_time = 0;
+  sink.on_complete = [&](core::SinkApp& app) {
+    done = true;
+    done_time = app.complete_time();
+    res.received = app.payload_received();
+  };
+
+  core::SourceConfig src_cfg;
+  src_cfg.payload_bytes = bytes;
+  core::SourceApp src(*t.stack_a, sim::Endpoint{t.b->id(), 7000}, src_cfg,
+                      nullptr);
+  src.start();
+  if (capture_trace) {
+    res.trace = std::make_unique<trace::TraceRecorder>("test");
+    res.trace->attach(src.socket());
+  }
+
+  auto& ev = t.net->sim().events();
+  while (!done && ev.now() <= cap && ev.step()) {
+  }
+  res.completed = done;
+  if (done) {
+    res.seconds = util::to_seconds(done_time - src.start_time());
+    res.mbps = util::throughput_mbps(bytes, done_time - src.start_time());
+  }
+  res.sender = src.socket()->stats();
+  // Drain teardown events so both sockets close cleanly.
+  ev.run_until(ev.now() + 300 * util::kSecond);
+  return res;
+}
+
+}  // namespace lsl::test

@@ -1,0 +1,265 @@
+// Behavioural tests of the TCP model: throughput, RTT, loss recovery and
+// congestion-control dynamics under controlled link conditions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim_test_util.hpp"
+
+namespace lsl::test {
+namespace {
+
+sim::LinkConfig clean_link(double mbps, double delay_ms) {
+  sim::LinkConfig l;
+  l.rate = util::DataRate::mbps(mbps);
+  l.delay = util::millis(delay_ms);
+  l.queue_bytes = 256 * util::kKiB;
+  return l;
+}
+
+TEST(TcpBehavior, LosslessTransferReachesLinkRate) {
+  auto t = make_two_hosts(clean_link(100, 5));
+  const auto r = run_bulk(t, 32 * util::kMiB);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.received, 32 * util::kMiB);
+  // With 8 MB windows the sawtooth periodically overruns the bottleneck
+  // queue: a handful of drops per window cycle is textbook behaviour, not
+  // wire loss. Goodput must still approach the line rate.
+  EXPECT_LT(r.sender.retransmits, 400u);
+  // Payload throughput is bounded by header overhead (1448/1500) and the
+  // slow-start ramp; 88+ Mbit/s of 100 is healthy for 32 MB at 10 ms RTT.
+  EXPECT_GT(r.mbps, 88.0);
+  EXPECT_LT(r.mbps, 97.0);
+}
+
+TEST(TcpBehavior, WindowLimitedLosslessTransferHasZeroRetransmits) {
+  // A receive window below BDP + queue depth can never overflow the
+  // bottleneck, so a clean link must yield exactly zero retransmissions.
+  tcp::TcpConfig cfg;
+  cfg.recv_buffer = 128 * util::kKiB;
+  auto t = make_two_hosts(clean_link(100, 5), cfg);
+  const auto r = run_bulk(t, 32 * util::kMiB);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.received, 32 * util::kMiB);
+  EXPECT_EQ(r.sender.retransmits, 0u);
+  EXPECT_EQ(r.sender.timeouts, 0u);
+  EXPECT_GT(r.mbps, 85.0);
+}
+
+TEST(TcpBehavior, LosslessRttStaysNearPropagation) {
+  // Window-limited below BDP: the queue stays empty and ACK-derived RTT
+  // sits at propagation plus serialization.
+  tcp::TcpConfig cfg;
+  cfg.recv_buffer = 256 * util::kKiB;  // < BDP of 100 Mbit x 40 ms
+  auto t = make_two_hosts(clean_link(100, 20), cfg);
+  const auto r = run_bulk(t, 8 * util::kMiB, /*capture_trace=*/true);
+  ASSERT_TRUE(r.completed);
+  const double rtt = trace::average_rtt_ms(*r.trace);
+  EXPECT_GE(rtt, 40.0);
+  EXPECT_LT(rtt, 45.0);
+}
+
+TEST(TcpBehavior, UnboundedWindowBuildsStandingQueue) {
+  // The dual of the previous test: with an 8 MB window the sender fills the
+  // bottleneck queue (bufferbloat) and measured RTT exceeds propagation by
+  // roughly the queue drain time.
+  auto t = make_two_hosts(clean_link(100, 20));
+  const auto r = run_bulk(t, 8 * util::kMiB, /*capture_trace=*/true);
+  ASSERT_TRUE(r.completed);
+  const double rtt = trace::average_rtt_ms(*r.trace);
+  EXPECT_GT(rtt, 45.0);
+  EXPECT_LT(rtt, 70.0);  // 40 ms + up to 256 KB / 100 Mbit = +21 ms
+}
+
+TEST(TcpBehavior, ThroughputIsWindowLimitedOverLongFatPipe) {
+  // 64 KB of receive buffer over an 80 ms RTT path caps throughput at
+  // roughly wnd/RTT = 6.55 Mbit/s regardless of the 1 Gbit link.
+  tcp::TcpConfig cfg;
+  cfg.recv_buffer = 64 * util::kKiB;
+  auto t = make_two_hosts(clean_link(1000, 40), cfg);
+  const auto r = run_bulk(t, 8 * util::kMiB);
+  ASSERT_TRUE(r.completed);
+  const double cap_mbps = 64.0 * 1024 * 8 / 0.080 / 1e6;
+  EXPECT_LT(r.mbps, cap_mbps * 1.05);
+  EXPECT_GT(r.mbps, cap_mbps * 0.70);
+}
+
+TEST(TcpBehavior, RandomLossMatchesMathisModel) {
+  // BW ~= MSS/RTT * sqrt(3/2)/sqrt(p): for p = 1e-3, RTT 40 ms, MSS 1448:
+  // ~4.4 Mbit/s. The model should land within a factor of ~1.6.
+  sim::LinkConfig l = clean_link(1000, 20);
+  l.loss_rate = 1e-3;
+  auto t = make_two_hosts(l);
+  const auto r = run_bulk(t, 16 * util::kMiB);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.sender.retransmits, 0u);
+  const double mathis = 1448.0 * 8.0 / 0.040 * std::sqrt(1.5 / 1e-3) / 1e6;
+  EXPECT_GT(r.mbps, mathis / 1.7);
+  EXPECT_LT(r.mbps, mathis * 1.7);
+}
+
+TEST(TcpBehavior, RetransmitsTrackWireLoss) {
+  // With SACK, retransmissions should be close to the number of packets the
+  // wire actually dropped — no go-back-N storms.
+  sim::LinkConfig l = clean_link(50, 10);
+  l.loss_rate = 5e-4;
+  auto t = make_two_hosts(l);
+  const auto r = run_bulk(t, 32 * util::kMiB);
+  ASSERT_TRUE(r.completed);
+  const auto* fwd = t.net->link_between(t.a->id(), t.b->id());
+  const auto* rev = t.net->link_between(t.b->id(), t.a->id());
+  const std::uint64_t wire_drops =
+      fwd->stats().drops_wire + fwd->stats().drops_queue +
+      rev->stats().drops_wire + rev->stats().drops_queue;
+  ASSERT_GT(wire_drops, 0u);
+  EXPECT_LE(r.sender.retransmits, wire_drops * 2 + 10);
+}
+
+TEST(TcpBehavior, BottleneckQueueOverflowIsSurvivable) {
+  // Tiny router buffer at the bottleneck: drops happen every window cycle,
+  // but the transfer completes with sane goodput.
+  sim::LinkConfig l = clean_link(10, 10);
+  l.queue_bytes = 32 * util::kKiB;
+  auto t = make_two_hosts(l);
+  const auto r = run_bulk(t, 8 * util::kMiB);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.mbps, 5.0);
+  EXPECT_EQ(r.received, 8 * util::kMiB);
+}
+
+TEST(TcpBehavior, SmallTransferDominatedByHandshake) {
+  auto t = make_two_hosts(clean_link(100, 30));
+  const auto r = run_bulk(t, 2 * util::kKiB);
+  ASSERT_TRUE(r.completed);
+  // Completion at the *sink*: 1 RTT of handshake + the one-way data flight
+  // = 1.5 RTT (90 ms), far above the 0.16 ms the bytes alone would need.
+  EXPECT_GE(r.seconds, 0.089);
+  EXPECT_LT(r.seconds, 0.150);
+}
+
+TEST(TcpBehavior, ZeroByteTransferCompletes) {
+  auto t = make_two_hosts(clean_link(100, 5));
+  const auto r = run_bulk(t, 0);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.received, 0u);
+}
+
+TEST(TcpBehavior, SingleByteTransferCompletes) {
+  auto t = make_two_hosts(clean_link(100, 5));
+  const auto r = run_bulk(t, 1);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.received, 1u);
+}
+
+TEST(TcpBehavior, SevereLossStillCompletes) {
+  sim::LinkConfig l = clean_link(10, 10);
+  l.loss_rate = 0.05;  // 5% per packet, both directions
+  auto t = make_two_hosts(l);
+  const auto r = run_bulk(t, 512 * util::kKiB);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.received, 512 * util::kKiB);
+}
+
+TEST(TcpBehavior, AsymmetricDelayUsesRoundTrip) {
+  // 5 ms forward, 45 ms reverse: the control loop sees the 50 ms sum.
+  sim::LinkConfig fwd = clean_link(100, 5);
+  sim::LinkConfig rev = clean_link(100, 45);
+  TwoHosts t;
+  t.net = std::make_unique<sim::Network>(1);
+  t.a = &t.net->add_host("a");
+  t.b = &t.net->add_host("b");
+  t.net->connect(*t.a, *t.b, fwd, rev);
+  t.net->compute_routes();
+  t.stack_a = std::make_unique<tcp::TcpStack>(*t.net, *t.a, tcp::TcpConfig{});
+  t.stack_b = std::make_unique<tcp::TcpStack>(*t.net, *t.b, tcp::TcpConfig{});
+  const auto r = run_bulk(t, 4 * util::kMiB, /*capture_trace=*/true);
+  ASSERT_TRUE(r.completed);
+  const double rtt = trace::average_rtt_ms(*r.trace);
+  EXPECT_GE(rtt, 50.0);
+  EXPECT_LT(rtt, 75.0);  // propagation sum + standing-queue delay
+}
+
+TEST(TcpBehavior, CongestionWindowSsthreshHalvesOnLoss) {
+  sim::LinkConfig l = clean_link(20, 10);
+  l.queue_bytes = 64 * util::kKiB;
+  auto t = make_two_hosts(l);
+  const auto r = run_bulk(t, 8 * util::kMiB);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.sender.fast_retransmits, 0u);
+  // Fast retransmit handled the overwhelming majority of loss events;
+  // timeouts should be rare on a clean bottleneck.
+  EXPECT_LE(r.sender.timeouts, 2u);
+}
+
+TEST(TcpBehavior, DelayedAckRoughlyHalvesAckVolume) {
+  auto t = make_two_hosts(clean_link(100, 5));
+  const auto r = run_bulk(t, 16 * util::kMiB);
+  ASSERT_TRUE(r.completed);
+  // ~11.6k data segments; delayed ACKs should produce ~half as many ACKs.
+  EXPECT_LT(r.sender.acks_received, r.sender.segments_sent * 6 / 10 + 20);
+  EXPECT_GT(r.sender.acks_received, r.sender.segments_sent * 4 / 10 - 20);
+}
+
+// --- Property sweep: delivery is exact under any loss/seed combination ------
+
+struct LossCase {
+  double loss;
+  std::uint64_t seed;
+  std::uint64_t bytes;
+};
+
+class TcpDeliveryProperty : public ::testing::TestWithParam<LossCase> {};
+
+TEST_P(TcpDeliveryProperty, DeliversExactlyOnceInOrder) {
+  const LossCase c = GetParam();
+  sim::LinkConfig l = clean_link(50, 8);
+  l.loss_rate = c.loss;
+  l.jitter = util::micros(500);
+  tcp::TcpConfig cfg;
+  cfg.carry_data = true;  // real bytes: content is verified end to end
+  auto t = make_two_hosts(l, cfg, c.seed);
+
+  core::SinkConfig sink_cfg;
+  sink_cfg.verify_payload = true;
+  sink_cfg.payload_seed = 77;
+  core::SinkServer sink(*t.stack_b, 7000, sink_cfg, nullptr);
+  bool done = false;
+  bool ok = false;
+  std::uint64_t got = 0;
+  sink.on_complete = [&](core::SinkApp& app) {
+    done = true;
+    ok = app.verified();
+    got = app.payload_received();
+  };
+
+  core::SourceConfig src_cfg;
+  src_cfg.payload_bytes = c.bytes;
+  src_cfg.payload_seed = 77;
+  core::SourceApp src(*t.stack_a, sim::Endpoint{t.b->id(), 7000}, src_cfg,
+                      nullptr);
+  src.start();
+
+  auto& ev = t.net->sim().events();
+  const util::SimTime cap = 3600ll * util::kSecond;
+  while (!done && ev.now() <= cap && ev.step()) {
+  }
+  ASSERT_TRUE(done) << "loss=" << c.loss << " seed=" << c.seed;
+  EXPECT_EQ(got, c.bytes);
+  EXPECT_TRUE(ok) << "content mismatch at loss=" << c.loss;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossSweep, TcpDeliveryProperty,
+    ::testing::Values(LossCase{0.0, 1, 256 * util::kKiB},
+                      LossCase{1e-4, 2, 256 * util::kKiB},
+                      LossCase{1e-3, 3, 256 * util::kKiB},
+                      LossCase{1e-2, 4, 256 * util::kKiB},
+                      LossCase{3e-2, 5, 128 * util::kKiB},
+                      LossCase{1e-1, 6, 64 * util::kKiB},
+                      LossCase{1e-3, 7, 1 * util::kMiB},
+                      LossCase{1e-2, 8, 1 * util::kMiB},
+                      LossCase{5e-3, 9, 2 * util::kMiB},
+                      LossCase{2e-2, 10, 512 * util::kKiB}));
+
+}  // namespace
+}  // namespace lsl::test

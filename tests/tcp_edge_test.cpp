@@ -1,0 +1,274 @@
+// Edge-case tests of the TCP model: lossy handshakes and teardowns,
+// zero-window stalls and reopening, link blackouts with RTO backoff,
+// refused connections, aborts, bidirectional transfer, and delayed-ACK
+// timing.
+#include <gtest/gtest.h>
+
+#include "sim_test_util.hpp"
+
+namespace lsl::test {
+namespace {
+
+sim::LinkConfig mk_link(double mbps, double delay_ms, double loss = 0.0) {
+  sim::LinkConfig l;
+  l.rate = util::DataRate::mbps(mbps);
+  l.delay = util::millis(delay_ms);
+  l.queue_bytes = 256 * util::kKiB;
+  l.loss_rate = loss;
+  return l;
+}
+
+TEST(TcpEdge, HandshakeSurvivesHeavySynLoss) {
+  // 30% loss: SYN / SYN+ACK are frequently dropped; retries must succeed.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    auto t = make_two_hosts(mk_link(50, 5, 0.30), {}, seed);
+    const auto r = run_bulk(t, 64 * util::kKiB);
+    ASSERT_TRUE(r.completed) << "seed " << seed;
+    EXPECT_EQ(r.received, 64 * util::kKiB);
+  }
+}
+
+TEST(TcpEdge, ConnectToClosedPortFailsWithReset) {
+  auto t = make_two_hosts(mk_link(50, 5));
+  bool error = false;
+  tcp::TcpError err = tcp::TcpError::kNone;
+  tcp::TcpSocket* s = t.stack_a->connect({t.b->id(), 9999});  // nobody listens
+  s->on_error = [&](tcp::TcpError e) {
+    error = true;
+    err = e;
+  };
+  t.net->run_until(60 * util::kSecond);
+  EXPECT_TRUE(error);
+  EXPECT_EQ(err, tcp::TcpError::kReset);
+  EXPECT_EQ(s->state(), tcp::TcpState::kClosed);
+}
+
+TEST(TcpEdge, ConnectToBlackholeTimesOut) {
+  // The peer host has no TCP stack at all: SYNs vanish, retries exhaust.
+  sim::Network net(1);
+  sim::Node& a = net.add_host("a");
+  sim::Node& b = net.add_host("b");  // no stack attached
+  net.connect(a, b, mk_link(50, 5));
+  net.compute_routes();
+  tcp::TcpStack stack(net, a, {});
+
+  bool error = false;
+  tcp::TcpError err = tcp::TcpError::kNone;
+  tcp::TcpSocket* s = stack.connect({b.id(), 80});
+  s->on_error = [&](tcp::TcpError e) {
+    error = true;
+    err = e;
+  };
+  net.run_until(1200ll * util::kSecond);
+  EXPECT_TRUE(error);
+  EXPECT_EQ(err, tcp::TcpError::kConnectTimeout);
+}
+
+TEST(TcpEdge, CloseCompletesDespiteFinLoss) {
+  // Lossy link: FIN / FIN-ACK drops must be retransmitted until both
+  // directions close cleanly.
+  for (std::uint64_t seed : {7u, 8u, 9u}) {
+    auto t = make_two_hosts(mk_link(50, 5, 0.15), {}, seed);
+    const auto r = run_bulk(t, 32 * util::kKiB);
+    ASSERT_TRUE(r.completed) << "seed " << seed;
+    // run_bulk drains teardown; both stacks should end with no live
+    // connections.
+    EXPECT_EQ(t.stack_a->connection_count(), 0u) << "seed " << seed;
+    EXPECT_EQ(t.stack_b->connection_count(), 0u) << "seed " << seed;
+  }
+}
+
+TEST(TcpEdge, ZeroWindowStallsAndResumesWhenReaderDrains) {
+  // Receiver app stops reading: the 64 KB window fills and the sender
+  // stalls; when the app drains, a window update restarts the flow.
+  tcp::TcpConfig cfg;
+  cfg.recv_buffer = 64 * util::kKiB;
+  sim::Network net(1);
+  sim::Node& a = net.add_host("a");
+  sim::Node& b = net.add_host("b");
+  net.connect(a, b, mk_link(100, 2));
+  net.compute_routes();
+  tcp::TcpStack sa(net, a, cfg), sb(net, b, cfg);
+
+  tcp::TcpSocket* server_sock = nullptr;
+  std::uint64_t drained = 0;
+  bool reading_enabled = false;
+  sb.listen(7000, [&](tcp::TcpSocket* s) {
+    server_sock = s;
+    s->on_readable = [&, s] {
+      if (reading_enabled) drained += s->recv_virtual(~std::uint64_t{0});
+    };
+  });
+
+  tcp::TcpSocket* client = sa.connect({b.id(), 7000});
+  client->on_established = [&] { client->send_virtual(512 * util::kKiB); };
+  client->on_writable = [&] {
+    // keep topping the buffer up (512K total was accepted already or not)
+  };
+
+  net.run_until(5 * util::kSecond);
+  ASSERT_NE(server_sock, nullptr);
+  // Stalled: nothing consumed, at most one window's worth received.
+  EXPECT_EQ(drained, 0u);
+  EXPECT_LE(server_sock->readable(), 64 * util::kKiB);
+  EXPECT_GE(server_sock->readable(), 60 * util::kKiB);
+  const std::uint64_t sent_before = client->stats().bytes_sent;
+
+  // Open the floodgates.
+  reading_enabled = true;
+  drained += server_sock->recv_virtual(~std::uint64_t{0});
+  net.run_until(30 * util::kSecond);
+  EXPECT_GT(client->stats().bytes_sent, sent_before);
+  EXPECT_EQ(drained, 512 * util::kKiB);
+}
+
+TEST(TcpEdge, LinkBlackoutRecoversViaBackedOffRto) {
+  auto t = make_two_hosts(mk_link(20, 5));
+  sim::Link* fwd = t.net->link_between(t.a->id(), t.b->id());
+  sim::Link* rev = t.net->link_between(t.b->id(), t.a->id());
+
+  // Black out both directions from t=0.5s to t=8s.
+  t.net->sim().events().schedule_in(util::seconds(0.5), [=] {
+    fwd->set_loss_rate(1.0);
+    rev->set_loss_rate(1.0);
+  });
+  t.net->sim().events().schedule_in(util::seconds(8.0), [=] {
+    fwd->set_loss_rate(0.0);
+    rev->set_loss_rate(0.0);
+  });
+
+  const auto r = run_bulk(t, 4 * util::kMiB);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.received, 4 * util::kMiB);
+  EXPECT_GT(r.sender.timeouts, 0u);
+  // The 7.5 s outage plus backed-off recovery dominates the timeline.
+  EXPECT_GT(r.seconds, 7.5);
+  EXPECT_LT(r.seconds, 40.0);
+}
+
+TEST(TcpEdge, AbortNotifiesPeerWithReset) {
+  sim::Network net(1);
+  sim::Node& a = net.add_host("a");
+  sim::Node& b = net.add_host("b");
+  net.connect(a, b, mk_link(100, 2));
+  net.compute_routes();
+  tcp::TcpStack sa(net, a, {}), sb(net, b, {});
+
+  bool peer_error = false;
+  sb.listen(7000, [&](tcp::TcpSocket* s) {
+    s->on_error = [&](tcp::TcpError e) {
+      peer_error = (e == tcp::TcpError::kReset);
+    };
+  });
+  tcp::TcpSocket* client = sa.connect({b.id(), 7000});
+  client->on_established = [&] {
+    client->send_virtual(100 * util::kKiB);
+    net.sim().events().schedule_in(util::millis(50),
+                                   [&] { client->abort(); });
+  };
+  net.run_until(10 * util::kSecond);
+  EXPECT_TRUE(peer_error);
+  EXPECT_EQ(client->state(), tcp::TcpState::kClosed);
+}
+
+TEST(TcpEdge, BidirectionalTransferBothDirectionsComplete) {
+  sim::Network net(3);
+  sim::Node& a = net.add_host("a");
+  sim::Node& b = net.add_host("b");
+  net.connect(a, b, mk_link(50, 8, 1e-3));
+  net.compute_routes();
+  tcp::TcpStack sa(net, a, {}), sb(net, b, {});
+
+  constexpr std::uint64_t kEach = 2 * util::kMiB;
+  std::uint64_t b_received = 0, a_received = 0;
+  bool b_eof = false, a_eof = false;
+
+  sb.listen(7000, [&](tcp::TcpSocket* s) {
+    // Server echoes a payload of its own while consuming the client's.
+    s->send_virtual(kEach);
+    s->close();
+    s->on_readable = [&, s] {
+      b_received += s->recv_virtual(~std::uint64_t{0});
+      if (s->eof()) b_eof = true;
+    };
+  });
+  tcp::TcpSocket* client = sa.connect({b.id(), 7000});
+  client->on_established = [&] {
+    client->send_virtual(kEach);
+    client->close();
+  };
+  client->on_readable = [&] {
+    a_received += client->recv_virtual(~std::uint64_t{0});
+    if (client->eof()) a_eof = true;
+  };
+
+  net.run_until(300 * util::kSecond);
+  EXPECT_TRUE(a_eof);
+  EXPECT_TRUE(b_eof);
+  EXPECT_EQ(a_received, kEach);
+  EXPECT_EQ(b_received, kEach);
+}
+
+TEST(TcpEdge, DelayedAckTimerBoundsSoloSegmentAck) {
+  // A single small segment cannot trigger the every-2-segments rule, so
+  // its ACK waits for the 40 ms delack timer: sender-side RTT sample ~
+  // propagation + ~40 ms.
+  auto t = make_two_hosts(mk_link(100, 10));
+  const auto r = run_bulk(t, 512, /*capture_trace=*/true);
+  ASSERT_TRUE(r.completed);
+  const auto samples = trace::rtt_samples(*r.trace);
+  ASSERT_FALSE(samples.empty());
+  EXPECT_GE(samples.back() * 1e3, 20.0);
+  EXPECT_LE(samples.back() * 1e3, 65.0);
+}
+
+TEST(TcpEdge, InitialSsthreshLimitsSlowStartOvershoot) {
+  tcp::TcpConfig capped;
+  capped.initial_ssthresh = 64 * util::kKiB;
+  auto t1 = make_two_hosts(mk_link(20, 20), capped, 5);
+  const auto slow = run_bulk(t1, 2 * util::kMiB);
+
+  tcp::TcpConfig uncapped;
+  auto t2 = make_two_hosts(mk_link(20, 20), uncapped, 5);
+  const auto fast = run_bulk(t2, 2 * util::kMiB);
+
+  ASSERT_TRUE(slow.completed);
+  ASSERT_TRUE(fast.completed);
+  // Uncapped slow start blasts to the queue limit and finishes sooner on a
+  // clean link; the capped start crawls through congestion avoidance.
+  EXPECT_LT(fast.seconds, slow.seconds);
+  EXPECT_EQ(slow.sender.retransmits, 0u);  // never overshoots the queue
+}
+
+TEST(TcpEdge, ListenerRejectsDuplicateBind) {
+  auto t = make_two_hosts(mk_link(50, 5));
+  t.stack_b->listen(7100, [](tcp::TcpSocket*) {});
+  EXPECT_THROW(t.stack_b->listen(7100, [](tcp::TcpSocket*) {}),
+               std::invalid_argument);
+}
+
+TEST(TcpEdge, ManySequentialConnectionsReusePortSpace) {
+  auto t = make_two_hosts(mk_link(100, 1));
+  int completed = 0;
+  t.stack_b->listen(7000, [&](tcp::TcpSocket* s) {
+    s->on_readable = [&, s] {
+      s->recv_virtual(~std::uint64_t{0});
+      if (s->eof()) {
+        s->close();
+        ++completed;
+      }
+    };
+  });
+  for (int i = 0; i < 50; ++i) {
+    tcp::TcpSocket* c = t.stack_a->connect({t.b->id(), 7000});
+    c->on_established = [c] {
+      c->send_virtual(1000);
+      c->close();
+    };
+  }
+  t.net->run_until(60 * util::kSecond);
+  EXPECT_EQ(completed, 50);
+}
+
+}  // namespace
+}  // namespace lsl::test

@@ -1,0 +1,121 @@
+// TcpStack-level tests: demultiplexing, listener life cycle, ephemeral
+// ports, and stray-segment handling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "sim_test_util.hpp"
+
+namespace lsl::test {
+namespace {
+
+sim::LinkConfig fast_link() {
+  sim::LinkConfig l;
+  l.rate = util::DataRate::mbps(100);
+  l.delay = util::millis(5);
+  return l;
+}
+
+TEST(TcpStack, ConcurrentConnectionsDemuxIndependently) {
+  auto t = make_two_hosts(fast_link());
+  constexpr int kConns = 8;
+  constexpr std::uint64_t kBytesBase = 10'000;
+
+  std::vector<std::uint64_t> received;
+  int eofs = 0;
+  t.stack_b->listen(7000, [&](tcp::TcpSocket* s) {
+    const std::size_t idx = received.size();
+    received.push_back(0);
+    s->on_readable = [&, s, idx] {
+      received[idx] += s->recv_virtual(~std::uint64_t{0});
+      if (s->eof()) {
+        s->close();
+        ++eofs;
+      }
+    };
+  });
+
+  std::vector<std::uint64_t> sent;
+  for (int i = 0; i < kConns; ++i) {
+    const std::uint64_t n = kBytesBase * static_cast<std::uint64_t>(i + 1);
+    sent.push_back(n);
+    tcp::TcpSocket* c = t.stack_a->connect({t.b->id(), 7000});
+    c->on_established = [c, n] {
+      c->send_virtual(n);
+      c->close();
+    };
+  }
+  t.net->run_until(60 * util::kSecond);
+
+  ASSERT_EQ(eofs, kConns);
+  // Each connection delivered exactly its own byte count; sizes are all
+  // distinct, so any demux mix-up would break the multiset equality.
+  std::sort(received.begin(), received.end());
+  std::sort(sent.begin(), sent.end());
+  EXPECT_EQ(received, sent);
+}
+
+TEST(TcpStack, CloseListenerStopsNewConnections) {
+  auto t = make_two_hosts(fast_link());
+  int accepted = 0;
+  t.stack_b->listen(7000, [&](tcp::TcpSocket*) { ++accepted; });
+
+  tcp::TcpSocket* c1 = t.stack_a->connect({t.b->id(), 7000});
+  t.net->run_until(2 * util::kSecond);
+  EXPECT_EQ(accepted, 1);
+  EXPECT_EQ(c1->state(), tcp::TcpState::kEstablished);
+
+  t.stack_b->close_listener(7000);
+  bool refused = false;
+  tcp::TcpSocket* c2 = t.stack_a->connect({t.b->id(), 7000});
+  c2->on_error = [&](tcp::TcpError e) {
+    refused = (e == tcp::TcpError::kReset);
+  };
+  t.net->run_until(60 * util::kSecond);
+  EXPECT_EQ(accepted, 1);
+  EXPECT_TRUE(refused);
+}
+
+TEST(TcpStack, EphemeralPortsAreUnique) {
+  auto t = make_two_hosts(fast_link());
+  t.stack_b->listen(7000, [](tcp::TcpSocket*) {});
+  std::set<sim::PortNum> ports;
+  for (int i = 0; i < 100; ++i) {
+    tcp::TcpSocket* c = t.stack_a->connect({t.b->id(), 7000});
+    EXPECT_TRUE(ports.insert(c->local().port).second)
+        << "duplicate ephemeral port " << c->local().port;
+  }
+  t.net->run_until(10 * util::kSecond);
+}
+
+TEST(TcpStack, ConnectionCountTracksLifecycle) {
+  auto t = make_two_hosts(fast_link());
+  t.stack_b->listen(7000, [](tcp::TcpSocket* s) {
+    s->on_readable = [s] {
+      s->recv_virtual(~std::uint64_t{0});
+      if (s->eof()) s->close();
+    };
+  });
+  EXPECT_EQ(t.stack_a->connection_count(), 0u);
+  tcp::TcpSocket* c = t.stack_a->connect({t.b->id(), 7000});
+  c->on_established = [c] {
+    c->send_virtual(5000);
+    c->close();
+  };
+  EXPECT_EQ(t.stack_a->connection_count(), 1u);
+  t.net->run_until(60 * util::kSecond);
+  EXPECT_EQ(t.stack_a->connection_count(), 0u);
+  EXPECT_EQ(t.stack_b->connection_count(), 0u);
+}
+
+TEST(TcpStack, RouterCannotHostAStack) {
+  sim::Network net(1);
+  net.add_host("h");
+  sim::Node& r = net.add_router("r");
+  EXPECT_THROW(tcp::TcpStack(net, r, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lsl::test

@@ -1,0 +1,130 @@
+// Tests of the trace capture and analysis pipeline: ACK-matched RTT
+// estimation (with Karn's exclusion), retransmission counting, and the
+// sequence-growth derivation — validated against transfers with known link
+// characteristics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim_test_util.hpp"
+
+namespace lsl::test {
+namespace {
+
+sim::LinkConfig link_ms(double mbps, double delay_ms, double loss = 0.0) {
+  sim::LinkConfig l;
+  l.rate = util::DataRate::mbps(mbps);
+  l.delay = util::millis(delay_ms);
+  l.queue_bytes = 256 * util::kKiB;
+  l.loss_rate = loss;
+  return l;
+}
+
+TEST(TraceAnalysis, RttMatchesPropagationOnCleanWindowLimitedPath) {
+  tcp::TcpConfig cfg;
+  cfg.recv_buffer = 128 * util::kKiB;  // below BDP: no standing queue
+  auto t = make_two_hosts(link_ms(100, 25), cfg);
+  const auto r = run_bulk(t, 4 * util::kMiB, true);
+  ASSERT_TRUE(r.completed);
+  const auto samples = trace::rtt_samples(*r.trace);
+  ASSERT_GT(samples.size(), 50u);
+  const double avg = trace::average_rtt_ms(*r.trace);
+  EXPECT_GE(avg, 50.0);
+  EXPECT_LT(avg, 55.0);
+  for (double s : samples) EXPECT_GE(s * 1e3, 49.9);
+}
+
+TEST(TraceAnalysis, RetransmissionCountMatchesSocketStats) {
+  auto t = make_two_hosts(link_ms(50, 10, 2e-3));
+  const auto r = run_bulk(t, 8 * util::kMiB, true);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(trace::retransmission_count(*r.trace), r.sender.retransmits);
+  EXPECT_GT(r.sender.retransmits, 0u);
+}
+
+TEST(TraceAnalysis, KarnExcludesRetransmittedSegments) {
+  // With heavy loss, samples must still all be >= the true RTT — a sample
+  // mistakenly taken from a retransmission's earlier send time would show
+  // an impossible multi-RTT value; one taken from the *later* send of an
+  // ambiguous segment would show an impossibly small value.
+  auto t = make_two_hosts(link_ms(20, 15, 1e-2));
+  const auto r = run_bulk(t, 2 * util::kMiB, true);
+  ASSERT_TRUE(r.completed);
+  const auto samples = trace::rtt_samples(*r.trace);
+  ASSERT_GT(samples.size(), 10u);
+  for (double s : samples) {
+    EXPECT_GE(s * 1e3, 29.9) << "sample below propagation RTT";
+    EXPECT_LT(s * 1e3, 400.0) << "sample wildly above plausible RTT";
+  }
+}
+
+TEST(TraceAnalysis, SequenceGrowthMonotoneAndComplete) {
+  auto t = make_two_hosts(link_ms(50, 5, 1e-3));
+  const std::uint64_t bytes = 4 * util::kMiB;
+  const auto r = run_bulk(t, bytes, true);
+  ASSERT_TRUE(r.completed);
+  const util::Series s = trace::sequence_growth(*r.trace);
+  ASSERT_GT(s.size(), 100u);
+  EXPECT_DOUBLE_EQ(s.front().v, 0.0);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_GE(s[i].t, s[i - 1].t);
+    EXPECT_GT(s[i].v, s[i - 1].v);  // high-water mark strictly grows
+  }
+  EXPECT_DOUBLE_EQ(s.back().v, static_cast<double>(bytes));
+}
+
+TEST(TraceAnalysis, SequenceGrowthSlopeTracksThroughput) {
+  auto t = make_two_hosts(link_ms(10, 5));
+  const auto r = run_bulk(t, 4 * util::kMiB, true);
+  ASSERT_TRUE(r.completed);
+  const util::Series s = trace::sequence_growth(*r.trace);
+  // Average slope (bytes/s) should be within 25% of measured goodput.
+  const double slope = s.back().v / s.back().t;
+  EXPECT_NEAR(slope * 8 / 1e6, r.mbps, r.mbps * 0.25);
+}
+
+TEST(TraceAnalysis, UniqueBytesSentExcludesRetransmissions) {
+  auto t = make_two_hosts(link_ms(20, 10, 5e-3));
+  const std::uint64_t bytes = 2 * util::kMiB;
+  const auto r = run_bulk(t, bytes, true);
+  ASSERT_TRUE(r.completed);
+  // An RTO rewind may re-slice segment boundaries, folding a few
+  // never-before-sent bytes into packets flagged as retransmissions, so the
+  // count is a close lower bound rather than exact.
+  const std::uint64_t unique = trace::unique_bytes_sent(*r.trace);
+  EXPECT_LE(unique, bytes);
+  EXPECT_GE(unique, bytes - 16 * 1448);
+}
+
+TEST(TraceAnalysis, UniqueBytesSentExactWithoutTimeouts) {
+  auto t = make_two_hosts(link_ms(50, 10, 5e-4));
+  const std::uint64_t bytes = 2 * util::kMiB;
+  const auto r = run_bulk(t, bytes, true);
+  ASSERT_TRUE(r.completed);
+  if (r.sender.timeouts == 0) {
+    EXPECT_EQ(trace::unique_bytes_sent(*r.trace), bytes);
+  }
+}
+
+TEST(TraceAnalysis, OriginOffsetsTimebase) {
+  auto t = make_two_hosts(link_ms(50, 5));
+  const auto r = run_bulk(t, 256 * util::kKiB, true);
+  ASSERT_TRUE(r.completed);
+  const util::Series rel = trace::sequence_growth(*r.trace);
+  const util::Series abs0 = trace::sequence_growth(*r.trace, 0);
+  ASSERT_FALSE(rel.empty());
+  ASSERT_FALSE(abs0.empty());
+  // With origin = 0 the first point carries the absolute trace start time.
+  EXPECT_GT(abs0.front().t, rel.front().t);
+}
+
+TEST(TraceAnalysis, EmptyTraceYieldsEmptyAnalysis) {
+  trace::TraceRecorder rec("empty");
+  EXPECT_TRUE(trace::rtt_samples(rec).empty());
+  EXPECT_DOUBLE_EQ(trace::average_rtt_ms(rec), 0.0);
+  EXPECT_EQ(trace::retransmission_count(rec), 0u);
+  EXPECT_TRUE(trace::sequence_growth(rec).empty());
+}
+
+}  // namespace
+}  // namespace lsl::test

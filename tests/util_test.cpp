@@ -1,0 +1,322 @@
+// Unit tests for src/util: units, RNG, statistics, time series, tables and
+// the interval set that backs the SACK scoreboard.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "util/interval_set.hpp"
+#include "util/rng.hpp"
+#include "util/series.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace lsl::util {
+namespace {
+
+// --- units -------------------------------------------------------------------
+
+TEST(Units, TransmissionTimeExact) {
+  const DataRate r = DataRate::mbps(8);  // 1 byte per microsecond
+  EXPECT_EQ(r.transmission_time(1), kMicrosecond);
+  EXPECT_EQ(r.transmission_time(1500), 1500 * kMicrosecond);
+  EXPECT_EQ(DataRate::bps(0).transmission_time(1000), 0);
+}
+
+TEST(Units, TransmissionTimeNoOverflowForHugePayloads) {
+  const DataRate r = DataRate::kbps(9.6);
+  const std::uint64_t bytes = 8ull * kGiB;
+  const SimDuration t = r.transmission_time(bytes);
+  // 8 GiB at 9600 bit/s ~ 7158278 s.
+  EXPECT_NEAR(to_seconds(t), 8.0 * 1024 * 1024 * 1024 * 8 / 9600.0, 1.0);
+}
+
+TEST(Units, ThroughputMbps) {
+  EXPECT_DOUBLE_EQ(throughput_mbps(1'000'000, kSecond), 8.0);
+  EXPECT_DOUBLE_EQ(throughput_mbps(123, 0), 0.0);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(64 * kMiB), "64M");
+  EXPECT_EQ(format_bytes(32 * kKiB), "32K");
+  EXPECT_EQ(format_bytes(3), "3");
+  EXPECT_EQ(format_bytes(2 * kGiB), "2G");
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(format_duration(millis(57.3)), "57.300ms");
+  EXPECT_EQ(format_duration(seconds(2.5)), "2.500s");
+}
+
+// --- rng ---------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  EXPECT_FALSE(r.bernoulli(0.0));
+  EXPECT_TRUE(r.bernoulli(1.0));
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(21);
+  Rng child = a.split();
+  Rng a2(21);
+  Rng child2 = a2.split();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(child(), child2());
+  // Parent stream continues deterministically after the split.
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a(), a2());
+}
+
+// --- stats -------------------------------------------------------------------
+
+TEST(Stats, RunningStatsKnownValues) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, MedianAndQuantiles) {
+  const std::vector<double> v{1, 2, 3, 4, 100};
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 100.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{1.0, 2.0}), 1.5);
+}
+
+TEST(Stats, SummarizeEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+// --- series ------------------------------------------------------------------
+
+TEST(Series, InterpolateClampsAndLerps) {
+  const Series s{{0.0, 0.0}, {1.0, 10.0}, {3.0, 30.0}};
+  EXPECT_DOUBLE_EQ(interpolate(s, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(interpolate(s, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interpolate(s, 2.0), 20.0);
+  EXPECT_DOUBLE_EQ(interpolate(s, 99.0), 30.0);
+  EXPECT_DOUBLE_EQ(interpolate({}, 1.0), 0.0);
+}
+
+TEST(Series, ResampleCoversRange) {
+  const Series s{{0.0, 0.0}, {2.0, 20.0}};
+  const Series r = resample(s, 2.0, 5);
+  ASSERT_EQ(r.size(), 5u);
+  EXPECT_DOUBLE_EQ(r.front().t, 0.0);
+  EXPECT_DOUBLE_EQ(r.back().t, 2.0);
+  EXPECT_DOUBLE_EQ(r[2].v, 10.0);
+}
+
+TEST(Series, AverageOfTwoRuns) {
+  const Series a{{0.0, 0.0}, {1.0, 10.0}};
+  const Series b{{0.0, 0.0}, {2.0, 10.0}};  // slower run
+  const Series avg = average_series({a, b}, 3);
+  ASSERT_EQ(avg.size(), 3u);
+  // At t=1: a holds 10 (finished), b is at 5 -> average 7.5.
+  EXPECT_DOUBLE_EQ(avg[1].t, 1.0);
+  EXPECT_DOUBLE_EQ(avg[1].v, 7.5);
+  EXPECT_DOUBLE_EQ(avg[2].v, 10.0);
+}
+
+TEST(Series, AverageSkipsEmptyRuns) {
+  const Series a{{0.0, 2.0}, {1.0, 2.0}};
+  const Series avg = average_series({a, {}}, 2);
+  ASSERT_EQ(avg.size(), 2u);
+  EXPECT_DOUBLE_EQ(avg[0].v, 2.0);
+}
+
+// --- table -------------------------------------------------------------------
+
+TEST(Table, AlignedOutputAndCsv) {
+  Table t("demo", {"name", "value"});
+  t.add_row({"alpha", 42});
+  t.add_row({"beta,comma", Cell(3.14159, 2)});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("alpha"), std::string::npos);
+  EXPECT_NE(os.str().find("42"), std::string::npos);
+
+  std::ostringstream csv;
+  t.write_csv(csv);
+  EXPECT_NE(csv.str().find("\"beta,comma\",3.14"), std::string::npos);
+}
+
+TEST(Table, RowArityEnforced) {
+  Table t("demo", {"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+// --- interval set ------------------------------------------------------------
+
+TEST(IntervalSet, InsertMergesAdjacentAndOverlapping) {
+  IntervalSet s;
+  s.insert(10, 20);
+  s.insert(30, 40);
+  EXPECT_EQ(s.interval_count(), 2u);
+  s.insert(20, 30);  // bridges both
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.total(), 30u);
+  EXPECT_TRUE(s.contains(10, 40));
+  EXPECT_FALSE(s.contains(9, 11));
+}
+
+TEST(IntervalSet, EraseBelowTrimsStraddler) {
+  IntervalSet s;
+  s.insert(10, 30);
+  s.erase_below(20);
+  EXPECT_EQ(s.total(), 10u);
+  EXPECT_FALSE(s.contains(15));
+  EXPECT_TRUE(s.contains(25));
+}
+
+TEST(IntervalSet, NextGapScanning) {
+  IntervalSet s;
+  s.insert(10, 20);
+  s.insert(30, 40);
+  auto g = s.next_gap(0, 50);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->first, 0u);
+  EXPECT_EQ(g->second, 10u);
+  g = s.next_gap(10, 50);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->first, 20u);
+  EXPECT_EQ(g->second, 30u);
+  g = s.next_gap(30, 40);
+  EXPECT_FALSE(g.has_value());
+  g = s.next_gap(35, 45);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->first, 40u);
+  EXPECT_EQ(g->second, 45u);
+}
+
+TEST(IntervalSet, CoveredWithin) {
+  IntervalSet s;
+  s.insert(10, 20);
+  s.insert(30, 40);
+  EXPECT_EQ(s.covered_within(0, 50), 20u);
+  EXPECT_EQ(s.covered_within(15, 35), 10u);
+  EXPECT_EQ(s.covered_within(20, 30), 0u);
+}
+
+/// Property: random inserts/erases agree with a naive bitmap model.
+class IntervalSetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSetProperty, AgreesWithBitmapModel) {
+  constexpr std::uint64_t kUniverse = 512;
+  Rng rng(GetParam());
+  IntervalSet s;
+  std::vector<bool> model(kUniverse, false);
+
+  for (int step = 0; step < 300; ++step) {
+    const auto a = rng.uniform_int(0, kUniverse - 1);
+    const auto b = rng.uniform_int(0, kUniverse);
+    const auto lo = std::min(a, b), hi = std::max(a, b);
+    if (rng.bernoulli(0.8)) {
+      s.insert(lo, hi);
+      for (auto i = lo; i < hi; ++i) model[i] = true;
+    } else {
+      s.erase_below(lo);
+      for (std::uint64_t i = 0; i < lo; ++i) model[i] = false;
+    }
+
+    // total
+    std::uint64_t expect_total = 0;
+    for (bool bit : model) expect_total += bit ? 1 : 0;
+    ASSERT_EQ(s.total(), expect_total) << "step " << step;
+
+    // point membership on a sample
+    for (int probe = 0; probe < 16; ++probe) {
+      const auto x = rng.uniform_int(0, kUniverse - 1);
+      ASSERT_EQ(s.contains(x), static_cast<bool>(model[x]))
+          << "x=" << x << " step=" << step;
+    }
+
+    // next_gap from a random origin
+    const auto from = rng.uniform_int(0, kUniverse - 1);
+    const auto gap = s.next_gap(from, kUniverse);
+    std::uint64_t naive = from;
+    while (naive < kUniverse && model[naive]) ++naive;
+    if (naive == kUniverse) {
+      ASSERT_FALSE(gap.has_value());
+    } else {
+      ASSERT_TRUE(gap.has_value());
+      ASSERT_EQ(gap->first, naive);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace lsl::util

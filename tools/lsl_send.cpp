@@ -1,0 +1,219 @@
+// lsl_send — command-line LSL session sender (real sockets).
+//
+// Streams a file (or a generated test payload) to an lsl_recv sink, either
+// directly or cascaded through one or more lsd depots, with the MD5 stream
+// digest appended so the receiver verifies integrity end to end.
+//
+//   lsl_send [-v HOP]... DEST_IP:PORT (-f FILE | -n BYTES [-s SEED])
+//
+//   -v HOP    add a depot hop (ip:port); repeatable, applied in order
+//   -f FILE   send the contents of FILE
+//   -n BYTES  send BYTES of deterministic generated payload
+//   -s SEED   generator seed (default 1; lsl_recv -s must match to verify
+//             content, the MD5 trailer verifies regardless)
+#include <fcntl.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lsl/payload.hpp"
+#include "lsl/session_id.hpp"
+#include "lsl/wire.hpp"
+#include "md5/md5.hpp"
+#include "posix/epoll_loop.hpp"
+#include "posix/socket_util.hpp"
+#include "util/rng.hpp"
+
+using namespace lsl;
+
+namespace {
+
+bool parse_endpoint(const std::string& s, posix::InetAddress* out) {
+  const auto colon = s.rfind(':');
+  if (colon == std::string::npos) return false;
+  const auto ip = posix::parse_ipv4(s.substr(0, colon));
+  if (!ip) return false;
+  const long port = std::strtol(s.c_str() + colon + 1, nullptr, 10);
+  if (port <= 0 || port > 65535) return false;
+  *out = {*ip, static_cast<std::uint16_t>(port)};
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lsl_send [-v HOP_IP:PORT]... DEST_IP:PORT "
+               "(-f FILE | -n BYTES [-s SEED])\n");
+  return 2;
+}
+
+/// Blocking full write (the CLI has nothing else to do).
+bool write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::vector<posix::InetAddress> hops;
+  posix::InetAddress dest{};
+  bool have_dest = false;
+  std::string file;
+  std::uint64_t gen_bytes = 0;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return ++i < argc ? argv[i] : nullptr;
+    };
+    if (arg == "-v") {
+      const char* v = next();
+      posix::InetAddress hop{};
+      if (v == nullptr || !parse_endpoint(v, &hop)) return usage();
+      hops.push_back(hop);
+    } else if (arg == "-f") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      file = v;
+    } else if (arg == "-n") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      gen_bytes = std::strtoull(v, nullptr, 10);
+    } else if (arg == "-s") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (!have_dest) {
+      if (!parse_endpoint(arg, &dest)) return usage();
+      have_dest = true;
+    } else {
+      return usage();
+    }
+  }
+  if (!have_dest || (file.empty() && gen_bytes == 0)) {
+    return usage();
+  }
+
+  // Determine payload length up front (the header carries it).
+  std::ifstream in;
+  std::uint64_t length = gen_bytes;
+  if (!file.empty()) {
+    in.open(file, std::ios::binary | std::ios::ate);
+    if (!in) {
+      std::fprintf(stderr, "lsl_send: cannot open %s\n", file.c_str());
+      return 1;
+    }
+    length = static_cast<std::uint64_t>(in.tellg());
+    in.seekg(0);
+  }
+
+  // Connect (blocking via a tiny epoll wait for writability).
+  const posix::InetAddress first = hops.empty() ? dest : hops[0];
+  posix::Fd sock = posix::connect_tcp(first);
+  if (!sock.valid()) {
+    std::perror("lsl_send: connect");
+    return 1;
+  }
+  {
+    posix::EpollLoop loop;
+    bool ready = false;
+    loop.add(sock.get(), EPOLLOUT, [&](std::uint32_t) { ready = true; });
+    while (!ready) {
+      if (loop.run_once(5000) == 0) break;
+    }
+    if (const int err = posix::connect_result(sock.get()); err != 0) {
+      std::fprintf(stderr, "lsl_send: connect: %s\n", std::strerror(err));
+      return 1;
+    }
+  }
+  // Blocking I/O from here on.
+  const int flags = ::fcntl(sock.get(), F_GETFL, 0);
+  ::fcntl(sock.get(), F_SETFL, flags & ~O_NONBLOCK);
+
+  // Header.
+  core::SessionHeader h;
+  util::Rng rng(seed ^ 0x1234567);
+  h.session = core::SessionId::generate(rng);
+  h.flags = core::kFlagDigestTrailer;
+  h.payload_length = length;
+  for (std::size_t i = 1; i < hops.size(); ++i) {
+    h.hops.push_back({hops[i].addr, hops[i].port});
+  }
+  h.destination = {dest.addr, dest.port};
+  std::vector<std::uint8_t> buf;
+  core::encode_header(h, buf);
+  if (!write_all(sock.get(), buf.data(), buf.size())) {
+    std::perror("lsl_send: write header");
+    return 1;
+  }
+  std::fprintf(stderr, "lsl_send: session %s, %llu bytes via %zu depot(s)\n",
+               h.session.hex().c_str(),
+               static_cast<unsigned long long>(length), hops.size());
+
+  // Payload + digest.
+  md5::Md5 hash;
+  core::PayloadGenerator gen(seed);
+  std::vector<std::uint8_t> chunk(256 * 1024);
+  std::uint64_t left = length;
+  while (left > 0) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(left, chunk.size()));
+    if (in.is_open()) {
+      in.read(reinterpret_cast<char*>(chunk.data()),
+              static_cast<std::streamsize>(n));
+      if (static_cast<std::size_t>(in.gcount()) != n) {
+        std::fprintf(stderr, "lsl_send: short read from %s\n", file.c_str());
+        return 1;
+      }
+    } else {
+      gen.generate(std::span<std::uint8_t>(chunk.data(), n));
+    }
+    hash.update(std::span<const std::uint8_t>(chunk.data(), n));
+    if (!write_all(sock.get(), chunk.data(), n)) {
+      std::perror("lsl_send: write payload");
+      return 1;
+    }
+    left -= n;
+  }
+  const md5::Digest d = hash.finalize();
+  if (!write_all(sock.get(), d.bytes.data(), d.bytes.size())) {
+    std::perror("lsl_send: write digest");
+    return 1;
+  }
+  ::shutdown(sock.get(), SHUT_WR);
+
+  // Await the end-to-end status byte.
+  std::uint8_t status = 0;
+  ssize_t n;
+  while ((n = ::read(sock.get(), &status, 1)) < 0 && errno == EINTR) {
+  }
+  if (n == 1 && status == core::kStatusOk) {
+    std::fprintf(stderr, "lsl_send: delivered and verified (md5 %s)\n",
+                 d.hex().c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "lsl_send: delivery FAILED (status=%d)\n",
+               n == 1 ? status : -1);
+  return 1;
+}

@@ -1,0 +1,164 @@
+// lsl_sim — run any scenario/mode/size combination from the command line.
+//
+//   lsl_sim SCENARIO SIZE MODE [options]
+//
+//   SCENARIO  case1 | case2 | case3 | osu
+//   SIZE      bytes, with optional K/M/G suffix (e.g. 64M)
+//   MODE      direct | lsl | parallel[:N]
+//
+//   --iters N     iterations (default 5)
+//   --seed S      base seed (default 42)
+//   --traces      capture sender-side traces; print per-link RTT and
+//                 retransmissions, write seq-growth CSV per iteration
+//   --csv FILE    write per-iteration results as CSV
+//
+// Example:  lsl_sim case1 64M lsl --iters 10 --traces
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "exp/runner.hpp"
+#include "exp/scenarios.hpp"
+#include "trace/analysis.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+using namespace lsl;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lsl_sim SCENARIO SIZE MODE [--iters N] [--seed S] "
+               "[--traces] [--csv FILE]\n"
+               "  SCENARIO: case1|case2|case3|osu   MODE: "
+               "direct|lsl|parallel[:N]\n");
+  return 2;
+}
+
+bool parse_size(const std::string& s, std::uint64_t* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || v < 0) return false;
+  double mult = 1;
+  switch (*end) {
+    case 'k': case 'K': mult = 1024; break;
+    case 'm': case 'M': mult = 1024.0 * 1024; break;
+    case 'g': case 'G': mult = 1024.0 * 1024 * 1024; break;
+    case '\0': break;
+    default: return false;
+  }
+  *out = static_cast<std::uint64_t>(v * mult);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return usage();
+
+  exp::PathParams path;
+  const std::string scen = argv[1];
+  if (scen == "case1") {
+    path = exp::case1_ucsb_uiuc();
+  } else if (scen == "case2") {
+    path = exp::case2_ucsb_uf();
+  } else if (scen == "case3") {
+    path = exp::case3_utk_wireless();
+  } else if (scen == "osu") {
+    path = exp::case_osu_steady();
+  } else {
+    return usage();
+  }
+
+  std::uint64_t bytes = 0;
+  if (!parse_size(argv[2], &bytes)) return usage();
+
+  exp::RunConfig cfg;
+  cfg.bytes = bytes;
+  const std::string mode = argv[3];
+  if (mode == "direct") {
+    cfg.mode = exp::Mode::kDirectTcp;
+  } else if (mode == "lsl") {
+    cfg.mode = exp::Mode::kLsl;
+  } else if (mode.rfind("parallel", 0) == 0) {
+    cfg.mode = exp::Mode::kParallelTcp;
+    const auto colon = mode.find(':');
+    if (colon != std::string::npos) {
+      cfg.parallel_streams =
+          static_cast<std::size_t>(std::atoi(mode.c_str() + colon + 1));
+      if (cfg.parallel_streams == 0) return usage();
+    }
+  } else {
+    return usage();
+  }
+
+  std::size_t iters = 5;
+  cfg.seed = 42;
+  std::string csv_file;
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--iters" && i + 1 < argc) {
+      iters = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      cfg.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--traces") {
+      cfg.capture_traces = true;
+    } else if (arg == "--csv" && i + 1 < argc) {
+      csv_file = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  std::printf("scenario %s, %s, mode %s, %zu iteration(s)\n",
+              path.name.c_str(), util::format_bytes(bytes).c_str(),
+              mode.c_str(), iters);
+  std::printf("%6s %10s %10s %8s %8s\n", "iter", "time_s", "mbps", "retx",
+              "rto");
+
+  std::ofstream csv;
+  if (!csv_file.empty()) {
+    csv.open(csv_file);
+    csv << "iter,seconds,mbps,retransmits,timeouts\n";
+  }
+
+  util::RunningStats mbps;
+  for (std::size_t i = 0; i < iters; ++i) {
+    exp::RunConfig c = cfg;
+    c.seed = cfg.seed + i;
+    const exp::TransferResult r = exp::run_transfer(path, c);
+    if (!r.completed) {
+      std::printf("%6zu   (did not complete)\n", i);
+      continue;
+    }
+    mbps.add(r.mbps);
+    std::printf("%6zu %10.3f %10.2f %8llu %8llu\n", i, r.seconds, r.mbps,
+                static_cast<unsigned long long>(r.retransmits),
+                static_cast<unsigned long long>(r.timeouts));
+    if (csv.is_open()) {
+      csv << i << ',' << r.seconds << ',' << r.mbps << ',' << r.retransmits
+          << ',' << r.timeouts << '\n';
+    }
+    if (cfg.capture_traces) {
+      for (std::size_t k = 0; k < r.traces.size(); ++k) {
+        std::printf("        %-10s rtt=%6.1f ms  retx=%llu\n",
+                    r.traces[k]->label().c_str(), r.rtt_ms[k],
+                    static_cast<unsigned long long>(r.retx_per_link[k]));
+        const std::string stem = "seqgrowth_" + scen + "_" + mode + "_i" +
+                                 std::to_string(i) + "_" +
+                                 r.traces[k]->label() + ".csv";
+        std::ofstream sg(stem);
+        sg << "time_s,bytes\n";
+        for (const auto& pt : trace::sequence_growth(*r.traces[k])) {
+          sg << pt.t << ',' << pt.v << '\n';
+        }
+      }
+    }
+  }
+  std::printf("\nmean %.2f Mbit/s (sd %.2f) over %zu completed run(s)\n",
+              mbps.mean(), mbps.stddev(), mbps.count());
+  return mbps.count() > 0 ? 0 : 1;
+}
