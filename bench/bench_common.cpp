@@ -6,6 +6,8 @@
 #include <fstream>
 #include <iostream>
 
+#include "metrics/export.hpp"
+#include "metrics/metrics.hpp"
 #include "trace/analysis.hpp"
 #include "util/stats.hpp"
 
@@ -126,6 +128,25 @@ util::Table rtt_figure(const std::string& title,
   t.add_row({"end-to-end", util::Cell(e2e.mean(), 1)});
   t.add_row({"sub1+sub2", util::Cell(sub1.mean() + sub2.mean(), 1)});
   return t;
+}
+
+void emit_trace_metrics(const std::vector<TracePair>& runs,
+                        const std::string& stem) {
+  metrics::Registry reg;
+  for (const auto& r : runs) {
+    for (const auto& rec : r.direct.traces) {
+      trace::export_trace_metrics(*rec, reg, "trace." + rec->label());
+    }
+    for (const auto& rec : r.lsl.traces) {
+      trace::export_trace_metrics(*rec, reg, "trace." + rec->label());
+    }
+  }
+  if (reg.size() == 0) return;
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  if (!ec) {
+    metrics::write_file(reg, "bench_results/" + stem + "_metrics.jsonl");
+  }
 }
 
 std::vector<util::Series> growth_series(const TracePair& r) {

@@ -67,6 +67,13 @@ std::vector<TracePair> traced_runs(const exp::PathParams& path,
 util::Table rtt_figure(const std::string& title,
                        const std::vector<TracePair>& runs);
 
+/// Bridge every trace of every run through trace::export_trace_metrics and
+/// write the aggregate registry to bench_results/<stem>_metrics.jsonl —
+/// per-sublink RTT/retransmit histograms accumulated over all iterations,
+/// for replotting the RTT figures from distributions instead of means.
+void emit_trace_metrics(const std::vector<TracePair>& runs,
+                        const std::string& stem);
+
 /// Normalized sequence-growth series for run `r`: [0] = direct, [1] =
 /// sublink 1, [2] = sublink 2 (sublink 2 normalized against sublink 1's
 /// start, as in the paper's Figures 12-13).

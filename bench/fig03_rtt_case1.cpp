@@ -13,5 +13,6 @@ int main() {
                   "Fig 3: Average observed TCP RTT, Case 1 (via Denver)",
                   runs),
               "fig03_rtt_case1");
+  bench::emit_trace_metrics(runs, "fig03_rtt_case1");
   return 0;
 }

@@ -12,5 +12,6 @@ int main() {
                   "Fig 4: Average observed TCP RTT, Case 2 (via Houston)",
                   runs),
               "fig04_rtt_case2");
+  bench::emit_trace_metrics(runs, "fig04_rtt_case2");
   return 0;
 }

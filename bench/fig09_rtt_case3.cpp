@@ -13,5 +13,6 @@ int main() {
                   "Fig 9: Average observed TCP RTT, Case 3 (wireless edge)",
                   runs),
               "fig09_rtt_case3");
+  bench::emit_trace_metrics(runs, "fig09_rtt_case3");
   return 0;
 }

@@ -106,22 +106,30 @@ BENCHMARK(BM_Rng);
 
 void BM_RttAnalysis(benchmark::State& state) {
   // Build a synthetic trace of n data packets + matching ACKs, then time
-  // the ACK-matching RTT derivation.
+  // the ACK-matching RTT derivation (Karn's exclusion included: every 16th
+  // segment is retransmitted so the matcher exercises the discard path).
   const std::int64_t n = state.range(0);
   lsl::trace::TraceRecorder rec("synthetic");
-  // TraceRecorder only exposes attach(); fill via a local copy of events
-  // is not possible through the public API, so measure sequence_growth on
-  // a recorder filled through a real socket in the fixture-less way:
-  // fall back to exercising interpolation-heavy series math instead.
-  lsl::util::Series s;
-  s.reserve(static_cast<std::size_t>(n));
   for (std::int64_t i = 0; i < n; ++i) {
-    s.push_back({static_cast<double>(i) * 1e-3,
-                 static_cast<double>(i) * 1448.0});
+    const double t = static_cast<double>(i) * 1.0;  // 1 ms per segment
+    const auto seq = static_cast<std::uint64_t>(i) * 1448;
+    lsl::trace::TraceEvent data;
+    data.time = lsl::util::millis(t);
+    data.outgoing = true;
+    data.seq = seq;
+    data.payload = 1448;
+    data.retransmit = (i % 16) == 15;
+    rec.record(data);
+    lsl::trace::TraceEvent ack;
+    ack.time = lsl::util::millis(t + 30.0);
+    ack.outgoing = false;
+    ack.flags = lsl::sim::kFlagAck;
+    ack.ack = seq + 1448;
+    rec.record(ack);
   }
   for (auto _ : state) {
-    auto r = lsl::util::resample(s, static_cast<double>(n) * 1e-3, 200);
-    benchmark::DoNotOptimize(r.data());
+    auto samples = lsl::trace::rtt_samples(rec);
+    benchmark::DoNotOptimize(samples.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full verification sweep: build and run the test suite in the plain
+# configuration and again under AddressSanitizer. Usage:
+#
+#   scripts/check.sh [--no-asan]
+#
+# Build trees go to build-check/ (plain) and build-check-asan/ so the
+# default build/ directory is left untouched.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_asan=1
+if [[ "${1:-}" == "--no-asan" ]]; then
+  run_asan=0
+fi
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+echo "== plain build =="
+cmake -B build-check -S . -DLSL_WERROR=ON >/dev/null
+cmake --build build-check -j "$jobs"
+ctest --test-dir build-check --output-on-failure -j "$jobs"
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "== address-sanitizer build =="
+  cmake -B build-check-asan -S . -DLSL_SANITIZE=address >/dev/null
+  cmake --build build-check-asan -j "$jobs"
+  ctest --test-dir build-check-asan --output-on-failure -j "$jobs"
+fi
+
+echo "check.sh: all configurations passed"

@@ -3,11 +3,15 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "lsl/apps.hpp"
 #include "lsl/directory.hpp"
 #include "lsl/session_id.hpp"
+#include "metrics/instruments.hpp"
 #include "sim/network.hpp"
 #include "tcp/stack.hpp"
+#include "trace/analysis.hpp"
 #include "util/rng.hpp"
 
 namespace lsl::exp {
@@ -62,6 +66,24 @@ ChainResult run_chain(const ChainParams& params) {
   net.compute_routes();
 
   tcp::TcpConfig tcpc = params.tcp;
+
+  // Metric bundles, declared before the stacks so they outlive every socket
+  // holding a pointer to them.
+  std::vector<std::unique_ptr<metrics::TcpConnMetrics>> tcp_bundles;
+  std::vector<std::unique_ptr<metrics::DepotMetrics>> depot_bundles;
+  auto instrument = [&](tcp::TcpSocket* s, const std::string& label) {
+    if (params.metrics) {
+      tcp_bundles.push_back(std::make_unique<metrics::TcpConnMetrics>(
+          *params.metrics, "tcp." + label));
+      s->set_metrics(tcp_bundles.back().get());
+    }
+    if (params.capture_traces) {
+      auto rec = std::make_unique<trace::TraceRecorder>(label);
+      rec->attach(s);
+      res.traces.push_back(std::move(rec));
+    }
+  };
+
   tcp::TcpStack src_stack(net, src, tcpc);
   tcp::TcpStack dst_stack(net, dst, tcpc);
   std::vector<std::unique_ptr<tcp::TcpStack>> depot_stacks;
@@ -72,12 +94,21 @@ ChainResult run_chain(const ChainParams& params) {
   core::SessionDirectory dir;
   std::vector<std::unique_ptr<core::DepotApp>> depot_apps;
   std::vector<tcp::TcpSocket*> senders;
-  for (auto& st : depot_stacks) {
+  for (std::size_t i = 0; i < depot_stacks.size(); ++i) {
     core::DepotConfig dcfg = params.depot;
     dcfg.port = kDepotPort;
-    auto app = std::make_unique<core::DepotApp>(*st, dcfg, &dir);
-    app->on_downstream_open = [&senders](tcp::TcpSocket* s) {
+    auto app = std::make_unique<core::DepotApp>(*depot_stacks[i], dcfg, &dir);
+    if (params.metrics) {
+      depot_bundles.push_back(std::make_unique<metrics::DepotMetrics>(
+          *params.metrics, "depot." + std::to_string(i + 1)));
+      app->set_metrics(depot_bundles.back().get());
+    }
+    // Depot i's downstream connection is sublink i+2 of the cascade.
+    const std::string label = "sublink" + std::to_string(i + 2);
+    app->on_downstream_open = [&senders, &instrument,
+                               label](tcp::TcpSocket* s) {
       senders.push_back(s);
+      instrument(s, label);
     };
     depot_apps.push_back(std::move(app));
   }
@@ -108,6 +139,7 @@ ChainResult run_chain(const ChainParams& params) {
   }
   core::SourceApp source(src_stack, first_hop, scfg, &dir);
   source.start();
+  instrument(source.socket(), params.depots > 0 ? "sublink1" : "direct");
   senders.insert(senders.begin(), source.socket());
 
   auto& ev = net.sim().events();
@@ -119,6 +151,14 @@ ChainResult run_chain(const ChainParams& params) {
     res.mbps = util::throughput_mbps(params.bytes, done_time - source.start_time());
   }
   for (tcp::TcpSocket* s : senders) res.retransmits += s->stats().retransmits;
+  for (const auto& rec : res.traces) {
+    res.rtt_ms.push_back(trace::average_rtt_ms(*rec));
+    res.retx_per_link.push_back(trace::retransmission_count(*rec));
+    if (params.metrics) {
+      trace::export_trace_metrics(*rec, *params.metrics,
+                                  "trace." + rec->label());
+    }
+  }
   return res;
 }
 

@@ -9,10 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "lsl/depot.hpp"
+#include "metrics/metrics.hpp"
 #include "tcp/tcp.hpp"
+#include "trace/trace.hpp"
 #include "util/units.hpp"
 
 namespace lsl::exp {
@@ -39,6 +43,14 @@ struct ChainParams {
                           .session_setup_latency = util::millis(40)};
 
   util::SimDuration deadline = 4ull * 3600 * util::kSecond;
+
+  /// Record sender-side packet traces for every sublink.
+  bool capture_traces = false;
+  /// When set, the run registers live instruments here: per-sublink TCP
+  /// metrics under `tcp.sublink<i>.*` (or `tcp.direct.*` with 0 depots),
+  /// per-depot metrics under `depot.<i>.*`, and — with capture_traces — a
+  /// trace::analysis bridge under `trace.<label>.*`. Must outlive the call.
+  metrics::Registry* metrics = nullptr;
 };
 
 /// Outcome of one chain transfer.
@@ -47,6 +59,15 @@ struct ChainResult {
   double seconds = 0.0;
   double mbps = 0.0;
   std::uint64_t retransmits = 0;
+
+  // Sender-side traces (when capture_traces), in path order: the source's
+  // connection first ("sublink1", or "direct" with 0 depots), then each
+  // depot's downstream sublink ("sublink2".."sublinkN+1").
+  std::vector<std::unique_ptr<trace::TraceRecorder>> traces;
+  /// Average ACK-derived RTT (ms) of traces[i]; empty without traces.
+  std::vector<double> rtt_ms;
+  /// Retransmission count per traced sublink.
+  std::vector<std::uint64_t> retx_per_link;
 };
 
 /// Build the chain, run one transfer through all depots, and measure it the

@@ -26,6 +26,18 @@ TransferResult run_transfer(const PathParams& path, const RunConfig& cfg) {
   tcpc.carry_data = cfg.carry_data;
   if (tcpc.initial_ssthresh == 0) tcpc.initial_ssthresh = path.initial_ssthresh;
 
+  // Metric bundles, declared before the stacks so they outlive every socket
+  // holding a pointer to them.
+  std::vector<std::unique_ptr<metrics::TcpConnMetrics>> tcp_bundles;
+  std::unique_ptr<metrics::DepotMetrics> depot_bundle;
+  auto meter_socket = [&](tcp::TcpSocket* s, const std::string& label) {
+    if (!cfg.metrics) return;
+    tcp_bundles.push_back(
+        std::make_unique<metrics::TcpConnMetrics>(*cfg.metrics,
+                                                  "tcp." + label));
+    s->set_metrics(tcp_bundles.back().get());
+  };
+
   tcp::TcpStack src_stack(net, *sc.src, tcpc);
   tcp::TcpStack dst_stack(net, *sc.dst, tcpc);
   tcp::TcpStack depot_stack(net, *sc.depot, tcpc);
@@ -78,8 +90,14 @@ TransferResult run_transfer(const PathParams& path, const RunConfig& cfg) {
     }
     dcfg.port = kDepotPort;
     depot_app = std::make_unique<core::DepotApp>(depot_stack, dcfg, dirp);
+    if (cfg.metrics) {
+      depot_bundle =
+          std::make_unique<metrics::DepotMetrics>(*cfg.metrics, "depot.1");
+      depot_app->set_metrics(depot_bundle.get());
+    }
     depot_app->on_downstream_open = [&](tcp::TcpSocket* s) {
       senders.push_back(s);
+      meter_socket(s, "sublink2");
       if (cfg.capture_traces) {
         auto rec = std::make_unique<trace::TraceRecorder>("sublink2");
         rec->attach(s);
@@ -122,6 +140,8 @@ TransferResult run_transfer(const PathParams& path, const RunConfig& cfg) {
     source->start();
     start_time = source->start_time();
     senders.insert(senders.begin(), source->socket());
+    meter_socket(source->socket(),
+                 cfg.mode == Mode::kLsl ? "sublink1" : "direct");
     if (cfg.capture_traces) {
       auto rec = std::make_unique<trace::TraceRecorder>(
           cfg.mode == Mode::kLsl ? "sublink1" : "direct");
@@ -160,6 +180,10 @@ TransferResult run_transfer(const PathParams& path, const RunConfig& cfg) {
   for (const auto& rec : res.traces) {
     res.rtt_ms.push_back(trace::average_rtt_ms(*rec));
     res.retx_per_link.push_back(trace::retransmission_count(*rec));
+    if (cfg.metrics) {
+      trace::export_trace_metrics(*rec, *cfg.metrics,
+                                  "trace." + rec->label());
+    }
   }
   return res;
 }

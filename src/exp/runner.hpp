@@ -13,6 +13,7 @@
 #include "exp/scenarios.hpp"
 #include "lsl/apps.hpp"
 #include "lsl/depot.hpp"
+#include "metrics/metrics.hpp"
 #include "trace/analysis.hpp"
 #include "trace/trace.hpp"
 #include "util/stats.hpp"
@@ -39,6 +40,11 @@ struct RunConfig {
   /// Depot tuning; when unset, derived from the scenario's PathParams
   /// (depot_relay_rate / depot_relay_buffer / depot_wakeup).
   std::optional<core::DepotConfig> depot_override;
+  /// When set, the run registers live instruments here: per-connection TCP
+  /// metrics under `tcp.<label>.*`, depot metrics under `depot.1.*`, and —
+  /// with capture_traces — a trace::analysis bridge under `trace.<label>.*`.
+  /// Must outlive the call.
+  metrics::Registry* metrics = nullptr;
   /// Hard simulated-time ceiling; a run that exceeds it reports failure.
   util::SimDuration deadline = 4ull * 3600 * util::kSecond;
 };

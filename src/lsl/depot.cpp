@@ -32,6 +32,7 @@ void DepotApp::on_accept(tcp::TcpSocket* up) {
   auto relay = std::make_unique<Relay>();
   Relay* r = relay.get();
   r->up = up;
+  r->accept_time = stack_.sim().now();
   relays_.push_back(std::move(relay));
 
   const bool real = up->config().carry_data;
@@ -135,8 +136,12 @@ void DepotApp::pull_payload(Relay& r, bool ignore_space) {
       space = config_.buffer_bytes > buffered(r)
                   ? config_.buffer_bytes - buffered(r)
                   : 0;
-      if (space == 0) return;  // backpressure: upstream window will close
+      if (space == 0) {
+        begin_stall(r);
+        return;  // backpressure: upstream window will close
+      }
     }
+    end_stall(r);
 
     const std::uint64_t want =
         std::min<std::uint64_t>({space, r.up->readable(), 64 * util::kKiB});
@@ -175,9 +180,18 @@ void DepotApp::pull_payload(Relay& r, bool ignore_space) {
                  copy_busy_until_);
     const util::SimTime ready_at =
         start + config_.copy_rate.transmission_time(got);
+    if (metrics_) {
+      // Wait behind the daemon's serial copy resource, beyond the fixed
+      // wakeup latency every pull pays — the §VII contention signal.
+      const util::SimTime queued_from =
+          stack_.sim().now() + config_.wakeup_latency;
+      metrics_->copy_queue_delay_ms->observe(
+          util::to_millis(start > queued_from ? start - queued_from : 0));
+    }
     copy_busy_until_ = ready_at;
     r.in_copy_bytes += got;
     stats_.max_buffered = std::max(stats_.max_buffered, buffered(r));
+    note_occupancy(r);
     Relay* rp = &r;
     ev.schedule_at(ready_at,
                    [this, rp, got, c = std::move(chunk)]() mutable {
@@ -220,6 +234,7 @@ void DepotApp::copy_complete(Relay& r, std::uint64_t bytes,
   r.in_copy_bytes -= bytes;
   r.ready_bytes += bytes;
   if (!chunk.empty()) r.ready_chunks.push_back(std::move(chunk));
+  note_occupancy(r);
   pump_downstream(r);
 }
 
@@ -252,6 +267,7 @@ void DepotApp::pump_downstream(Relay& r) {
       r.ready_consumed += took;
       r.ready_bytes -= took;
       stats_.bytes_relayed += took;
+      if (metrics_) metrics_->bytes_relayed->inc(took);
       freed = true;
       if (r.ready_consumed == front.size()) {
         r.ready_chunks.pop_front();
@@ -264,12 +280,18 @@ void DepotApp::pump_downstream(Relay& r) {
       if (took == 0) break;
       r.ready_bytes -= took;
       stats_.bytes_relayed += took;
+      if (metrics_) metrics_->bytes_relayed->inc(took);
       freed = true;
     }
   }
 
-  // Space freed: resume reading from upstream (we may have declined earlier).
-  if (freed && r.up != nullptr && r.up->readable() > 0) pull_upstream(r);
+  if (freed) {
+    end_stall(r);  // ring space exists again; reads may resume
+    if (metrics_) note_occupancy(r);
+    // Space freed: resume reading from upstream (we may have declined
+    // earlier).
+    if (r.up != nullptr && r.up->readable() > 0) pull_upstream(r);
+  }
 
   maybe_complete(r);
 }
@@ -292,6 +314,7 @@ void DepotApp::park_relay(Relay& r) {
   // connection will not carry them again. The ring may temporarily exceed
   // its configured bound here; that is the price of not losing acked data.
   pull_payload(r, /*ignore_space=*/true);
+  end_stall(r);  // a parked relay is waiting for resume, not for ring space
   r.parked = true;
   Relay* rp = &r;
   r.park_expiry = stack_.sim().events().schedule_in(
@@ -355,16 +378,45 @@ void DepotApp::maybe_complete(Relay& r) {
       return;
     }
     r.done = true;
+    end_stall(r);
     ++stats_.sessions_completed;
+    if (metrics_) {
+      metrics_->relay_latency_ms->observe(
+          util::to_millis(stack_.sim().now() - r.accept_time));
+    }
     if (r.header) sessions_.erase(r.header->session);
     r.down->close();
     r.up->close();  // completes the upstream FIN handshake from our side
   }
 }
 
+void DepotApp::begin_stall(Relay& r) {
+  if (r.stall_since >= 0) return;  // already stalled
+  r.stall_since = stack_.sim().now();
+  ++stats_.backpressure_stalls;
+  if (metrics_) metrics_->backpressure_stalls->inc();
+}
+
+void DepotApp::end_stall(Relay& r) {
+  if (r.stall_since < 0) return;
+  const util::SimDuration stalled = stack_.sim().now() - r.stall_since;
+  r.stall_since = -1;
+  stats_.backpressure_stall_time += stalled;
+  if (metrics_) {
+    metrics_->stall_time_ns->inc(static_cast<std::uint64_t>(stalled));
+  }
+}
+
+void DepotApp::note_occupancy(const Relay& r) {
+  if (!metrics_) return;
+  metrics_->ring_occupancy_bytes->set(static_cast<double>(buffered(r)));
+  metrics_->copy_queue_bytes->set(static_cast<double>(r.in_copy_bytes));
+}
+
 void DepotApp::fail_relay(Relay& r) {
   if (r.done) return;
   r.done = true;
+  end_stall(r);
   ++stats_.sessions_failed;
   if (r.park_expiry != sim::kInvalidEvent) {
     stack_.sim().events().cancel(r.park_expiry);

@@ -26,6 +26,7 @@
 
 #include "lsl/directory.hpp"
 #include "lsl/wire.hpp"
+#include "metrics/instruments.hpp"
 #include "tcp/stack.hpp"
 #include "util/units.hpp"
 
@@ -61,6 +62,11 @@ struct DepotStats {
   std::uint64_t bytes_relayed = 0;
   std::uint64_t bytes_discarded = 0;   ///< duplicate prefix on resume
   std::uint64_t max_buffered = 0;  ///< relay-buffer high-water mark
+  /// Times a relay's ring filled and the depot stopped reading upstream
+  /// (each one is a hop-by-hop backpressure episode).
+  std::uint64_t backpressure_stalls = 0;
+  /// Total simulated time spent in those stalls, summed over relays.
+  util::SimDuration backpressure_stall_time = 0;
 };
 
 /// The depot application on one simulated host.
@@ -80,6 +86,12 @@ class DepotApp {
   /// session dials onward — the experiment harness attaches sublink-2
   /// trace recorders here.
   std::function<void(tcp::TcpSocket*)> on_downstream_open;
+
+  /// Attach a metrics bundle (must outlive the depot's traffic); null
+  /// detaches. Gauges report per-relay occupancy sampled at transition
+  /// points, so gauge max() is the same high-water mark as
+  /// DepotStats::max_buffered.
+  void set_metrics(metrics::DepotMetrics* m) { metrics_ = m; }
 
  private:
   /// One relayed session (upstream + downstream sockets and the buffer).
@@ -114,6 +126,10 @@ class DepotApp {
     std::uint64_t discard_left = 0;     ///< duplicate prefix still to drop
     bool parked = false;                ///< upstream gone, awaiting resume
     sim::EventId park_expiry = sim::kInvalidEvent;
+
+    // Observability.
+    util::SimTime accept_time = 0;   ///< when the upstream was accepted
+    util::SimTime stall_since = -1;  ///< ring-full stall start (-1 = none)
   };
 
   void on_accept(tcp::TcpSocket* up);
@@ -131,6 +147,12 @@ class DepotApp {
   void pump_downstream(Relay& r);
   void maybe_complete(Relay& r);
   void fail_relay(Relay& r);
+  /// Backpressure accounting: a stall begins when the ring refuses an
+  /// upstream read and ends when space (or the relay's end) arrives.
+  void begin_stall(Relay& r);
+  void end_stall(Relay& r);
+  /// Refresh occupancy gauges/high-water after buffered(r) changed.
+  void note_occupancy(const Relay& r);
   std::uint64_t buffered(const Relay& r) const {
     return r.ready_bytes + r.in_copy_bytes;
   }
@@ -142,6 +164,7 @@ class DepotApp {
   DepotConfig config_;
   SessionDirectory* dir_;
   DepotStats stats_;
+  metrics::DepotMetrics* metrics_ = nullptr;
   /// The daemon's single copy resource, shared by every relay: one
   /// user-level process has one CPU, so concurrent sessions contend for
   /// copy bandwidth (paper §VII's scalability concern).

@@ -1,0 +1,123 @@
+#include "metrics/export.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace lsl::metrics {
+
+namespace {
+
+/// JSON-safe number: finite values print shortest-roundtrip-ish, non-finite
+/// become null (JSON has no inf/nan).
+std::string jnum(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+std::string jstr(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void write_jsonl(const Registry& reg, std::ostream& out) {
+  reg.for_each_counter([&](const std::string& n, const Counter& c) {
+    out << "{\"type\":\"counter\",\"name\":" << jstr(n)
+        << ",\"value\":" << c.value() << "}\n";
+  });
+  reg.for_each_gauge([&](const std::string& n, const Gauge& g) {
+    out << "{\"type\":\"gauge\",\"name\":" << jstr(n)
+        << ",\"value\":" << jnum(g.value()) << ",\"min\":" << jnum(g.min())
+        << ",\"max\":" << jnum(g.max()) << "}\n";
+  });
+  reg.for_each_histogram([&](const std::string& n, const Histogram& h) {
+    out << "{\"type\":\"histogram\",\"name\":" << jstr(n)
+        << ",\"count\":" << h.count() << ",\"sum\":" << jnum(h.sum())
+        << ",\"mean\":" << jnum(h.mean()) << ",\"buckets\":[";
+    const auto& bounds = h.bounds();
+    for (std::size_t i = 0; i <= bounds.size(); ++i) {
+      if (i > 0) out << ',';
+      out << "{\"le\":";
+      if (i < bounds.size()) {
+        out << jnum(bounds[i]);
+      } else {
+        out << "\"inf\"";
+      }
+      out << ",\"count\":" << h.bucket_count(i) << '}';
+    }
+    out << "]}\n";
+  });
+  reg.for_each_timeseries([&](const std::string& n, const Timeseries& t) {
+    out << "{\"type\":\"timeseries\",\"name\":" << jstr(n)
+        << ",\"recorded\":" << t.recorded() << ",\"points\":[";
+    bool first = true;
+    for (const auto& s : t.samples()) {
+      if (!first) out << ',';
+      first = false;
+      out << '[' << jnum(s.t) << ',' << jnum(s.v) << ']';
+    }
+    out << "]}\n";
+  });
+}
+
+void write_csv(const Registry& reg, std::ostream& out) {
+  out << "kind,name,field,value\n";
+  reg.for_each_counter([&](const std::string& n, const Counter& c) {
+    out << "counter," << n << ",value," << c.value() << '\n';
+  });
+  reg.for_each_gauge([&](const std::string& n, const Gauge& g) {
+    out << "gauge," << n << ",value," << g.value() << '\n';
+    out << "gauge," << n << ",min," << g.min() << '\n';
+    out << "gauge," << n << ",max," << g.max() << '\n';
+  });
+  reg.for_each_histogram([&](const std::string& n, const Histogram& h) {
+    out << "histogram," << n << ",count," << h.count() << '\n';
+    out << "histogram," << n << ",sum," << h.sum() << '\n';
+    out << "histogram," << n << ",mean," << h.mean() << '\n';
+    const auto& bounds = h.bounds();
+    for (std::size_t i = 0; i <= bounds.size(); ++i) {
+      out << "histogram," << n << ",le=";
+      if (i < bounds.size()) {
+        out << bounds[i];
+      } else {
+        out << "inf";
+      }
+      out << ',' << h.bucket_count(i) << '\n';
+    }
+  });
+  reg.for_each_timeseries([&](const std::string& n, const Timeseries& t) {
+    for (const auto& s : t.samples()) {
+      out << "timeseries," << n << ",t=" << s.t << ',' << s.v << '\n';
+    }
+  });
+}
+
+bool write_file(const Registry& reg, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const bool csv =
+      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    write_csv(reg, out);
+  } else {
+    write_jsonl(reg, out);
+  }
+  return out.good();
+}
+
+}  // namespace lsl::metrics

@@ -1,0 +1,32 @@
+// Registry exporters: JSONL (one self-describing object per instrument per
+// line, the format `--metrics-out *.jsonl` emits) and flat CSV
+// (kind,name,field,value rows, convenient for spreadsheet/plot pipelines).
+// No external dependencies — the JSON subset emitted here is numbers,
+// strings and arrays only.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "metrics/metrics.hpp"
+
+namespace lsl::metrics {
+
+/// Write every instrument as one JSON object per line:
+///   {"type":"counter","name":N,"value":V}
+///   {"type":"gauge","name":N,"value":V,"min":m,"max":M}
+///   {"type":"histogram","name":N,"count":C,"sum":S,"mean":A,
+///    "buckets":[{"le":B,"count":C},...,{"le":"inf","count":C}]}
+///   {"type":"timeseries","name":N,"recorded":R,"points":[[t,v],...]}
+void write_jsonl(const Registry& reg, std::ostream& out);
+
+/// Write every instrument as flat CSV rows: kind,name,field,value.
+/// Histogram buckets become field "le=<bound>"; timeseries points become
+/// field "t=<time>".
+void write_csv(const Registry& reg, std::ostream& out);
+
+/// Write to `path`, choosing the format by extension (".csv" → CSV,
+/// anything else → JSONL). Returns false when the file cannot be opened.
+bool write_file(const Registry& reg, const std::string& path);
+
+}  // namespace lsl::metrics

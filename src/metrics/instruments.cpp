@@ -1,0 +1,49 @@
+#include "metrics/instruments.hpp"
+
+namespace lsl::metrics {
+
+std::vector<double> latency_ms_bounds() {
+  return Histogram::exponential(0.5, 2.0, 16);
+}
+
+std::vector<double> fine_ms_bounds() {
+  return Histogram::exponential(1e-3, 2.0, 20);
+}
+
+TcpConnMetrics::TcpConnMetrics(Registry& reg, const std::string& prefix)
+    : retransmits(&reg.counter(prefix + ".retransmits")),
+      timeouts(&reg.counter(prefix + ".timeouts")),
+      recoveries(&reg.counter(prefix + ".recovery_episodes")),
+      rtt_sample_count(&reg.counter(prefix + ".rtt_samples")),
+      rtt_ms(&reg.histogram(prefix + ".rtt_ms", latency_ms_bounds())),
+      cwnd_bytes(&reg.timeseries(prefix + ".cwnd_bytes")),
+      ssthresh_bytes(&reg.timeseries(prefix + ".ssthresh_bytes")),
+      srtt_ms(&reg.timeseries(prefix + ".srtt_ms")) {}
+
+DepotMetrics::DepotMetrics(Registry& reg, const std::string& prefix)
+    : ring_occupancy_bytes(&reg.gauge(prefix + ".ring_occupancy_bytes")),
+      copy_queue_bytes(&reg.gauge(prefix + ".copy_queue_bytes")),
+      backpressure_stalls(&reg.counter(prefix + ".backpressure_stalls")),
+      stall_time_ns(&reg.counter(prefix + ".backpressure_stall_ns")),
+      bytes_relayed(&reg.counter(prefix + ".bytes_relayed")),
+      copy_queue_delay_ms(
+          &reg.histogram(prefix + ".copy_queue_delay_ms", fine_ms_bounds())),
+      relay_latency_ms(
+          &reg.histogram(prefix + ".relay_latency_ms", latency_ms_bounds())) {}
+
+LsdMetrics::LsdMetrics(Registry& reg, const std::string& prefix)
+    : bytes_relayed(&reg.counter(prefix + ".bytes_relayed")),
+      bytes_reverse(&reg.counter(prefix + ".bytes_reverse")),
+      read_errors(&reg.counter(prefix + ".read_errors")),
+      write_errors(&reg.counter(prefix + ".write_errors")),
+      ring_occupancy_bytes(&reg.gauge(prefix + ".ring_occupancy_bytes")),
+      accept_to_dial_ms(
+          &reg.histogram(prefix + ".accept_to_dial_ms", fine_ms_bounds())) {}
+
+LoopMetrics::LoopMetrics(Registry& reg, const std::string& prefix)
+    : iterations(&reg.counter(prefix + ".iterations")),
+      events_dispatched(&reg.counter(prefix + ".events_dispatched")),
+      dispatch_ms(
+          &reg.histogram(prefix + ".dispatch_ms", fine_ms_bounds())) {}
+
+}  // namespace lsl::metrics

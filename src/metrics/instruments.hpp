@@ -1,0 +1,94 @@
+// Per-component instrument bundles.
+//
+// Each bundle resolves its instruments against a Registry once, at
+// attachment time, and exposes inline update helpers so the owning hot path
+// (a TCP socket's ACK clock, the depot's relay pump, the daemon's epoll
+// loop) performs only atomic arithmetic — no map lookups, no allocation,
+// no locking. Components hold an optional pointer to their bundle; a null
+// pointer means "not instrumented" and costs one predictable branch.
+//
+// Naming convention (see docs/OBSERVABILITY.md): instruments are namespaced
+// `<component>.<instance>.<metric>`, e.g. `tcp.sublink1.retransmits` or
+// `depot.1.ring_occupancy_bytes`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "metrics/metrics.hpp"
+
+namespace lsl::metrics {
+
+/// Bucket layout every RTT/latency histogram in the repo shares, so
+/// distributions from live sockets, the trace bridge, and the daemon are
+/// directly comparable: 0.5 ms .. ~16 s in 16 doubling buckets.
+std::vector<double> latency_ms_bounds();
+
+/// Sub-millisecond layout for dispatch/queueing delays: 1 us .. ~0.5 s.
+std::vector<double> fine_ms_bounds();
+
+/// One TCP connection's congestion/latency instruments (simulator side).
+///
+/// The sampled series capture what the paper plots per sublink: cwnd and
+/// ssthresh evolution, smoothed RTT, and the discrete loss events.
+struct TcpConnMetrics {
+  TcpConnMetrics(Registry& reg, const std::string& prefix);
+
+  Counter* retransmits;        ///< segments re-sent, any cause
+  Counter* timeouts;           ///< RTO expirations
+  Counter* recoveries;         ///< fast-recovery episodes entered
+  Counter* rtt_sample_count;   ///< valid (Karn-filtered) RTT samples
+  Histogram* rtt_ms;           ///< distribution of those samples
+  Timeseries* cwnd_bytes;      ///< congestion window over time
+  Timeseries* ssthresh_bytes;  ///< slow-start threshold over time
+  Timeseries* srtt_ms;         ///< smoothed RTT estimate over time
+
+  void on_retransmit() { retransmits->inc(); }
+  void on_timeout() { timeouts->inc(); }
+  void on_recovery() { recoveries->inc(); }
+  void on_rtt_sample(double t_s, double sample_s, double srtt_s) {
+    rtt_sample_count->inc();
+    rtt_ms->observe(sample_s * 1e3);
+    srtt_ms->record(t_s, srtt_s * 1e3);
+  }
+  void on_cwnd(double t_s, std::uint64_t cwnd, std::uint64_t ssthresh) {
+    cwnd_bytes->record(t_s, static_cast<double>(cwnd));
+    ssthresh_bytes->record(t_s, static_cast<double>(ssthresh));
+  }
+};
+
+/// One simulated depot's relay instruments.
+struct DepotMetrics {
+  DepotMetrics(Registry& reg, const std::string& prefix);
+
+  Gauge* ring_occupancy_bytes;   ///< buffered bytes (max() = high water)
+  Gauge* copy_queue_bytes;       ///< bytes queued for / inside the copier
+  Counter* backpressure_stalls;  ///< times the ring filled and reads stopped
+  Counter* stall_time_ns;        ///< total stalled duration (simulated ns)
+  Counter* bytes_relayed;
+  Histogram* copy_queue_delay_ms;  ///< wait behind the serial copy resource
+  Histogram* relay_latency_ms;     ///< accept → session completion
+};
+
+/// One real-socket lsd daemon's instruments (wall-clock timebase).
+struct LsdMetrics {
+  LsdMetrics(Registry& reg, const std::string& prefix);
+
+  Counter* bytes_relayed;   ///< forward-path payload bytes written
+  Counter* bytes_reverse;   ///< reverse-path (status/ack stream) bytes
+  Counter* read_errors;     ///< fatal read()s on either side
+  Counter* write_errors;    ///< fatal write()s on either side
+  Gauge* ring_occupancy_bytes;
+  Histogram* accept_to_dial_ms;  ///< header parse + downstream connect start
+};
+
+/// Epoll loop iteration instruments (wall-clock timebase).
+struct LoopMetrics {
+  LoopMetrics(Registry& reg, const std::string& prefix);
+
+  Counter* iterations;         ///< epoll_wait returns
+  Counter* events_dispatched;  ///< callbacks invoked
+  Histogram* dispatch_ms;      ///< callback-batch duration per iteration
+};
+
+}  // namespace lsl::metrics

@@ -1,0 +1,170 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+
+namespace lsl::metrics {
+
+void Gauge::set(double v) noexcept {
+  v_.store(v, std::memory_order_relaxed);
+  if (!touched_.exchange(true, std::memory_order_relaxed)) {
+    // First observation seeds both extremes; racing setters then converge
+    // through the CAS loops below.
+    max_.store(v, std::memory_order_relaxed);
+    min_.store(v, std::memory_order_relaxed);
+    return;
+  }
+  double cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - bounds_.begin());  // == size(): overflow
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double s = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(s, s + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> Histogram::exponential(double first, double factor,
+                                           std::size_t n) {
+  std::vector<double> b;
+  b.reserve(n);
+  double v = first;
+  for (std::size_t i = 0; i < n; ++i) {
+    b.push_back(v);
+    v *= factor;
+  }
+  return b;
+}
+
+Timeseries::Timeseries(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 2)) {
+  samples_.reserve(capacity_);
+}
+
+void Timeseries::record(double t, double v) {
+  const std::uint64_t idx = recorded_++;
+  if (idx % stride_ != 0) return;
+  if (samples_.size() == capacity_) {
+    // Thin in place: keep every other sample, double the stride. The final
+    // value of a run is always re-recordable afterwards, so the visual
+    // envelope of the series survives thinning.
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < samples_.size(); r += 2) {
+      samples_[w++] = samples_[r];
+    }
+    samples_.resize(w);
+    stride_ *= 2;
+    if (idx % stride_ != 0) return;
+  }
+  samples_.push_back({t, v});
+}
+
+namespace {
+
+/// Shared lookup-or-create over one of the registry's instrument maps.
+template <typename T, typename... Args>
+T& intern(std::mutex& mu, std::map<std::string, std::unique_ptr<T>>& m,
+          const std::string& name, Args&&... args) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = m.find(name);
+  if (it == m.end()) {
+    it = m.emplace(name, std::make_unique<T>(std::forward<Args>(args)...))
+             .first;
+  }
+  return *it->second;
+}
+
+template <typename T>
+const T* find_in(std::mutex& mu,
+                 const std::map<std::string, std::unique_ptr<T>>& m,
+                 const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu);
+  const auto it = m.find(name);
+  return it == m.end() ? nullptr : it->second.get();
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name) {
+  return intern(mu_, counters_, name);
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  return intern(mu_, gauges_, name);
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> upper_bounds) {
+  return intern(mu_, histograms_, name, std::move(upper_bounds));
+}
+
+Timeseries& Registry::timeseries(const std::string& name,
+                                 std::size_t capacity) {
+  return intern(mu_, timeseries_, name, capacity);
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  return find_in(mu_, counters_, name);
+}
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  return find_in(mu_, gauges_, name);
+}
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  return find_in(mu_, histograms_, name);
+}
+const Timeseries* Registry::find_timeseries(const std::string& name) const {
+  return find_in(mu_, timeseries_, name);
+}
+
+void Registry::for_each_counter(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) fn(name, *c);
+}
+
+void Registry::for_each_gauge(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, g] : gauges_) fn(name, *g);
+}
+
+void Registry::for_each_histogram(
+    const std::function<void(const std::string&, const Histogram&)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, h] : histograms_) fn(name, *h);
+}
+
+void Registry::for_each_timeseries(
+    const std::function<void(const std::string&, const Timeseries&)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, t] : timeseries_) fn(name, *t);
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size() +
+         timeseries_.size();
+}
+
+}  // namespace lsl::metrics

@@ -1,0 +1,187 @@
+// Unified metrics: the repository's one observability substrate.
+//
+// Every layer that carries bytes — the simulated TCP sockets, the depot
+// relay, and the real-socket lsd daemon — registers its instruments here
+// instead of growing ad-hoc counter structs. The design constraints come
+// from the two very different hosts the registry serves:
+//
+//  * the discrete-event simulator is single-threaded but extremely hot
+//    (millions of packet events per run), so metric updates must be
+//    allocation-free and branch-light;
+//  * the posix daemon is single-threaded today but the registry is read
+//    (exported) from outside the event loop in tools and tests, so all
+//    scalar instruments are lock-free atomics and registration is guarded
+//    by a mutex.
+//
+// Instruments are owned by a Registry and referenced by stable pointers;
+// registration is the only allocating operation. Exporters (JSONL, CSV)
+// live in src/metrics/export.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lsl::metrics {
+
+/// Monotonically increasing event count (lock-free).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous level with min/max high-water tracking (lock-free).
+///
+/// set() is the hot-path operation: one relaxed store plus two CAS loops
+/// that almost always succeed on the first try (the extremes move rarely).
+class Gauge {
+ public:
+  void set(double v) noexcept;
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  /// Largest value ever set (0 before the first set()).
+  double max() const noexcept { return max_.load(std::memory_order_relaxed); }
+  /// Smallest value ever set (0 before the first set()).
+  double min() const noexcept { return min_.load(std::memory_order_relaxed); }
+  bool touched() const noexcept {
+    return touched_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<bool> touched_{false};
+};
+
+/// Fixed-bucket histogram (lock-free observation path).
+///
+/// Bucket `i` counts observations <= bounds[i]; one implicit overflow
+/// bucket counts the rest. Bounds are fixed at registration so observe()
+/// never allocates; sum and count are tracked for mean derivation.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket i (i == bounds().size() is the overflow bucket).
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+  }
+
+  /// Exponential bucket boundaries: n bounds starting at `first`, each
+  /// `factor` times the previous — the standard latency layout.
+  static std::vector<double> exponential(double first, double factor,
+                                         std::size_t n);
+
+ private:
+  std::vector<double> bounds_;  ///< ascending upper bounds
+  /// bounds_.size() + 1 atomics (last = overflow); unique_ptr keeps the
+  /// Histogram movable at registration time while the array itself is fixed.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Sampled (time, value) series with a hard memory bound.
+///
+/// Storage is reserved once at registration; when the buffer fills, every
+/// other retained sample is dropped and the acceptance stride doubles, so a
+/// run of any length costs O(capacity) memory while keeping a uniformly
+/// thinned picture of the whole run. Single writer (the owning event loop);
+/// readers must not overlap the writer.
+class Timeseries {
+ public:
+  struct Sample {
+    double t = 0.0;  ///< seconds (simulated or wall, the caller's timebase)
+    double v = 0.0;
+  };
+
+  explicit Timeseries(std::size_t capacity = 4096);
+
+  void record(double t, double v);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  std::size_t capacity() const { return capacity_; }
+  /// Total record() calls, including thinned-away ones.
+  std::uint64_t recorded() const { return recorded_; }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t stride_ = 1;  ///< accept every stride-th record()
+  std::uint64_t recorded_ = 0;
+  std::vector<Sample> samples_;
+};
+
+/// Owner and namespace of a set of instruments.
+///
+/// Lookup-or-create by name; returned references stay valid for the
+/// registry's lifetime (instruments are never destroyed or rebound).
+/// Re-registering a name returns the existing instrument, so independent
+/// components can share one series by agreeing on its name.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `upper_bounds` is only consulted when the histogram does not exist yet.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+  Timeseries& timeseries(const std::string& name,
+                         std::size_t capacity = 4096);
+
+  /// Look up an existing instrument; nullptr when absent (or another kind).
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+  const Timeseries* find_timeseries(const std::string& name) const;
+
+  /// Visit every instrument in name order (exporters). The visitor runs
+  /// under the registration mutex; do not register from inside it.
+  void for_each_counter(
+      const std::function<void(const std::string&, const Counter&)>& fn) const;
+  void for_each_gauge(
+      const std::function<void(const std::string&, const Gauge&)>& fn) const;
+  void for_each_histogram(
+      const std::function<void(const std::string&, const Histogram&)>& fn)
+      const;
+  void for_each_timeseries(
+      const std::function<void(const std::string&, const Timeseries&)>& fn)
+      const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Timeseries>> timeseries_;
+};
+
+}  // namespace lsl::metrics

@@ -4,6 +4,7 @@
 
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <stdexcept>
 #include <system_error>
 
@@ -47,6 +48,12 @@ int EpollLoop::run_once(int timeout_ms) {
     if (errno == EINTR) return -1;
     throw std::system_error(errno, std::generic_category(), "epoll_wait");
   }
+  std::chrono::steady_clock::time_point dispatch_start;
+  if (metrics_) {
+    metrics_->iterations->inc();
+    metrics_->events_dispatched->inc(static_cast<std::uint64_t>(n));
+    dispatch_start = std::chrono::steady_clock::now();
+  }
   for (int i = 0; i < n; ++i) {
     const int fd = events[static_cast<std::size_t>(i)].data.fd;
     const auto it = callbacks_.find(fd);
@@ -54,6 +61,12 @@ int EpollLoop::run_once(int timeout_ms) {
     // Copy: the callback may remove (and thus invalidate) its own entry.
     IoCallback cb = it->second;
     cb(events[static_cast<std::size_t>(i)].events);
+  }
+  if (metrics_ && n > 0) {
+    metrics_->dispatch_ms->observe(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - dispatch_start)
+            .count());
   }
   return n;
 }

@@ -10,6 +10,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "metrics/instruments.hpp"
 #include "posix/fd.hpp"
 
 namespace lsl::posix {
@@ -48,9 +49,15 @@ class EpollLoop {
 
   std::size_t watched_count() const { return callbacks_.size(); }
 
+  /// Attach a metrics bundle (must outlive the loop's use); null detaches.
+  /// Dispatch timing is only measured while a bundle is attached, so the
+  /// unmetered loop pays no clock_gettime cost.
+  void set_metrics(metrics::LoopMetrics* m) { metrics_ = m; }
+
  private:
   Fd epoll_;
   std::unordered_map<int, IoCallback> callbacks_;
+  metrics::LoopMetrics* metrics_ = nullptr;
   bool stopped_ = false;
 };
 

@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <system_error>
 
@@ -46,8 +47,21 @@ struct Lsd::Relay {
   std::uint32_t up_events = 0;
   std::uint32_t down_events = 0;
 
+  /// Wall-clock accept time, for the accept-to-dial latency metric.
+  std::chrono::steady_clock::time_point accepted_at;
+
   std::size_t space() const { return ring.size() - size; }
 };
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 Lsd::Lsd(EpollLoop& loop, const LsdConfig& config)
     : loop_(loop), config_(config) {
@@ -79,6 +93,7 @@ void Lsd::on_accept() {
     ++stats_.sessions_accepted;
     auto* r = new Relay();
     r->up = std::move(conn);
+    r->accepted_at = std::chrono::steady_clock::now();
     r->ring.resize(config_.buffer_bytes);
     relays_.insert(r);
     r->up_events = EPOLLIN;
@@ -88,25 +103,29 @@ void Lsd::on_accept() {
 }
 
 void Lsd::on_upstream(Relay* r, std::uint32_t events) {
-  if (events & EPOLLOUT) flush_reverse(r);
+  if ((events & EPOLLOUT) && !flush_reverse(r)) return;
   if (events & (EPOLLERR | EPOLLHUP)) {
     // EPOLLHUP with pending data still allows reads; try to pump first.
-    pump_upstream(r);
-    if (!r->up_eof && (events & EPOLLERR)) finish(r, false);
+    if (!pump_upstream(r)) return;
+    if (!r->up_eof && (events & EPOLLERR)) {
+      finish(r, false, LsdFailReason::kPeerReset);
+    }
     return;
   }
   pump_upstream(r);
 }
 
-void Lsd::flush_reverse(Relay* r) {
+bool Lsd::flush_reverse(Relay* r) {
   while (r->rev_off < r->rev.size()) {
     const long n = write_some(r->up.get(), r->rev.data() + r->rev_off,
                               r->rev.size() - r->rev_off);
     if (n < 0) {
-      finish(r, false);
-      return;
+      if (metrics_) metrics_->write_errors->inc();
+      finish(r, false, LsdFailReason::kPeerReset);
+      return false;
     }
     if (n == 0) break;  // upstream send buffer full; EPOLLOUT re-arms
+    if (metrics_) metrics_->bytes_reverse->inc(static_cast<std::uint64_t>(n));
     r->rev_off += static_cast<std::size_t>(n);
   }
   if (r->rev_off == r->rev.size()) {
@@ -114,6 +133,7 @@ void Lsd::flush_reverse(Relay* r) {
     r->rev_off = 0;
   }
   update_interest(r);
+  return true;
 }
 
 void Lsd::on_downstream(Relay* r, std::uint32_t events) {
@@ -121,14 +141,14 @@ void Lsd::on_downstream(Relay* r, std::uint32_t events) {
     const int err = connect_result(r->down.get());
     if (err != 0) {
       LSL_LOG_WARN("lsd: downstream connect failed: %s", std::strerror(err));
-      finish(r, false);
+      finish(r, false, LsdFailReason::kDial);
       return;
     }
     r->down_connecting = false;
     r->down_connected = true;
   }
   if (events & EPOLLERR) {
-    finish(r, false);
+    finish(r, false, LsdFailReason::kPeerReset);
     return;
   }
   if (events & EPOLLIN) {
@@ -138,19 +158,20 @@ void Lsd::on_downstream(Relay* r, std::uint32_t events) {
     for (;;) {
       const long n = read_some(r->down.get(), buf, sizeof(buf));
       if (n == 0) {
-        flush_reverse(r);
-        finish(r, r->flushed);
+        if (!flush_reverse(r)) return;
+        // EOF before our own EOF was flushed = premature downstream close.
+        finish(r, r->flushed, LsdFailReason::kOther);
         return;
       }
       if (n < 0) break;  // EAGAIN (-1) or error (-2: treat on next event)
       r->rev.insert(r->rev.end(), buf, buf + n);
     }
-    flush_reverse(r);
+    if (!flush_reverse(r)) return;
   }
   pump_downstream(r);
 }
 
-void Lsd::pump_upstream(Relay* r) {
+bool Lsd::pump_upstream(Relay* r) {
   // Phase 1: header bytes.
   while (!r->header_done) {
     std::uint8_t tmp[512];
@@ -161,25 +182,28 @@ void Lsd::pump_upstream(Relay* r) {
       const auto len = core::header_length(r->header_buf);
       if (!len) {
         LSL_LOG_WARN("lsd: malformed session header");
-        finish(r, false);
-        return;
+        finish(r, false, LsdFailReason::kHeader);
+        return false;
       }
       if (r->header_buf.size() >= *len) {
         const auto h = core::decode_header(r->header_buf);
         if (!h) {
-          finish(r, false);
-          return;
+          finish(r, false, LsdFailReason::kHeader);
+          return false;
         }
         r->header = *h;
         r->header_done = true;
+        if (metrics_) {
+          metrics_->accept_to_dial_ms->observe(ms_since(r->accepted_at));
+        }
 
         // Dial onward and stage the popped header.
         const core::HopAddress next = r->header.next_hop();
         core::encode_header(r->header.popped(), r->fwd);
         r->down = connect_tcp(InetAddress{next.addr, next.port});
         if (!r->down.valid()) {
-          finish(r, false);
-          return;
+          finish(r, false, LsdFailReason::kDial);
+          return false;
         }
         r->down_connecting = true;
         r->down_events = EPOLLOUT | EPOLLIN;
@@ -191,12 +215,16 @@ void Lsd::pump_upstream(Relay* r) {
     }
     const long n = read_some(r->up.get(), tmp, std::min(want, sizeof(tmp)));
     if (n == 0) {
-      finish(r, false);  // EOF mid-header
-      return;
+      finish(r, false, LsdFailReason::kHeader);  // EOF mid-header: truncated
+      return false;
     }
     if (n < 0) {
-      if (n == -2) finish(r, false);
-      return;
+      if (n == -2) {
+        if (metrics_) metrics_->read_errors->inc();
+        finish(r, false, LsdFailReason::kPeerReset);
+        return false;
+      }
+      return true;  // EAGAIN
     }
     r->header_buf.insert(r->header_buf.end(), tmp, tmp + n);
   }
@@ -213,32 +241,38 @@ void Lsd::pump_upstream(Relay* r) {
     }
     if (n < 0) {
       if (n == -2) {
-        finish(r, false);
-        return;
+        if (metrics_) metrics_->read_errors->inc();
+        finish(r, false, LsdFailReason::kPeerReset);
+        return false;
       }
       break;  // EAGAIN
     }
     r->size += static_cast<std::size_t>(n);
   }
+  if (metrics_) {
+    metrics_->ring_occupancy_bytes->set(static_cast<double>(r->size));
+  }
 
-  pump_downstream(r);
+  if (!pump_downstream(r)) return false;
   update_interest(r);
+  return true;
 }
 
-void Lsd::pump_downstream(Relay* r) {
-  if (!r->down_connected) return;
+bool Lsd::pump_downstream(Relay* r) {
+  if (!r->down_connected) return true;
 
   // Forwarded header first.
   while (r->fwd_off < r->fwd.size()) {
     const long n = write_some(r->down.get(), r->fwd.data() + r->fwd_off,
                               r->fwd.size() - r->fwd_off);
     if (n < 0) {
-      finish(r, false);
-      return;
+      if (metrics_) metrics_->write_errors->inc();
+      finish(r, false, LsdFailReason::kPeerReset);
+      return false;
     }
     if (n == 0) {
       update_interest(r);
-      return;
+      return true;
     }
     r->fwd_off += static_cast<std::size_t>(n);
   }
@@ -248,13 +282,18 @@ void Lsd::pump_downstream(Relay* r) {
     const std::size_t contig = std::min(r->size, r->ring.size() - r->head);
     const long n = write_some(r->down.get(), r->ring.data() + r->head, contig);
     if (n < 0) {
-      finish(r, false);
-      return;
+      if (metrics_) metrics_->write_errors->inc();
+      finish(r, false, LsdFailReason::kPeerReset);
+      return false;
     }
     if (n == 0) break;  // downstream full
     r->head = (r->head + static_cast<std::size_t>(n)) % r->ring.size();
     r->size -= static_cast<std::size_t>(n);
     stats_.bytes_relayed += static_cast<std::uint64_t>(n);
+    if (metrics_) metrics_->bytes_relayed->inc(static_cast<std::uint64_t>(n));
+  }
+  if (metrics_) {
+    metrics_->ring_occupancy_bytes->set(static_cast<double>(r->size));
   }
 
   // Propagate EOF once everything is flushed.
@@ -266,6 +305,7 @@ void Lsd::pump_downstream(Relay* r) {
     // (on_downstream sees EOF); the upstream socket stays open until then.
   }
   update_interest(r);
+  return true;
 }
 
 void Lsd::update_interest(Relay* r) {
@@ -294,12 +334,19 @@ void Lsd::update_interest(Relay* r) {
   }
 }
 
-void Lsd::finish(Relay* r, bool ok) {
+void Lsd::finish(Relay* r, bool ok, LsdFailReason reason) {
   if (relays_.erase(r) == 0) return;  // already finished
   if (ok) {
     ++stats_.sessions_completed;
   } else {
     ++stats_.sessions_failed;
+    switch (reason) {
+      case LsdFailReason::kDial: ++stats_.fail_dial; break;
+      case LsdFailReason::kHeader: ++stats_.fail_header; break;
+      case LsdFailReason::kPeerReset: ++stats_.fail_peer_reset; break;
+      case LsdFailReason::kNone:
+      case LsdFailReason::kOther: ++stats_.fail_other; break;
+    }
   }
   if (r->up.valid()) loop_.remove(r->up.get());
   if (r->down.valid()) loop_.remove(r->down.get());

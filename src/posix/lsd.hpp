@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "lsl/wire.hpp"
+#include "metrics/instruments.hpp"
 #include "posix/epoll_loop.hpp"
 #include "posix/socket_util.hpp"
 
@@ -33,12 +34,27 @@ struct LsdConfig {
   std::size_t buffer_bytes = 1024 * 1024;       ///< per-session relay ring
 };
 
+/// Why a relay session failed (the largest contributor wins; a session
+/// counts under exactly one reason).
+enum class LsdFailReason {
+  kNone,       ///< session completed — not a failure
+  kDial,       ///< downstream connect() refused / unreachable
+  kHeader,     ///< malformed or truncated LSL header
+  kPeerReset,  ///< connection error (reset/broken pipe) mid-relay
+  kOther,      ///< shutdown teardown, premature downstream EOF, ...
+};
+
 /// Daemon counters.
 struct LsdStats {
   std::uint64_t sessions_accepted = 0;
   std::uint64_t sessions_completed = 0;
   std::uint64_t sessions_failed = 0;
   std::uint64_t bytes_relayed = 0;
+  // Failure-reason breakdown; the four reasons sum to sessions_failed.
+  std::uint64_t fail_dial = 0;
+  std::uint64_t fail_header = 0;
+  std::uint64_t fail_peer_reset = 0;
+  std::uint64_t fail_other = 0;
 };
 
 /// One forwarding daemon instance.
@@ -57,6 +73,9 @@ class Lsd {
 
   const LsdStats& stats() const { return stats_; }
 
+  /// Attach a metrics bundle (must outlive the daemon); null detaches.
+  void set_metrics(metrics::LsdMetrics* m) { metrics_ = m; }
+
   /// Stop accepting and tear down all live relays.
   void shutdown();
 
@@ -66,17 +85,21 @@ class Lsd {
   void on_accept();
   void on_upstream(Relay* r, std::uint32_t events);
   void on_downstream(Relay* r, std::uint32_t events);
-  void pump_upstream(Relay* r);
-  void pump_downstream(Relay* r);
-  void flush_reverse(Relay* r);
+  // The pump/flush helpers may finish() (and delete) the relay on error;
+  // they return false when they did, so callers must not touch `r` again.
+  bool pump_upstream(Relay* r);
+  bool pump_downstream(Relay* r);
+  bool flush_reverse(Relay* r);
   void update_interest(Relay* r);
-  void finish(Relay* r, bool ok);
+  void finish(Relay* r, bool ok,
+              LsdFailReason reason = LsdFailReason::kOther);
 
   EpollLoop& loop_;
   LsdConfig config_;
   Fd listener_;
   std::uint16_t port_ = 0;
   LsdStats stats_;
+  metrics::LsdMetrics* metrics_ = nullptr;
   std::unordered_set<Relay*> relays_;
 };
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "metrics/instruments.hpp"
 #include "tcp/stack.hpp"
 #include "util/log.hpp"
 
@@ -436,6 +437,8 @@ void TcpSocket::enter_recovery() {
   recovery_point_ = snd_max_;
   in_recovery_ = true;
   ++stats_.fast_retransmits;
+  ++stats_.recovery_episodes;
+  if (metrics_) metrics_->on_recovery();
   if (config_.sack) {
     // RFC 6675-style: cwnd pinned at ssthresh; the first hole (which by
     // definition starts at snd_una) is retransmitted unconditionally, then
@@ -447,12 +450,14 @@ void TcpSocket::enter_recovery() {
     retx_rec_.insert(snd_una_, snd_una_ + len);
     arm_rto();
     send_in_recovery();
+    sample_cwnd_metrics();
     return;
   }
   retransmit_one(snd_una_);
   cwnd_ = ssthresh_ + 3 * static_cast<std::uint64_t>(config_.mss);
   arm_rto();
   maybe_send();
+  sample_cwnd_metrics();
 }
 
 void TcpSocket::handle_data(const sim::Packet& p) {
@@ -626,6 +631,7 @@ void TcpSocket::send_segment(std::uint64_t seq, std::uint32_t payload_len,
   if (slen > 0) {
     if (wire_retx) {
       ++stats_.retransmits;
+      if (metrics_) metrics_->on_retransmit();
       // Refresh (or re-add) bookkeeping for the retransmitted range.
       bool found = false;
       for (auto& seg : inflight_) {
@@ -712,6 +718,7 @@ void TcpSocket::cancel_rto() {
 void TcpSocket::on_rto_timer() {
   if (state_ == TcpState::kClosed) return;
   ++stats_.timeouts;
+  if (metrics_) metrics_->on_timeout();
   rto_backoff_ = std::min(rto_backoff_ + 1, 12u);
 
   if (state_ == TcpState::kSynSent || state_ == TcpState::kSynReceived) {
@@ -751,6 +758,7 @@ void TcpSocket::on_rto_timer() {
   if (fin_sent_ && snd_nxt_ <= fin_seq_) fin_sent_ = false;
   maybe_send();
   arm_rto();
+  sample_cwnd_metrics();
 }
 
 void TcpSocket::arm_persist() {
@@ -804,6 +812,18 @@ void TcpSocket::take_rtt_sample(util::SimDuration sample) {
   }
   ++stats_.rtt_samples;
   stats_.srtt = static_cast<util::SimDuration>(srtt_ns_);
+  if (metrics_) {
+    // The ACK clock makes this a per-RTT cadence — the natural rate for
+    // sampling the congestion state without touching the per-packet path.
+    metrics_->on_rtt_sample(util::to_seconds(stack_.sim().now()),
+                            util::to_seconds(sample), srtt_ns_ * 1e-9);
+    sample_cwnd_metrics();
+  }
+}
+
+void TcpSocket::sample_cwnd_metrics() {
+  if (!metrics_) return;
+  metrics_->on_cwnd(util::to_seconds(stack_.sim().now()), cwnd_, ssthresh_);
 }
 
 // --- Receiver ACK machinery --------------------------------------------------

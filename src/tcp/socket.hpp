@@ -29,6 +29,10 @@
 #include "util/interval_set.hpp"
 #include "util/units.hpp"
 
+namespace lsl::metrics {
+struct TcpConnMetrics;
+}
+
 namespace lsl::tcp {
 
 class TcpStack;
@@ -116,6 +120,10 @@ class TcpSocket {
   void set_packet_out_hook(PacketOutHook h) { out_hook_ = std::move(h); }
   void set_packet_in_hook(PacketInHook h) { in_hook_ = std::move(h); }
 
+  /// Attach a metrics bundle (see metrics::TcpConnMetrics); the bundle must
+  /// outlive the socket's traffic. Null detaches.
+  void set_metrics(metrics::TcpConnMetrics* m) { metrics_ = m; }
+
   /// Current simulated time (convenience for trace capture and apps).
   util::SimTime now() const;
 
@@ -155,6 +163,8 @@ class TcpSocket {
   std::uint64_t sack_pipe() const;  ///< estimated bytes still in the network
   void send_in_recovery();          ///< hole retransmits + new data by pipe
   void take_rtt_sample(util::SimDuration sample);
+  /// Record (cwnd, ssthresh) into the attached metrics bundle, if any.
+  void sample_cwnd_metrics();
   void arm_rto();
   void cancel_rto();
   void arm_persist();
@@ -239,6 +249,7 @@ class TcpSocket {
 
   PacketOutHook out_hook_;
   PacketInHook in_hook_;
+  metrics::TcpConnMetrics* metrics_ = nullptr;
 };
 
 }  // namespace lsl::tcp

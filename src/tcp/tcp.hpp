@@ -81,6 +81,7 @@ struct TcpStats {
   std::uint64_t acks_received = 0;
   std::uint64_t retransmits = 0;         ///< segments re-sent (any cause)
   std::uint64_t fast_retransmits = 0;    ///< dupack-triggered recoveries
+  std::uint64_t recovery_episodes = 0;   ///< distinct fast-recovery entries
   std::uint64_t timeouts = 0;            ///< RTO expirations
   std::uint64_t bytes_sent = 0;          ///< unique stream bytes first-sent
   std::uint64_t bytes_acked = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "metrics/instruments.hpp"
 #include "sim/packet.hpp"
 
 namespace lsl::trace {
@@ -94,6 +95,22 @@ std::uint64_t unique_bytes_sent(const TraceRecorder& trace) {
     if (e.outgoing && !e.retransmit) n += e.payload;
   }
   return n;
+}
+
+void export_trace_metrics(const TraceRecorder& trace, metrics::Registry& reg,
+                          const std::string& prefix) {
+  reg.counter(prefix + ".retransmits").inc(retransmission_count(trace));
+  reg.counter(prefix + ".unique_bytes").inc(unique_bytes_sent(trace));
+
+  const std::vector<double> samples = rtt_samples(trace);
+  reg.counter(prefix + ".rtt_samples").inc(samples.size());
+  metrics::Histogram& rtt =
+      reg.histogram(prefix + ".rtt_ms", metrics::latency_ms_bounds());
+  for (double s : samples) rtt.observe(s * 1e3);
+
+  const util::Series growth = sequence_growth(trace);
+  metrics::Timeseries& seq = reg.timeseries(prefix + ".seq_growth_bytes");
+  for (const auto& pt : growth) seq.record(pt.t, pt.v);
 }
 
 }  // namespace lsl::trace

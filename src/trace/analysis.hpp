@@ -12,8 +12,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "metrics/metrics.hpp"
 #include "trace/trace.hpp"
 #include "util/series.hpp"
 #include "util/units.hpp"
@@ -39,5 +41,23 @@ util::Series sequence_growth(const TraceRecorder& trace,
 
 /// Bytes of unique payload the traced sender transmitted.
 std::uint64_t unique_bytes_sent(const TraceRecorder& trace);
+
+/// Trace → metrics bridge: derive this trace's per-sublink figures and
+/// register them under `<prefix>.` in `reg`:
+///
+///   <prefix>.retransmits       counter     = retransmission_count()
+///   <prefix>.rtt_samples       counter     = rtt_samples().size()
+///   <prefix>.unique_bytes      counter     = unique_bytes_sent()
+///   <prefix>.rtt_ms            histogram   over rtt_samples(), in the
+///                                          shared latency_ms_bounds layout
+///   <prefix>.seq_growth_bytes  timeseries  = sequence_growth()
+///
+/// Lets the figure benchmarks and `--metrics-out` tools emit the paper's
+/// per-sublink RTT/retransmit distributions alongside their raw output.
+/// Re-exporting the same prefix accumulates into the existing instruments
+/// (counters add, histograms merge), which is what per-iteration bench
+/// loops want; use distinct prefixes for per-run isolation.
+void export_trace_metrics(const TraceRecorder& trace, metrics::Registry& reg,
+                          const std::string& prefix);
 
 }  // namespace lsl::trace

@@ -40,13 +40,21 @@ class TraceRecorder {
   TraceRecorder() = default;
   explicit TraceRecorder(std::string label) : label_(std::move(label)) {}
 
+  // Not movable: attach() installs hooks that capture the address of
+  // events_, so moving an attached recorder would leave the socket writing
+  // through a dangling pointer into the moved-from shell. Heap-allocate
+  // (exp::TransferResult does) when ownership must travel.
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
-  TraceRecorder(TraceRecorder&&) = default;
-  TraceRecorder& operator=(TraceRecorder&&) = default;
+  TraceRecorder(TraceRecorder&&) = delete;
+  TraceRecorder& operator=(TraceRecorder&&) = delete;
 
   /// Install capture hooks on `socket`. Call before traffic flows.
   void attach(tcp::TcpSocket* socket);
+
+  /// Append one event directly — synthetic traces for tests and benchmarks
+  /// (the attach() hooks use the same path for captured packets).
+  void record(const TraceEvent& e) { events_.push_back(e); }
 
   const std::vector<TraceEvent>& events() const { return events_; }
   const std::string& label() const { return label_; }

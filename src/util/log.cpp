@@ -1,8 +1,11 @@
 #include "util/log.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <mutex>
+#include <string>
 
 namespace lsl::util {
 namespace {
@@ -33,6 +36,18 @@ void set_log_level(LogLevel level) {
 }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  std::string s(name);
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn" || s == "warning") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off" || s == "none") return LogLevel::kOff;
+  return std::nullopt;
+}
 
 void logf(LogLevel level, const char* fmt, ...) {
   if (level < log_level()) return;

@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstdarg>
+#include <optional>
+#include <string_view>
 
 namespace lsl::util {
 
@@ -16,6 +18,10 @@ void set_log_level(LogLevel level);
 
 /// Current global log threshold.
 LogLevel log_level();
+
+/// Parse a level name ("debug", "info", "warn", "error", "off",
+/// case-insensitive) — the CLI tools' --log-level flag.
+std::optional<LogLevel> parse_log_level(std::string_view name);
 
 /// printf-style log statement; thread-safe line-at-a-time output to stderr.
 void logf(LogLevel level, const char* fmt, ...)

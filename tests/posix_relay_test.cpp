@@ -4,12 +4,18 @@
 // process on one epoll loop.
 #include <gtest/gtest.h>
 
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
 #include <chrono>
 #include <optional>
 
+#include "metrics/instruments.hpp"
+#include "metrics/metrics.hpp"
 #include "posix/client.hpp"
 #include "posix/epoll_loop.hpp"
 #include "posix/lsd.hpp"
+#include "posix/socket_util.hpp"
 #include "util/units.hpp"
 
 namespace lsl::test {
@@ -50,6 +56,24 @@ bool loopback_available() {
     GTEST_SKIP() << "loopback sockets unavailable in sandbox";   \
   }
 
+/// The four failure reasons must partition sessions_failed.
+void expect_fail_breakdown_consistent(const posix::LsdStats& s) {
+  EXPECT_EQ(s.fail_dial + s.fail_header + s.fail_peer_reset + s.fail_other,
+            s.sessions_failed);
+}
+
+/// Connect a raw TCP socket to `port` and wait for the handshake.
+posix::Fd raw_connect(EpollLoop& loop, std::uint16_t port) {
+  posix::Fd conn = posix::connect_tcp(InetAddress::loopback(port));
+  if (!conn.valid()) return conn;
+  bool writable = false;
+  loop.add(conn.get(), EPOLLOUT, [&](std::uint32_t) { writable = true; });
+  drive(loop, writable, 5.0);
+  loop.remove(conn.get());
+  if (!writable || posix::connect_result(conn.get()) != 0) conn.reset();
+  return conn;
+}
+
 TEST(PosixRelay, DirectSessionWithDigestVerifies) {
   REQUIRE_LOOPBACK();
   EpollLoop loop;
@@ -83,6 +107,12 @@ TEST(PosixRelay, SingleDepotRelayVerifies) {
   PosixSinkServer sink(loop, InetAddress::loopback(0), true, 7);
   Lsd depot(loop, LsdConfig{});
 
+  metrics::Registry reg;
+  metrics::LoopMetrics loop_m(reg, "loop.test");
+  metrics::LsdMetrics depot_m(reg, "lsd.1");
+  loop.set_metrics(&loop_m);
+  depot.set_metrics(&depot_m);
+
   bool done = false;
   SinkResult result;
   sink.on_complete = [&](const SinkResult& r) {
@@ -103,6 +133,23 @@ TEST(PosixRelay, SingleDepotRelayVerifies) {
   EXPECT_EQ(result.payload_bytes, 2 * util::kMiB);
   EXPECT_EQ(depot.stats().sessions_accepted, 1u);
   EXPECT_GE(depot.stats().bytes_relayed, 2 * util::kMiB);
+
+  // The sink finishing races the depot relaying the status byte back to the
+  // source; keep driving until the depot sees the session through.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (depot.stats().sessions_completed == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    loop.run_once(50);
+  }
+  ASSERT_EQ(depot.stats().sessions_completed, 1u);
+
+  // Live instruments track the daemon's own counters.
+  EXPECT_EQ(depot_m.bytes_relayed->value(), depot.stats().bytes_relayed);
+  EXPECT_EQ(depot_m.accept_to_dial_ms->count(), 1u);
+  EXPECT_GT(depot_m.bytes_reverse->value(), 0u);  // the status byte
+  EXPECT_GT(loop_m.iterations->value(), 0u);
+  EXPECT_GE(loop_m.events_dispatched->value(), loop_m.dispatch_ms->count());
 }
 
 TEST(PosixRelay, ThreeDepotCascadeVerifies) {
@@ -213,6 +260,86 @@ TEST(PosixRelay, DepotToDeadNextHopFailsSession) {
   ASSERT_TRUE(drive(loop, done));
   EXPECT_FALSE(ok);
   EXPECT_EQ(depot.stats().sessions_failed, 1u);
+  EXPECT_EQ(depot.stats().fail_dial, 1u);
+  expect_fail_breakdown_consistent(depot.stats());
+}
+
+TEST(PosixRelay, MalformedHeaderClassifiedAsHeaderFailure) {
+  REQUIRE_LOOPBACK();
+  EpollLoop loop;
+  Lsd depot(loop, LsdConfig{});
+
+  posix::Fd conn = raw_connect(loop, depot.port());
+  ASSERT_TRUE(conn.valid());
+  const std::uint8_t junk[16] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                                 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                                 0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_EQ(::send(conn.get(), junk, sizeof(junk), 0),
+            static_cast<ssize_t>(sizeof(junk)));
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (depot.stats().sessions_failed == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    loop.run_once(50);
+  }
+  EXPECT_EQ(depot.stats().sessions_failed, 1u);
+  EXPECT_EQ(depot.stats().fail_header, 1u);
+  EXPECT_EQ(depot.stats().fail_dial, 0u);
+  expect_fail_breakdown_consistent(depot.stats());
+}
+
+TEST(PosixRelay, TruncatedHeaderClassifiedAsHeaderFailure) {
+  REQUIRE_LOOPBACK();
+  EpollLoop loop;
+  Lsd depot(loop, LsdConfig{});
+
+  // A valid header prefix is 8 bytes; send 4 and close cleanly — the depot
+  // sees EOF mid-header (a truncated session).
+  posix::Fd conn = raw_connect(loop, depot.port());
+  ASSERT_TRUE(conn.valid());
+  const std::uint8_t partial[4] = {0x4C, 0x53, 0x4C, 0x31};
+  ASSERT_EQ(::send(conn.get(), partial, sizeof(partial), 0), 4);
+  conn.reset();  // clean FIN
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (depot.stats().sessions_failed == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    loop.run_once(50);
+  }
+  EXPECT_EQ(depot.stats().sessions_failed, 1u);
+  EXPECT_EQ(depot.stats().fail_header, 1u);
+  expect_fail_breakdown_consistent(depot.stats());
+}
+
+TEST(PosixRelay, UpstreamResetClassifiedAsPeerReset) {
+  REQUIRE_LOOPBACK();
+  EpollLoop loop;
+  Lsd depot(loop, LsdConfig{});
+  metrics::Registry reg;
+  metrics::LsdMetrics m(reg, "lsd.1");
+  depot.set_metrics(&m);
+
+  // Abort the connection (SO_LINGER 0 close sends RST instead of FIN): the
+  // depot's read fails with ECONNRESET mid-header.
+  posix::Fd conn = raw_connect(loop, depot.port());
+  ASSERT_TRUE(conn.valid());
+  const linger lg{1, 0};
+  ASSERT_EQ(::setsockopt(conn.get(), SOL_SOCKET, SO_LINGER, &lg, sizeof(lg)),
+            0);
+  conn.reset();  // RST
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (depot.stats().sessions_failed == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    loop.run_once(50);
+  }
+  EXPECT_EQ(depot.stats().sessions_failed, 1u);
+  EXPECT_EQ(depot.stats().fail_peer_reset, 1u);
+  EXPECT_EQ(m.read_errors->value(), 1u);
+  expect_fail_breakdown_consistent(depot.stats());
 }
 
 TEST(PosixRelay, ZeroByteSessionCompletes) {

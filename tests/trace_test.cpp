@@ -124,6 +124,63 @@ TEST(TraceAnalysis, EmptyTraceYieldsEmptyAnalysis) {
   EXPECT_DOUBLE_EQ(trace::average_rtt_ms(rec), 0.0);
   EXPECT_EQ(trace::retransmission_count(rec), 0u);
   EXPECT_TRUE(trace::sequence_growth(rec).empty());
+  EXPECT_EQ(trace::unique_bytes_sent(rec), 0u);
+}
+
+trace::TraceEvent data_out(double t_ms, std::uint64_t seq,
+                           std::uint32_t payload, bool retransmit = false) {
+  trace::TraceEvent e;
+  e.time = util::millis(t_ms);
+  e.outgoing = true;
+  e.seq = seq;
+  e.payload = payload;
+  e.retransmit = retransmit;
+  return e;
+}
+
+trace::TraceEvent ack_in(double t_ms, std::uint64_t ack) {
+  trace::TraceEvent e;
+  e.time = util::millis(t_ms);
+  e.outgoing = false;
+  e.flags = sim::kFlagAck;
+  e.ack = ack;
+  return e;
+}
+
+TEST(TraceAnalysis, AllRetransmitTraceYieldsNoRttSamples) {
+  // Every data segment is sent twice: Karn's exclusion must discard every
+  // RTT sample while the retransmission count sees exactly the re-sends.
+  trace::TraceRecorder rec("all-retx");
+  for (int i = 0; i < 8; ++i) {
+    const double t = i * 50.0;
+    const std::uint64_t seq = static_cast<std::uint64_t>(i) * 1000;
+    rec.record(data_out(t, seq, 1000));
+    rec.record(data_out(t + 20, seq, 1000, /*retransmit=*/true));
+    rec.record(ack_in(t + 40, seq + 1000));
+  }
+  EXPECT_TRUE(trace::rtt_samples(rec).empty());
+  EXPECT_DOUBLE_EQ(trace::average_rtt_ms(rec), 0.0);
+  EXPECT_EQ(trace::retransmission_count(rec), 8u);
+  EXPECT_EQ(trace::unique_bytes_sent(rec), 8000u);
+}
+
+TEST(TraceAnalysis, LeadingInboundAckIsIgnored) {
+  // A capture attached mid-flight can start with an inbound ACK that
+  // matches nothing outstanding; RTT matching must not misattribute it (or
+  // underflow), and sequence growth must start at the first *outgoing*
+  // payload event.
+  trace::TraceRecorder rec("inbound-first");
+  rec.record(ack_in(0, 5000));
+  rec.record(data_out(10, 5000, 1000));
+  rec.record(ack_in(40, 6000));
+  const auto samples = trace::rtt_samples(rec);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_NEAR(samples[0] * 1e3, 30.0, 1e-9);
+  const util::Series growth = trace::sequence_growth(rec);
+  ASSERT_EQ(growth.size(), 2u);
+  // Timebase is the trace's first event (the inbound ACK at t=0).
+  EXPECT_NEAR(growth.front().t, 0.010, 1e-9);
+  EXPECT_DOUBLE_EQ(growth.back().v, 1000.0);
 }
 
 }  // namespace

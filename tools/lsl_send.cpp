@@ -11,6 +11,9 @@
 //   -n BYTES  send BYTES of deterministic generated payload
 //   -s SEED   generator seed (default 1; lsl_recv -s must match to verify
 //             content, the MD5 trailer verifies regardless)
+//   --metrics-out FILE  dump send-side metrics (bytes, write-call latency)
+//                       on exit; .csv -> CSV, anything else -> JSONL
+//   --log-level LEVEL   debug|info|warn|error|off (default warn)
 #include <fcntl.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
@@ -25,12 +28,18 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "lsl/payload.hpp"
 #include "lsl/session_id.hpp"
 #include "lsl/wire.hpp"
 #include "md5/md5.hpp"
+#include "metrics/export.hpp"
+#include "metrics/instruments.hpp"
+#include "metrics/metrics.hpp"
 #include "posix/epoll_loop.hpp"
 #include "posix/socket_util.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 
 using namespace lsl;
@@ -51,7 +60,8 @@ bool parse_endpoint(const std::string& s, posix::InetAddress* out) {
 int usage() {
   std::fprintf(stderr,
                "usage: lsl_send [-v HOP_IP:PORT]... DEST_IP:PORT "
-               "(-f FILE | -n BYTES [-s SEED])\n");
+               "(-f FILE | -n BYTES [-s SEED]) "
+               "[--metrics-out FILE] [--log-level LEVEL]\n");
   return 2;
 }
 
@@ -79,6 +89,7 @@ int main(int argc, char** argv) {
   posix::InetAddress dest{};
   bool have_dest = false;
   std::string file;
+  std::string metrics_file;
   std::uint64_t gen_bytes = 0;
   std::uint64_t seed = 1;
 
@@ -104,6 +115,16 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      metrics_file = v;
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      const auto lvl = util::parse_log_level(v);
+      if (!lvl) return usage();
+      util::set_log_level(*lvl);
     } else if (!have_dest) {
       if (!parse_endpoint(arg, &dest)) return usage();
       have_dest = true;
@@ -127,6 +148,33 @@ int main(int argc, char** argv) {
     length = static_cast<std::uint64_t>(in.tellg());
     in.seekg(0);
   }
+
+  // Send-side metrics (only populated with --metrics-out).
+  metrics::Registry registry;
+  metrics::Counter* m_bytes = nullptr;
+  metrics::Histogram* m_write_ms = nullptr;
+  if (!metrics_file.empty()) {
+    m_bytes = &registry.counter("send.bytes_sent");
+    m_write_ms =
+        &registry.histogram("send.write_ms", metrics::fine_ms_bounds());
+  }
+  auto timed_write = [&](int fd, const std::uint8_t* p, std::size_t len) {
+    if (!m_bytes) return write_all(fd, p, len);
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool ok = write_all(fd, p, len);
+    m_write_ms->observe(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+    if (ok) m_bytes->inc(len);
+    return ok;
+  };
+  auto dump_metrics = [&] {
+    if (metrics_file.empty()) return;
+    if (!metrics::write_file(registry, metrics_file)) {
+      std::fprintf(stderr, "lsl_send: cannot write %s\n",
+                   metrics_file.c_str());
+    }
+  };
 
   // Connect (blocking via a tiny epoll wait for writability).
   const posix::InetAddress first = hops.empty() ? dest : hops[0];
@@ -163,8 +211,9 @@ int main(int argc, char** argv) {
   h.destination = {dest.addr, dest.port};
   std::vector<std::uint8_t> buf;
   core::encode_header(h, buf);
-  if (!write_all(sock.get(), buf.data(), buf.size())) {
+  if (!timed_write(sock.get(), buf.data(), buf.size())) {
     std::perror("lsl_send: write header");
+    dump_metrics();
     return 1;
   }
   std::fprintf(stderr, "lsl_send: session %s, %llu bytes via %zu depot(s)\n",
@@ -190,15 +239,17 @@ int main(int argc, char** argv) {
       gen.generate(std::span<std::uint8_t>(chunk.data(), n));
     }
     hash.update(std::span<const std::uint8_t>(chunk.data(), n));
-    if (!write_all(sock.get(), chunk.data(), n)) {
+    if (!timed_write(sock.get(), chunk.data(), n)) {
       std::perror("lsl_send: write payload");
+      dump_metrics();
       return 1;
     }
     left -= n;
   }
   const md5::Digest d = hash.finalize();
-  if (!write_all(sock.get(), d.bytes.data(), d.bytes.size())) {
+  if (!timed_write(sock.get(), d.bytes.data(), d.bytes.size())) {
     std::perror("lsl_send: write digest");
+    dump_metrics();
     return 1;
   }
   ::shutdown(sock.get(), SHUT_WR);
@@ -208,6 +259,7 @@ int main(int argc, char** argv) {
   ssize_t n;
   while ((n = ::read(sock.get(), &status, 1)) < 0 && errno == EINTR) {
   }
+  dump_metrics();
   if (n == 1 && status == core::kStatusOk) {
     std::fprintf(stderr, "lsl_send: delivered and verified (md5 %s)\n",
                  d.hex().c_str());

@@ -2,26 +2,38 @@
 //
 //   lsl_sim SCENARIO SIZE MODE [options]
 //
-//   SCENARIO  case1 | case2 | case3 | osu
+//   SCENARIO  case1 | case2 | case3 | osu | chain[:N]
+//             chain:N is an N-depot cascade (total path delay/loss held
+//             constant); N defaults to 2, and MODE direct runs the same
+//             backbone with 0 depots
 //   SIZE      bytes, with optional K/M/G suffix (e.g. 64M)
-//   MODE      direct | lsl | parallel[:N]
+//   MODE      direct | lsl | parallel[:N]   (chain supports direct|lsl)
 //
-//   --iters N     iterations (default 5)
-//   --seed S      base seed (default 42)
-//   --traces      capture sender-side traces; print per-link RTT and
-//                 retransmissions, write seq-growth CSV per iteration
-//   --csv FILE    write per-iteration results as CSV
+//   --iters N          iterations (default 5)
+//   --seed S           base seed (default 42)
+//   --traces           capture sender-side traces; print per-link RTT and
+//                      retransmissions, write seq-growth CSV per iteration
+//   --csv FILE         write per-iteration results as CSV
+//   --metrics-out FILE dump the metrics registry after all iterations
+//                      (.csv -> CSV, anything else -> JSONL); implies the
+//                      per-connection/depot instruments and, with --traces,
+//                      the trace.<label>.* analysis bridge
+//   --log-level LEVEL  debug|info|warn|error|off (default warn)
 //
-// Example:  lsl_sim case1 64M lsl --iters 10 --traces
+// Example:  lsl_sim chain:2 16M lsl --traces --metrics-out out.jsonl
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
 
+#include "exp/chain.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenarios.hpp"
+#include "metrics/export.hpp"
+#include "metrics/metrics.hpp"
 #include "trace/analysis.hpp"
+#include "util/log.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -32,8 +44,9 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: lsl_sim SCENARIO SIZE MODE [--iters N] [--seed S] "
-               "[--traces] [--csv FILE]\n"
-               "  SCENARIO: case1|case2|case3|osu   MODE: "
+               "[--traces] [--csv FILE] [--metrics-out FILE] "
+               "[--log-level LEVEL]\n"
+               "  SCENARIO: case1|case2|case3|osu|chain[:N]   MODE: "
                "direct|lsl|parallel[:N]\n");
   return 2;
 }
@@ -60,6 +73,8 @@ int main(int argc, char** argv) {
   if (argc < 4) return usage();
 
   exp::PathParams path;
+  bool use_chain = false;
+  std::size_t chain_depots = 2;
   const std::string scen = argv[1];
   if (scen == "case1") {
     path = exp::case1_ucsb_uiuc();
@@ -69,6 +84,15 @@ int main(int argc, char** argv) {
     path = exp::case3_utk_wireless();
   } else if (scen == "osu") {
     path = exp::case_osu_steady();
+  } else if (scen.rfind("chain", 0) == 0) {
+    use_chain = true;
+    path.name = scen;
+    const auto colon = scen.find(':');
+    if (colon != std::string::npos) {
+      chain_depots =
+          static_cast<std::size_t>(std::atoi(scen.c_str() + colon + 1));
+      if (chain_depots == 0) return usage();
+    }
   } else {
     return usage();
   }
@@ -94,10 +118,12 @@ int main(int argc, char** argv) {
   } else {
     return usage();
   }
+  if (use_chain && cfg.mode == exp::Mode::kParallelTcp) return usage();
 
   std::size_t iters = 5;
   cfg.seed = 42;
   std::string csv_file;
+  std::string metrics_file;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--iters" && i + 1 < argc) {
@@ -108,10 +134,19 @@ int main(int argc, char** argv) {
       cfg.capture_traces = true;
     } else if (arg == "--csv" && i + 1 < argc) {
       csv_file = argv[++i];
+    } else if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_file = argv[++i];
+    } else if (arg == "--log-level" && i + 1 < argc) {
+      const auto lvl = util::parse_log_level(argv[++i]);
+      if (!lvl) return usage();
+      util::set_log_level(*lvl);
     } else {
       return usage();
     }
   }
+
+  metrics::Registry registry;
+  if (!metrics_file.empty()) cfg.metrics = &registry;
 
   std::printf("scenario %s, %s, mode %s, %zu iteration(s)\n",
               path.name.c_str(), util::format_bytes(bytes).c_str(),
@@ -127,9 +162,28 @@ int main(int argc, char** argv) {
 
   util::RunningStats mbps;
   for (std::size_t i = 0; i < iters; ++i) {
-    exp::RunConfig c = cfg;
-    c.seed = cfg.seed + i;
-    const exp::TransferResult r = exp::run_transfer(path, c);
+    exp::TransferResult r;
+    if (use_chain) {
+      exp::ChainParams cp;
+      cp.depots = cfg.mode == exp::Mode::kLsl ? chain_depots : 0;
+      cp.bytes = cfg.bytes;
+      cp.seed = cfg.seed + i;
+      cp.capture_traces = cfg.capture_traces;
+      cp.metrics = cfg.metrics;
+      exp::ChainResult cr = exp::run_chain(cp);
+      r.completed = cr.completed;
+      r.bytes = cp.bytes;
+      r.seconds = cr.seconds;
+      r.mbps = cr.mbps;
+      r.retransmits = cr.retransmits;
+      r.traces = std::move(cr.traces);
+      r.rtt_ms = std::move(cr.rtt_ms);
+      r.retx_per_link = std::move(cr.retx_per_link);
+    } else {
+      exp::RunConfig c = cfg;
+      c.seed = cfg.seed + i;
+      r = exp::run_transfer(path, c);
+    }
     if (!r.completed) {
       std::printf("%6zu   (did not complete)\n", i);
       continue;
@@ -160,5 +214,15 @@ int main(int argc, char** argv) {
   }
   std::printf("\nmean %.2f Mbit/s (sd %.2f) over %zu completed run(s)\n",
               mbps.mean(), mbps.stddev(), mbps.count());
+  if (!metrics_file.empty()) {
+    if (metrics::write_file(registry, metrics_file)) {
+      std::printf("metrics: %zu instrument(s) -> %s\n", registry.size(),
+                  metrics_file.c_str());
+    } else {
+      std::fprintf(stderr, "lsl_sim: cannot write %s\n",
+                   metrics_file.c_str());
+      return 1;
+    }
+  }
   return mbps.count() > 0 ? 0 : 1;
 }
