@@ -1,32 +1,48 @@
 #!/usr/bin/env bash
-# Full verification sweep: build and run the test suite in the plain
-# configuration and again under AddressSanitizer. Usage:
+# Full verification matrix: build and run the test suite in the plain
+# (warnings-as-errors) configuration and again under each sanitizer, then
+# run the lsl-lint static analyzer. Usage:
 #
-#   scripts/check.sh [--no-asan]
+#   scripts/check.sh [--quick] [--only CONFIG]
 #
-# Build trees go to build-check/ (plain) and build-check-asan/ so the
-# default build/ directory is left untouched.
+#   --quick         plain + lint only (the pre-push subset)
+#   --only CONFIG   run a single configuration: plain|asan|ubsan|tsan|lint
+#
+# Build trees go to build-check-<config>/ so the default build/ directory
+# is left untouched. Every configuration keeps LSL_WERROR=ON: a warning
+# anywhere in the matrix is a failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-run_asan=1
-if [[ "${1:-}" == "--no-asan" ]]; then
-  run_asan=0
-fi
-
 jobs=$(nproc 2>/dev/null || echo 4)
 
-echo "== plain build =="
-cmake -B build-check -S . -DLSL_WERROR=ON >/dev/null
-cmake --build build-check -j "$jobs"
-ctest --test-dir build-check --output-on-failure -j "$jobs"
+configs=(plain asan ubsan tsan lint)
+case "${1:-}" in
+  --quick) configs=(plain lint) ;;
+  --only)  configs=("${2:?--only needs a config}") ;;
+  "")      ;;
+  *) echo "usage: scripts/check.sh [--quick] [--only plain|asan|ubsan|tsan|lint]" >&2
+     exit 2 ;;
+esac
 
-if [[ "$run_asan" == 1 ]]; then
-  echo "== address-sanitizer build =="
-  cmake -B build-check-asan -S . -DLSL_SANITIZE=address >/dev/null
-  cmake --build build-check-asan -j "$jobs"
-  ctest --test-dir build-check-asan --output-on-failure -j "$jobs"
-fi
+build_and_test() {  # <tree> <extra cmake args...>
+  local tree="$1"; shift
+  cmake -B "$tree" -S . -DLSL_WERROR=ON "$@" >/dev/null
+  cmake --build "$tree" -j "$jobs"
+  ctest --test-dir "$tree" --output-on-failure -j "$jobs"
+}
 
-echo "check.sh: all configurations passed"
+for config in "${configs[@]}"; do
+  echo "== $config =="
+  case "$config" in
+    plain) build_and_test build-check ;;
+    asan)  build_and_test build-check-asan  -DLSL_SANITIZE=address ;;
+    ubsan) build_and_test build-check-ubsan -DLSL_SANITIZE=undefined ;;
+    tsan)  build_and_test build-check-tsan  -DLSL_SANITIZE=thread ;;
+    lint)  scripts/lint.sh ;;
+    *) echo "check.sh: unknown config '$config'" >&2; exit 2 ;;
+  esac
+done
+
+echo "check.sh: all configurations passed (${configs[*]})"

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build lsl-lint and run it over the repository (self-test first, so a
+# broken analyzer can never report a clean tree). Usage:
+#
+#   scripts/lint.sh [build-tree]
+#
+# Reuses build/ by default so the incremental cost after a normal build is
+# one small binary. See docs/STATIC_ANALYSIS.md for the rules it enforces.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tree="${1:-build}"
+jobs=$(nproc 2>/dev/null || echo 4)
+
+if [[ ! -f "$tree/CMakeCache.txt" ]]; then
+  cmake -B "$tree" -S . >/dev/null
+fi
+cmake --build "$tree" -j "$jobs" --target lsl_lint >/dev/null
+
+"$tree/tools/lsl_lint/lsl_lint" --self-test tools/lsl_lint/testdata
+"$tree/tools/lsl_lint/lsl_lint" .

@@ -76,7 +76,7 @@ std::optional<std::size_t> header_length(
   if (prefix[4] != kVersion) return std::nullopt;
   const std::uint16_t hops = get_u16(prefix.data() + 6);
   if (hops > kMaxHops) return std::nullopt;
-  return 46 + 6 * static_cast<std::size_t>(hops);
+  return kFixedHeaderBytes + kBytesPerHop * static_cast<std::size_t>(hops);
 }
 
 std::optional<SessionHeader> decode_header(std::span<const std::uint8_t> buf) {

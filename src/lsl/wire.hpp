@@ -43,6 +43,14 @@ struct HopAddress {
 /// Maximum number of relay hops a header may carry.
 inline constexpr std::size_t kMaxHops = 16;
 
+/// Bytes of the fixed (route-independent) portion of the header: magic(4) +
+/// version(1) + flags(1) + hop count(2) + session id(16) + payload
+/// length(8) + resume offset(8) + destination(6).
+inline constexpr std::size_t kFixedHeaderBytes = 46;
+
+/// Bytes each route entry adds: address(4) + port(2).
+inline constexpr std::size_t kBytesPerHop = 6;
+
 /// Header flags.
 enum SessionFlags : std::uint8_t {
   kFlagDigestTrailer = 1u << 0,  ///< MD5 trailer (16 bytes) after payload
@@ -87,7 +95,9 @@ struct SessionHeader {
   SessionHeader popped() const;
 
   /// Encoded size of this header in bytes.
-  std::size_t encoded_size() const { return 46 + 6 * hops.size(); }
+  std::size_t encoded_size() const {
+    return kFixedHeaderBytes + kBytesPerHop * hops.size();
+  }
 };
 
 /// Fixed prefix length needed before the total header length is known.

@@ -12,10 +12,40 @@
 
 namespace lsl::posix {
 
+const char* to_string(RelayState s) {
+  switch (s) {
+    case RelayState::kHeader: return "HEADER";
+    case RelayState::kDial: return "DIAL";
+    case RelayState::kStream: return "STREAM";
+    case RelayState::kDone: return "DONE";
+  }
+  return "?";
+}
+
+const util::TransitionTable<RelayState, kRelayStateCount>&
+relay_transition_table() {
+  using S = RelayState;
+  static const util::TransitionTable<RelayState, kRelayStateCount> table{
+      "lsd-relay", to_string, {
+          {S::kHeader, S::kDial},    // header parsed, dialing downstream
+          {S::kDial, S::kStream},    // downstream connect completed
+          // finish() is legal from every live state; kDone is terminal —
+          // there is deliberately no edge out of it.
+          {S::kHeader, S::kDone},
+          {S::kDial, S::kDone},
+          {S::kStream, S::kDone},
+      }};
+  return table;
+}
+
 /// Per-session relay state machine.
 struct Lsd::Relay {
   Fd up;
   Fd down;
+
+  /// Lifecycle; every change goes through the checked transition table.
+  util::CheckedState<RelayState, kRelayStateCount> state{
+      relay_transition_table(), RelayState::kHeader};
 
   // Header ingest.
   std::vector<std::uint8_t> header_buf;
@@ -82,20 +112,25 @@ void Lsd::shutdown() {
     listener_.reset();
   }
   while (!relays_.empty()) {
-    finish(*relays_.begin(), false);
+    finish(relays_.begin()->first, false);
   }
+  reap_finished();
 }
 
+void Lsd::reap_finished() { graveyard_.clear(); }
+
 void Lsd::on_accept() {
+  reap_finished();
   for (;;) {
     Fd conn = accept_connection(listener_.get());
     if (!conn.valid()) return;
     ++stats_.sessions_accepted;
-    auto* r = new Relay();
+    auto owned = std::make_unique<Relay>();
+    Relay* r = owned.get();
     r->up = std::move(conn);
     r->accepted_at = std::chrono::steady_clock::now();
     r->ring.resize(config_.buffer_bytes);
-    relays_.insert(r);
+    relays_.emplace(r, std::move(owned));
     r->up_events = EPOLLIN;
     loop_.add(r->up.get(), EPOLLIN,
               [this, r](std::uint32_t ev) { on_upstream(r, ev); });
@@ -103,6 +138,8 @@ void Lsd::on_accept() {
 }
 
 void Lsd::on_upstream(Relay* r, std::uint32_t events) {
+  LSL_PRECONDITION(r->state != RelayState::kDone,
+                   "upstream event on a finished relay");
   if ((events & EPOLLOUT) && !flush_reverse(r)) return;
   if (events & (EPOLLERR | EPOLLHUP)) {
     // EPOLLHUP with pending data still allows reads; try to pump first.
@@ -116,6 +153,8 @@ void Lsd::on_upstream(Relay* r, std::uint32_t events) {
 }
 
 bool Lsd::flush_reverse(Relay* r) {
+  LSL_PRECONDITION(r->state != RelayState::kDone,
+                   "reverse flush on a finished relay");
   while (r->rev_off < r->rev.size()) {
     const long n = write_some(r->up.get(), r->rev.data() + r->rev_off,
                               r->rev.size() - r->rev_off);
@@ -137,6 +176,8 @@ bool Lsd::flush_reverse(Relay* r) {
 }
 
 void Lsd::on_downstream(Relay* r, std::uint32_t events) {
+  LSL_PRECONDITION(r->state != RelayState::kDone,
+                   "downstream event on a finished relay");
   if (r->down_connecting) {
     const int err = connect_result(r->down.get());
     if (err != 0) {
@@ -146,6 +187,7 @@ void Lsd::on_downstream(Relay* r, std::uint32_t events) {
     }
     r->down_connecting = false;
     r->down_connected = true;
+    r->state.transition(RelayState::kStream);
   }
   if (events & EPOLLERR) {
     finish(r, false, LsdFailReason::kPeerReset);
@@ -172,6 +214,8 @@ void Lsd::on_downstream(Relay* r, std::uint32_t events) {
 }
 
 bool Lsd::pump_upstream(Relay* r) {
+  LSL_PRECONDITION(r->state != RelayState::kDone,
+                   "upstream pump on a finished relay");
   // Phase 1: header bytes.
   while (!r->header_done) {
     std::uint8_t tmp[512];
@@ -206,6 +250,7 @@ bool Lsd::pump_upstream(Relay* r) {
           return false;
         }
         r->down_connecting = true;
+        r->state.transition(RelayState::kDial);
         r->down_events = EPOLLOUT | EPOLLIN;
         loop_.add(r->down.get(), r->down_events,
                   [this, rp = r](std::uint32_t ev) { on_downstream(rp, ev); });
@@ -259,6 +304,8 @@ bool Lsd::pump_upstream(Relay* r) {
 }
 
 bool Lsd::pump_downstream(Relay* r) {
+  LSL_PRECONDITION(r->state != RelayState::kDone,
+                   "downstream pump on a finished relay");
   if (!r->down_connected) return true;
 
   // Forwarded header first.
@@ -335,7 +382,9 @@ void Lsd::update_interest(Relay* r) {
 }
 
 void Lsd::finish(Relay* r, bool ok, LsdFailReason reason) {
-  if (relays_.erase(r) == 0) return;  // already finished
+  const auto it = relays_.find(r);
+  if (it == relays_.end()) return;  // already finished
+  r->state.transition(RelayState::kDone);
   if (ok) {
     ++stats_.sessions_completed;
   } else {
@@ -348,9 +397,17 @@ void Lsd::finish(Relay* r, bool ok, LsdFailReason reason) {
       case LsdFailReason::kOther: ++stats_.fail_other; break;
     }
   }
+  // Sockets close now (peers must observe the teardown immediately) ...
   if (r->up.valid()) loop_.remove(r->up.get());
   if (r->down.valid()) loop_.remove(r->down.get());
-  delete r;
+  r->up.reset();
+  r->down.reset();
+  // ... but deletion is deferred: `r` may still be on the call stack
+  // (finish() is reached from inside its own pump helpers), and keeping
+  // the memory alive until the next safe point turns any late touch into
+  // a checked kDone-contract failure instead of a use-after-free.
+  graveyard_.push_back(std::move(it->second));
+  relays_.erase(it);
 }
 
 }  // namespace lsl::posix

@@ -18,13 +18,14 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "lsl/wire.hpp"
 #include "metrics/instruments.hpp"
 #include "posix/epoll_loop.hpp"
 #include "posix/socket_util.hpp"
+#include "util/contract.hpp"
 
 namespace lsl::posix {
 
@@ -43,6 +44,29 @@ enum class LsdFailReason {
   kPeerReset,  ///< connection error (reset/broken pipe) mid-relay
   kOther,      ///< shutdown teardown, premature downstream EOF, ...
 };
+
+/// Lifecycle of one relay session, validated by relay_transition_table().
+///
+/// kDone is terminal: a finished relay's sockets are out of the loop and
+/// its buffers are dead — any attempt to pump it again is the PR 1
+/// use-after-free class, and now aborts as a forbidden kDone edge instead
+/// of corrupting the heap.
+enum class RelayState {
+  kHeader,  ///< reading the upstream session header
+  kDial,    ///< header parsed, downstream connect in progress
+  kStream,  ///< relaying payload / reverse-path bytes
+  kDone,    ///< finished (success or failure); terminal
+};
+
+/// Human-readable relay state name (diagnostics).
+const char* to_string(RelayState s);
+
+/// Number of RelayState values (TransitionTable dimension).
+inline constexpr std::size_t kRelayStateCount = 4;
+
+/// Legal edges of the relay lifecycle; see RelayState.
+const util::TransitionTable<RelayState, kRelayStateCount>&
+relay_transition_table();
 
 /// Daemon counters.
 struct LsdStats {
@@ -85,14 +109,20 @@ class Lsd {
   void on_accept();
   void on_upstream(Relay* r, std::uint32_t events);
   void on_downstream(Relay* r, std::uint32_t events);
-  // The pump/flush helpers may finish() (and delete) the relay on error;
-  // they return false when they did, so callers must not touch `r` again.
+  // The pump/flush helpers may finish() the relay on error; they return
+  // false when they did, so callers must not keep driving `r`. A finished
+  // relay's memory stays valid (parked in graveyard_) until the next safe
+  // point, so a buggy late touch trips the kDone contract instead of
+  // reading freed memory.
   bool pump_upstream(Relay* r);
   bool pump_downstream(Relay* r);
   bool flush_reverse(Relay* r);
   void update_interest(Relay* r);
   void finish(Relay* r, bool ok,
               LsdFailReason reason = LsdFailReason::kOther);
+  /// Free relays finished on earlier event-loop turns. Never called with a
+  /// graveyard relay on the call stack.
+  void reap_finished();
 
   EpollLoop& loop_;
   LsdConfig config_;
@@ -100,7 +130,10 @@ class Lsd {
   std::uint16_t port_ = 0;
   LsdStats stats_;
   metrics::LsdMetrics* metrics_ = nullptr;
-  std::unordered_set<Relay*> relays_;
+  /// Live relays, keyed by identity for O(1) finish().
+  std::unordered_map<Relay*, std::unique_ptr<Relay>> relays_;
+  /// Finished relays awaiting reap_finished() (deferred deletion).
+  std::vector<std::unique_ptr<Relay>> graveyard_;
 };
 
 }  // namespace lsl::posix

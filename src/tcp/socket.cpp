@@ -45,6 +45,37 @@ const char* to_string(TcpError e) {
   return "?";
 }
 
+const util::TransitionTable<TcpState, kTcpStateCount>& tcp_transition_table() {
+  using S = TcpState;
+  static const util::TransitionTable<TcpState, kTcpStateCount> table{
+      "tcp", to_string, {
+          // Establishment.
+          {S::kClosed, S::kSynSent},         // active open
+          {S::kClosed, S::kSynReceived},     // passive open
+          {S::kSynSent, S::kEstablished},    // SYN|ACK received
+          {S::kSynReceived, S::kEstablished},// handshake ACK received
+          // Local close first.
+          {S::kEstablished, S::kFinWait1},   // we sent FIN
+          {S::kFinWait1, S::kFinWait2},      // our FIN acked
+          {S::kFinWait1, S::kClosing},       // simultaneous close
+          // Remote close first.
+          {S::kEstablished, S::kCloseWait},  // peer FIN consumed
+          {S::kCloseWait, S::kLastAck},      // then we sent FIN
+          // Clean completion (TIME_WAIT collapses into kClosed).
+          {S::kFinWait2, S::kClosed},
+          {S::kClosing, S::kClosed},
+          {S::kLastAck, S::kClosed},
+          // Abortive close (RST, connect timeout, data-retry exhaustion)
+          // is legal from every live state.
+          {S::kSynSent, S::kClosed},
+          {S::kSynReceived, S::kClosed},
+          {S::kEstablished, S::kClosed},
+          {S::kFinWait1, S::kClosed},
+          {S::kCloseWait, S::kClosed},
+      }};
+  return table;
+}
+
 TcpSocket::TcpSocket(TcpStack& stack, sim::Endpoint local, sim::Endpoint remote,
                      const TcpConfig& config, bool active_open)
     : stack_(stack),
@@ -140,8 +171,13 @@ void TcpSocket::abort() {
 
 // --- Connection establishment ------------------------------------------------
 
+void TcpSocket::set_state(TcpState to) {
+  tcp_transition_table().check(state_, to);
+  state_ = to;
+}
+
 void TcpSocket::start_connect() {
-  state_ = TcpState::kSynSent;
+  set_state(TcpState::kSynSent);
   send_segment(0, 0, sim::kFlagSyn, false);
   arm_rto();
 }
@@ -150,7 +186,7 @@ void TcpSocket::start_passive(std::uint64_t peer_syn_seq) {
   // The peer's SYN occupies sequence 0 in its own space; nothing enters the
   // receive buffer, our ACK of it is implied by current_rcv_ack() == 1.
   (void)peer_syn_seq;
-  state_ = TcpState::kSynReceived;
+  set_state(TcpState::kSynReceived);
   send_segment(0, 0, sim::kFlagSyn | sim::kFlagAck, false);
   arm_rto();
 }
@@ -158,7 +194,7 @@ void TcpSocket::start_passive(std::uint64_t peer_syn_seq) {
 void TcpSocket::become_established() {
   if (state_ == TcpState::kEstablished) return;
   const bool was_passive = state_ == TcpState::kSynReceived;
-  state_ = TcpState::kEstablished;
+  set_state(TcpState::kEstablished);
   if (on_established) on_established();
   (void)was_passive;
   maybe_send();
@@ -208,6 +244,8 @@ void TcpSocket::handle_packet(sim::Packet&& p) {
       return;
     }
 
+    // All post-handshake states share one data path: ACK processing plus
+    // in-order delivery; state-specific close behavior lives in handle_data.
     default: {
       if (p.has(sim::kFlagSyn) && p.has(sim::kFlagAck)) {
         // Retransmitted SYN|ACK: our final handshake ACK was lost.
@@ -266,6 +304,8 @@ void TcpSocket::handle_ack(const sim::Packet& p) {
     // After an RTO rewind, a late ACK for the original transmissions can
     // overtake the rewound send point; never let snd_nxt lag snd_una.
     snd_nxt_ = std::max(snd_nxt_, snd_una_);
+    LSL_INVARIANT(snd_una_ <= snd_nxt_ && snd_nxt_ <= snd_max_,
+                  "sender sequence pointers out of order");
     const std::uint64_t stream_acked =
         std::min<std::uint64_t>(ack > 0 ? ack - 1 : 0, send_buf_.written());
     send_buf_.ack_to(stream_acked);
@@ -432,6 +472,7 @@ void TcpSocket::send_in_recovery() {
 }
 
 void TcpSocket::enter_recovery() {
+  LSL_PRECONDITION(!in_recovery_, "re-entered fast recovery");
   ssthresh_ = std::max<std::uint64_t>(flight_size() / 2,
                                       2 * static_cast<std::uint64_t>(config_.mss));
   recovery_point_ = snd_max_;
@@ -504,15 +545,15 @@ void TcpSocket::handle_data(const sim::Packet& p) {
     advanced = true;
     switch (state_) {
       case TcpState::kEstablished:
-        state_ = TcpState::kCloseWait;
+        set_state(TcpState::kCloseWait);
         break;
       case TcpState::kFinWait1:
-        state_ = TcpState::kClosing;
+        set_state(TcpState::kClosing);
         break;
       case TcpState::kFinWait2:
         break;  // resolved in maybe_finish_close
       default:
-        break;
+        break;  // FIN in other states changes nothing until our side acts
     }
   }
 
@@ -579,9 +620,9 @@ void TcpSocket::maybe_send() {
       send_segment(snd_nxt_, 0, sim::kFlagFin | sim::kFlagAck, false);
       fin_sent_ = true;
       if (state_ == TcpState::kEstablished) {
-        state_ = TcpState::kFinWait1;
+        set_state(TcpState::kFinWait1);
       } else if (state_ == TcpState::kCloseWait) {
-        state_ = TcpState::kLastAck;
+        set_state(TcpState::kLastAck);
       }
     }
     break;
@@ -881,14 +922,14 @@ void TcpSocket::check_fin_acked(std::uint64_t ack) {
   if (ack >= fin_seq_ + 1) {
     fin_acked_ = true;
     fin_sent_ = true;
-    if (state_ == TcpState::kFinWait1) state_ = TcpState::kFinWait2;
+    if (state_ == TcpState::kFinWait1) set_state(TcpState::kFinWait2);
   }
 }
 
 void TcpSocket::maybe_finish_close() {
   if (state_ == TcpState::kClosed) return;
   if (fin_sent_ && fin_acked_ && fin_received_) {
-    state_ = TcpState::kClosed;
+    set_state(TcpState::kClosed);
     cancel_rto();
     cancel_persist();
     auto& ev = stack_.sim().events();
@@ -905,7 +946,7 @@ void TcpSocket::maybe_finish_close() {
 
 void TcpSocket::fail(TcpError err) {
   if (state_ == TcpState::kClosed) return;
-  state_ = TcpState::kClosed;
+  set_state(TcpState::kClosed);
   error_ = err;
   cancel_rto();
   cancel_persist();

@@ -179,6 +179,9 @@ class TcpSocket {
   void maybe_send_window_update();
 
   // Lifecycle helpers.
+  /// All state changes funnel through here: the edge is validated against
+  /// tcp_transition_table() (a forbidden transition aborts).
+  void set_state(TcpState to);
   void become_established();
   void check_fin_acked(std::uint64_t ack);
   void maybe_finish_close();

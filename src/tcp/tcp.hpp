@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "sim/packet.hpp"
+#include "util/contract.hpp"
 #include "util/units.hpp"
 
 namespace lsl::tcp {
@@ -69,6 +70,15 @@ enum class TcpError {
 
 /// Human-readable state name (diagnostics).
 const char* to_string(TcpState s);
+
+/// Number of TcpState values (TransitionTable dimension).
+inline constexpr std::size_t kTcpStateCount = 9;
+
+/// The legal RFC 793 edges of the connection state machine, as implemented
+/// here (TIME_WAIT collapsed into kClosed; abortive close legal from every
+/// live state). TcpSocket validates every state change against this table;
+/// a transition outside it aborts via the contract framework.
+const util::TransitionTable<TcpState, kTcpStateCount>& tcp_transition_table();
 
 /// Human-readable error name (diagnostics).
 const char* to_string(TcpError e);

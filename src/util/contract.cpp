@@ -1,0 +1,25 @@
+#include "util/contract.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lsl::util {
+
+[[noreturn]] void contract_fail(const char* kind, const char* file, int line,
+                                const char* expr, const char* msg) noexcept {
+  std::fprintf(stderr, "lsl: %s violated at %s:%d: %s (%s)\n", kind, file,
+               line, expr, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] void transition_fail(const char* machine, const char* from,
+                                  const char* to) noexcept {
+  std::fprintf(stderr,
+               "lsl: forbidden state transition in machine '%s': %s -> %s\n",
+               machine, from, to);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace lsl::util

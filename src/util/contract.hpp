@@ -1,0 +1,142 @@
+// Machine-checked invariants and declarative state machines.
+//
+// LSL's correctness story splits integrity (end-to-end MD5) from flow
+// control (hop-by-hop TCP sublinks): a silently corrupted relay state
+// machine degrades throughput or wedges a cascade without ever failing a
+// checksum. Tests only trip such bugs by accident; contracts turn them
+// into immediate, attributable aborts at the exact violating transition.
+//
+// Three macro families:
+//
+//   LSL_PRECONDITION(cond, msg)  caller broke the function's requirements
+//   LSL_INVARIANT(cond, msg)     internal state is inconsistent
+//   LSL_UNREACHABLE(msg)         control flow reached an impossible point
+//
+// plus a declarative state-machine layer: a TransitionTable enumerates the
+// legal edges of an enum-typed lifecycle once, and a CheckedState member
+// refuses (aborts) any transition outside that table. The TCP connection
+// states (tcp::TcpSocket) and the lsd relay lifecycle (posix::Lsd) are both
+// guarded this way — the PR 1 use-after-free (a deleted relay pumped again)
+// is now a checked kDone-edge violation rather than heap corruption.
+//
+// Contracts are ON by default in every build type, including optimized
+// ones: each check costs one predictable branch (transition checks, which
+// are rare, cost a 2-D table load). Configure with -DLSL_CONTRACTS=OFF to
+// compile them out (LSL_UNREACHABLE then lowers to __builtin_unreachable).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <utility>
+
+namespace lsl::util {
+
+/// Print a diagnostic to stderr and abort. Never returns.
+[[noreturn]] void contract_fail(const char* kind, const char* file, int line,
+                                const char* expr, const char* msg) noexcept;
+
+/// Abort for a forbidden state-machine edge. Never returns.
+[[noreturn]] void transition_fail(const char* machine, const char* from,
+                                  const char* to) noexcept;
+
+}  // namespace lsl::util
+
+#if defined(LSL_CONTRACTS_OFF)
+
+#define LSL_PRECONDITION(cond, msg) ((void)0)
+#define LSL_INVARIANT(cond, msg) ((void)0)
+#define LSL_UNREACHABLE(msg) __builtin_unreachable()
+
+#else
+
+#define LSL_PRECONDITION(cond, msg)                                     \
+  ((cond) ? (void)0                                                     \
+          : ::lsl::util::contract_fail("precondition", __FILE__,        \
+                                       __LINE__, #cond, msg))
+#define LSL_INVARIANT(cond, msg)                                        \
+  ((cond) ? (void)0                                                     \
+          : ::lsl::util::contract_fail("invariant", __FILE__, __LINE__, \
+                                       #cond, msg))
+#define LSL_UNREACHABLE(msg)                                          \
+  ::lsl::util::contract_fail("unreachable", __FILE__, __LINE__, "-", \
+                             msg)
+
+#endif  // LSL_CONTRACTS_OFF
+
+namespace lsl::util {
+
+/// The legal edges of an enum-typed state machine, declared once as data.
+///
+/// `State` must be an enum (class) whose underlying values are the dense
+/// range [0, kNumStates). The table is a kNumStates² adjacency matrix, so
+/// checking an edge is one load; the name function renders diagnostics.
+template <typename State, std::size_t kNumStates>
+class TransitionTable {
+ public:
+  using NameFn = const char* (*)(State);
+  using Edge = std::pair<State, State>;
+
+  constexpr TransitionTable(const char* machine, NameFn name,
+                            std::initializer_list<Edge> edges)
+      : machine_(machine), name_(name), allowed_{} {
+    for (const Edge& e : edges) {
+      allowed_[index(e.first)][index(e.second)] = true;
+    }
+  }
+
+  /// True when `from -> to` is a declared edge.
+  constexpr bool allowed(State from, State to) const {
+    return allowed_[index(from)][index(to)];
+  }
+
+  /// Abort (via transition_fail) when `from -> to` is not declared.
+  /// Compiled out together with the other contracts.
+  void check(State from, State to) const {
+#if !defined(LSL_CONTRACTS_OFF)
+    if (!allowed(from, to)) {
+      transition_fail(machine_, name_(from), name_(to));
+    }
+#else
+    (void)from;
+    (void)to;
+#endif
+  }
+
+  const char* machine() const { return machine_; }
+  const char* name(State s) const { return name_(s); }
+
+ private:
+  static constexpr std::size_t index(State s) {
+    return static_cast<std::size_t>(s);
+  }
+
+  const char* machine_;
+  NameFn name_;
+  bool allowed_[kNumStates][kNumStates];
+};
+
+/// An enum-typed state whose every mutation is validated against a
+/// TransitionTable. Converts implicitly to `State` so comparisons read
+/// like a plain member; mutation only happens through transition().
+template <typename State, std::size_t kNumStates>
+class CheckedState {
+ public:
+  constexpr CheckedState(const TransitionTable<State, kNumStates>& table,
+                         State initial)
+      : table_(&table), state_(initial) {}
+
+  /// Move to `to`, aborting if the edge is not in the table.
+  void transition(State to) {
+    table_->check(state_, to);
+    state_ = to;
+  }
+
+  State get() const { return state_; }
+  operator State() const { return state_; }
+
+ private:
+  const TransitionTable<State, kNumStates>* table_;
+  State state_;
+};
+
+}  // namespace lsl::util

@@ -83,10 +83,12 @@ struct DataRate {
   constexpr SimDuration transmission_time(std::uint64_t bytes) const {
     if (bits_per_second == 0) return 0;
     // bytes * 8 * 1e9 / bps, computed with 128-bit intermediate to avoid
-    // overflow for multi-gigabyte payloads on slow links.
-    const auto bits = static_cast<unsigned __int128>(bytes) * 8u;
-    const auto ns = bits * static_cast<unsigned __int128>(kSecond) /
-                    static_cast<unsigned __int128>(bits_per_second);
+    // overflow for multi-gigabyte payloads on slow links. __int128 is a GCC
+    // extension; __extension__ keeps -Wpedantic quiet about it.
+    __extension__ using u128 = unsigned __int128;
+    const auto bits = static_cast<u128>(bytes) * 8u;
+    const auto ns = bits * static_cast<u128>(kSecond) /
+                    static_cast<u128>(bits_per_second);
     return static_cast<SimDuration>(ns);
   }
 

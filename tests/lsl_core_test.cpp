@@ -311,6 +311,53 @@ TEST_P(WireFuzz, RandomAndMutatedInputsHandledSafely) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz, ::testing::Values(101, 202, 303));
 
+TEST(Wire, HeaderLengthNeedsFullPrefixAndBoundsHopCount) {
+  std::vector<std::uint8_t> buf;
+  encode_header(sample_header(2), buf);
+  // Every prefix shorter than kHeaderPrefixBytes is undecidable.
+  for (std::size_t len = 0; len < kHeaderPrefixBytes; ++len) {
+    EXPECT_FALSE(
+        header_length(std::span<const std::uint8_t>(buf.data(), len))
+            .has_value())
+        << "len=" << len;
+  }
+  // At exactly the prefix the length is known and matches the documented
+  // formula.
+  const auto len = header_length(
+      std::span<const std::uint8_t>(buf.data(), kHeaderPrefixBytes));
+  ASSERT_TRUE(len.has_value());
+  EXPECT_EQ(*len, kFixedHeaderBytes + 2 * kBytesPerHop);
+
+  // A hop count beyond kMaxHops in the wire image is rejected outright,
+  // even though the field could encode it.
+  buf[6] = 0;
+  buf[7] = kMaxHops + 1;
+  EXPECT_FALSE(header_length(buf).has_value());
+  EXPECT_FALSE(decode_header(buf).has_value());
+  // The boundary value itself is structurally fine (the buffer is now too
+  // short for 17 hops, so decode fails, but length succeeds).
+  buf[7] = kMaxHops;
+  EXPECT_TRUE(header_length(buf).has_value());
+}
+
+TEST(Wire, DecodedGarbageFlagsSurviveReencode) {
+  // Any flags byte must round-trip: decode does not validate semantic
+  // exclusivity (that is the depot's job), so the codec has to be lossless
+  // for all 256 values.
+  for (int flags = 0; flags < 256; ++flags) {
+    SessionHeader h = sample_header(1);
+    h.flags = static_cast<std::uint8_t>(flags);
+    std::vector<std::uint8_t> buf;
+    encode_header(h, buf);
+    const auto d = decode_header(buf);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->flags, h.flags);
+    std::vector<std::uint8_t> re;
+    encode_header(*d, re);
+    EXPECT_EQ(re, buf);
+  }
+}
+
 TEST(Wire, ResumeFieldsRoundTrip) {
   SessionHeader h = sample_header(1);
   h.flags |= kFlagResume;

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <sstream>
+#include <utility>
 
 #include "util/interval_set.hpp"
 #include "util/rng.hpp"
@@ -228,6 +231,75 @@ TEST(IntervalSet, InsertMergesAdjacentAndOverlapping) {
   EXPECT_EQ(s.total(), 30u);
   EXPECT_TRUE(s.contains(10, 40));
   EXPECT_FALSE(s.contains(9, 11));
+}
+
+TEST(IntervalSet, AdjacentInsertsMergeFromBothSides) {
+  IntervalSet s;
+  s.insert(20, 30);
+  s.insert(30, 40);  // touches on the right: [20,40)
+  EXPECT_EQ(s.interval_count(), 1u);
+  s.insert(10, 20);  // touches on the left: [10,40)
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.total(), 30u);
+  // One past the end is NOT adjacent-mergeable territory on [start, end):
+  // [41, 50) leaves the point 40 uncovered.
+  s.insert(41, 50);
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_FALSE(s.contains(40));
+}
+
+TEST(IntervalSet, EmptyRangesAndEmptySetQueries) {
+  IntervalSet s;
+  // Queries on an empty set.
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.total(), 0u);
+  EXPECT_EQ(s.max_end(), 0u);
+  EXPECT_FALSE(s.contains(0));
+  const auto g = s.next_gap(5, 10);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(*g, std::make_pair(std::uint64_t{5}, std::uint64_t{10}));
+  // Empty insertions are ignored, including end < start.
+  s.insert(10, 10);
+  s.insert(20, 10);
+  EXPECT_TRUE(s.empty());
+  // erase_below on empty is a no-op.
+  s.erase_below(100);
+  EXPECT_TRUE(s.empty());
+  // An empty query window has no gap.
+  s.insert(0, 5);
+  EXPECT_FALSE(s.next_gap(3, 3).has_value());
+}
+
+TEST(IntervalSet, FullWrapNearUint64Max) {
+  // SACK scoreboards index absolute stream offsets; a multi-terabyte
+  // session with a high initial offset pushes ranges toward the top of the
+  // uint64 space. The set must stay exact there: no +1 overflow in
+  // adjacency or gap scanning.
+  constexpr std::uint64_t kTop = std::numeric_limits<std::uint64_t>::max();
+  IntervalSet s;
+  s.insert(kTop - 10, kTop);  // covers [max-10, max)
+  EXPECT_TRUE(s.contains(kTop - 1));
+  EXPECT_EQ(s.max_end(), kTop);
+  EXPECT_EQ(s.total(), 10u);
+
+  // Adjacent insert just below merges cleanly at the boundary.
+  s.insert(kTop - 20, kTop - 10);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.total(), 20u);
+
+  // Gap scanning with limit at the very top of the space.
+  s.insert(kTop - 100, kTop - 90);
+  auto g = s.next_gap(kTop - 100, kTop);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->first, kTop - 90);
+  EXPECT_EQ(g->second, kTop - 20);
+  g = s.next_gap(kTop - 20, kTop);
+  EXPECT_FALSE(g.has_value());  // fully covered up to max
+
+  // erase_below with the maximal bound empties the set.
+  s.erase_below(kTop);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.total(), 0u);
 }
 
 TEST(IntervalSet, EraseBelowTrimsStraddler) {

@@ -1,0 +1,24 @@
+// Seeds switch-exhaustive and switch-default-comment.
+
+enum class Fruit { kApple, kBanana, kCherry };
+
+int missing_case(Fruit f) {
+  switch (f) {
+    case Fruit::kApple:
+      return 1;
+    case Fruit::kBanana:
+      return 2;
+  }
+  return 0;
+}
+
+int undocumented_default(Fruit f) {
+  switch (f) {
+    case Fruit::kApple:
+      return 1;
+
+    default:
+
+      return 0;
+  }
+}

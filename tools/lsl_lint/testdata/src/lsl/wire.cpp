@@ -1,0 +1,7 @@
+// Seeds wire-docs: kGhostField is not mentioned in docs/PROTOCOL.md,
+// while kDocumentedField is (and must not fire).
+
+constexpr unsigned kDocumentedField = 4;
+constexpr unsigned kGhostField = 2;
+
+unsigned wire_total() { return kDocumentedField + kGhostField; }

@@ -1,0 +1,6 @@
+// Seeds metrics-docs: ".ghost_metric" is absent from
+// docs/OBSERVABILITY.md, while ".documented_metric" is present (and must
+// not fire).
+
+const char* documented_name() { return ".documented_metric"; }
+const char* ghost_name() { return ".ghost_metric"; }

@@ -1,0 +1,5 @@
+// Seeds pragma-once: this header has no include guard.
+
+struct Unguarded {
+  int x = 0;
+};

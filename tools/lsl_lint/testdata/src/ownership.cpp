@@ -1,0 +1,12 @@
+// Seeds raw-new-delete (both directions).
+
+struct Blob {
+  int x = 0;
+};
+
+int leaky() {
+  Blob* b = new Blob();
+  const int x = b->x;
+  delete b;
+  return x;
+}

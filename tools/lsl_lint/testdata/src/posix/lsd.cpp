@@ -1,0 +1,8 @@
+// Seeds blocking-io: a direct read() call in an event-loop source file.
+
+using ssize_t_fake = long;
+ssize_t_fake read(int fd, void* buf, unsigned long n);
+
+long drain(int fd, void* buf, unsigned long n) {
+  return read(fd, buf, n);
+}
