@@ -8,14 +8,26 @@
 //
 // Daemon mode: `lsd_relay --daemon <port> [buffer_bytes]` runs a single
 // forwarding daemon on the given port until killed — usable as a real relay
-// for any LSL client on the network.
+// for any LSL client on the network. Daemon options:
+//
+//   --resume-grace=DUR  park sessions whose upstream dies and accept a
+//                       kFlagResume reconnect for DUR (e.g. 2s, 500ms);
+//                       default 0 = resume disabled (docs/PROTOCOL.md §6)
+//   --fault-spec=SPEC   scripted fault injection against this daemon
+//                       (crash/restart windows, refused accepts, mid-stream
+//                       resets, stalls) in the grammar of docs/FAULTS.md
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <string>
 
+#include "fault/spec.hpp"
 #include "posix/client.hpp"
 #include "posix/epoll_loop.hpp"
+#include "posix/fault_driver.hpp"
 #include "posix/lsd.hpp"
 #include "util/units.hpp"
 
@@ -23,15 +35,45 @@ using namespace lsl;
 
 namespace {
 
-int run_daemon(std::uint16_t port, std::size_t buffer) {
+int run_daemon(std::uint16_t port, std::size_t buffer,
+               std::chrono::milliseconds resume_grace,
+               const std::string& fault_spec) {
   posix::EpollLoop loop;
   posix::LsdConfig cfg;
   cfg.bind = posix::InetAddress{0, port};  // INADDR_ANY
   cfg.buffer_bytes = buffer;
+  cfg.resume_grace = resume_grace;
   posix::Lsd daemon(loop, cfg);
-  std::printf("lsd: forwarding daemon on port %u (buffer %zu bytes)\n",
-              daemon.port(), buffer);
-  loop.run();
+
+  std::unique_ptr<posix::LsdFaultDriver> driver;
+  if (!fault_spec.empty()) {
+    std::string err;
+    const auto plan = fault::parse_fault_spec(fault_spec, &err);
+    if (!plan) {
+      std::fprintf(stderr, "lsd: bad --fault-spec: %s\n", err.c_str());
+      return 2;
+    }
+    driver = std::make_unique<posix::LsdFaultDriver>(daemon, *plan);
+    driver->arm();
+    std::printf("lsd: fault plan armed: %s\n", plan->to_spec().c_str());
+  }
+
+  std::printf("lsd: forwarding daemon on port %u (buffer %zu bytes, "
+              "resume grace %lld ms)\n",
+              daemon.port(), buffer,
+              static_cast<long long>(resume_grace.count()));
+  // Bounded waits instead of loop.run(): the fault driver's timed events
+  // and parked-session expiry both need the loop to wake up periodically.
+  while (true) {
+    int wait = driver ? driver->next_timeout_ms() : -1;
+    if (wait < 0 || wait > 500) wait = 500;
+    if (loop.run_once(wait) < 0) break;
+    if (driver) {
+      driver->poll();
+    } else {
+      daemon.expire_parked();
+    }
+  }
   return 0;
 }
 
@@ -94,12 +136,30 @@ int run_demo(std::uint64_t bytes) {
 int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
   if (argc > 1 && std::strcmp(argv[1], "--daemon") == 0) {
-    const std::uint16_t port =
-        argc > 2 ? static_cast<std::uint16_t>(std::atoi(argv[2])) : 4000;
-    const std::size_t buffer =
-        argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3]))
-                 : 1024 * 1024;
-    return run_daemon(port, buffer);
+    std::uint16_t port = 4000;
+    std::size_t buffer = 1024 * 1024;
+    std::chrono::milliseconds grace{0};
+    std::string fault_spec;
+    bool have_port = false;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--resume-grace=", 0) == 0) {
+        const auto d = fault::parse_duration(arg.substr(15));
+        if (!d || *d < 0) {
+          std::fprintf(stderr, "lsd: bad --resume-grace duration\n");
+          return 2;
+        }
+        grace = std::chrono::milliseconds(*d / util::kMillisecond);
+      } else if (arg.rfind("--fault-spec=", 0) == 0) {
+        fault_spec = arg.substr(13);
+      } else if (!have_port) {
+        port = static_cast<std::uint16_t>(std::atoi(arg.c_str()));
+        have_port = true;
+      } else {
+        buffer = static_cast<std::size_t>(std::atoll(arg.c_str()));
+      }
+    }
+    return run_daemon(port, buffer, grace, fault_spec);
   }
   std::uint64_t bytes = 8 * util::kMiB;
   if (argc > 1) bytes = std::strtoull(argv[1], nullptr, 10);

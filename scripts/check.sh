@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Full verification matrix: build and run the test suite in the plain
-# (warnings-as-errors) configuration and again under each sanitizer, then
-# run the lsl-lint static analyzer. Usage:
+# (warnings-as-errors) configuration and again under each sanitizer, run
+# the lsl-lint static analyzer, and finish with the chaos (scripted
+# fault-injection) test label. Usage:
 #
 #   scripts/check.sh [--quick] [--only CONFIG]
 #
 #   --quick         plain + lint only (the pre-push subset)
-#   --only CONFIG   run a single configuration: plain|asan|ubsan|tsan|lint
+#   --only CONFIG   run a single configuration:
+#                   plain|asan|ubsan|tsan|lint|chaos
 #
 # Build trees go to build-check-<config>/ so the default build/ directory
 # is left untouched. Every configuration keeps LSL_WERROR=ON: a warning
@@ -17,12 +19,12 @@ cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
-configs=(plain asan ubsan tsan lint)
+configs=(plain asan ubsan tsan lint chaos)
 case "${1:-}" in
   --quick) configs=(plain lint) ;;
   --only)  configs=("${2:?--only needs a config}") ;;
   "")      ;;
-  *) echo "usage: scripts/check.sh [--quick] [--only plain|asan|ubsan|tsan|lint]" >&2
+  *) echo "usage: scripts/check.sh [--quick] [--only plain|asan|ubsan|tsan|lint|chaos]" >&2
      exit 2 ;;
 esac
 
@@ -41,6 +43,11 @@ for config in "${configs[@]}"; do
     ubsan) build_and_test build-check-ubsan -DLSL_SANITIZE=undefined ;;
     tsan)  build_and_test build-check-tsan  -DLSL_SANITIZE=thread ;;
     lint)  scripts/lint.sh ;;
+    chaos) # the scripted fault-injection tier, by ctest label, reusing
+           # (or creating) the plain tree
+       cmake -B build-check -S . -DLSL_WERROR=ON >/dev/null
+       cmake --build build-check -j "$jobs"
+       ctest --test-dir build-check --output-on-failure -L chaos ;;
     *) echo "check.sh: unknown config '$config'" >&2; exit 2 ;;
   esac
 done

@@ -1,0 +1,337 @@
+#include "exp/chaos.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+#include "fault/fault_metrics.hpp"
+#include "fault/injector.hpp"
+#include "lsl/apps.hpp"
+#include "lsl/directory.hpp"
+#include "lsl/selector.hpp"
+#include "lsl/session_id.hpp"
+#include "metrics/instruments.hpp"
+#include "sim/network.hpp"
+#include "tcp/stack.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace lsl::exp {
+
+namespace {
+
+constexpr sim::PortNum kSinkPort = 5001;
+constexpr sim::PortNum kDepotPort = 4000;
+
+/// Every order-preserving non-empty subset of the depot chain is a
+/// candidate loose source route (capped: beyond 8 depots only the full
+/// chain is offered — 2^N candidates would swamp the selector).
+std::vector<core::CandidateRoute> chain_candidates(std::size_t depots) {
+  std::vector<core::CandidateRoute> out;
+  if (depots > 8) {
+    core::CandidateRoute full;
+    full.waypoints.push_back("src");
+    for (std::size_t i = 0; i < depots; ++i) {
+      full.waypoints.push_back("depot" + std::to_string(i + 1));
+    }
+    full.waypoints.push_back("dst");
+    out.push_back(std::move(full));
+    return out;
+  }
+  for (std::uint32_t mask = 1; mask < (1u << depots); ++mask) {
+    core::CandidateRoute r;
+    r.waypoints.push_back("src");
+    for (std::size_t i = 0; i < depots; ++i) {
+      if (mask & (1u << i)) {
+        r.waypoints.push_back("depot" + std::to_string(i + 1));
+      }
+    }
+    r.waypoints.push_back("dst");
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+/// Seed the selector's PathDatabase from the chain's own geometry: node i
+/// sits at segment position i (src=0, depot_i=i, dst=N+1), a sublink
+/// spanning k segments sees k shares of delay and loss. Deterministic —
+/// no measurement noise — so route choice replays exactly.
+void seed_path_database(core::PathDatabase& db, const ChainParams& p) {
+  const std::size_t positions = p.depots + 2;
+  const auto name_of = [&](std::size_t pos) -> std::string {
+    if (pos == 0) return "src";
+    if (pos + 1 == positions) return "dst";
+    return "depot" + std::to_string(pos);
+  };
+  const double seg_delay_s =
+      util::to_seconds(p.total_one_way_delay) /
+      static_cast<double>(p.depots + 1);
+  const double seg_loss = p.total_loss / static_cast<double>(p.depots + 1);
+  const double access_s = util::to_seconds(p.access_delay);
+  for (std::size_t a = 0; a < positions; ++a) {
+    for (std::size_t b = a + 1; b < positions; ++b) {
+      const auto spans = static_cast<double>(b - a);
+      const double one_way_s = spans * seg_delay_s + 2.0 * access_s;
+      db.observe_rtt_ms(name_of(a), name_of(b), 2.0 * one_way_s * 1e3);
+      db.observe_bandwidth_mbps(name_of(a), name_of(b), p.wan_rate.as_mbps());
+      db.observe_loss_rate(name_of(a), name_of(b),
+                           std::max(spans * seg_loss, 1e-7));
+    }
+  }
+}
+
+}  // namespace
+
+ChaosResult run_chaos(const ChaosParams& params) {
+  ChaosResult res;
+  const ChainParams& cp = params.chain;
+  const std::uint64_t bytes = cp.bytes;
+
+  // --- Topology: identical to run_chain ---------------------------------
+  sim::Network net(cp.seed);
+  sim::Node& src = net.add_host("src");
+  sim::Node& dst = net.add_host("dst");
+  sim::Node& gw_a = net.add_router("gw_a");
+  sim::Node& gw_b = net.add_router("gw_b");
+
+  sim::LinkConfig access;
+  access.rate = util::DataRate::mbps(100);
+  access.delay = cp.access_delay;
+  access.queue_bytes = 512 * util::kKiB;
+  net.connect(src, gw_a, access);
+  net.connect(gw_b, dst, access);
+
+  const std::size_t segments = cp.depots + 1;
+  sim::LinkConfig seg;
+  seg.rate = cp.wan_rate;
+  seg.delay =
+      cp.total_one_way_delay / static_cast<util::SimDuration>(segments);
+  seg.loss_rate = cp.total_loss / static_cast<double>(segments);
+  seg.queue_bytes = cp.wan_queue_bytes;
+
+  std::vector<sim::Node*> depot_hosts;
+  sim::Node* prev = &gw_a;
+  for (std::size_t i = 0; i < cp.depots; ++i) {
+    sim::Node& j = net.add_router("J" + std::to_string(i + 1));
+    net.connect(*prev, j, seg);
+    sim::Node& d = net.add_host("depot" + std::to_string(i + 1));
+    sim::LinkConfig dlink;
+    dlink.rate = util::DataRate::mbps(100);
+    dlink.delay = util::millis(0.5);
+    dlink.queue_bytes = 512 * util::kKiB;
+    net.connect(j, d, dlink);
+    depot_hosts.push_back(&d);
+    prev = &j;
+  }
+  net.connect(*prev, gw_b, seg);
+  net.compute_routes();
+
+  // Chaos transfers always carry real bytes: end-to-end verification (the
+  // recovery trigger for corruption) needs actual content on the wire.
+  tcp::TcpConfig tcpc = cp.tcp;
+  tcpc.carry_data = true;
+
+  tcp::TcpStack src_stack(net, src, tcpc);
+  tcp::TcpStack dst_stack(net, dst, tcpc);
+  std::vector<std::unique_ptr<tcp::TcpStack>> depot_stacks;
+  for (sim::Node* d : depot_hosts) {
+    depot_stacks.push_back(std::make_unique<tcp::TcpStack>(net, *d, tcpc));
+  }
+
+  // --- Depots + instruments ---------------------------------------------
+  std::optional<fault::FaultMetrics> fm;
+  std::vector<std::unique_ptr<metrics::DepotMetrics>> depot_bundles;
+  if (cp.metrics != nullptr) fm.emplace(*cp.metrics);
+
+  core::SessionDirectory dir;
+  std::vector<std::unique_ptr<core::DepotApp>> depot_apps;
+  for (std::size_t i = 0; i < depot_stacks.size(); ++i) {
+    core::DepotConfig dcfg = cp.depot;
+    dcfg.port = kDepotPort;
+    auto app = std::make_unique<core::DepotApp>(*depot_stacks[i], dcfg, &dir);
+    if (cp.metrics != nullptr) {
+      depot_bundles.push_back(std::make_unique<metrics::DepotMetrics>(
+          *cp.metrics, "depot." + std::to_string(i + 1)));
+      app->set_metrics(depot_bundles.back().get());
+    }
+    depot_apps.push_back(std::move(app));
+  }
+
+  fault::FaultInjector injector(net, params.plan,
+                                fm ? &*fm : nullptr);
+  for (std::size_t i = 0; i < depot_apps.size(); ++i) {
+    injector.register_depot("depot" + std::to_string(i + 1),
+                            depot_apps[i].get());
+  }
+
+  // The source-side corrupt fault is applied on the *first* attempt only:
+  // a retransfer must be clean or recovery could never converge.
+  std::optional<std::uint64_t> corrupt_at;
+  for (const fault::FaultEvent& e : params.plan.events) {
+    if (e.kind == fault::FaultKind::kCorrupt) corrupt_at = e.at_bytes;
+  }
+
+  // --- Policies ----------------------------------------------------------
+  core::PathDatabase db;
+  seed_path_database(db, cp);
+  core::RouteSelector selector(
+      db, 1448.0, util::to_seconds(cp.depot.session_setup_latency));
+  fault::ReroutePolicy rerouter(selector);
+  const std::vector<core::CandidateRoute> candidates =
+      chain_candidates(cp.depots);
+  // The policy's jitter stream is derived from the run seed, split so it
+  // never aliases the simulator's own RNG consumers.
+  fault::RetryPolicy policy(params.retry, cp.seed ^ 0x9e3779b97f4a7c15ull);
+
+  // --- Sink --------------------------------------------------------------
+  bool sink_done = false;
+  bool sink_verified = false;
+  util::SimTime sink_time = 0;
+  core::SinkConfig sink_cfg;
+  sink_cfg.expect_header = true;
+  sink_cfg.verify_payload = true;
+  sink_cfg.payload_seed = cp.seed;
+  core::SinkServer sink(dst_stack, kSinkPort, sink_cfg, &dir);
+  sink.on_complete = [&](core::SinkApp& app) {
+    if (app.payload_received() != bytes) return;  // truncated husk
+    sink_done = true;
+    sink_verified = app.verified();
+    sink_time = app.complete_time();
+  };
+
+  // --- Attempt loop ------------------------------------------------------
+  auto& ev = net.sim().events();
+  injector.arm();
+
+  util::Rng id_rng(cp.seed);
+  std::vector<std::unique_ptr<core::SourceApp>> sources;
+  std::vector<std::string> route;  // depot names of the current attempt
+  for (std::size_t i = 0; i < cp.depots; ++i) {
+    route.push_back("depot" + std::to_string(i + 1));
+  }
+  util::SimTime first_start = -1;
+  util::SimTime first_failure = -1;
+  bool first_attempt = true;
+
+  for (;;) {
+    // Build this attempt's session over `route`.
+    core::SourceConfig scfg;
+    scfg.payload_bytes = bytes;
+    scfg.payload_seed = cp.seed;
+    scfg.use_header = true;
+    scfg.header.session = core::SessionId::generate(id_rng);
+    scfg.header.payload_length = bytes;
+    for (const std::string& name : route) {
+      sim::Node* host = net.find_node(name);
+      scfg.header.hops.push_back({host->id(), kDepotPort});
+    }
+    scfg.header.destination = {dst.id(), kSinkPort};
+    scfg.resumable = params.resumable_attempts;
+    if (params.resumable_attempts) {
+      // In-session reconnects draw from the same retry budget as
+      // cross-session retransfers; each granted delay is one recovery
+      // attempt.
+      scfg.reconnect_backoff = [&]() -> std::optional<util::SimDuration> {
+        const auto d = policy.next_delay();
+        if (d && fm) fm->on_attempt();
+        return d;
+      };
+    } else {
+      scfg.header.flags |= core::kFlagDigestTrailer;
+    }
+    if (first_attempt && corrupt_at) {
+      scfg.corrupt_at_byte = corrupt_at;
+      scfg.on_corrupt = [&](std::uint64_t) {
+        injector.note_injected(fault::FaultKind::kCorrupt);
+      };
+    }
+    sim::Node* first_depot = net.find_node(route.front());
+    const sim::Endpoint first_hop{first_depot->id(), kDepotPort};
+
+    sources.push_back(std::make_unique<core::SourceApp>(
+        src_stack, first_hop, scfg, &dir));
+    core::SourceApp* source = sources.back().get();
+    injector.register_source(source);
+    source->start();
+    if (first_start < 0) first_start = source->start_time();
+    first_attempt = false;
+
+    // Drive until the sink verdicts, the source abandons, or — a dead
+    // attempt with nothing in flight — the event queue drains.
+    while (!sink_done && !source->gave_up() && ev.now() <= cp.deadline &&
+           ev.step()) {
+    }
+    res.resumes += source->resumes();
+
+    if (sink_done && sink_verified) {
+      res.completed = true;
+      res.verified = true;
+      break;
+    }
+    if (ev.now() > cp.deadline) {
+      LSL_LOG_WARN("chaos: deadline exceeded");
+      break;
+    }
+    // The attempt failed: source gave up, the path died with nothing in
+    // flight, or the payload arrived corrupted.
+    if (first_failure < 0) first_failure = ev.now();
+    sink_done = false;
+    sink_verified = false;
+
+    // Plan the next attempt: wait out a backoff tick, then re-route around
+    // depots the injector knows are down. A dead path may come back (a
+    // scripted restart), so a failed reroute is not terminal by itself —
+    // it burns the tick and re-checks on the next one. Only when the
+    // budget dies with still no route does the run fail, carrying the
+    // distinct RerouteError instead of a generic timeout.
+    bool have_route = false;
+    while (!have_route) {
+      const auto delay = policy.next_delay();
+      if (!delay) break;  // retry budget exhausted: give up for good
+      if (fm) fm->on_attempt();
+
+      // Sit out the backoff on simulated time (scripted restarts and
+      // link restorations keep firing underneath).
+      bool waited = false;
+      ev.schedule_in(*delay, [&waited] { waited = true; });
+      while (!waited && ev.step()) {
+      }
+
+      fault::RerouteError rerr = fault::RerouteError::kNone;
+      const auto chosen = rerouter.choose_excluding(
+          candidates, injector.dead_depots(), bytes, &rerr);
+      if (!chosen) {
+        res.reroute_error = rerr;
+        LSL_LOG_WARN("chaos: no viable route this attempt (%s)",
+                     fault::to_string(rerr));
+        continue;
+      }
+      res.reroute_error = fault::RerouteError::kNone;
+      std::vector<std::string> next_route(chosen->waypoints.begin() + 1,
+                                          chosen->waypoints.end() - 1);
+      if (next_route != route) {
+        ++res.reroutes;
+        if (fm) fm->on_reroute();
+        LSL_LOG_INFO("chaos: rerouting via %s", chosen->describe().c_str());
+      }
+      route = std::move(next_route);
+      have_route = true;
+    }
+    if (!have_route) break;
+  }
+
+  res.attempts = policy.attempts_made();
+  res.faults_injected = injector.injected();
+  res.final_route = route;
+  if (res.completed) {
+    const util::SimDuration elapsed = sink_time - first_start;
+    res.seconds = util::to_seconds(elapsed);
+    res.mbps = util::throughput_mbps(bytes, elapsed);
+    if (first_failure >= 0 && fm) {
+      fm->on_recovered(util::to_millis(sink_time - first_failure));
+    }
+  }
+  return res;
+}
+
+}  // namespace lsl::exp

@@ -1,0 +1,65 @@
+// Chaos experiments: scripted faults against a cascaded chain transfer,
+// recovered by the policy layer.
+//
+// run_chaos builds the same N-depot chain topology as run_chain, arms a
+// fault::FaultInjector with a scripted FaultPlan, and then drives transfer
+// *attempts* under a fault::RetryPolicy: when an attempt fails (depot
+// crash, refused accept, end-to-end verification mismatch), the harness
+// backs off per the policy, re-asks fault::ReroutePolicy for the best
+// route excluding crashed depots, and launches a fresh session. Attempts
+// marked resumable additionally survive sublink resets *within* a session
+// via the kFlagResume machinery (depot park + source reconnect).
+//
+// Everything is deterministic under a fixed seed — faults, backoff jitter,
+// TCP timing — so two identical runs export byte-identical metrics; the
+// chaos test tier (tests/chaos_test.cpp) asserts exactly that.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/chain.hpp"
+#include "fault/policy.hpp"
+#include "fault/spec.hpp"
+#include "metrics/metrics.hpp"
+
+namespace lsl::exp {
+
+/// Parameters of one chaos run.
+struct ChaosParams {
+  /// Topology, payload size, seed, depot tuning (set depot.resume_grace
+  /// for reset-style scenarios). capture_traces is ignored; chain.metrics
+  /// doubles as the registry for `fault.*` / `recovery.*` instruments.
+  ChainParams chain;
+  fault::FaultPlan plan;
+  fault::RetryConfig retry;
+  /// Resumable attempts survive mid-stream connection resets in-session
+  /// (kFlagResume; no digest trailer — content is still verified against
+  /// the seeded generator). Non-resumable attempts carry the full MD5
+  /// trailer and recover by policy-driven retransfer.
+  bool resumable_attempts = false;
+};
+
+/// Outcome of one chaos run.
+struct ChaosResult {
+  bool completed = false;  ///< a sink received the full payload
+  bool verified = false;   ///< ... and it checked out end to end
+  /// Recovery attempts granted by the RetryPolicy (in-session reconnects
+  /// plus cross-session retransfers).
+  std::uint32_t attempts = 0;
+  std::uint32_t reroutes = 0;       ///< attempts that switched routes
+  std::size_t resumes = 0;          ///< in-session resume cycles (all attempts)
+  std::uint64_t faults_injected = 0;
+  /// Why rerouting gave up, when it did (kNone otherwise) — the distinct
+  /// "no alternative route" failure the policy layer must surface.
+  fault::RerouteError reroute_error = fault::RerouteError::kNone;
+  std::vector<std::string> final_route;  ///< depot names of the last attempt
+  double seconds = 0.0;  ///< source start (first attempt) -> verified sink
+  double mbps = 0.0;
+};
+
+/// Run one transfer under the fault plan; recover per the policies.
+ChaosResult run_chaos(const ChaosParams& params);
+
+}  // namespace lsl::exp

@@ -89,6 +89,7 @@ TransferResult run_transfer(const PathParams& path, const RunConfig& cfg) {
       dcfg.session_setup_latency = path.depot_setup;
     }
     dcfg.port = kDepotPort;
+    if (cfg.resume_grace > 0) dcfg.resume_grace = cfg.resume_grace;
     depot_app = std::make_unique<core::DepotApp>(depot_stack, dcfg, dirp);
     if (cfg.metrics) {
       depot_bundle =

@@ -40,6 +40,12 @@ struct RunConfig {
   /// Depot tuning; when unset, derived from the scenario's PathParams
   /// (depot_relay_rate / depot_relay_buffer / depot_wakeup).
   std::optional<core::DepotConfig> depot_override;
+  /// Park window for sessions whose upstream died awaiting a kFlagResume
+  /// reconnect, applied to every depot the run builds (also on top of
+  /// depot_override). The simulator's default is 0 = resumption off — the
+  /// same default the real daemon's `lsd --resume-grace` knob documents in
+  /// docs/PROTOCOL.md §6.
+  util::SimDuration resume_grace = 0;
   /// When set, the run registers live instruments here: per-connection TCP
   /// metrics under `tcp.<label>.*`, depot metrics under `depot.1.*`, and —
   /// with capture_traces — a trace::analysis bridge under `trace.<label>.*`.

@@ -1,0 +1,14 @@
+#include "fault/fault_metrics.hpp"
+
+namespace lsl::fault {
+
+FaultMetrics::FaultMetrics(metrics::Registry& reg)
+    : injected(&reg.counter("fault.injected")),
+      timeline(&reg.timeseries("fault.timeline")),
+      attempts(&reg.counter("recovery.attempts")),
+      successes(&reg.counter("recovery.successes")),
+      reroutes(&reg.counter("recovery.reroutes")),
+      latency_ms(&reg.histogram("recovery.latency_ms",
+                                metrics::latency_ms_bounds())) {}
+
+}  // namespace lsl::fault

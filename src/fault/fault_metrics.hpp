@@ -1,0 +1,43 @@
+// Fault and recovery instruments.
+//
+// Unlike the per-instance bundles in src/metrics/instruments.hpp, fault
+// metrics are session-global: one chaos run injects faults across many
+// depots and links but recovers as a single session, so the names are flat
+// (`fault.*`, `recovery.*`) rather than `<component>.<instance>.*`. Every
+// name registered here must appear in docs/OBSERVABILITY.md — the
+// `fault-metrics-docs` rule of tools/lsl_lint enforces that for any
+// `fault.`/`recovery.` string literal in this directory.
+#pragma once
+
+#include "metrics/instruments.hpp"
+#include "metrics/metrics.hpp"
+
+#include "fault/spec.hpp"
+
+namespace lsl::fault {
+
+/// Pre-resolved fault/recovery instruments (see metrics bundle pattern in
+/// src/metrics/instruments.hpp: resolve once, hot path touches atomics).
+struct FaultMetrics {
+  explicit FaultMetrics(metrics::Registry& reg);
+
+  metrics::Counter* injected;        ///< faults actually applied
+  metrics::Timeseries* timeline;     ///< (t_seconds, FaultKind index)
+  metrics::Counter* attempts;        ///< recovery attempts started
+  metrics::Counter* successes;       ///< recoveries that completed
+  metrics::Counter* reroutes;        ///< attempts that switched routes
+  metrics::Histogram* latency_ms;    ///< failure detected -> recovered
+
+  void on_injected(double t_seconds, FaultKind kind) {
+    injected->inc();
+    timeline->record(t_seconds, static_cast<double>(kind));
+  }
+  void on_attempt() { attempts->inc(); }
+  void on_reroute() { reroutes->inc(); }
+  void on_recovered(double latency_milliseconds) {
+    successes->inc();
+    latency_ms->observe(latency_milliseconds);
+  }
+};
+
+}  // namespace lsl::fault

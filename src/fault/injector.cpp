@@ -1,0 +1,198 @@
+#include "fault/injector.hpp"
+
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace lsl::fault {
+
+void FaultInjector::register_depot(const std::string& name,
+                                   core::DepotApp* depot) {
+  depots_[name] = depot;
+}
+
+void FaultInjector::register_source(core::SourceApp* source) {
+  source_ = source;
+}
+
+double FaultInjector::now_seconds() const {
+  return util::to_seconds(net_.sim().now());
+}
+
+void FaultInjector::note_injected(FaultKind kind) {
+  ++injected_;
+  if (metrics_) metrics_->on_injected(now_seconds(), kind);
+}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  auto& ev = net_.sim().events();
+  for (const FaultEvent& e : plan_.events) {
+    if (e.kind == FaultKind::kCorrupt) {
+      // The corrupt fault lives at the source (SourceConfig::corrupt_at_byte)
+      // because the flip must happen after hashing; the harness wires it and
+      // reports back through note_injected().
+      continue;
+    }
+    if (e.byte_keyed()) {
+      const auto it = depots_.find(e.target);
+      if (it == depots_.end()) {
+        LSL_LOG_WARN("fault: no depot '%s' for byte-keyed %s",
+                     e.target.c_str(), to_string(e.kind));
+        continue;
+      }
+      if (pending_bytes_.find(e.target) == pending_bytes_.end()) {
+        const std::string name = e.target;
+        it->second->on_progress = [this, name](std::uint64_t bytes) {
+          on_depot_progress(name, bytes);
+        };
+      }
+      pending_bytes_[e.target].push_back(e);
+      continue;
+    }
+    ev.schedule_at(e.at, [this, e] { apply(e); });
+  }
+}
+
+void FaultInjector::on_depot_progress(const std::string& name,
+                                      std::uint64_t bytes) {
+  auto it = pending_bytes_.find(name);
+  if (it == pending_bytes_.end()) return;
+  auto& pending = it->second;
+  for (std::size_t i = 0; i < pending.size();) {
+    if (pending[i].at_bytes <= bytes) {
+      const FaultEvent e = pending[i];
+      pending.erase(pending.begin() + static_cast<long>(i));
+      apply(e);
+    } else {
+      ++i;
+    }
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& e) {
+  auto& ev = net_.sim().events();
+  const auto depot_of = [&](const std::string& name) -> core::DepotApp* {
+    const auto it = depots_.find(name);
+    if (it == depots_.end()) {
+      LSL_LOG_WARN("fault: no registered depot '%s'", name.c_str());
+      return nullptr;
+    }
+    return it->second;
+  };
+
+  switch (e.kind) {
+    case FaultKind::kCrash: {
+      core::DepotApp* d = depot_of(e.target);
+      if (d == nullptr) return;
+      LSL_LOG_INFO("fault: crash depot %s", e.target.c_str());
+      d->crash();
+      dead_.insert(e.target);
+      if (e.duration > 0) {
+        ev.schedule_in(e.duration, [this, name = e.target] {
+          const auto it = depots_.find(name);
+          if (it == depots_.end()) return;
+          LSL_LOG_INFO("fault: restart depot %s", name.c_str());
+          it->second->restart();
+          dead_.erase(name);
+        });
+      }
+      break;
+    }
+    case FaultKind::kRestart: {
+      core::DepotApp* d = depot_of(e.target);
+      if (d == nullptr) return;
+      LSL_LOG_INFO("fault: restart depot %s", e.target.c_str());
+      d->restart();
+      dead_.erase(e.target);
+      // A restart repairs rather than injects; it is not counted.
+      return;
+    }
+    case FaultKind::kBlackhole:
+    case FaultKind::kFlap: {
+      LSL_LOG_INFO("fault: %s link %s", to_string(e.kind), e.target.c_str());
+      set_link_down(e.target, true);
+      if (e.duration > 0) {
+        ev.schedule_in(e.duration, [this, link = e.target] {
+          LSL_LOG_INFO("fault: link %s back up", link.c_str());
+          set_link_down(link, false);
+        });
+      }
+      break;
+    }
+    case FaultKind::kSynDrop: {
+      core::DepotApp* d = depot_of(e.target);
+      if (d == nullptr) return;
+      LSL_LOG_INFO("fault: drop next %u accepts at %s", e.count,
+                   e.target.c_str());
+      d->set_accept_drops(e.count);
+      break;
+    }
+    case FaultKind::kReset: {
+      core::DepotApp* d = depot_of(e.target);
+      if (d == nullptr) return;
+      LSL_LOG_INFO("fault: reset upstream at %s", e.target.c_str());
+      d->inject_upstream_reset();
+      break;
+    }
+    case FaultKind::kSlow: {
+      core::DepotApp* d = depot_of(e.target);
+      if (d == nullptr) return;
+      LSL_LOG_INFO("fault: stall depot %s for %s", e.target.c_str(),
+                   util::format_duration(e.duration).c_str());
+      d->set_stalled(true);
+      ev.schedule_in(e.duration, [this, name = e.target] {
+        const auto it = depots_.find(name);
+        if (it != depots_.end()) it->second->set_stalled(false);
+      });
+      break;
+    }
+    case FaultKind::kCorrupt:
+      return;  // applied at the source, accounted via note_injected()
+    case FaultKind::kDisconnect: {
+      if (source_ == nullptr) {
+        LSL_LOG_WARN("fault: disconnect with no registered source");
+        return;
+      }
+      LSL_LOG_INFO("fault: source disconnect");
+      source_->simulate_disconnect();
+      break;
+    }
+  }
+  note_injected(e.kind);
+}
+
+void FaultInjector::set_link_down(const std::string& spec, bool down) {
+  const std::size_t dash = spec.find('-');
+  if (dash == std::string::npos) return;  // validated at parse; defensive
+  sim::Node* a = net_.find_node(spec.substr(0, dash));
+  sim::Node* b = net_.find_node(spec.substr(dash + 1));
+  if (a == nullptr || b == nullptr) {
+    LSL_LOG_WARN("fault: unknown link '%s'", spec.c_str());
+    return;
+  }
+  sim::Link* ab = net_.link_between(a->id(), b->id());
+  sim::Link* ba = net_.link_between(b->id(), a->id());
+  if (ab == nullptr || ba == nullptr) {
+    LSL_LOG_WARN("fault: nodes '%s' are not adjacent", spec.c_str());
+    return;
+  }
+  if (down) {
+    if (saved_loss_.find(spec) == saved_loss_.end()) {
+      saved_loss_[spec] = {ab->config().loss_rate, ba->config().loss_rate};
+    }
+    ab->set_loss_rate(1.0);
+    ba->set_loss_rate(1.0);
+  } else {
+    const auto it = saved_loss_.find(spec);
+    const auto prior = it != saved_loss_.end()
+                           ? it->second
+                           : std::pair<double, double>{0.0, 0.0};
+    ab->set_loss_rate(prior.first);
+    ba->set_loss_rate(prior.second);
+    if (it != saved_loss_.end()) saved_loss_.erase(it);
+  }
+}
+
+}  // namespace lsl::fault

@@ -1,0 +1,68 @@
+#include "fault/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsl::fault {
+
+std::optional<util::SimDuration> RetryPolicy::next_delay() {
+  if (attempts_ >= config_.max_attempts) return std::nullopt;
+  const auto k = static_cast<double>(attempts_);
+  ++attempts_;
+  double ns = static_cast<double>(config_.base_delay) *
+              std::pow(config_.multiplier, k);
+  ns = std::min(ns, static_cast<double>(config_.max_delay));
+  if (config_.jitter > 0.0) {
+    // One RNG draw per attempt, jitter or not in range: keeps the stream
+    // position a pure function of attempt count for a given seed.
+    const double scale =
+        rng_.uniform(1.0 - config_.jitter, 1.0 + config_.jitter);
+    ns *= scale;
+  }
+  const auto delay = static_cast<util::SimDuration>(ns);
+  return std::max<util::SimDuration>(delay, 1);
+}
+
+const char* to_string(RerouteError e) {
+  switch (e) {
+    case RerouteError::kNone:
+      return "none";
+    case RerouteError::kNoCandidates:
+      return "no-candidates";
+    case RerouteError::kNoAlternativeRoute:
+      return "no-alternative-route";
+  }
+  return "?";  // unreachable: all enumerators handled above
+}
+
+std::optional<core::CandidateRoute> ReroutePolicy::choose_excluding(
+    const std::vector<core::CandidateRoute>& candidates,
+    const std::set<std::string>& dead_depots, std::uint64_t bytes,
+    RerouteError* error) const {
+  const auto set_error = [&](RerouteError e) {
+    if (error != nullptr) *error = e;
+  };
+  if (candidates.empty()) {
+    set_error(RerouteError::kNoCandidates);
+    return std::nullopt;
+  }
+  std::vector<core::CandidateRoute> alive;
+  for (const core::CandidateRoute& c : candidates) {
+    bool ok = true;
+    for (std::size_t i = 1; i + 1 < c.waypoints.size(); ++i) {
+      if (dead_depots.count(c.waypoints[i]) != 0) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) alive.push_back(c);
+  }
+  if (alive.empty()) {
+    set_error(RerouteError::kNoAlternativeRoute);
+    return std::nullopt;
+  }
+  set_error(RerouteError::kNone);
+  return selector_.choose(alive, bytes);
+}
+
+}  // namespace lsl::fault

@@ -1,0 +1,97 @@
+// Recovery policies: what the session layer does after a fault.
+//
+// The paper's §III mobility story is that depots hold enough state for a
+// session to survive endpoint and sublink failure; this module supplies the
+// client-side half of that story. RetryPolicy decides *when* to try again
+// (exponential backoff with seeded jitter and a capped attempt budget —
+// deterministic under a fixed seed, so chaos runs replay bit-for-bit).
+// ReroutePolicy decides *where*: it re-asks the existing RouteSelector for
+// the best candidate route whose depots are all still alive, and reports a
+// distinct error when no alternative exists so callers can fail cleanly
+// instead of hammering a dead path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lsl/selector.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace lsl::fault {
+
+/// Backoff knobs (see docs/FAULTS.md for the full table).
+struct RetryConfig {
+  /// Retry budget: how many re-attempts follow the initial try.
+  std::uint32_t max_attempts = 4;
+  util::SimDuration base_delay = 50 * util::kMillisecond;
+  double multiplier = 2.0;
+  util::SimDuration max_delay = 5 * util::kSecond;
+  /// Jitter fraction j: each delay is scaled by uniform(1-j, 1+j) drawn
+  /// from the policy's own seeded RNG. 0 disables jitter.
+  double jitter = 0.2;
+};
+
+/// Exponential backoff with seeded jitter and capped attempts.
+///
+/// delay(k) = min(base * multiplier^k, max) * uniform(1-j, 1+j)
+///
+/// All randomness comes from a util::Rng constructed from the caller's
+/// seed, so a fixed seed yields an identical delay sequence — the property
+/// tests/fault_test.cpp pins down.
+class RetryPolicy {
+ public:
+  RetryPolicy(RetryConfig config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  /// The delay before the next retry, or nullopt when the attempt budget
+  /// is exhausted (caller should give up and surface the failure).
+  std::optional<util::SimDuration> next_delay();
+
+  std::uint32_t attempts_made() const { return attempts_; }
+  const RetryConfig& config() const { return config_; }
+
+  /// Forget past attempts (a fresh transfer reuses the policy object).
+  /// The RNG stream is deliberately *not* rewound: two transfers in one
+  /// run draw different jitter, while a re-run with the same seed still
+  /// reproduces the whole sequence.
+  void reset() { attempts_ = 0; }
+
+ private:
+  RetryConfig config_;
+  util::Rng rng_;
+  std::uint32_t attempts_ = 0;
+};
+
+/// Why a reroute attempt produced no route.
+enum class RerouteError {
+  kNone,               ///< a route was found
+  kNoCandidates,       ///< the candidate list itself was empty
+  kNoAlternativeRoute, ///< every candidate traverses a dead depot
+};
+
+const char* to_string(RerouteError e);
+
+/// Route selection under failure: the best candidate avoiding dead depots.
+class ReroutePolicy {
+ public:
+  explicit ReroutePolicy(core::RouteSelector& selector)
+      : selector_(selector) {}
+
+  /// The fastest candidate (per RouteSelector::choose) whose *interior*
+  /// waypoints — the depots; endpoints are the session's own hosts — avoid
+  /// `dead_depots`. Returns nullopt with a distinct RerouteError when the
+  /// candidate list is empty or fully eliminated.
+  std::optional<core::CandidateRoute> choose_excluding(
+      const std::vector<core::CandidateRoute>& candidates,
+      const std::set<std::string>& dead_depots, std::uint64_t bytes,
+      RerouteError* error = nullptr) const;
+
+ private:
+  core::RouteSelector& selector_;
+};
+
+}  // namespace lsl::fault

@@ -1,0 +1,240 @@
+#include "fault/spec.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace lsl::fault {
+
+namespace {
+
+/// Exact-unit formatting so to_spec() round-trips: pick the largest unit
+/// that divides the value evenly.
+std::string format_spec_duration(util::SimDuration d) {
+  std::ostringstream out;
+  if (d % util::kSecond == 0) {
+    out << d / util::kSecond << "s";
+  } else if (d % util::kMillisecond == 0) {
+    out << d / util::kMillisecond << "ms";
+  } else if (d % util::kMicrosecond == 0) {
+    out << d / util::kMicrosecond << "us";
+  } else {
+    out << d << "ns";
+  }
+  return out.str();
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      parts.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return false;
+}
+
+std::optional<FaultKind> parse_kind(const std::string& word) {
+  if (word == "crash") return FaultKind::kCrash;
+  if (word == "restart") return FaultKind::kRestart;
+  if (word == "blackhole") return FaultKind::kBlackhole;
+  if (word == "flap") return FaultKind::kFlap;
+  if (word == "syndrop") return FaultKind::kSynDrop;
+  if (word == "reset") return FaultKind::kReset;
+  if (word == "slow") return FaultKind::kSlow;
+  if (word == "corrupt") return FaultKind::kCorrupt;
+  if (word == "disconnect") return FaultKind::kDisconnect;
+  return std::nullopt;
+}
+
+bool wants_depot(FaultKind k) {
+  return k == FaultKind::kCrash || k == FaultKind::kRestart ||
+         k == FaultKind::kSynDrop || k == FaultKind::kReset ||
+         k == FaultKind::kSlow;
+}
+
+bool wants_link(FaultKind k) {
+  return k == FaultKind::kBlackhole || k == FaultKind::kFlap;
+}
+
+/// Byte-keyed triggers make sense only where a stream offset exists.
+bool allows_bytes(FaultKind k) {
+  return k == FaultKind::kCrash || k == FaultKind::kReset ||
+         k == FaultKind::kCorrupt;
+}
+
+bool parse_one_event(const std::string& text, FaultEvent* ev,
+                     std::string* error) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos)
+    return fail(error, "event '" + text + "' has no ':' after the kind");
+  const std::string kind_word = trim(text.substr(0, colon));
+  const auto kind = parse_kind(kind_word);
+  if (!kind) return fail(error, "unknown fault kind '" + kind_word + "'");
+  ev->kind = *kind;
+
+  bool saw_for = false;
+  for (const std::string& raw : split(text.substr(colon + 1), ',')) {
+    const std::string pair = trim(raw);
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos)
+      return fail(error, "'" + pair + "' is not key=value");
+    const std::string key = trim(pair.substr(0, eq));
+    const std::string value = trim(pair.substr(eq + 1));
+    if (value.empty()) return fail(error, "empty value for '" + key + "'");
+    if (key == "depot" || key == "link") {
+      const bool applies = key == "depot" ? wants_depot(ev->kind)
+                                          : wants_link(ev->kind);
+      if (!applies)
+        return fail(error, "'" + key + "=' does not apply to " + kind_word);
+      ev->target = value;
+    } else if (key == "at") {
+      const auto d = parse_duration(value);
+      if (!d) return fail(error, "bad duration '" + value + "' for at=");
+      ev->at = *d;
+    } else if (key == "at_bytes") {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0')
+        return fail(error, "bad byte offset '" + value + "'");
+      ev->at_bytes = v;
+    } else if (key == "for") {
+      const auto d = parse_duration(value);
+      if (!d || *d <= 0)
+        return fail(error, "bad duration '" + value + "' for for=");
+      ev->duration = *d;
+      saw_for = true;
+    } else if (key == "count") {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || v == 0)
+        return fail(error, "bad count '" + value + "'");
+      ev->count = static_cast<std::uint32_t>(v);
+    } else {
+      return fail(error, "unknown key '" + key + "' in " + kind_word);
+    }
+  }
+
+  // Per-kind validation: every event needs a trigger and its target.
+  if (wants_depot(ev->kind) && ev->target.empty())
+    return fail(error, kind_word + " requires depot=<name>");
+  if (wants_link(ev->kind)) {
+    if (ev->target.empty()) return fail(error, kind_word + " requires link=a-b");
+    if (ev->target.find('-') == std::string::npos)
+      return fail(error, "link '" + ev->target + "' must be <a>-<b>");
+  }
+  if (ev->byte_keyed() && !allows_bytes(ev->kind))
+    return fail(error, kind_word + " cannot be keyed to at_bytes=");
+  if (ev->kind == FaultKind::kCorrupt && !ev->byte_keyed())
+    return fail(error, "corrupt requires at_bytes=<n>");
+  if (ev->at < 0 && !ev->byte_keyed())
+    return fail(error, kind_word + " needs at=<dur> or at_bytes=<n>");
+  if (ev->at >= 0 && ev->byte_keyed())
+    return fail(error, kind_word + " cannot have both at= and at_bytes=");
+  if (ev->kind == FaultKind::kFlap && !saw_for)
+    return fail(error, "flap requires for=<dur>");
+  if (ev->kind == FaultKind::kSlow && !saw_for)
+    return fail(error, "slow requires for=<dur>");
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRestart:
+      return "restart";
+    case FaultKind::kBlackhole:
+      return "blackhole";
+    case FaultKind::kFlap:
+      return "flap";
+    case FaultKind::kSynDrop:
+      return "syndrop";
+    case FaultKind::kReset:
+      return "reset";
+    case FaultKind::kSlow:
+      return "slow";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kDisconnect:
+      return "disconnect";
+  }
+  return "?";  // unreachable: all enumerators handled above
+}
+
+std::string FaultEvent::to_spec() const {
+  std::ostringstream out;
+  out << to_string(kind) << ":";
+  bool first = true;
+  const auto emit = [&](const std::string& key, const std::string& value) {
+    if (!first) out << ",";
+    out << key << "=" << value;
+    first = false;
+  };
+  if (!target.empty())
+    emit(wants_link(kind) ? "link" : "depot", target);
+  if (byte_keyed())
+    emit("at_bytes", std::to_string(at_bytes));
+  else
+    emit("at", format_spec_duration(at));
+  if (duration > 0) emit("for", format_spec_duration(duration));
+  if (count != 1) emit("count", std::to_string(count));
+  return out.str();
+}
+
+std::string FaultEvent::describe() const { return to_spec(); }
+
+std::string FaultPlan::to_spec() const {
+  std::string out;
+  for (const FaultEvent& ev : events) {
+    if (!out.empty()) out += ";";
+    out += ev.to_spec();
+  }
+  return out;
+}
+
+std::optional<util::SimDuration> parse_duration(const std::string& text) {
+  const std::string t = trim(text);
+  if (t.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  if (end == t.c_str() || v < 0) return std::nullopt;
+  const std::string unit = trim(std::string(end));
+  if (unit == "s") return util::seconds(v);
+  if (unit == "ms") return util::millis(v);
+  if (unit == "us") return util::micros(v);
+  if (unit == "ns") return static_cast<util::SimDuration>(v);
+  return std::nullopt;  // missing or unknown unit
+}
+
+std::optional<FaultPlan> parse_fault_spec(const std::string& spec,
+                                          std::string* error) {
+  FaultPlan plan;
+  for (const std::string& raw : split(spec, ';')) {
+    const std::string text = trim(raw);
+    if (text.empty()) continue;
+    FaultEvent ev;
+    if (!parse_one_event(text, &ev, error)) return std::nullopt;
+    plan.events.push_back(std::move(ev));
+  }
+  return plan;
+}
+
+}  // namespace lsl::fault

@@ -1,0 +1,97 @@
+// Scripted fault plans: the deterministic chaos vocabulary.
+//
+// A FaultPlan is an ordered list of failure events — depot crashes and
+// restarts, link blackholes and flaps, accept (SYN) drops, mid-stream
+// connection resets, slow-depot relay stalls, and single-byte payload
+// corruption — each keyed to a simulated-time instant or a stream byte
+// offset. Plans parse from a compact spec string so an entire chaos
+// scenario is reproducible from one CLI flag:
+//
+//   crash:depot=depot1,at=2s;flap:link=depot1-depot2,at=1s,for=300ms
+//
+// The same grammar drives both halves of the repository: the simulator's
+// FaultInjector (src/fault/injector.hpp) and the real-socket daemon's
+// fault driver (src/posix/fault_driver.hpp). The spec layer itself depends
+// on nothing but util, so every consumer can parse plans without pulling
+// in the network stacks. Grammar reference: docs/FAULTS.md.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace lsl::fault {
+
+/// Sentinel for "this event is not keyed to a byte offset".
+inline constexpr std::uint64_t kNoByteOffset = ~0ull;
+
+/// The failure vocabulary. Keep to_string()/parse in spec.cpp in sync.
+enum class FaultKind {
+  kCrash,       ///< depot dies: all relays fail, listener closes
+  kRestart,     ///< a crashed depot re-binds its listener
+  kBlackhole,   ///< link drops every packet (optionally for a window)
+  kFlap,        ///< bounded blackhole: link down for `duration`, then up
+  kSynDrop,     ///< depot refuses (aborts) the next `count` accepts
+  kReset,       ///< mid-stream upstream connection reset at a depot
+  kSlow,        ///< depot relay stall: stops pulling/pushing for a window
+  kCorrupt,     ///< source flips one payload byte (after digesting it)
+  kDisconnect,  ///< source-side connection abort (the §III roam)
+};
+
+const char* to_string(FaultKind k);
+
+/// One scripted failure.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  /// Depot name (crash/restart/syndrop/reset/slow) or "a-b" link name
+  /// (blackhole/flap); empty for source-side events (corrupt/disconnect).
+  std::string target;
+  /// Trigger instant in simulated time; -1 when the event is byte-keyed.
+  util::SimTime at = -1;
+  /// Trigger stream byte offset; kNoByteOffset when time-keyed.
+  std::uint64_t at_bytes = kNoByteOffset;
+  /// Window length for bounded events (flap/slow/crash-with-restart);
+  /// 0 = unbounded / instantaneous.
+  util::SimDuration duration = 0;
+  /// Repeat count (syndrop: how many accepts to refuse).
+  std::uint32_t count = 1;
+
+  bool byte_keyed() const { return at_bytes != kNoByteOffset; }
+  /// Round-trips through parse_fault_spec (modulo key order).
+  std::string to_spec() const;
+  std::string describe() const;
+};
+
+/// An ordered fault script. Events fire independently; order in the spec
+/// string is preserved for reporting but execution order is governed by
+/// the `at` / `at_bytes` keys.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  std::string to_spec() const;
+};
+
+/// Parse a duration literal: "2s", "300ms", "150us", "40ns". Plain
+/// integers are rejected — the unit is mandatory so specs read
+/// unambiguously. Returns nullopt on malformed input.
+std::optional<util::SimDuration> parse_duration(const std::string& text);
+
+/// Parse the compact spec grammar:
+///
+///   plan  := event (';' event)*
+///   event := kind ':' key '=' value (',' key '=' value)*
+///   kind  := crash | restart | blackhole | flap | syndrop | reset
+///          | slow | corrupt | disconnect
+///   keys  := depot= | link= | at= | at_bytes= | for= | count=
+///
+/// Whitespace around separators is ignored. On failure returns nullopt and,
+/// when `error` is non-null, stores a one-line description of what was
+/// wrong (unknown kind, missing required key, bad duration, ...).
+std::optional<FaultPlan> parse_fault_spec(const std::string& spec,
+                                          std::string* error = nullptr);
+
+}  // namespace lsl::fault

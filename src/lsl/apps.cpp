@@ -80,6 +80,23 @@ void SourceApp::handle_connection_error() {
     if (on_finished) on_finished();
     return;
   }
+  // A backoff policy decides the reconnect delay — and whether to keep
+  // trying at all. Without one, the fixed re-association delay applies.
+  util::SimDuration delay = config_.resume_reconnect_delay;
+  if (config_.reconnect_backoff) {
+    const auto next = config_.reconnect_backoff();
+    if (!next) {
+      // Attempt budget exhausted: abandon the transfer.
+      gave_up_ = true;
+      finished_ = true;
+      socket_->on_closed = nullptr;
+      socket_->on_writable = nullptr;
+      socket_ = nullptr;
+      if (on_finished) on_finished();
+      return;
+    }
+    delay = *next;
+  }
   // Resume from the highest payload byte the dead connection delivered and
   // had acknowledged; everything beyond it is retransmitted.
   const std::uint64_t acked = socket_->stats().bytes_acked;
@@ -92,10 +109,9 @@ void SourceApp::handle_connection_error() {
   socket_->on_closed = nullptr;
   socket_->on_writable = nullptr;
   socket_ = nullptr;  // the dead socket stays owned by the stack
-  stack_.sim().events().schedule_in(
-      config_.resume_reconnect_delay, [this, acked_payload] {
-        if (!finished_) open_connection(acked_payload);
-      });
+  stack_.sim().events().schedule_in(delay, [this, acked_payload] {
+    if (!finished_) open_connection(acked_payload);
+  });
 }
 
 void SourceApp::simulate_disconnect() {
@@ -136,6 +152,18 @@ void SourceApp::pump() {
         generator_->generate(std::span<std::uint8_t>(buf, want));
         if (hasher_) {
           hasher_->update(std::span<const std::uint8_t>(buf, want));
+        }
+        // Fault injection: flip one byte after it was digested, so the
+        // wire carries corrupted payload under an honest trailer and the
+        // sink's end-to-end MD5 check fires.
+        if (config_.corrupt_at_byte) {
+          const std::uint64_t position =
+              config_.payload_bytes - payload_left_;
+          const std::uint64_t off = *config_.corrupt_at_byte;
+          if (off >= position && off < position + want) {
+            buf[static_cast<std::size_t>(off - position)] ^= 0x5a;
+            if (config_.on_corrupt) config_.on_corrupt(off);
+          }
         }
         const std::size_t took =
             socket_->send(std::span<const std::uint8_t>(buf, want));

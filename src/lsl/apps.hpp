@@ -42,6 +42,18 @@ struct SourceConfig {
   bool resumable = false;
   /// Delay before re-dialing after a failure (models re-association).
   util::SimDuration resume_reconnect_delay = util::millis(50);
+  /// Policy hook consulted instead of the fixed delay when set (e.g. a
+  /// fault::RetryPolicy's exponential backoff): returns the delay before
+  /// the next reconnect, or nullopt to give up — the source then finishes
+  /// unsuccessfully (gave_up() is true). Keeps core free of a dependency
+  /// on the policy layer.
+  std::function<std::optional<util::SimDuration>()> reconnect_backoff;
+  /// Fault injection (real mode): flip one payload byte at this stream
+  /// offset *after* it entered the digest, so the trailer stays honest and
+  /// the sink's end-to-end MD5 check exposes the corruption.
+  std::optional<std::uint64_t> corrupt_at_byte;
+  /// Fires when corrupt_at_byte is applied (fault accounting).
+  std::function<void(std::uint64_t)> on_corrupt;
 };
 
 /// The sending end system.
@@ -75,6 +87,10 @@ class SourceApp {
   /// Number of successful reconnect-and-resume cycles so far.
   std::size_t resumes() const { return resumes_; }
 
+  /// True when a reconnect_backoff policy exhausted its attempt budget and
+  /// the source abandoned the transfer (finished() is also true then).
+  bool gave_up() const { return gave_up_; }
+
  private:
   void pump();
   void open_connection(std::uint64_t resume_offset);
@@ -94,6 +110,7 @@ class SourceApp {
   std::optional<md5::Md5> hasher_;             // real mode with digest
   bool trailer_staged_ = false;
   bool finished_ = false;
+  bool gave_up_ = false;
   std::size_t resumes_ = 0;
   std::size_t header_wire_bytes_ = 0;
   util::SimTime start_time_ = 0;

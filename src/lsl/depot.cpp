@@ -23,6 +23,12 @@ std::size_t DepotApp::live_sessions() const {
 }
 
 void DepotApp::on_accept(tcp::TcpSocket* up) {
+  if (accept_drops_ > 0) {
+    --accept_drops_;
+    ++stats_.sessions_refused;
+    up->abort();
+    return;
+  }
   if (config_.max_sessions > 0 && live_sessions() >= config_.max_sessions) {
     ++stats_.sessions_refused;
     up->abort();
@@ -37,12 +43,16 @@ void DepotApp::on_accept(tcp::TcpSocket* up) {
 
   const bool real = up->config().carry_data;
   if (!real) {
-    auto h = dir_ != nullptr ? dir_->consume(up->remote()) : std::nullopt;
+    // peek/consume split: only erase the directory entry once this relay
+    // actually adopts the session, so a failed adoption leaves the entry
+    // for the client's republish-and-reconnect cycle (resume).
+    auto h = dir_ != nullptr ? dir_->peek(up->remote()) : std::nullopt;
     if (!h) {
       LSL_LOG_ERROR("depot: virtual session without published header");
       fail_relay(*r);
       return;
     }
+    dir_->consume(up->remote());
     r->header = std::move(*h);
     r->header_virtual_left = r->header->encoded_size();
   }
@@ -129,6 +139,9 @@ void DepotApp::pull_upstream(Relay& r) {
 }
 
 void DepotApp::pull_payload(Relay& r, bool ignore_space) {
+  // A stalled (slow-fault) depot stops relaying, but parked-session salvage
+  // (ignore_space) still runs: those bytes were acked and must not be lost.
+  if (stalled_ && !ignore_space) return;
   const bool real = r.up->config().carry_data;
   while (r.up->readable() > 0) {
     std::uint64_t space = ~std::uint64_t{0};
@@ -239,7 +252,7 @@ void DepotApp::copy_complete(Relay& r, std::uint64_t bytes,
 }
 
 void DepotApp::pump_downstream(Relay& r) {
-  if (r.done || r.down == nullptr || !r.downstream_up) return;
+  if (r.done || r.down == nullptr || !r.downstream_up || stalled_) return;
   const bool real = r.down->config().carry_data;
 
   // Forwarded header goes first.
@@ -288,12 +301,70 @@ void DepotApp::pump_downstream(Relay& r) {
   if (freed) {
     end_stall(r);  // ring space exists again; reads may resume
     if (metrics_) note_occupancy(r);
+    schedule_progress();
     // Space freed: resume reading from upstream (we may have declined
     // earlier).
     if (r.up != nullptr && r.up->readable() > 0) pull_upstream(r);
   }
 
   maybe_complete(r);
+}
+
+void DepotApp::schedule_progress() {
+  if (!on_progress || progress_scheduled_) return;
+  progress_scheduled_ = true;
+  stack_.sim().events().schedule_in(0, [this] {
+    progress_scheduled_ = false;
+    if (on_progress) on_progress(stats_.bytes_relayed);
+  });
+}
+
+void DepotApp::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  stack_.close_listener(config_.port);
+  // fail_relay() unparks, cancels expiry timers and erases the sessions_
+  // entry per relay; afterwards nothing resumable is left.
+  for (std::size_t i = 0; i < relays_.size(); ++i) {
+    Relay* r = relays_[i].get();
+    if (!r->done) fail_relay(*r);
+  }
+}
+
+void DepotApp::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  stack_.listen(config_.port, [this](tcp::TcpSocket* s) { on_accept(s); });
+}
+
+void DepotApp::set_stalled(bool stalled) {
+  if (stalled_ == stalled) return;
+  stalled_ = stalled;
+  if (stalled_) return;
+  // Un-stall: kick every live relay; pending ready bytes flow again and
+  // upstream reads that were declined resume.
+  for (std::size_t i = 0; i < relays_.size(); ++i) {
+    Relay* r = relays_[i].get();
+    if (r->done || r->parked) continue;
+    pump_downstream(*r);
+    if (!r->done && r->up != nullptr && r->up->readable() > 0) {
+      pull_upstream(*r);
+    }
+  }
+}
+
+void DepotApp::inject_upstream_reset() {
+  for (std::size_t i = 0; i < relays_.size(); ++i) {
+    Relay* r = relays_[i].get();
+    if (r->done || r->parked || !r->header_done || r->up == nullptr) continue;
+    // Enter the error path while the socket's receive buffer is intact so
+    // park_relay() can salvage acked bytes, then RST the peer. The abort's
+    // own error callback is harmless afterwards: parked and failed relays
+    // return from on_upstream_error immediately.
+    tcp::TcpSocket* up = r->up;
+    on_upstream_error(*r);
+    if (up->state() != tcp::TcpState::kClosed) up->abort();
+  }
 }
 
 void DepotApp::on_upstream_error(Relay& r) {

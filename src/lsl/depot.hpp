@@ -87,6 +87,36 @@ class DepotApp {
   /// trace recorders here.
   std::function<void(tcp::TcpSocket*)> on_downstream_open;
 
+  /// Observation hook: fires with the cumulative relayed byte count after
+  /// downstream progress. Dispatched through a zero-delay simulator event,
+  /// never from inside the relay pump, so a hook may inject faults (crash,
+  /// reset) without reentering depot state — the byte-offset trigger of
+  /// fault::FaultInjector.
+  std::function<void(std::uint64_t)> on_progress;
+
+  // --- Failure injection (src/fault) -----------------------------------
+  // These model the daemon process dying and the operator's knobs around
+  // it; they are ordinary public API so tests can drive them directly.
+
+  /// The daemon dies: every live session (parked ones included) fails and
+  /// the listener closes. Idempotent.
+  void crash();
+  /// A crashed daemon comes back: re-binds the listener with empty state
+  /// (a real restarted process remembers nothing). No-op unless crashed.
+  void restart();
+  bool crashed() const { return crashed_; }
+  /// Refuse (abort) the next `n` accepted connections — a SYN/accept drop.
+  void set_accept_drops(std::uint32_t n) { accept_drops_ += n; }
+  /// Stall the relay: stop pulling upstream and pushing downstream until
+  /// un-stalled (the "slow depot" fault). Parked-session salvage still
+  /// runs — acked bytes are never dropped.
+  void set_stalled(bool stalled);
+  bool stalled() const { return stalled_; }
+  /// Reset (RST) the upstream connection of every streaming session, as if
+  /// the sender's NAT binding died mid-transfer. With resume_grace > 0 the
+  /// sessions park awaiting resume; otherwise they fail.
+  void inject_upstream_reset();
+
   /// Attach a metrics bundle (must outlive the depot's traffic); null
   /// detaches. Gauges report per-relay occupancy sampled at transition
   /// points, so gauge max() is the same high-water mark as
@@ -153,6 +183,8 @@ class DepotApp {
   void end_stall(Relay& r);
   /// Refresh occupancy gauges/high-water after buffered(r) changed.
   void note_occupancy(const Relay& r);
+  /// Coalesce on_progress dispatch into one zero-delay event.
+  void schedule_progress();
   std::uint64_t buffered(const Relay& r) const {
     return r.ready_bytes + r.in_copy_bytes;
   }
@@ -165,6 +197,10 @@ class DepotApp {
   SessionDirectory* dir_;
   DepotStats stats_;
   metrics::DepotMetrics* metrics_ = nullptr;
+  bool crashed_ = false;
+  bool stalled_ = false;
+  std::uint32_t accept_drops_ = 0;
+  bool progress_scheduled_ = false;
   /// The daemon's single copy resource, shared by every relay: one
   /// user-level process has one CPU, so concurrent sessions contend for
   /// copy bandwidth (paper §VII's scalability concern).

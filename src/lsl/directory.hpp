@@ -27,8 +27,21 @@ class SessionDirectory {
     entries_[client_local] = std::move(header);
   }
 
+  /// Look up the header for a connection whose peer is `remote` without
+  /// erasing it; nullopt when the peer never published one. Use this when
+  /// adoption of the session can still fail (e.g. a resume rebind): a
+  /// reconnecting client republishing under the same endpoint must not
+  /// race a consume() that already erased the entry.
+  std::optional<SessionHeader> peek(sim::Endpoint remote) const {
+    const auto it = entries_.find(remote);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
   /// Look up (and erase) the header for a connection whose peer is
-  /// `remote`; nullopt when the peer never published one.
+  /// `remote`; nullopt when the peer never published one. A second
+  /// consume() of the same endpoint returns nullopt — callers that may
+  /// retry must peek() first and consume() only once adoption succeeded.
   std::optional<SessionHeader> consume(sim::Endpoint remote) {
     const auto it = entries_.find(remote);
     if (it == entries_.end()) return std::nullopt;

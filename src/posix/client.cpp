@@ -1,12 +1,15 @@
 #include "posix/client.hpp"
 
+#include <linux/sockios.h>
 #include <sys/epoll.h>
+#include <sys/ioctl.h>
 #include <sys/socket.h>
 
 #include <algorithm>
 #include <cstring>
 #include <random>
 #include <system_error>
+#include <thread>
 
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -18,21 +21,43 @@ namespace lsl::posix {
 PosixSource::PosixSource(EpollLoop& loop, PosixSourceConfig config)
     : loop_(loop),
       config_(std::move(config)),
-      generator_(config_.payload_seed) {}
+      generator_(config_.payload_seed) {
+  // An MD5 trailer hashes the whole stream through one connection; it
+  // cannot rewind to a resume offset. Content verification for resumable
+  // sessions comes from the sink's seeded generator instead.
+  if (config_.resumable) config_.send_digest = false;
+}
 
 PosixSource::~PosixSource() {
   if (sock_.valid()) loop_.remove(sock_.get());
 }
 
 void PosixSource::start() {
-  payload_left_ = config_.payload_bytes;
+  util::Rng rng(config_.payload_seed ^ 0xabcdef);
+  session_ = core::SessionId::generate(rng);
+  open_connection(0);
+}
 
-  const bool use_header = !config_.route.empty() || config_.send_digest;
+void PosixSource::open_connection(std::uint64_t offset) {
+  staged_.clear();
+  staged_off_ = 0;
+  wire_written_ = 0;
+  conn_offset_ = offset;
+  acked_floor_ = std::max(acked_floor_, offset);
+  write_done_ = false;
+  payload_left_ = config_.payload_bytes - offset;
+  generator_.seek(offset);
+
+  const bool use_header = !config_.route.empty() || config_.send_digest ||
+                          config_.resumable;
   if (use_header) {
     core::SessionHeader h;
-    util::Rng rng(config_.payload_seed ^ 0xabcdef);
-    h.session = core::SessionId::generate(rng);
+    h.session = session_;
     if (config_.send_digest) h.flags |= core::kFlagDigestTrailer;
+    if (offset > 0) {
+      h.flags |= core::kFlagResume;
+      h.resume_offset = offset;
+    }
     h.payload_length = config_.payload_bytes;
     for (std::size_t i = 1; i < config_.route.size(); ++i) {
       h.hops.push_back({config_.route[i].addr, config_.route[i].port});
@@ -40,12 +65,13 @@ void PosixSource::start() {
     h.destination = {config_.destination.addr, config_.destination.port};
     core::encode_header(h, staged_);
   }
+  header_wire_bytes_ = staged_.size();
 
   const InetAddress first =
       config_.route.empty() ? config_.destination : config_.route[0];
   sock_ = connect_tcp(first);
   if (!sock_.valid()) {
-    finish(false);
+    handle_connection_error();
     return;
   }
   connecting_ = true;
@@ -58,13 +84,13 @@ void PosixSource::on_io(std::uint32_t events) {
     const int err = connect_result(sock_.get());
     if (err != 0) {
       LSL_LOG_WARN("source: connect failed: %s", std::strerror(err));
-      finish(false);
+      handle_connection_error();
       return;
     }
     connecting_ = false;
   }
   if (events & EPOLLERR) {
-    finish(false);
+    handle_connection_error();
     return;
   }
   if (events & EPOLLIN) {
@@ -74,15 +100,57 @@ void PosixSource::on_io(std::uint32_t events) {
     const long n = read_some(sock_.get(), buf, sizeof(buf));
     if (n > 0) status_ = buf[static_cast<std::size_t>(n) - 1];
     if (n == 0) {
-      finish(write_done_ && status_ == core::kStatusOk);
+      if (write_done_) {
+        finish(status_ == core::kStatusOk);
+      } else {
+        handle_connection_error();  // orderly close mid-stream
+      }
       return;
     }
     if (n == -2) {
-      finish(false);
+      handle_connection_error();
       return;
     }
   }
   pump();
+}
+
+void PosixSource::note_acked() {
+  if (!sock_.valid()) return;
+  int outq = 0;
+  if (::ioctl(sock_.get(), SIOCOUTQ, &outq) != 0 || outq < 0) return;
+  const std::uint64_t acked_wire =
+      wire_written_ - std::min<std::uint64_t>(
+                          wire_written_, static_cast<std::uint64_t>(outq));
+  if (acked_wire <= header_wire_bytes_) return;
+  const std::uint64_t acked_payload =
+      conn_offset_ + (acked_wire - header_wire_bytes_);
+  acked_floor_ = std::max(
+      acked_floor_, std::min(acked_payload, config_.payload_bytes));
+}
+
+void PosixSource::handle_connection_error() {
+  if (finished_) return;
+  if (!config_.resumable || !config_.reconnect_backoff || write_done_) {
+    finish(false);
+    return;
+  }
+  const auto delay = config_.reconnect_backoff();
+  if (!delay) {
+    LSL_LOG_WARN("source: reconnect budget exhausted; giving up");
+    finish(false);
+    return;
+  }
+  if (sock_.valid()) {
+    loop_.remove(sock_.get());
+    sock_.reset();
+  }
+  ++resumes_;
+  LSL_LOG_INFO("source: connection lost; resuming from %llu after %lld ms",
+               static_cast<unsigned long long>(acked_floor_),
+               static_cast<long long>(delay->count()));
+  std::this_thread::sleep_for(*delay);
+  open_connection(acked_floor_);
 }
 
 void PosixSource::pump() {
@@ -93,11 +161,16 @@ void PosixSource::pump() {
       const long n = write_some(sock_.get(), staged_.data() + staged_off_,
                                 staged_.size() - staged_off_);
       if (n < 0) {
-        finish(false);
+        handle_connection_error();
         return;
       }
-      if (n == 0) return;  // kernel buffer full; EPOLLOUT re-arms us
+      if (n == 0) {
+        note_acked();
+        return;  // kernel buffer full; EPOLLOUT re-arms us
+      }
       staged_off_ += static_cast<std::size_t>(n);
+      wire_written_ += static_cast<std::uint64_t>(n);
+      note_acked();
     }
     staged_.clear();
     staged_off_ = 0;

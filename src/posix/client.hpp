@@ -33,6 +33,15 @@ struct PosixSourceConfig {
   /// Failure injection: flip one payload byte so the sink's MD5 check must
   /// fail (tests the end-to-end integrity path).
   bool corrupt_one_byte = false;
+  /// Survive mid-stream connection loss by reconnecting to the first hop
+  /// with kFlagResume from the last acknowledged payload offset (requires
+  /// a depot running with `lsd --resume-grace`). Forces send_digest off:
+  /// an MD5 trailer cannot rewind across connections — a seeded sink still
+  /// verifies content byte-for-byte. Each reconnect asks reconnect_backoff
+  /// how long to (blockingly) wait first; nullopt means give up.
+  bool resumable = false;
+  std::function<std::optional<std::chrono::milliseconds>()>
+      reconnect_backoff;
 };
 
 /// Streams one LSL session (or a raw TCP transfer when route is empty and
@@ -54,10 +63,21 @@ class PosixSource {
 
   bool finished() const { return finished_; }
 
+  /// Resume cycles performed (reconnects after mid-stream loss).
+  std::size_t resumes() const { return resumes_; }
+
  private:
   void on_io(std::uint32_t events);
   void pump();
   void finish(bool ok);
+  /// Connect (or reconnect) and stage the session header; `offset` is the
+  /// first payload byte this connection carries (>0 sets kFlagResume).
+  void open_connection(std::uint64_t offset);
+  /// A connection died mid-session: resume per config, or fail.
+  void handle_connection_error();
+  /// Refresh acked_floor_ from the kernel send-queue depth (SIOCOUTQ):
+  /// bytes the peer's TCP has acknowledged — the safe resume offset.
+  void note_acked();
 
   EpollLoop& loop_;
   PosixSourceConfig config_;
@@ -74,6 +94,13 @@ class PosixSource {
   bool trailer_sent_ = false;
   bool corrupted_yet_ = false;
   std::uint8_t status_ = 0;  ///< sink's end-to-end status byte
+
+  core::SessionId session_;          ///< stable across resume connections
+  std::uint64_t conn_offset_ = 0;    ///< resume offset of this connection
+  std::uint64_t header_wire_bytes_ = 0;
+  std::uint64_t wire_written_ = 0;   ///< bytes handed to this connection
+  std::uint64_t acked_floor_ = 0;    ///< payload offset known delivered
+  std::size_t resumes_ = 0;
 };
 
 /// Result of one received session.

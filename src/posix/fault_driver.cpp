@@ -1,0 +1,162 @@
+#include "posix/fault_driver.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+#include "util/units.hpp"
+
+namespace lsl::posix {
+
+namespace {
+
+std::chrono::steady_clock::duration wall(util::SimDuration d) {
+  return std::chrono::nanoseconds(d);
+}
+
+}  // namespace
+
+LsdFaultDriver::LsdFaultDriver(Lsd& lsd, fault::FaultPlan plan,
+                               fault::FaultMetrics* metrics)
+    : lsd_(lsd), plan_(std::move(plan)), metrics_(metrics) {}
+
+LsdFaultDriver::~LsdFaultDriver() {
+  if (armed_) lsd_.on_progress = nullptr;
+}
+
+void LsdFaultDriver::arm() {
+  if (armed_) return;
+  armed_ = true;
+  start_ = std::chrono::steady_clock::now();
+  bool hook_needed = false;
+  for (const fault::FaultEvent& e : plan_.events) {
+    switch (e.kind) {
+      case fault::FaultKind::kBlackhole:
+      case fault::FaultKind::kFlap:
+        LSL_LOG_WARN("fault-driver: %s targets a link; a daemon cannot "
+                     "apply it — skipped", e.describe().c_str());
+        continue;
+      case fault::FaultKind::kCorrupt:
+      case fault::FaultKind::kDisconnect:
+        LSL_LOG_WARN("fault-driver: %s is source-side; use the client's "
+                     "own knobs — skipped", e.describe().c_str());
+        continue;
+      default:
+        break;  // every other kind maps onto a daemon knob below
+    }
+    if (e.byte_keyed()) {
+      by_bytes_.push_back(e);
+      hook_needed = true;
+    } else {
+      timed_.push_back({start_ + wall(e.at), e, false});
+    }
+  }
+  if (hook_needed) {
+    lsd_.on_progress = [this](std::uint64_t bytes) { on_bytes(bytes); };
+  }
+}
+
+int LsdFaultDriver::next_timeout_ms() const {
+  if (!armed_ || timed_.empty()) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  auto soonest = timed_.front().due;
+  for (const Pending& p : timed_) soonest = std::min(soonest, p.due);
+  if (soonest <= now) return 0;
+  return static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(soonest - now)
+          .count() + 1);
+}
+
+void LsdFaultDriver::poll() {
+  if (!armed_) return;
+  const auto now = std::chrono::steady_clock::now();
+  // Collect-then-apply: applying an event may schedule a repair into
+  // timed_, which must not be visited mid-iteration.
+  std::vector<Pending> due;
+  timed_.erase(std::remove_if(timed_.begin(), timed_.end(),
+                              [&](const Pending& p) {
+                                if (p.due > now) return false;
+                                due.push_back(p);
+                                return true;
+                              }),
+               timed_.end());
+  for (const Pending& p : due) {
+    if (p.repair) {
+      apply_repair(p.event);
+    } else {
+      apply(p.event);
+    }
+  }
+  lsd_.expire_parked();
+}
+
+void LsdFaultDriver::on_bytes(std::uint64_t bytes_relayed) {
+  std::vector<fault::FaultEvent> due;
+  by_bytes_.erase(std::remove_if(by_bytes_.begin(), by_bytes_.end(),
+                                 [&](const fault::FaultEvent& e) {
+                                   if (e.at_bytes > bytes_relayed) {
+                                     return false;
+                                   }
+                                   due.push_back(e);
+                                   return true;
+                                 }),
+                  by_bytes_.end());
+  for (const fault::FaultEvent& e : due) apply(e);
+}
+
+void LsdFaultDriver::note_injected(fault::FaultKind kind) {
+  ++injected_;
+  if (metrics_) {
+    const double t = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+    metrics_->on_injected(t, kind);
+  }
+}
+
+void LsdFaultDriver::apply(const fault::FaultEvent& e) {
+  LSL_LOG_INFO("fault-driver: applying %s", e.describe().c_str());
+  switch (e.kind) {
+    case fault::FaultKind::kCrash:
+      lsd_.crash();
+      note_injected(e.kind);
+      if (e.duration > 0) {
+        timed_.push_back(
+            {std::chrono::steady_clock::now() + wall(e.duration), e, true});
+      }
+      break;
+    case fault::FaultKind::kRestart:
+      lsd_.restart();  // a repair, not a fault: not counted
+      break;
+    case fault::FaultKind::kSynDrop:
+      lsd_.set_accept_drops(e.count);
+      note_injected(e.kind);
+      break;
+    case fault::FaultKind::kReset:
+      lsd_.inject_upstream_reset();
+      note_injected(e.kind);
+      break;
+    case fault::FaultKind::kSlow:
+      lsd_.set_stalled(true);
+      note_injected(e.kind);
+      timed_.push_back(
+          {std::chrono::steady_clock::now() + wall(e.duration), e, true});
+      break;
+    default:
+      break;  // filtered at arm()
+  }
+}
+
+void LsdFaultDriver::apply_repair(const fault::FaultEvent& e) {
+  switch (e.kind) {
+    case fault::FaultKind::kCrash:
+      lsd_.restart();
+      break;
+    case fault::FaultKind::kSlow:
+      lsd_.set_stalled(false);
+      break;
+    default:
+      break;  // only crash and slow schedule repairs
+  }
+}
+
+}  // namespace lsl::posix

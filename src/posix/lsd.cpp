@@ -4,6 +4,7 @@
 #include <sys/socket.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <system_error>
@@ -80,7 +81,22 @@ struct Lsd::Relay {
   /// Wall-clock accept time, for the accept-to-dial latency metric.
   std::chrono::steady_clock::time_point accepted_at;
 
+  // Resume machinery. payload_pulled counts unique payload bytes taken
+  // from the upstream (the high-water mark a resume offset is checked
+  // against); spill holds bytes salvaged from a dying upstream's kernel
+  // buffer — older than anything read after the resume, so it drains
+  // downstream after the ring's pre-park contents and blocks new ring
+  // fills until empty. discard_left is the duplicated prefix of a resumed
+  // connection still to be dropped.
+  std::uint64_t payload_pulled = 0;
+  std::uint64_t discard_left = 0;
+  std::vector<std::uint8_t> spill;
+  std::size_t spill_off = 0;
+  bool parked = false;
+  std::chrono::steady_clock::time_point park_deadline;
+
   std::size_t space() const { return ring.size() - size; }
+  bool spill_empty() const { return spill_off >= spill.size(); }
 };
 
 namespace {
@@ -89,6 +105,12 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Arrange for close() to emit RST instead of an orderly FIN.
+void arm_reset(int fd) {
+  struct linger lg {1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
 }
 
 }  // namespace
@@ -121,9 +143,19 @@ void Lsd::reap_finished() { graveyard_.clear(); }
 
 void Lsd::on_accept() {
   reap_finished();
+  expire_parked();
   for (;;) {
     Fd conn = accept_connection(listener_.get());
     if (!conn.valid()) return;
+    if (accept_drops_ > 0) {
+      // Injected SYN/accept failure: the peer sees a hard reset where the
+      // session handshake should have been.
+      --accept_drops_;
+      ++stats_.accepts_dropped;
+      arm_reset(conn.get());
+      conn.reset();
+      continue;
+    }
     ++stats_.sessions_accepted;
     auto owned = std::make_unique<Relay>();
     Relay* r = owned.get();
@@ -145,7 +177,7 @@ void Lsd::on_upstream(Relay* r, std::uint32_t events) {
     // EPOLLHUP with pending data still allows reads; try to pump first.
     if (!pump_upstream(r)) return;
     if (!r->up_eof && (events & EPOLLERR)) {
-      finish(r, false, LsdFailReason::kPeerReset);
+      handle_upstream_failure(r);
     }
     return;
   }
@@ -155,12 +187,12 @@ void Lsd::on_upstream(Relay* r, std::uint32_t events) {
 bool Lsd::flush_reverse(Relay* r) {
   LSL_PRECONDITION(r->state != RelayState::kDone,
                    "reverse flush on a finished relay");
-  while (r->rev_off < r->rev.size()) {
+  while (r->up.valid() && r->rev_off < r->rev.size()) {
     const long n = write_some(r->up.get(), r->rev.data() + r->rev_off,
                               r->rev.size() - r->rev_off);
     if (n < 0) {
       if (metrics_) metrics_->write_errors->inc();
-      finish(r, false, LsdFailReason::kPeerReset);
+      handle_upstream_failure(r);
       return false;
     }
     if (n == 0) break;  // upstream send buffer full; EPOLLOUT re-arms
@@ -237,6 +269,13 @@ bool Lsd::pump_upstream(Relay* r) {
         }
         r->header = *h;
         r->header_done = true;
+        if (r->header.is_resume()) {
+          // This connection re-binds a parked session rather than opening
+          // a new relay; `r` is retired either way (its socket adopted on
+          // success, the connection refused on failure).
+          try_resume(r);
+          return false;
+        }
         if (metrics_) {
           metrics_->accept_to_dial_ms->observe(ms_since(r->accepted_at));
         }
@@ -274,8 +313,34 @@ bool Lsd::pump_upstream(Relay* r) {
     r->header_buf.insert(r->header_buf.end(), tmp, tmp + n);
   }
 
-  // Phase 2: payload into the ring.
-  while (!r->up_eof && r->space() > 0) {
+  // Phase 2: payload into the ring. Salvaged (spill) bytes are older than
+  // anything a read here would produce, so new fills wait until the spill
+  // has drained downstream; a stalled daemon stops reading so TCP flow
+  // control pushes back on the source.
+  while (!r->up_eof && !stalled_ && r->spill_empty()) {
+    // A resumed connection first retransmits bytes the relay already has;
+    // drop the duplicated prefix without counting it.
+    if (r->discard_left > 0) {
+      std::uint8_t dump[4096];
+      const std::size_t want = static_cast<std::size_t>(
+          std::min<std::uint64_t>(r->discard_left, sizeof(dump)));
+      const long n = read_some(r->up.get(), dump, want);
+      if (n == 0) {
+        r->up_eof = true;
+        break;
+      }
+      if (n < 0) {
+        if (n == -2) {
+          if (metrics_) metrics_->read_errors->inc();
+          handle_upstream_failure(r);
+          return false;
+        }
+        break;  // EAGAIN
+      }
+      r->discard_left -= static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (r->space() == 0) break;
     const std::size_t tail = (r->head + r->size) % r->ring.size();
     const std::size_t contig =
         std::min(r->space(), r->ring.size() - tail);
@@ -287,12 +352,13 @@ bool Lsd::pump_upstream(Relay* r) {
     if (n < 0) {
       if (n == -2) {
         if (metrics_) metrics_->read_errors->inc();
-        finish(r, false, LsdFailReason::kPeerReset);
+        handle_upstream_failure(r);
         return false;
       }
       break;  // EAGAIN
     }
     r->size += static_cast<std::size_t>(n);
+    r->payload_pulled += static_cast<std::uint64_t>(n);
   }
   if (metrics_) {
     metrics_->ring_occupancy_bytes->set(static_cast<double>(r->size));
@@ -306,7 +372,8 @@ bool Lsd::pump_upstream(Relay* r) {
 bool Lsd::pump_downstream(Relay* r) {
   LSL_PRECONDITION(r->state != RelayState::kDone,
                    "downstream pump on a finished relay");
-  if (!r->down_connected) return true;
+  if (!r->down_connected || stalled_) return true;
+  const std::uint64_t relayed_before = stats_.bytes_relayed;
 
   // Forwarded header first.
   while (r->fwd_off < r->fwd.size()) {
@@ -324,7 +391,7 @@ bool Lsd::pump_downstream(Relay* r) {
     r->fwd_off += static_cast<std::size_t>(n);
   }
 
-  // Then ring contents.
+  // Then ring contents (pre-park bytes are older than any spill).
   while (r->size > 0) {
     const std::size_t contig = std::min(r->size, r->ring.size() - r->head);
     const long n = write_some(r->down.get(), r->ring.data() + r->head, contig);
@@ -339,27 +406,55 @@ bool Lsd::pump_downstream(Relay* r) {
     stats_.bytes_relayed += static_cast<std::uint64_t>(n);
     if (metrics_) metrics_->bytes_relayed->inc(static_cast<std::uint64_t>(n));
   }
+
+  // Then bytes salvaged from a dead upstream.
+  while (r->size == 0 && !r->spill_empty()) {
+    const long n = write_some(r->down.get(), r->spill.data() + r->spill_off,
+                              r->spill.size() - r->spill_off);
+    if (n < 0) {
+      if (metrics_) metrics_->write_errors->inc();
+      finish(r, false, LsdFailReason::kPeerReset);
+      return false;
+    }
+    if (n == 0) break;
+    r->spill_off += static_cast<std::size_t>(n);
+    stats_.bytes_relayed += static_cast<std::uint64_t>(n);
+    if (metrics_) metrics_->bytes_relayed->inc(static_cast<std::uint64_t>(n));
+  }
+  if (r->spill_empty() && !r->spill.empty()) {
+    r->spill.clear();
+    r->spill_off = 0;
+  }
   if (metrics_) {
     metrics_->ring_occupancy_bytes->set(static_cast<double>(r->size));
   }
 
   // Propagate EOF once everything is flushed.
-  if (r->up_eof && r->size == 0 && r->fwd_off == r->fwd.size() &&
-      !r->flushed) {
+  if (r->up_eof && r->size == 0 && r->spill_empty() &&
+      r->fwd_off == r->fwd.size() && !r->flushed) {
     ::shutdown(r->down.get(), SHUT_WR);
     r->flushed = true;
     // Relay completion is confirmed when the downstream peer closes
     // (on_downstream sees EOF); the upstream socket stays open until then.
   }
   update_interest(r);
+  // Byte-keyed fault triggers; the hook may crash/stall/reset this very
+  // relay, so bail out if it did.
+  if (on_progress && stats_.bytes_relayed != relayed_before) {
+    on_progress(stats_.bytes_relayed);
+    if (r->state == RelayState::kDone) return false;
+  }
   return true;
 }
 
 void Lsd::update_interest(Relay* r) {
   // Upstream: read while there is buffer space and no EOF; write when
-  // reverse-path bytes are pending.
+  // reverse-path bytes are pending. Reads also pause while the daemon is
+  // stalled or a spill is draining — level-triggered epoll would spin on
+  // data we refuse to consume.
   std::uint32_t up_want =
-      (!r->up_eof && (r->space() > 0 || !r->header_done))
+      (!r->up_eof && !stalled_ && r->spill_empty() &&
+       (r->space() > 0 || !r->header_done || r->discard_left > 0))
           ? static_cast<std::uint32_t>(EPOLLIN)
           : 0u;
   if (r->rev_off < r->rev.size()) up_want |= EPOLLOUT;
@@ -370,8 +465,9 @@ void Lsd::update_interest(Relay* r) {
   // Downstream: write while anything is staged; always watch for EOF/err.
   if (r->down.valid() && r->down_connected) {
     std::uint32_t down_want = EPOLLIN;
-    if (r->size > 0 || r->fwd_off < r->fwd.size() ||
-        (r->up_eof && !r->flushed)) {
+    if (!stalled_ &&
+        (r->size > 0 || !r->spill_empty() || r->fwd_off < r->fwd.size() ||
+         (r->up_eof && !r->flushed))) {
       down_want |= EPOLLOUT;
     }
     if (down_want != r->down_events) {
@@ -385,6 +481,11 @@ void Lsd::finish(Relay* r, bool ok, LsdFailReason reason) {
   const auto it = relays_.find(r);
   if (it == relays_.end()) return;  // already finished
   r->state.transition(RelayState::kDone);
+  if (r->parked) {
+    const auto pit = parked_.find(r->header.session);
+    if (pit != parked_.end() && pit->second == r) parked_.erase(pit);
+    r->parked = false;
+  }
   if (ok) {
     ++stats_.sessions_completed;
   } else {
@@ -408,6 +509,196 @@ void Lsd::finish(Relay* r, bool ok, LsdFailReason reason) {
   // a checked kDone-contract failure instead of a use-after-free.
   graveyard_.push_back(std::move(it->second));
   relays_.erase(it);
+}
+
+void Lsd::handle_upstream_failure(Relay* r) {
+  // A session is parkable once its header is parsed and until its
+  // upstream EOF — after EOF the source has nothing left to resume.
+  if (config_.resume_grace.count() > 0 && r->header_done && !r->up_eof &&
+      r->header.session.valid()) {
+    park_relay(r);
+  } else {
+    finish(r, false, LsdFailReason::kPeerReset);
+  }
+}
+
+void Lsd::salvage_upstream(Relay* r) {
+  if (!r->up.valid() || !r->header_done || r->up_eof) return;
+  std::uint8_t buf[16 * 1024];
+  for (;;) {
+    const long n = read_some(r->up.get(), buf, sizeof(buf));
+    if (n <= 0) break;  // EAGAIN, EOF or error: nothing more to save
+    std::size_t off = 0;
+    std::size_t len = static_cast<std::size_t>(n);
+    if (r->discard_left > 0) {
+      const std::size_t d = static_cast<std::size_t>(
+          std::min<std::uint64_t>(r->discard_left, len));
+      r->discard_left -= d;
+      off = d;
+      len -= d;
+    }
+    r->spill.insert(r->spill.end(), buf + off, buf + off + len);
+    r->payload_pulled += len;
+  }
+}
+
+void Lsd::park_relay(Relay* r) {
+  // Everything the kernel already acknowledged on the source's behalf must
+  // survive the fd: the resuming source will not retransmit acked bytes.
+  salvage_upstream(r);
+  if (r->up.valid()) {
+    loop_.remove(r->up.get());
+    r->up.reset();
+  }
+  r->parked = true;
+  r->park_deadline = std::chrono::steady_clock::now() + config_.resume_grace;
+  // Last writer wins: a re-parked session replaces its stale index entry.
+  parked_[r->header.session] = r;
+  ++stats_.sessions_parked;
+  LSL_LOG_INFO("lsd: parked session %s at offset %llu (salvaged %zu bytes)",
+               r->header.session.hex().c_str(),
+               static_cast<unsigned long long>(r->payload_pulled),
+               r->spill.size());
+  // Keep draining what we hold toward the downstream meanwhile.
+  pump_downstream(r);
+}
+
+void Lsd::try_resume(Relay* fresh) {
+  expire_parked();
+  const auto it = parked_.find(fresh->header.session);
+  if (it == parked_.end()) {
+    LSL_LOG_WARN("lsd: resume refused: unknown or expired session %s",
+                 fresh->header.session.hex().c_str());
+    finish(fresh, false, LsdFailReason::kHeader);
+    return;
+  }
+  Relay* p = it->second;
+  const std::uint64_t offset = fresh->header.resume_offset;
+  if (offset > p->payload_pulled) {
+    // The source believes more was delivered than we hold — bytes lost in
+    // flight when the old connection died. Refusing keeps the stream
+    // gap-free; the source must fall back to a fresh transfer.
+    LSL_LOG_WARN("lsd: resume refused: offset %llu beyond pulled %llu",
+                 static_cast<unsigned long long>(offset),
+                 static_cast<unsigned long long>(p->payload_pulled));
+    finish(fresh, false, LsdFailReason::kHeader);
+    return;
+  }
+  p->discard_left = p->payload_pulled - offset;
+  // The fd is still registered under the husk's callback from accept time;
+  // re-register it under the adopting relay.
+  loop_.remove(fresh->up.get());
+  p->up = std::move(fresh->up);
+  p->parked = false;
+  parked_.erase(it);
+  ++stats_.sessions_resumed;
+  LSL_LOG_INFO("lsd: resumed session %s from offset %llu (discarding %llu)",
+               p->header.session.hex().c_str(),
+               static_cast<unsigned long long>(offset),
+               static_cast<unsigned long long>(p->discard_left));
+  p->up_events = EPOLLIN;
+  loop_.add(p->up.get(), EPOLLIN,
+            [this, p](std::uint32_t ev) { on_upstream(p, ev); });
+  // The husk that carried the resume header is done; it must not count as
+  // a completed or failed session.
+  discard_relay(fresh);
+  // Reverse bytes that queued while parked flow on the new connection,
+  // then normal pumping takes over.
+  if (!flush_reverse(p)) return;
+  pump_upstream(p);
+}
+
+void Lsd::discard_relay(Relay* r) {
+  const auto it = relays_.find(r);
+  if (it == relays_.end()) return;
+  r->state.transition(RelayState::kDone);
+  if (r->up.valid()) loop_.remove(r->up.get());
+  if (r->down.valid()) loop_.remove(r->down.get());
+  r->up.reset();
+  r->down.reset();
+  graveyard_.push_back(std::move(it->second));
+  relays_.erase(it);
+}
+
+void Lsd::expire_parked() {
+  if (parked_.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<Relay*> expired;
+  for (const auto& [id, r] : parked_) {
+    if (r->park_deadline <= now) expired.push_back(r);
+  }
+  for (Relay* r : expired) {
+    LSL_LOG_WARN("lsd: parked session %s expired unresumed",
+                 r->header.session.hex().c_str());
+    finish(r, false, LsdFailReason::kPeerReset);
+  }
+}
+
+void Lsd::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  if (listener_.valid()) {
+    loop_.remove(listener_.get());
+    listener_.reset();
+  }
+  while (!relays_.empty()) {
+    Relay* r = relays_.begin()->first;
+    if (r->up.valid()) arm_reset(r->up.get());
+    if (r->down.valid()) arm_reset(r->down.get());
+    finish(r, false, LsdFailReason::kOther);
+  }
+}
+
+void Lsd::restart() {
+  if (!crashed_) return;
+  listener_ = listen_tcp(InetAddress{config_.bind.addr, port_}, 64, &port_);
+  if (!listener_.valid()) {
+    LSL_LOG_WARN("lsd: restart failed to re-bind port %u: %s",
+                 static_cast<unsigned>(port_), std::strerror(errno));
+    return;
+  }
+  crashed_ = false;
+  loop_.add(listener_.get(), EPOLLIN, [this](std::uint32_t) { on_accept(); });
+  LSL_LOG_INFO("lsd: restarted on port %u", static_cast<unsigned>(port_));
+}
+
+void Lsd::set_stalled(bool stalled) {
+  if (stalled_ == stalled) return;
+  stalled_ = stalled;
+  std::vector<Relay*> live;
+  live.reserve(relays_.size());
+  for (const auto& [r, owned] : relays_) live.push_back(r);
+  if (stalled_) {
+    for (Relay* r : live) update_interest(r);  // drop read/write interest
+    return;
+  }
+  for (Relay* r : live) {  // kick everything that waited out the stall
+    if (r->state == RelayState::kDone) continue;
+    if (!pump_downstream(r)) continue;
+    if (r->state == RelayState::kDone) continue;
+    if (r->up.valid()) {
+      pump_upstream(r);
+    } else {
+      update_interest(r);
+    }
+  }
+}
+
+void Lsd::inject_upstream_reset() {
+  std::vector<Relay*> targets;
+  for (const auto& [r, owned] : relays_) {
+    if (r->state == RelayState::kDone || r->parked || !r->header_done ||
+        !r->up.valid()) {
+      continue;
+    }
+    targets.push_back(r);
+  }
+  for (Relay* r : targets) {
+    // park/finish salvages the recv queue first, then the armed close
+    // emits RST so the source sees a hard mid-stream reset.
+    arm_reset(r->up.get());
+    handle_upstream_failure(r);
+  }
 }
 
 }  // namespace lsl::posix

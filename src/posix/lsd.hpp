@@ -16,11 +16,15 @@
 // a loop in one process for testing.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "lsl/session_id.hpp"
 #include "lsl/wire.hpp"
 #include "metrics/instruments.hpp"
 #include "posix/epoll_loop.hpp"
@@ -33,6 +37,13 @@ namespace lsl::posix {
 struct LsdConfig {
   InetAddress bind = InetAddress::loopback(0);  ///< port 0 = ephemeral
   std::size_t buffer_bytes = 1024 * 1024;       ///< per-session relay ring
+  /// Park window for sessions whose upstream connection died mid-stream:
+  /// the relay salvages whatever the kernel still holds, keeps its
+  /// downstream connection open, and waits this long for the source to
+  /// reconnect with kFlagResume before declaring the session failed.
+  /// 0 (the default, documented in docs/PROTOCOL.md §6) disables
+  /// resumption — upstream loss fails the session immediately.
+  std::chrono::milliseconds resume_grace{0};
 };
 
 /// Why a relay session failed (the largest contributor wins; a session
@@ -79,6 +90,10 @@ struct LsdStats {
   std::uint64_t fail_header = 0;
   std::uint64_t fail_peer_reset = 0;
   std::uint64_t fail_other = 0;
+  // Resume / fault-injection activity.
+  std::uint64_t sessions_parked = 0;   ///< upstream died, session kept
+  std::uint64_t sessions_resumed = 0;  ///< kFlagResume rebinds completed
+  std::uint64_t accepts_dropped = 0;   ///< injected accept refusals
 };
 
 /// One forwarding daemon instance.
@@ -103,6 +118,36 @@ class Lsd {
   /// Stop accepting and tear down all live relays.
   void shutdown();
 
+  // --- Fault-injection hooks (driven by posix::LsdFaultDriver) -------------
+  // The same failure surface the simulator's FaultInjector exercises on
+  // core::DepotApp, against real sockets.
+
+  /// Simulate a daemon death: stop listening and hard-reset (RST) every
+  /// live relay. The object survives so restart() can bring it back on
+  /// the same port.
+  void crash();
+  /// Undo crash(): re-bind the listener on the original port.
+  void restart();
+  bool crashed() const { return crashed_; }
+  /// Refuse (RST-close) the next `n` accepted connections.
+  void set_accept_drops(std::uint32_t n) { accept_drops_ += n; }
+  /// Stall/unstall relaying: a stalled daemon keeps its connections but
+  /// stops moving bytes (the "slow depot" fault).
+  void set_stalled(bool stalled);
+  bool stalled() const { return stalled_; }
+  /// Hard-reset every live upstream connection mid-stream. With
+  /// resume_grace set, the sessions park (their buffered bytes salvaged
+  /// first) and await a kFlagResume reconnect; otherwise they fail.
+  void inject_upstream_reset();
+  /// Fail parked sessions whose grace deadline has passed. Called lazily
+  /// on accept; fault drivers call it from their poll loop too, since an
+  /// idle daemon gets no accept wakeups.
+  void expire_parked();
+
+  /// Fires whenever stats().bytes_relayed advances (after the pump that
+  /// moved the bytes) — the byte-offset trigger for scripted faults.
+  std::function<void(std::uint64_t bytes_relayed)> on_progress;
+
  private:
   struct Relay;
 
@@ -124,6 +169,21 @@ class Lsd {
   /// graveyard relay on the call stack.
   void reap_finished();
 
+  /// Upstream connection died: park the session (resume_grace set, header
+  /// parsed, no EOF yet) or fail it.
+  void handle_upstream_failure(Relay* r);
+  /// Drain whatever the upstream kernel buffer still holds into the
+  /// relay's spill buffer before the fd closes — acked bytes the resuming
+  /// source will not retransmit.
+  void salvage_upstream(Relay* r);
+  void park_relay(Relay* r);
+  /// Adopt `fresh`'s connection into the parked relay its resume header
+  /// names; refuses (and fails `fresh`) on unknown session or offset gap.
+  void try_resume(Relay* fresh);
+  /// Retire a relay without touching the completion/failure counters
+  /// (used for the husk left behind after a resume adoption).
+  void discard_relay(Relay* r);
+
   EpollLoop& loop_;
   LsdConfig config_;
   Fd listener_;
@@ -134,6 +194,11 @@ class Lsd {
   std::unordered_map<Relay*, std::unique_ptr<Relay>> relays_;
   /// Finished relays awaiting reap_finished() (deferred deletion).
   std::vector<std::unique_ptr<Relay>> graveyard_;
+  /// Parked relays (still owned by relays_), keyed by session id.
+  std::map<core::SessionId, Relay*> parked_;
+  bool crashed_ = false;
+  bool stalled_ = false;
+  std::uint32_t accept_drops_ = 0;
 };
 
 }  // namespace lsl::posix

@@ -98,7 +98,9 @@ Fd accept_connection(int listen_fd) {
 long write_some(int fd, const std::uint8_t* data, std::size_t len) {
   std::size_t total = 0;
   while (total < len) {
-    const ssize_t n = ::write(fd, data + total, len - total);
+    // MSG_NOSIGNAL: a peer reset between poll and write must surface as
+    // EPIPE, not a process-killing SIGPIPE (fault injection relies on it).
+    const ssize_t n = ::send(fd, data + total, len - total, MSG_NOSIGNAL);
     if (n > 0) {
       total += static_cast<std::size_t>(n);
       continue;

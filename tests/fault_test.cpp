@@ -1,0 +1,297 @@
+// Unit tests for the fault subsystem's deterministic pieces: the fault-spec
+// grammar, the retry/backoff policy, the reroute policy's dead-depot
+// exclusion, and the SessionDirectory peek/consume split. The end-to-end
+// chaos scenarios (scripted crashes against live transfers) live in
+// tests/chaos_test.cpp under the `chaos` ctest label.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "fault/policy.hpp"
+#include "fault/spec.hpp"
+#include "lsl/directory.hpp"
+#include "lsl/selector.hpp"
+#include "lsl/wire.hpp"
+
+namespace lsl {
+namespace {
+
+// --- Spec grammar ------------------------------------------------------------
+
+TEST(FaultSpec, ParsesTheReadmeExample) {
+  std::string err;
+  const auto plan = fault::parse_fault_spec(
+      "crash:depot=d1,at=2s;flap:link=d1-d2,at=1s,for=300ms", &err);
+  ASSERT_TRUE(plan.has_value()) << err;
+  ASSERT_EQ(plan->events.size(), 2u);
+
+  const fault::FaultEvent& crash = plan->events[0];
+  EXPECT_EQ(crash.kind, fault::FaultKind::kCrash);
+  EXPECT_EQ(crash.target, "d1");
+  EXPECT_EQ(crash.at, 2 * util::kSecond);
+  EXPECT_FALSE(crash.byte_keyed());
+
+  const fault::FaultEvent& flap = plan->events[1];
+  EXPECT_EQ(flap.kind, fault::FaultKind::kFlap);
+  EXPECT_EQ(flap.target, "d1-d2");
+  EXPECT_EQ(flap.at, 1 * util::kSecond);
+  EXPECT_EQ(flap.duration, 300 * util::kMillisecond);
+}
+
+TEST(FaultSpec, RoundTripsThroughToSpec) {
+  const std::string spec =
+      "crash:depot=depot2,at_bytes=838860,for=500ms;"
+      "syndrop:depot=depot1,at=1s,count=3;"
+      "reset:depot=depot1,at=250ms;"
+      "corrupt:at_bytes=4096;"
+      "disconnect:at=2s";
+  std::string err;
+  const auto plan = fault::parse_fault_spec(spec, &err);
+  ASSERT_TRUE(plan.has_value()) << err;
+  EXPECT_EQ(plan->to_spec(), spec);
+  // Parsing the rendering again yields the same rendering (fixed point).
+  const auto again = fault::parse_fault_spec(plan->to_spec(), &err);
+  ASSERT_TRUE(again.has_value()) << err;
+  EXPECT_EQ(again->to_spec(), spec);
+}
+
+TEST(FaultSpec, WhitespaceAndEmptyEventsAreTolerated) {
+  const auto plan =
+      fault::parse_fault_spec(" crash: depot = d1 , at = 10ms ; ");
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->events.size(), 1u);
+  EXPECT_EQ(plan->events[0].target, "d1");
+  EXPECT_EQ(plan->events[0].at, 10 * util::kMillisecond);
+}
+
+TEST(FaultSpec, EmptySpecIsAnEmptyPlan) {
+  const auto plan = fault::parse_fault_spec("");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->empty());
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      "explode:depot=d1,at=1s",          // unknown kind
+      "crash:depot=d1",                  // no trigger
+      "crash:at=1s",                     // no depot
+      "crash:depot=d1,at=1s,at_bytes=5", // both triggers
+      "flap:link=d1-d2,at=1s",           // flap needs for=
+      "slow:depot=d1,at=1s",             // slow needs for=
+      "corrupt:at=1s",                   // corrupt must be byte-keyed
+      "blackhole:link=d1d2,at=1s",       // link must be a-b
+      "flap:depot=d1,at=1s,for=1ms",     // depot= does not apply to flap
+      "crash:link=a-b,at=1s",            // link= does not apply to crash
+      "restart:depot=d1,at_bytes=7",     // restart cannot be byte-keyed
+      "crash:depot=d1,at=1parsec",       // bad duration
+      "crash:depot=d1,at=1",             // missing unit
+      "syndrop:depot=d1,at=1s,count=0",  // zero count
+      "crash",                           // no colon
+      "crash:depot",                     // not key=value
+  };
+  for (const char* spec : bad) {
+    std::string err;
+    EXPECT_FALSE(fault::parse_fault_spec(spec, &err).has_value())
+        << "accepted: " << spec;
+    EXPECT_FALSE(err.empty()) << spec;
+  }
+}
+
+TEST(FaultSpec, ParseDurationUnits) {
+  EXPECT_EQ(fault::parse_duration("2s"), 2 * util::kSecond);
+  EXPECT_EQ(fault::parse_duration("300ms"), 300 * util::kMillisecond);
+  EXPECT_EQ(fault::parse_duration("150us"), 150 * util::kMicrosecond);
+  EXPECT_EQ(fault::parse_duration("40ns"), util::SimDuration{40});
+  EXPECT_EQ(fault::parse_duration("1.5s"), util::seconds(1.5));
+  EXPECT_FALSE(fault::parse_duration("").has_value());
+  EXPECT_FALSE(fault::parse_duration("12").has_value());
+  EXPECT_FALSE(fault::parse_duration("-1s").has_value());
+  EXPECT_FALSE(fault::parse_duration("1h").has_value());
+}
+
+// --- RetryPolicy -------------------------------------------------------------
+
+TEST(RetryPolicy, SameSeedSameDelaySequence) {
+  fault::RetryConfig cfg;
+  cfg.max_attempts = 6;
+  fault::RetryPolicy a(cfg, 42);
+  fault::RetryPolicy b(cfg, 42);
+  for (std::uint32_t i = 0; i < cfg.max_attempts; ++i) {
+    const auto da = a.next_delay();
+    const auto db = b.next_delay();
+    ASSERT_TRUE(da.has_value());
+    ASSERT_TRUE(db.has_value());
+    EXPECT_EQ(*da, *db) << "attempt " << i;
+  }
+  EXPECT_FALSE(a.next_delay().has_value());
+  EXPECT_FALSE(b.next_delay().has_value());
+}
+
+TEST(RetryPolicy, DifferentSeedsJitterDifferently) {
+  fault::RetryConfig cfg;
+  fault::RetryPolicy a(cfg, 1);
+  fault::RetryPolicy b(cfg, 2);
+  bool any_difference = false;
+  for (std::uint32_t i = 0; i < cfg.max_attempts; ++i) {
+    if (*a.next_delay() != *b.next_delay()) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RetryPolicy, DelaysGrowExponentiallyAndCapWithoutJitter) {
+  fault::RetryConfig cfg;
+  cfg.max_attempts = 8;
+  cfg.base_delay = 10 * util::kMillisecond;
+  cfg.multiplier = 2.0;
+  cfg.max_delay = 100 * util::kMillisecond;
+  cfg.jitter = 0.0;
+  fault::RetryPolicy p(cfg, 7);
+  EXPECT_EQ(*p.next_delay(), 10 * util::kMillisecond);
+  EXPECT_EQ(*p.next_delay(), 20 * util::kMillisecond);
+  EXPECT_EQ(*p.next_delay(), 40 * util::kMillisecond);
+  EXPECT_EQ(*p.next_delay(), 80 * util::kMillisecond);
+  EXPECT_EQ(*p.next_delay(), 100 * util::kMillisecond);  // capped
+  EXPECT_EQ(*p.next_delay(), 100 * util::kMillisecond);
+  EXPECT_EQ(p.attempts_made(), 6u);
+}
+
+TEST(RetryPolicy, JitteredDelaysStayInsideTheJitterBand) {
+  fault::RetryConfig cfg;
+  cfg.max_attempts = 32;
+  cfg.base_delay = 100 * util::kMillisecond;
+  cfg.multiplier = 1.0;  // flat: the band is easy to state
+  cfg.max_delay = util::kSecond;
+  cfg.jitter = 0.25;
+  fault::RetryPolicy p(cfg, 99);
+  for (std::uint32_t i = 0; i < cfg.max_attempts; ++i) {
+    const auto d = p.next_delay();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_GE(*d, static_cast<util::SimDuration>(75 * util::kMillisecond));
+    EXPECT_LE(*d, static_cast<util::SimDuration>(125 * util::kMillisecond));
+  }
+}
+
+TEST(RetryPolicy, ResetRestoresTheAttemptBudgetButNotTheStream) {
+  fault::RetryConfig cfg;
+  cfg.max_attempts = 2;
+  fault::RetryPolicy p(cfg, 5);
+  ASSERT_TRUE(p.next_delay().has_value());
+  ASSERT_TRUE(p.next_delay().has_value());
+  EXPECT_FALSE(p.next_delay().has_value());
+  p.reset();
+  EXPECT_EQ(p.attempts_made(), 0u);
+  EXPECT_TRUE(p.next_delay().has_value());
+}
+
+// --- ReroutePolicy -----------------------------------------------------------
+
+class ReroutePolicyTest : public ::testing::Test {
+ protected:
+  ReroutePolicyTest() : selector_(db_), policy_(selector_) {
+    // A diamond: src can reach dst via depot a, via depot b, or via both.
+    const char* nodes[] = {"src", "a", "b", "dst"};
+    for (const char* from : nodes) {
+      for (const char* to : nodes) {
+        if (from == to) continue;
+        db_.observe_rtt_ms(from, to, 30.0);
+        db_.observe_bandwidth_mbps(from, to, 50.0);
+        db_.observe_loss_rate(from, to, 1e-4);
+      }
+    }
+    candidates_ = {
+        core::CandidateRoute{{"src", "a", "dst"}},
+        core::CandidateRoute{{"src", "b", "dst"}},
+        core::CandidateRoute{{"src", "a", "b", "dst"}},
+    };
+  }
+
+  core::PathDatabase db_;
+  core::RouteSelector selector_;
+  fault::ReroutePolicy policy_;
+  std::vector<core::CandidateRoute> candidates_;
+};
+
+TEST_F(ReroutePolicyTest, AvoidsDeadDepots) {
+  fault::RerouteError err = fault::RerouteError::kNoCandidates;
+  const auto route = policy_.choose_excluding(candidates_, {"a"},
+                                              8 * util::kMiB, &err);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(err, fault::RerouteError::kNone);
+  ASSERT_EQ(route->waypoints.size(), 3u);  // only src-b-dst survives
+  EXPECT_EQ(route->waypoints[1], "b");
+}
+
+TEST_F(ReroutePolicyTest, EndpointsAreNotDepots) {
+  // "Dead" endpoints must not eliminate routes: only interior waypoints
+  // are depots.
+  fault::RerouteError err = fault::RerouteError::kNone;
+  const auto route = policy_.choose_excluding(candidates_, {"src", "dst"},
+                                              8 * util::kMiB, &err);
+  EXPECT_TRUE(route.has_value());
+  EXPECT_EQ(err, fault::RerouteError::kNone);
+}
+
+TEST_F(ReroutePolicyTest, DistinctErrorWhenEveryRouteIsDead) {
+  fault::RerouteError err = fault::RerouteError::kNone;
+  const auto route = policy_.choose_excluding(candidates_, {"a", "b"},
+                                              8 * util::kMiB, &err);
+  EXPECT_FALSE(route.has_value());
+  EXPECT_EQ(err, fault::RerouteError::kNoAlternativeRoute);
+  EXPECT_STREQ(to_string(err), "no-alternative-route");
+}
+
+TEST_F(ReroutePolicyTest, DistinctErrorWhenThereAreNoCandidates) {
+  fault::RerouteError err = fault::RerouteError::kNone;
+  const auto route =
+      policy_.choose_excluding({}, {}, 8 * util::kMiB, &err);
+  EXPECT_FALSE(route.has_value());
+  EXPECT_EQ(err, fault::RerouteError::kNoCandidates);
+}
+
+// --- SessionDirectory peek/consume ------------------------------------------
+
+TEST(SessionDirectory, PeekDoesNotConsume) {
+  core::SessionDirectory dir;
+  const sim::Endpoint ep{7, 1234};
+  core::SessionHeader h;
+  h.payload_length = 99;
+  dir.publish(ep, h);
+
+  ASSERT_TRUE(dir.peek(ep).has_value());
+  ASSERT_TRUE(dir.peek(ep).has_value());  // still there: peek is read-only
+  EXPECT_EQ(dir.size(), 1u);
+  EXPECT_EQ(dir.peek(ep)->payload_length, 99u);
+
+  ASSERT_TRUE(dir.consume(ep).has_value());
+  EXPECT_EQ(dir.size(), 0u);
+  // The regression: a second consume must come back empty, not crash or
+  // yield a stale header.
+  EXPECT_FALSE(dir.consume(ep).has_value());
+  EXPECT_FALSE(dir.peek(ep).has_value());
+}
+
+TEST(SessionDirectory, RepublishAfterConsumeIsAFreshEntry) {
+  core::SessionDirectory dir;
+  const sim::Endpoint ep{3, 999};
+  core::SessionHeader first;
+  first.payload_length = 1;
+  dir.publish(ep, first);
+  ASSERT_TRUE(dir.consume(ep).has_value());
+
+  // A reconnecting (resume) client republishes under the same endpoint;
+  // the new entry must be visible and independent of the consumed one.
+  core::SessionHeader second;
+  second.payload_length = 2;
+  second.flags |= core::kFlagResume;
+  dir.publish(ep, second);
+  const auto peeked = dir.peek(ep);
+  ASSERT_TRUE(peeked.has_value());
+  EXPECT_EQ(peeked->payload_length, 2u);
+  EXPECT_TRUE(peeked->is_resume());
+  EXPECT_EQ(dir.size(), 1u);
+}
+
+}  // namespace
+}  // namespace lsl

@@ -1,0 +1,294 @@
+// Chaos tier, real-socket half: scripted faults (lsd --fault-spec grammar)
+// applied to a live lsd daemon over loopback TCP — kill-and-resume cycles,
+// refused accepts, crash/restart windows — with the posix source recovering
+// via the same fault policies the simulator uses. Runs under the `chaos`
+// ctest label alongside tests/chaos_test.cpp.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <optional>
+
+#include "fault/policy.hpp"
+#include "fault/spec.hpp"
+#include "metrics/metrics.hpp"
+#include "posix/client.hpp"
+#include "posix/epoll_loop.hpp"
+#include "posix/fault_driver.hpp"
+#include "posix/lsd.hpp"
+#include "posix/socket_util.hpp"
+#include "util/units.hpp"
+
+namespace lsl::test {
+namespace {
+
+using posix::EpollLoop;
+using posix::InetAddress;
+using posix::Lsd;
+using posix::LsdConfig;
+using posix::LsdFaultDriver;
+using posix::PosixSinkServer;
+using posix::PosixSource;
+using posix::PosixSourceConfig;
+using posix::SinkResult;
+
+/// True when loopback sockets are available in this environment.
+bool loopback_available() {
+  try {
+    EpollLoop loop;
+    PosixSinkServer probe(loop, InetAddress::loopback(0), false, 1);
+    return probe.port() != 0;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+#define REQUIRE_LOOPBACK()                                     \
+  if (!loopback_available()) {                                 \
+    GTEST_SKIP() << "loopback sockets unavailable in sandbox"; \
+  }
+
+fault::FaultPlan plan_of(const std::string& spec) {
+  std::string err;
+  const auto plan = fault::parse_fault_spec(spec, &err);
+  EXPECT_TRUE(plan.has_value()) << err;
+  return plan.value_or(fault::FaultPlan{});
+}
+
+/// Drive the loop (and the fault driver) until `done` or timeout.
+bool drive(EpollLoop& loop, LsdFaultDriver& driver, const bool& done,
+           double timeout_s = 30.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (!done && std::chrono::steady_clock::now() < deadline) {
+    int wait = driver.next_timeout_ms();
+    if (wait < 0 || wait > 20) wait = 20;
+    loop.run_once(wait);
+    driver.poll();
+  }
+  return done;
+}
+
+/// Backoff bridge: the deterministic fault::RetryPolicy delays, converted
+/// to the wall-clock milliseconds the posix source sleeps.
+std::function<std::optional<std::chrono::milliseconds>()> backoff_of(
+    fault::RetryPolicy& policy) {
+  return [&policy]() -> std::optional<std::chrono::milliseconds> {
+    const auto d = policy.next_delay();
+    if (!d) return std::nullopt;
+    return std::chrono::milliseconds(
+        std::max<std::int64_t>(1, *d / util::kMillisecond));
+  };
+}
+
+// The PR's posix acceptance scenario: one real-socket kill-and-resume
+// cycle. The daemon hard-resets the upstream connection mid-stream
+// (fault-spec `reset`), parks the session under --resume-grace semantics,
+// and the source reconnects with kFlagResume from its acked offset; the
+// sink must still verify the full stream byte-for-byte.
+TEST(PosixChaos, KillAndResumeCycle) {
+  REQUIRE_LOOPBACK();
+  EpollLoop loop;
+  // Large enough that kernel socket buffers cannot swallow the whole
+  // stream: the reset must land while the source still has bytes to send,
+  // or there is nothing to resume.
+  const std::uint64_t bytes = 64 * util::kMiB;
+
+  PosixSinkServer sink(loop, InetAddress::loopback(0), true, 7);
+  bool sink_done = false;
+  SinkResult sink_res;
+  sink.on_complete = [&](const SinkResult& r) {
+    sink_res = r;
+    sink_done = true;
+  };
+
+  LsdConfig dcfg;
+  dcfg.buffer_bytes = 256 * util::kKiB;
+  dcfg.resume_grace = std::chrono::milliseconds(3000);
+  Lsd lsd(loop, dcfg);
+  LsdFaultDriver driver(lsd, plan_of("reset:depot=d1,at_bytes=4194304"));
+  driver.arm();
+
+  fault::RetryConfig rcfg;
+  rcfg.base_delay = 20 * util::kMillisecond;
+  fault::RetryPolicy policy(rcfg, 7);
+
+  PosixSourceConfig scfg;
+  scfg.route = {InetAddress::loopback(lsd.port())};
+  scfg.destination = InetAddress::loopback(sink.port());
+  scfg.payload_bytes = bytes;
+  scfg.payload_seed = 7;
+  scfg.resumable = true;
+  scfg.reconnect_backoff = backoff_of(policy);
+  PosixSource source(loop, scfg);
+  bool src_done = false;
+  bool src_ok = false;
+  source.on_done = [&](bool ok) {
+    src_ok = ok;
+    src_done = true;
+  };
+  source.start();
+
+  ASSERT_TRUE(drive(loop, driver, sink_done));
+  drive(loop, driver, src_done, 5.0);
+
+  EXPECT_TRUE(src_ok);
+  EXPECT_TRUE(sink_res.verified);
+  EXPECT_EQ(sink_res.payload_bytes, bytes);
+  EXPECT_GE(source.resumes(), 1u);
+  EXPECT_EQ(driver.injected(), 1u);
+  EXPECT_EQ(lsd.stats().sessions_parked, 1u);
+  EXPECT_EQ(lsd.stats().sessions_resumed, 1u);
+  EXPECT_EQ(lsd.stats().sessions_completed, 1u);
+}
+
+// An injected accept refusal: the first session dies at the handshake
+// with a reset; a fresh attempt (what `lsl_send --retry` automates) goes
+// through once the drop budget is spent.
+TEST(PosixChaos, DroppedAcceptIsRecoveredByRetry) {
+  REQUIRE_LOOPBACK();
+  EpollLoop loop;
+  const std::uint64_t bytes = 256 * util::kKiB;
+
+  PosixSinkServer sink(loop, InetAddress::loopback(0), true, 9);
+  Lsd lsd(loop, LsdConfig{});
+  LsdFaultDriver driver(lsd, plan_of("syndrop:depot=d1,at=0s,count=1"));
+  driver.arm();
+  driver.poll();  // due immediately: arm the drop before anyone connects
+
+  PosixSourceConfig scfg;
+  scfg.route = {InetAddress::loopback(lsd.port())};
+  scfg.destination = InetAddress::loopback(sink.port());
+  scfg.payload_bytes = bytes;
+  scfg.payload_seed = 9;
+
+  bool done1 = false;
+  bool ok1 = true;
+  PosixSource first(loop, scfg);
+  first.on_done = [&](bool ok) {
+    ok1 = ok;
+    done1 = true;
+  };
+  first.start();
+  ASSERT_TRUE(drive(loop, driver, done1));
+  EXPECT_FALSE(ok1);
+  EXPECT_EQ(lsd.stats().accepts_dropped, 1u);
+
+  bool done2 = false;
+  bool ok2 = false;
+  PosixSource second(loop, scfg);
+  second.on_done = [&](bool ok) {
+    ok2 = ok;
+    done2 = true;
+  };
+  second.start();
+  ASSERT_TRUE(drive(loop, driver, done2));
+  EXPECT_TRUE(ok2);
+  EXPECT_EQ(lsd.stats().sessions_completed, 1u);
+  EXPECT_EQ(driver.injected(), 1u);
+}
+
+// A byte-keyed crash with a scripted restart: the in-flight session dies,
+// the daemon comes back on the same port, and a fresh transfer succeeds —
+// the retransfer path of the recovery story on real sockets.
+TEST(PosixChaos, CrashRestartWindowAllowsRetransfer) {
+  REQUIRE_LOOPBACK();
+  EpollLoop loop;
+  const std::uint64_t bytes = 4 * util::kMiB;
+
+  PosixSinkServer sink(loop, InetAddress::loopback(0), true, 21);
+  LsdConfig dcfg;
+  dcfg.buffer_bytes = 128 * util::kKiB;
+  Lsd lsd(loop, dcfg);
+  const std::uint16_t port = lsd.port();
+  LsdFaultDriver driver(
+      lsd, plan_of("crash:depot=d1,at_bytes=1048576,for=200ms"));
+  driver.arm();
+
+  PosixSourceConfig scfg;
+  scfg.route = {InetAddress::loopback(port)};
+  scfg.destination = InetAddress::loopback(sink.port());
+  scfg.payload_bytes = bytes;
+  scfg.payload_seed = 21;
+
+  bool done1 = false;
+  bool ok1 = true;
+  PosixSource first(loop, scfg);
+  first.on_done = [&](bool ok) {
+    ok1 = ok;
+    done1 = true;
+  };
+  first.start();
+  ASSERT_TRUE(drive(loop, driver, done1));
+  EXPECT_FALSE(ok1);
+  EXPECT_TRUE(lsd.crashed());
+
+  // Wait out the restart window, then retransfer.
+  bool restarted = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!restarted && std::chrono::steady_clock::now() < deadline) {
+    loop.run_once(20);
+    driver.poll();
+    restarted = !lsd.crashed();
+  }
+  ASSERT_TRUE(restarted);
+  EXPECT_EQ(lsd.port(), port);  // same endpoint after restart
+
+  bool done2 = false;
+  bool ok2 = false;
+  bool sink_ok = false;
+  sink.on_complete = [&](const SinkResult& r) { sink_ok = r.verified; };
+  PosixSource second(loop, scfg);
+  second.on_done = [&](bool ok) {
+    ok2 = ok;
+    done2 = true;
+  };
+  second.start();
+  ASSERT_TRUE(drive(loop, driver, done2));
+  EXPECT_TRUE(ok2);
+  EXPECT_TRUE(sink_ok);
+  EXPECT_EQ(driver.injected(), 1u);
+}
+
+// A parked session whose source never returns must expire after the grace
+// window and count as a failed session — not linger forever.
+TEST(PosixChaos, UnresumedParkedSessionExpires) {
+  REQUIRE_LOOPBACK();
+  EpollLoop loop;
+
+  PosixSinkServer sink(loop, InetAddress::loopback(0), true, 33);
+  LsdConfig dcfg;
+  dcfg.resume_grace = std::chrono::milliseconds(100);
+  Lsd lsd(loop, dcfg);
+  LsdFaultDriver driver(lsd, plan_of("reset:depot=d1,at_bytes=1048576"));
+  driver.arm();
+
+  PosixSourceConfig scfg;
+  scfg.route = {InetAddress::loopback(lsd.port())};
+  scfg.destination = InetAddress::loopback(sink.port());
+  scfg.payload_bytes = 8 * util::kMiB;
+  scfg.payload_seed = 33;
+  // Not resumable: the source just dies on the reset, leaving the parked
+  // session orphaned.
+  PosixSource source(loop, scfg);
+  bool done = false;
+  source.on_done = [&](bool) { done = true; };
+  source.start();
+  ASSERT_TRUE(drive(loop, driver, done));
+  EXPECT_EQ(lsd.stats().sessions_parked, 1u);
+
+  bool expired = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!expired && std::chrono::steady_clock::now() < deadline) {
+    loop.run_once(20);
+    driver.poll();  // poll() expires parked sessions
+    expired = lsd.stats().sessions_failed > 0;
+  }
+  EXPECT_TRUE(expired);
+  EXPECT_EQ(lsd.stats().sessions_resumed, 0u);
+}
+
+}  // namespace
+}  // namespace lsl::test

@@ -23,6 +23,9 @@
 //   metrics-docs            every metric name registered by
 //                           src/metrics/instruments.cpp appears in the
 //                           docs/OBSERVABILITY.md catalogue
+//   fault-metrics-docs      every `fault.*` / `recovery.*` instrument name
+//                           in src/fault appears in the
+//                           docs/OBSERVABILITY.md catalogue
 //   pragma-once             every header under src/ has #pragma once
 //
 // Suppression: a comment `lsl-lint: allow(<rule-id>)` on the same line
@@ -595,6 +598,39 @@ void rule_metrics_docs(const std::vector<SourceFile>& files,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: fault-metrics-docs
+// ---------------------------------------------------------------------------
+
+// The fault subsystem registers its instruments by name wherever a fault is
+// injected or a recovery decided, not through one registration site — so
+// the net is wider than metrics-docs: any `fault.*` / `recovery.*` string
+// literal anywhere under src/fault must be catalogued.
+void rule_fault_metrics_docs(const std::vector<SourceFile>& files,
+                             const std::string& observability_md,
+                             std::vector<Violation>* out) {
+  for (const SourceFile& f : files) {
+    if (f.rel.rfind("src/fault/", 0) != 0) continue;
+    for (const StringLit& lit : f.strings) {
+      if (lit.value.rfind("fault.", 0) != 0 &&
+          lit.value.rfind("recovery.", 0) != 0) {
+        continue;
+      }
+      if (lit.value.find_first_not_of(
+              "abcdefghijklmnopqrstuvwxyz0123456789_.") !=
+          std::string::npos) {
+        continue;  // prose mentioning the prefix, not an instrument name
+      }
+      if (observability_md.find(lit.value) == std::string::npos &&
+          !f.suppressed(lit.line, "fault-metrics-docs")) {
+        out->push_back({f.rel, lit.line, "fault-metrics-docs",
+                        "fault/recovery metric '" + lit.value +
+                            "' is not catalogued in docs/OBSERVABILITY.md"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: pragma-once
 // ---------------------------------------------------------------------------
 
@@ -656,6 +692,7 @@ std::vector<Violation> run_lint(const fs::path& root) {
   }
   rule_wire_docs(files, protocol_md, &vs);
   rule_metrics_docs(files, observability_md, &vs);
+  rule_fault_metrics_docs(files, observability_md, &vs);
 
   std::sort(vs.begin(), vs.end(), [](const Violation& a, const Violation& b) {
     if (a.file != b.file) return a.file < b.file;
@@ -669,7 +706,7 @@ const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
       "switch-exhaustive", "switch-default-comment", "raw-new-delete",
       "blocking-io",       "wire-docs",              "metrics-docs",
-      "pragma-once"};
+      "fault-metrics-docs", "pragma-once"};
   return kRules;
 }
 

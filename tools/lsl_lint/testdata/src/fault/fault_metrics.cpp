@@ -1,0 +1,23 @@
+// Fixture: fault-metrics-docs must flag an instrument name that the
+// fixture OBSERVABILITY.md does not catalogue.
+#include <string>
+
+namespace lsl::fault {
+
+std::string documented_metric() {
+  return "fault.injected";  // catalogued in testdata/docs/OBSERVABILITY.md
+}
+
+std::string undocumented_metric() {
+  return "recovery.undocumented_total";  // should fire
+}
+
+std::string suppressed_metric() {
+  return "fault.shadow_total";  // lsl-lint: allow(fault-metrics-docs)
+}
+
+std::string prose_mention() {
+  return "fault. prefix prose never fires";  // not an instrument name
+}
+
+}  // namespace lsl::fault

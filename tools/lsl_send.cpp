@@ -13,6 +13,10 @@
 //             content, the MD5 trailer verifies regardless)
 //   --metrics-out FILE  dump send-side metrics (bytes, write-call latency)
 //                       on exit; .csv -> CSV, anything else -> JSONL
+//   --retry N     re-attempt a failed transfer up to N times (fresh session
+//                 each time) under exponential backoff with seeded jitter
+//   --backoff DUR base retry delay, fault-spec duration syntax (e.g. 200ms,
+//                 1s); default 200ms, doubling per attempt, capped at 5s
 //   --log-level LEVEL   debug|info|warn|error|off (default warn)
 #include <fcntl.h>
 #include <sys/epoll.h>
@@ -29,7 +33,10 @@
 #include <vector>
 
 #include <chrono>
+#include <thread>
 
+#include "fault/policy.hpp"
+#include "fault/spec.hpp"
 #include "lsl/payload.hpp"
 #include "lsl/session_id.hpp"
 #include "lsl/wire.hpp"
@@ -61,7 +68,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: lsl_send [-v HOP_IP:PORT]... DEST_IP:PORT "
                "(-f FILE | -n BYTES [-s SEED]) "
-               "[--metrics-out FILE] [--log-level LEVEL]\n");
+               "[--metrics-out FILE] [--retry N] [--backoff DUR] "
+               "[--log-level LEVEL]\n");
   return 2;
 }
 
@@ -92,6 +100,9 @@ int main(int argc, char** argv) {
   std::string metrics_file;
   std::uint64_t gen_bytes = 0;
   std::uint64_t seed = 1;
+  fault::RetryConfig retry_cfg;
+  retry_cfg.max_attempts = 0;  // no retries unless asked
+  retry_cfg.base_delay = 200 * util::kMillisecond;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -119,6 +130,17 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       metrics_file = v;
+    } else if (arg == "--retry") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      retry_cfg.max_attempts =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--backoff") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      const auto d = fault::parse_duration(v);
+      if (!d || *d <= 0) return usage();
+      retry_cfg.base_delay = *d;
     } else if (arg == "--log-level") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -176,96 +198,121 @@ int main(int argc, char** argv) {
     }
   };
 
-  // Connect (blocking via a tiny epoll wait for writability).
-  const posix::InetAddress first = hops.empty() ? dest : hops[0];
-  posix::Fd sock = posix::connect_tcp(first);
-  if (!sock.valid()) {
-    std::perror("lsl_send: connect");
-    return 1;
-  }
-  {
-    posix::EpollLoop loop;
-    bool ready = false;
-    loop.add(sock.get(), EPOLLOUT, [&](std::uint32_t) { ready = true; });
-    while (!ready) {
-      if (loop.run_once(5000) == 0) break;
-    }
-    if (const int err = posix::connect_result(sock.get()); err != 0) {
-      std::fprintf(stderr, "lsl_send: connect: %s\n", std::strerror(err));
+  // Session ids draw from one stream: each retry gets a fresh, distinct
+  // session, and a fixed seed reproduces the whole sequence.
+  util::Rng session_rng(seed ^ 0x1234567);
+
+  // One complete transfer attempt: connect, stream, await the status byte.
+  const auto attempt = [&]() -> int {
+    // Connect (blocking via a tiny epoll wait for writability).
+    const posix::InetAddress first = hops.empty() ? dest : hops[0];
+    posix::Fd sock = posix::connect_tcp(first);
+    if (!sock.valid()) {
+      std::perror("lsl_send: connect");
       return 1;
     }
-  }
-  // Blocking I/O from here on.
-  const int flags = ::fcntl(sock.get(), F_GETFL, 0);
-  ::fcntl(sock.get(), F_SETFL, flags & ~O_NONBLOCK);
-
-  // Header.
-  core::SessionHeader h;
-  util::Rng rng(seed ^ 0x1234567);
-  h.session = core::SessionId::generate(rng);
-  h.flags = core::kFlagDigestTrailer;
-  h.payload_length = length;
-  for (std::size_t i = 1; i < hops.size(); ++i) {
-    h.hops.push_back({hops[i].addr, hops[i].port});
-  }
-  h.destination = {dest.addr, dest.port};
-  std::vector<std::uint8_t> buf;
-  core::encode_header(h, buf);
-  if (!timed_write(sock.get(), buf.data(), buf.size())) {
-    std::perror("lsl_send: write header");
-    dump_metrics();
-    return 1;
-  }
-  std::fprintf(stderr, "lsl_send: session %s, %llu bytes via %zu depot(s)\n",
-               h.session.hex().c_str(),
-               static_cast<unsigned long long>(length), hops.size());
-
-  // Payload + digest.
-  md5::Md5 hash;
-  core::PayloadGenerator gen(seed);
-  std::vector<std::uint8_t> chunk(256 * 1024);
-  std::uint64_t left = length;
-  while (left > 0) {
-    const std::size_t n = static_cast<std::size_t>(
-        std::min<std::uint64_t>(left, chunk.size()));
-    if (in.is_open()) {
-      in.read(reinterpret_cast<char*>(chunk.data()),
-              static_cast<std::streamsize>(n));
-      if (static_cast<std::size_t>(in.gcount()) != n) {
-        std::fprintf(stderr, "lsl_send: short read from %s\n", file.c_str());
+    {
+      posix::EpollLoop loop;
+      bool ready = false;
+      loop.add(sock.get(), EPOLLOUT, [&](std::uint32_t) { ready = true; });
+      while (!ready) {
+        if (loop.run_once(5000) == 0) break;
+      }
+      if (const int err = posix::connect_result(sock.get()); err != 0) {
+        std::fprintf(stderr, "lsl_send: connect: %s\n", std::strerror(err));
         return 1;
       }
-    } else {
-      gen.generate(std::span<std::uint8_t>(chunk.data(), n));
     }
-    hash.update(std::span<const std::uint8_t>(chunk.data(), n));
-    if (!timed_write(sock.get(), chunk.data(), n)) {
-      std::perror("lsl_send: write payload");
-      dump_metrics();
+    // Blocking I/O from here on.
+    const int flags = ::fcntl(sock.get(), F_GETFL, 0);
+    ::fcntl(sock.get(), F_SETFL, flags & ~O_NONBLOCK);
+
+    // Header.
+    core::SessionHeader h;
+    h.session = core::SessionId::generate(session_rng);
+    h.flags = core::kFlagDigestTrailer;
+    h.payload_length = length;
+    for (std::size_t i = 1; i < hops.size(); ++i) {
+      h.hops.push_back({hops[i].addr, hops[i].port});
+    }
+    h.destination = {dest.addr, dest.port};
+    std::vector<std::uint8_t> buf;
+    core::encode_header(h, buf);
+    if (!timed_write(sock.get(), buf.data(), buf.size())) {
+      std::perror("lsl_send: write header");
       return 1;
     }
-    left -= n;
-  }
-  const md5::Digest d = hash.finalize();
-  if (!timed_write(sock.get(), d.bytes.data(), d.bytes.size())) {
-    std::perror("lsl_send: write digest");
-    dump_metrics();
-    return 1;
-  }
-  ::shutdown(sock.get(), SHUT_WR);
+    std::fprintf(stderr,
+                 "lsl_send: session %s, %llu bytes via %zu depot(s)\n",
+                 h.session.hex().c_str(),
+                 static_cast<unsigned long long>(length), hops.size());
 
-  // Await the end-to-end status byte.
-  std::uint8_t status = 0;
-  ssize_t n;
-  while ((n = ::read(sock.get(), &status, 1)) < 0 && errno == EINTR) {
+    // Payload + digest.
+    if (in.is_open()) {
+      in.clear();
+      in.seekg(0);
+    }
+    md5::Md5 hash;
+    core::PayloadGenerator gen(seed);
+    std::vector<std::uint8_t> chunk(256 * 1024);
+    std::uint64_t left = length;
+    while (left > 0) {
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(left, chunk.size()));
+      if (in.is_open()) {
+        in.read(reinterpret_cast<char*>(chunk.data()),
+                static_cast<std::streamsize>(n));
+        if (static_cast<std::size_t>(in.gcount()) != n) {
+          std::fprintf(stderr, "lsl_send: short read from %s\n",
+                       file.c_str());
+          return 1;
+        }
+      } else {
+        gen.generate(std::span<std::uint8_t>(chunk.data(), n));
+      }
+      hash.update(std::span<const std::uint8_t>(chunk.data(), n));
+      if (!timed_write(sock.get(), chunk.data(), n)) {
+        std::perror("lsl_send: write payload");
+        return 1;
+      }
+      left -= n;
+    }
+    const md5::Digest d = hash.finalize();
+    if (!timed_write(sock.get(), d.bytes.data(), d.bytes.size())) {
+      std::perror("lsl_send: write digest");
+      return 1;
+    }
+    ::shutdown(sock.get(), SHUT_WR);
+
+    // Await the end-to-end status byte.
+    std::uint8_t status = 0;
+    ssize_t n;
+    while ((n = ::read(sock.get(), &status, 1)) < 0 && errno == EINTR) {
+    }
+    if (n == 1 && status == core::kStatusOk) {
+      std::fprintf(stderr, "lsl_send: delivered and verified (md5 %s)\n",
+                   d.hex().c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "lsl_send: delivery FAILED (status=%d)\n",
+                 n == 1 ? status : -1);
+    return 1;
+  };
+
+  // Retry loop (--retry): each failure costs one policy-granted backoff
+  // delay; a fresh session retransfers from scratch.
+  fault::RetryPolicy policy(retry_cfg, seed);
+  int rc = attempt();
+  while (rc != 0) {
+    const auto delay = policy.next_delay();
+    if (!delay) break;  // budget exhausted (or --retry was never given)
+    std::fprintf(
+        stderr, "lsl_send: retry %u/%u in %lld ms\n", policy.attempts_made(),
+        retry_cfg.max_attempts,
+        static_cast<long long>(*delay / util::kMillisecond));
+    std::this_thread::sleep_for(std::chrono::nanoseconds(*delay));
+    rc = attempt();
   }
   dump_metrics();
-  if (n == 1 && status == core::kStatusOk) {
-    std::fprintf(stderr, "lsl_send: delivered and verified (md5 %s)\n",
-                 d.hex().c_str());
-    return 0;
-  }
-  std::fprintf(stderr, "lsl_send: delivery FAILED (status=%d)\n",
-               n == 1 ? status : -1);
-  return 1;
+  return rc;
 }

@@ -11,6 +11,11 @@
 //
 //   --iters N          iterations (default 5)
 //   --seed S           base seed (default 42)
+//   --fault-spec SPEC  chaos mode (chain + lsl only): run each iteration
+//                      under the scripted fault plan (see docs/FAULTS.md for
+//                      the grammar) with retry/backoff/reroute recovery
+//   --resumable        with --fault-spec: sessions survive mid-stream resets
+//                      in place (kFlagResume) instead of retransferring
 //   --traces           capture sender-side traces; print per-link RTT and
 //                      retransmissions, write seq-growth CSV per iteration
 //   --csv FILE         write per-iteration results as CSV
@@ -25,10 +30,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "exp/chain.hpp"
+#include "exp/chaos.hpp"
 #include "exp/runner.hpp"
+#include "fault/spec.hpp"
 #include "exp/scenarios.hpp"
 #include "metrics/export.hpp"
 #include "metrics/metrics.hpp"
@@ -45,9 +53,10 @@ int usage() {
   std::fprintf(stderr,
                "usage: lsl_sim SCENARIO SIZE MODE [--iters N] [--seed S] "
                "[--traces] [--csv FILE] [--metrics-out FILE] "
-               "[--log-level LEVEL]\n"
+               "[--fault-spec SPEC] [--resumable] [--log-level LEVEL]\n"
                "  SCENARIO: case1|case2|case3|osu|chain[:N]   MODE: "
-               "direct|lsl|parallel[:N]\n");
+               "direct|lsl|parallel[:N]\n"
+               "  --fault-spec needs SCENARIO chain[:N] and MODE lsl\n");
   return 2;
 }
 
@@ -124,6 +133,8 @@ int main(int argc, char** argv) {
   cfg.seed = 42;
   std::string csv_file;
   std::string metrics_file;
+  std::string fault_spec;
+  bool resumable = false;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--iters" && i + 1 < argc) {
@@ -136,12 +147,27 @@ int main(int argc, char** argv) {
       csv_file = argv[++i];
     } else if (arg == "--metrics-out" && i + 1 < argc) {
       metrics_file = argv[++i];
+    } else if (arg == "--fault-spec" && i + 1 < argc) {
+      fault_spec = argv[++i];
+    } else if (arg == "--resumable") {
+      resumable = true;
     } else if (arg == "--log-level" && i + 1 < argc) {
       const auto lvl = util::parse_log_level(argv[++i]);
       if (!lvl) return usage();
       util::set_log_level(*lvl);
     } else {
       return usage();
+    }
+  }
+
+  std::optional<fault::FaultPlan> plan;
+  if (!fault_spec.empty()) {
+    if (!use_chain || cfg.mode != exp::Mode::kLsl) return usage();
+    std::string err;
+    plan = fault::parse_fault_spec(fault_spec, &err);
+    if (!plan) {
+      std::fprintf(stderr, "lsl_sim: bad --fault-spec: %s\n", err.c_str());
+      return 2;
     }
   }
 
@@ -163,7 +189,32 @@ int main(int argc, char** argv) {
   util::RunningStats mbps;
   for (std::size_t i = 0; i < iters; ++i) {
     exp::TransferResult r;
-    if (use_chain) {
+    std::string recovery_note;
+    if (plan) {
+      exp::ChaosParams qp;
+      qp.chain.depots = chain_depots;
+      qp.chain.bytes = cfg.bytes;
+      qp.chain.seed = cfg.seed + i;
+      qp.chain.metrics = cfg.metrics;
+      qp.plan = *plan;
+      qp.resumable_attempts = resumable;
+      if (resumable) qp.chain.depot.resume_grace = 2 * util::kSecond;
+      exp::ChaosResult qr = exp::run_chaos(qp);
+      r.completed = qr.completed && qr.verified;
+      r.bytes = cfg.bytes;
+      r.seconds = qr.seconds;
+      r.mbps = qr.mbps;
+      char note[160];
+      std::snprintf(note, sizeof note,
+                    "        faults=%llu attempts=%u reroutes=%u resumes=%zu",
+                    static_cast<unsigned long long>(qr.faults_injected),
+                    qr.attempts, qr.reroutes, qr.resumes);
+      recovery_note = note;
+      if (qr.reroute_error != fault::RerouteError::kNone) {
+        recovery_note += std::string(" (gave up: ") +
+                         fault::to_string(qr.reroute_error) + ")";
+      }
+    } else if (use_chain) {
       exp::ChainParams cp;
       cp.depots = cfg.mode == exp::Mode::kLsl ? chain_depots : 0;
       cp.bytes = cfg.bytes;
@@ -186,12 +237,14 @@ int main(int argc, char** argv) {
     }
     if (!r.completed) {
       std::printf("%6zu   (did not complete)\n", i);
+      if (!recovery_note.empty()) std::printf("%s\n", recovery_note.c_str());
       continue;
     }
     mbps.add(r.mbps);
     std::printf("%6zu %10.3f %10.2f %8llu %8llu\n", i, r.seconds, r.mbps,
                 static_cast<unsigned long long>(r.retransmits),
                 static_cast<unsigned long long>(r.timeouts));
+    if (!recovery_note.empty()) std::printf("%s\n", recovery_note.c_str());
     if (csv.is_open()) {
       csv << i << ',' << r.seconds << ',' << r.mbps << ',' << r.retransmits
           << ',' << r.timeouts << '\n';
