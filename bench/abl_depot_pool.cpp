@@ -133,6 +133,102 @@ Result run_pool(std::size_t sessions, std::size_t depots, std::uint64_t bytes,
   return res;
 }
 
+struct BudgetResult {
+  std::size_t completed = 0;
+  std::uint64_t refused_memory = 0;
+  std::uint64_t peak_bytes = 0;
+  std::uint64_t pressure_episodes = 0;
+  double aggregate_mbps = 0.0;
+};
+
+// Memory-budget leg: one depot whose copy resource is the bottleneck, with
+// the pooled-memory admission model enabled. Sessions arrive staggered so
+// early arrivals drive the buffer into the high watermark and later ones
+// face refusal; shrinking the budget trades buffered bytes (and admitted
+// sessions) against a hard per-depot memory ceiling.
+BudgetResult run_budget(std::size_t sessions, std::uint64_t budget_bytes,
+                        std::uint64_t bytes, std::uint64_t seed) {
+  sim::Network net(seed);
+  sim::Node& src = net.add_host("src");
+  sim::Node& dst = net.add_host("dst");
+  sim::Node& depot = net.add_host("depot");
+
+  sim::LinkConfig fast;
+  fast.rate = util::DataRate::mbps(200);
+  fast.delay = util::millis(1);
+  net.connect(src, depot, fast);
+  net.connect(depot, dst, fast);
+  net.compute_routes();
+
+  tcp::TcpConfig tcp;
+  tcp.initial_ssthresh = 64 * util::kKiB;
+  tcp::TcpStack s_src(net, src, tcp);
+  tcp::TcpStack s_dst(net, dst, tcp);
+  tcp::TcpStack s_depot(net, depot, tcp);
+
+  core::SessionDirectory dir;
+  core::DepotConfig dcfg;
+  dcfg.port = kDepotPort;
+  dcfg.buffer_bytes = 4 * util::kMiB;
+  dcfg.copy_rate = util::DataRate::mbps(18);
+  dcfg.wakeup_latency = util::micros(200);
+  dcfg.session_setup_latency = util::millis(5);
+  dcfg.pool_budget_bytes = budget_bytes;
+  dcfg.pool_low_watermark = 0.25;
+  dcfg.pool_high_watermark = 0.50;
+  core::DepotApp app(s_depot, dcfg, &dir);
+
+  std::size_t completed = 0;
+  util::SimTime first_start = 0;
+  util::SimTime last_done = 0;
+  std::vector<std::unique_ptr<core::SinkServer>> sinks;
+  std::vector<std::unique_ptr<core::SourceApp>> sources;
+  sources.reserve(sessions);
+
+  auto& ev = net.sim().events();
+  for (std::size_t i = 0; i < sessions; ++i) {
+    const sim::PortNum sink_port = static_cast<sim::PortNum>(5001 + i);
+    core::SinkConfig scfg;
+    scfg.expect_header = true;
+    sinks.push_back(
+        std::make_unique<core::SinkServer>(s_dst, sink_port, scfg, &dir));
+    sinks.back()->on_complete = [&](core::SinkApp& s) {
+      ++completed;
+      last_done = std::max(last_done, s.complete_time());
+    };
+
+    ev.schedule_at(static_cast<util::SimTime>(i) * util::millis(200),
+                   [&, i, sink_port] {
+      core::SourceConfig cfg;
+      cfg.payload_bytes = bytes;
+      cfg.use_header = true;
+      util::Rng rng(seed * 100 + i);
+      cfg.header.session = core::SessionId::generate(rng);
+      cfg.header.payload_length = bytes;
+      cfg.header.hops = {{depot.id(), kDepotPort}};
+      cfg.header.destination = {dst.id(), sink_port};
+      sources.push_back(std::make_unique<core::SourceApp>(
+          s_src, sim::Endpoint{depot.id(), kDepotPort}, cfg, &dir));
+      sources.back()->start();
+      if (i == 0) first_start = sources.back()->start_time();
+    });
+  }
+
+  while (ev.now() <= 3600ll * util::kSecond && ev.step()) {
+  }
+
+  BudgetResult res;
+  res.completed = completed;
+  res.refused_memory = app.stats().sessions_refused_memory;
+  res.peak_bytes = app.memory().peak();
+  res.pressure_episodes = app.memory().pressure_episodes();
+  if (completed > 0 && last_done > first_start) {
+    res.aggregate_mbps =
+        util::throughput_mbps(bytes * completed, last_done - first_start);
+  }
+  return res;
+}
+
 }  // namespace
 
 int main() {
@@ -163,5 +259,26 @@ int main() {
                util::Cell(agg.mean(), 2), util::Cell(per.mean(), 2)});
   }
   lsl::bench::emit(t, "abl_depot_pool");
+
+  // Memory-budget sweep: same depot, shrinking pooled-memory budget. The
+  // budget caps buffered bytes (peak <= budget) and, under pressure, turns
+  // new sessions away at admission instead of growing without bound.
+  const std::uint64_t budgets[] = {0, 4 * util::kMiB, util::kMiB,
+                                   256 * util::kKiB};
+  util::Table bt("Admission under a per-depot memory budget: 8 staggered "
+                 "sessions, 4MB each (0 = unlimited)",
+                 {"budget_kib", "completed", "refused_mem", "peak_kib",
+                  "pressure_eps", "aggregate_mbps"});
+  for (const std::uint64_t budget : budgets) {
+    const BudgetResult r =
+        run_budget(8, budget, 4 * util::kMiB, lsl::bench::base_seed());
+    bt.add_row({util::Cell(budget / util::kKiB),
+                util::Cell(static_cast<std::uint64_t>(r.completed)),
+                util::Cell(r.refused_memory),
+                util::Cell(r.peak_bytes / util::kKiB),
+                util::Cell(r.pressure_episodes),
+                util::Cell(r.aggregate_mbps, 2)});
+  }
+  lsl::bench::emit(bt, "abl_depot_pool_budget");
   return 0;
 }

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Pooled-memory data-path smoke bench: drive the real daemon with
+# tools/lsl_load (splice fast path and chunk-pool fallback) plus the
+# micro_core MD5/copy micro-benchmarks, and maintain the BENCH_pool.json
+# baseline at the repo root.
+#
+#   scripts/bench_smoke.sh [--update]
+#
+# Without --update: if BENCH_pool.json exists, the splice-path aggregate
+# throughput must come in at >= REGRESSION_FRACTION (default 0.8) of the
+# recorded baseline, the fallback run must keep its >90% chunk reuse rate,
+# and the pool must never exceed its budget — any miss fails the script.
+# The baseline file is then refreshed. With --update, comparison is
+# skipped (use after intentional perf-relevant changes).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+update_only=false
+[[ "${1:-}" == "--update" ]] && update_only=true
+
+REGRESSION_FRACTION="${REGRESSION_FRACTION:-0.8}"
+BASELINE=BENCH_pool.json
+jobs=$(nproc 2>/dev/null || echo 4)
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs" --target lsl_load micro_core >/dev/null
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# Splice fast path: the loopback throughput baseline.
+./build/tools/lsl_load --sessions=64 --bytes=2m --budget=64m \
+  --json="$tmp/splice.json"
+
+# Chunk-pool fallback, sized so every chunk turns over several times:
+# budget/chunk = 512 chunks carrying 64 x 8 MiB = 8192 chunk-loads, so
+# the reuse rate must be high if recycling works at all.
+./build/tools/lsl_load --sessions=64 --bytes=8m --budget=32m --no-splice \
+  --json="$tmp/pool.json"
+
+# Core micro-benchmarks (MD5 + payload generator bound the copy path).
+./build/bench/micro_core --benchmark_filter='BM_Md5Throughput/65536|BM_PayloadGenerate' \
+  --benchmark_min_time=0.05 --benchmark_format=json \
+  >"$tmp/micro.json" 2>/dev/null
+
+python3 - "$tmp" "$BASELINE" "$REGRESSION_FRACTION" "$update_only" <<'EOF'
+import json, sys, os
+
+tmp, baseline_path, frac, update_only = (
+    sys.argv[1], sys.argv[2], float(sys.argv[3]), sys.argv[4] == "true")
+
+splice = json.load(open(os.path.join(tmp, "splice.json")))
+pool = json.load(open(os.path.join(tmp, "pool.json")))
+micro = json.load(open(os.path.join(tmp, "micro.json")))
+
+failures = []
+if not splice["ok"]:
+    failures.append("splice-path lsl_load run failed")
+if not pool["ok"]:
+    failures.append("fallback lsl_load run failed")
+if splice["bytes_spliced"] == 0:
+    failures.append("splice path never engaged")
+if pool["pool_reuse_rate"] < 0.90:
+    failures.append(
+        f"chunk reuse rate {pool['pool_reuse_rate']:.1%} below 90%")
+for name, run in (("splice", splice), ("pool", pool)):
+    if run["pool_peak_bytes"] > run["pool_budget_bytes"]:
+        failures.append(f"{name} run exceeded its memory budget")
+
+bench = {
+    b["name"]: b.get("bytes_per_second", b.get("real_time"))
+    for b in micro.get("benchmarks", [])
+}
+
+result = {
+    "splice_aggregate_mbps": round(splice["aggregate_mbps"], 3),
+    "fallback_aggregate_mbps": round(pool["aggregate_mbps"], 3),
+    "sessions_per_s": round(splice["sessions_per_s"], 3),
+    "pool_reuse_rate": round(pool["pool_reuse_rate"], 4),
+    "pool_peak_bytes": pool["pool_peak_bytes"],
+    "pool_budget_bytes": pool["pool_budget_bytes"],
+    "peak_rss_bytes": max(splice["peak_rss_bytes"], pool["peak_rss_bytes"]),
+    "md5_bytes_per_second": bench.get("BM_Md5Throughput/65536"),
+    "lsl_load_args": {
+        "splice": "--sessions=64 --bytes=2m --budget=64m",
+        "fallback": "--sessions=64 --bytes=8m --budget=32m --no-splice",
+    },
+}
+
+if os.path.exists(baseline_path) and not update_only:
+    base = json.load(open(baseline_path))
+    floor = base["splice_aggregate_mbps"] * frac
+    if result["splice_aggregate_mbps"] < floor:
+        failures.append(
+            "splice aggregate %.1f Mbit/s below %.0f%% of baseline %.1f"
+            % (result["splice_aggregate_mbps"], frac * 100,
+               base["splice_aggregate_mbps"]))
+
+if failures:
+    for f in failures:
+        print("bench_smoke: FAIL:", f, file=sys.stderr)
+    sys.exit(1)
+
+with open(baseline_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print("bench_smoke: OK — baseline written to", baseline_path)
+print(json.dumps(result, indent=2))
+EOF

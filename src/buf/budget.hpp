@@ -1,0 +1,93 @@
+// Watermarked memory budget — the daemon-wide admission model.
+//
+// One accounting object answers two different questions:
+//
+//  * "may I allocate?" — reserve() enforces the hard byte budget the
+//    operator gave the daemon (paper §VII: an unprivileged user-level
+//    process must bound its own footprint; the kernel will not do it);
+//  * "may I admit a new session?" — under_pressure() is a hysteresis
+//    signal between a low and a high watermark, so admission flaps at
+//    neither boundary: refusal starts when usage climbs to the high
+//    watermark and ends only once it has drained back to the low one.
+//
+// The same class backs the real chunk pool (src/buf/pool.hpp, guarded by
+// the pool's mutex) and the simulated depot (src/lsl/depot.cpp,
+// single-threaded), so experiments sweep exactly the semantics the real
+// daemon enforces. It is deliberately not thread-safe on its own.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace lsl::buf {
+
+/// Byte budget with low/high watermark hysteresis. A zero budget disables
+/// all limits (reserve always succeeds, pressure never asserts).
+class MemoryBudget {
+ public:
+  MemoryBudget() = default;
+  MemoryBudget(std::uint64_t budget_bytes, double low_watermark,
+               double high_watermark)
+      : budget_(budget_bytes),
+        low_(static_cast<std::uint64_t>(
+            static_cast<double>(budget_bytes) * low_watermark)),
+        high_(static_cast<std::uint64_t>(
+            static_cast<double>(budget_bytes) * high_watermark)) {
+    // A degenerate configuration (high <= low) still behaves sanely:
+    // pressure asserts at high and clears at min(low, high).
+    low_ = std::min(low_, high_);
+  }
+
+  bool enabled() const { return budget_ > 0; }
+  std::uint64_t budget() const { return budget_; }
+  std::uint64_t in_use() const { return in_use_; }
+  std::uint64_t peak() const { return peak_; }
+
+  /// Bytes still reservable under the budget (max when unlimited).
+  std::uint64_t headroom() const {
+    if (budget_ == 0) return ~std::uint64_t{0};
+    return budget_ > in_use_ ? budget_ - in_use_ : 0;
+  }
+
+  /// Account `n` bytes. Refuses (reserving nothing) when the budget would
+  /// be exceeded — unless `force`, for salvage paths that must not drop
+  /// already-acknowledged bytes even if the budget briefly overshoots.
+  bool reserve(std::uint64_t n, bool force = false) {
+    if (!force && budget_ > 0 && in_use_ + n > budget_) return false;
+    in_use_ += n;
+    peak_ = std::max(peak_, in_use_);
+    update_pressure();
+    return true;
+  }
+
+  void release(std::uint64_t n) {
+    in_use_ = n < in_use_ ? in_use_ - n : 0;
+    update_pressure();
+  }
+
+  /// Hysteresis admission signal; see the header comment.
+  bool under_pressure() const { return pressure_; }
+  /// Times pressure asserted (rising edges only).
+  std::uint64_t pressure_episodes() const { return episodes_; }
+
+ private:
+  void update_pressure() {
+    if (budget_ == 0) return;
+    if (!pressure_ && in_use_ >= high_) {
+      pressure_ = true;
+      ++episodes_;
+    } else if (pressure_ && in_use_ <= low_) {
+      pressure_ = false;
+    }
+  }
+
+  std::uint64_t budget_ = 0;
+  std::uint64_t low_ = 0;   ///< absolute bytes: pressure clears at/below
+  std::uint64_t high_ = 0;  ///< absolute bytes: pressure asserts at/above
+  std::uint64_t in_use_ = 0;
+  std::uint64_t peak_ = 0;
+  std::uint64_t episodes_ = 0;
+  bool pressure_ = false;
+};
+
+}  // namespace lsl::buf

@@ -1,0 +1,69 @@
+// Refcounted fixed-size buffer chunks (the repo's mbuf analogue).
+//
+// A Chunk is one pool-owned allocation of ChunkPool's configured size.
+// ChunkRef is the only way to hold one: copying a ref bumps an atomic
+// refcount, and the last ref returns the chunk to its pool's freelist —
+// bytes "move" between owners by reference, never by memcpy. The atomic
+// count is what makes the pool shareable across threads (the TSan workout
+// in tests/buf_concurrency_test.cpp hammers exactly this edge).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace lsl::buf {
+
+class ChunkPool;
+
+/// One pooled buffer. Created and recycled only by ChunkPool; never
+/// touched directly by users (hold a ChunkRef instead).
+struct Chunk {
+  std::unique_ptr<std::uint8_t[]> data;
+  std::size_t capacity = 0;
+  std::atomic<std::uint32_t> refs{0};
+};
+
+/// Shared handle to a pooled chunk; the last reference recycles it.
+class ChunkRef {
+ public:
+  ChunkRef() = default;
+  ChunkRef(const ChunkRef& other) : chunk_(other.chunk_), pool_(other.pool_) {
+    if (chunk_ != nullptr) {
+      chunk_->refs.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  ChunkRef(ChunkRef&& other) noexcept
+      : chunk_(std::exchange(other.chunk_, nullptr)),
+        pool_(std::exchange(other.pool_, nullptr)) {}
+  ChunkRef& operator=(ChunkRef other) noexcept {
+    std::swap(chunk_, other.chunk_);
+    std::swap(pool_, other.pool_);
+    return *this;
+  }
+  ~ChunkRef() { reset(); }
+
+  /// Drop this reference (recycling the chunk when it was the last).
+  void reset();
+
+  explicit operator bool() const { return chunk_ != nullptr; }
+  std::uint8_t* data() const { return chunk_->data.get(); }
+  std::size_t capacity() const { return chunk_ != nullptr ? chunk_->capacity : 0; }
+  std::uint32_t use_count() const {
+    return chunk_ != nullptr
+               ? chunk_->refs.load(std::memory_order_relaxed)
+               : 0;
+  }
+
+ private:
+  friend class ChunkPool;
+  /// Adopts one already-counted reference (ChunkPool::acquire).
+  ChunkRef(Chunk* chunk, ChunkPool* pool) : chunk_(chunk), pool_(pool) {}
+
+  Chunk* chunk_ = nullptr;
+  ChunkPool* pool_ = nullptr;
+};
+
+}  // namespace lsl::buf

@@ -1,0 +1,90 @@
+#include "buf/chunk_ring.hpp"
+
+#include <algorithm>
+
+#include "util/contract.hpp"
+
+namespace lsl::buf {
+
+ChunkRing::ChunkRing(ChunkPool& pool, std::size_t max_bytes)
+    : pool_(&pool), max_bytes_(max_bytes) {
+  LSL_PRECONDITION(max_bytes_ > 0, "chunk ring: zero capacity");
+}
+
+std::span<std::uint8_t> ChunkRing::write_window() {
+  if (size_ >= max_bytes_) {
+    pool_starved_ = false;  // our own cap, not the pool's
+    return {};
+  }
+  const std::size_t cap_left = max_bytes_ - size_;
+  if (!segments_.empty()) {
+    Segment& tail = segments_.back();
+    const std::size_t free = tail.chunk.capacity() - tail.len;
+    if (free > 0) {
+      pool_starved_ = false;
+      return {tail.chunk.data() + tail.len, std::min(free, cap_left)};
+    }
+  }
+  ChunkRef chunk = pool_->acquire();
+  if (!chunk) {
+    pool_starved_ = true;
+    return {};
+  }
+  pool_starved_ = false;
+  segments_.push_back(Segment{std::move(chunk), 0});
+  Segment& tail = segments_.back();
+  return {tail.chunk.data(), std::min(tail.chunk.capacity(), cap_left)};
+}
+
+void ChunkRing::commit(std::size_t n) {
+  LSL_PRECONDITION(!segments_.empty(), "chunk ring: commit without window");
+  Segment& tail = segments_.back();
+  LSL_PRECONDITION(tail.len + n <= tail.chunk.capacity() &&
+                       size_ + n <= max_bytes_,
+                   "chunk ring: commit beyond window");
+  tail.len += n;
+  size_ += n;
+}
+
+bool ChunkRing::can_accept() const {
+  if (size_ >= max_bytes_) return false;
+  if (!segments_.empty() &&
+      segments_.back().len < segments_.back().chunk.capacity()) {
+    return true;
+  }
+  return pool_->can_acquire();
+}
+
+std::span<const std::uint8_t> ChunkRing::read_window() const {
+  if (size_ == 0) return {};
+  const Segment& head = segments_.front();
+  return {head.chunk.data() + head_off_, head.len - head_off_};
+}
+
+void ChunkRing::consume(std::size_t n) {
+  LSL_PRECONDITION(n <= size_, "chunk ring: consume beyond contents");
+  size_ -= n;
+  while (n > 0) {
+    Segment& head = segments_.front();
+    const std::size_t avail = head.len - head_off_;
+    const std::size_t take = std::min(avail, n);
+    head_off_ += take;
+    n -= take;
+    // A fully-drained chunk goes home unless it is also the tail still
+    // accepting writes.
+    if (head_off_ == head.len &&
+        (segments_.size() > 1 || head.len == head.chunk.capacity())) {
+      segments_.pop_front();
+      head_off_ = 0;
+    }
+  }
+}
+
+void ChunkRing::clear() {
+  segments_.clear();
+  head_off_ = 0;
+  size_ = 0;
+  pool_starved_ = false;
+}
+
+}  // namespace lsl::buf

@@ -1,0 +1,77 @@
+// ChunkRing — a bounded FIFO of pooled chunks.
+//
+// Replaces the posix relay's flat per-session byte ring: instead of one
+// eagerly-allocated 1 MiB array per session, a relay buffers into chunks
+// drawn on demand from the daemon-wide ChunkPool and returns each one the
+// instant it drains. The interface mirrors what a nonblocking relay pump
+// needs — a contiguous write window to read() into, a contiguous read
+// window to write() from — so no byte is ever copied between chunks.
+//
+// Single-threaded (one event loop owns a ring); the pool underneath is the
+// shared, thread-safe part.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <span>
+
+#include "buf/pool.hpp"
+
+namespace lsl::buf {
+
+class ChunkRing {
+ public:
+  /// `max_bytes` is the per-session cap (the old ring capacity); the pool
+  /// budget is the daemon-wide one. Both bound the ring.
+  ChunkRing(ChunkPool& pool, std::size_t max_bytes);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t max_bytes() const { return max_bytes_; }
+
+  /// Contiguous free space at the tail, acquiring a chunk when the current
+  /// tail is full. Empty when the per-session cap is reached or the pool
+  /// refused a chunk (distinguish with pool_starved()).
+  std::span<std::uint8_t> write_window();
+
+  /// Publish `n` bytes just written into write_window().
+  void commit(std::size_t n);
+
+  /// True when the last write_window() came up empty because the *pool*
+  /// refused, as opposed to this ring's own cap. Cleared by the next
+  /// successful write_window().
+  bool pool_starved() const { return pool_starved_; }
+
+  /// Whether write_window() could currently produce space without a pool
+  /// refusal — the interest-mask predicate (level-triggered epoll must not
+  /// watch a socket whose bytes we cannot buffer).
+  bool can_accept() const;
+
+  /// Contiguous buffered bytes at the head (empty when the ring is).
+  std::span<const std::uint8_t> read_window() const;
+
+  /// Discard `n` bytes from the head; fully drained chunks go back to the
+  /// pool immediately.
+  void consume(std::size_t n);
+
+  /// Drop everything, returning every chunk to the pool now — the
+  /// graveyard path (a finished relay must not sit on pool memory while
+  /// awaiting deferred deletion).
+  void clear();
+
+ private:
+  struct Segment {
+    ChunkRef chunk;
+    std::size_t len = 0;  ///< bytes written into this chunk
+  };
+
+  ChunkPool* pool_;
+  std::size_t max_bytes_;
+  std::deque<Segment> segments_;
+  std::size_t head_off_ = 0;  ///< consumed bytes of the front segment
+  std::size_t size_ = 0;      ///< total buffered bytes
+  bool pool_starved_ = false;
+};
+
+}  // namespace lsl::buf

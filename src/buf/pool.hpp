@@ -1,0 +1,112 @@
+// The daemon-wide chunk pool: freelist + budget + watermarks.
+//
+// All relay buffering in the posix daemon draws from one ChunkPool, so the
+// process has a single, operator-configured memory ceiling instead of
+// "1 MiB times however many sessions show up" (the unbounded footprint the
+// paper's §VII scalability concern warns about). Recycled chunks go to a
+// freelist, so a steady-state daemon allocates almost never: the chunk
+// reuse rate — pool.alloc_reuses / pool.alloc_total — is the health signal
+// tools/lsl_load reports.
+//
+// Thread-safety: acquire() and the last-ref recycle take the pool mutex;
+// refcount traffic on a live ChunkRef is lock-free. The simulator does not
+// use ChunkPool (it shares only MemoryBudget) — real chunks exist to back
+// real sockets.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "buf/budget.hpp"
+#include "buf/chunk.hpp"
+#include "metrics/metrics.hpp"
+
+namespace lsl::buf {
+
+/// Pool sizing knobs.
+struct PoolConfig {
+  std::size_t chunk_bytes = 64 * 1024;  ///< one chunk's capacity
+  /// Hard ceiling on bytes held by live refs (0 = unlimited). Because every
+  /// chunk is born through a successful reserve(), the pool's *total*
+  /// allocation (live + freelist) also never exceeds this.
+  std::uint64_t budget_bytes = 64ull * 1024 * 1024;
+  double low_watermark = 0.50;   ///< admission pressure clears at/below
+  double high_watermark = 0.85;  ///< admission pressure asserts at/above
+};
+
+/// Consistent snapshot of the pool's counters (tests, lsl_load reporting).
+struct PoolStats {
+  std::uint64_t allocs = 0;        ///< successful acquire() calls
+  std::uint64_t reuses = 0;        ///< of which served from the freelist
+  std::uint64_t creations = 0;     ///< of which newly allocated
+  std::uint64_t failures = 0;      ///< acquire() refusals (budget exhausted)
+  std::uint64_t pressure_episodes = 0;
+  std::uint64_t in_use_bytes = 0;  ///< bytes held by live refs right now
+  std::uint64_t peak_bytes = 0;    ///< high-water of in_use_bytes
+  std::size_t free_chunks = 0;     ///< freelist depth
+};
+
+/// `pool.*` instrument bundle (wall-clock timebase). Names are catalogued
+/// in docs/OBSERVABILITY.md; the pool-metrics-docs lint rule fails the
+/// build if one here is missing there.
+struct PoolMetrics {
+  explicit PoolMetrics(metrics::Registry& reg);
+
+  metrics::Gauge* bytes_in_use;      ///< live-ref bytes (max() = high water)
+  metrics::Gauge* chunks_free;       ///< freelist depth
+  metrics::Counter* alloc_total;     ///< successful chunk acquisitions
+  metrics::Counter* alloc_reuses;    ///< served from the freelist
+  metrics::Counter* alloc_failures;  ///< refused: budget exhausted
+  metrics::Counter* pressure_episodes;  ///< admission-pressure assertions
+};
+
+/// The pool itself. Outlives every ChunkRef it hands out.
+class ChunkPool {
+ public:
+  explicit ChunkPool(const PoolConfig& config);
+  ~ChunkPool();
+
+  ChunkPool(const ChunkPool&) = delete;
+  ChunkPool& operator=(const ChunkPool&) = delete;
+
+  /// One chunk, freelist-first. A null ref means the budget is exhausted —
+  /// the caller must back off (drop read interest) and retry when
+  /// released bytes make headroom.
+  ChunkRef acquire();
+
+  /// Whether acquire() would currently succeed (interest-mask decisions;
+  /// advisory under concurrency).
+  bool can_acquire() const;
+
+  /// Watermark admission signal — refuse *new* sessions while set, keep
+  /// serving existing ones until the hard budget stops them.
+  bool under_pressure() const;
+
+  PoolStats stats() const;
+  const PoolConfig& config() const { return config_; }
+
+  /// Attach a metrics bundle (must outlive the pool's traffic); null
+  /// detaches.
+  void set_metrics(PoolMetrics* m);
+
+ private:
+  friend class ChunkRef;
+  void recycle(Chunk* chunk);
+  /// Refresh attached gauges; callers hold mu_.
+  void publish_levels();
+
+  const PoolConfig config_;
+  mutable std::mutex mu_;
+  MemoryBudget budget_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;  ///< every chunk ever born
+  std::vector<Chunk*> free_;                    ///< recycled, ready to hand out
+  std::uint64_t allocs_ = 0;
+  std::uint64_t reuses_ = 0;
+  std::uint64_t failures_ = 0;
+  PoolMetrics* metrics_ = nullptr;
+};
+
+}  // namespace lsl::buf

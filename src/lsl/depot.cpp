@@ -9,7 +9,11 @@ namespace lsl::core {
 
 DepotApp::DepotApp(tcp::TcpStack& stack, DepotConfig config,
                    SessionDirectory* dir)
-    : stack_(stack), config_(config), dir_(dir) {
+    : stack_(stack),
+      config_(config),
+      dir_(dir),
+      budget_(config.pool_budget_bytes, config.pool_low_watermark,
+              config.pool_high_watermark) {
   stack_.listen(config_.port,
                 [this](tcp::TcpSocket* s) { on_accept(s); });
 }
@@ -31,6 +35,14 @@ void DepotApp::on_accept(tcp::TcpSocket* up) {
   }
   if (config_.max_sessions > 0 && live_sessions() >= config_.max_sessions) {
     ++stats_.sessions_refused;
+    up->abort();
+    return;
+  }
+  if (budget_.under_pressure()) {
+    // Memory admission control, mirroring the real daemon: refuse (RST)
+    // while buffered bytes sit over the high watermark, so the source's
+    // RetryPolicy backs off instead of the depot overcommitting.
+    ++stats_.sessions_refused_memory;
     up->abort();
     return;
   }
@@ -149,6 +161,7 @@ void DepotApp::pull_payload(Relay& r, bool ignore_space) {
       space = config_.buffer_bytes > buffered(r)
                   ? config_.buffer_bytes - buffered(r)
                   : 0;
+      space = std::min(space, budget_.headroom());
       if (space == 0) {
         begin_stall(r);
         return;  // backpressure: upstream window will close
@@ -202,6 +215,12 @@ void DepotApp::pull_payload(Relay& r, bool ignore_space) {
           util::to_millis(start > queued_from ? start - queued_from : 0));
     }
     copy_busy_until_ = ready_at;
+    // Salvage pulls (ignore_space) may overshoot the budget: those bytes
+    // were acked to the sender and must not be dropped. Bounded pulls were
+    // clamped to headroom above, so the non-forced reserve cannot fail.
+    const bool reserved = budget_.reserve(got, /*force=*/ignore_space);
+    assert(reserved);
+    (void)reserved;
     r.in_copy_bytes += got;
     stats_.max_buffered = std::max(stats_.max_buffered, buffered(r));
     note_occupancy(r);
@@ -279,6 +298,7 @@ void DepotApp::pump_downstream(Relay& r) {
       if (took == 0) break;
       r.ready_consumed += took;
       r.ready_bytes -= took;
+      budget_.release(took);
       stats_.bytes_relayed += took;
       if (metrics_) metrics_->bytes_relayed->inc(took);
       freed = true;
@@ -292,6 +312,7 @@ void DepotApp::pump_downstream(Relay& r) {
       const std::uint64_t took = r.down->send_virtual(r.ready_bytes);
       if (took == 0) break;
       r.ready_bytes -= took;
+      budget_.release(took);
       stats_.bytes_relayed += took;
       if (metrics_) metrics_->bytes_relayed->inc(took);
       freed = true;
@@ -427,7 +448,9 @@ bool DepotApp::try_resume(Relay& fresh) {
   old->up->on_readable = [this, old] { pull_upstream(*old); };
   old->up->on_error = [this, old](tcp::TcpError) { on_upstream_error(*old); };
 
-  // Neutralize the husk so its callbacks never fire again.
+  // Neutralize the husk so its callbacks never fire again; any bytes it
+  // buffered die with it.
+  budget_.release(buffered(fresh));
   fresh.done = true;
   fresh.up = nullptr;
 
@@ -487,6 +510,10 @@ void DepotApp::note_occupancy(const Relay& r) {
 void DepotApp::fail_relay(Relay& r) {
   if (r.done) return;
   r.done = true;
+  // The relay's buffered bytes are dead; hand their budget back now so
+  // live sessions (and new admissions) see the space immediately. Late
+  // copy_complete events on this relay return without touching accounts.
+  budget_.release(buffered(r));
   end_stall(r);
   ++stats_.sessions_failed;
   if (r.park_expiry != sim::kInvalidEvent) {

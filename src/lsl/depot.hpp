@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "buf/budget.hpp"
 #include "lsl/directory.hpp"
 #include "lsl/wire.hpp"
 #include "metrics/instruments.hpp"
@@ -50,6 +51,15 @@ struct DepotConfig {
   /// Admission control (paper §VII): maximum concurrently live sessions;
   /// additional connections are refused at accept. 0 = unlimited.
   std::size_t max_sessions = 0;
+  /// Daemon-wide byte budget over buffered relay bytes (ready + in-copy),
+  /// the same watermark admission model the real daemon's chunk pool
+  /// enforces (docs/MEMORY.md): reads stop at the budget, and new sessions
+  /// are refused while usage sits between the high and low watermarks.
+  /// 0 (the default) disables it — and keeps same-seed metric exports
+  /// byte-identical to pre-budget builds.
+  std::uint64_t pool_budget_bytes = 0;
+  double pool_low_watermark = 0.50;
+  double pool_high_watermark = 0.85;
 };
 
 /// Aggregate depot counters.
@@ -58,6 +68,11 @@ struct DepotStats {
   std::uint64_t sessions_completed = 0;
   std::uint64_t sessions_failed = 0;
   std::uint64_t sessions_refused = 0;  ///< admission-control rejections
+  /// Rejections specifically because the memory budget was under pressure
+  /// (disjoint from sessions_refused, so capacity sweeps can tell the
+  /// operator's session cap from memory backpressure; the source-side
+  /// fault::RetryPolicy backs off on both the same way).
+  std::uint64_t sessions_refused_memory = 0;
   std::uint64_t sessions_resumed = 0;  ///< successful kFlagResume rebinds
   std::uint64_t bytes_relayed = 0;
   std::uint64_t bytes_discarded = 0;   ///< duplicate prefix on resume
@@ -81,6 +96,9 @@ class DepotApp {
 
   const DepotStats& stats() const { return stats_; }
   const DepotConfig& config() const { return config_; }
+  /// Memory-budget accounting (in_use/peak/pressure); always tracked, only
+  /// enforced when config().pool_budget_bytes > 0.
+  const buf::MemoryBudget& memory() const { return budget_; }
 
   /// Observation hook: fires with the downstream socket as each relayed
   /// session dials onward — the experiment harness attaches sublink-2
@@ -196,6 +214,7 @@ class DepotApp {
   DepotConfig config_;
   SessionDirectory* dir_;
   DepotStats stats_;
+  buf::MemoryBudget budget_;
   metrics::DepotMetrics* metrics_ = nullptr;
   bool crashed_ = false;
   bool stalled_ = false;

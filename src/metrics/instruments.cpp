@@ -33,6 +33,7 @@ DepotMetrics::DepotMetrics(Registry& reg, const std::string& prefix)
 
 LsdMetrics::LsdMetrics(Registry& reg, const std::string& prefix)
     : bytes_relayed(&reg.counter(prefix + ".bytes_relayed")),
+      bytes_spliced(&reg.counter(prefix + ".bytes_spliced")),
       bytes_reverse(&reg.counter(prefix + ".bytes_reverse")),
       read_errors(&reg.counter(prefix + ".read_errors")),
       write_errors(&reg.counter(prefix + ".write_errors")),

@@ -75,6 +75,7 @@ struct LsdMetrics {
   LsdMetrics(Registry& reg, const std::string& prefix);
 
   Counter* bytes_relayed;   ///< forward-path payload bytes written
+  Counter* bytes_spliced;   ///< of bytes_relayed, moved by the splice path
   Counter* bytes_reverse;   ///< reverse-path (status/ack stream) bytes
   Counter* read_errors;     ///< fatal read()s on either side
   Counter* write_errors;    ///< fatal write()s on either side

@@ -41,6 +41,9 @@ relay_transition_table() {
 
 /// Per-session relay state machine.
 struct Lsd::Relay {
+  Relay(buf::ChunkPool& pool, std::size_t buffer_bytes)
+      : ring(pool, buffer_bytes) {}
+
   Fd up;
   Fd down;
 
@@ -61,10 +64,24 @@ struct Lsd::Relay {
   std::vector<std::uint8_t> fwd;
   std::size_t fwd_off = 0;
 
-  // Bounded relay ring buffer.
-  std::vector<std::uint8_t> ring;
-  std::size_t head = 0;  ///< read position
-  std::size_t size = 0;  ///< bytes buffered
+  // Bounded relay buffer: chunks drawn on demand from the daemon-wide
+  // pool, returned the instant they drain.
+  buf::ChunkRing ring;
+  /// The ring refused an upstream read because the *pool* was dry (as
+  /// opposed to this session's own cap); service_pool_waiters() re-pumps
+  /// when chunks come back.
+  bool pool_blocked = false;
+
+  // Splice fast path: a kernel pipe between the two sockets. Invariant:
+  // the pipe and the ring are never simultaneously nonempty — splicing in
+  // requires an empty ring, ring fills require an empty pipe — so relative
+  // byte order between the two stores never arises.
+  Fd pipe_r;
+  Fd pipe_w;
+  std::size_t pipe_capacity = 0;
+  std::size_t pipe_bytes = 0;     ///< bytes currently inside the pipe
+  bool splice_ok = true;          ///< per-relay fallback latch
+  bool pipe_tried = false;        ///< pipe creation attempted
 
   bool up_eof = false;
   bool flushed = false;  ///< EOF propagated downstream (SHUT_WR sent)
@@ -95,8 +112,9 @@ struct Lsd::Relay {
   bool parked = false;
   std::chrono::steady_clock::time_point park_deadline;
 
-  std::size_t space() const { return ring.size() - size; }
   bool spill_empty() const { return spill_off >= spill.size(); }
+  /// Total payload bytes buffered anywhere in user space or the pipe.
+  std::size_t buffered() const { return ring.size() + pipe_bytes; }
 };
 
 namespace {
@@ -117,6 +135,11 @@ void arm_reset(int fd) {
 
 Lsd::Lsd(EpollLoop& loop, const LsdConfig& config)
     : loop_(loop), config_(config) {
+  pool_ = config_.shared_pool;
+  if (pool_ == nullptr) {
+    owned_pool_ = std::make_unique<buf::ChunkPool>(config_.pool);
+    pool_ = owned_pool_.get();
+  }
   listener_ = listen_tcp(config_.bind, 64, &port_);
   if (!listener_.valid()) {
     throw std::system_error(errno, std::generic_category(), "lsd: bind");
@@ -146,7 +169,7 @@ void Lsd::on_accept() {
   expire_parked();
   for (;;) {
     Fd conn = accept_connection(listener_.get());
-    if (!conn.valid()) return;
+    if (!conn.valid()) break;
     if (accept_drops_ > 0) {
       // Injected SYN/accept failure: the peer sees a hard reset where the
       // session handshake should have been.
@@ -156,17 +179,31 @@ void Lsd::on_accept() {
       conn.reset();
       continue;
     }
+    if (pool_->under_pressure()) {
+      // Admission control: the pool crossed its high watermark. Refusing
+      // with a hard reset (not a slow header timeout) lets the source's
+      // RetryPolicy back off immediately; existing sessions keep draining
+      // until the low watermark re-opens the door.
+      ++stats_.sessions_refused;
+      arm_reset(conn.get());
+      conn.reset();
+      continue;
+    }
     ++stats_.sessions_accepted;
-    auto owned = std::make_unique<Relay>();
+    auto owned = std::make_unique<Relay>(*pool_, config_.buffer_bytes);
     Relay* r = owned.get();
     r->up = std::move(conn);
     r->accepted_at = std::chrono::steady_clock::now();
-    r->ring.resize(config_.buffer_bytes);
     relays_.emplace(r, std::move(owned));
     r->up_events = EPOLLIN;
-    loop_.add(r->up.get(), EPOLLIN,
-              [this, r](std::uint32_t ev) { on_upstream(r, ev); });
+    // Each top-level event turn ends by re-pumping relays that stopped
+    // reading on an empty pool — any turn may have released chunks.
+    loop_.add(r->up.get(), EPOLLIN, [this, r](std::uint32_t ev) {
+      on_upstream(r, ev);
+      service_pool_waiters();
+    });
   }
+  service_pool_waiters();  // expire_parked() may have released chunks
 }
 
 void Lsd::on_upstream(Relay* r, std::uint32_t events) {
@@ -292,7 +329,10 @@ bool Lsd::pump_upstream(Relay* r) {
         r->state.transition(RelayState::kDial);
         r->down_events = EPOLLOUT | EPOLLIN;
         loop_.add(r->down.get(), r->down_events,
-                  [this, rp = r](std::uint32_t ev) { on_downstream(rp, ev); });
+                  [this, rp = r](std::uint32_t ev) {
+                    on_downstream(rp, ev);
+                    service_pool_waiters();
+                  });
         break;
       }
       want = *len - r->header_buf.size();
@@ -313,10 +353,12 @@ bool Lsd::pump_upstream(Relay* r) {
     r->header_buf.insert(r->header_buf.end(), tmp, tmp + n);
   }
 
-  // Phase 2: payload into the ring. Salvaged (spill) bytes are older than
+  // Phase 2: payload ingest. Salvaged (spill) bytes are older than
   // anything a read here would produce, so new fills wait until the spill
   // has drained downstream; a stalled daemon stops reading so TCP flow
-  // control pushes back on the source.
+  // control pushes back on the source. While nothing is buffered in user
+  // space, bytes move socket→pipe via splice (zero-copy); otherwise they
+  // land in pooled chunks.
   while (!r->up_eof && !stalled_ && r->spill_empty()) {
     // A resumed connection first retransmits bytes the relay already has;
     // drop the duplicated prefix without counting it.
@@ -340,11 +382,53 @@ bool Lsd::pump_upstream(Relay* r) {
       r->discard_left -= static_cast<std::uint64_t>(n);
       continue;
     }
-    if (r->space() == 0) break;
-    const std::size_t tail = (r->head + r->size) % r->ring.size();
-    const std::size_t contig =
-        std::min(r->space(), r->ring.size() - tail);
-    const long n = read_some(r->up.get(), r->ring.data() + tail, contig);
+    if (splice_eligible(r)) {
+      if (!r->pipe_tried) {
+        r->pipe_tried = true;
+        r->pipe_capacity = make_pipe(&r->pipe_r, &r->pipe_w);
+        if (r->pipe_capacity == 0) {
+          r->splice_ok = false;  // no pipe: chunks from here on
+          continue;
+        }
+      }
+      if (r->pipe_bytes >= r->pipe_capacity) break;  // pipe full: backpressure
+      // Bounding the request by the pipe's free space keeps EAGAIN
+      // unambiguous: it can only mean "no socket data".
+      const long n = splice_some(r->up.get(), r->pipe_w.get(),
+                                 r->pipe_capacity - r->pipe_bytes);
+      if (n == 0) {
+        r->up_eof = true;
+        break;
+      }
+      if (n == -1) break;  // EAGAIN: nothing to read
+      if (n == -3) {
+        // Kernel refuses splice on these fds; remember daemon-wide and
+        // fall back to the chunk path for this and every later relay.
+        splice_usable_ = false;
+        r->splice_ok = false;
+        continue;
+      }
+      if (n == -2) {
+        if (metrics_) metrics_->read_errors->inc();
+        handle_upstream_failure(r);
+        return false;
+      }
+      r->pipe_bytes += static_cast<std::size_t>(n);
+      r->payload_pulled += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    // Chunk path. Never start filling the ring while pipe bytes are
+    // pending — draining the pipe first preserves byte order.
+    if (r->pipe_bytes > 0) break;
+    const std::span<std::uint8_t> win = r->ring.write_window();
+    if (win.empty()) {
+      // Either this session's cap (plain backpressure) or an exhausted
+      // pool (remember to re-pump when chunks come back).
+      r->pool_blocked = r->ring.pool_starved();
+      break;
+    }
+    r->pool_blocked = false;
+    const long n = read_some(r->up.get(), win.data(), win.size());
     if (n == 0) {
       r->up_eof = true;
       break;
@@ -357,11 +441,11 @@ bool Lsd::pump_upstream(Relay* r) {
       }
       break;  // EAGAIN
     }
-    r->size += static_cast<std::size_t>(n);
+    r->ring.commit(static_cast<std::size_t>(n));
     r->payload_pulled += static_cast<std::uint64_t>(n);
   }
   if (metrics_) {
-    metrics_->ring_occupancy_bytes->set(static_cast<double>(r->size));
+    metrics_->ring_occupancy_bytes->set(static_cast<double>(r->buffered()));
   }
 
   if (!pump_downstream(r)) return false;
@@ -375,10 +459,20 @@ bool Lsd::pump_downstream(Relay* r) {
   if (!r->down_connected || stalled_) return true;
   const std::uint64_t relayed_before = stats_.bytes_relayed;
 
-  // Forwarded header first.
+  // Forwarded header first, gathered with the first buffered payload so a
+  // session open costs one syscall, not a small-write pair.
   while (r->fwd_off < r->fwd.size()) {
-    const long n = write_some(r->down.get(), r->fwd.data() + r->fwd_off,
-                              r->fwd.size() - r->fwd_off);
+    struct iovec iov[2];
+    int iovcnt = 1;
+    iov[0].iov_base = r->fwd.data() + r->fwd_off;
+    iov[0].iov_len = r->fwd.size() - r->fwd_off;
+    const std::span<const std::uint8_t> win = r->ring.read_window();
+    if (!win.empty()) {
+      iov[1].iov_base = const_cast<std::uint8_t*>(win.data());
+      iov[1].iov_len = win.size();
+      iovcnt = 2;
+    }
+    const long n = writev_some(r->down.get(), iov, iovcnt);
     if (n < 0) {
       if (metrics_) metrics_->write_errors->inc();
       finish(r, false, LsdFailReason::kPeerReset);
@@ -388,27 +482,64 @@ bool Lsd::pump_downstream(Relay* r) {
       update_interest(r);
       return true;
     }
-    r->fwd_off += static_cast<std::size_t>(n);
+    std::size_t took = static_cast<std::size_t>(n);
+    const std::size_t hdr = std::min(took, r->fwd.size() - r->fwd_off);
+    r->fwd_off += hdr;
+    took -= hdr;
+    if (took > 0) {
+      r->ring.consume(took);
+      stats_.bytes_relayed += took;
+      if (metrics_) metrics_->bytes_relayed->inc(took);
+    }
   }
 
   // Then ring contents (pre-park bytes are older than any spill).
-  while (r->size > 0) {
-    const std::size_t contig = std::min(r->size, r->ring.size() - r->head);
-    const long n = write_some(r->down.get(), r->ring.data() + r->head, contig);
+  while (!r->ring.empty()) {
+    const std::span<const std::uint8_t> win = r->ring.read_window();
+    const long n = write_some(r->down.get(), win.data(), win.size());
     if (n < 0) {
       if (metrics_) metrics_->write_errors->inc();
       finish(r, false, LsdFailReason::kPeerReset);
       return false;
     }
     if (n == 0) break;  // downstream full
-    r->head = (r->head + static_cast<std::size_t>(n)) % r->ring.size();
-    r->size -= static_cast<std::size_t>(n);
+    r->ring.consume(static_cast<std::size_t>(n));
     stats_.bytes_relayed += static_cast<std::uint64_t>(n);
     if (metrics_) metrics_->bytes_relayed->inc(static_cast<std::uint64_t>(n));
   }
 
+  // Then the pipe (fast path; mutually exclusive with ring contents).
+  while (r->ring.empty() && r->pipe_bytes > 0) {
+    const long n =
+        splice_some(r->pipe_r.get(), r->down.get(), r->pipe_bytes);
+    if (n == -1) break;  // downstream full
+    if (n == -2) {
+      if (metrics_) metrics_->write_errors->inc();
+      finish(r, false, LsdFailReason::kPeerReset);
+      return false;
+    }
+    if (n == -3 || n == 0) {
+      // The outbound splice is refused (or the pipe misbehaved): rescue
+      // the in-flight bytes into the spill and stay on the copy path.
+      splice_usable_ = false;
+      r->splice_ok = false;
+      if (!drain_pipe_to_spill(r)) {
+        finish(r, false, LsdFailReason::kOther);
+        return false;
+      }
+      break;
+    }
+    r->pipe_bytes -= static_cast<std::size_t>(n);
+    stats_.bytes_relayed += static_cast<std::uint64_t>(n);
+    stats_.bytes_spliced += static_cast<std::uint64_t>(n);
+    if (metrics_) {
+      metrics_->bytes_relayed->inc(static_cast<std::uint64_t>(n));
+      metrics_->bytes_spliced->inc(static_cast<std::uint64_t>(n));
+    }
+  }
+
   // Then bytes salvaged from a dead upstream.
-  while (r->size == 0 && !r->spill_empty()) {
+  while (r->buffered() == 0 && !r->spill_empty()) {
     const long n = write_some(r->down.get(), r->spill.data() + r->spill_off,
                               r->spill.size() - r->spill_off);
     if (n < 0) {
@@ -426,11 +557,11 @@ bool Lsd::pump_downstream(Relay* r) {
     r->spill_off = 0;
   }
   if (metrics_) {
-    metrics_->ring_occupancy_bytes->set(static_cast<double>(r->size));
+    metrics_->ring_occupancy_bytes->set(static_cast<double>(r->buffered()));
   }
 
   // Propagate EOF once everything is flushed.
-  if (r->up_eof && r->size == 0 && r->spill_empty() &&
+  if (r->up_eof && r->buffered() == 0 && r->spill_empty() &&
       r->fwd_off == r->fwd.size() && !r->flushed) {
     ::shutdown(r->down.get(), SHUT_WR);
     r->flushed = true;
@@ -447,14 +578,31 @@ bool Lsd::pump_downstream(Relay* r) {
   return true;
 }
 
+bool Lsd::splice_eligible(const Relay* r) const {
+  return config_.use_splice && splice_usable_ && r->splice_ok &&
+         r->header_done && r->down_connected && r->ring.empty() &&
+         r->spill_empty() && r->discard_left == 0 &&
+         r->fwd_off == r->fwd.size();
+}
+
+bool Lsd::can_ingest(const Relay* r) const {
+  if (splice_eligible(r)) {
+    // Room in the pipe — or no pipe yet (the first eligible pump creates
+    // it; a failure latches splice_ok off and the chunk predicate rules).
+    return !r->pipe_tried || r->pipe_bytes < r->pipe_capacity;
+  }
+  return r->pipe_bytes == 0 && r->ring.can_accept();
+}
+
 void Lsd::update_interest(Relay* r) {
-  // Upstream: read while there is buffer space and no EOF; write when
-  // reverse-path bytes are pending. Reads also pause while the daemon is
-  // stalled or a spill is draining — level-triggered epoll would spin on
+  // Upstream: read while the bytes could land somewhere (pipe space, ring
+  // space, an acquirable chunk) and no EOF; write when reverse-path bytes
+  // are pending. Reads also pause while the daemon is stalled, a spill is
+  // draining, or the pool is dry — level-triggered epoll would spin on
   // data we refuse to consume.
   std::uint32_t up_want =
       (!r->up_eof && !stalled_ && r->spill_empty() &&
-       (r->space() > 0 || !r->header_done || r->discard_left > 0))
+       (!r->header_done || r->discard_left > 0 || can_ingest(r)))
           ? static_cast<std::uint32_t>(EPOLLIN)
           : 0u;
   if (r->rev_off < r->rev.size()) up_want |= EPOLLOUT;
@@ -466,8 +614,8 @@ void Lsd::update_interest(Relay* r) {
   if (r->down.valid() && r->down_connected) {
     std::uint32_t down_want = EPOLLIN;
     if (!stalled_ &&
-        (r->size > 0 || !r->spill_empty() || r->fwd_off < r->fwd.size() ||
-         (r->up_eof && !r->flushed))) {
+        (r->buffered() > 0 || !r->spill_empty() ||
+         r->fwd_off < r->fwd.size() || (r->up_eof && !r->flushed))) {
       down_want |= EPOLLOUT;
     }
     if (down_want != r->down_events) {
@@ -498,17 +646,70 @@ void Lsd::finish(Relay* r, bool ok, LsdFailReason reason) {
       case LsdFailReason::kOther: ++stats_.fail_other; break;
     }
   }
-  // Sockets close now (peers must observe the teardown immediately) ...
+  // Sockets close now (peers must observe the teardown immediately), and
+  // buffers go back to the pool now (live sessions must see the freed
+  // memory immediately, not after the deferred delete) ...
   if (r->up.valid()) loop_.remove(r->up.get());
   if (r->down.valid()) loop_.remove(r->down.get());
   r->up.reset();
   r->down.reset();
+  release_buffers(r);
   // ... but deletion is deferred: `r` may still be on the call stack
   // (finish() is reached from inside its own pump helpers), and keeping
   // the memory alive until the next safe point turns any late touch into
   // a checked kDone-contract failure instead of a use-after-free.
   graveyard_.push_back(std::move(it->second));
   relays_.erase(it);
+}
+
+void Lsd::release_buffers(Relay* r) {
+  r->ring.clear();  // every chunk returns to the pool freelist here
+  r->pipe_r.reset();
+  r->pipe_w.reset();
+  r->pipe_bytes = 0;
+  // Swap-with-empty actually frees the heap blocks; clear() would keep
+  // capacity alive for as long as the graveyard does.
+  std::vector<std::uint8_t>().swap(r->spill);
+  r->spill_off = 0;
+  std::vector<std::uint8_t>().swap(r->rev);
+  r->rev_off = 0;
+  std::vector<std::uint8_t>().swap(r->header_buf);
+}
+
+bool Lsd::drain_pipe_to_spill(Relay* r) {
+  while (r->pipe_bytes > 0) {
+    const std::size_t old = r->spill.size();
+    r->spill.resize(old + r->pipe_bytes);
+    const long n =
+        read_some(r->pipe_r.get(), r->spill.data() + old, r->pipe_bytes);
+    if (n <= 0) {
+      // A pipe holding bytes must be readable; anything else means the
+      // accounting is wrong or the pipe died.
+      r->spill.resize(old);
+      return false;
+    }
+    r->spill.resize(old + static_cast<std::size_t>(n));
+    r->pipe_bytes -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Lsd::service_pool_waiters() {
+  if (servicing_waiters_) return;
+  servicing_waiters_ = true;
+  std::vector<Relay*> blocked;
+  for (const auto& [r, owned] : relays_) {
+    if (r->pool_blocked && !r->parked && r->state != RelayState::kDone) {
+      blocked.push_back(r);
+    }
+  }
+  for (Relay* r : blocked) {
+    if (!pool_->can_acquire()) break;
+    if (relays_.find(r) == relays_.end()) continue;  // finished meanwhile
+    if (r->state == RelayState::kDone || !r->up.valid()) continue;
+    pump_upstream(r);
+  }
+  servicing_waiters_ = false;
 }
 
 void Lsd::handle_upstream_failure(Relay* r) {
@@ -523,6 +724,9 @@ void Lsd::handle_upstream_failure(Relay* r) {
 }
 
 void Lsd::salvage_upstream(Relay* r) {
+  // Bytes already spliced into the pipe are older than anything still in
+  // the socket's receive queue; they lead the spill.
+  if (r->pipe_bytes > 0) drain_pipe_to_spill(r);
   if (!r->up.valid() || !r->header_done || r->up_eof) return;
   std::uint8_t buf[16 * 1024];
   for (;;) {
@@ -597,8 +801,10 @@ void Lsd::try_resume(Relay* fresh) {
                static_cast<unsigned long long>(offset),
                static_cast<unsigned long long>(p->discard_left));
   p->up_events = EPOLLIN;
-  loop_.add(p->up.get(), EPOLLIN,
-            [this, p](std::uint32_t ev) { on_upstream(p, ev); });
+  loop_.add(p->up.get(), EPOLLIN, [this, p](std::uint32_t ev) {
+    on_upstream(p, ev);
+    service_pool_waiters();
+  });
   // The husk that carried the resume header is done; it must not count as
   // a completed or failed session.
   discard_relay(fresh);
@@ -616,6 +822,7 @@ void Lsd::discard_relay(Relay* r) {
   if (r->down.valid()) loop_.remove(r->down.get());
   r->up.reset();
   r->down.reset();
+  release_buffers(r);
   graveyard_.push_back(std::move(it->second));
   relays_.erase(it);
 }
@@ -682,6 +889,7 @@ void Lsd::set_stalled(bool stalled) {
       update_interest(r);
     }
   }
+  service_pool_waiters();
 }
 
 void Lsd::inject_upstream_reset() {

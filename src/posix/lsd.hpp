@@ -24,6 +24,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "buf/chunk_ring.hpp"
+#include "buf/pool.hpp"
 #include "lsl/session_id.hpp"
 #include "lsl/wire.hpp"
 #include "metrics/instruments.hpp"
@@ -36,7 +38,10 @@ namespace lsl::posix {
 /// Daemon configuration.
 struct LsdConfig {
   InetAddress bind = InetAddress::loopback(0);  ///< port 0 = ephemeral
-  std::size_t buffer_bytes = 1024 * 1024;       ///< per-session relay ring
+  /// Per-session buffering cap. Sessions no longer own a flat ring of this
+  /// size: they draw 64 KiB chunks from the daemon-wide pool on demand, up
+  /// to this much each, so an idle session costs nothing.
+  std::size_t buffer_bytes = 1024 * 1024;
   /// Park window for sessions whose upstream connection died mid-stream:
   /// the relay salvages whatever the kernel still holds, keeps its
   /// downstream connection open, and waits this long for the source to
@@ -44,6 +49,19 @@ struct LsdConfig {
   /// 0 (the default, documented in docs/PROTOCOL.md §6) disables
   /// resumption — upstream loss fails the session immediately.
   std::chrono::milliseconds resume_grace{0};
+  /// Chunk-pool sizing (chunk size, daemon-wide budget, admission
+  /// watermarks; see docs/MEMORY.md) for the daemon's own pool. Ignored
+  /// when `shared_pool` is set.
+  buf::PoolConfig pool;
+  /// Optional externally-owned pool (several daemons in one process can
+  /// share one budget); must outlive the daemon. Null: the daemon builds
+  /// its own from `pool`.
+  buf::ChunkPool* shared_pool = nullptr;
+  /// Linux splice()-through-pipe zero-copy fast path: while a relay has
+  /// nothing buffered in user space, payload moves fd→fd through a kernel
+  /// pipe. Falls back to pooled chunks transparently (per relay) when the
+  /// kernel refuses; disable to force the copy path everywhere.
+  bool use_splice = true;
 };
 
 /// Why a relay session failed (the largest contributor wins; a session
@@ -84,7 +102,14 @@ struct LsdStats {
   std::uint64_t sessions_accepted = 0;
   std::uint64_t sessions_completed = 0;
   std::uint64_t sessions_failed = 0;
+  /// Connections refused at accept because the pool crossed its high
+  /// watermark (admission control; distinct from injected accepts_dropped
+  /// so callers can tell backpressure from chaos).
+  std::uint64_t sessions_refused = 0;
   std::uint64_t bytes_relayed = 0;
+  /// Of bytes_relayed, bytes that moved through the splice fast path
+  /// without crossing user space.
+  std::uint64_t bytes_spliced = 0;
   // Failure-reason breakdown; the four reasons sum to sessions_failed.
   std::uint64_t fail_dial = 0;
   std::uint64_t fail_header = 0;
@@ -111,6 +136,10 @@ class Lsd {
   std::uint16_t port() const { return port_; }
 
   const LsdStats& stats() const { return stats_; }
+
+  /// The chunk pool relays buffer through (daemon-owned or shared).
+  buf::ChunkPool& pool() { return *pool_; }
+  const buf::ChunkPool& pool() const { return *pool_; }
 
   /// Attach a metrics bundle (must outlive the daemon); null detaches.
   void set_metrics(metrics::LsdMetrics* m) { metrics_ = m; }
@@ -163,6 +192,23 @@ class Lsd {
   bool pump_downstream(Relay* r);
   bool flush_reverse(Relay* r);
   void update_interest(Relay* r);
+  /// Whether the splice fast path may ingest right now: nothing buffered in
+  /// user space (ring, spill, discard), header forwarded, downstream up.
+  bool splice_eligible(const Relay* r) const;
+  /// Whether an upstream read could currently be buffered somewhere
+  /// (pipe space, ring space, or an acquirable chunk) — the EPOLLIN
+  /// predicate; false means backpressure.
+  bool can_ingest(const Relay* r) const;
+  /// Move stranded pipe bytes into the spill buffer (splice fallback and
+  /// park salvage; pipe bytes are older than anything still in the socket).
+  bool drain_pipe_to_spill(Relay* r);
+  /// Re-pump relays that stopped reading because the pool was dry; called
+  /// after event turns that may have released chunks.
+  void service_pool_waiters();
+  /// Return every buffer a relay holds to the pool / allocator the moment
+  /// it leaves service (graveyard entry) — freed memory must be available
+  /// to live sessions immediately, not after the deferred delete.
+  void release_buffers(Relay* r);
   void finish(Relay* r, bool ok,
               LsdFailReason reason = LsdFailReason::kOther);
   /// Free relays finished on earlier event-loop turns. Never called with a
@@ -190,6 +236,12 @@ class Lsd {
   std::uint16_t port_ = 0;
   LsdStats stats_;
   metrics::LsdMetrics* metrics_ = nullptr;
+  std::unique_ptr<buf::ChunkPool> owned_pool_;
+  buf::ChunkPool* pool_ = nullptr;
+  /// Daemon-wide splice capability; cleared on the first EINVAL so every
+  /// later relay skips the doomed pipe setup.
+  bool splice_usable_ = true;
+  bool servicing_waiters_ = false;
   /// Live relays, keyed by identity for O(1) finish().
   std::unordered_map<Relay*, std::unique_ptr<Relay>> relays_;
   /// Finished relays awaiting reap_finished() (deferred deletion).

@@ -112,6 +112,21 @@ long write_some(int fd, const std::uint8_t* data, std::size_t len) {
   return static_cast<long>(total);
 }
 
+long writev_some(int fd, const struct iovec* iov, int iovcnt) {
+  for (;;) {
+    msghdr msg{};
+    // sendmsg's iovec is mutation-free here (one shot, no retry walk);
+    // const_cast bridges the POSIX struct's non-const field.
+    msg.msg_iov = const_cast<struct iovec*>(iov);
+    msg.msg_iovlen = static_cast<decltype(msg.msg_iovlen)>(iovcnt);
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return 0;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
 long read_some(int fd, std::uint8_t* data, std::size_t len) {
   while (true) {
     const ssize_t n = ::read(fd, data, len);
@@ -119,6 +134,30 @@ long read_some(int fd, std::uint8_t* data, std::size_t len) {
     if (n == 0) return 0;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
     if (errno == EINTR) continue;
+    return -2;
+  }
+}
+
+std::size_t make_pipe(Fd* rd, Fd* wr) {
+  int fds[2];
+  if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) != 0) return 0;
+  rd->reset(fds[0]);
+  wr->reset(fds[1]);
+  const int cap = ::fcntl(fds[0], F_GETPIPE_SZ);
+  // Linux's default pipe capacity; used when F_GETPIPE_SZ is unsupported.
+  return cap > 0 ? static_cast<std::size_t>(cap) : 65536u;
+}
+
+long splice_some(int in_fd, int out_fd, std::size_t len) {
+  for (;;) {
+    const ssize_t n =
+        ::splice(in_fd, nullptr, out_fd, nullptr, len,
+                 SPLICE_F_MOVE | SPLICE_F_NONBLOCK);
+    if (n > 0) return static_cast<long>(n);
+    if (n == 0) return 0;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    if (errno == EINTR) continue;
+    if (errno == EINVAL) return -3;  // fds unspliceable: fall back for good
     return -2;
   }
 }

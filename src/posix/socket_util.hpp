@@ -3,7 +3,9 @@
 #pragma once
 
 #include <netinet/in.h>
+#include <sys/uio.h>
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -55,8 +57,28 @@ Fd accept_connection(int listen_fd);
 /// Returns bytes written (possibly 0 on EAGAIN), or -1 on fatal error.
 long write_some(int fd, const std::uint8_t* data, std::size_t len);
 
+/// Scatter/gather write_some: send as much of the iovec array as the
+/// socket accepts in one sendmsg (MSG_NOSIGNAL, EINTR retried). The relay
+/// uses it to pair the forwarded header with the first payload bytes in
+/// one syscall. Returns bytes written (0 on EAGAIN), or -1 on fatal error.
+/// Does not modify the iovec array; callers account partial progress.
+long writev_some(int fd, const struct iovec* iov, int iovcnt);
+
 /// read() up to `len` bytes. Returns bytes read, 0 on orderly EOF, -1 on
 /// EAGAIN (no data), -2 on fatal error.
 long read_some(int fd, std::uint8_t* data, std::size_t len);
+
+/// Create a nonblocking pipe (the splice fast path's kernel buffer).
+/// On success fills rd/wr and returns the pipe's capacity in bytes
+/// (F_GETPIPE_SZ, or a conservative default when unavailable); 0 on
+/// failure.
+std::size_t make_pipe(Fd* rd, Fd* wr);
+
+/// splice() up to `len` bytes from `in_fd` to `out_fd` without copying
+/// through user space. Returns bytes moved, 0 on EOF at `in_fd`, -1 on
+/// EAGAIN (either side), -2 on fatal error, -3 when the kernel refuses
+/// splice on these fds altogether (EINVAL — caller falls back to the
+/// copy path for good).
+long splice_some(int in_fd, int out_fd, std::size_t len);
 
 }  // namespace lsl::posix

@@ -1,0 +1,281 @@
+// Unit tests for src/buf: budget watermark hysteresis, chunk refcount
+// lifecycle, pool exhaustion → backpressure → recovery, and the ChunkRing
+// FIFO the posix relay buffers through.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "buf/budget.hpp"
+#include "buf/chunk_ring.hpp"
+#include "buf/pool.hpp"
+#include "metrics/metrics.hpp"
+
+namespace lsl::test {
+namespace {
+
+using buf::ChunkPool;
+using buf::ChunkRef;
+using buf::ChunkRing;
+using buf::MemoryBudget;
+using buf::PoolConfig;
+
+TEST(MemoryBudgetTest, UnlimitedBudgetNeverRefusesOrPressures) {
+  MemoryBudget b;  // budget 0 = unlimited
+  EXPECT_FALSE(b.enabled());
+  EXPECT_TRUE(b.reserve(1ull << 40));
+  EXPECT_FALSE(b.under_pressure());
+  EXPECT_EQ(b.pressure_episodes(), 0u);
+  b.release(1ull << 40);
+  EXPECT_EQ(b.in_use(), 0u);
+}
+
+TEST(MemoryBudgetTest, HardCeilingRefusesWithoutPartialReservation) {
+  MemoryBudget b(1000, 0.5, 0.9);
+  EXPECT_TRUE(b.reserve(900));
+  EXPECT_FALSE(b.reserve(200));  // would exceed
+  EXPECT_EQ(b.in_use(), 900u);   // failed reserve left nothing behind
+  EXPECT_TRUE(b.reserve(100));   // exactly to the ceiling is fine
+  EXPECT_EQ(b.headroom(), 0u);
+  EXPECT_EQ(b.peak(), 1000u);
+}
+
+TEST(MemoryBudgetTest, ForcedReserveMayOvershoot) {
+  MemoryBudget b(1000, 0.5, 0.9);
+  EXPECT_TRUE(b.reserve(1000));
+  EXPECT_TRUE(b.reserve(500, /*force=*/true));  // salvage path
+  EXPECT_EQ(b.in_use(), 1500u);
+  EXPECT_EQ(b.peak(), 1500u);
+  b.release(1500);
+  EXPECT_EQ(b.in_use(), 0u);
+}
+
+TEST(MemoryBudgetTest, WatermarkHysteresis) {
+  // Pressure asserts at >= 900 and clears only at <= 500 — crossing back
+  // under 900 is not enough (no admission flapping at the boundary).
+  MemoryBudget b(1000, 0.5, 0.9);
+  EXPECT_TRUE(b.reserve(899));
+  EXPECT_FALSE(b.under_pressure());
+  EXPECT_TRUE(b.reserve(1));
+  EXPECT_TRUE(b.under_pressure());
+  EXPECT_EQ(b.pressure_episodes(), 1u);
+
+  b.release(100);  // 800: under high, still over low
+  EXPECT_TRUE(b.under_pressure());
+  b.release(299);  // 501
+  EXPECT_TRUE(b.under_pressure());
+  b.release(1);  // 500: at the low watermark, pressure clears
+  EXPECT_FALSE(b.under_pressure());
+
+  // A second climb is a second episode, not a continuation.
+  EXPECT_TRUE(b.reserve(400));  // 900
+  EXPECT_TRUE(b.under_pressure());
+  EXPECT_EQ(b.pressure_episodes(), 2u);
+}
+
+PoolConfig small_pool(std::size_t chunk, std::uint64_t chunks_budget) {
+  PoolConfig cfg;
+  cfg.chunk_bytes = chunk;
+  cfg.budget_bytes = chunk * chunks_budget;
+  cfg.low_watermark = 0.25;
+  cfg.high_watermark = 0.75;
+  return cfg;
+}
+
+TEST(ChunkPoolTest, RefcountLifecycleRecyclesOnLastRelease) {
+  ChunkPool pool(small_pool(1024, 4));
+
+  ChunkRef a = pool.acquire();
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a.use_count(), 1u);
+  EXPECT_EQ(pool.stats().in_use_bytes, 1024u);
+
+  {
+    ChunkRef b = a;  // copy: same chunk, two refs
+    EXPECT_EQ(a.use_count(), 2u);
+    EXPECT_EQ(b.data(), a.data());
+    // Still one chunk's worth of budget — refs share, they don't multiply.
+    EXPECT_EQ(pool.stats().in_use_bytes, 1024u);
+  }
+  EXPECT_EQ(a.use_count(), 1u);  // b's death did not recycle
+
+  ChunkRef moved = std::move(a);
+  EXPECT_EQ(moved.use_count(), 1u);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is empty
+
+  moved.reset();
+  const auto s = pool.stats();
+  EXPECT_EQ(s.in_use_bytes, 0u);
+  EXPECT_EQ(s.free_chunks, 1u);  // recycled, not freed
+  EXPECT_EQ(s.creations, 1u);
+
+  // The next acquire reuses the recycled chunk instead of allocating.
+  ChunkRef c = pool.acquire();
+  ASSERT_TRUE(c);
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  EXPECT_EQ(pool.stats().creations, 1u);
+}
+
+TEST(ChunkPoolTest, ExhaustionBackpressureRecovery) {
+  ChunkPool pool(small_pool(4096, 4));
+
+  std::vector<ChunkRef> held;
+  for (int i = 0; i < 4; ++i) {
+    ChunkRef r = pool.acquire();
+    ASSERT_TRUE(r) << "chunk " << i;
+    held.push_back(std::move(r));
+  }
+  // Budget exhausted: refusal, counted, nothing reserved.
+  EXPECT_FALSE(pool.can_acquire());
+  ChunkRef refused = pool.acquire();
+  EXPECT_FALSE(refused);
+  EXPECT_EQ(pool.stats().failures, 1u);
+  EXPECT_EQ(pool.stats().in_use_bytes, 4u * 4096u);
+  EXPECT_TRUE(pool.under_pressure());  // 100% > 75% high watermark
+
+  // Recovery: releasing one chunk reopens acquire immediately (the hard
+  // budget has no hysteresis — only admission does).
+  held.pop_back();
+  EXPECT_TRUE(pool.can_acquire());
+  ChunkRef again = pool.acquire();
+  EXPECT_TRUE(again);
+  EXPECT_EQ(pool.stats().reuses, 1u);
+
+  // Admission pressure clears only at the low watermark (25% = 1 chunk).
+  again.reset();
+  held.pop_back();
+  held.pop_back();  // 1 chunk left in use
+  EXPECT_FALSE(pool.under_pressure());
+  EXPECT_EQ(pool.stats().pressure_episodes, 1u);
+}
+
+TEST(ChunkPoolTest, MetricsBundleTracksLevels) {
+  metrics::Registry reg;
+  buf::PoolMetrics m(reg);
+  ChunkPool pool(small_pool(512, 2));
+  pool.set_metrics(&m);
+
+  ChunkRef a = pool.acquire();
+  ChunkRef b = pool.acquire();
+  ChunkRef c = pool.acquire();  // refused
+  EXPECT_FALSE(c);
+  EXPECT_EQ(m.alloc_total->value(), 2u);
+  EXPECT_EQ(m.alloc_failures->value(), 1u);
+  EXPECT_EQ(m.bytes_in_use->value(), 1024.0);
+  EXPECT_EQ(m.bytes_in_use->max(), 1024.0);
+  EXPECT_EQ(m.pressure_episodes->value(), 1u);
+
+  a.reset();
+  b.reset();
+  EXPECT_EQ(m.bytes_in_use->value(), 0.0);
+  EXPECT_EQ(m.chunks_free->value(), 2.0);
+  ChunkRef d = pool.acquire();
+  EXPECT_EQ(m.alloc_reuses->value(), 1u);
+}
+
+TEST(ChunkRingTest, FifoAcrossChunkBoundaries) {
+  ChunkPool pool(small_pool(16, 64));
+  ChunkRing ring(pool, 1024);
+
+  // Write 40 sequential bytes through 16-byte chunks.
+  std::uint8_t next = 0;
+  std::size_t written = 0;
+  while (written < 40) {
+    auto win = ring.write_window();
+    ASSERT_FALSE(win.empty());
+    const std::size_t n = std::min<std::size_t>(win.size(), 40 - written);
+    for (std::size_t i = 0; i < n; ++i) win[i] = next++;
+    ring.commit(n);
+    written += n;
+  }
+  EXPECT_EQ(ring.size(), 40u);
+  EXPECT_EQ(pool.stats().in_use_bytes, 3u * 16u);  // ceil(40/16) chunks
+
+  // Read it back in odd-sized bites; order and values must hold.
+  std::vector<std::uint8_t> out;
+  while (!ring.empty()) {
+    auto win = ring.read_window();
+    ASSERT_FALSE(win.empty());
+    const std::size_t n = std::min<std::size_t>(win.size(), 7);
+    out.insert(out.end(), win.begin(), win.begin() + n);
+    ring.consume(n);
+  }
+  ASSERT_EQ(out.size(), 40u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<std::uint8_t>(i)) << "at " << i;
+  }
+  // Fully drained chunks went home as they drained.
+  EXPECT_EQ(pool.stats().in_use_bytes, 16u);  // the partial tail lingers
+}
+
+TEST(ChunkRingTest, OwnCapVersusPoolStarvation) {
+  ChunkPool pool(small_pool(64, 2));  // pool: 128 bytes total
+  ChunkRing capped(pool, 64);         // session cap: one chunk
+
+  auto win = capped.write_window();
+  ASSERT_FALSE(win.empty());
+  capped.commit(64);
+  EXPECT_TRUE(capped.write_window().empty());
+  EXPECT_FALSE(capped.pool_starved());  // our cap, not the pool's fault
+  EXPECT_FALSE(capped.can_accept());
+
+  // A second ring can still draw the pool's remaining chunk...
+  ChunkRing other(pool, 1024);
+  auto win2 = other.write_window();
+  ASSERT_FALSE(win2.empty());
+  other.commit(64);
+  // ...after which the pool itself is dry.
+  EXPECT_TRUE(other.write_window().empty());
+  EXPECT_TRUE(other.pool_starved());
+  EXPECT_FALSE(other.can_accept());
+
+  // Draining the capped ring frees budget; the starved ring recovers.
+  capped.consume(64);
+  EXPECT_TRUE(other.can_accept());
+  EXPECT_FALSE(other.write_window().empty());
+}
+
+TEST(ChunkRingTest, ClearReturnsEverythingImmediately) {
+  ChunkPool pool(small_pool(32, 8));
+  ChunkRing ring(pool, 8 * 32);
+  for (int i = 0; i < 5; ++i) {
+    auto win = ring.write_window();
+    ASSERT_FALSE(win.empty());
+    ring.commit(win.size());
+  }
+  EXPECT_GT(pool.stats().in_use_bytes, 0u);
+  ring.clear();
+  EXPECT_EQ(pool.stats().in_use_bytes, 0u);
+  EXPECT_EQ(pool.stats().free_chunks, 5u);
+  EXPECT_EQ(ring.size(), 0u);
+  // The ring is reusable after clear().
+  EXPECT_FALSE(ring.write_window().empty());
+}
+
+TEST(ChunkRingTest, PartiallyConsumedTailKeepsAppending) {
+  ChunkPool pool(small_pool(128, 4));
+  ChunkRing ring(pool, 512);
+
+  auto w1 = ring.write_window();
+  ASSERT_GE(w1.size(), 10u);
+  std::memcpy(w1.data(), "0123456789", 10);
+  ring.commit(10);
+  ring.consume(4);  // head advances inside the partial tail chunk
+
+  auto w2 = ring.write_window();
+  ASSERT_GE(w2.size(), 3u);
+  std::memcpy(w2.data(), "abc", 3);
+  ring.commit(3);
+
+  std::string got;
+  while (!ring.empty()) {
+    auto rwin = ring.read_window();
+    got.append(reinterpret_cast<const char*>(rwin.data()), rwin.size());
+    ring.consume(rwin.size());
+  }
+  EXPECT_EQ(got, "456789abc");
+}
+
+}  // namespace
+}  // namespace lsl::test

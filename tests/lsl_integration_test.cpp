@@ -369,6 +369,69 @@ TEST(LslIntegration, AdmissionControlRefusesExcessSessions) {
   EXPECT_EQ(depot.stats().sessions_accepted, 1u);
 }
 
+TEST(LslIntegration, MemoryBudgetBoundsBufferingAndRefusesUnderPressure) {
+  // A slow copy resource piles bytes up inside the depot; the memory
+  // budget must (a) stop upstream reads at the budget, (b) refuse a
+  // session that arrives while usage sits over the high watermark, and
+  // (c) drain back to normal admission afterwards — the same model the
+  // real daemon's chunk pool enforces.
+  tcp::TcpConfig tcp;
+  auto t = make_topology(tcp, 35);
+  core::SessionDirectory dir;
+  core::DepotConfig dcfg;
+  dcfg.port = kDepot;
+  dcfg.copy_rate = util::DataRate::mbps(1);  // the deliberate bottleneck
+  dcfg.pool_budget_bytes = 256 * util::kKiB;
+  dcfg.pool_low_watermark = 0.25;
+  dcfg.pool_high_watermark = 0.5;
+  core::DepotApp depot(*t.depot_stack, dcfg, &dir);
+
+  std::size_t completed = 0;
+  std::vector<std::unique_ptr<core::SinkServer>> sinks;
+  std::vector<std::unique_ptr<core::SourceApp>> sources;
+  constexpr std::uint64_t kBytes = 4 * util::kMiB;
+  auto launch = [&](int i) {
+    const sim::PortNum port = static_cast<sim::PortNum>(kSink + i);
+    core::SinkConfig scfg;
+    scfg.expect_header = true;
+    sinks.push_back(
+        std::make_unique<core::SinkServer>(*t.dst_stack, port, scfg, &dir));
+    sinks.back()->on_complete = [&](core::SinkApp&) { ++completed; };
+    core::SourceConfig cfg;
+    cfg.payload_bytes = kBytes;
+    cfg.use_header = true;
+    util::Rng rng(60 + i);
+    cfg.header.session = core::SessionId::generate(rng);
+    cfg.header.payload_length = kBytes;
+    cfg.header.hops = {{t.depot->id(), kDepot}};
+    cfg.header.destination = {t.dst->id(), port};
+    sources.push_back(std::make_unique<core::SourceApp>(
+        *t.src_stack, sim::Endpoint{t.depot->id(), kDepot}, cfg, &dir));
+    sources.back()->start();
+  };
+
+  launch(0);
+  // By t=2s the first session has pulled up to the full budget (the 1 Mbit/s
+  // copier drains far slower than the 50 Mbit/s ingest) and pressure holds;
+  // this arrival must bounce.
+  t.net->sim().events().schedule_at(2 * util::kSecond, [&] { launch(1); });
+  t.net->sim().events().run_until(600 * util::kSecond);
+
+  EXPECT_EQ(completed, 1u);
+  EXPECT_EQ(depot.stats().sessions_accepted, 1u);
+  EXPECT_EQ(depot.stats().sessions_refused_memory, 1u);
+  EXPECT_EQ(depot.stats().sessions_refused, 0u);  // disjoint counters
+  // The budget is a hard bound (no salvage ran here), and everything was
+  // handed back by the end.
+  EXPECT_LE(depot.memory().peak(), dcfg.pool_budget_bytes);
+  EXPECT_GE(depot.memory().peak(), dcfg.pool_budget_bytes / 2);  // it bit
+  EXPECT_EQ(depot.memory().in_use(), 0u);
+  EXPECT_GE(depot.memory().pressure_episodes(), 1u);
+  // Reads stopped at the budget: the ring never reached its 4 MiB cap.
+  EXPECT_LE(depot.stats().max_buffered, dcfg.pool_budget_bytes);
+  EXPECT_GT(depot.stats().backpressure_stalls, 0u);
+}
+
 /// Property sweep: relay correctness across sizes and loss rates.
 struct RelayCase {
   std::uint64_t bytes;

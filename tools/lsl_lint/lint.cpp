@@ -26,6 +26,8 @@
 //   fault-metrics-docs      every `fault.*` / `recovery.*` instrument name
 //                           in src/fault appears in the
 //                           docs/OBSERVABILITY.md catalogue
+//   pool-metrics-docs       every `pool.*` instrument name in src/buf
+//                           appears in the docs/OBSERVABILITY.md catalogue
 //   pragma-once             every header under src/ has #pragma once
 //
 // Suppression: a comment `lsl-lint: allow(<rule-id>)` on the same line
@@ -631,6 +633,36 @@ void rule_fault_metrics_docs(const std::vector<SourceFile>& files,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: pool-metrics-docs
+// ---------------------------------------------------------------------------
+
+// Like fault-metrics-docs for the pooled-memory subsystem: src/buf registers
+// its gauges/counters with un-instanced `pool.*` literals at the PoolMetrics
+// attach site, so every such literal anywhere under src/buf must be
+// catalogued in docs/OBSERVABILITY.md.
+void rule_pool_metrics_docs(const std::vector<SourceFile>& files,
+                            const std::string& observability_md,
+                            std::vector<Violation>* out) {
+  for (const SourceFile& f : files) {
+    if (f.rel.rfind("src/buf/", 0) != 0) continue;
+    for (const StringLit& lit : f.strings) {
+      if (lit.value.rfind("pool.", 0) != 0) continue;
+      if (lit.value.find_first_not_of(
+              "abcdefghijklmnopqrstuvwxyz0123456789_.") !=
+          std::string::npos) {
+        continue;  // prose mentioning the prefix, not an instrument name
+      }
+      if (observability_md.find(lit.value) == std::string::npos &&
+          !f.suppressed(lit.line, "pool-metrics-docs")) {
+        out->push_back({f.rel, lit.line, "pool-metrics-docs",
+                        "pool metric '" + lit.value +
+                            "' is not catalogued in docs/OBSERVABILITY.md"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: pragma-once
 // ---------------------------------------------------------------------------
 
@@ -693,6 +725,7 @@ std::vector<Violation> run_lint(const fs::path& root) {
   rule_wire_docs(files, protocol_md, &vs);
   rule_metrics_docs(files, observability_md, &vs);
   rule_fault_metrics_docs(files, observability_md, &vs);
+  rule_pool_metrics_docs(files, observability_md, &vs);
 
   std::sort(vs.begin(), vs.end(), [](const Violation& a, const Violation& b) {
     if (a.file != b.file) return a.file < b.file;
@@ -704,9 +737,9 @@ std::vector<Violation> run_lint(const fs::path& root) {
 
 const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
-      "switch-exhaustive", "switch-default-comment", "raw-new-delete",
-      "blocking-io",       "wire-docs",              "metrics-docs",
-      "fault-metrics-docs", "pragma-once"};
+      "switch-exhaustive",  "switch-default-comment", "raw-new-delete",
+      "blocking-io",        "wire-docs",              "metrics-docs",
+      "fault-metrics-docs", "pool-metrics-docs",      "pragma-once"};
   return kRules;
 }
 

@@ -1,0 +1,23 @@
+// Fixture: pool-metrics-docs must flag an instrument name that the
+// fixture OBSERVABILITY.md does not catalogue.
+#include <string>
+
+namespace lsl::buf {
+
+std::string documented_metric() {
+  return "pool.bytes_in_use";  // catalogued in testdata/docs/OBSERVABILITY.md
+}
+
+std::string undocumented_metric() {
+  return "pool.undocumented_total";  // should fire
+}
+
+std::string suppressed_metric() {
+  return "pool.shadow_total";  // lsl-lint: allow(pool-metrics-docs)
+}
+
+std::string prose_mention() {
+  return "pool. prefix prose never fires";  // not an instrument name
+}
+
+}  // namespace lsl::buf

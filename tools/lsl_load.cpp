@@ -1,0 +1,335 @@
+// lsl_load — capacity harness for the lsd daemon's pooled-memory data path.
+//
+// Runs N concurrent LSL sessions through ONE daemon instance in a single
+// process (sources, daemon, and verifying sink share an epoll loop, like
+// the posix test tier), and reports what the pool did under load:
+// aggregate throughput, session completion rate, peak RSS, and the
+// `pool.*` counters from docs/OBSERVABILITY.md. Exit status is nonzero if
+// any session fails verification or the pool's peak exceeds its budget —
+// which makes this binary the assertion behind scripts/bench_smoke.sh.
+//
+//   lsl_load [--sessions=N] [--bytes=SIZE] [--budget=SIZE] [--chunk=SIZE]
+//            [--buffer=SIZE] [--no-splice] [--seed=S] [--json=FILE]
+//            [--metrics-out=FILE] [--log-level=LEVEL]
+//
+// SIZE accepts k/m/g suffixes (binary units): --bytes=4m, --budget=64m.
+// Sessions refused by pool-pressure admission control are retried with
+// backoff (the client half of the hop-by-hop backpressure contract), so a
+// run under memory pressure completes late rather than failing.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <csignal>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "buf/pool.hpp"
+#include "metrics/export.hpp"
+#include "metrics/instruments.hpp"
+#include "metrics/metrics.hpp"
+#include "posix/client.hpp"
+#include "posix/epoll_loop.hpp"
+#include "posix/lsd.hpp"
+#include "posix/socket_util.hpp"
+#include "util/log.hpp"
+#include "util/units.hpp"
+
+using namespace lsl;
+
+namespace {
+
+struct Options {
+  std::size_t sessions = 16;
+  std::uint64_t bytes = 4 * util::kMiB;
+  std::uint64_t budget = 64 * util::kMiB;
+  std::size_t chunk = 64 * util::kKiB;
+  std::size_t buffer = 1 * util::kMiB;
+  bool splice = true;
+  std::uint64_t seed = 1;
+  double timeout_s = 300.0;
+  std::string json_file;
+  std::string metrics_file;
+};
+
+bool parse_size(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || v < 0) return false;
+  std::uint64_t mult = 1;
+  if (*end == 'k' || *end == 'K') {
+    mult = util::kKiB;
+  } else if (*end == 'm' || *end == 'M') {
+    mult = util::kMiB;
+  } else if (*end == 'g' || *end == 'G') {
+    mult = util::kGiB;
+  } else if (*end != '\0') {
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(v * static_cast<double>(mult));
+  return true;
+}
+
+/// Split "--name=value" / "--name value" argument forms.
+const char* arg_value(const char* name, int argc, char** argv, int* i) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(argv[*i], name, n) != 0) return nullptr;
+  if (argv[*i][n] == '=') return argv[*i] + n + 1;
+  if (argv[*i][n] == '\0' && *i + 1 < argc) return argv[++*i];
+  return nullptr;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: lsl_load [--sessions=N] [--bytes=SIZE] [--budget=SIZE]\n"
+      "                [--chunk=SIZE] [--buffer=SIZE] [--no-splice]\n"
+      "                [--seed=S] [--timeout=SECONDS] [--json=FILE]\n"
+      "                [--metrics-out=FILE] [--log-level=LEVEL]\n");
+}
+
+/// Peak resident set of this process, in bytes (Linux ru_maxrss is KiB).
+std::uint64_t peak_rss_bytes() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+}
+
+/// One logical session slot: retried with backoff until its stream
+/// verifies (admission refusals surface as failed attempts).
+struct Slot {
+  std::unique_ptr<posix::PosixSource> source;
+  std::uint32_t attempts = 0;
+  bool completed = false;
+  std::chrono::steady_clock::time_point next_attempt{};
+  bool relaunch_due = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::signal(SIGPIPE, SIG_IGN);
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::uint64_t size = 0;
+    const char* v = nullptr;
+    if ((v = arg_value("--sessions", argc, argv, &i)) != nullptr) {
+      opt.sessions = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if ((v = arg_value("--bytes", argc, argv, &i)) != nullptr &&
+               parse_size(v, &size)) {
+      opt.bytes = size;
+    } else if ((v = arg_value("--budget", argc, argv, &i)) != nullptr &&
+               parse_size(v, &size)) {
+      opt.budget = size;
+    } else if ((v = arg_value("--chunk", argc, argv, &i)) != nullptr &&
+               parse_size(v, &size)) {
+      opt.chunk = static_cast<std::size_t>(size);
+    } else if ((v = arg_value("--buffer", argc, argv, &i)) != nullptr &&
+               parse_size(v, &size)) {
+      opt.buffer = static_cast<std::size_t>(size);
+    } else if (std::strcmp(argv[i], "--no-splice") == 0) {
+      opt.splice = false;
+    } else if (std::strcmp(argv[i], "--splice") == 0) {
+      opt.splice = true;
+    } else if ((v = arg_value("--seed", argc, argv, &i)) != nullptr) {
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if ((v = arg_value("--timeout", argc, argv, &i)) != nullptr) {
+      opt.timeout_s = std::strtod(v, nullptr);
+    } else if ((v = arg_value("--json", argc, argv, &i)) != nullptr) {
+      opt.json_file = v;
+    } else if ((v = arg_value("--metrics-out", argc, argv, &i)) != nullptr) {
+      opt.metrics_file = v;
+    } else if ((v = arg_value("--log-level", argc, argv, &i)) != nullptr) {
+      const auto lvl = util::parse_log_level(v);
+      if (!lvl) {
+        std::fprintf(stderr, "lsl_load: bad log level %s\n", v);
+        return 2;
+      }
+      util::set_log_level(*lvl);
+    } else {
+      std::fprintf(stderr, "lsl_load: bad argument %s\n", argv[i]);
+      usage();
+      return 2;
+    }
+  }
+  if (opt.sessions == 0 || opt.bytes == 0) {
+    usage();
+    return 2;
+  }
+
+  metrics::Registry registry;
+  buf::PoolMetrics pool_metrics(registry);
+  metrics::LsdMetrics lsd_metrics(registry, "lsd.load");
+
+  posix::EpollLoop loop;
+  posix::PosixSinkServer sink(loop, posix::InetAddress::loopback(0),
+                              /*expect_header=*/true,
+                              static_cast<std::uint32_t>(opt.seed));
+
+  posix::LsdConfig dcfg;
+  dcfg.buffer_bytes = opt.buffer;
+  dcfg.use_splice = opt.splice;
+  dcfg.pool.chunk_bytes = opt.chunk;
+  dcfg.pool.budget_bytes = opt.budget;
+  posix::Lsd daemon(loop, dcfg);
+  daemon.set_metrics(&lsd_metrics);
+  daemon.pool().set_metrics(&pool_metrics);
+
+  std::size_t verified = 0;
+  std::size_t mismatched = 0;
+  std::uint64_t payload_total = 0;
+  sink.on_complete = [&](const posix::SinkResult& r) {
+    if (r.verified) {
+      ++verified;
+      payload_total += r.payload_bytes;
+    } else {
+      ++mismatched;
+    }
+  };
+
+  posix::PosixSourceConfig scfg;
+  scfg.route = {posix::InetAddress::loopback(daemon.port())};
+  scfg.destination = posix::InetAddress::loopback(sink.port());
+  scfg.payload_bytes = opt.bytes;
+  scfg.payload_seed = static_cast<std::uint32_t>(opt.seed);
+
+  std::vector<Slot> slots(opt.sessions);
+  constexpr std::uint32_t kMaxAttempts = 25;
+  auto launch = [&](Slot& s) {
+    ++s.attempts;
+    s.relaunch_due = false;
+    s.source = std::make_unique<posix::PosixSource>(loop, scfg);
+    Slot* sp = &s;
+    s.source->on_done = [&, sp](bool ok) {
+      if (ok) {
+        sp->completed = true;
+        return;
+      }
+      // Refused at admission (or reset mid-handshake): back off linearly
+      // and try again — the pool drains as running sessions finish.
+      sp->relaunch_due = true;
+      sp->next_attempt = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(20 * sp->attempts);
+    };
+    s.source->start();
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto& s : slots) launch(s);
+
+  const auto deadline =
+      t0 + std::chrono::duration<double>(opt.timeout_s);
+  bool gave_up = false;
+  while (verified + mismatched < opt.sessions) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now > deadline) {
+      gave_up = true;
+      break;
+    }
+    for (auto& s : slots) {
+      if (s.relaunch_due && now >= s.next_attempt) {
+        if (s.attempts >= kMaxAttempts) {
+          ++mismatched;  // counts against the run
+          s.relaunch_due = false;
+        } else {
+          launch(s);
+        }
+      }
+    }
+    loop.run_once(20);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const auto pool = daemon.pool().stats();
+  const auto& st = daemon.stats();
+  const std::uint64_t rss = peak_rss_bytes();
+  const double reuse_rate =
+      pool.allocs > 0
+          ? static_cast<double>(pool.reuses) / static_cast<double>(pool.allocs)
+          : 0.0;
+  const double mbps =
+      elapsed > 0 ? static_cast<double>(payload_total) * 8 / 1e6 / elapsed
+                  : 0.0;
+  const double sessions_per_s =
+      elapsed > 0 ? static_cast<double>(verified) / elapsed : 0.0;
+
+  std::printf(
+      "lsl_load: %zu/%zu sessions verified in %.3f s "
+      "(%.2f Mbit/s aggregate, %.2f sessions/s)\n",
+      verified, opt.sessions, elapsed, mbps, sessions_per_s);
+  std::printf(
+      "  pool: peak %llu / budget %llu bytes, %llu allocs "
+      "(%.1f%% reuse), %llu refusals, %llu pressure episodes\n",
+      static_cast<unsigned long long>(pool.peak_bytes),
+      static_cast<unsigned long long>(opt.budget),
+      static_cast<unsigned long long>(pool.allocs), reuse_rate * 100,
+      static_cast<unsigned long long>(pool.failures),
+      static_cast<unsigned long long>(pool.pressure_episodes));
+  std::printf(
+      "  daemon: %llu relayed (%llu spliced), %llu sessions refused at "
+      "admission; peak RSS %llu KiB\n",
+      static_cast<unsigned long long>(st.bytes_relayed),
+      static_cast<unsigned long long>(st.bytes_spliced),
+      static_cast<unsigned long long>(st.sessions_refused),
+      static_cast<unsigned long long>(rss / 1024));
+
+  const bool over_budget = opt.budget > 0 && pool.peak_bytes > opt.budget;
+  const bool ok = !gave_up && mismatched == 0 &&
+                  verified == opt.sessions && !over_budget;
+
+  if (!opt.json_file.empty()) {
+    std::FILE* f = std::fopen(opt.json_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "lsl_load: cannot write %s\n",
+                   opt.json_file.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\"sessions\": %zu, \"verified\": %zu, \"bytes_per_session\": %llu,"
+        " \"elapsed_s\": %.6f, \"aggregate_mbps\": %.3f,"
+        " \"sessions_per_s\": %.3f, \"splice\": %s,"
+        " \"bytes_relayed\": %llu, \"bytes_spliced\": %llu,"
+        " \"pool_budget_bytes\": %llu, \"pool_peak_bytes\": %llu,"
+        " \"pool_allocs\": %llu, \"pool_reuse_rate\": %.4f,"
+        " \"pool_failures\": %llu, \"pool_pressure_episodes\": %llu,"
+        " \"sessions_refused\": %llu, \"peak_rss_bytes\": %llu,"
+        " \"ok\": %s}\n",
+        opt.sessions, verified,
+        static_cast<unsigned long long>(opt.bytes), elapsed, mbps,
+        sessions_per_s, opt.splice ? "true" : "false",
+        static_cast<unsigned long long>(st.bytes_relayed),
+        static_cast<unsigned long long>(st.bytes_spliced),
+        static_cast<unsigned long long>(opt.budget),
+        static_cast<unsigned long long>(pool.peak_bytes),
+        static_cast<unsigned long long>(pool.allocs), reuse_rate,
+        static_cast<unsigned long long>(pool.failures),
+        static_cast<unsigned long long>(pool.pressure_episodes),
+        static_cast<unsigned long long>(st.sessions_refused),
+        static_cast<unsigned long long>(rss), ok ? "true" : "false");
+    std::fclose(f);
+  }
+  if (!opt.metrics_file.empty() &&
+      !metrics::write_file(registry, opt.metrics_file)) {
+    std::fprintf(stderr, "lsl_load: cannot write %s\n",
+                 opt.metrics_file.c_str());
+    return 1;
+  }
+  if (over_budget) {
+    std::fprintf(stderr, "lsl_load: FAIL pool peak exceeded budget\n");
+  }
+  if (gave_up) {
+    std::fprintf(stderr, "lsl_load: FAIL timed out with sessions pending\n");
+  }
+  if (mismatched > 0) {
+    std::fprintf(stderr, "lsl_load: FAIL %zu sessions failed verification\n",
+                 mismatched);
+  }
+  return ok ? 0 : 1;
+}
