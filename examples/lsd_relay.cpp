@@ -16,6 +16,17 @@
 //   --fault-spec=SPEC   scripted fault injection against this daemon
 //                       (crash/restart windows, refused accepts, mid-stream
 //                       resets, stalls) in the grammar of docs/FAULTS.md
+//   --liveness          enforce the recommended relay deadlines
+//                       (docs/PROTOCOL.md §7): header/dial/idle timeouts
+//                       and the min-progress stall watchdog
+//   --drain-deadline=DUR  bound a SIGTERM graceful drain: in-flight
+//                       sessions get DUR to finish (or park) before being
+//                       aborted; default 30s with --liveness, unbounded
+//                       otherwise
+//
+// SIGTERM (or Ctrl-C) in daemon mode triggers a graceful drain: the daemon
+// refuses new sessions, lets in-flight ones finish, then exits printing a
+// drain report.
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -25,6 +36,7 @@
 #include <string>
 
 #include "fault/spec.hpp"
+#include "live/liveness.hpp"
 #include "posix/client.hpp"
 #include "posix/epoll_loop.hpp"
 #include "posix/fault_driver.hpp"
@@ -35,14 +47,20 @@ using namespace lsl;
 
 namespace {
 
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+void on_terminate_signal(int) { g_drain_requested = 1; }
+
 int run_daemon(std::uint16_t port, std::size_t buffer,
                std::chrono::milliseconds resume_grace,
-               const std::string& fault_spec) {
+               const std::string& fault_spec,
+               const live::LivenessConfig& liveness) {
   posix::EpollLoop loop;
   posix::LsdConfig cfg;
   cfg.bind = posix::InetAddress{0, port};  // INADDR_ANY
   cfg.buffer_bytes = buffer;
   cfg.resume_grace = resume_grace;
+  cfg.liveness = liveness;
   posix::Lsd daemon(loop, cfg);
 
   std::unique_ptr<posix::LsdFaultDriver> driver;
@@ -62,17 +80,33 @@ int run_daemon(std::uint16_t port, std::size_t buffer,
               "resume grace %lld ms)\n",
               daemon.port(), buffer,
               static_cast<long long>(resume_grace.count()));
-  // Bounded waits instead of loop.run(): the fault driver's timed events
-  // and parked-session expiry both need the loop to wake up periodically.
+  std::signal(SIGTERM, on_terminate_signal);
+  std::signal(SIGINT, on_terminate_signal);
+  // Bounded waits instead of loop.run(): the fault driver's timed events,
+  // parked-session expiry and the SIGTERM flag all need the loop to wake
+  // up periodically; liveness deadlines ride the daemon's own timerfd.
   while (true) {
-    int wait = driver ? driver->next_timeout_ms() : -1;
+    if (g_drain_requested && !daemon.draining()) {
+      std::printf("lsd: termination requested; draining...\n");
+      daemon.begin_drain();
+    }
+    if (daemon.draining() && daemon.drain_done()) break;
+    int wait = driver ? driver->next_timeout_ms() : daemon.next_timeout_ms();
     if (wait < 0 || wait > 500) wait = 500;
-    if (loop.run_once(wait) < 0) break;
+    // run_once returns -1 only on EINTR — which is exactly how SIGTERM
+    // announces itself mid-epoll_wait. Loop around so the drain flag is
+    // seen; breaking here would exit without draining.
+    if (loop.run_once(wait) < 0) continue;
     if (driver) {
       driver->poll();
     } else {
       daemon.expire_parked();
     }
+  }
+  if (daemon.draining()) {
+    const live::DrainReport& rep = daemon.drain_report();
+    std::printf("lsd: %s\n", rep.summary().c_str());  // "drain <state>: ..."
+    return rep.expired ? 1 : 0;
   }
   return 0;
 }
@@ -140,6 +174,7 @@ int main(int argc, char** argv) {
     std::size_t buffer = 1024 * 1024;
     std::chrono::milliseconds grace{0};
     std::string fault_spec;
+    live::LivenessConfig liveness;  // all-zero: deadlines off
     bool have_port = false;
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -152,6 +187,17 @@ int main(int argc, char** argv) {
         grace = std::chrono::milliseconds(*d / util::kMillisecond);
       } else if (arg.rfind("--fault-spec=", 0) == 0) {
         fault_spec = arg.substr(13);
+      } else if (arg == "--liveness") {
+        const auto drain = liveness.drain_deadline;  // may be set already
+        liveness = live::LivenessConfig::recommended();
+        if (drain > 0) liveness.drain_deadline = drain;
+      } else if (arg.rfind("--drain-deadline=", 0) == 0) {
+        const auto d = fault::parse_duration(arg.substr(17));
+        if (!d || *d < 0) {
+          std::fprintf(stderr, "lsd: bad --drain-deadline duration\n");
+          return 2;
+        }
+        liveness.drain_deadline = *d;
       } else if (!have_port) {
         port = static_cast<std::uint16_t>(std::atoi(arg.c_str()));
         have_port = true;
@@ -159,7 +205,7 @@ int main(int argc, char** argv) {
         buffer = static_cast<std::size_t>(std::atoll(arg.c_str()));
       }
     }
-    return run_daemon(port, buffer, grace, fault_spec);
+    return run_daemon(port, buffer, grace, fault_spec, liveness);
   }
   std::uint64_t bytes = 8 * util::kMiB;
   if (argc > 1) bytes = std::strtoull(argv[1], nullptr, 10);

@@ -28,11 +28,17 @@ case "${1:-}" in
      exit 2 ;;
 esac
 
+# Per-test wall-clock bound. The liveness work makes hangs much less likely
+# (deadlines fire instead), but the harness itself must never wedge on a
+# regression: any single test exceeding this is a failure, not a stall.
+test_timeout=${LSL_TEST_TIMEOUT:-300}
+
 build_and_test() {  # <tree> <extra cmake args...>
   local tree="$1"; shift
   cmake -B "$tree" -S . -DLSL_WERROR=ON "$@" >/dev/null
   cmake --build "$tree" -j "$jobs"
-  ctest --test-dir "$tree" --output-on-failure -j "$jobs"
+  ctest --test-dir "$tree" --output-on-failure -j "$jobs" \
+        --timeout "$test_timeout"
 }
 
 for config in "${configs[@]}"; do
@@ -47,7 +53,8 @@ for config in "${configs[@]}"; do
            # (or creating) the plain tree
        cmake -B build-check -S . -DLSL_WERROR=ON >/dev/null
        cmake --build build-check -j "$jobs"
-       ctest --test-dir build-check --output-on-failure -L chaos ;;
+       ctest --test-dir build-check --output-on-failure -L chaos \
+             --timeout "$test_timeout" ;;
     *) echo "check.sh: unknown config '$config'" >&2; exit 2 ;;
   esac
 done

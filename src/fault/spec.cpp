@@ -74,7 +74,7 @@ bool wants_link(FaultKind k) {
 /// Byte-keyed triggers make sense only where a stream offset exists.
 bool allows_bytes(FaultKind k) {
   return k == FaultKind::kCrash || k == FaultKind::kReset ||
-         k == FaultKind::kCorrupt;
+         k == FaultKind::kCorrupt || k == FaultKind::kSlow;
 }
 
 bool parse_one_event(const std::string& text, FaultEvent* ev,

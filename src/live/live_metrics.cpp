@@ -1,0 +1,35 @@
+#include "live/live_metrics.hpp"
+
+namespace lsl::live {
+
+LiveMetrics::LiveMetrics(metrics::Registry& reg)
+    : timeouts_header(&reg.counter("live.timeouts_header")),
+      timeouts_dial(&reg.counter("live.timeouts_dial")),
+      timeouts_idle(&reg.counter("live.timeouts_idle")),
+      timeouts_stall(&reg.counter("live.timeouts_stall")),
+      drains_started(&reg.counter("live.drains_started")),
+      drains_completed(&reg.counter("live.drains_completed")),
+      drains_expired(&reg.counter("live.drains_expired")),
+      slowest_relay_bps(&reg.gauge("live.slowest_relay_bps")) {}
+
+void LiveMetrics::on_timeout(DeadlineKind kind) {
+  switch (kind) {
+    case DeadlineKind::kHeader:
+      timeouts_header->inc();
+      break;
+    case DeadlineKind::kDial:
+      timeouts_dial->inc();
+      break;
+    case DeadlineKind::kIdle:
+      timeouts_idle->inc();
+      break;
+    case DeadlineKind::kStall:
+      timeouts_stall->inc();
+      break;
+    case DeadlineKind::kDrain:
+      drains_expired->inc();
+      break;
+  }
+}
+
+}  // namespace lsl::live

@@ -1,0 +1,34 @@
+// Liveness instruments.
+//
+// Like the fault/pool bundles, liveness metrics are daemon-global flat
+// names (`live.*`): one daemon, one deadline subsystem, one set of
+// instruments. Every name registered here must appear in
+// docs/OBSERVABILITY.md — the `live-metrics-docs` rule of tools/lsl_lint
+// enforces that for any `live.` string literal in this directory.
+#pragma once
+
+#include "live/liveness.hpp"
+#include "metrics/metrics.hpp"
+
+namespace lsl::live {
+
+/// Pre-resolved liveness instruments (see the metrics bundle pattern in
+/// src/metrics/instruments.hpp: resolve once, hot path touches atomics).
+struct LiveMetrics {
+  explicit LiveMetrics(metrics::Registry& reg);
+
+  metrics::Counter* timeouts_header;  ///< header-read deadlines fired
+  metrics::Counter* timeouts_dial;    ///< next-hop dial deadlines fired
+  metrics::Counter* timeouts_idle;    ///< idle deadlines fired
+  metrics::Counter* timeouts_stall;   ///< progress-watchdog expiries
+  metrics::Counter* drains_started;   ///< graceful drains begun
+  metrics::Counter* drains_completed; ///< drains that reached quiescence
+  metrics::Counter* drains_expired;   ///< drains cut off by the deadline
+  metrics::Gauge* slowest_relay_bps;  ///< slowest live relay's progress rate
+
+  /// Bump the counter for one fired deadline class (kDrain maps to
+  /// drains_expired — the only way a drain deadline fires).
+  void on_timeout(DeadlineKind kind);
+};
+
+}  // namespace lsl::live

@@ -27,6 +27,14 @@ std::size_t DepotApp::live_sessions() const {
 }
 
 void DepotApp::on_accept(tcp::TcpSocket* up) {
+  if (draining_) {
+    // A draining depot finishes what it has but adopts nothing new; the
+    // RST sends the source to its retry policy (and another depot).
+    ++stats_.sessions_refused_drain;
+    ++drain_report_.refused;
+    up->abort();
+    return;
+  }
   if (accept_drops_ > 0) {
     --accept_drops_;
     ++stats_.sessions_refused;
@@ -52,6 +60,16 @@ void DepotApp::on_accept(tcp::TcpSocket* up) {
   r->up = up;
   r->accept_time = stack_.sim().now();
   relays_.push_back(std::move(relay));
+
+  r->live.attach(&wheel_, &config_.liveness,
+                 [this, r](live::DeadlineKind k) { on_deadline(*r, k); });
+  if (live_metrics_) {
+    r->live.set_rate_hook([this](double bps) {
+      live_metrics_->slowest_relay_bps->set(bps);
+    });
+  }
+  r->live.on_accepted(stack_.sim().now());
+  arm_live_timer();
 
   const bool real = up->config().carry_data;
   if (!real) {
@@ -127,6 +145,9 @@ void DepotApp::pull_upstream(Relay& r) {
   // daemon's per-session processing delay.
   if (!r.downstream_dialed) {
     r.downstream_dialed = true;
+    // The dial deadline covers setup latency + handshake in one span.
+    r.live.on_header_done(stack_.sim().now());
+    arm_live_timer();
     if (config_.resume_grace > 0) {
       sessions_[r.header->session] = &r;
     }
@@ -143,6 +164,8 @@ void DepotApp::pull_upstream(Relay& r) {
 
   // Phase 3: relay payload through the bounded buffer with the copy model.
   pull_payload(r, /*ignore_space=*/false);
+  sync_liveness(r);
+  arm_live_timer();
 
   if (r.up->eof()) {
     r.up_eof = true;
@@ -182,6 +205,7 @@ void DepotApp::pull_payload(Relay& r, bool ignore_space) {
     }
     if (got == 0) break;
     r.payload_pulled += got;
+    r.live.note_activity(stack_.sim().now());
 
     // Drop the duplicated prefix of a resumed session.
     if (r.discard_left > 0) {
@@ -253,6 +277,7 @@ void DepotApp::dial_downstream(Relay& r) {
   Relay* rp = &r;
   r.down->on_established = [this, rp] {
     rp->downstream_up = true;
+    rp->live.on_connected(stack_.sim().now());
     pump_downstream(*rp);
   };
   r.down->on_writable = [this, rp] { pump_downstream(*rp); };
@@ -271,8 +296,15 @@ void DepotApp::copy_complete(Relay& r, std::uint64_t bytes,
 }
 
 void DepotApp::pump_downstream(Relay& r) {
-  if (r.done || r.down == nullptr || !r.downstream_up || stalled_) return;
+  if (r.done || r.down == nullptr || !r.downstream_up || stalled_) {
+    if (!r.done) {
+      sync_liveness(r);
+      arm_live_timer();
+    }
+    return;
+  }
   const bool real = r.down->config().carry_data;
+  const std::uint64_t relayed_before = stats_.bytes_relayed;
 
   // Forwarded header goes first.
   if (real && r.fwd_off < r.fwd_header.size()) {
@@ -327,6 +359,12 @@ void DepotApp::pump_downstream(Relay& r) {
     // earlier).
     if (r.up != nullptr && r.up->readable() > 0) pull_upstream(r);
   }
+  if (stats_.bytes_relayed != relayed_before) {
+    r.live.note_progress(stats_.bytes_relayed - relayed_before);
+    r.live.note_activity(stack_.sim().now());
+  }
+  sync_liveness(r);
+  arm_live_timer();
 
   maybe_complete(r);
 }
@@ -361,7 +399,17 @@ void DepotApp::restart() {
 void DepotApp::set_stalled(bool stalled) {
   if (stalled_ == stalled) return;
   stalled_ = stalled;
-  if (stalled_) return;
+  if (stalled_) {
+    // A stalled depot should be moving bytes and is not — exactly what the
+    // progress watchdog exists to catch; re-sync so it starts counting.
+    for (std::size_t i = 0; i < relays_.size(); ++i) {
+      Relay* r = relays_[i].get();
+      if (r->done || r->parked) continue;
+      sync_liveness(*r);
+    }
+    arm_live_timer();
+    return;
+  }
   // Un-stall: kick every live relay; pending ready bytes flow again and
   // upstream reads that were declined resume.
   for (std::size_t i = 0; i < relays_.size(); ++i) {
@@ -372,6 +420,7 @@ void DepotApp::set_stalled(bool stalled) {
       pull_upstream(*r);
     }
   }
+  arm_live_timer();
 }
 
 void DepotApp::inject_upstream_reset() {
@@ -408,6 +457,10 @@ void DepotApp::park_relay(Relay& r) {
   pull_payload(r, /*ignore_space=*/true);
   end_stall(r);  // a parked relay is waiting for resume, not for ring space
   r.parked = true;
+  // A parked relay is deliberately dormant: its clock is the resume grace,
+  // not the liveness deadlines.
+  r.live.cancel_all();
+  arm_live_timer();
   Relay* rp = &r;
   r.park_expiry = stack_.sim().events().schedule_in(
       config_.resume_grace, [this, rp] {
@@ -415,6 +468,7 @@ void DepotApp::park_relay(Relay& r) {
         if (rp->parked && !rp->done) fail_relay(*rp);
       });
   pump_downstream(r);
+  maybe_finish_drain();
 }
 
 bool DepotApp::try_resume(Relay& fresh) {
@@ -453,6 +507,12 @@ bool DepotApp::try_resume(Relay& fresh) {
   budget_.release(buffered(fresh));
   fresh.done = true;
   fresh.up = nullptr;
+  fresh.live.cancel_all();
+
+  // The merged relay is streaming again: restart the idle/stall watchdog
+  // from the resume instant.
+  old->live.on_connected(stack_.sim().now());
+  arm_live_timer();
 
   pull_upstream(*old);
   return true;
@@ -474,6 +534,9 @@ void DepotApp::maybe_complete(Relay& r) {
     r.done = true;
     end_stall(r);
     ++stats_.sessions_completed;
+    if (draining_ && !drain_done_) ++drain_report_.completed;
+    r.live.cancel_all();
+    arm_live_timer();
     if (metrics_) {
       metrics_->relay_latency_ms->observe(
           util::to_millis(stack_.sim().now() - r.accept_time));
@@ -481,6 +544,7 @@ void DepotApp::maybe_complete(Relay& r) {
     if (r.header) sessions_.erase(r.header->session);
     r.down->close();
     r.up->close();  // completes the upstream FIN handshake from our side
+    maybe_finish_drain();
   }
 }
 
@@ -515,6 +579,8 @@ void DepotApp::fail_relay(Relay& r) {
   // copy_complete events on this relay return without touching accounts.
   budget_.release(buffered(r));
   end_stall(r);
+  r.live.cancel_all();
+  arm_live_timer();
   ++stats_.sessions_failed;
   if (r.park_expiry != sim::kInvalidEvent) {
     stack_.sim().events().cancel(r.park_expiry);
@@ -530,6 +596,125 @@ void DepotApp::fail_relay(Relay& r) {
   if (r.down != nullptr && r.down->state() != tcp::TcpState::kClosed) {
     r.down->abort();
   }
+  maybe_finish_drain();
+}
+
+void DepotApp::on_deadline(Relay& r, live::DeadlineKind kind) {
+  if (r.done || r.parked) return;
+  LSL_LOG_WARN("depot: %s deadline expired; failing relay",
+               live::to_string(kind));
+  switch (kind) {
+    case live::DeadlineKind::kHeader:
+      ++stats_.timeouts_header;
+      break;
+    case live::DeadlineKind::kDial:
+      ++stats_.timeouts_dial;
+      break;
+    case live::DeadlineKind::kIdle:
+      ++stats_.timeouts_idle;
+      break;
+    case live::DeadlineKind::kStall:
+      ++stats_.timeouts_stall;
+      break;
+    case live::DeadlineKind::kDrain:
+      return;  // daemon-wide, handled by on_drain_deadline
+  }
+  if (live_metrics_) live_metrics_->on_timeout(kind);
+  fail_relay(r);
+}
+
+void DepotApp::sync_liveness(Relay& r) {
+  if (r.done || r.parked) return;
+  // "Should be progressing" = there are bytes the downstream ought to be
+  // absorbing. A stalled (slow-fault) depot also ought to be progressing —
+  // that is precisely the condition the watchdog exists to expose.
+  const bool staged =
+      r.downstream_up && (stalled_ || buffered(r) > 0 ||
+                          r.fwd_virtual_left > 0 ||
+                          r.fwd_off < r.fwd_header.size());
+  r.live.set_should_progress(staged, stack_.sim().now());
+}
+
+void DepotApp::arm_live_timer() {
+  if (wheel_.empty()) {
+    if (live_event_ != sim::kInvalidEvent) {
+      stack_.sim().events().cancel(live_event_);
+      live_event_ = sim::kInvalidEvent;
+    }
+    return;
+  }
+  const util::SimTime due =
+      std::max<util::SimTime>(wheel_.next_due(), stack_.sim().now());
+  if (live_event_ != sim::kInvalidEvent) {
+    if (live_event_due_ == due) return;
+    stack_.sim().events().cancel(live_event_);
+  }
+  live_event_due_ = due;
+  live_event_ = stack_.sim().events().schedule_at(due, [this] {
+    live_event_ = sim::kInvalidEvent;
+    wheel_.fire_due(stack_.sim().now());
+    arm_live_timer();
+  });
+}
+
+void DepotApp::begin_drain() {
+  if (draining_) return;
+  draining_ = true;
+  drain_report_ = {};
+  std::uint64_t parked = 0;
+  for (const auto& r : relays_) {
+    if (!r->done && r->parked) ++parked;
+  }
+  drain_report_.in_flight_at_start = live_sessions() - parked;
+  LSL_LOG_INFO("depot: drain started with %llu in-flight session(s)",
+               static_cast<unsigned long long>(
+                   drain_report_.in_flight_at_start));
+  if (live_metrics_) live_metrics_->drains_started->inc();
+  if (config_.liveness.drain_deadline > 0) {
+    drain_token_ = wheel_.schedule(
+        stack_.sim().now() + config_.liveness.drain_deadline, [this] {
+          drain_token_ = live::DeadlineWheel::kInvalidToken;
+          on_drain_deadline();
+        });
+    arm_live_timer();
+  }
+  maybe_finish_drain();
+}
+
+void DepotApp::maybe_finish_drain() {
+  if (!draining_ || drain_done_) return;
+  std::uint64_t parked = 0;
+  for (const auto& r : relays_) {
+    if (r->done) continue;
+    if (!r->parked) return;  // still in flight
+    ++parked;
+  }
+  drain_done_ = true;
+  drain_report_.parked = parked;
+  if (drain_token_ != live::DeadlineWheel::kInvalidToken) {
+    wheel_.cancel(drain_token_);
+    drain_token_ = live::DeadlineWheel::kInvalidToken;
+    arm_live_timer();
+  }
+  if (live_metrics_ && !drain_report_.expired) {
+    live_metrics_->drains_completed->inc();
+  }
+  LSL_LOG_INFO("depot: drain resolved: %s", drain_report_.summary().c_str());
+  if (on_drain_done) on_drain_done(drain_report_);
+}
+
+void DepotApp::on_drain_deadline() {
+  drain_report_.expired = true;
+  if (live_metrics_) live_metrics_->on_timeout(live::DeadlineKind::kDrain);
+  std::vector<Relay*> stragglers;
+  for (const auto& r : relays_) {
+    if (!r->done && !r->parked) stragglers.push_back(r.get());
+  }
+  drain_report_.aborted = stragglers.size();
+  LSL_LOG_WARN("depot: drain deadline expired; aborting %zu straggler(s)",
+               stragglers.size());
+  for (Relay* r : stragglers) fail_relay(*r);
+  maybe_finish_drain();
 }
 
 }  // namespace lsl::core

@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "buf/budget.hpp"
+#include "live/live_metrics.hpp"
+#include "live/liveness.hpp"
 #include "lsl/directory.hpp"
 #include "lsl/wire.hpp"
 #include "metrics/instruments.hpp"
@@ -60,6 +62,13 @@ struct DepotConfig {
   std::uint64_t pool_budget_bytes = 0;
   double pool_low_watermark = 0.50;
   double pool_high_watermark = 0.85;
+  /// Liveness policy (src/live): per-relay lifecycle deadlines, the
+  /// min-progress watchdog, and the graceful-drain bound — the exact same
+  /// LivenessConfig the real daemon takes, run on simulated time. All
+  /// durations default to 0 = disabled, which keeps same-seed metric
+  /// exports byte-identical to pre-liveness builds (no wheel events are
+  /// ever scheduled).
+  live::LivenessConfig liveness = {};
 };
 
 /// Aggregate depot counters.
@@ -74,6 +83,14 @@ struct DepotStats {
   /// fault::RetryPolicy backs off on both the same way).
   std::uint64_t sessions_refused_memory = 0;
   std::uint64_t sessions_resumed = 0;  ///< successful kFlagResume rebinds
+  /// New connections turned away (RST) while the depot was draining.
+  std::uint64_t sessions_refused_drain = 0;
+  /// Liveness deadline expiries by class (each also fails the relay, so
+  /// these partition a subset of sessions_failed).
+  std::uint64_t timeouts_header = 0;
+  std::uint64_t timeouts_dial = 0;
+  std::uint64_t timeouts_idle = 0;
+  std::uint64_t timeouts_stall = 0;
   std::uint64_t bytes_relayed = 0;
   std::uint64_t bytes_discarded = 0;   ///< duplicate prefix on resume
   std::uint64_t max_buffered = 0;  ///< relay-buffer high-water mark
@@ -141,6 +158,26 @@ class DepotApp {
   /// DepotStats::max_buffered.
   void set_metrics(metrics::DepotMetrics* m) { metrics_ = m; }
 
+  /// Attach the `live.*` instrument bundle (timeouts by class, drains,
+  /// slowest-relay gauge); null detaches. Off by default so metric exports
+  /// only change when a run opts in.
+  void set_live_metrics(live::LiveMetrics* m) { live_metrics_ = m; }
+
+  // --- Graceful drain (mirrors posix::Lsd::begin_drain) -----------------
+
+  /// Stop accepting new sessions (refused with RST) and let in-flight ones
+  /// finish or park. With config().liveness.drain_deadline > 0 the wait is
+  /// bounded: stragglers are aborted at the deadline. Idempotent.
+  void begin_drain();
+  bool draining() const { return draining_; }
+  /// True once every in-flight session has finished, parked, or been
+  /// aborted by the drain deadline.
+  bool drain_done() const { return drain_done_; }
+  /// Meaningful once draining() (final once drain_done()).
+  const live::DrainReport& drain_report() const { return drain_report_; }
+  /// Fires exactly once, when the drain resolves.
+  std::function<void(const live::DrainReport&)> on_drain_done;
+
  private:
   /// One relayed session (upstream + downstream sockets and the buffer).
   struct Relay {
@@ -178,6 +215,10 @@ class DepotApp {
     // Observability.
     util::SimTime accept_time = 0;   ///< when the upstream was accepted
     util::SimTime stall_since = -1;  ///< ring-full stall start (-1 = none)
+
+    /// Per-relay liveness deadlines (inert while DepotConfig::liveness is
+    /// all zeros).
+    live::RelayLiveness live;
   };
 
   void on_accept(tcp::TcpSocket* up);
@@ -207,6 +248,19 @@ class DepotApp {
     return r.ready_bytes + r.in_copy_bytes;
   }
 
+  // --- Liveness plumbing (src/live) -------------------------------------
+  /// A liveness deadline expired for `r`: count it by class and fail the
+  /// relay.
+  void on_deadline(Relay& r, live::DeadlineKind kind);
+  /// Tell the watchdog whether `r` has bytes staged for downstream (stall
+  /// watch) or is quiescent (idle watch).
+  void sync_liveness(Relay& r);
+  /// Keep exactly one simulator event armed at the wheel's next deadline —
+  /// the sim-time analogue of the daemon's timerfd.
+  void arm_live_timer();
+  void maybe_finish_drain();
+  void on_drain_deadline();
+
   /// Number of relays that are neither done nor husks (admission control).
   std::size_t live_sessions() const;
 
@@ -224,6 +278,16 @@ class DepotApp {
   /// user-level process has one CPU, so concurrent sessions contend for
   /// copy bandwidth (paper §VII's scalability concern).
   util::SimTime copy_busy_until_ = 0;
+  /// Declared before relays_ so relay RelayLiveness destructors (which
+  /// cancel wheel tokens) run while the wheel is still alive.
+  live::DeadlineWheel wheel_;
+  live::LiveMetrics* live_metrics_ = nullptr;
+  sim::EventId live_event_ = sim::kInvalidEvent;
+  util::SimTime live_event_due_ = -1;
+  bool draining_ = false;
+  bool drain_done_ = false;
+  live::DrainReport drain_report_;
+  live::DeadlineWheel::Token drain_token_ = live::DeadlineWheel::kInvalidToken;
   std::vector<std::unique_ptr<Relay>> relays_;
   /// Live sessions by id (only maintained when resume_grace > 0).
   std::map<SessionId, Relay*> sessions_;

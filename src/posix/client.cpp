@@ -9,7 +9,6 @@
 #include <cstring>
 #include <random>
 #include <system_error>
-#include <thread>
 
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -77,6 +76,37 @@ void PosixSource::open_connection(std::uint64_t offset) {
   connecting_ = true;
   loop_.add(sock_.get(), EPOLLOUT | EPOLLIN,
             [this](std::uint32_t ev) { on_io(ev); });
+  if (config_.dial_timeout.count() > 0) {
+    timer_purpose_ = TimerPurpose::kDial;
+    arm_timer_in(config_.dial_timeout);
+  }
+}
+
+void PosixSource::arm_timer_in(std::chrono::milliseconds delay) {
+  if (!timer_) {
+    timer_ = std::make_unique<TimerFd>(loop_, [this] { on_timer(); });
+  }
+  timer_->arm(
+      TimerFd::now_ns() +
+      std::chrono::duration_cast<std::chrono::nanoseconds>(delay).count());
+}
+
+void PosixSource::on_timer() {
+  const TimerPurpose purpose = timer_purpose_;
+  timer_purpose_ = TimerPurpose::kNone;
+  switch (purpose) {
+    case TimerPurpose::kDial:
+      if (!connecting_) return;  // dial resolved while the expiry was queued
+      LSL_LOG_WARN("source: dial timed out after %lld ms",
+                   static_cast<long long>(config_.dial_timeout.count()));
+      handle_connection_error();
+      break;
+    case TimerPurpose::kBackoff:
+      open_connection(acked_floor_);
+      break;
+    case TimerPurpose::kNone:
+      break;
+  }
 }
 
 void PosixSource::on_io(std::uint32_t events) {
@@ -88,6 +118,10 @@ void PosixSource::on_io(std::uint32_t events) {
       return;
     }
     connecting_ = false;
+    if (timer_purpose_ == TimerPurpose::kDial) {
+      timer_purpose_ = TimerPurpose::kNone;
+      if (timer_) timer_->disarm();
+    }
   }
   if (events & EPOLLERR) {
     handle_connection_error();
@@ -149,8 +183,11 @@ void PosixSource::handle_connection_error() {
   LSL_LOG_INFO("source: connection lost; resuming from %llu after %lld ms",
                static_cast<unsigned long long>(acked_floor_),
                static_cast<long long>(delay->count()));
-  std::this_thread::sleep_for(*delay);
-  open_connection(acked_floor_);
+  // Wait on the event loop, not in it: a timerfd expiry re-dials, so a
+  // sibling session (or the daemon under test) keeps being serviced while
+  // this source backs off.
+  timer_purpose_ = TimerPurpose::kBackoff;
+  arm_timer_in(*delay);
 }
 
 void PosixSource::pump() {
@@ -206,6 +243,8 @@ void PosixSource::pump() {
 void PosixSource::finish(bool ok) {
   if (finished_) return;
   finished_ = true;
+  timer_.reset();  // unregister so an idle loop can run dry and exit
+  timer_purpose_ = TimerPurpose::kNone;
   if (sock_.valid()) {
     loop_.remove(sock_.get());
     sock_.reset();

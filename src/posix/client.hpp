@@ -19,6 +19,7 @@
 #include "md5/md5.hpp"
 #include "posix/epoll_loop.hpp"
 #include "posix/socket_util.hpp"
+#include "posix/timer_fd.hpp"
 
 namespace lsl::posix {
 
@@ -38,10 +39,16 @@ struct PosixSourceConfig {
   /// a depot running with `lsd --resume-grace`). Forces send_digest off:
   /// an MD5 trailer cannot rewind across connections — a seeded sink still
   /// verifies content byte-for-byte. Each reconnect asks reconnect_backoff
-  /// how long to (blockingly) wait first; nullopt means give up.
+  /// how long to wait first (a timerfd wait on the event loop, not a
+  /// blocking sleep); nullopt means give up.
   bool resumable = false;
   std::function<std::optional<std::chrono::milliseconds>()>
       reconnect_backoff;
+  /// Bound every dial: a connect() that has not resolved within this
+  /// window counts as a connection error (resumable sessions fall into
+  /// the reconnect path, others fail), so a blackholed depot cannot hang
+  /// a session — or a resume — forever. Zero means unbounded.
+  std::chrono::milliseconds dial_timeout{0};
 };
 
 /// Streams one LSL session (or a raw TCP transfer when route is empty and
@@ -78,10 +85,19 @@ class PosixSource {
   /// Refresh acked_floor_ from the kernel send-queue depth (SIOCOUTQ):
   /// bytes the peer's TCP has acknowledged — the safe resume offset.
   void note_acked();
+  /// Arm the (lazily created) timerfd to fire `delay` from now.
+  void arm_timer_in(std::chrono::milliseconds delay);
+  void on_timer();
 
   EpollLoop& loop_;
   PosixSourceConfig config_;
   Fd sock_;
+  /// One timerfd serves both source deadlines: bounding an in-flight dial
+  /// and waking from a reconnect backoff. The purpose tags which one the
+  /// next expiry means.
+  enum class TimerPurpose { kNone, kDial, kBackoff };
+  std::unique_ptr<TimerFd> timer_;
+  TimerPurpose timer_purpose_ = TimerPurpose::kNone;
   bool connecting_ = false;
   bool write_done_ = false;
   bool finished_ = false;

@@ -30,7 +30,6 @@ void LsdFaultDriver::arm() {
   bool hook_needed = false;
   for (const fault::FaultEvent& e : plan_.events) {
     switch (e.kind) {
-      case fault::FaultKind::kBlackhole:
       case fault::FaultKind::kFlap:
         LSL_LOG_WARN("fault-driver: %s targets a link; a daemon cannot "
                      "apply it — skipped", e.describe().c_str());
@@ -56,14 +55,22 @@ void LsdFaultDriver::arm() {
 }
 
 int LsdFaultDriver::next_timeout_ms() const {
-  if (!armed_ || timed_.empty()) return -1;
+  // The daemon's own wheel (liveness deadlines, park expiries, the drain
+  // bound) composes in, so a host bounding run_once() by this value wakes
+  // for whichever is due first.
+  const int daemon = lsd_.next_timeout_ms();
+  if (!armed_ || timed_.empty()) return daemon;
   const auto now = std::chrono::steady_clock::now();
   auto soonest = timed_.front().due;
   for (const Pending& p : timed_) soonest = std::min(soonest, p.due);
-  if (soonest <= now) return 0;
-  return static_cast<int>(
-      std::chrono::duration_cast<std::chrono::milliseconds>(soonest - now)
-          .count() + 1);
+  int mine = 0;
+  if (soonest > now) {
+    mine = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(soonest - now)
+            .count() + 1);
+  }
+  if (daemon < 0) return mine;
+  return std::min(mine, daemon);
 }
 
 void LsdFaultDriver::poll() {
@@ -141,6 +148,17 @@ void LsdFaultDriver::apply(const fault::FaultEvent& e) {
       timed_.push_back(
           {std::chrono::steady_clock::now() + wall(e.duration), e, true});
       break;
+    case fault::FaultKind::kBlackhole:
+      // Against a single daemon, a blackholed link means its next hop
+      // stops answering: dials launch but never complete, which is
+      // exactly what the dial deadline exists to bound.
+      lsd_.set_dial_blackhole(true);
+      note_injected(e.kind);
+      if (e.duration > 0) {
+        timed_.push_back(
+            {std::chrono::steady_clock::now() + wall(e.duration), e, true});
+      }
+      break;
     default:
       break;  // filtered at arm()
   }
@@ -154,8 +172,11 @@ void LsdFaultDriver::apply_repair(const fault::FaultEvent& e) {
     case fault::FaultKind::kSlow:
       lsd_.set_stalled(false);
       break;
+    case fault::FaultKind::kBlackhole:
+      lsd_.set_dial_blackhole(false);
+      break;
     default:
-      break;  // only crash and slow schedule repairs
+      break;  // only crash, slow and blackhole schedule repairs
   }
 }
 

@@ -36,9 +36,11 @@ class LsdFaultDriver {
   /// Start the clock and install the byte-offset hook.
   void arm();
 
-  /// Milliseconds until the next due time-keyed event (0 when overdue),
-  /// or -1 when none is scheduled. Feed to EpollLoop::run_once so the
-  /// loop wakes in time; cap it yourself if parked sessions need expiry.
+  /// Milliseconds until the next due deadline — the sooner of this plan's
+  /// time-keyed events and the daemon's own wheel (liveness deadlines,
+  /// park expiries, the drain bound) — 0 when one is already overdue, or
+  /// -1 when nothing is scheduled anywhere. Feed to EpollLoop::run_once
+  /// so the loop wakes in time.
   int next_timeout_ms() const;
 
   /// Apply every due event; call after each run_once().

@@ -111,6 +111,13 @@ struct Lsd::Relay {
   std::size_t spill_off = 0;
   bool parked = false;
   std::chrono::steady_clock::time_point park_deadline;
+  /// Wheel entry mirroring park_deadline, so expiry fires from the
+  /// daemon's timerfd instead of waiting for the next lazy sweep.
+  live::DeadlineWheel::Token park_token = live::DeadlineWheel::kInvalidToken;
+
+  /// Lifecycle deadlines + progress watchdog (inert unless the daemon's
+  /// LivenessConfig arms any class).
+  live::RelayLiveness live;
 
   bool spill_empty() const { return spill_off >= spill.size(); }
   /// Total payload bytes buffered anywhere in user space or the pipe.
@@ -160,6 +167,11 @@ void Lsd::shutdown() {
     finish(relays_.begin()->first, false);
   }
   reap_finished();
+  // Every relay deadline is gone with its relay; drop the drain bound too
+  // and release the timerfd so an otherwise-empty loop can run() to exit.
+  wheel_.cancel(drain_token_);
+  drain_token_ = live::DeadlineWheel::kInvalidToken;
+  timer_.reset();
 }
 
 void Lsd::reap_finished() { graveyard_.clear(); }
@@ -170,6 +182,16 @@ void Lsd::on_accept() {
   for (;;) {
     Fd conn = accept_connection(listener_.get());
     if (!conn.valid()) break;
+    if (draining_) {
+      // Graceful drain: existing sessions run to completion, but the door
+      // is closed — a hard reset tells the source to go elsewhere now
+      // rather than time out against a daemon that is leaving.
+      ++stats_.sessions_refused_drain;
+      ++drain_report_.refused;
+      arm_reset(conn.get());
+      conn.reset();
+      continue;
+    }
     if (accept_drops_ > 0) {
       // Injected SYN/accept failure: the peer sees a hard reset where the
       // session handshake should have been.
@@ -197,13 +219,26 @@ void Lsd::on_accept() {
     relays_.emplace(r, std::move(owned));
     r->up_events = EPOLLIN;
     // Each top-level event turn ends by re-pumping relays that stopped
-    // reading on an empty pool — any turn may have released chunks.
+    // reading on an empty pool — any turn may have released chunks — and
+    // re-aiming the timerfd at whatever the wheel now holds.
     loop_.add(r->up.get(), EPOLLIN, [this, r](std::uint32_t ev) {
       on_upstream(r, ev);
       service_pool_waiters();
+      arm_timer();
     });
+    r->live.attach(&wheel_, &config_.liveness,
+                   [this, r](live::DeadlineKind k) { on_deadline(r, k); });
+    if (live_metrics_ != nullptr) {
+      r->live.set_rate_hook([this](double bps) {
+        // Gauge min-tracking makes this the slowest-relay figure: every
+        // watchdog window reports its rate, and `min` keeps the floor.
+        live_metrics_->slowest_relay_bps->set(bps);
+      });
+    }
+    r->live.on_accepted(now_ns());
   }
   service_pool_waiters();  // expire_parked() may have released chunks
+  arm_timer();
 }
 
 void Lsd::on_upstream(Relay* r, std::uint32_t events) {
@@ -235,6 +270,7 @@ bool Lsd::flush_reverse(Relay* r) {
     if (n == 0) break;  // upstream send buffer full; EPOLLOUT re-arms
     if (metrics_) metrics_->bytes_reverse->inc(static_cast<std::uint64_t>(n));
     r->rev_off += static_cast<std::size_t>(n);
+    r->live.note_activity(now_ns());
   }
   if (r->rev_off == r->rev.size()) {
     r->rev.clear();
@@ -257,6 +293,7 @@ void Lsd::on_downstream(Relay* r, std::uint32_t events) {
     r->down_connecting = false;
     r->down_connected = true;
     r->state.transition(RelayState::kStream);
+    r->live.on_connected(now_ns());
   }
   if (events & EPOLLERR) {
     finish(r, false, LsdFailReason::kPeerReset);
@@ -276,6 +313,7 @@ void Lsd::on_downstream(Relay* r, std::uint32_t events) {
       }
       if (n < 0) break;  // EAGAIN (-1) or error (-2: treat on next event)
       r->rev.insert(r->rev.end(), buf, buf + n);
+      r->live.note_activity(now_ns());
     }
     if (!flush_reverse(r)) return;
   }
@@ -327,12 +365,19 @@ bool Lsd::pump_upstream(Relay* r) {
         }
         r->down_connecting = true;
         r->state.transition(RelayState::kDial);
-        r->down_events = EPOLLOUT | EPOLLIN;
+        // Under an injected dial blackhole the connect's completion is
+        // never observed (no EPOLLOUT interest), exactly like a SYN into
+        // the void; only the dial deadline can resolve the relay.
+        r->down_events =
+            dial_blackhole_ ? 0u
+                            : static_cast<std::uint32_t>(EPOLLOUT | EPOLLIN);
         loop_.add(r->down.get(), r->down_events,
                   [this, rp = r](std::uint32_t ev) {
                     on_downstream(rp, ev);
                     service_pool_waiters();
+                    arm_timer();
                   });
+        r->live.on_header_done(now_ns());
         break;
       }
       want = *len - r->header_buf.size();
@@ -353,6 +398,7 @@ bool Lsd::pump_upstream(Relay* r) {
     r->header_buf.insert(r->header_buf.end(), tmp, tmp + n);
   }
 
+  const std::uint64_t pulled_before = r->payload_pulled;
   // Phase 2: payload ingest. Salvaged (spill) bytes are older than
   // anything a read here would produce, so new fills wait until the spill
   // has drained downstream; a stalled daemon stops reading so TCP flow
@@ -444,12 +490,14 @@ bool Lsd::pump_upstream(Relay* r) {
     r->ring.commit(static_cast<std::size_t>(n));
     r->payload_pulled += static_cast<std::uint64_t>(n);
   }
+  if (r->payload_pulled != pulled_before) r->live.note_activity(now_ns());
   if (metrics_) {
     metrics_->ring_occupancy_bytes->set(static_cast<double>(r->buffered()));
   }
 
   if (!pump_downstream(r)) return false;
   update_interest(r);
+  sync_liveness(r);
   return true;
 }
 
@@ -569,6 +617,11 @@ bool Lsd::pump_downstream(Relay* r) {
     // (on_downstream sees EOF); the upstream socket stays open until then.
   }
   update_interest(r);
+  if (stats_.bytes_relayed != relayed_before) {
+    r->live.note_progress(stats_.bytes_relayed - relayed_before);
+    r->live.note_activity(now_ns());
+  }
+  sync_liveness(r);
   // Byte-keyed fault triggers; the hook may crash/stall/reset this very
   // relay, so bail out if it did.
   if (on_progress && stats_.bytes_relayed != relayed_before) {
@@ -636,16 +689,21 @@ void Lsd::finish(Relay* r, bool ok, LsdFailReason reason) {
   }
   if (ok) {
     ++stats_.sessions_completed;
+    if (draining_ && !drain_done_) ++drain_report_.completed;
   } else {
     ++stats_.sessions_failed;
     switch (reason) {
       case LsdFailReason::kDial: ++stats_.fail_dial; break;
       case LsdFailReason::kHeader: ++stats_.fail_header; break;
       case LsdFailReason::kPeerReset: ++stats_.fail_peer_reset; break;
+      case LsdFailReason::kTimeout: ++stats_.fail_timeout; break;
       case LsdFailReason::kNone:
       case LsdFailReason::kOther: ++stats_.fail_other; break;
     }
   }
+  r->live.cancel_all();
+  wheel_.cancel(r->park_token);
+  r->park_token = live::DeadlineWheel::kInvalidToken;
   // Sockets close now (peers must observe the teardown immediately), and
   // buffers go back to the pool now (live sessions must see the freed
   // memory immediately, not after the deferred delete) ...
@@ -660,6 +718,7 @@ void Lsd::finish(Relay* r, bool ok, LsdFailReason reason) {
   // a checked kDone-contract failure instead of a use-after-free.
   graveyard_.push_back(std::move(it->second));
   relays_.erase(it);
+  maybe_finish_drain();
 }
 
 void Lsd::release_buffers(Relay* r) {
@@ -756,6 +815,20 @@ void Lsd::park_relay(Relay* r) {
   }
   r->parked = true;
   r->park_deadline = std::chrono::steady_clock::now() + config_.resume_grace;
+  // A parked relay has no live connection to watch; only the park expiry
+  // (a wheel entry, so the timerfd fires it without waiting for the next
+  // lazy expire_parked() sweep) can end it now.
+  r->live.cancel_all();
+  wheel_.cancel(r->park_token);
+  r->park_token = wheel_.schedule(
+      now_ns() + std::chrono::nanoseconds(config_.resume_grace).count(),
+      [this, r] {
+        r->park_token = live::DeadlineWheel::kInvalidToken;
+        if (!r->parked) return;
+        LSL_LOG_WARN("lsd: parked session %s expired unresumed",
+                     r->header.session.hex().c_str());
+        finish(r, false, LsdFailReason::kPeerReset);
+      });
   // Last writer wins: a re-parked session replaces its stale index entry.
   parked_[r->header.session] = r;
   ++stats_.sessions_parked;
@@ -765,6 +838,9 @@ void Lsd::park_relay(Relay* r) {
                r->spill.size());
   // Keep draining what we hold toward the downstream meanwhile.
   pump_downstream(r);
+  // A drain treats parking as resolution: the session's fate now rests
+  // with a future resume against whoever replaces this daemon.
+  maybe_finish_drain();
 }
 
 void Lsd::try_resume(Relay* fresh) {
@@ -794,6 +870,8 @@ void Lsd::try_resume(Relay* fresh) {
   loop_.remove(fresh->up.get());
   p->up = std::move(fresh->up);
   p->parked = false;
+  wheel_.cancel(p->park_token);
+  p->park_token = live::DeadlineWheel::kInvalidToken;
   parked_.erase(it);
   ++stats_.sessions_resumed;
   LSL_LOG_INFO("lsd: resumed session %s from offset %llu (discarding %llu)",
@@ -804,7 +882,10 @@ void Lsd::try_resume(Relay* fresh) {
   loop_.add(p->up.get(), EPOLLIN, [this, p](std::uint32_t ev) {
     on_upstream(p, ev);
     service_pool_waiters();
+    arm_timer();
   });
+  // Back in the stream phase: the idle/stall watchdog resumes.
+  p->live.on_connected(now_ns());
   // The husk that carried the resume header is done; it must not count as
   // a completed or failed session.
   discard_relay(fresh);
@@ -818,6 +899,9 @@ void Lsd::discard_relay(Relay* r) {
   const auto it = relays_.find(r);
   if (it == relays_.end()) return;
   r->state.transition(RelayState::kDone);
+  r->live.cancel_all();
+  wheel_.cancel(r->park_token);
+  r->park_token = live::DeadlineWheel::kInvalidToken;
   if (r->up.valid()) loop_.remove(r->up.get());
   if (r->down.valid()) loop_.remove(r->down.get());
   r->up.reset();
@@ -825,6 +909,7 @@ void Lsd::discard_relay(Relay* r) {
   release_buffers(r);
   graveyard_.push_back(std::move(it->second));
   relays_.erase(it);
+  maybe_finish_drain();
 }
 
 void Lsd::expire_parked() {
@@ -839,6 +924,7 @@ void Lsd::expire_parked() {
                  r->header.session.hex().c_str());
     finish(r, false, LsdFailReason::kPeerReset);
   }
+  arm_timer();
 }
 
 void Lsd::crash() {
@@ -854,6 +940,7 @@ void Lsd::crash() {
     if (r->down.valid()) arm_reset(r->down.get());
     finish(r, false, LsdFailReason::kOther);
   }
+  arm_timer();
 }
 
 void Lsd::restart() {
@@ -876,7 +963,14 @@ void Lsd::set_stalled(bool stalled) {
   live.reserve(relays_.size());
   for (const auto& [r, owned] : relays_) live.push_back(r);
   if (stalled_) {
-    for (Relay* r : live) update_interest(r);  // drop read/write interest
+    for (Relay* r : live) {
+      update_interest(r);  // drop read/write interest
+      // A stalled daemon is the one failing to progress; the watchdog
+      // treats that as pending work so the stall deadline can catch a
+      // `slow` injection that outlives its window.
+      sync_liveness(r);
+    }
+    arm_timer();
     return;
   }
   for (Relay* r : live) {  // kick everything that waited out the stall
@@ -887,9 +981,11 @@ void Lsd::set_stalled(bool stalled) {
       pump_upstream(r);
     } else {
       update_interest(r);
+      sync_liveness(r);
     }
   }
   service_pool_waiters();
+  arm_timer();
 }
 
 void Lsd::inject_upstream_reset() {
@@ -907,6 +1003,133 @@ void Lsd::inject_upstream_reset() {
     arm_reset(r->up.get());
     handle_upstream_failure(r);
   }
+  arm_timer();
+}
+
+// --- Liveness / drain --------------------------------------------------------
+
+std::int64_t Lsd::now_ns() const { return TimerFd::now_ns(); }
+
+int Lsd::next_timeout_ms() const {
+  return wheel_.next_timeout_ms(TimerFd::now_ns());
+}
+
+void Lsd::arm_timer() {
+  if (wheel_.empty()) {
+    if (timer_) timer_->disarm();
+    return;
+  }
+  if (!timer_) {
+    timer_ = std::make_unique<TimerFd>(loop_, [this] {
+      wheel_.fire_due(TimerFd::now_ns());
+      reap_finished();  // deadline callbacks finish relays
+      arm_timer();
+    });
+  }
+  timer_->arm(wheel_.next_due());
+}
+
+void Lsd::sync_liveness(Relay* r) {
+  if (r->state == RelayState::kDone || r->parked) return;
+  // "Should be making progress" = bytes are staged for downstream, or the
+  // daemon itself is stalled by an injected `slow` fault (the failure the
+  // watchdog exists to surface). Otherwise the quiet stream is the idle
+  // deadline's problem.
+  const bool staged =
+      r->down_connected &&
+      (stalled_ || r->buffered() > 0 || !r->spill_empty() ||
+       r->fwd_off < r->fwd.size());
+  r->live.set_should_progress(staged, now_ns());
+}
+
+void Lsd::on_deadline(Relay* r, live::DeadlineKind kind) {
+  if (relays_.find(r) == relays_.end() || r->state == RelayState::kDone) {
+    return;
+  }
+  LSL_LOG_WARN("lsd: %s deadline expired for session %s",
+               live::to_string(kind),
+               r->header_done ? r->header.session.hex().c_str() : "<none>");
+  switch (kind) {
+    case live::DeadlineKind::kHeader: ++stats_.timeouts_header; break;
+    case live::DeadlineKind::kDial: ++stats_.timeouts_dial; break;
+    case live::DeadlineKind::kIdle: ++stats_.timeouts_idle; break;
+    case live::DeadlineKind::kStall: ++stats_.timeouts_stall; break;
+    case live::DeadlineKind::kDrain:
+      return;  // daemon-wide; handled by on_drain_deadline
+  }
+  if (live_metrics_) live_metrics_->on_timeout(kind);
+  // A timed-out peer gets a hard reset: it is by definition not reading
+  // in an orderly way, so there is no FIN handshake worth waiting for.
+  if (r->up.valid()) arm_reset(r->up.get());
+  finish(r, false, LsdFailReason::kTimeout);
+}
+
+void Lsd::set_dial_blackhole(bool on) {
+  if (dial_blackhole_ == on) return;
+  dial_blackhole_ = on;
+  if (on) return;
+  // Repair: surface the connects that silently completed (or failed)
+  // while the hole was open.
+  for (const auto& [r, owned] : relays_) {
+    if (r->down_connecting && r->down.valid() && r->down_events == 0) {
+      r->down_events = EPOLLOUT | EPOLLIN;
+      loop_.modify(r->down.get(), r->down_events);
+    }
+  }
+}
+
+void Lsd::begin_drain() {
+  if (draining_) return;
+  draining_ = true;
+  drain_done_ = false;
+  drain_report_ = {};
+  drain_report_.in_flight_at_start = relays_.size() - parked_.size();
+  if (live_metrics_) live_metrics_->drains_started->inc();
+  LSL_LOG_INFO("lsd: drain started, %llu sessions in flight",
+               static_cast<unsigned long long>(
+                   drain_report_.in_flight_at_start));
+  if (config_.liveness.drain_deadline > 0) {
+    drain_token_ =
+        wheel_.schedule(now_ns() + config_.liveness.drain_deadline, [this] {
+          drain_token_ = live::DeadlineWheel::kInvalidToken;
+          on_drain_deadline();
+        });
+  }
+  arm_timer();
+  maybe_finish_drain();
+}
+
+void Lsd::maybe_finish_drain() {
+  if (!draining_ || drain_done_) return;
+  if (relays_.size() > parked_.size()) return;  // live sessions remain
+  drain_done_ = true;
+  drain_report_.parked = parked_.size();
+  wheel_.cancel(drain_token_);
+  drain_token_ = live::DeadlineWheel::kInvalidToken;
+  if (live_metrics_ && !drain_report_.expired) {
+    live_metrics_->drains_completed->inc();
+  }
+  LSL_LOG_INFO("lsd: %s", drain_report_.summary().c_str());
+  if (on_drain_done) on_drain_done(drain_report_);
+}
+
+void Lsd::on_drain_deadline() {
+  if (!draining_ || drain_done_) return;
+  drain_report_.expired = true;
+  if (live_metrics_) live_metrics_->on_timeout(live::DeadlineKind::kDrain);
+  // Sessions that neither finished nor parked in time are torn down the
+  // hard way — the drain's whole point is a bounded exit.
+  std::vector<Relay*> stragglers;
+  for (const auto& [r, owned] : relays_) {
+    if (!r->parked) stragglers.push_back(r);
+  }
+  drain_report_.aborted = stragglers.size();
+  for (Relay* r : stragglers) {
+    if (r->up.valid()) arm_reset(r->up.get());
+    if (r->down.valid()) arm_reset(r->down.get());
+    finish(r, false, LsdFailReason::kOther);
+  }
+  maybe_finish_drain();
 }
 
 }  // namespace lsl::posix

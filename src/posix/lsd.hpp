@@ -26,11 +26,15 @@
 
 #include "buf/chunk_ring.hpp"
 #include "buf/pool.hpp"
+#include "live/deadline_wheel.hpp"
+#include "live/live_metrics.hpp"
+#include "live/liveness.hpp"
 #include "lsl/session_id.hpp"
 #include "lsl/wire.hpp"
 #include "metrics/instruments.hpp"
 #include "posix/epoll_loop.hpp"
 #include "posix/socket_util.hpp"
+#include "posix/timer_fd.hpp"
 #include "util/contract.hpp"
 
 namespace lsl::posix {
@@ -62,6 +66,12 @@ struct LsdConfig {
   /// pipe. Falls back to pooled chunks transparently (per relay) when the
   /// kernel refuses; disable to force the copy path everywhere.
   bool use_splice = true;
+  /// Liveness deadlines (header/dial/idle/stall) and the graceful-drain
+  /// bound, all default-off; see src/live/liveness.hpp and the timeout
+  /// table in docs/PROTOCOL.md. When any per-relay deadline is set the
+  /// daemon arms a timerfd in its loop, so deadlines fire even while no
+  /// socket is ready.
+  live::LivenessConfig liveness;
 };
 
 /// Why a relay session failed (the largest contributor wins; a session
@@ -71,6 +81,7 @@ enum class LsdFailReason {
   kDial,       ///< downstream connect() refused / unreachable
   kHeader,     ///< malformed or truncated LSL header
   kPeerReset,  ///< connection error (reset/broken pipe) mid-relay
+  kTimeout,    ///< a liveness deadline fired (header/dial/idle/stall)
   kOther,      ///< shutdown teardown, premature downstream EOF, ...
 };
 
@@ -110,15 +121,24 @@ struct LsdStats {
   /// Of bytes_relayed, bytes that moved through the splice fast path
   /// without crossing user space.
   std::uint64_t bytes_spliced = 0;
-  // Failure-reason breakdown; the four reasons sum to sessions_failed.
+  // Failure-reason breakdown; the five reasons sum to sessions_failed.
   std::uint64_t fail_dial = 0;
   std::uint64_t fail_header = 0;
   std::uint64_t fail_peer_reset = 0;
+  std::uint64_t fail_timeout = 0;
   std::uint64_t fail_other = 0;
   // Resume / fault-injection activity.
   std::uint64_t sessions_parked = 0;   ///< upstream died, session kept
   std::uint64_t sessions_resumed = 0;  ///< kFlagResume rebinds completed
   std::uint64_t accepts_dropped = 0;   ///< injected accept refusals
+  // Liveness-deadline breakdown; the four classes sum to fail_timeout.
+  std::uint64_t timeouts_header = 0;
+  std::uint64_t timeouts_dial = 0;
+  std::uint64_t timeouts_idle = 0;
+  std::uint64_t timeouts_stall = 0;
+  /// Connections refused at accept because a graceful drain is in
+  /// progress (distinct from pool-pressure sessions_refused).
+  std::uint64_t sessions_refused_drain = 0;
 };
 
 /// One forwarding daemon instance.
@@ -144,6 +164,34 @@ class Lsd {
   /// Attach a metrics bundle (must outlive the daemon); null detaches.
   void set_metrics(metrics::LsdMetrics* m) { metrics_ = m; }
 
+  /// Attach the liveness instruments (`live.*`); null detaches.
+  void set_live_metrics(live::LiveMetrics* m) { live_metrics_ = m; }
+
+  /// Milliseconds until the daemon's next internal deadline (liveness,
+  /// park expiry, drain bound) is due — the DeadlineWheel convention:
+  /// -1 when nothing is scheduled, 0 when one is already overdue. The
+  /// daemon's own timerfd wakes the loop anyway; this exists for hosts
+  /// that bound their own run_once() waits (LsdFaultDriver composes it
+  /// into its next_timeout_ms()).
+  int next_timeout_ms() const;
+
+  // --- Graceful drain ------------------------------------------------------
+
+  /// SIGTERM semantics: keep the listener but refuse new sessions (RST,
+  /// counted as sessions_refused_drain), let in-flight sessions finish or
+  /// park, and bound the wait by config.liveness.drain_deadline (0 = wait
+  /// forever). When the last live relay resolves — or the deadline expires
+  /// and the stragglers are torn down — on_drain_done fires with the
+  /// report. Idempotent.
+  void begin_drain();
+  bool draining() const { return draining_; }
+  /// True once a started drain has resolved (report final).
+  bool drain_done() const { return drain_done_; }
+  const live::DrainReport& drain_report() const { return drain_report_; }
+  /// Fires exactly once per drain, when it resolves; the daemon is still
+  /// alive (the host decides whether to exit).
+  std::function<void(const live::DrainReport&)> on_drain_done;
+
   /// Stop accepting and tear down all live relays.
   void shutdown();
 
@@ -168,10 +216,19 @@ class Lsd {
   /// resume_grace set, the sessions park (their buffered bytes salvaged
   /// first) and await a kFlagResume reconnect; otherwise they fail.
   void inject_upstream_reset();
-  /// Fail parked sessions whose grace deadline has passed. Called lazily
-  /// on accept; fault drivers call it from their poll loop too, since an
-  /// idle daemon gets no accept wakeups.
+  /// Fail parked sessions whose grace deadline has passed. Parked sessions
+  /// also carry a DeadlineWheel entry, so expiry normally fires from the
+  /// daemon's own timerfd; this lazy sweep remains for hosts that drive
+  /// the daemon without running its loop long enough (and as the fault
+  /// drivers' poll-time backstop).
   void expire_parked();
+  /// Simulate a blackholed next hop: while set, newly-dialed downstream
+  /// connections are never observed completing (their EPOLLOUT is
+  /// suppressed), so the dial deadline — if configured — is what resolves
+  /// them. Clearing re-arms the suppressed dials. This is what
+  /// `blackhole:depot=...` in a fault spec maps to.
+  void set_dial_blackhole(bool on);
+  bool dial_blackhole() const { return dial_blackhole_; }
 
   /// Fires whenever stats().bytes_relayed advances (after the pump that
   /// moved the bytes) — the byte-offset trigger for scripted faults.
@@ -230,6 +287,22 @@ class Lsd {
   /// (used for the husk left behind after a resume adoption).
   void discard_relay(Relay* r);
 
+  // --- Liveness plumbing ---------------------------------------------------
+  /// Monotonic nanoseconds — the wheel's timebase (TimerFd::now_ns).
+  std::int64_t now_ns() const;
+  /// A per-relay liveness deadline fired: count it and fail the relay.
+  void on_deadline(Relay* r, live::DeadlineKind kind);
+  /// Tell the relay's watchdog whether bytes are staged for downstream
+  /// (stall watchdog) or not (idle deadline); call after any pump.
+  void sync_liveness(Relay* r);
+  /// Point the timerfd at the wheel's earliest deadline (created lazily;
+  /// disarmed when the wheel empties). Call after any wheel mutation.
+  void arm_timer();
+  /// Complete the drain if no live (non-parked) relay remains.
+  void maybe_finish_drain();
+  /// The bounded drain expired: abort the stragglers and resolve.
+  void on_drain_deadline();
+
   EpollLoop& loop_;
   LsdConfig config_;
   Fd listener_;
@@ -251,6 +324,16 @@ class Lsd {
   bool crashed_ = false;
   bool stalled_ = false;
   std::uint32_t accept_drops_ = 0;
+
+  // Liveness / drain state.
+  live::DeadlineWheel wheel_;
+  std::unique_ptr<TimerFd> timer_;  ///< lazily created on first deadline
+  live::LiveMetrics* live_metrics_ = nullptr;
+  bool dial_blackhole_ = false;
+  bool draining_ = false;
+  bool drain_done_ = false;
+  live::DrainReport drain_report_;
+  live::DeadlineWheel::Token drain_token_ = live::DeadlineWheel::kInvalidToken;
 };
 
 }  // namespace lsl::posix

@@ -46,6 +46,7 @@ TEST(FaultSpec, RoundTripsThroughToSpec) {
       "syndrop:depot=depot1,at=1s,count=3;"
       "reset:depot=depot1,at=250ms;"
       "corrupt:at_bytes=4096;"
+      "slow:depot=depot1,at_bytes=1048576,for=30s;"
       "disconnect:at=2s";
   std::string err;
   const auto plan = fault::parse_fault_spec(spec, &err);

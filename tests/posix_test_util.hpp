@@ -1,0 +1,33 @@
+// Shared helpers for the real-socket (posix) tests: deadline-polling waits
+// that drive an EpollLoop with bounded run_once() slices until a condition
+// holds, instead of fixed sleeps. A fixed sleep is both slow (it always
+// pays the worst case) and flaky (the worst case moves with machine load);
+// polling against a generous deadline is neither.
+#pragma once
+
+#include <chrono>
+#include <functional>
+
+#include "posix/epoll_loop.hpp"
+
+namespace lsl::test {
+
+/// Drive `loop` until `cond()` holds or `timeout_s` elapses. `tick`, when
+/// set, runs after every loop slice — the place for fault-driver poll(),
+/// parked-session expiry, or any other per-iteration chore. Returns the
+/// final cond() so callers can ASSERT_TRUE the wait succeeded.
+inline bool wait_until(posix::EpollLoop& loop,
+                       const std::function<bool()>& cond,
+                       double timeout_s = 5.0,
+                       const std::function<void()>& tick = nullptr,
+                       int slice_ms = 20) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (!cond() && std::chrono::steady_clock::now() < deadline) {
+    loop.run_once(slice_ms);
+    if (tick) tick();
+  }
+  return cond();
+}
+
+}  // namespace lsl::test

@@ -28,6 +28,8 @@
 //                           docs/OBSERVABILITY.md catalogue
 //   pool-metrics-docs       every `pool.*` instrument name in src/buf
 //                           appears in the docs/OBSERVABILITY.md catalogue
+//   live-metrics-docs       every `live.*` instrument name in src/live
+//                           appears in the docs/OBSERVABILITY.md catalogue
 //   pragma-once             every header under src/ has #pragma once
 //
 // Suppression: a comment `lsl-lint: allow(<rule-id>)` on the same line
@@ -663,6 +665,36 @@ void rule_pool_metrics_docs(const std::vector<SourceFile>& files,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: live-metrics-docs
+// ---------------------------------------------------------------------------
+
+// Same contract again for the liveness subsystem: src/live registers its
+// deadline/drain instruments with un-instanced `live.*` literals at the
+// LiveMetrics attach site, so every such literal anywhere under src/live
+// must be catalogued in docs/OBSERVABILITY.md.
+void rule_live_metrics_docs(const std::vector<SourceFile>& files,
+                            const std::string& observability_md,
+                            std::vector<Violation>* out) {
+  for (const SourceFile& f : files) {
+    if (f.rel.rfind("src/live/", 0) != 0) continue;
+    for (const StringLit& lit : f.strings) {
+      if (lit.value.rfind("live.", 0) != 0) continue;
+      if (lit.value.find_first_not_of(
+              "abcdefghijklmnopqrstuvwxyz0123456789_.") !=
+          std::string::npos) {
+        continue;  // prose mentioning the prefix, not an instrument name
+      }
+      if (observability_md.find(lit.value) == std::string::npos &&
+          !f.suppressed(lit.line, "live-metrics-docs")) {
+        out->push_back({f.rel, lit.line, "live-metrics-docs",
+                        "live metric '" + lit.value +
+                            "' is not catalogued in docs/OBSERVABILITY.md"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: pragma-once
 // ---------------------------------------------------------------------------
 
@@ -726,6 +758,7 @@ std::vector<Violation> run_lint(const fs::path& root) {
   rule_metrics_docs(files, observability_md, &vs);
   rule_fault_metrics_docs(files, observability_md, &vs);
   rule_pool_metrics_docs(files, observability_md, &vs);
+  rule_live_metrics_docs(files, observability_md, &vs);
 
   std::sort(vs.begin(), vs.end(), [](const Violation& a, const Violation& b) {
     if (a.file != b.file) return a.file < b.file;
@@ -739,7 +772,8 @@ const std::vector<std::string>& all_rules() {
   static const std::vector<std::string> kRules = {
       "switch-exhaustive",  "switch-default-comment", "raw-new-delete",
       "blocking-io",        "wire-docs",              "metrics-docs",
-      "fault-metrics-docs", "pool-metrics-docs",      "pragma-once"};
+      "fault-metrics-docs", "pool-metrics-docs",      "live-metrics-docs",
+      "pragma-once"};
   return kRules;
 }
 

@@ -1,0 +1,23 @@
+// Fixture: live-metrics-docs must flag an instrument name that the
+// fixture OBSERVABILITY.md does not catalogue.
+#include <string>
+
+namespace lsl::live {
+
+std::string documented_metric() {
+  return "live.timeouts_header";  // catalogued in testdata/docs/OBSERVABILITY.md
+}
+
+std::string undocumented_metric() {
+  return "live.undocumented_total";  // should fire
+}
+
+std::string suppressed_metric() {
+  return "live.shadow_total";  // lsl-lint: allow(live-metrics-docs)
+}
+
+std::string prose_mention() {
+  return "live. prefix prose never fires";  // not an instrument name
+}
+
+}  // namespace lsl::live
