@@ -23,6 +23,15 @@
 //                       sessions get DUR to finish (or park) before being
 //                       aborted; default 30s with --liveness, unbounded
 //                       otherwise
+//   --spans-out=FILE    attach a span tracer ("lsd.<port>") and dump its
+//                       flight recorder to FILE as JSONL on exit — after a
+//                       SIGTERM drain resolves, and from the post-mortem
+//                       hook if a contract aborts the daemon. Feed the
+//                       per-depot files to tools/lsl_spans to merge a
+//                       cascade's timeline (docs/OBSERVABILITY.md)
+//   --admin-socket=PATH serve live introspection (stats|spans|health line
+//                       protocol) on a Unix-domain socket at PATH, answered
+//                       from the daemon's own event loop
 //
 // SIGTERM (or Ctrl-C) in daemon mode triggers a graceful drain: the daemon
 // refuses new sessions, lets in-flight ones finish, then exits printing a
@@ -37,10 +46,12 @@
 
 #include "fault/spec.hpp"
 #include "live/liveness.hpp"
+#include "posix/admin.hpp"
 #include "posix/client.hpp"
 #include "posix/epoll_loop.hpp"
 #include "posix/fault_driver.hpp"
 #include "posix/lsd.hpp"
+#include "span/span.hpp"
 #include "util/units.hpp"
 
 using namespace lsl;
@@ -54,14 +65,37 @@ void on_terminate_signal(int) { g_drain_requested = 1; }
 int run_daemon(std::uint16_t port, std::size_t buffer,
                std::chrono::milliseconds resume_grace,
                const std::string& fault_spec,
-               const live::LivenessConfig& liveness) {
+               const live::LivenessConfig& liveness,
+               const std::string& spans_out,
+               const std::string& admin_socket) {
   posix::EpollLoop loop;
   posix::LsdConfig cfg;
   cfg.bind = posix::InetAddress{0, port};  // INADDR_ANY
   cfg.buffer_bytes = buffer;
   cfg.resume_grace = resume_grace;
   cfg.liveness = liveness;
+  // Declared before the daemon: Lsd teardown flushes open stream windows
+  // through the tracer, so it must outlive the Lsd.
+  std::unique_ptr<span::Tracer> tracer;
   posix::Lsd daemon(loop, cfg);
+
+  if (!spans_out.empty()) {
+    tracer = std::make_unique<span::Tracer>("lsd." +
+                                            std::to_string(daemon.port()));
+    daemon.set_tracer(tracer.get());
+    // If a contract aborts the daemon, the flight recorder's last moments
+    // still reach the file.
+    span::install_post_mortem(tracer.get(), spans_out);
+    std::printf("lsd: tracing to %s (source %s)\n", spans_out.c_str(),
+                tracer->source().c_str());
+  }
+
+  std::unique_ptr<posix::AdminServer> admin;
+  if (!admin_socket.empty()) {
+    admin = std::make_unique<posix::AdminServer>(loop, admin_socket, daemon);
+    if (tracer) admin->set_tracer(tracer.get());
+    std::printf("lsd: admin socket at %s\n", admin_socket.c_str());
+  }
 
   std::unique_ptr<posix::LsdFaultDriver> driver;
   if (!fault_spec.empty()) {
@@ -103,12 +137,24 @@ int run_daemon(std::uint16_t port, std::size_t buffer,
       daemon.expire_parked();
     }
   }
+  int rc = 0;
   if (daemon.draining()) {
     const live::DrainReport& rep = daemon.drain_report();
     std::printf("lsd: %s\n", rep.summary().c_str());  // "drain <state>: ..."
-    return rep.expired ? 1 : 0;
+    rc = rep.expired ? 1 : 0;
   }
-  return 0;
+  if (tracer) {
+    span::install_post_mortem(nullptr, "");  // normal exit: no crash hook
+    if (span::dump_file(*tracer, spans_out)) {
+      std::printf("lsd: dumped %llu spans to %s\n",
+                  static_cast<unsigned long long>(
+                      tracer->recorder().recorded()),
+                  spans_out.c_str());
+    } else {
+      std::fprintf(stderr, "lsd: cannot write %s\n", spans_out.c_str());
+    }
+  }
+  return rc;
 }
 
 int run_demo(std::uint64_t bytes) {
@@ -174,6 +220,8 @@ int main(int argc, char** argv) {
     std::size_t buffer = 1024 * 1024;
     std::chrono::milliseconds grace{0};
     std::string fault_spec;
+    std::string spans_out;
+    std::string admin_socket;
     live::LivenessConfig liveness;  // all-zero: deadlines off
     bool have_port = false;
     for (int i = 2; i < argc; ++i) {
@@ -187,6 +235,10 @@ int main(int argc, char** argv) {
         grace = std::chrono::milliseconds(*d / util::kMillisecond);
       } else if (arg.rfind("--fault-spec=", 0) == 0) {
         fault_spec = arg.substr(13);
+      } else if (arg.rfind("--spans-out=", 0) == 0) {
+        spans_out = arg.substr(12);
+      } else if (arg.rfind("--admin-socket=", 0) == 0) {
+        admin_socket = arg.substr(15);
       } else if (arg == "--liveness") {
         const auto drain = liveness.drain_deadline;  // may be set already
         liveness = live::LivenessConfig::recommended();
@@ -205,7 +257,8 @@ int main(int argc, char** argv) {
         buffer = static_cast<std::size_t>(std::atoll(arg.c_str()));
       }
     }
-    return run_daemon(port, buffer, grace, fault_spec, liveness);
+    return run_daemon(port, buffer, grace, fault_spec, liveness, spans_out,
+                      admin_socket);
   }
   std::uint64_t bytes = 8 * util::kMiB;
   if (argc > 1) bytes = std::strtoull(argv[1], nullptr, 10);

@@ -9,7 +9,9 @@
 # Without --update: if BENCH_pool.json exists, the splice-path aggregate
 # throughput must come in at >= REGRESSION_FRACTION (default 0.8) of the
 # recorded baseline, the fallback run must keep its >90% chunk reuse rate,
-# and the pool must never exceed its budget — any miss fails the script.
+# the pool must never exceed its budget, and a spans-on run must hold
+# >= TRACING_OVERHEAD_FRACTION (default 0.95) of the spans-off rate —
+# any miss fails the script.
 # The baseline file is then refreshed. With --update, comparison is
 # skipped (use after intentional perf-relevant changes).
 set -euo pipefail
@@ -20,6 +22,7 @@ update_only=false
 [[ "${1:-}" == "--update" ]] && update_only=true
 
 REGRESSION_FRACTION="${REGRESSION_FRACTION:-0.8}"
+TRACING_OVERHEAD_FRACTION="${TRACING_OVERHEAD_FRACTION:-0.95}"
 BASELINE=BENCH_pool.json
 jobs=$(nproc 2>/dev/null || echo 4)
 
@@ -33,6 +36,14 @@ trap 'rm -rf "$tmp"' EXIT
 ./build/tools/lsl_load --sessions=64 --bytes=2m --budget=64m \
   --json="$tmp/splice.json"
 
+# The same workload with session tracing on: every transfer carries a
+# trace id and the daemon records spans into its flight recorder. The
+# span hot path is one branch + one lock-free ring write per MiB, so
+# spans-on must stay within TRACING_OVERHEAD_FRACTION (default 5%) of
+# spans-off — the tracing-overhead gate.
+./build/tools/lsl_load --sessions=64 --bytes=2m --budget=64m --trace \
+  --json="$tmp/traced.json"
+
 # Chunk-pool fallback, sized so every chunk turns over several times:
 # budget/chunk = 512 chunks carrying 64 x 8 MiB = 8192 chunk-loads, so
 # the reuse rate must be high if recycling works at all.
@@ -44,13 +55,16 @@ trap 'rm -rf "$tmp"' EXIT
   --benchmark_min_time=0.05 --benchmark_format=json \
   >"$tmp/micro.json" 2>/dev/null
 
-python3 - "$tmp" "$BASELINE" "$REGRESSION_FRACTION" "$update_only" <<'EOF'
+python3 - "$tmp" "$BASELINE" "$REGRESSION_FRACTION" "$update_only" \
+  "$TRACING_OVERHEAD_FRACTION" <<'EOF'
 import json, sys, os
 
 tmp, baseline_path, frac, update_only = (
     sys.argv[1], sys.argv[2], float(sys.argv[3]), sys.argv[4] == "true")
+trace_frac = float(sys.argv[5])
 
 splice = json.load(open(os.path.join(tmp, "splice.json")))
+traced = json.load(open(os.path.join(tmp, "traced.json")))
 pool = json.load(open(os.path.join(tmp, "pool.json")))
 micro = json.load(open(os.path.join(tmp, "micro.json")))
 
@@ -64,6 +78,15 @@ if splice["bytes_spliced"] == 0:
 if pool["pool_reuse_rate"] < 0.90:
     failures.append(
         f"chunk reuse rate {pool['pool_reuse_rate']:.1%} below 90%")
+if not traced["ok"]:
+    failures.append("traced lsl_load run failed")
+trace_ratio = traced["aggregate_mbps"] / max(splice["aggregate_mbps"], 1e-9)
+if trace_ratio < trace_frac:
+    failures.append(
+        "tracing overhead gate: spans-on %.1f Mbit/s is %.1f%% of "
+        "spans-off %.1f (floor %.0f%%)"
+        % (traced["aggregate_mbps"], trace_ratio * 100,
+           splice["aggregate_mbps"], trace_frac * 100))
 for name, run in (("splice", splice), ("pool", pool)):
     if run["pool_peak_bytes"] > run["pool_budget_bytes"]:
         failures.append(f"{name} run exceeded its memory budget")
@@ -75,6 +98,8 @@ bench = {
 
 result = {
     "splice_aggregate_mbps": round(splice["aggregate_mbps"], 3),
+    "traced_aggregate_mbps": round(traced["aggregate_mbps"], 3),
+    "tracing_overhead_ratio": round(trace_ratio, 4),
     "fallback_aggregate_mbps": round(pool["aggregate_mbps"], 3),
     "sessions_per_s": round(splice["sessions_per_s"], 3),
     "pool_reuse_rate": round(pool["pool_reuse_rate"], 4),
@@ -84,6 +109,7 @@ result = {
     "md5_bytes_per_second": bench.get("BM_Md5Throughput/65536"),
     "lsl_load_args": {
         "splice": "--sessions=64 --bytes=2m --budget=64m",
+        "traced": "--sessions=64 --bytes=2m --budget=64m --trace",
         "fallback": "--sessions=64 --bytes=8m --budget=32m --no-splice",
     },
 }

@@ -134,6 +134,20 @@ void DepotApp::pull_upstream(Relay& r) {
     }
   }
 
+  // The header is in: adopt its trace id (once — trace_id goes non-zero)
+  // and backfill the accept/header-read spans, whose interval opened at
+  // accept but whose join key only exists now.
+  if (r.trace_id == 0 && r.header && r.header->trace_id != 0) {
+    r.trace_id = r.header->trace_id;
+    if (tracer_ != nullptr) {
+      tracer_->mark(r.trace_id, span::kSpanAccept,
+                    util::to_seconds(r.accept_time));
+      tracer_->emit(r.trace_id, span::kSpanHeaderRead,
+                    util::to_seconds(r.accept_time),
+                    util::to_seconds(stack_.sim().now()));
+    }
+  }
+
   // Phase 2a: a resume header re-binds an existing parked session instead
   // of dialing a new downstream path.
   if (r.header->is_resume() && !r.downstream_dialed) {
@@ -145,6 +159,7 @@ void DepotApp::pull_upstream(Relay& r) {
   // daemon's per-session processing delay.
   if (!r.downstream_dialed) {
     r.downstream_dialed = true;
+    r.dial_start = stack_.sim().now();
     // The dial deadline covers setup latency + handshake in one span.
     r.live.on_header_done(stack_.sim().now());
     arm_live_timer();
@@ -278,6 +293,13 @@ void DepotApp::dial_downstream(Relay& r) {
   r.down->on_established = [this, rp] {
     rp->downstream_up = true;
     rp->live.on_connected(stack_.sim().now());
+    if (tracer_ != nullptr && rp->trace_id != 0) {
+      // Covers session_setup_latency + the downstream handshake, the same
+      // interval the dial liveness deadline bounds.
+      tracer_->emit(rp->trace_id, span::kSpanDial,
+                    util::to_seconds(rp->dial_start),
+                    util::to_seconds(stack_.sim().now()));
+    }
     pump_downstream(*rp);
   };
   r.down->on_writable = [this, rp] { pump_downstream(*rp); };
@@ -333,6 +355,7 @@ void DepotApp::pump_downstream(Relay& r) {
       budget_.release(took);
       stats_.bytes_relayed += took;
       if (metrics_) metrics_->bytes_relayed->inc(took);
+      note_stream(r, took);
       freed = true;
       if (r.ready_consumed == front.size()) {
         r.ready_chunks.pop_front();
@@ -347,6 +370,7 @@ void DepotApp::pump_downstream(Relay& r) {
       budget_.release(took);
       stats_.bytes_relayed += took;
       if (metrics_) metrics_->bytes_relayed->inc(took);
+      note_stream(r, took);
       freed = true;
     }
   }
@@ -367,6 +391,29 @@ void DepotApp::pump_downstream(Relay& r) {
   arm_live_timer();
 
   maybe_complete(r);
+}
+
+void DepotApp::note_stream(Relay& r, std::uint64_t took) {
+  r.relayed += took;
+  if (tracer_ == nullptr || r.trace_id == 0 || took == 0) return;
+  if (r.window_open < 0) {
+    r.window_open = stack_.sim().now();
+    r.window_base = r.relayed - took;
+  }
+  if (r.relayed - r.window_base >= span::kStreamWindowBytes) {
+    tracer_->emit(r.trace_id, span::kSpanStreamWindow,
+                  util::to_seconds(r.window_open),
+                  util::to_seconds(stack_.sim().now()), r.relayed);
+    r.window_open = -1;
+  }
+}
+
+void DepotApp::flush_stream_window(Relay& r) {
+  if (tracer_ == nullptr || r.trace_id == 0 || r.window_open < 0) return;
+  tracer_->emit(r.trace_id, span::kSpanStreamWindow,
+                util::to_seconds(r.window_open),
+                util::to_seconds(stack_.sim().now()), r.relayed);
+  r.window_open = -1;
 }
 
 void DepotApp::schedule_progress() {
@@ -457,6 +504,11 @@ void DepotApp::park_relay(Relay& r) {
   pull_payload(r, /*ignore_space=*/true);
   end_stall(r);  // a parked relay is waiting for resume, not for ring space
   r.parked = true;
+  flush_stream_window(r);
+  if (tracer_ != nullptr && r.trace_id != 0) {
+    tracer_->mark(r.trace_id, span::kSpanPark,
+                  util::to_seconds(stack_.sim().now()), r.payload_pulled);
+  }
   // A parked relay is deliberately dormant: its clock is the resume grace,
   // not the liveness deadlines.
   r.live.cancel_all();
@@ -513,6 +565,11 @@ bool DepotApp::try_resume(Relay& fresh) {
   // from the resume instant.
   old->live.on_connected(stack_.sim().now());
   arm_live_timer();
+  if (tracer_ != nullptr && old->trace_id != 0) {
+    tracer_->mark(old->trace_id, span::kSpanResume,
+                  util::to_seconds(stack_.sim().now()),
+                  fresh.header->resume_offset);
+  }
 
   pull_upstream(*old);
   return true;
@@ -533,6 +590,7 @@ void DepotApp::maybe_complete(Relay& r) {
     }
     r.done = true;
     end_stall(r);
+    flush_stream_window(r);
     ++stats_.sessions_completed;
     if (draining_ && !drain_done_) ++drain_report_.completed;
     r.live.cancel_all();
@@ -579,6 +637,7 @@ void DepotApp::fail_relay(Relay& r) {
   // copy_complete events on this relay return without touching accounts.
   budget_.release(buffered(r));
   end_stall(r);
+  flush_stream_window(r);
   r.live.cancel_all();
   arm_live_timer();
   ++stats_.sessions_failed;
@@ -660,6 +719,7 @@ void DepotApp::arm_live_timer() {
 void DepotApp::begin_drain() {
   if (draining_) return;
   draining_ = true;
+  drain_start_ = stack_.sim().now();
   drain_report_ = {};
   std::uint64_t parked = 0;
   for (const auto& r : relays_) {
@@ -698,6 +758,12 @@ void DepotApp::maybe_finish_drain() {
   }
   if (live_metrics_ && !drain_report_.expired) {
     live_metrics_->drains_completed->inc();
+  }
+  if (tracer_ != nullptr) {
+    // Daemon-wide lifecycle span: trace id 0 marks node scope, not a flow.
+    tracer_->emit(0, span::kSpanDrain, util::to_seconds(drain_start_),
+                  util::to_seconds(stack_.sim().now()),
+                  drain_report_.completed);
   }
   LSL_LOG_INFO("depot: drain resolved: %s", drain_report_.summary().c_str());
   if (on_drain_done) on_drain_done(drain_report_);

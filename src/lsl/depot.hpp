@@ -30,6 +30,7 @@
 #include "lsl/directory.hpp"
 #include "lsl/wire.hpp"
 #include "metrics/instruments.hpp"
+#include "span/span.hpp"
 #include "tcp/stack.hpp"
 #include "util/units.hpp"
 
@@ -163,6 +164,12 @@ class DepotApp {
   /// only change when a run opts in.
   void set_live_metrics(live::LiveMetrics* m) { live_metrics_ = m; }
 
+  /// Attach a span tracer (must outlive the depot's traffic); null
+  /// detaches. Off by default — with no tracer, no span code path touches
+  /// any state, so same-seed metric exports stay byte-identical. Spans are
+  /// only emitted for sessions whose header carries a trace id.
+  void set_tracer(span::Tracer* t) { tracer_ = t; }
+
   // --- Graceful drain (mirrors posix::Lsd::begin_drain) -----------------
 
   /// Stop accepting new sessions (refused with RST) and let in-flight ones
@@ -216,6 +223,14 @@ class DepotApp {
     util::SimTime accept_time = 0;   ///< when the upstream was accepted
     util::SimTime stall_since = -1;  ///< ring-full stall start (-1 = none)
 
+    // Span tracing (inert unless the header carried a trace id AND a
+    // tracer is attached — trace_id stays 0 otherwise).
+    std::uint64_t trace_id = 0;
+    util::SimTime dial_start = 0;    ///< header done; span.dial opens here
+    std::uint64_t relayed = 0;       ///< payload bytes this relay pushed
+    std::uint64_t window_base = 0;   ///< `relayed` at stream-window open
+    util::SimTime window_open = -1;  ///< -1 = no open stream window
+
     /// Per-relay liveness deadlines (inert while DepotConfig::liveness is
     /// all zeros).
     live::RelayLiveness live;
@@ -244,6 +259,11 @@ class DepotApp {
   void note_occupancy(const Relay& r);
   /// Coalesce on_progress dispatch into one zero-delay event.
   void schedule_progress();
+  /// Span bookkeeping after `took` payload bytes went downstream: opens a
+  /// stream window at the first byte, closes one per kStreamWindowBytes.
+  void note_stream(Relay& r, std::uint64_t took);
+  /// Close a dangling stream window (session end/park/fail).
+  void flush_stream_window(Relay& r);
   std::uint64_t buffered(const Relay& r) const {
     return r.ready_bytes + r.in_copy_bytes;
   }
@@ -282,6 +302,8 @@ class DepotApp {
   /// cancel wheel tokens) run while the wheel is still alive.
   live::DeadlineWheel wheel_;
   live::LiveMetrics* live_metrics_ = nullptr;
+  span::Tracer* tracer_ = nullptr;
+  util::SimTime drain_start_ = 0;  ///< span.drain opens at begin_drain
   sim::EventId live_event_ = sim::kInvalidEvent;
   util::SimTime live_event_due_ = -1;
   bool draining_ = false;

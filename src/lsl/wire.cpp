@@ -8,6 +8,7 @@ namespace {
 
 constexpr std::uint8_t kMagic[4] = {'L', 'S', 'L', '1'};
 constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kVersionTraced = 2;
 
 void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 8));
@@ -55,12 +56,13 @@ void encode_header(const SessionHeader& h, std::vector<std::uint8_t>& out) {
   }
   out.reserve(out.size() + h.encoded_size());
   out.insert(out.end(), kMagic, kMagic + 4);
-  out.push_back(kVersion);
+  out.push_back(h.trace_id != 0 ? kVersionTraced : kVersion);
   out.push_back(h.flags);
   put_u16(out, static_cast<std::uint16_t>(h.hops.size()));
   out.insert(out.end(), h.session.bytes().begin(), h.session.bytes().end());
   put_u64(out, h.payload_length);
   put_u64(out, h.resume_offset);
+  if (h.trace_id != 0) put_u64(out, h.trace_id);
   for (const HopAddress& hop : h.hops) {
     put_u32(out, hop.addr);
     put_u16(out, hop.port);
@@ -73,10 +75,14 @@ std::optional<std::size_t> header_length(
     std::span<const std::uint8_t> prefix) {
   if (prefix.size() < kHeaderPrefixBytes) return std::nullopt;
   if (std::memcmp(prefix.data(), kMagic, 4) != 0) return std::nullopt;
-  if (prefix[4] != kVersion) return std::nullopt;
+  if (prefix[4] != kVersion && prefix[4] != kVersionTraced) {
+    return std::nullopt;
+  }
   const std::uint16_t hops = get_u16(prefix.data() + 6);
   if (hops > kMaxHops) return std::nullopt;
-  return kFixedHeaderBytes + kBytesPerHop * static_cast<std::size_t>(hops);
+  const std::size_t fixed =
+      prefix[4] == kVersionTraced ? kFixedHeaderBytesV2 : kFixedHeaderBytes;
+  return fixed + kBytesPerHop * static_cast<std::size_t>(hops);
 }
 
 std::optional<SessionHeader> decode_header(std::span<const std::uint8_t> buf) {
@@ -92,6 +98,13 @@ std::optional<SessionHeader> decode_header(std::span<const std::uint8_t> buf) {
   h.payload_length = get_u64(buf.data() + 24);
   h.resume_offset = get_u64(buf.data() + 32);
   const std::uint8_t* p = buf.data() + 40;
+  if (buf[4] == kVersionTraced) {
+    h.trace_id = get_u64(p);
+    p += kTraceIdBytes;
+    // A version-2 header with trace id 0 would re-encode as version 1 and
+    // change length mid-chain; reject it at the edge instead.
+    if (h.trace_id == 0) return std::nullopt;
+  }
   h.hops.reserve(hop_count);
   for (std::uint16_t i = 0; i < hop_count; ++i) {
     h.hops.push_back({get_u32(p), get_u16(p + 4)});

@@ -10,14 +10,21 @@
 //
 // Layout (big-endian):
 //   0   4  magic "LSL1"
-//   4   1  version (currently 1)
+//   4   1  version (1, or 2 when a trace id is carried)
 //   5   1  flags (SessionFlags bits)
 //   6   2  remaining hop count (excluding final destination)
 //   8  16  session id
 //  24   8  payload length in bytes
 //  32   8  resume offset (first payload byte carried; 0 for new sessions)
-//  40  6*n remaining hops: address(4) + port(2)
+// [40   8  trace id — version 2 only; joins per-depot span records]
+//   ..  6*n remaining hops: address(4) + port(2)
 //   ..  6  final destination: address(4) + port(2)
+//
+// Version gating keeps tracing opt-in on the wire: a header is encoded as
+// version 2 if and only if trace_id != 0, so untraced sessions are
+// byte-identical to what a version-1-only peer expects, and a traced
+// session fails fast (header rejected) at such a peer instead of
+// silently losing its trace id mid-chain.
 //
 // "address" is a node id in the simulator and an IPv4 address in the posix
 // implementation — both 32 bits, so headers are layout-identical.
@@ -43,10 +50,18 @@ struct HopAddress {
 /// Maximum number of relay hops a header may carry.
 inline constexpr std::size_t kMaxHops = 16;
 
-/// Bytes of the fixed (route-independent) portion of the header: magic(4) +
-/// version(1) + flags(1) + hop count(2) + session id(16) + payload
-/// length(8) + resume offset(8) + destination(6).
+/// Bytes of the fixed (route-independent) portion of a version-1 header:
+/// magic(4) + version(1) + flags(1) + hop count(2) + session id(16) +
+/// payload length(8) + resume offset(8) + destination(6).
 inline constexpr std::size_t kFixedHeaderBytes = 46;
+
+/// Bytes of the wire-carried trace id (version 2 headers only).
+inline constexpr std::size_t kTraceIdBytes = 8;
+
+/// Fixed portion of a version-2 (traced) header: version 1's fields plus
+/// the trace id between resume offset and the route.
+inline constexpr std::size_t kFixedHeaderBytesV2 =
+    kFixedHeaderBytes + kTraceIdBytes;
 
 /// Bytes each route entry adds: address(4) + port(2).
 inline constexpr std::size_t kBytesPerHop = 6;
@@ -82,6 +97,10 @@ struct SessionHeader {
   std::uint64_t payload_length = 0;
   /// First payload byte this connection carries (kFlagResume sessions).
   std::uint64_t resume_offset = 0;
+  /// End-to-end tracing join key, minted at the source and relayed
+  /// unchanged hop to hop. 0 (the default) means untraced: the header is
+  /// then encoded as version 1, byte-identical to pre-tracing builds.
+  std::uint64_t trace_id = 0;
   std::vector<HopAddress> hops;         ///< remaining relay depots
   HopAddress destination;               ///< ultimate sink
 
@@ -94,9 +113,10 @@ struct SessionHeader {
   /// The header this node forwards onward (first hop popped).
   SessionHeader popped() const;
 
-  /// Encoded size of this header in bytes.
+  /// Encoded size of this header in bytes (version dependent).
   std::size_t encoded_size() const {
-    return kFixedHeaderBytes + kBytesPerHop * hops.size();
+    return (trace_id != 0 ? kFixedHeaderBytesV2 : kFixedHeaderBytes) +
+           kBytesPerHop * hops.size();
   }
 };
 

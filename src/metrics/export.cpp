@@ -48,7 +48,10 @@ void write_jsonl(const Registry& reg, std::ostream& out) {
   reg.for_each_histogram([&](const std::string& n, const Histogram& h) {
     out << "{\"type\":\"histogram\",\"name\":" << jstr(n)
         << ",\"count\":" << h.count() << ",\"sum\":" << jnum(h.sum())
-        << ",\"mean\":" << jnum(h.mean()) << ",\"buckets\":[";
+        << ",\"mean\":" << jnum(h.mean())
+        << ",\"p50\":" << jnum(h.percentile(0.50))
+        << ",\"p90\":" << jnum(h.percentile(0.90))
+        << ",\"p99\":" << jnum(h.percentile(0.99)) << ",\"buckets\":[";
     const auto& bounds = h.bounds();
     for (std::size_t i = 0; i <= bounds.size(); ++i) {
       if (i > 0) out << ',';
@@ -89,6 +92,9 @@ void write_csv(const Registry& reg, std::ostream& out) {
     out << "histogram," << n << ",count," << h.count() << '\n';
     out << "histogram," << n << ",sum," << h.sum() << '\n';
     out << "histogram," << n << ",mean," << h.mean() << '\n';
+    out << "histogram," << n << ",p50," << h.percentile(0.50) << '\n';
+    out << "histogram," << n << ",p90," << h.percentile(0.90) << '\n';
+    out << "histogram," << n << ",p99," << h.percentile(0.99) << '\n';
     const auto& bounds = h.bounds();
     for (std::size_t i = 0; i <= bounds.size(); ++i) {
       out << "histogram," << n << ",le=";

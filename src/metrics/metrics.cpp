@@ -43,6 +43,28 @@ void Histogram::observe(double v) noexcept {
   }
 }
 
+double Histogram::percentile(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0 || bounds_.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation, 1-based: q=0 is the first, q=1 the
+  // last. Walk buckets until the cumulative count covers it.
+  const double rank = 1.0 + q * static_cast<double>(total - 1);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const std::uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= rank) {
+      const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+      const double frac =
+          (rank - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return lower + (bounds_[i] - lower) * frac;
+    }
+    cum += in_bucket;
+  }
+  return bounds_.back();  // overflow bucket: pinned to the last bound
+}
+
 std::vector<double> Histogram::exponential(double first, double factor,
                                            std::size_t n) {
   std::vector<double> b;

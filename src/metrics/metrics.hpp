@@ -91,6 +91,13 @@ class Histogram {
     return n ? sum() / static_cast<double>(n) : 0.0;
   }
 
+  /// Quantile estimate (q in [0,1], clamped) by linear interpolation
+  /// inside the bucket that holds the q-th observation; 0 for an empty
+  /// histogram. Observations in the overflow bucket are pinned to the
+  /// last finite bound — an admitted under-estimate, the standard
+  /// fixed-bucket trade (exports also carry the raw buckets).
+  double percentile(double q) const noexcept;
+
   /// Exponential bucket boundaries: n bounds starting at `first`, each
   /// `factor` times the previous — the standard latency layout.
   static std::vector<double> exponential(double first, double factor,

@@ -52,6 +52,7 @@ void PosixSource::open_connection(std::uint64_t offset) {
   if (use_header) {
     core::SessionHeader h;
     h.session = session_;
+    h.trace_id = config_.trace_id;
     if (config_.send_digest) h.flags |= core::kFlagDigestTrailer;
     if (offset > 0) {
       h.flags |= core::kFlagResume;

@@ -49,6 +49,10 @@ struct PosixSourceConfig {
   /// the reconnect path, others fail), so a blackholed depot cannot hang
   /// a session — or a resume — forever. Zero means unbounded.
   std::chrono::milliseconds dial_timeout{0};
+  /// Nonzero stamps every header this source sends with a trace id, which
+  /// each depot propagates hop-to-hop (wire version 2) and joins its spans
+  /// on. Zero (the default) keeps the wire byte-identical to version 1.
+  std::uint64_t trace_id = 0;
 };
 
 /// Streams one LSL session (or a raw TCP transfer when route is empty and

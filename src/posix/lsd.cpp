@@ -98,6 +98,16 @@ struct Lsd::Relay {
   /// Wall-clock accept time, for the accept-to-dial latency metric.
   std::chrono::steady_clock::time_point accepted_at;
 
+  // Span tracing (inert unless the header carried a trace id AND the
+  // daemon has a tracer attached — trace_id stays 0 otherwise). Times are
+  // CLOCK_MONOTONIC nanoseconds (TimerFd::now_ns).
+  std::uint64_t trace_id = 0;
+  std::int64_t accept_ns = 0;
+  std::int64_t dial_start_ns = 0;   ///< header done; span.dial opens here
+  std::uint64_t relayed = 0;        ///< payload bytes this relay pushed
+  std::uint64_t window_base = 0;    ///< `relayed` at stream-window open
+  std::int64_t window_open_ns = -1; ///< -1 = no open stream window
+
   // Resume machinery. payload_pulled counts unique payload bytes taken
   // from the upstream (the high-water mark a resume offset is checked
   // against); spill holds bytes salvaged from a dying upstream's kernel
@@ -131,6 +141,9 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
              std::chrono::steady_clock::now() - t0)
       .count();
 }
+
+/// Monotonic nanoseconds → span seconds (the tracer's timebase).
+double span_sec(std::int64_t ns) { return static_cast<double>(ns) * 1e-9; }
 
 /// Arrange for close() to emit RST instead of an orderly FIN.
 void arm_reset(int fd) {
@@ -216,6 +229,7 @@ void Lsd::on_accept() {
     Relay* r = owned.get();
     r->up = std::move(conn);
     r->accepted_at = std::chrono::steady_clock::now();
+    r->accept_ns = now_ns();
     relays_.emplace(r, std::move(owned));
     r->up_events = EPOLLIN;
     // Each top-level event turn ends by re-pumping relays that stopped
@@ -294,6 +308,11 @@ void Lsd::on_downstream(Relay* r, std::uint32_t events) {
     r->down_connected = true;
     r->state.transition(RelayState::kStream);
     r->live.on_connected(now_ns());
+    if (tracer_ != nullptr && r->trace_id != 0) {
+      // The same interval the dial liveness deadline bounds.
+      tracer_->emit(r->trace_id, span::kSpanDial,
+                    span_sec(r->dial_start_ns), span_sec(now_ns()));
+    }
   }
   if (events & EPOLLERR) {
     finish(r, false, LsdFailReason::kPeerReset);
@@ -344,6 +363,15 @@ bool Lsd::pump_upstream(Relay* r) {
         }
         r->header = *h;
         r->header_done = true;
+        r->trace_id = r->header.trace_id;
+        if (tracer_ != nullptr && r->trace_id != 0) {
+          // Backfilled: the interval opened at accept, but the join key
+          // only exists once the header is parsed.
+          tracer_->mark(r->trace_id, span::kSpanAccept,
+                        span_sec(r->accept_ns));
+          tracer_->emit(r->trace_id, span::kSpanHeaderRead,
+                        span_sec(r->accept_ns), span_sec(now_ns()));
+        }
         if (r->header.is_resume()) {
           // This connection re-binds a parked session rather than opening
           // a new relay; `r` is retired either way (its socket adopted on
@@ -364,6 +392,7 @@ bool Lsd::pump_upstream(Relay* r) {
           return false;
         }
         r->down_connecting = true;
+        r->dial_start_ns = now_ns();
         r->state.transition(RelayState::kDial);
         // Under an injected dial blackhole the connect's completion is
         // never observed (no EPOLLOUT interest), exactly like a SYN into
@@ -538,6 +567,7 @@ bool Lsd::pump_downstream(Relay* r) {
       r->ring.consume(took);
       stats_.bytes_relayed += took;
       if (metrics_) metrics_->bytes_relayed->inc(took);
+      note_stream(r, took);
     }
   }
 
@@ -554,6 +584,7 @@ bool Lsd::pump_downstream(Relay* r) {
     r->ring.consume(static_cast<std::size_t>(n));
     stats_.bytes_relayed += static_cast<std::uint64_t>(n);
     if (metrics_) metrics_->bytes_relayed->inc(static_cast<std::uint64_t>(n));
+    note_stream(r, static_cast<std::uint64_t>(n));
   }
 
   // Then the pipe (fast path; mutually exclusive with ring contents).
@@ -584,6 +615,7 @@ bool Lsd::pump_downstream(Relay* r) {
       metrics_->bytes_relayed->inc(static_cast<std::uint64_t>(n));
       metrics_->bytes_spliced->inc(static_cast<std::uint64_t>(n));
     }
+    note_stream(r, static_cast<std::uint64_t>(n));
   }
 
   // Then bytes salvaged from a dead upstream.
@@ -599,6 +631,7 @@ bool Lsd::pump_downstream(Relay* r) {
     r->spill_off += static_cast<std::size_t>(n);
     stats_.bytes_relayed += static_cast<std::uint64_t>(n);
     if (metrics_) metrics_->bytes_relayed->inc(static_cast<std::uint64_t>(n));
+    note_stream(r, static_cast<std::uint64_t>(n));
   }
   if (r->spill_empty() && !r->spill.empty()) {
     r->spill.clear();
@@ -629,6 +662,30 @@ bool Lsd::pump_downstream(Relay* r) {
     if (r->state == RelayState::kDone) return false;
   }
   return true;
+}
+
+void Lsd::note_stream(Relay* r, std::uint64_t took) {
+  r->relayed += took;
+  if (!tracer_ || r->trace_id == 0) return;
+  // One stream-window span per MiB of relayed payload; the window opens at
+  // the first byte after the previous close so idle gaps between windows
+  // stay visible in the timeline.
+  if (r->window_open_ns < 0) {
+    r->window_open_ns = now_ns();
+    r->window_base = r->relayed - took;
+  }
+  if (r->relayed - r->window_base >= span::kStreamWindowBytes) {
+    tracer_->emit(r->trace_id, span::kSpanStreamWindow,
+                  span_sec(r->window_open_ns), span_sec(now_ns()), r->relayed);
+    r->window_open_ns = -1;
+  }
+}
+
+void Lsd::flush_stream_window(Relay* r) {
+  if (!tracer_ || r->trace_id == 0 || r->window_open_ns < 0) return;
+  tracer_->emit(r->trace_id, span::kSpanStreamWindow,
+                span_sec(r->window_open_ns), span_sec(now_ns()), r->relayed);
+  r->window_open_ns = -1;
 }
 
 bool Lsd::splice_eligible(const Relay* r) const {
@@ -681,6 +738,7 @@ void Lsd::update_interest(Relay* r) {
 void Lsd::finish(Relay* r, bool ok, LsdFailReason reason) {
   const auto it = relays_.find(r);
   if (it == relays_.end()) return;  // already finished
+  flush_stream_window(r);
   r->state.transition(RelayState::kDone);
   if (r->parked) {
     const auto pit = parked_.find(r->header.session);
@@ -808,7 +866,15 @@ void Lsd::salvage_upstream(Relay* r) {
 void Lsd::park_relay(Relay* r) {
   // Everything the kernel already acknowledged on the source's behalf must
   // survive the fd: the resuming source will not retransmit acked bytes.
+  flush_stream_window(r);
+  const std::int64_t salvage_start = now_ns();
   salvage_upstream(r);
+  if (tracer_ && r->trace_id != 0) {
+    tracer_->emit(r->trace_id, span::kSpanSalvage, span_sec(salvage_start),
+                  span_sec(now_ns()), r->spill.size());
+    tracer_->mark(r->trace_id, span::kSpanPark, span_sec(now_ns()),
+                  r->payload_pulled);
+  }
   if (r->up.valid()) {
     loop_.remove(r->up.get());
     r->up.reset();
@@ -886,6 +952,9 @@ void Lsd::try_resume(Relay* fresh) {
   });
   // Back in the stream phase: the idle/stall watchdog resumes.
   p->live.on_connected(now_ns());
+  if (tracer_ && p->trace_id != 0) {
+    tracer_->mark(p->trace_id, span::kSpanResume, span_sec(now_ns()), offset);
+  }
   // The husk that carried the resume header is done; it must not count as
   // a completed or failed session.
   discard_relay(fresh);
@@ -1082,6 +1151,7 @@ void Lsd::begin_drain() {
   if (draining_) return;
   draining_ = true;
   drain_done_ = false;
+  drain_start_ns_ = now_ns();
   drain_report_ = {};
   drain_report_.in_flight_at_start = relays_.size() - parked_.size();
   if (live_metrics_) live_metrics_->drains_started->inc();
@@ -1108,6 +1178,12 @@ void Lsd::maybe_finish_drain() {
   drain_token_ = live::DeadlineWheel::kInvalidToken;
   if (live_metrics_ && !drain_report_.expired) {
     live_metrics_->drains_completed->inc();
+  }
+  if (tracer_) {
+    // Trace id 0 = node scope: the drain belongs to the daemon, not to any
+    // one session flowing through it.
+    tracer_->emit(0, span::kSpanDrain, span_sec(drain_start_ns_),
+                  span_sec(now_ns()), drain_report_.completed);
   }
   LSL_LOG_INFO("lsd: %s", drain_report_.summary().c_str());
   if (on_drain_done) on_drain_done(drain_report_);

@@ -35,6 +35,7 @@
 #include "posix/epoll_loop.hpp"
 #include "posix/socket_util.hpp"
 #include "posix/timer_fd.hpp"
+#include "span/span.hpp"
 #include "util/contract.hpp"
 
 namespace lsl::posix {
@@ -167,6 +168,19 @@ class Lsd {
   /// Attach the liveness instruments (`live.*`); null detaches.
   void set_live_metrics(live::LiveMetrics* m) { live_metrics_ = m; }
 
+  /// Attach a span tracer (must outlive the daemon); null detaches. Off by
+  /// default; even when attached, spans are only emitted for sessions whose
+  /// wire header carries a trace id (version 2), so untraced traffic costs
+  /// one branch per lifecycle edge. Times are CLOCK_MONOTONIC seconds —
+  /// one machine-wide timebase, so per-daemon dumps from a multi-process
+  /// cascade merge directly (tools/lsl_spans).
+  void set_tracer(span::Tracer* t) { tracer_ = t; }
+
+  /// Live (unfinished) relays, parked ones included — the admin-socket
+  /// health snapshot.
+  std::size_t live_relays() const { return relays_.size(); }
+  std::size_t parked_relays() const { return parked_.size(); }
+
   /// Milliseconds until the daemon's next internal deadline (liveness,
   /// park expiry, drain bound) is due — the DeadlineWheel convention:
   /// -1 when nothing is scheduled, 0 when one is already overdue. The
@@ -262,6 +276,11 @@ class Lsd {
   /// Re-pump relays that stopped reading because the pool was dry; called
   /// after event turns that may have released chunks.
   void service_pool_waiters();
+  /// Span bookkeeping after `took` relayed bytes: opens a stream window at
+  /// the first byte, closes one per span::kStreamWindowBytes.
+  void note_stream(Relay* r, std::uint64_t took);
+  /// Close a dangling stream window (finish/park).
+  void flush_stream_window(Relay* r);
   /// Return every buffer a relay holds to the pool / allocator the moment
   /// it leaves service (graveyard entry) — freed memory must be available
   /// to live sessions immediately, not after the deferred delete.
@@ -329,6 +348,8 @@ class Lsd {
   live::DeadlineWheel wheel_;
   std::unique_ptr<TimerFd> timer_;  ///< lazily created on first deadline
   live::LiveMetrics* live_metrics_ = nullptr;
+  span::Tracer* tracer_ = nullptr;
+  std::int64_t drain_start_ns_ = 0;  ///< span.drain opens at begin_drain
   bool dial_blackhole_ = false;
   bool draining_ = false;
   bool drain_done_ = false;

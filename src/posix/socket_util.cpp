@@ -143,6 +143,12 @@ std::size_t make_pipe(Fd* rd, Fd* wr) {
   if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) != 0) return 0;
   rd->reset(fds[0]);
   wr->reset(fds[1]);
+  // Deliberately left at the kernel's default capacity (64 KiB). Span
+  // profiling (span.stream_window) showed F_SETPIPE_SZ to 256 KiB / 1 MiB
+  // does let one splice move a whole window per wakeup, but bought no
+  // aggregate throughput under concurrent sessions — the loop is bounded
+  // elsewhere, and bigger bursts only make per-turn work less fair. See
+  // docs/MEMORY.md ("Profiling the splice path with stream windows").
   const int cap = ::fcntl(fds[0], F_GETPIPE_SZ);
   // Linux's default pipe capacity; used when F_GETPIPE_SZ is unsupported.
   return cap > 0 ? static_cast<std::size_t>(cap) : 65536u;

@@ -1,0 +1,137 @@
+#include "span/span.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "util/contract.hpp"
+
+namespace lsl::span {
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 2)),
+      slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+void FlightRecorder::record(const SpanRecord& r) noexcept {
+  const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& s = slots_[ticket % capacity_];
+  // Claim the slot. exchange() is the arbiter: exactly one writer sees the
+  // previous published value; a second writer lapping onto the same slot
+  // mid-write sees kSlotBusy and abandons (a counted drop) instead of
+  // spinning — the hot path never waits.
+  const std::uint64_t prev = s.seq.exchange(kSlotBusy,
+                                            std::memory_order_acquire);
+  if (prev == kSlotBusy) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  s.rec = r;
+  s.seq.store(ticket + kSlotFirstSeq, std::memory_order_release);
+}
+
+void FlightRecorder::snapshot(std::vector<SpanRecord>& out) const {
+  out.clear();
+  // Read through the same claim protocol as record(): ownership of the
+  // slot, not a seqlock, guards `rec`, so a concurrent snapshot is a data
+  // race with nobody — at worst a racing writer drops onto the claimed
+  // slot, same as writer/writer contention.
+  std::vector<std::pair<std::uint64_t, SpanRecord>> kept;
+  kept.reserve(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    Slot& s = slots_[i];
+    const std::uint64_t seq =
+        s.seq.exchange(kSlotBusy, std::memory_order_acquire);
+    if (seq == kSlotEmpty) {
+      s.seq.store(kSlotEmpty, std::memory_order_release);
+      continue;
+    }
+    if (seq == kSlotBusy) continue;  // a writer holds it; skip
+    kept.emplace_back(seq, s.rec);
+    s.seq.store(seq, std::memory_order_release);
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  out.reserve(kept.size());
+  for (const auto& [seq, rec] : kept) out.push_back(rec);
+}
+
+namespace {
+
+std::string jnum(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+void hex16(std::uint64_t v, char out[17]) {
+  static const char digits[] = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    out[i] = digits[v & 0xf];
+    v >>= 4;
+  }
+  out[16] = '\0';
+}
+
+}  // namespace
+
+void dump_jsonl(const Tracer& tracer, std::ostream& out) {
+  std::vector<SpanRecord> records;
+  tracer.recorder().snapshot(records);
+  char trace[17];
+  for (const SpanRecord& r : records) {
+    hex16(r.trace_id, trace);
+    out << "{\"trace\":\"" << trace << "\",\"span\":\""
+        << (r.name ? r.name : "span.unknown") << "\",\"src\":\""
+        << tracer.source() << "\",\"start\":" << jnum(r.start)
+        << ",\"end\":" << jnum(r.end) << ",\"bytes\":" << r.bytes << "}\n";
+  }
+}
+
+bool dump_file(const Tracer& tracer, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  dump_jsonl(tracer, out);
+  return out.good();
+}
+
+namespace {
+
+// Post-mortem registration. Written once at startup (install_post_mortem),
+// read by the contract-abort hook; the process is already dying when the
+// hook runs, so plain statics suffice.
+const Tracer* g_post_mortem_tracer = nullptr;
+std::string g_post_mortem_path;
+
+void post_mortem_hook() noexcept {
+  const Tracer* t = g_post_mortem_tracer;
+  if (!t) return;
+  g_post_mortem_tracer = nullptr;  // a second abort must not re-enter
+  if (dump_file(*t, g_post_mortem_path)) {
+    std::fprintf(stderr, "lsl: flight recorder dumped to %s\n",
+                 g_post_mortem_path.c_str());
+  }
+}
+
+}  // namespace
+
+void install_post_mortem(const Tracer* tracer, std::string path) {
+  g_post_mortem_tracer = tracer;
+  g_post_mortem_path = std::move(path);
+  util::set_contract_abort_hook(tracer ? &post_mortem_hook : nullptr);
+}
+
+std::uint64_t mint_trace_id(std::uint64_t seed) noexcept {
+  // splitmix64: full-period mixing so per-session seeds (however regular)
+  // yield well-spread ids; 0 is reserved for "untraced" on the wire.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z ? z : 0x9e3779b97f4a7c15ull;
+}
+
+}  // namespace lsl::span

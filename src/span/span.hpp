@@ -1,0 +1,180 @@
+// Span-based session tracing: the per-flow complement to src/metrics.
+//
+// Metrics aggregate ("how many bytes did lsd.9001 relay?"); spans attribute
+// ("where did session 7f3a spend its time across the chain?"). A source
+// mints a 64-bit trace id, the wire header carries it hop to hop (see
+// src/lsl/wire.hpp, version 2), and every depot a session crosses records
+// its lifecycle phases — accept, header read, dial, stream windows,
+// park/salvage/resume, drain — against that id. tools/lsl_spans joins the
+// per-depot dumps into one end-to-end timeline.
+//
+// The subsystem follows the repo's shared-substrate rules:
+//
+//  * one implementation serves the simulator and the posix daemon; the
+//    tracer is clock-agnostic (callers pass seconds in their own timebase,
+//    simulated or wall);
+//  * default-off: nothing records unless a Tracer is attached, and with
+//    tracing off same-seed sim metric exports stay byte-identical
+//    (tested in tests/span_test.cpp);
+//  * O(1) hot path: records land in a bounded lock-free ring (the
+//    **flight recorder**) that overwrites the oldest entries, so a
+//    long-running daemon keeps the recent past at fixed memory cost and a
+//    crash dump is always available (post-mortem flight recording).
+//
+// Span names are static string literals namespaced `span.*`; the
+// `span-names-docs` lint rule ties every name used in code to the span
+// catalogue in docs/OBSERVABILITY.md.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lsl::span {
+
+// Catalogued span names, defined once so the simulator and the posix
+// daemon emit byte-identical vocabularies. Every name here must have a row
+// in docs/OBSERVABILITY.md's span catalogue (lint rule `span-names-docs`).
+inline constexpr const char* kSpanAccept = "span.accept";
+inline constexpr const char* kSpanHeaderRead = "span.header_read";
+inline constexpr const char* kSpanDial = "span.dial";
+inline constexpr const char* kSpanStreamWindow = "span.stream_window";
+inline constexpr const char* kSpanPark = "span.park";
+inline constexpr const char* kSpanSalvage = "span.salvage";
+inline constexpr const char* kSpanResume = "span.resume";
+inline constexpr const char* kSpanDrain = "span.drain";
+
+/// Stream progress granularity: one span.stream_window closes per this
+/// many relayed bytes (plus a final partial window at session end), so the
+/// hot path pays one comparison per chunk regardless of transfer size.
+inline constexpr std::uint64_t kStreamWindowBytes = 1ull << 20;
+
+/// One recorded span: a named interval (or instant, when end == start) of a
+/// traced session's life on one node. Fixed-size and trivially copyable so
+/// the flight recorder's slots never allocate; `name` must be a static
+/// string literal (the catalogued `span.*` names).
+struct SpanRecord {
+  std::uint64_t trace_id = 0;   ///< wire-carried join key (0 = untraced)
+  const char* name = nullptr;   ///< static literal, e.g. "span.dial"
+  double start = 0.0;           ///< seconds, caller's timebase
+  double end = 0.0;             ///< seconds; == start for instant marks
+  std::uint64_t bytes = 0;      ///< byte-progress mark (stream windows)
+};
+
+/// Bounded lock-free ring of SpanRecord slots — the flight recorder.
+///
+/// Writers claim a slot with one fetch_add and one exchange, fill it, and
+/// release it with one store: O(1), allocation-free, and safe from any
+/// number of threads. When the ring laps itself the oldest records are
+/// overwritten (that is the point: keep the recent past, always). The one
+/// sacrifice contention can force is a *drop*: if two writers land on the
+/// same slot simultaneously the loser abandons the write and bumps
+/// dropped() rather than spin — the hot path never waits.
+///
+/// snapshot() is for quiescent readers: the owning event-loop thread, a
+/// post-mortem dump, or tests after joining writers. It skips any slot
+/// still mid-write, so calling it concurrently is safe but may miss the
+/// newest records.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Record `r` (O(1), lock-free, never blocks). May drop under slot
+  /// contention; see dropped().
+  void record(const SpanRecord& r) noexcept;
+
+  /// Copy the retained records into `out` (cleared first), oldest first.
+  void snapshot(std::vector<SpanRecord>& out) const;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Total record() calls, including overwritten and dropped ones.
+  std::uint64_t recorded() const noexcept {
+    return next_.load(std::memory_order_relaxed);
+  }
+  /// Records abandoned to slot contention (not overwrites — those are by
+  /// design and not counted).
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+ private:
+  // Slot protocol: seq == kSlotEmpty (never written), kSlotBusy (a writer
+  // holds it), else ticket + kSlotFirstSeq (published; larger = newer).
+  static constexpr std::uint64_t kSlotEmpty = 0;
+  static constexpr std::uint64_t kSlotBusy = 1;
+  static constexpr std::uint64_t kSlotFirstSeq = 2;
+
+  struct Slot {
+    std::atomic<std::uint64_t> seq{kSlotEmpty};
+    SpanRecord rec;
+  };
+
+  std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// A named span source: one per process/depot, owning a flight recorder.
+///
+/// The name identifies the node in merged timelines ("lsd.9001",
+/// "depot2"); the merge tool keys hops on it. Attach a Tracer* to an Lsd
+/// or DepotApp the same way a metrics bundle is attached; nullptr (the
+/// default) keeps tracing off with zero cost beyond one branch.
+class Tracer {
+ public:
+  explicit Tracer(std::string source,
+                  std::size_t capacity = FlightRecorder::kDefaultCapacity)
+      : source_(std::move(source)), recorder_(capacity) {}
+
+  const std::string& source() const { return source_; }
+  FlightRecorder& recorder() { return recorder_; }
+  const FlightRecorder& recorder() const { return recorder_; }
+
+  /// Record a completed interval span.
+  void emit(std::uint64_t trace_id, const char* name, double start,
+            double end, std::uint64_t bytes = 0) noexcept {
+    recorder_.record({trace_id, name, start, end, bytes});
+  }
+
+  /// Record an instant mark (end == start).
+  void mark(std::uint64_t trace_id, const char* name, double at,
+            std::uint64_t bytes = 0) noexcept {
+    recorder_.record({trace_id, name, at, at, bytes});
+  }
+
+ private:
+  std::string source_;
+  FlightRecorder recorder_;
+};
+
+/// Dump the recorder's retained spans as JSONL, one record per line:
+///   {"trace":"00000000075bcd15","span":"span.dial","src":"lsd.9001",
+///    "start":0.00123,"end":0.00345,"bytes":0}
+/// The format tools/lsl_spans merges. Caller rules follow snapshot().
+void dump_jsonl(const Tracer& tracer, std::ostream& out);
+
+/// dump_jsonl to a file; false on I/O error.
+bool dump_file(const Tracer& tracer, const std::string& path);
+
+/// Register `tracer` for a post-mortem dump to `path` when a contract
+/// aborts (util::contract_fail / transition_fail): the flight recorder's
+/// last-moments view survives the crash. Pass nullptr to unregister.
+/// One registration per process; the hook is async-signal-unsafe by
+/// design (contract aborts are synchronous, not signal handlers).
+void install_post_mortem(const Tracer* tracer, std::string path);
+
+/// Mint a trace id from a seed; never returns 0 (0 means "untraced" on
+/// the wire). Deterministic — the simulator derives ids from run seeds so
+/// traced runs stay reproducible.
+std::uint64_t mint_trace_id(std::uint64_t seed) noexcept;
+
+}  // namespace lsl::span

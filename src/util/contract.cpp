@@ -1,15 +1,33 @@
 #include "util/contract.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace lsl::util {
+
+namespace {
+
+std::atomic<void (*)() noexcept> g_abort_hook{nullptr};
+
+/// Run the registered post-mortem hook at most once, even if the hook
+/// itself trips another contract on the way down.
+void run_abort_hook() noexcept {
+  if (auto* hook = g_abort_hook.exchange(nullptr)) hook();
+}
+
+}  // namespace
+
+void set_contract_abort_hook(void (*hook)() noexcept) noexcept {
+  g_abort_hook.store(hook);
+}
 
 [[noreturn]] void contract_fail(const char* kind, const char* file, int line,
                                 const char* expr, const char* msg) noexcept {
   std::fprintf(stderr, "lsl: %s violated at %s:%d: %s (%s)\n", kind, file,
                line, expr, msg);
   std::fflush(stderr);
+  run_abort_hook();
   std::abort();
 }
 
@@ -19,6 +37,7 @@ namespace lsl::util {
                "lsl: forbidden state transition in machine '%s': %s -> %s\n",
                machine, from, to);
   std::fflush(stderr);
+  run_abort_hook();
   std::abort();
 }
 

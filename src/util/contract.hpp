@@ -39,6 +39,13 @@ namespace lsl::util {
 [[noreturn]] void transition_fail(const char* machine, const char* from,
                                   const char* to) noexcept;
 
+/// Register a hook invoked exactly once just before a contract abort
+/// terminates the process — the post-mortem flush point (e.g. the span
+/// flight recorder's crash dump). nullptr unregisters. The hook runs on
+/// the aborting thread, synchronously (contract aborts are not signal
+/// handlers); it must not itself trip a contract.
+void set_contract_abort_hook(void (*hook)() noexcept) noexcept;
+
 }  // namespace lsl::util
 
 #if defined(LSL_CONTRACTS_OFF)

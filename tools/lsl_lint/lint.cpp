@@ -30,6 +30,9 @@
 //                           appears in the docs/OBSERVABILITY.md catalogue
 //   live-metrics-docs       every `live.*` instrument name in src/live
 //                           appears in the docs/OBSERVABILITY.md catalogue
+//   span-names-docs         every `span.*` span name anywhere under src/
+//                           appears in the docs/OBSERVABILITY.md span
+//                           catalogue
 //   pragma-once             every header under src/ has #pragma once
 //
 // Suppression: a comment `lsl-lint: allow(<rule-id>)` on the same line
@@ -695,6 +698,38 @@ void rule_live_metrics_docs(const std::vector<SourceFile>& files,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: span-names-docs
+// ---------------------------------------------------------------------------
+
+// The tracing vocabulary is shared verbatim between the simulator and the
+// posix daemon (src/span/span.hpp defines the kSpan* literals both attach
+// to), and tools/lsl_spans keys its per-hop rollups on the exact strings —
+// so a span name that drifts from the docs/OBSERVABILITY.md catalogue
+// breaks merged timelines silently. The net spans all of src/ because any
+// subsystem may emit spans.
+void rule_span_names_docs(const std::vector<SourceFile>& files,
+                          const std::string& observability_md,
+                          std::vector<Violation>* out) {
+  for (const SourceFile& f : files) {
+    if (f.rel.rfind("src/", 0) != 0) continue;
+    for (const StringLit& lit : f.strings) {
+      if (lit.value.rfind("span.", 0) != 0) continue;
+      if (lit.value.find_first_not_of(
+              "abcdefghijklmnopqrstuvwxyz0123456789_.") !=
+          std::string::npos) {
+        continue;  // prose mentioning the prefix, not a span name
+      }
+      if (observability_md.find(lit.value) == std::string::npos &&
+          !f.suppressed(lit.line, "span-names-docs")) {
+        out->push_back({f.rel, lit.line, "span-names-docs",
+                        "span name '" + lit.value +
+                            "' is not catalogued in docs/OBSERVABILITY.md"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: pragma-once
 // ---------------------------------------------------------------------------
 
@@ -759,6 +794,7 @@ std::vector<Violation> run_lint(const fs::path& root) {
   rule_fault_metrics_docs(files, observability_md, &vs);
   rule_pool_metrics_docs(files, observability_md, &vs);
   rule_live_metrics_docs(files, observability_md, &vs);
+  rule_span_names_docs(files, observability_md, &vs);
 
   std::sort(vs.begin(), vs.end(), [](const Violation& a, const Violation& b) {
     if (a.file != b.file) return a.file < b.file;
@@ -773,7 +809,7 @@ const std::vector<std::string>& all_rules() {
       "switch-exhaustive",  "switch-default-comment", "raw-new-delete",
       "blocking-io",        "wire-docs",              "metrics-docs",
       "fault-metrics-docs", "pool-metrics-docs",      "live-metrics-docs",
-      "pragma-once"};
+      "span-names-docs",    "pragma-once"};
   return kRules;
 }
 

@@ -1,0 +1,23 @@
+// Fixture: span-names-docs must flag a span name that the fixture
+// OBSERVABILITY.md does not catalogue.
+#include <string>
+
+namespace lsl::span {
+
+std::string documented_span() {
+  return "span.accept";  // catalogued in testdata/docs/OBSERVABILITY.md
+}
+
+std::string undocumented_span() {
+  return "span.phantom_phase";  // should fire
+}
+
+std::string suppressed_span() {
+  return "span.shadow_phase";  // lsl-lint: allow(span-names-docs)
+}
+
+std::string prose_mention() {
+  return "span. prefix prose never fires";  // not a span name
+}
+
+}  // namespace lsl::span

@@ -11,8 +11,14 @@
 //   lsl_load [--sessions=N] [--bytes=SIZE] [--budget=SIZE] [--chunk=SIZE]
 //            [--buffer=SIZE] [--no-splice] [--seed=S] [--json=FILE]
 //            [--metrics-out=FILE] [--log-level=LEVEL]
+//            [--trace] [--spans-out=FILE]
 //
 // SIZE accepts k/m/g suffixes (binary units): --bytes=4m, --budget=64m.
+// --trace mints one trace id per session slot (deterministic from --seed)
+// so every session's lifecycle lands in the daemon's flight recorder;
+// --spans-out dumps the recorder as JSONL on exit (implies --trace) for
+// tools/lsl_spans. The summary always reports session-latency percentiles
+// (p50/p90/p99) from a fixed-bucket histogram of per-session wall times.
 // Sessions refused by pool-pressure admission control are retried with
 // backoff (the client half of the hop-by-hop backpressure contract), so a
 // run under memory pressure completes late rather than failing.
@@ -36,6 +42,7 @@
 #include "posix/epoll_loop.hpp"
 #include "posix/lsd.hpp"
 #include "posix/socket_util.hpp"
+#include "span/span.hpp"
 #include "util/log.hpp"
 #include "util/units.hpp"
 
@@ -54,6 +61,8 @@ struct Options {
   double timeout_s = 300.0;
   std::string json_file;
   std::string metrics_file;
+  bool trace = false;
+  std::string spans_file;
 };
 
 bool parse_size(const char* s, std::uint64_t* out) {
@@ -89,7 +98,8 @@ void usage() {
       "usage: lsl_load [--sessions=N] [--bytes=SIZE] [--budget=SIZE]\n"
       "                [--chunk=SIZE] [--buffer=SIZE] [--no-splice]\n"
       "                [--seed=S] [--timeout=SECONDS] [--json=FILE]\n"
-      "                [--metrics-out=FILE] [--log-level=LEVEL]\n");
+      "                [--metrics-out=FILE] [--log-level=LEVEL]\n"
+      "                [--trace] [--spans-out=FILE]\n");
 }
 
 /// Peak resident set of this process, in bytes (Linux ru_maxrss is KiB).
@@ -143,6 +153,11 @@ int main(int argc, char** argv) {
       opt.json_file = v;
     } else if ((v = arg_value("--metrics-out", argc, argv, &i)) != nullptr) {
       opt.metrics_file = v;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      opt.trace = true;
+    } else if ((v = arg_value("--spans-out", argc, argv, &i)) != nullptr) {
+      opt.spans_file = v;
+      opt.trace = true;
     } else if ((v = arg_value("--log-level", argc, argv, &i)) != nullptr) {
       const auto lvl = util::parse_log_level(v);
       if (!lvl) {
@@ -164,6 +179,8 @@ int main(int argc, char** argv) {
   metrics::Registry registry;
   buf::PoolMetrics pool_metrics(registry);
   metrics::LsdMetrics lsd_metrics(registry, "lsd.load");
+  metrics::Histogram& session_ms =
+      registry.histogram("load.session_ms", metrics::latency_ms_bounds());
 
   posix::EpollLoop loop;
   posix::PosixSinkServer sink(loop, posix::InetAddress::loopback(0),
@@ -175,9 +192,19 @@ int main(int argc, char** argv) {
   dcfg.use_splice = opt.splice;
   dcfg.pool.chunk_bytes = opt.chunk;
   dcfg.pool.budget_bytes = opt.budget;
+  // Declared before the daemon: teardown flushes open stream windows
+  // through the tracer, so it must outlive the Lsd (like the metrics).
+  std::unique_ptr<span::Tracer> tracer;
   posix::Lsd daemon(loop, dcfg);
   daemon.set_metrics(&lsd_metrics);
   daemon.pool().set_metrics(&pool_metrics);
+
+  if (opt.trace) {
+    // Big enough that a default run's full lifecycle survives the ring.
+    tracer = std::make_unique<span::Tracer>(
+        "lsd." + std::to_string(daemon.port()), 64 * 1024);
+    daemon.set_tracer(tracer.get());
+  }
 
   std::size_t verified = 0;
   std::size_t mismatched = 0;
@@ -186,6 +213,7 @@ int main(int argc, char** argv) {
     if (r.verified) {
       ++verified;
       payload_total += r.payload_bytes;
+      session_ms.observe(r.seconds * 1000.0);
     } else {
       ++mismatched;
     }
@@ -202,7 +230,14 @@ int main(int argc, char** argv) {
   auto launch = [&](Slot& s) {
     ++s.attempts;
     s.relaunch_due = false;
-    s.source = std::make_unique<posix::PosixSource>(loop, scfg);
+    posix::PosixSourceConfig cfg = scfg;
+    if (opt.trace) {
+      // One id per slot, stable across retry attempts (a retried slot is
+      // the same logical transfer) and deterministic from the run seed.
+      const std::size_t idx = static_cast<std::size_t>(&s - slots.data());
+      cfg.trace_id = span::mint_trace_id(opt.seed * 100003 + idx);
+    }
+    s.source = std::make_unique<posix::PosixSource>(loop, cfg);
     Slot* sp = &s;
     s.source->on_done = [&, sp](bool ok) {
       if (ok) {
@@ -278,6 +313,9 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(st.bytes_spliced),
       static_cast<unsigned long long>(st.sessions_refused),
       static_cast<unsigned long long>(rss / 1024));
+  std::printf("  session latency: p50 %.1f ms, p90 %.1f ms, p99 %.1f ms\n",
+              session_ms.percentile(0.50), session_ms.percentile(0.90),
+              session_ms.percentile(0.99));
 
   const bool over_budget = opt.budget > 0 && pool.peak_bytes > opt.budget;
   const bool ok = !gave_up && mismatched == 0 &&
@@ -300,6 +338,8 @@ int main(int argc, char** argv) {
         " \"pool_allocs\": %llu, \"pool_reuse_rate\": %.4f,"
         " \"pool_failures\": %llu, \"pool_pressure_episodes\": %llu,"
         " \"sessions_refused\": %llu, \"peak_rss_bytes\": %llu,"
+        " \"latency_p50_ms\": %.3f, \"latency_p90_ms\": %.3f,"
+        " \"latency_p99_ms\": %.3f,"
         " \"ok\": %s}\n",
         opt.sessions, verified,
         static_cast<unsigned long long>(opt.bytes), elapsed, mbps,
@@ -312,8 +352,21 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(pool.failures),
         static_cast<unsigned long long>(pool.pressure_episodes),
         static_cast<unsigned long long>(st.sessions_refused),
-        static_cast<unsigned long long>(rss), ok ? "true" : "false");
+        static_cast<unsigned long long>(rss), session_ms.percentile(0.50),
+        session_ms.percentile(0.90), session_ms.percentile(0.99),
+        ok ? "true" : "false");
     std::fclose(f);
+  }
+  if (!opt.spans_file.empty()) {
+    if (!span::dump_file(*tracer, opt.spans_file)) {
+      std::fprintf(stderr, "lsl_load: cannot write %s\n",
+                   opt.spans_file.c_str());
+      return 1;
+    }
+    std::printf("  spans: %llu recorded (%llu dropped) -> %s\n",
+                static_cast<unsigned long long>(tracer->recorder().recorded()),
+                static_cast<unsigned long long>(tracer->recorder().dropped()),
+                opt.spans_file.c_str());
   }
   if (!opt.metrics_file.empty() &&
       !metrics::write_file(registry, opt.metrics_file)) {

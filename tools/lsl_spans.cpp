@@ -1,0 +1,295 @@
+// lsl_spans — merge per-depot span dumps into end-to-end session timelines.
+//
+// Each traced daemon (lsd_relay --spans-out=FILE, or a sim harness calling
+// span::dump_file) writes its own flight recorder as JSONL. Every record
+// carries the wire-propagated 64-bit trace id, so joining a cascade is a
+// group-by: this tool reads any number of dump files, groups records by
+// trace id, orders hops by first appearance, and prints one timeline per
+// session with a per-hop latency breakdown (header read, dial, stream
+// time). Node-scope records (trace id 0 — e.g. span.drain) are summarized
+// separately.
+//
+//   lsl_spans [--chrome=FILE] [--trace=HEX] file.jsonl [file.jsonl ...]
+//
+//   --chrome=FILE  also export Chrome trace-event JSON (load in
+//                  chrome://tracing or https://ui.perfetto.dev): one
+//                  "process" per source, one complete event per span.
+//   --trace=HEX    only the session with this 16-hex-digit trace id.
+//
+// All dumps must share a timebase: posix daemons stamp CLOCK_MONOTONIC
+// seconds (machine-wide, so per-process dumps from one host merge
+// directly); sim dumps use simulated seconds. Mixing the two is
+// meaningless — merge like with like.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Rec {
+  std::uint64_t trace = 0;
+  std::string span;
+  std::string src;
+  double start = 0.0;
+  double end = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+/// Extract a JSON string value for `key` from a flat one-line object.
+/// Span dumps never contain escaped quotes (names are catalogued
+/// literals, sources are plain node names), so a quote scan suffices.
+bool json_str(const std::string& line, const char* key, std::string* out) {
+  const std::string pat = std::string("\"") + key + "\":\"";
+  const std::size_t at = line.find(pat);
+  if (at == std::string::npos) return false;
+  const std::size_t beg = at + pat.size();
+  const std::size_t end = line.find('"', beg);
+  if (end == std::string::npos) return false;
+  *out = line.substr(beg, end - beg);
+  return true;
+}
+
+bool json_num(const std::string& line, const char* key, double* out) {
+  const std::string pat = std::string("\"") + key + "\":";
+  const std::size_t at = line.find(pat);
+  if (at == std::string::npos) return false;
+  *out = std::strtod(line.c_str() + at + pat.size(), nullptr);
+  return true;
+}
+
+bool parse_line(const std::string& line, Rec* r) {
+  std::string trace_hex;
+  double start = 0, end = 0, bytes = 0;
+  if (!json_str(line, "trace", &trace_hex) || !json_str(line, "span", &r->span) ||
+      !json_str(line, "src", &r->src) || !json_num(line, "start", &start) ||
+      !json_num(line, "end", &end)) {
+    return false;
+  }
+  r->trace = std::strtoull(trace_hex.c_str(), nullptr, 16);
+  r->start = start;
+  r->end = end;
+  if (json_num(line, "bytes", &bytes)) {
+    r->bytes = static_cast<std::uint64_t>(bytes);
+  }
+  return true;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// JSON-escape is unnecessary for catalogued names/sources, but keep the
+/// Chrome export safe against odd source names anyway.
+std::string jesc(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Per-hop latency rollup within one trace.
+struct HopStats {
+  std::string src;
+  double first_seen = 0.0;
+  double header_s = -1.0;
+  double dial_s = -1.0;
+  double stream_s = 0.0;
+  std::size_t windows = 0;
+  std::uint64_t bytes = 0;  ///< max stream-window progress mark
+  std::size_t parks = 0;
+  std::size_t resumes = 0;
+};
+
+void write_chrome(const std::string& path, const std::vector<Rec>& recs) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "lsl_spans: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  // Stable pid per source so each node gets its own track.
+  std::map<std::string, int> pids;
+  for (const auto& r : recs) {
+    pids.emplace(r.src, static_cast<int>(pids.size()) + 1);
+  }
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [src, pid] : pids) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+        << ",\"tid\":0,\"args\":{\"name\":\"" << jesc(src) << "\"}}";
+  }
+  for (const auto& r : recs) {
+    const int pid = pids[r.src];
+    const double ts_us = r.start * 1e6;
+    out << ",\n{\"name\":\"" << jesc(r.span) << "\",\"cat\":\"lsl\",\"pid\":"
+        << pid << ",\"tid\":1,\"ts\":" << ts_us;
+    if (r.end > r.start) {
+      out << ",\"ph\":\"X\",\"dur\":" << (r.end - r.start) * 1e6;
+    } else {
+      out << ",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    out << ",\"args\":{\"trace\":\"" << hex16(r.trace) << "\",\"bytes\":"
+        << r.bytes << "}}";
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string chrome_file;
+  std::uint64_t only_trace = 0;
+  bool have_filter = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--chrome=", 0) == 0) {
+      chrome_file = arg.substr(9);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      only_trace = std::strtoull(arg.c_str() + 8, nullptr, 16);
+      have_filter = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "lsl_spans: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: lsl_spans [--chrome=FILE] [--trace=HEX] "
+                 "file.jsonl [file.jsonl ...]\n");
+    return 2;
+  }
+
+  std::vector<Rec> recs;
+  std::size_t bad_lines = 0;
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "lsl_spans: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      Rec r;
+      if (!parse_line(line, &r)) {
+        ++bad_lines;
+        continue;
+      }
+      if (have_filter && r.trace != only_trace && r.trace != 0) continue;
+      recs.push_back(std::move(r));
+    }
+  }
+  if (bad_lines > 0) {
+    std::fprintf(stderr, "lsl_spans: skipped %zu unparsable lines\n",
+                 bad_lines);
+  }
+
+  // Group by trace id; node-scope (id 0) records are kept apart.
+  std::map<std::uint64_t, std::vector<Rec>> traces;
+  std::vector<Rec> node_scope;
+  for (auto& r : recs) {
+    if (r.trace == 0) {
+      node_scope.push_back(r);
+    } else {
+      traces[r.trace].push_back(r);
+    }
+  }
+  std::printf("lsl_spans: %zu files, %zu spans, %zu traces\n\n",
+              files.size(), recs.size(), traces.size());
+
+  for (auto& [id, trs] : traces) {
+    std::stable_sort(trs.begin(), trs.end(),
+                     [](const Rec& a, const Rec& b) {
+                       if (a.start != b.start) return a.start < b.start;
+                       return a.end < b.end;
+                     });
+    const double t0 = trs.front().start;
+    double t_end = t0;
+    // Hop order = order of first appearance in time: the path the header
+    // actually took through the cascade.
+    std::vector<HopStats> hops;
+    for (const auto& r : trs) {
+      t_end = std::max(t_end, r.end);
+      auto it = std::find_if(hops.begin(), hops.end(), [&](const HopStats& h) {
+        return h.src == r.src;
+      });
+      if (it == hops.end()) {
+        hops.push_back({});
+        it = hops.end() - 1;
+        it->src = r.src;
+        it->first_seen = r.start;
+      }
+      if (r.span == "span.header_read") {
+        it->header_s = r.end - r.start;
+      } else if (r.span == "span.dial") {
+        it->dial_s = r.end - r.start;
+      } else if (r.span == "span.stream_window") {
+        it->stream_s += r.end - r.start;
+        ++it->windows;
+        it->bytes = std::max(it->bytes, r.bytes);
+      } else if (r.span == "span.park") {
+        ++it->parks;
+      } else if (r.span == "span.resume") {
+        ++it->resumes;
+      }
+    }
+    std::uint64_t total_bytes = 0;
+    for (const auto& h : hops) total_bytes = std::max(total_bytes, h.bytes);
+    std::printf("trace %s  %.6f s end-to-end, %zu hop%s, %llu bytes\n",
+                hex16(id).c_str(), t_end - t0, hops.size(),
+                hops.size() == 1 ? "" : "s",
+                static_cast<unsigned long long>(total_bytes));
+    for (const auto& h : hops) {
+      std::printf("  hop %-12s", h.src.c_str());
+      if (h.header_s >= 0) std::printf("  header %8.6fs", h.header_s);
+      if (h.dial_s >= 0) std::printf("  dial %8.6fs", h.dial_s);
+      if (h.windows > 0) {
+        std::printf("  stream %8.6fs in %zu window%s (%llu bytes)",
+                    h.stream_s, h.windows, h.windows == 1 ? "" : "s",
+                    static_cast<unsigned long long>(h.bytes));
+      }
+      if (h.parks > 0) std::printf("  parked x%zu", h.parks);
+      if (h.resumes > 0) std::printf("  resumed x%zu", h.resumes);
+      std::printf("\n");
+    }
+    std::printf("  timeline (t0 = %.6f):\n", t0);
+    for (const auto& r : trs) {
+      std::printf("    %+10.6f  %+10.6f  %-12s %-20s %llu\n", r.start - t0,
+                  r.end - t0, r.src.c_str(), r.span.c_str(),
+                  static_cast<unsigned long long>(r.bytes));
+    }
+    std::printf("\n");
+  }
+
+  if (!node_scope.empty()) {
+    std::printf("node-scope spans (no trace id):\n");
+    for (const auto& r : node_scope) {
+      std::printf("  %-12s %-20s %.6f .. %.6f  %llu\n", r.src.c_str(),
+                  r.span.c_str(), r.start, r.end,
+                  static_cast<unsigned long long>(r.bytes));
+    }
+  }
+
+  if (!chrome_file.empty()) {
+    // Export what survived the filter (node-scope included: drains give
+    // the timeline its shutdown context).
+    write_chrome(chrome_file, recs);
+    std::printf("chrome trace written to %s\n", chrome_file.c_str());
+  }
+  return 0;
+}
