@@ -1,14 +1,15 @@
 #!/usr/bin/env bash
 # Full verification matrix: build and run the test suite in the plain
 # (warnings-as-errors) configuration and again under each sanitizer, run
-# the lsl-lint static analyzer, and finish with the chaos (scripted
-# fault-injection) test label. Usage:
+# the lsl-lint static analyzer, the clang-tidy semantic tier (skips where
+# the binary is absent), the mcheck (deterministic model-checker) test
+# label, and finish with the chaos (scripted fault-injection) label. Usage:
 #
 #   scripts/check.sh [--quick] [--only CONFIG]
 #
 #   --quick         plain + lint only (the pre-push subset)
 #   --only CONFIG   run a single configuration:
-#                   plain|asan|ubsan|tsan|lint|chaos
+#                   plain|asan|ubsan|tsan|lint|tidy|mcheck|chaos
 #
 # Build trees go to build-check-<config>/ so the default build/ directory
 # is left untouched. Every configuration keeps LSL_WERROR=ON: a warning
@@ -19,12 +20,12 @@ cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
-configs=(plain asan ubsan tsan lint chaos)
+configs=(plain asan ubsan tsan lint tidy mcheck chaos)
 case "${1:-}" in
   --quick) configs=(plain lint) ;;
   --only)  configs=("${2:?--only needs a config}") ;;
   "")      ;;
-  *) echo "usage: scripts/check.sh [--quick] [--only plain|asan|ubsan|tsan|lint|chaos]" >&2
+  *) echo "usage: scripts/check.sh [--quick] [--only plain|asan|ubsan|tsan|lint|tidy|mcheck|chaos]" >&2
      exit 2 ;;
 esac
 
@@ -49,6 +50,14 @@ for config in "${configs[@]}"; do
     ubsan) build_and_test build-check-ubsan -DLSL_SANITIZE=undefined ;;
     tsan)  build_and_test build-check-tsan  -DLSL_SANITIZE=thread ;;
     lint)  scripts/lint.sh ;;
+    tidy)  scripts/tidy.sh ;;
+    mcheck) # the deterministic model-checker tier, by ctest label, reusing
+            # (or creating) the plain tree; covers the lsl_mc scenario suite
+            # plus the explorer's own unit tests
+       cmake -B build-check -S . -DLSL_WERROR=ON >/dev/null
+       cmake --build build-check -j "$jobs"
+       ctest --test-dir build-check --output-on-failure -L mcheck \
+             --timeout "$test_timeout" ;;
     chaos) # the scripted fault-injection tier, by ctest label, reusing
            # (or creating) the plain tree
        cmake -B build-check -S . -DLSL_WERROR=ON >/dev/null

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# clang-tidy gate: run the repo's .clang-tidy over every src/ translation
+# unit against a compile_commands.json tree. The checks listed in
+# WarningsAsErrors there are enforced (nonzero exit); the rest stay
+# advisory. Usage:
+#
+#   scripts/tidy.sh [build-tree]
+#
+# The default container image does not ship clang-tidy, so this script
+# SKIPS (exit 0, with a notice) when the binary is absent — the column
+# stays green rather than failing every machine without the toolchain.
+# lsl-lint under ctest remains the always-on lexical gate; this adds the
+# semantic tier wherever the binary exists (CI images, dev laptops).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "tidy.sh: clang-tidy not installed; skipping (lsl-lint still enforced)"
+  exit 0
+fi
+
+tree="${1:-build-check-tidy}"
+jobs=$(nproc 2>/dev/null || echo 4)
+
+cmake -B "$tree" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+# Only files the compile database knows are checkable.
+mapfile -t sources < <(find src -name '*.cpp' | sort)
+
+echo "tidy.sh: $(clang-tidy --version | head -1)"
+echo "tidy.sh: checking ${#sources[@]} translation units"
+
+status=0
+for f in "${sources[@]}"; do
+  clang-tidy -p "$tree" --quiet "$f" || status=1
+done
+
+if [[ $status -ne 0 ]]; then
+  echo "tidy.sh: FAILED (a WarningsAsErrors check fired)"
+  exit 1
+fi
+echo "tidy.sh: clean"

@@ -5,7 +5,14 @@
 // refcount, and the last ref returns the chunk to its pool's freelist —
 // bytes "move" between owners by reference, never by memcpy. The atomic
 // count is what makes the pool shareable across threads (the TSan workout
-// in tests/buf_concurrency_test.cpp hammers exactly this edge).
+// in tests/buf_concurrency_test.cpp hammers exactly this edge, and the
+// model checker in src/check explores its interleavings exhaustively).
+//
+// The types are templates over a check::Sync policy (src/check/shim.hpp):
+// `Chunk`/`ChunkRef` are the production std::atomic instantiations, while
+// tools/lsl_mc instantiates the Model variants whose refcount traffic the
+// deterministic scheduler can interleave and whose deep invariants
+// (refcount never resurrects, no double recycle) are compiled in.
 #pragma once
 
 #include <atomic>
@@ -14,43 +21,58 @@
 #include <memory>
 #include <utility>
 
+#include "check/shim.hpp"
+
 namespace lsl::buf {
 
-class ChunkPool;
+template <typename Sync>
+class BasicChunkPool;
 
 /// One pooled buffer. Created and recycled only by ChunkPool; never
 /// touched directly by users (hold a ChunkRef instead).
-struct Chunk {
+template <typename Sync>
+struct BasicChunk {
   std::unique_ptr<std::uint8_t[]> data;
   std::size_t capacity = 0;
-  std::atomic<std::uint32_t> refs{0};
+  typename Sync::template atomic<std::uint32_t> refs{0};
 };
 
 /// Shared handle to a pooled chunk; the last reference recycles it.
-class ChunkRef {
+template <typename Sync>
+class BasicChunkRef {
  public:
-  ChunkRef() = default;
-  ChunkRef(const ChunkRef& other) : chunk_(other.chunk_), pool_(other.pool_) {
+  BasicChunkRef() = default;
+  BasicChunkRef(const BasicChunkRef& other)
+      : chunk_(other.chunk_), pool_(other.pool_) {
     if (chunk_ != nullptr) {
-      chunk_->refs.fetch_add(1, std::memory_order_relaxed);
+      const std::uint32_t prev =
+          chunk_->refs.fetch_add(1, std::memory_order_relaxed);
+      if constexpr (Sync::kChecked) {
+        // Copying a ref whose count already hit zero would resurrect a
+        // chunk the pool has (or is about to have) recycled.
+        check::model_assert(prev > 0, "chunk refcount resurrected by copy");
+      }
     }
   }
-  ChunkRef(ChunkRef&& other) noexcept
+  BasicChunkRef(BasicChunkRef&& other) noexcept
       : chunk_(std::exchange(other.chunk_, nullptr)),
         pool_(std::exchange(other.pool_, nullptr)) {}
-  ChunkRef& operator=(ChunkRef other) noexcept {
+  BasicChunkRef& operator=(BasicChunkRef other) noexcept {
     std::swap(chunk_, other.chunk_);
     std::swap(pool_, other.pool_);
     return *this;
   }
-  ~ChunkRef() { reset(); }
+  ~BasicChunkRef() { reset(); }
 
   /// Drop this reference (recycling the chunk when it was the last).
+  /// Defined in buf/pool.hpp (needs the pool's recycle()).
   void reset();
 
   explicit operator bool() const { return chunk_ != nullptr; }
   std::uint8_t* data() const { return chunk_->data.get(); }
-  std::size_t capacity() const { return chunk_ != nullptr ? chunk_->capacity : 0; }
+  std::size_t capacity() const {
+    return chunk_ != nullptr ? chunk_->capacity : 0;
+  }
   std::uint32_t use_count() const {
     return chunk_ != nullptr
                ? chunk_->refs.load(std::memory_order_relaxed)
@@ -58,12 +80,17 @@ class ChunkRef {
   }
 
  private:
-  friend class ChunkPool;
+  friend class BasicChunkPool<Sync>;
   /// Adopts one already-counted reference (ChunkPool::acquire).
-  ChunkRef(Chunk* chunk, ChunkPool* pool) : chunk_(chunk), pool_(pool) {}
+  BasicChunkRef(BasicChunk<Sync>* chunk, BasicChunkPool<Sync>* pool)
+      : chunk_(chunk), pool_(pool) {}
 
-  Chunk* chunk_ = nullptr;
-  ChunkPool* pool_ = nullptr;
+  BasicChunk<Sync>* chunk_ = nullptr;
+  BasicChunkPool<Sync>* pool_ = nullptr;
 };
+
+/// Production aliases — the pre-seam names every call site uses.
+using Chunk = BasicChunk<check::StdSync>;
+using ChunkRef = BasicChunkRef<check::StdSync>;
 
 }  // namespace lsl::buf

@@ -1,7 +1,5 @@
 #include "buf/pool.hpp"
 
-#include "util/contract.hpp"
-
 namespace lsl::buf {
 
 PoolMetrics::PoolMetrics(metrics::Registry& reg)
@@ -12,105 +10,10 @@ PoolMetrics::PoolMetrics(metrics::Registry& reg)
       alloc_failures(&reg.counter("pool.alloc_failures")),
       pressure_episodes(&reg.counter("pool.pressure_episodes")) {}
 
-void ChunkRef::reset() {
-  Chunk* chunk = std::exchange(chunk_, nullptr);
-  ChunkPool* pool = std::exchange(pool_, nullptr);
-  if (chunk == nullptr) return;
-  // acq_rel: the thread that drops the last reference must observe every
-  // write earlier holders made into the chunk before recycling it.
-  if (chunk->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    pool->recycle(chunk);
-  }
-}
-
-ChunkPool::ChunkPool(const PoolConfig& config)
-    : config_(config),
-      budget_(config.budget_bytes, config.low_watermark,
-              config.high_watermark) {
-  LSL_PRECONDITION(config_.chunk_bytes > 0, "pool: zero chunk size");
-}
-
-ChunkPool::~ChunkPool() {
-  // Every ref must be gone before the pool that owns the storage dies.
-  LSL_INVARIANT(budget_.in_use() == 0,
-                "pool destroyed with live chunk references");
-}
-
-ChunkRef ChunkPool::acquire() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!budget_.reserve(config_.chunk_bytes)) {
-    ++failures_;
-    if (metrics_) metrics_->alloc_failures->inc();
-    return {};
-  }
-  Chunk* chunk = nullptr;
-  if (!free_.empty()) {
-    chunk = free_.back();
-    free_.pop_back();
-    ++reuses_;
-    if (metrics_) metrics_->alloc_reuses->inc();
-  } else {
-    auto owned = std::make_unique<Chunk>();
-    owned->data = std::make_unique<std::uint8_t[]>(config_.chunk_bytes);
-    owned->capacity = config_.chunk_bytes;
-    chunk = owned.get();
-    chunks_.push_back(std::move(owned));
-  }
-  ++allocs_;
-  if (metrics_) metrics_->alloc_total->inc();
-  chunk->refs.store(1, std::memory_order_relaxed);
-  publish_levels();
-  return ChunkRef(chunk, this);
-}
-
-bool ChunkPool::can_acquire() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return budget_.headroom() >= config_.chunk_bytes;
-}
-
-bool ChunkPool::under_pressure() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return budget_.under_pressure();
-}
-
-PoolStats ChunkPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  PoolStats s;
-  s.allocs = allocs_;
-  s.reuses = reuses_;
-  s.creations = chunks_.size();
-  s.failures = failures_;
-  s.pressure_episodes = budget_.pressure_episodes();
-  s.in_use_bytes = budget_.in_use();
-  s.peak_bytes = budget_.peak();
-  s.free_chunks = free_.size();
-  return s;
-}
-
-void ChunkPool::set_metrics(PoolMetrics* m) {
-  std::lock_guard<std::mutex> lock(mu_);
-  metrics_ = m;
-  if (metrics_) publish_levels();
-}
-
-void ChunkPool::recycle(Chunk* chunk) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const std::uint64_t episodes_before = budget_.pressure_episodes();
-  free_.push_back(chunk);
-  budget_.release(config_.chunk_bytes);
-  LSL_INVARIANT(budget_.pressure_episodes() == episodes_before,
-                "pool: release raised pressure");
-  publish_levels();
-}
-
-void ChunkPool::publish_levels() {
-  if (!metrics_) return;
-  metrics_->bytes_in_use->set(static_cast<double>(budget_.in_use()));
-  metrics_->chunks_free->set(static_cast<double>(free_.size()));
-  // The counter mirrors the budget's rising-edge count; publish the delta.
-  const std::uint64_t episodes = budget_.pressure_episodes();
-  const std::uint64_t seen = metrics_->pressure_episodes->value();
-  if (episodes > seen) metrics_->pressure_episodes->inc(episodes - seen);
-}
+// The production pool is compiled here once rather than re-instantiated in
+// every including TU; the model-check suite instantiates its ModelSync
+// variant itself.
+template class BasicChunkPool<check::StdSync>;
+template class BasicChunkRef<check::StdSync>;
 
 }  // namespace lsl::buf

@@ -12,6 +12,12 @@
 // refcount traffic on a live ChunkRef is lock-free. The simulator does not
 // use ChunkPool (it shares only MemoryBudget) — real chunks exist to back
 // real sockets.
+//
+// The pool is a template over a check::Sync policy (src/check/shim.hpp):
+// `ChunkPool` below is the production std:: instantiation (identical code
+// to the pre-seam class), while the model-check suite instantiates
+// BasicChunkPool<check::ModelSync> to explore acquire/copy/reset
+// interleavings exhaustively with the deep `kChecked` invariants on.
 #pragma once
 
 #include <cstddef>
@@ -22,7 +28,9 @@
 
 #include "buf/budget.hpp"
 #include "buf/chunk.hpp"
+#include "check/shim.hpp"
 #include "metrics/metrics.hpp"
+#include "util/contract.hpp"
 
 namespace lsl::buf {
 
@@ -64,49 +72,160 @@ struct PoolMetrics {
 };
 
 /// The pool itself. Outlives every ChunkRef it hands out.
-class ChunkPool {
+template <typename Sync>
+class BasicChunkPool {
  public:
-  explicit ChunkPool(const PoolConfig& config);
-  ~ChunkPool();
+  explicit BasicChunkPool(const PoolConfig& config)
+      : config_(config),
+        budget_(config.budget_bytes, config.low_watermark,
+                config.high_watermark) {
+    LSL_PRECONDITION(config_.chunk_bytes > 0, "pool: zero chunk size");
+  }
 
-  ChunkPool(const ChunkPool&) = delete;
-  ChunkPool& operator=(const ChunkPool&) = delete;
+  ~BasicChunkPool() {
+    // Every ref must be gone before the pool that owns the storage dies.
+    LSL_INVARIANT(budget_.in_use() == 0,
+                  "pool destroyed with live chunk references");
+  }
+
+  BasicChunkPool(const BasicChunkPool&) = delete;
+  BasicChunkPool& operator=(const BasicChunkPool&) = delete;
 
   /// One chunk, freelist-first. A null ref means the budget is exhausted —
   /// the caller must back off (drop read interest) and retry when
   /// released bytes make headroom.
-  ChunkRef acquire();
+  BasicChunkRef<Sync> acquire() {
+    typename Sync::lock_guard lock(mu_);
+    if (!budget_.reserve(config_.chunk_bytes)) {
+      ++failures_;
+      if (metrics_) metrics_->alloc_failures->inc();
+      return {};
+    }
+    BasicChunk<Sync>* chunk = nullptr;
+    if (!free_.empty()) {
+      chunk = free_.back();
+      free_.pop_back();
+      ++reuses_;
+      if (metrics_) metrics_->alloc_reuses->inc();
+      if constexpr (Sync::kChecked) {
+        // A chunk on the freelist with a live count was recycled while
+        // still referenced (or its count was resurrected afterwards).
+        check::model_assert(
+            chunk->refs.load(std::memory_order_relaxed) == 0,
+            "freelist chunk reused with nonzero refcount");
+      }
+    } else {
+      auto owned = std::make_unique<BasicChunk<Sync>>();
+      owned->data = std::make_unique<std::uint8_t[]>(config_.chunk_bytes);
+      owned->capacity = config_.chunk_bytes;
+      chunk = owned.get();
+      chunks_.push_back(std::move(owned));
+    }
+    ++allocs_;
+    if (metrics_) metrics_->alloc_total->inc();
+    chunk->refs.store(1, std::memory_order_relaxed);
+    publish_levels();
+    return BasicChunkRef<Sync>(chunk, this);
+  }
 
   /// Whether acquire() would currently succeed (interest-mask decisions;
   /// advisory under concurrency).
-  bool can_acquire() const;
+  bool can_acquire() const {
+    typename Sync::lock_guard lock(mu_);
+    return budget_.headroom() >= config_.chunk_bytes;
+  }
 
   /// Watermark admission signal — refuse *new* sessions while set, keep
   /// serving existing ones until the hard budget stops them.
-  bool under_pressure() const;
+  bool under_pressure() const {
+    typename Sync::lock_guard lock(mu_);
+    return budget_.under_pressure();
+  }
 
-  PoolStats stats() const;
+  PoolStats stats() const {
+    typename Sync::lock_guard lock(mu_);
+    PoolStats s;
+    s.allocs = allocs_;
+    s.reuses = reuses_;
+    s.creations = chunks_.size();
+    s.failures = failures_;
+    s.pressure_episodes = budget_.pressure_episodes();
+    s.in_use_bytes = budget_.in_use();
+    s.peak_bytes = budget_.peak();
+    s.free_chunks = free_.size();
+    return s;
+  }
+
   const PoolConfig& config() const { return config_; }
 
   /// Attach a metrics bundle (must outlive the pool's traffic); null
   /// detaches.
-  void set_metrics(PoolMetrics* m);
+  void set_metrics(PoolMetrics* m) {
+    typename Sync::lock_guard lock(mu_);
+    metrics_ = m;
+    if (metrics_) publish_levels();
+  }
 
  private:
-  friend class ChunkRef;
-  void recycle(Chunk* chunk);
+  friend class BasicChunkRef<Sync>;
+
+  void recycle(BasicChunk<Sync>* chunk) {
+    typename Sync::lock_guard lock(mu_);
+    if constexpr (Sync::kChecked) {
+      check::model_assert(chunk->refs.load(std::memory_order_relaxed) == 0,
+                          "chunk recycled while still referenced");
+      for (const BasicChunk<Sync>* f : free_) {
+        check::model_assert(f != chunk, "chunk recycled twice (double release)");
+      }
+    }
+    const std::uint64_t episodes_before = budget_.pressure_episodes();
+    free_.push_back(chunk);
+    budget_.release(config_.chunk_bytes);
+    LSL_INVARIANT(budget_.pressure_episodes() == episodes_before,
+                  "pool: release raised pressure");
+    publish_levels();
+  }
+
   /// Refresh attached gauges; callers hold mu_.
-  void publish_levels();
+  void publish_levels() {
+    if (!metrics_) return;
+    metrics_->bytes_in_use->set(static_cast<double>(budget_.in_use()));
+    metrics_->chunks_free->set(static_cast<double>(free_.size()));
+    // The counter mirrors the budget's rising-edge count; publish the delta.
+    const std::uint64_t episodes = budget_.pressure_episodes();
+    const std::uint64_t seen = metrics_->pressure_episodes->value();
+    if (episodes > seen) metrics_->pressure_episodes->inc(episodes - seen);
+  }
 
   const PoolConfig config_;
-  mutable std::mutex mu_;
+  mutable typename Sync::mutex mu_;
   MemoryBudget budget_;
-  std::vector<std::unique_ptr<Chunk>> chunks_;  ///< every chunk ever born
-  std::vector<Chunk*> free_;                    ///< recycled, ready to hand out
+  /// every chunk ever born
+  std::vector<std::unique_ptr<BasicChunk<Sync>>> chunks_;
+  std::vector<BasicChunk<Sync>*> free_;  ///< recycled, ready to hand out
   std::uint64_t allocs_ = 0;
   std::uint64_t reuses_ = 0;
   std::uint64_t failures_ = 0;
   PoolMetrics* metrics_ = nullptr;
 };
+
+template <typename Sync>
+void BasicChunkRef<Sync>::reset() {
+  BasicChunk<Sync>* chunk = std::exchange(chunk_, nullptr);
+  BasicChunkPool<Sync>* pool = std::exchange(pool_, nullptr);
+  if (chunk == nullptr) return;
+  // acq_rel: the thread that drops the last reference must observe every
+  // write earlier holders made into the chunk before recycling it.
+  if (chunk->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    pool->recycle(chunk);
+  }
+}
+
+// The production instantiations are compiled once in pool.cpp.
+extern template class BasicChunkPool<check::StdSync>;
+extern template class BasicChunkRef<check::StdSync>;
+
+/// Production alias — the pre-seam name every call site uses.
+using ChunkPool = BasicChunkPool<check::StdSync>;
 
 }  // namespace lsl::buf

@@ -1,0 +1,629 @@
+#include "check/sched.hpp"
+
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "check/shim.hpp"
+#include "util/contract.hpp"
+
+namespace lsl::check {
+
+namespace {
+
+constexpr int kDefaultSchedules = 4096;
+constexpr int kDefaultPreemptions = 2;
+constexpr int kDefaultSteps = 20000;
+constexpr int kMaxThreads = 32;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+// Seed alphabet: one character per chosen thread id (kMaxThreads <= 32).
+constexpr char kSeedDigits[] = "0123456789abcdefghijklmnopqrstuv";
+
+int seed_digit_value(char c) {
+  for (int i = 0; i < 32; ++i) {
+    if (kSeedDigits[i] == c) return i;
+  }
+  return -1;
+}
+
+class Scheduler;
+
+// The controller thread and every virtual thread carry a pointer to the
+// active scheduler; shim operations on any other thread (production code
+// accidentally touching a ModelSync object, scenario setup) fall through
+// to direct, uninstrumented behavior.
+thread_local Scheduler* tl_sched = nullptr;
+thread_local int tl_tid = -1;  // virtual-thread id; -1 = controller/other
+
+class Scheduler {
+ public:
+  explicit Scheduler(const Options& opts) : opts_(opts) {
+    if (opts_.max_schedules < 0) opts_.max_schedules = kDefaultSchedules;
+    if (opts_.preemption_bound < 0) opts_.preemption_bound = kDefaultPreemptions;
+    if (opts_.max_steps < 0) opts_.max_steps = kDefaultSteps;
+  }
+
+  Outcome explore(const std::function<void()>& body);
+
+  // -- scenario-facing (via the free functions below) --
+  void spawn(std::function<void()> fn);
+  void run_threads();
+  void fail(const std::string& msg);
+
+  // -- shim-facing (via detail:: hooks) --
+  void op_point();
+  void mutex_lock(detail::MutexState* m);
+  bool mutex_try_lock(detail::MutexState* m);
+  void mutex_unlock(detail::MutexState* m);
+  void cv_wait(detail::CvState* cv, detail::MutexState* m);
+  void cv_notify(detail::CvState* cv);
+
+ private:
+  enum class St { kReady, kRunning, kBlocked, kDone };
+
+  struct VThread {
+    std::thread os;
+    std::function<void()> fn;
+    St st = St::kReady;
+    const void* wait_obj = nullptr;  // MutexState/CvState while kBlocked
+    bool force_granted = false;      // deadlock teardown: wait satisfied by fiat
+  };
+
+  // One frame of the DFS over scheduling choices. `alts` holds the
+  // bound-admissible choices at this depth, default (non-preempting)
+  // first; `next` indexes the alternative the current execution follows.
+  struct StackEntry {
+    std::vector<std::uint8_t> alts;
+    std::size_t next = 0;
+    std::uint32_t enabled_mask = 0;  // replay-consistency check
+  };
+
+  void reset_execution();
+  void vthread_main(int tid);
+  void schedule_loop(std::unique_lock<std::mutex>& lk);
+  // Park the calling virtual thread in `st` until the scheduler hands the
+  // token back. Caller holds `lk`.
+  void vthread_pause(std::unique_lock<std::mutex>& lk, St st,
+                     const void* obj);
+  int pick_next(const std::vector<int>& enabled);
+  int round_robin_pick(std::uint32_t mask);
+  bool advance();
+  void wake_waiters(const void* obj);
+  void fail_locked(const std::string& msg);
+  static std::string encode(const std::vector<std::uint8_t>& trace);
+
+  Options opts_;
+
+  // Token handshake: exactly one party runs at a time. -1 = the
+  // controller/scheduler holds the token, otherwise the id of the active
+  // virtual thread.
+  std::mutex hmu_;
+  std::condition_variable hcv_;
+  int active_ = -1;
+
+  std::vector<std::unique_ptr<VThread>> threads_;
+
+  // Per-execution state.
+  std::vector<std::uint8_t> trace_;  // chosen thread id per scheduling point
+  int preemptions_ = 0;
+  std::uint64_t steps_ = 0;
+  int prev_ = -1;        // thread that ran last (preemption accounting)
+  bool free_run_ = false;  // post-violation: deterministic drain to completion
+  int rr_next_ = 0;
+
+  // DFS bookkeeping (persists across executions).
+  std::vector<StackEntry> stack_;
+  std::vector<std::uint8_t> forced_;  // decoded replay seed
+  bool replaying_ = false;
+
+  // Results.
+  std::optional<Violation> violation_;
+  std::uint64_t explored_ = 0;
+  std::uint64_t pruned_ = 0;
+  std::uint64_t hash_ = kFnvOffset;
+  bool exhausted_ = false;
+};
+
+void Scheduler::reset_execution() {
+  trace_.clear();
+  preemptions_ = 0;
+  steps_ = 0;
+  prev_ = -1;
+  free_run_ = false;
+  rr_next_ = 0;
+  violation_.reset();
+}
+
+Outcome Scheduler::explore(const std::function<void()>& body) {
+  LSL_PRECONDITION(tl_sched == nullptr, "nested explore() is not supported");
+  tl_sched = this;
+  replaying_ = !opts_.replay_seed.empty();
+  if (replaying_) {
+    for (char c : opts_.replay_seed) {
+      const int v = seed_digit_value(c);
+      LSL_PRECONDITION(v >= 0, "malformed replay seed character");
+      forced_.push_back(static_cast<std::uint8_t>(v));
+    }
+  }
+  const std::uint64_t budget =
+      replaying_ ? 1 : static_cast<std::uint64_t>(opts_.max_schedules);
+  for (std::uint64_t i = 0; i < budget; ++i) {
+    reset_execution();
+    body();
+    LSL_PRECONDITION(
+        threads_.empty(),
+        "scenario spawned virtual threads but never called run_threads()");
+    ++explored_;
+    for (std::uint8_t c : trace_) {
+      hash_ ^= c;
+      hash_ *= kFnvPrime;
+    }
+    hash_ ^= 0xffu;  // schedule separator
+    hash_ *= kFnvPrime;
+    if (violation_) {
+      if (violation_->seed.empty()) violation_->seed = encode(trace_);
+      break;
+    }
+    if (replaying_) break;
+    if (!advance()) {
+      exhausted_ = true;
+      break;
+    }
+  }
+  tl_sched = nullptr;
+  Outcome out;
+  out.explored = explored_;
+  out.pruned = pruned_;
+  out.exhausted = exhausted_;
+  out.schedule_hash = hash_;
+  out.violation = violation_;
+  return out;
+}
+
+bool Scheduler::advance() {
+  while (!stack_.empty()) {
+    StackEntry& e = stack_.back();
+    if (e.next + 1 < e.alts.size()) {
+      ++e.next;
+      return true;
+    }
+    stack_.pop_back();
+  }
+  return false;
+}
+
+void Scheduler::spawn(std::function<void()> fn) {
+  LSL_PRECONDITION(tl_tid == -1, "spawn() from a virtual thread");
+  LSL_PRECONDITION(static_cast<int>(threads_.size()) < kMaxThreads,
+                   "too many virtual threads");
+  LSL_PRECONDITION(fn != nullptr, "spawn() with a null body");
+  auto t = std::make_unique<VThread>();
+  t->fn = std::move(fn);
+  threads_.push_back(std::move(t));
+}
+
+void Scheduler::run_threads() {
+  LSL_PRECONDITION(tl_tid == -1, "run_threads() from a virtual thread");
+  if (threads_.empty()) return;
+  {
+    std::unique_lock<std::mutex> lk(hmu_);
+    active_ = -1;
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      // The checker is the one sanctioned std::thread user outside tests
+      // and tools: virtual threads need real stacks to run real protocol
+      // code, and the token handshake keeps exactly one runnable.
+      threads_[i]->os =
+          std::thread([this, i] { vthread_main(static_cast<int>(i)); });
+    }
+    schedule_loop(lk);
+  }
+  for (auto& t : threads_) t->os.join();
+  threads_.clear();
+}
+
+void Scheduler::vthread_main(int tid) {
+  tl_sched = this;
+  tl_tid = tid;
+  {
+    std::unique_lock<std::mutex> lk(hmu_);
+    hcv_.wait(lk, [&] { return active_ == tid; });
+    threads_[static_cast<std::size_t>(tid)]->st = St::kRunning;
+  }
+  threads_[static_cast<std::size_t>(tid)]->fn();
+  {
+    std::unique_lock<std::mutex> lk(hmu_);
+    threads_[static_cast<std::size_t>(tid)]->st = St::kDone;
+    active_ = -1;
+    hcv_.notify_all();
+  }
+  tl_tid = -1;
+  tl_sched = nullptr;
+}
+
+void Scheduler::schedule_loop(std::unique_lock<std::mutex>& lk) {
+  for (;;) {
+    bool all_done = true;
+    std::vector<int> enabled;
+    for (std::size_t i = 0; i < threads_.size(); ++i) {
+      if (threads_[i]->st != St::kDone) all_done = false;
+      if (threads_[i]->st == St::kReady) {
+        enabled.push_back(static_cast<int>(i));
+      }
+    }
+    if (all_done) return;
+    if (enabled.empty()) {
+      // Every live thread is blocked on a mutex or condvar: deadlock.
+      // Record it, then force-grant the waits so the execution drains
+      // through normal code paths instead of aborting mid-protocol.
+      std::ostringstream msg;
+      msg << "deadlock: threads {";
+      bool first = true;
+      for (std::size_t i = 0; i < threads_.size(); ++i) {
+        if (threads_[i]->st != St::kBlocked) continue;
+        msg << (first ? "" : ",") << i;
+        first = false;
+      }
+      msg << "} blocked with no runnable thread";
+      fail_locked(msg.str());
+      free_run_ = true;
+      for (auto& t : threads_) {
+        if (t->st == St::kBlocked) {
+          t->st = St::kReady;
+          t->force_granted = true;
+        }
+      }
+      continue;
+    }
+    const int chosen = pick_next(enabled);
+    prev_ = chosen;
+    active_ = chosen;
+    hcv_.notify_all();
+    hcv_.wait(lk, [&] { return active_ == -1; });
+  }
+}
+
+int Scheduler::round_robin_pick(std::uint32_t mask) {
+  const int n = static_cast<int>(threads_.size());
+  for (int k = 0; k < n; ++k) {
+    const int cand = (rr_next_ + k) % n;
+    if ((mask >> cand) & 1u) {
+      rr_next_ = (cand + 1) % n;
+      return cand;
+    }
+  }
+  LSL_UNREACHABLE("round-robin pick with empty enabled mask");
+}
+
+int Scheduler::pick_next(const std::vector<int>& enabled) {
+  std::uint32_t mask = 0;
+  for (int t : enabled) mask |= (1u << t);
+  ++steps_;
+  if (!free_run_ &&
+      steps_ > static_cast<std::uint64_t>(opts_.max_steps)) {
+    fail_locked("execution exceeded max_steps (livelock?)");
+    free_run_ = true;
+  }
+  int chosen = -1;
+  if (free_run_) {
+    // The drain is round-robin fair, so any body that terminates under a
+    // fair scheduler finishes; a body that cannot is a scenario bug worth
+    // a hard stop rather than a hang.
+    LSL_INVARIANT(
+        steps_ < 100ull * static_cast<std::uint64_t>(opts_.max_steps) + 1000,
+        "free-run drain did not terminate");
+    chosen = round_robin_pick(mask);
+  } else if (replaying_) {
+    const std::size_t depth = trace_.size();
+    if (depth < forced_.size()) {
+      const int want = forced_[depth];
+      if ((mask >> want) & 1u) {
+        chosen = want;
+      } else {
+        fail_locked("replay diverged: seeded thread not enabled");
+        free_run_ = true;
+        chosen = round_robin_pick(mask);
+      }
+    } else {
+      // Past the recorded schedule (the violation fired later in the
+      // original run than the seed covers — cannot happen for seeds this
+      // explorer emitted): continue deterministically.
+      chosen = round_robin_pick(mask);
+    }
+  } else {
+    const std::size_t depth = trace_.size();
+    if (depth < stack_.size()) {
+      StackEntry& e = stack_[depth];
+      if (e.enabled_mask != mask) {
+        fail_locked(
+            "nondeterministic scenario: enabled threads diverged on a "
+            "replayed prefix");
+        free_run_ = true;
+        chosen = round_robin_pick(mask);
+      } else {
+        chosen = e.alts[e.next];
+      }
+    } else {
+      StackEntry e;
+      e.enabled_mask = mask;
+      const bool prev_enabled = prev_ >= 0 && ((mask >> prev_) & 1u);
+      const int def = prev_enabled ? prev_ : enabled.front();
+      e.alts.push_back(static_cast<std::uint8_t>(def));
+      for (int t : enabled) {
+        if (t == def) continue;
+        // Switching away from a still-runnable thread is a preemption;
+        // branches past the bound are pruned (and counted).
+        const int cost = prev_enabled ? 1 : 0;
+        if (preemptions_ + cost <= opts_.preemption_bound) {
+          e.alts.push_back(static_cast<std::uint8_t>(t));
+        } else {
+          ++pruned_;
+        }
+      }
+      stack_.push_back(std::move(e));
+      chosen = stack_.back().alts[0];
+    }
+  }
+  if (prev_ >= 0 && ((mask >> prev_) & 1u) && chosen != prev_) {
+    ++preemptions_;
+  }
+  trace_.push_back(static_cast<std::uint8_t>(chosen));
+  return chosen;
+}
+
+void Scheduler::vthread_pause(std::unique_lock<std::mutex>& lk, St st,
+                              const void* obj) {
+  VThread& me = *threads_[static_cast<std::size_t>(tl_tid)];
+  me.st = st;
+  me.wait_obj = obj;
+  active_ = -1;
+  hcv_.notify_all();
+  hcv_.wait(lk, [&] { return active_ == tl_tid; });
+  me.st = St::kRunning;
+  me.wait_obj = nullptr;
+}
+
+void Scheduler::wake_waiters(const void* obj) {
+  for (auto& t : threads_) {
+    if (t->st == St::kBlocked && t->wait_obj == obj) t->st = St::kReady;
+  }
+}
+
+void Scheduler::fail_locked(const std::string& msg) {
+  if (violation_) return;  // first violation wins; teardown noise ignored
+  violation_ = Violation{msg, std::string()};
+}
+
+void Scheduler::fail(const std::string& msg) {
+  std::unique_lock<std::mutex> lk(hmu_);
+  fail_locked(msg);
+  // A virtual thread keeps running after a failed check; drain the rest of
+  // the execution deterministically instead of exploring a doomed state.
+  free_run_ = true;
+}
+
+void Scheduler::op_point() {
+  if (tl_tid < 0) return;  // controller/setup: direct access
+  std::unique_lock<std::mutex> lk(hmu_);
+  vthread_pause(lk, St::kReady, nullptr);
+}
+
+void Scheduler::mutex_lock(detail::MutexState* m) {
+  if (tl_tid < 0) {
+    LSL_PRECONDITION(!m->locked, "check::mutex: relock outside exploration");
+    m->locked = true;
+    m->owner = -2;
+    return;
+  }
+  std::unique_lock<std::mutex> lk(hmu_);
+  VThread& me = *threads_[static_cast<std::size_t>(tl_tid)];
+  vthread_pause(lk, St::kReady, nullptr);  // acquisition is a visible op
+  if (m->locked && m->owner == tl_tid) {
+    // Self-deadlock is certain; report it rather than wedging the run.
+    fail_locked("mutex relocked by its owning thread (self-deadlock)");
+    free_run_ = true;
+  } else {
+    while (m->locked && !me.force_granted) {
+      vthread_pause(lk, St::kBlocked, m);
+    }
+  }
+  me.force_granted = false;
+  m->locked = true;
+  m->owner = tl_tid;
+}
+
+bool Scheduler::mutex_try_lock(detail::MutexState* m) {
+  if (tl_tid < 0) {
+    if (m->locked) return false;
+    m->locked = true;
+    m->owner = -2;
+    return true;
+  }
+  std::unique_lock<std::mutex> lk(hmu_);
+  vthread_pause(lk, St::kReady, nullptr);
+  if (m->locked) return false;
+  m->locked = true;
+  m->owner = tl_tid;
+  return true;
+}
+
+void Scheduler::mutex_unlock(detail::MutexState* m) {
+  if (tl_tid < 0) {
+    m->locked = false;
+    m->owner = -1;
+    return;
+  }
+  std::unique_lock<std::mutex> lk(hmu_);
+  vthread_pause(lk, St::kReady, nullptr);  // release is a visible op
+  if (!m->locked || (m->owner != tl_tid && !free_run_)) {
+    fail_locked("mutex unlocked by a thread that does not own it");
+    free_run_ = true;
+  }
+  m->locked = false;
+  m->owner = -1;
+  // Every blocked contender becomes runnable and re-competes for the lock
+  // — the explorer decides who wins, modeling grab-order nondeterminism.
+  wake_waiters(m);
+}
+
+void Scheduler::cv_wait(detail::CvState* cv, detail::MutexState* m) {
+  LSL_PRECONDITION(tl_tid >= 0,
+                   "check::cv: wait outside exploration would block forever");
+  std::unique_lock<std::mutex> lk(hmu_);
+  VThread& me = *threads_[static_cast<std::size_t>(tl_tid)];
+  vthread_pause(lk, St::kReady, nullptr);
+  if (!m->locked || (m->owner != tl_tid && !free_run_)) {
+    fail_locked("cv wait without holding the associated mutex");
+    free_run_ = true;
+  }
+  // Atomically release the mutex and join the wait set.
+  m->locked = false;
+  m->owner = -1;
+  wake_waiters(m);
+  cv->waiters |= (1u << tl_tid);
+  while (((cv->waiters >> tl_tid) & 1u) && !me.force_granted) {
+    vthread_pause(lk, St::kBlocked, cv);
+  }
+  cv->waiters &= ~(1u << tl_tid);
+  me.force_granted = false;
+  // Reacquire before returning, competing like any lock() would.
+  while (m->locked && !me.force_granted) {
+    vthread_pause(lk, St::kBlocked, m);
+  }
+  me.force_granted = false;
+  m->locked = true;
+  m->owner = tl_tid;
+}
+
+void Scheduler::cv_notify(detail::CvState* cv) {
+  if (tl_tid < 0) {
+    // No virtual thread can be waiting when the controller runs (they are
+    // all joined between run_threads() calls); nothing to do.
+    cv->waiters = 0;
+    return;
+  }
+  std::unique_lock<std::mutex> lk(hmu_);
+  vthread_pause(lk, St::kReady, nullptr);
+  const std::uint32_t w = cv->waiters;
+  cv->waiters = 0;
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    if ((w >> i) & 1u) threads_[i]->st = St::kReady;
+  }
+}
+
+std::string Scheduler::encode(const std::vector<std::uint8_t>& trace) {
+  std::string s;
+  s.reserve(trace.size());
+  for (std::uint8_t c : trace) s.push_back(kSeedDigits[c & 31u]);
+  return s;
+}
+
+}  // namespace
+
+namespace detail {
+
+void op_point() {
+  if (tl_sched != nullptr) tl_sched->op_point();
+}
+
+void mutex_lock(MutexState* m) {
+  if (tl_sched != nullptr) {
+    tl_sched->mutex_lock(m);
+    return;
+  }
+  LSL_PRECONDITION(!m->locked, "check::mutex: relock with no scheduler");
+  m->locked = true;
+  m->owner = -2;
+}
+
+bool mutex_try_lock(MutexState* m) {
+  if (tl_sched != nullptr) return tl_sched->mutex_try_lock(m);
+  if (m->locked) return false;
+  m->locked = true;
+  m->owner = -2;
+  return true;
+}
+
+void mutex_unlock(MutexState* m) {
+  if (tl_sched != nullptr) {
+    tl_sched->mutex_unlock(m);
+    return;
+  }
+  m->locked = false;
+  m->owner = -1;
+}
+
+void cv_wait(CvState* cv, MutexState* m) {
+  LSL_PRECONDITION(tl_sched != nullptr,
+                   "check::cv: wait with no scheduler would block forever");
+  tl_sched->cv_wait(cv, m);
+}
+
+void cv_notify(CvState* cv) {
+  if (tl_sched != nullptr) {
+    tl_sched->cv_notify(cv);
+    return;
+  }
+  cv->waiters = 0;
+}
+
+void assert_fail(const char* msg) {
+  if (tl_sched != nullptr) {
+    tl_sched->fail(msg);
+    return;
+  }
+  // A kChecked instantiation tripped outside any exploration; treat it as
+  // the contract violation it is.
+  util::contract_fail("model-invariant", __FILE__, __LINE__, "-", msg);
+}
+
+}  // namespace detail
+
+std::string Outcome::census() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "explored=%llu pruned=%llu exhausted=%d hash=%016llx",
+                static_cast<unsigned long long>(explored),
+                static_cast<unsigned long long>(pruned), exhausted ? 1 : 0,
+                static_cast<unsigned long long>(schedule_hash));
+  return std::string(buf);
+}
+
+Outcome explore(const Options& opts, const std::function<void()>& body) {
+  Scheduler sched(opts);
+  return sched.explore(body);
+}
+
+void spawn(std::function<void()> fn) {
+  LSL_PRECONDITION(tl_sched != nullptr, "spawn() outside explore()");
+  tl_sched->spawn(std::move(fn));
+}
+
+void run_threads() {
+  LSL_PRECONDITION(tl_sched != nullptr, "run_threads() outside explore()");
+  tl_sched->run_threads();
+}
+
+void check_that(bool ok, const std::string& msg) {
+  if (ok) return;
+  LSL_PRECONDITION(tl_sched != nullptr, "check_that() outside explore()");
+  tl_sched->fail(msg);
+}
+
+Options merge_options(const Options& base, const Options& over) {
+  Options m = base;
+  if (over.max_schedules >= 0) m.max_schedules = over.max_schedules;
+  if (over.preemption_bound >= 0) m.preemption_bound = over.preemption_bound;
+  if (over.max_steps >= 0) m.max_steps = over.max_steps;
+  if (!over.replay_seed.empty()) m.replay_seed = over.replay_seed;
+  return m;
+}
+
+}  // namespace lsl::check

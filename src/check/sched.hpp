@@ -1,0 +1,100 @@
+// Deterministic concurrency model checker (Loom/CHESS style).
+//
+// explore() runs a scenario body many times, each time forcing a different
+// interleaving of its virtual threads. Threads are real OS threads, but a
+// token handshake serializes them: exactly one runs at a time, and it runs
+// until its next *scheduling point* — any operation on a ModelSync
+// primitive (src/check/shim.hpp). At each point the explorer either
+// follows its depth-first search stack or, past the explored frontier,
+// extends it with every runnable thread that the preemption bound allows:
+// staying on the current thread is free, switching away from a thread that
+// could have continued costs one preemption. With the CHESS insight that
+// most concurrency bugs need only a couple of preemptions, a small bound
+// covers the interesting interleavings of 2-4 threads at polynomial cost;
+// schedules beyond the bound are counted as pruned.
+//
+// Every schedule is a sequence of chosen thread ids, encoded as a compact
+// seed string ("01121..."). A violation — failed check_that(), failed
+// built-in model_assert(), deadlock, or step-budget livelock — reports the
+// seed of the offending schedule; replaying it (Options::replay_seed)
+// reproduces the exact interleaving, deterministically, in one execution.
+//
+// Violations do not unwind: the execution switches to a deterministic
+// free-run mode and lets every thread finish (blocked threads are
+// force-granted their waits), so protocol objects are torn down through
+// their normal code paths instead of aborting mid-critical-section.
+//
+// The full schedule census (explored/pruned counts plus an FNV-1a hash
+// over every schedule explored) is itself deterministic for a fixed
+// scenario and budget — the reproducibility guard tests/mcheck_test.cpp
+// pins down.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace lsl::check {
+
+/// Exploration knobs. -1 / empty means "use the default" (or, through
+/// tools/lsl_mc, the scenario's own default), so callers override only
+/// what they mean to.
+struct Options {
+  /// Executions to explore before giving up (-1 = default 4096).
+  int max_schedules = -1;
+  /// Max preemptive context switches per execution (-1 = default 2).
+  int preemption_bound = -1;
+  /// Max scheduling points per execution; exceeding it is reported as a
+  /// livelock violation (-1 = default 20000).
+  int max_steps = -1;
+  /// Non-empty: skip exploration and replay exactly this schedule.
+  std::string replay_seed;
+};
+
+/// One schedule-dependent failure, with the seed that reproduces it.
+struct Violation {
+  std::string message;
+  std::string seed;
+};
+
+/// Result of an explore() call.
+struct Outcome {
+  std::uint64_t explored = 0;  ///< executions actually run
+  std::uint64_t pruned = 0;    ///< branches cut by the preemption bound
+  /// True when the DFS ran out of untried schedules within budget (the
+  /// scenario is exhaustively verified up to the preemption bound).
+  bool exhausted = false;
+  /// FNV-1a over every explored schedule, in order — the census
+  /// fingerprint; byte-identical across runs for fixed options.
+  std::uint64_t schedule_hash = 0;
+  std::optional<Violation> violation;
+
+  /// "explored=N pruned=M exhausted=0|1 hash=%016x" (census guard format).
+  std::string census() const;
+};
+
+/// Explore the interleavings of `body`. The body runs on the calling
+/// thread (the controller): it sets up state, spawn()s 2-4 virtual
+/// threads, run_threads()s them to completion, then checks postconditions
+/// with check_that(). It is called once per schedule and must be
+/// deterministic apart from the interleaving (no clocks, no randomness, no
+/// branching on addresses).
+Outcome explore(const Options& opts, const std::function<void()>& body);
+
+/// Register a virtual thread (controller only, before run_threads()).
+void spawn(std::function<void()> fn);
+
+/// Run every spawned thread under the scheduler until all finish
+/// (controller only). One run_threads() per body invocation.
+void run_threads();
+
+/// Scenario assertion: a failure is recorded as a violation against the
+/// current schedule (with its replay seed) rather than aborting. Usable
+/// from virtual threads and from the controller.
+void check_that(bool ok, const std::string& msg);
+
+/// `over` wins field-by-field where it was explicitly set.
+Options merge_options(const Options& base, const Options& over);
+
+}  // namespace lsl::check

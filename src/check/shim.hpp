@@ -1,0 +1,210 @@
+// Sync-policy shims: the seam that lets one protocol implementation run on
+// real std:: primitives in production and on model-checked primitives under
+// the deterministic scheduler (src/check/sched.hpp).
+//
+// A concurrent class is written once as a template over a `Sync` policy:
+//
+//   template <typename Sync> class BasicChunkPool { ...
+//     mutable typename Sync::mutex mu_;
+//     typename Sync::template atomic<std::uint32_t> refs_;
+//   };
+//   using ChunkPool = BasicChunkPool<check::StdSync>;   // production alias
+//
+// `StdSync` is pure aliases to std:: types — the production instantiation
+// is byte-for-byte the code that existed before the seam, with zero added
+// overhead and no link dependency on the checker. `ModelSync` substitutes
+// ModelAtomic/ModelMutex/ModelCv, whose every operation is a *scheduling
+// point*: the cooperative scheduler serializes the virtual threads and
+// enumerates their interleavings (DFS, bounded preemption), so a race that
+// TSan would need luck to observe is found systematically.
+//
+// `Sync::kChecked` gates deep (too slow or too invasive for production)
+// invariants inside the protocols themselves — double-release scans,
+// refcount-resurrection checks, claim-held publication checks — via
+// `if constexpr`, so the production instantiation never even compiles them.
+//
+// The Model* types are declared here but their operations funnel into
+// detail:: hooks defined in sched.cpp; because the methods are inline and
+// only instantiated when a ModelSync instantiation is actually used,
+// production code that includes this header does not link the checker.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace lsl::check {
+
+/// Production policy: plain std:: primitives, no instrumentation.
+struct StdSync {
+  template <typename T>
+  using atomic = std::atomic<T>;
+  using mutex = std::mutex;
+  using lock_guard = std::lock_guard<std::mutex>;
+  using unique_lock = std::unique_lock<std::mutex>;
+  using cv = std::condition_variable;
+  static constexpr bool kChecked = false;
+};
+
+namespace detail {
+
+/// Model-mutex bookkeeping, inspected by the scheduler: who holds it and
+/// whether it is held. `owner` is a virtual-thread id, -1 when free, -2
+/// when taken outside exploration (scenario setup on the controller).
+struct MutexState {
+  bool locked = false;
+  int owner = -1;
+};
+
+/// Model-condvar bookkeeping: a bitmask of virtual-thread ids currently
+/// blocked in wait() (the scheduler supports at most 32 virtual threads).
+struct CvState {
+  std::uint32_t waiters = 0;
+};
+
+// Scheduler hooks (defined in sched.cpp). Each is a no-op / direct
+// operation when called outside an active exploration, so ModelSync
+// objects may be constructed and touched during scenario setup.
+void op_point();
+void mutex_lock(MutexState* m);
+bool mutex_try_lock(MutexState* m);
+void mutex_unlock(MutexState* m);
+void cv_wait(CvState* cv, MutexState* m);
+void cv_notify(CvState* cv);
+/// Record a built-in invariant violation against the running exploration
+/// (replayable seed and all); aborts the process when no exploration is
+/// active.
+void assert_fail(const char* msg);
+
+}  // namespace detail
+
+/// Deep-invariant check for kChecked code paths: failure becomes a model
+/// violation with a replay seed rather than a process abort.
+inline void model_assert(bool ok, const char* msg) {
+  if (!ok) detail::assert_fail(msg);
+}
+
+/// Model atomic: sequentially consistent shared cell whose every access is
+/// a scheduling point. Memory-order arguments are accepted and ignored —
+/// the explorer enumerates thread interleavings under sequential
+/// consistency only; weak-memory reorderings are out of scope (documented
+/// in docs/STATIC_ANALYSIS.md).
+template <typename T>
+class ModelAtomic {
+ public:
+  constexpr ModelAtomic() noexcept : v_{} {}
+  constexpr ModelAtomic(T v) noexcept : v_(v) {}  // NOLINT(google-explicit-constructor)
+  ModelAtomic(const ModelAtomic&) = delete;
+  ModelAtomic& operator=(const ModelAtomic&) = delete;
+
+  T load(std::memory_order = std::memory_order_seq_cst) const noexcept {
+    detail::op_point();
+    return v_;
+  }
+  void store(T v, std::memory_order = std::memory_order_seq_cst) noexcept {
+    detail::op_point();
+    v_ = v;
+  }
+  T exchange(T v, std::memory_order = std::memory_order_seq_cst) noexcept {
+    detail::op_point();
+    T old = v_;
+    v_ = v;
+    return old;
+  }
+  T fetch_add(T n, std::memory_order = std::memory_order_seq_cst) noexcept {
+    detail::op_point();
+    T old = v_;
+    v_ = static_cast<T>(v_ + n);
+    return old;
+  }
+  T fetch_sub(T n, std::memory_order = std::memory_order_seq_cst) noexcept {
+    detail::op_point();
+    T old = v_;
+    v_ = static_cast<T>(v_ - n);
+    return old;
+  }
+  bool compare_exchange_weak(
+      T& expected, T desired,
+      std::memory_order = std::memory_order_seq_cst,
+      std::memory_order = std::memory_order_seq_cst) noexcept {
+    return compare_exchange_strong(expected, desired);
+  }
+  bool compare_exchange_strong(
+      T& expected, T desired,
+      std::memory_order = std::memory_order_seq_cst,
+      std::memory_order = std::memory_order_seq_cst) noexcept {
+    detail::op_point();
+    if (v_ == expected) {
+      v_ = desired;
+      return true;
+    }
+    expected = v_;
+    return false;
+  }
+  operator T() const noexcept { return load(); }  // NOLINT(google-explicit-constructor)
+  T operator=(T v) noexcept {
+    store(v);
+    return v;
+  }
+
+ private:
+  T v_;
+};
+
+/// Model mutex: lock/unlock are scheduling points; contention blocks the
+/// virtual thread and lets the explorer pick who wins the race.
+class ModelMutex {
+ public:
+  ModelMutex() = default;
+  ModelMutex(const ModelMutex&) = delete;
+  ModelMutex& operator=(const ModelMutex&) = delete;
+
+  void lock() { detail::mutex_lock(&s_); }
+  bool try_lock() { return detail::mutex_try_lock(&s_); }
+  void unlock() { detail::mutex_unlock(&s_); }
+
+  detail::MutexState* state() noexcept { return &s_; }
+
+ private:
+  detail::MutexState s_;
+};
+
+/// Model condition variable. notify_one is modeled as notify_all (a
+/// conservative Mesa-style approximation: every waiter re-checks its
+/// predicate, so code correct under the model is correct under the looser
+/// real semantics — but lost-wakeup bugs that depend on *which* waiter
+/// wakes are out of scope).
+class ModelCv {
+ public:
+  ModelCv() = default;
+  ModelCv(const ModelCv&) = delete;
+  ModelCv& operator=(const ModelCv&) = delete;
+
+  void wait(std::unique_lock<ModelMutex>& lk) {
+    detail::cv_wait(&s_, lk.mutex()->state());
+  }
+  template <typename Pred>
+  void wait(std::unique_lock<ModelMutex>& lk, Pred pred) {
+    while (!pred()) wait(lk);
+  }
+  void notify_one() { detail::cv_notify(&s_); }
+  void notify_all() { detail::cv_notify(&s_); }
+
+ private:
+  detail::CvState s_;
+};
+
+/// Model-checking policy: every sync operation is a scheduling point and
+/// deep invariants (`if constexpr (Sync::kChecked)`) are compiled in.
+struct ModelSync {
+  template <typename T>
+  using atomic = ModelAtomic<T>;
+  using mutex = ModelMutex;
+  using lock_guard = std::lock_guard<ModelMutex>;
+  using unique_lock = std::unique_lock<ModelMutex>;
+  using cv = ModelCv;
+  static constexpr bool kChecked = true;
+};
+
+}  // namespace lsl::check

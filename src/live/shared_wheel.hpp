@@ -1,0 +1,99 @@
+// SharedDeadlineWheel — the cross-thread facade over DeadlineWheel.
+//
+// Today's daemon drives its wheel from one epoll thread, so the plain
+// DeadlineWheel is deliberately not thread-safe. The sharded daemon the
+// ROADMAP plans (SO_REUSEPORT, one loop per core) will need shards to arm
+// and cancel deadlines on each other — park expiry migrates with a
+// session, drain fans out across shards. This facade is that component,
+// landed first under the model checker: every schedule/cancel/fire_due
+// interleaving of the Sync=ModelSync instantiation is explored by
+// tools/lsl_mc (scenario `wheel_cancel`) before any daemon thread ever
+// touches it.
+//
+// Locking contract: the mutex guards the wheel's structures only.
+// fire_due() detaches the due batch under the lock (DeadlineWheel::
+// take_due) and runs the callbacks OUTSIDE it, so callbacks may re-enter
+// schedule()/cancel() freely — holding the lock across user code is how
+// wheel facades classically deadlock. The price is a small semantic
+// loosening relative to the single-threaded wheel, stated precisely:
+//
+//  * cancel() == true  still guarantees the callback never runs;
+//  * cancel() == false means it already ran or is in (or committed to)
+//    a concurrent fire_due batch — "too late", not an error;
+//  * a callback scheduling an already-due deadline leaves it for the next
+//    fire_due pass instead of running it in the same one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "check/shim.hpp"
+#include "live/deadline_wheel.hpp"
+
+namespace lsl::live {
+
+template <typename Sync>
+class BasicSharedDeadlineWheel {
+ public:
+  using Token = DeadlineWheel::Token;
+  using Callback = DeadlineWheel::Callback;
+  static constexpr Token kInvalidToken = DeadlineWheel::kInvalidToken;
+
+  BasicSharedDeadlineWheel() = default;
+  BasicSharedDeadlineWheel(const BasicSharedDeadlineWheel&) = delete;
+  BasicSharedDeadlineWheel& operator=(const BasicSharedDeadlineWheel&) =
+      delete;
+
+  /// Arm a deadline at absolute instant `due` (host timebase, ns).
+  Token schedule(std::int64_t due, Callback cb) {
+    typename Sync::lock_guard lock(mu_);
+    return wheel_.schedule(due, std::move(cb));
+  }
+
+  /// Disarm a pending deadline; true guarantees the callback never runs.
+  bool cancel(Token token) {
+    typename Sync::lock_guard lock(mu_);
+    return wheel_.cancel(token);
+  }
+
+  /// Run every deadline due at `now`. The due batch is detached under the
+  /// lock and the callbacks run outside it, in the wheel's deterministic
+  /// order; see the header comment for the exact semantics.
+  std::size_t fire_due(std::int64_t now) {
+    std::vector<Callback> due;
+    {
+      typename Sync::lock_guard lock(mu_);
+      wheel_.take_due(now, &due);
+    }
+    for (Callback& cb : due) cb();
+    return due.size();
+  }
+
+  bool empty() const {
+    typename Sync::lock_guard lock(mu_);
+    return wheel_.empty();
+  }
+
+  std::size_t size() const {
+    typename Sync::lock_guard lock(mu_);
+    return wheel_.size();
+  }
+
+  /// Milliseconds a host may block before the next deadline is due (-1 =
+  /// nothing scheduled, 0 = already due) — the epoll_wait convention.
+  int next_timeout_ms(std::int64_t now) const {
+    typename Sync::lock_guard lock(mu_);
+    return wheel_.empty() ? -1 : wheel_.next_timeout_ms(now);
+  }
+
+ private:
+  mutable typename Sync::mutex mu_;
+  DeadlineWheel wheel_;
+};
+
+/// Production alias (std::mutex); the sharded daemon's future import.
+using SharedDeadlineWheel = BasicSharedDeadlineWheel<check::StdSync>;
+
+}  // namespace lsl::live

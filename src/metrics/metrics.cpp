@@ -4,25 +4,6 @@
 
 namespace lsl::metrics {
 
-void Gauge::set(double v) noexcept {
-  v_.store(v, std::memory_order_relaxed);
-  if (!touched_.exchange(true, std::memory_order_relaxed)) {
-    // First observation seeds both extremes; racing setters then converge
-    // through the CAS loops below.
-    max_.store(v, std::memory_order_relaxed);
-    min_.store(v, std::memory_order_relaxed);
-    return;
-  }
-  double cur = max_.load(std::memory_order_relaxed);
-  while (v > cur &&
-         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
-  }
-  cur = min_.load(std::memory_order_relaxed);
-  while (v < cur &&
-         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
-  }
-}
-
 Histogram::Histogram(std::vector<double> upper_bounds)
     : bounds_(std::move(upper_bounds)) {
   std::sort(bounds_.begin(), bounds_.end());
@@ -100,91 +81,60 @@ void Timeseries::record(double t, double v) {
   samples_.push_back({t, v});
 }
 
-namespace {
-
-/// Shared lookup-or-create over one of the registry's instrument maps.
-template <typename T, typename... Args>
-T& intern(std::mutex& mu, std::map<std::string, std::unique_ptr<T>>& m,
-          const std::string& name, Args&&... args) {
-  std::lock_guard<std::mutex> lock(mu);
-  auto it = m.find(name);
-  if (it == m.end()) {
-    it = m.emplace(name, std::make_unique<T>(std::forward<Args>(args)...))
-             .first;
-  }
-  return *it->second;
-}
-
-template <typename T>
-const T* find_in(std::mutex& mu,
-                 const std::map<std::string, std::unique_ptr<T>>& m,
-                 const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu);
-  const auto it = m.find(name);
-  return it == m.end() ? nullptr : it->second.get();
-}
-
-}  // namespace
-
 Counter& Registry::counter(const std::string& name) {
-  return intern(mu_, counters_, name);
+  return counters_.get_or_create(name);
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  return intern(mu_, gauges_, name);
+  return gauges_.get_or_create(name);
 }
 
 Histogram& Registry::histogram(const std::string& name,
                                std::vector<double> upper_bounds) {
-  return intern(mu_, histograms_, name, std::move(upper_bounds));
+  return histograms_.get_or_create(name, std::move(upper_bounds));
 }
 
 Timeseries& Registry::timeseries(const std::string& name,
                                  std::size_t capacity) {
-  return intern(mu_, timeseries_, name, capacity);
+  return timeseries_.get_or_create(name, capacity);
 }
 
 const Counter* Registry::find_counter(const std::string& name) const {
-  return find_in(mu_, counters_, name);
+  return counters_.find(name);
 }
 const Gauge* Registry::find_gauge(const std::string& name) const {
-  return find_in(mu_, gauges_, name);
+  return gauges_.find(name);
 }
 const Histogram* Registry::find_histogram(const std::string& name) const {
-  return find_in(mu_, histograms_, name);
+  return histograms_.find(name);
 }
 const Timeseries* Registry::find_timeseries(const std::string& name) const {
-  return find_in(mu_, timeseries_, name);
+  return timeseries_.find(name);
 }
 
 void Registry::for_each_counter(
     const std::function<void(const std::string&, const Counter&)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [name, c] : counters_) fn(name, *c);
+  counters_.for_each(fn);
 }
 
 void Registry::for_each_gauge(
     const std::function<void(const std::string&, const Gauge&)>& fn) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [name, g] : gauges_) fn(name, *g);
+  gauges_.for_each(fn);
 }
 
 void Registry::for_each_histogram(
     const std::function<void(const std::string&, const Histogram&)>& fn)
     const {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [name, h] : histograms_) fn(name, *h);
+  histograms_.for_each(fn);
 }
 
 void Registry::for_each_timeseries(
     const std::function<void(const std::string&, const Timeseries&)>& fn)
     const {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [name, t] : timeseries_) fn(name, *t);
+  timeseries_.for_each(fn);
 }
 
 std::size_t Registry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size() +
          timeseries_.size();
 }

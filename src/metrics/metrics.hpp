@@ -21,16 +21,25 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "check/shim.hpp"
+
 namespace lsl::metrics {
 
 /// Monotonically increasing event count (lock-free).
-class Counter {
+///
+/// The scalar instruments are templates over a check::Sync policy
+/// (src/check/shim.hpp): `Counter`/`Gauge` below are the production
+/// std::atomic instantiations; the model-check suite instantiates the
+/// ModelSync variants to explore registration and extreme-tracking races.
+template <typename Sync>
+class BasicCounter {
  public:
   void inc(std::uint64_t n = 1) noexcept {
     v_.fetch_add(n, std::memory_order_relaxed);
@@ -40,31 +49,59 @@ class Counter {
   }
 
  private:
-  std::atomic<std::uint64_t> v_{0};
+  typename Sync::template atomic<std::uint64_t> v_{0};
 };
 
 /// Instantaneous level with min/max high-water tracking (lock-free).
 ///
 /// set() is the hot-path operation: one relaxed store plus two CAS loops
 /// that almost always succeed on the first try (the extremes move rarely).
-class Gauge {
+/// The extremes start at their identity values (-inf-most / +inf-most) so
+/// every set() converges through the same CAS path — an earlier version
+/// seeded them from the first set() after a touched_ exchange, a window in
+/// which a concurrent setter's extreme could be overwritten (the
+/// `gauge_seed_bug` model-check fixture preserves that bug and the checker
+/// finds it in a handful of schedules).
+template <typename Sync>
+class BasicGauge {
  public:
-  void set(double v) noexcept;
+  void set(double v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    double cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    touched_.store(true, std::memory_order_relaxed);
+  }
   double value() const noexcept { return v_.load(std::memory_order_relaxed); }
   /// Largest value ever set (0 before the first set()).
-  double max() const noexcept { return max_.load(std::memory_order_relaxed); }
+  double max() const noexcept {
+    return touched() ? max_.load(std::memory_order_relaxed) : 0.0;
+  }
   /// Smallest value ever set (0 before the first set()).
-  double min() const noexcept { return min_.load(std::memory_order_relaxed); }
+  double min() const noexcept {
+    return touched() ? min_.load(std::memory_order_relaxed) : 0.0;
+  }
   bool touched() const noexcept {
     return touched_.load(std::memory_order_relaxed);
   }
 
  private:
-  std::atomic<double> v_{0.0};
-  std::atomic<double> max_{0.0};
-  std::atomic<double> min_{0.0};
-  std::atomic<bool> touched_{false};
+  typename Sync::template atomic<double> v_{0.0};
+  typename Sync::template atomic<double> max_{
+      std::numeric_limits<double>::lowest()};
+  typename Sync::template atomic<double> min_{
+      std::numeric_limits<double>::max()};
+  typename Sync::template atomic<bool> touched_{false};
 };
+
+/// Production aliases — the pre-seam names every call site uses.
+using Counter = BasicCounter<check::StdSync>;
+using Gauge = BasicGauge<check::StdSync>;
 
 /// Fixed-bucket histogram (lock-free observation path).
 ///
@@ -142,12 +179,66 @@ class Timeseries {
   std::vector<Sample> samples_;
 };
 
+/// One named-instrument family: mutex-guarded lookup-or-create with stable
+/// pointers (values are unique_ptr-owned, never destroyed or rebound).
+///
+/// This is the registration seam the model checker exercises: two threads
+/// racing get_or_create() on the same name must converge on one instrument
+/// (same pointer, both updates land) with the map size unchanged. The
+/// Registry below is four production instantiations of this template.
+template <typename Sync, typename T>
+class BasicInstrumentMap {
+ public:
+  BasicInstrumentMap() = default;
+  BasicInstrumentMap(const BasicInstrumentMap&) = delete;
+  BasicInstrumentMap& operator=(const BasicInstrumentMap&) = delete;
+
+  /// Lookup-or-create; `args` are only consulted when `name` is new.
+  template <typename... Args>
+  T& get_or_create(const std::string& name, Args&&... args) {
+    typename Sync::lock_guard lock(mu_);
+    auto it = map_.find(name);
+    if (it == map_.end()) {
+      it = map_.emplace(name, std::make_unique<T>(std::forward<Args>(args)...))
+               .first;
+    }
+    return *it->second;
+  }
+
+  /// nullptr when absent.
+  const T* find(const std::string& name) const {
+    typename Sync::lock_guard lock(mu_);
+    const auto it = map_.find(name);
+    return it == map_.end() ? nullptr : it->second.get();
+  }
+
+  /// Visit every instrument in name order. The visitor runs under the
+  /// registration mutex; do not register from inside it.
+  void for_each(
+      const std::function<void(const std::string&, const T&)>& fn) const {
+    typename Sync::lock_guard lock(mu_);
+    for (const auto& [name, v] : map_) fn(name, *v);
+  }
+
+  std::size_t size() const {
+    typename Sync::lock_guard lock(mu_);
+    return map_.size();
+  }
+
+ private:
+  mutable typename Sync::mutex mu_;
+  std::map<std::string, std::unique_ptr<T>> map_;
+};
+
 /// Owner and namespace of a set of instruments.
 ///
 /// Lookup-or-create by name; returned references stay valid for the
 /// registry's lifetime (instruments are never destroyed or rebound).
 /// Re-registering a name returns the existing instrument, so independent
 /// components can share one series by agreeing on its name.
+///
+/// Each instrument family has its own registration mutex (the four
+/// InstrumentMap members); cross-family registrations never contend.
 class Registry {
  public:
   Registry() = default;
@@ -184,11 +275,10 @@ class Registry {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::unique_ptr<Timeseries>> timeseries_;
+  BasicInstrumentMap<check::StdSync, Counter> counters_;
+  BasicInstrumentMap<check::StdSync, Gauge> gauges_;
+  BasicInstrumentMap<check::StdSync, Histogram> histograms_;
+  BasicInstrumentMap<check::StdSync, Timeseries> timeseries_;
 };
 
 }  // namespace lsl::metrics

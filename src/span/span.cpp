@@ -11,52 +11,9 @@
 
 namespace lsl::span {
 
-FlightRecorder::FlightRecorder(std::size_t capacity)
-    : capacity_(std::max<std::size_t>(capacity, 2)),
-      slots_(std::make_unique<Slot[]>(capacity_)) {}
-
-void FlightRecorder::record(const SpanRecord& r) noexcept {
-  const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
-  Slot& s = slots_[ticket % capacity_];
-  // Claim the slot. exchange() is the arbiter: exactly one writer sees the
-  // previous published value; a second writer lapping onto the same slot
-  // mid-write sees kSlotBusy and abandons (a counted drop) instead of
-  // spinning — the hot path never waits.
-  const std::uint64_t prev = s.seq.exchange(kSlotBusy,
-                                            std::memory_order_acquire);
-  if (prev == kSlotBusy) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
-    return;
-  }
-  s.rec = r;
-  s.seq.store(ticket + kSlotFirstSeq, std::memory_order_release);
-}
-
-void FlightRecorder::snapshot(std::vector<SpanRecord>& out) const {
-  out.clear();
-  // Read through the same claim protocol as record(): ownership of the
-  // slot, not a seqlock, guards `rec`, so a concurrent snapshot is a data
-  // race with nobody — at worst a racing writer drops onto the claimed
-  // slot, same as writer/writer contention.
-  std::vector<std::pair<std::uint64_t, SpanRecord>> kept;
-  kept.reserve(capacity_);
-  for (std::size_t i = 0; i < capacity_; ++i) {
-    Slot& s = slots_[i];
-    const std::uint64_t seq =
-        s.seq.exchange(kSlotBusy, std::memory_order_acquire);
-    if (seq == kSlotEmpty) {
-      s.seq.store(kSlotEmpty, std::memory_order_release);
-      continue;
-    }
-    if (seq == kSlotBusy) continue;  // a writer holds it; skip
-    kept.emplace_back(seq, s.rec);
-    s.seq.store(seq, std::memory_order_release);
-  }
-  std::sort(kept.begin(), kept.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  out.reserve(kept.size());
-  for (const auto& [seq, rec] : kept) out.push_back(rec);
-}
+// The ring itself lives in span.hpp as a Sync-policy template; compile the
+// production instantiation here once.
+template class BasicFlightRecorder<check::StdSync>;
 
 namespace {
 

@@ -26,12 +26,16 @@
 // catalogue in docs/OBSERVABILITY.md.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "check/shim.hpp"
 
 namespace lsl::span {
 
@@ -78,19 +82,78 @@ struct SpanRecord {
 /// post-mortem dump, or tests after joining writers. It skips any slot
 /// still mid-write, so calling it concurrently is safe but may miss the
 /// newest records.
-class FlightRecorder {
+///
+/// Templated over a check::Sync policy: `FlightRecorder` below is the
+/// production std::atomic instantiation; the model-check suite explores
+/// the claim/fill/release slot protocol under
+/// BasicFlightRecorder<check::ModelSync>, with the kChecked invariant that
+/// a claimed slot's seq never changes under the claim holder.
+template <typename Sync>
+class BasicFlightRecorder {
  public:
-  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+  static constexpr std::size_t kDefaultCapacity = 4096;
 
-  FlightRecorder(const FlightRecorder&) = delete;
-  FlightRecorder& operator=(const FlightRecorder&) = delete;
+  explicit BasicFlightRecorder(std::size_t capacity = kDefaultCapacity)
+      : capacity_(std::max<std::size_t>(capacity, 2)),
+        slots_(std::make_unique<Slot[]>(capacity_)) {}
+
+  BasicFlightRecorder(const BasicFlightRecorder&) = delete;
+  BasicFlightRecorder& operator=(const BasicFlightRecorder&) = delete;
 
   /// Record `r` (O(1), lock-free, never blocks). May drop under slot
   /// contention; see dropped().
-  void record(const SpanRecord& r) noexcept;
+  void record(const SpanRecord& r) noexcept {
+    const std::uint64_t ticket = next_.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots_[ticket % capacity_];
+    // Claim the slot. exchange() is the arbiter: exactly one writer sees the
+    // previous published value; a second writer lapping onto the same slot
+    // mid-write sees kSlotBusy and abandons (a counted drop) instead of
+    // spinning — the hot path never waits.
+    const std::uint64_t prev =
+        s.seq.exchange(kSlotBusy, std::memory_order_acquire);
+    if (prev == kSlotBusy) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    s.rec = r;
+    if constexpr (Sync::kChecked) {
+      // Publication must find the slot exactly as we claimed it: anyone
+      // who wrote seq while we held the claim read/wrote `rec` racily.
+      const std::uint64_t held = s.seq.exchange(
+          ticket + kSlotFirstSeq, std::memory_order_release);
+      check::model_assert(held == kSlotBusy,
+                          "recorder slot seq changed while claimed");
+    } else {
+      s.seq.store(ticket + kSlotFirstSeq, std::memory_order_release);
+    }
+  }
 
   /// Copy the retained records into `out` (cleared first), oldest first.
-  void snapshot(std::vector<SpanRecord>& out) const;
+  void snapshot(std::vector<SpanRecord>& out) const {
+    out.clear();
+    // Read through the same claim protocol as record(): ownership of the
+    // slot, not a seqlock, guards `rec`, so a concurrent snapshot is a data
+    // race with nobody — at worst a racing writer drops onto the claimed
+    // slot, same as writer/writer contention.
+    std::vector<std::pair<std::uint64_t, SpanRecord>> kept;
+    kept.reserve(capacity_);
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      Slot& s = slots_[i];
+      const std::uint64_t seq =
+          s.seq.exchange(kSlotBusy, std::memory_order_acquire);
+      if (seq == kSlotEmpty) {
+        s.seq.store(kSlotEmpty, std::memory_order_release);
+        continue;
+      }
+      if (seq == kSlotBusy) continue;  // a writer holds it; skip
+      kept.emplace_back(seq, s.rec);
+      s.seq.store(seq, std::memory_order_release);
+    }
+    std::sort(kept.begin(), kept.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out.reserve(kept.size());
+    for (const auto& [seq, rec] : kept) out.push_back(rec);
+  }
 
   std::size_t capacity() const noexcept { return capacity_; }
   /// Total record() calls, including overwritten and dropped ones.
@@ -103,8 +166,6 @@ class FlightRecorder {
     return dropped_.load(std::memory_order_relaxed);
   }
 
-  static constexpr std::size_t kDefaultCapacity = 4096;
-
  private:
   // Slot protocol: seq == kSlotEmpty (never written), kSlotBusy (a writer
   // holds it), else ticket + kSlotFirstSeq (published; larger = newer).
@@ -113,15 +174,21 @@ class FlightRecorder {
   static constexpr std::uint64_t kSlotFirstSeq = 2;
 
   struct Slot {
-    std::atomic<std::uint64_t> seq{kSlotEmpty};
+    typename Sync::template atomic<std::uint64_t> seq{kSlotEmpty};
     SpanRecord rec;
   };
 
   std::size_t capacity_;
   std::unique_ptr<Slot[]> slots_;
-  std::atomic<std::uint64_t> next_{0};
-  std::atomic<std::uint64_t> dropped_{0};
+  typename Sync::template atomic<std::uint64_t> next_{0};
+  typename Sync::template atomic<std::uint64_t> dropped_{0};
 };
+
+// The production instantiation is compiled once in span.cpp.
+extern template class BasicFlightRecorder<check::StdSync>;
+
+/// Production alias — the pre-seam name every call site uses.
+using FlightRecorder = BasicFlightRecorder<check::StdSync>;
 
 /// A named span source: one per process/depot, owning a flight recorder.
 ///

@@ -34,6 +34,14 @@
 //                           appears in the docs/OBSERVABILITY.md span
 //                           catalogue
 //   pragma-once             every header under src/ has #pragma once
+//   lock-order              no two mutex names are guard-acquired in both
+//                           nesting orders anywhere under src/ (the static
+//                           twin of the model checker's lock_order_bug
+//                           fixture)
+//   thread-discipline       no bare std::thread / sleep_for under src/
+//                           outside src/check/ — concurrency goes through
+//                           the event loop or the model-checked shims;
+//                           threads belong in tests and tools
 //
 // Suppression: a comment `lsl-lint: allow(<rule-id>)` on the same line
 // silences that rule for that line.
@@ -730,6 +738,173 @@ void rule_span_names_docs(const std::vector<SourceFile>& files,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: lock-order
+// ---------------------------------------------------------------------------
+
+// Deadlock prevention, lexically: every RAII guard declaration
+// (lock_guard / unique_lock / scoped_lock) names the mutex it acquires,
+// and while one guard is in scope a second declaration orders the pair.
+// If two mutex names are ever ordered both ways anywhere under src/, the
+// AB/BA deadlock needs only the right interleaving — the model checker's
+// lock_order_bug scenario demonstrates that dynamically; this rule refuses
+// the pattern statically, across functions and files. Matching is by the
+// mutexes' spelled names, so the rule is a heuristic: keep mutex member
+// names distinct across classes whose critical sections nest. A
+// multi-mutex std::scoped_lock acquires its arguments atomically, so no
+// pair is recorded between them — only against enclosing guards.
+
+struct LockSite {
+  std::string file;
+  int line = 0;
+  bool suppressed = false;
+};
+
+using LockPairMap = std::map<std::pair<std::string, std::string>, LockSite>;
+
+void collect_lock_orders(const SourceFile& f, LockPairMap* pairs) {
+  static const std::set<std::string> kGuards = {"lock_guard", "unique_lock",
+                                                "scoped_lock"};
+  const std::string& c = f.clean;
+  std::vector<std::pair<int, std::string>> active;  // (decl depth, mutex)
+  int depth = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const char ch = c[i];
+    if (ch == '{') {
+      ++depth;
+      continue;
+    }
+    if (ch == '}') {
+      --depth;
+      while (!active.empty() && active.back().first > depth) {
+        active.pop_back();
+      }
+      continue;
+    }
+    if (!is_ident_char(ch) ||
+        std::isdigit(static_cast<unsigned char>(ch)) != 0) {
+      continue;
+    }
+    std::size_t end = i;
+    while (end < c.size() && is_ident_char(c[end])) ++end;
+    const std::string tok = c.substr(i, end - i);
+    const std::size_t tok_at = i;
+    i = end - 1;
+    if (kGuards.count(tok) == 0) continue;
+    // A declaration reads: guard[<...>] var ( mutex [, ...] ) — anything
+    // else (using-alias, qualified mention in a comment-free context) is
+    // skipped by failing these shape checks.
+    std::size_t p = skip_ws(c, end);
+    if (p == std::string::npos) continue;
+    if (c[p] == '<') {
+      // Naive angle matching is fine here: guard template arguments in
+      // this codebase never contain comparison operators.
+      p = match_bracket(c, p, '<', '>');
+      if (p == std::string::npos) continue;
+      p = skip_ws(c, p);
+      if (p == std::string::npos) continue;
+    }
+    if (!is_ident_char(c[p]) ||
+        std::isdigit(static_cast<unsigned char>(c[p])) != 0) {
+      continue;
+    }
+    std::size_t ve = p;
+    while (ve < c.size() && is_ident_char(c[ve])) ++ve;
+    const std::size_t paren = skip_ws(c, ve);
+    if (paren == std::string::npos || c[paren] != '(') continue;
+    const std::size_t args_end = match_bracket(c, paren, '(', ')');
+    if (args_end == std::string::npos) continue;
+    // First argument = the mutex (later arguments are tags like
+    // defer_lock, or scoped_lock's additional mutexes).
+    std::string mutex_name;
+    int adepth = 0;
+    for (std::size_t q = paren + 1; q + 1 < args_end; ++q) {
+      if (c[q] == '(' || c[q] == '[' || c[q] == '{') ++adepth;
+      if (c[q] == ')' || c[q] == ']' || c[q] == '}') --adepth;
+      if (c[q] == ',' && adepth == 0) break;
+      if (std::isspace(static_cast<unsigned char>(c[q])) == 0) {
+        mutex_name += c[q];
+      }
+    }
+    if (mutex_name.empty()) continue;
+    const int line = f.line_of(tok_at);
+    for (const auto& [d, held] : active) {
+      (void)d;
+      if (held == mutex_name) continue;
+      const auto key = std::make_pair(held, mutex_name);
+      if (pairs->count(key) == 0) {
+        (*pairs)[key] =
+            LockSite{f.rel, line, f.suppressed(line, "lock-order")};
+      }
+    }
+    active.emplace_back(depth, mutex_name);
+  }
+}
+
+void rule_lock_order(const std::vector<SourceFile>& files,
+                     std::vector<Violation>* out) {
+  LockPairMap pairs;
+  for (const SourceFile& f : files) collect_lock_orders(f, &pairs);
+  for (const auto& [key, site] : pairs) {
+    const auto rev = pairs.find(std::make_pair(key.second, key.first));
+    if (rev == pairs.end() || site.suppressed) continue;
+    out->push_back(
+        {site.file, site.line, "lock-order",
+         "mutex '" + key.second + "' acquired while holding '" + key.first +
+             "', but the opposite order exists at " + rev->second.file + ":" +
+             std::to_string(rev->second.line) + " (AB/BA deadlock)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: thread-discipline
+// ---------------------------------------------------------------------------
+
+// The daemon is event-driven: one epoll loop, deadlines on the
+// DeadlineWheel, and concurrency-to-be behind the check:: sync shims so
+// the model checker can explore it. A bare std::thread or chrono sleep in
+// src/ bypasses all three (and a sleep in the event loop stalls every
+// session at once). src/check/ is the one sanctioned home — its scheduler
+// runs virtual threads on real ones; tests and tools are outside the net
+// entirely.
+void rule_thread_discipline(const SourceFile& f, std::vector<Violation>* out) {
+  if (f.rel.rfind("src/", 0) != 0) return;
+  if (f.rel.rfind("src/check/", 0) == 0) return;
+  const std::string& c = f.clean;
+  std::size_t pos = 0;
+  std::string tok;
+  while ((pos = next_ident(c, pos, &tok)) != std::string::npos) {
+    const std::size_t tok_end = pos + tok.size();
+    const int line = f.line_of(pos);
+    std::string what;
+    if (tok == "thread" || tok == "jthread") {
+      // Only the std:: type; fields or locals merely *named* thread pass.
+      std::size_t p = prev_nonspace(c, pos);
+      if (p != std::string::npos && p >= 1 && c[p] == ':' &&
+          c[p - 1] == ':') {
+        const std::size_t q = prev_nonspace(c, p - 1);
+        if (q != std::string::npos && is_ident_char(c[q])) {
+          std::size_t b = q;
+          while (b > 0 && is_ident_char(c[b - 1])) --b;
+          if (c.substr(b, q - b + 1) == "std") what = "std::" + tok;
+        }
+      }
+    } else if (tok == "sleep_for" || tok == "sleep_until" ||
+               tok == "this_thread") {
+      what = tok;
+    }
+    if (!what.empty() && !f.suppressed(line, "thread-discipline")) {
+      out->push_back({f.rel, line, "thread-discipline",
+                      "bare '" + what +
+                          "' in src/: the daemon is event-driven — use the "
+                          "epoll loop / DeadlineWheel, or the check:: shims "
+                          "for model-checked concurrency (src/check/, tests, "
+                          "and tools are the sanctioned homes for threads)"});
+    }
+    pos = tok_end;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: pragma-once
 // ---------------------------------------------------------------------------
 
@@ -788,7 +963,9 @@ std::vector<Violation> run_lint(const fs::path& root) {
     rule_raw_new_delete(f, &vs);
     rule_blocking_io(f, &vs);
     rule_pragma_once(f, &vs);
+    rule_thread_discipline(f, &vs);
   }
+  rule_lock_order(files, &vs);
   rule_wire_docs(files, protocol_md, &vs);
   rule_metrics_docs(files, observability_md, &vs);
   rule_fault_metrics_docs(files, observability_md, &vs);
@@ -809,7 +986,8 @@ const std::vector<std::string>& all_rules() {
       "switch-exhaustive",  "switch-default-comment", "raw-new-delete",
       "blocking-io",        "wire-docs",              "metrics-docs",
       "fault-metrics-docs", "pool-metrics-docs",      "live-metrics-docs",
-      "span-names-docs",    "pragma-once"};
+      "span-names-docs",    "pragma-once",            "lock-order",
+      "thread-discipline"};
   return kRules;
 }
 

@@ -1,0 +1,27 @@
+// Seeded fixture for the lock-order rule: the same two mutexes are
+// guard-acquired in both nesting orders, the classic AB/BA deadlock.
+#include <mutex>
+
+namespace fixture {
+
+struct Account {
+  std::mutex balance_mu;
+  std::mutex audit_mu;
+  int balance = 0;
+  int audited = 0;
+
+  void deposit() {
+    std::lock_guard<std::mutex> hold(balance_mu);
+    std::lock_guard<std::mutex> log(audit_mu);
+    ++balance;
+    ++audited;
+  }
+
+  void reconcile() {
+    std::lock_guard<std::mutex> log(audit_mu);
+    std::lock_guard<std::mutex> hold(balance_mu);
+    audited = balance;
+  }
+};
+
+}  // namespace fixture

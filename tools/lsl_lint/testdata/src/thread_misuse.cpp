@@ -1,0 +1,19 @@
+// Seeded fixture for the thread-discipline rule: a bare std::thread plus a
+// chrono sleep inside src/ (and outside src/check/), bypassing the event
+// loop and the model-checked shims alike.
+#include <chrono>
+#include <thread>
+
+namespace fixture {
+
+int busy_wait_counter() {
+  int ticks = 0;
+  std::thread worker([&ticks] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ++ticks;
+  });
+  worker.join();
+  return ticks;
+}
+
+}  // namespace fixture
