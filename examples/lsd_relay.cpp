@@ -31,11 +31,17 @@
 //                       cascade's timeline (docs/OBSERVABILITY.md)
 //   --admin-socket=PATH serve live introspection (stats|spans|health line
 //                       protocol) on a Unix-domain socket at PATH, answered
-//                       from the daemon's own event loop
+//                       from the daemon's own event loop (with --shards>1:
+//                       from the control thread, aggregating every shard)
+//   --shards=N          run N SO_REUSEPORT shard daemons — one acceptor +
+//                       event loop + OS thread each — behind the one port,
+//                       drawing on one shared memory budget (docs/ENGINE.md).
+//                       Default 1: the classic single-threaded daemon,
+//                       byte-identical to previous releases
 //
 // SIGTERM (or Ctrl-C) in daemon mode triggers a graceful drain: the daemon
 // refuses new sessions, lets in-flight ones finish, then exits printing a
-// drain report.
+// drain report (with --shards>1, merged across shards).
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -51,6 +57,7 @@
 #include "posix/epoll_loop.hpp"
 #include "posix/fault_driver.hpp"
 #include "posix/lsd.hpp"
+#include "posix/sharded_lsd.hpp"
 #include "span/span.hpp"
 #include "util/units.hpp"
 
@@ -157,6 +164,92 @@ int run_daemon(std::uint16_t port, std::size_t buffer,
   return rc;
 }
 
+int run_sharded(std::uint16_t port, std::size_t buffer,
+                std::chrono::milliseconds resume_grace,
+                const std::string& fault_spec,
+                const live::LivenessConfig& liveness,
+                const std::string& spans_out,
+                const std::string& admin_socket, int shards) {
+  posix::ShardedLsdConfig scfg;
+  scfg.base.bind = posix::InetAddress{0, port};  // INADDR_ANY
+  scfg.base.buffer_bytes = buffer;
+  scfg.base.resume_grace = resume_grace;
+  scfg.base.liveness = liveness;
+  scfg.shards = shards;
+
+  // Declared before the daemon: shard teardown flushes open stream windows
+  // through the tracer, so it must outlive the ShardedLsd. The recorder is
+  // multi-writer safe, so all shards share one tracer.
+  std::unique_ptr<span::Tracer> tracer;
+  if (!spans_out.empty()) {
+    tracer = std::make_unique<span::Tracer>("lsd." + std::to_string(port));
+    scfg.tracer = tracer.get();
+    span::install_post_mortem(tracer.get(), spans_out);
+    std::printf("lsd: tracing to %s (source %s)\n", spans_out.c_str(),
+                tracer->source().c_str());
+  }
+  if (!fault_spec.empty()) {
+    std::string err;
+    const auto plan = fault::parse_fault_spec(fault_spec, &err);
+    if (!plan) {
+      std::fprintf(stderr, "lsd: bad --fault-spec: %s\n", err.c_str());
+      return 2;
+    }
+    scfg.fault_plan = *plan;
+    std::printf("lsd: fault plan armed on every shard: %s\n",
+                plan->to_spec().c_str());
+  }
+
+  posix::ShardedLsd daemon(scfg);
+
+  // The main thread becomes the control plane: it owns an engine of its
+  // own for the admin socket and watches the drain flag; the shards do
+  // all the relaying on their threads.
+  posix::EpollLoop control;
+  std::unique_ptr<posix::AdminServer> admin;
+  if (!admin_socket.empty()) {
+    admin = std::make_unique<posix::AdminServer>(control, admin_socket,
+                                                 daemon);
+    if (tracer) admin->set_tracer(tracer.get());
+    std::printf("lsd: admin socket at %s\n", admin_socket.c_str());
+  }
+
+  std::printf("lsd: sharded forwarding daemon on port %u "
+              "(%d shards, buffer %zu bytes, resume grace %lld ms)\n",
+              daemon.port(), daemon.shard_count(), buffer,
+              static_cast<long long>(resume_grace.count()));
+  std::signal(SIGTERM, on_terminate_signal);
+  std::signal(SIGINT, on_terminate_signal);
+  while (true) {
+    if (g_drain_requested && !daemon.draining()) {
+      std::printf("lsd: termination requested; draining %d shards...\n",
+                  daemon.shard_count());
+      daemon.begin_drain();
+    }
+    if (daemon.draining() && daemon.drain_done()) break;
+    // run_once returns -1 only on EINTR — how SIGTERM announces itself.
+    if (control.run_once(200) < 0) continue;
+  }
+  int rc = 0;
+  if (daemon.draining()) {
+    const live::DrainReport rep = daemon.drain_report();
+    std::printf("lsd: %s\n", rep.summary().c_str());
+    rc = rep.expired ? 1 : 0;
+  }
+  if (tracer) {
+    span::install_post_mortem(nullptr, "");  // normal exit: no crash hook
+    if (span::dump_file(*tracer, spans_out)) {
+      std::printf("lsd: dumped %llu spans to %s\n",
+                  static_cast<unsigned long long>(
+                      tracer->recorder().recorded()),
+                  spans_out.c_str());
+    } else {
+      std::fprintf(stderr, "lsd: cannot write %s\n", spans_out.c_str());
+    }
+  }
+  return rc;
+}
+
 int run_demo(std::uint64_t bytes) {
   posix::EpollLoop loop;
 
@@ -223,6 +316,7 @@ int main(int argc, char** argv) {
     std::string spans_out;
     std::string admin_socket;
     live::LivenessConfig liveness;  // all-zero: deadlines off
+    int shards = 1;
     bool have_port = false;
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -239,6 +333,12 @@ int main(int argc, char** argv) {
         spans_out = arg.substr(12);
       } else if (arg.rfind("--admin-socket=", 0) == 0) {
         admin_socket = arg.substr(15);
+      } else if (arg.rfind("--shards=", 0) == 0) {
+        shards = std::atoi(arg.c_str() + 9);
+        if (shards < 1) {
+          std::fprintf(stderr, "lsd: bad --shards (need >= 1)\n");
+          return 2;
+        }
       } else if (arg == "--liveness") {
         const auto drain = liveness.drain_deadline;  // may be set already
         liveness = live::LivenessConfig::recommended();
@@ -256,6 +356,13 @@ int main(int argc, char** argv) {
       } else {
         buffer = static_cast<std::size_t>(std::atoll(arg.c_str()));
       }
+    }
+    // --shards=1 (the default) takes the classic single-threaded path —
+    // not a one-shard ShardedLsd — so default behavior (and its metric
+    // exports) stays byte-identical to previous releases.
+    if (shards > 1) {
+      return run_sharded(port, buffer, grace, fault_spec, liveness,
+                         spans_out, admin_socket, shards);
     }
     return run_daemon(port, buffer, grace, fault_spec, liveness, spans_out,
                       admin_socket);

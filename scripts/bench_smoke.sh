@@ -12,6 +12,14 @@
 # the pool must never exceed its budget, and a spans-on run must hold
 # >= TRACING_OVERHEAD_FRACTION (default 0.95) of the spans-off rate —
 # any miss fails the script.
+#
+# Shard scaling: a --cores=2 splice run (the sharded runtime: 2
+# SO_REUSEPORT daemon shards + 2 client driver threads) is always recorded
+# as a 1 -> 2 curve. The >= SHARD_SPEEDUP_FLOOR (default 1.3) aggregate
+# speedup gate is only *enforced* when the machine has >= 4 CPUs — 2 shard
+# threads + 2 driver threads need real parallelism to show a speedup, and
+# on fewer cores the legs just time-slice one another. Below that the
+# curve is still measured and written with "gate": "skipped: N cpus".
 # The baseline file is then refreshed. With --update, comparison is
 # skipped (use after intentional perf-relevant changes).
 set -euo pipefail
@@ -23,8 +31,10 @@ update_only=false
 
 REGRESSION_FRACTION="${REGRESSION_FRACTION:-0.8}"
 TRACING_OVERHEAD_FRACTION="${TRACING_OVERHEAD_FRACTION:-0.95}"
+SHARD_SPEEDUP_FLOOR="${SHARD_SPEEDUP_FLOOR:-1.3}"
 BASELINE=BENCH_pool.json
 jobs=$(nproc 2>/dev/null || echo 4)
+cpus=$(nproc 2>/dev/null || echo 1)
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs" --target lsl_load micro_core >/dev/null
@@ -44,6 +54,12 @@ trap 'rm -rf "$tmp"' EXIT
 ./build/tools/lsl_load --sessions=64 --bytes=2m --budget=64m --trace \
   --json="$tmp/traced.json"
 
+# Shard scaling leg: the same splice workload against the sharded runtime
+# (--cores=2: 2 SO_REUSEPORT shards, 2 driver threads). The cores=1 point
+# of the curve is the splice run above — --cores=1 IS the classic daemon.
+./build/tools/lsl_load --sessions=64 --bytes=2m --budget=64m --cores=2 \
+  --json="$tmp/shard2.json"
+
 # Chunk-pool fallback, sized so every chunk turns over several times:
 # budget/chunk = 512 chunks carrying 64 x 8 MiB = 8192 chunk-loads, so
 # the reuse rate must be high if recycling works at all.
@@ -56,15 +72,18 @@ trap 'rm -rf "$tmp"' EXIT
   >"$tmp/micro.json" 2>/dev/null
 
 python3 - "$tmp" "$BASELINE" "$REGRESSION_FRACTION" "$update_only" \
-  "$TRACING_OVERHEAD_FRACTION" <<'EOF'
+  "$TRACING_OVERHEAD_FRACTION" "$SHARD_SPEEDUP_FLOOR" "$cpus" <<'EOF'
 import json, sys, os
 
 tmp, baseline_path, frac, update_only = (
     sys.argv[1], sys.argv[2], float(sys.argv[3]), sys.argv[4] == "true")
 trace_frac = float(sys.argv[5])
+shard_floor = float(sys.argv[6])
+cpus = int(sys.argv[7])
 
 splice = json.load(open(os.path.join(tmp, "splice.json")))
 traced = json.load(open(os.path.join(tmp, "traced.json")))
+shard2 = json.load(open(os.path.join(tmp, "shard2.json")))
 pool = json.load(open(os.path.join(tmp, "pool.json")))
 micro = json.load(open(os.path.join(tmp, "micro.json")))
 
@@ -87,9 +106,28 @@ if trace_ratio < trace_frac:
         "spans-off %.1f (floor %.0f%%)"
         % (traced["aggregate_mbps"], trace_ratio * 100,
            splice["aggregate_mbps"], trace_frac * 100))
-for name, run in (("splice", splice), ("pool", pool)):
+for name, run in (("splice", splice), ("pool", pool), ("shard2", shard2)):
     if run["pool_peak_bytes"] > run["pool_budget_bytes"]:
         failures.append(f"{name} run exceeded its memory budget")
+
+# Shard scaling: correctness of the cores=2 leg is always required; the
+# speedup floor only binds with enough CPUs for 4 busy threads to truly
+# run in parallel (2 shards + 2 drivers).
+if not shard2["ok"]:
+    failures.append("sharded (--cores=2) lsl_load run failed")
+if shard2["bytes_spliced"] == 0:
+    failures.append("sharded run: splice path never engaged")
+speedup = shard2["aggregate_mbps"] / max(splice["aggregate_mbps"], 1e-9)
+if cpus >= 4:
+    gate = "enforced"
+    if speedup < shard_floor:
+        failures.append(
+            "shard scaling gate: cores=2 aggregate %.1f Mbit/s is only "
+            "%.2fx cores=1's %.1f (floor %.1fx on %d cpus)"
+            % (shard2["aggregate_mbps"], speedup,
+               splice["aggregate_mbps"], shard_floor, cpus))
+else:
+    gate = "skipped: %d cpus" % cpus
 
 bench = {
     b["name"]: b.get("bytes_per_second", b.get("real_time"))
@@ -107,9 +145,19 @@ result = {
     "pool_budget_bytes": pool["pool_budget_bytes"],
     "peak_rss_bytes": max(splice["peak_rss_bytes"], pool["peak_rss_bytes"]),
     "md5_bytes_per_second": bench.get("BM_Md5Throughput/65536"),
+    "shard_scaling": {
+        "cores": [1, 2],
+        "aggregate_mbps": [round(splice["aggregate_mbps"], 3),
+                           round(shard2["aggregate_mbps"], 3)],
+        "speedup": round(speedup, 4),
+        "floor": shard_floor,
+        "cpus": cpus,
+        "gate": gate,
+    },
     "lsl_load_args": {
         "splice": "--sessions=64 --bytes=2m --budget=64m",
         "traced": "--sessions=64 --bytes=2m --budget=64m --trace",
+        "shard2": "--sessions=64 --bytes=2m --budget=64m --cores=2",
         "fallback": "--sessions=64 --bytes=8m --budget=32m --no-splice",
     },
 }

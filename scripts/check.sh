@@ -3,13 +3,16 @@
 # (warnings-as-errors) configuration and again under each sanitizer, run
 # the lsl-lint static analyzer, the clang-tidy semantic tier (skips where
 # the binary is absent), the mcheck (deterministic model-checker) test
-# label, and finish with the chaos (scripted fault-injection) label. Usage:
+# label, the chaos (scripted fault-injection) label, and finish with the
+# shard (SO_REUSEPORT multi-shard runtime) label — run both plain and
+# again under tsan, where the cross-shard publication protocols face the
+# race detector. Usage:
 #
 #   scripts/check.sh [--quick] [--only CONFIG]
 #
 #   --quick         plain + lint only (the pre-push subset)
 #   --only CONFIG   run a single configuration:
-#                   plain|asan|ubsan|tsan|lint|tidy|mcheck|chaos
+#                   plain|asan|ubsan|tsan|lint|tidy|mcheck|chaos|shard
 #
 # Build trees go to build-check-<config>/ so the default build/ directory
 # is left untouched. Every configuration keeps LSL_WERROR=ON: a warning
@@ -20,12 +23,12 @@ cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
-configs=(plain asan ubsan tsan lint tidy mcheck chaos)
+configs=(plain asan ubsan tsan lint tidy mcheck chaos shard)
 case "${1:-}" in
   --quick) configs=(plain lint) ;;
   --only)  configs=("${2:?--only needs a config}") ;;
   "")      ;;
-  *) echo "usage: scripts/check.sh [--quick] [--only plain|asan|ubsan|tsan|lint|tidy|mcheck|chaos]" >&2
+  *) echo "usage: scripts/check.sh [--quick] [--only plain|asan|ubsan|tsan|lint|tidy|mcheck|chaos|shard]" >&2
      exit 2 ;;
 esac
 
@@ -63,6 +66,19 @@ for config in "${configs[@]}"; do
        cmake -B build-check -S . -DLSL_WERROR=ON >/dev/null
        cmake --build build-check -j "$jobs"
        ctest --test-dir build-check --output-on-failure -L chaos \
+             --timeout "$test_timeout" ;;
+    shard) # the sharded-runtime tier, by ctest label: once on the plain
+           # tree, once under tsan — real shard threads are the one place
+           # the repo runs production code across cores, so the label gets
+           # a dedicated pass under the race detector
+       cmake -B build-check -S . -DLSL_WERROR=ON >/dev/null
+       cmake --build build-check -j "$jobs"
+       ctest --test-dir build-check --output-on-failure -L shard \
+             --timeout "$test_timeout"
+       cmake -B build-check-tsan -S . -DLSL_WERROR=ON \
+             -DLSL_SANITIZE=thread >/dev/null
+       cmake --build build-check-tsan -j "$jobs"
+       ctest --test-dir build-check-tsan --output-on-failure -L shard \
              --timeout "$test_timeout" ;;
     *) echo "check.sh: unknown config '$config'" >&2; exit 2 ;;
   esac

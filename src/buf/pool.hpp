@@ -28,6 +28,7 @@
 
 #include "buf/budget.hpp"
 #include "buf/chunk.hpp"
+#include "buf/shared_budget.hpp"
 #include "check/shim.hpp"
 #include "metrics/metrics.hpp"
 #include "util/contract.hpp"
@@ -82,9 +83,20 @@ class BasicChunkPool {
     LSL_PRECONDITION(config_.chunk_bytes > 0, "pool: zero chunk size");
   }
 
+  /// Shard mode: draw byte accounting from an externally-owned shared
+  /// budget (one ceiling for all shards) instead of the pool's own.
+  /// `config.budget_bytes` and the watermarks are ignored — the shared
+  /// budget carries them; freelist, chunks, and per-pool counters stay
+  /// local and contention-free. `shared` must outlive the pool.
+  BasicChunkPool(const PoolConfig& config, BasicSharedBudget<Sync>* shared)
+      : config_(config), shared_budget_(shared) {
+    LSL_PRECONDITION(config_.chunk_bytes > 0, "pool: zero chunk size");
+    LSL_PRECONDITION(shared != nullptr, "pool: null shared budget");
+  }
+
   ~BasicChunkPool() {
     // Every ref must be gone before the pool that owns the storage dies.
-    LSL_INVARIANT(budget_.in_use() == 0,
+    LSL_INVARIANT(local_in_use() == 0,
                   "pool destroyed with live chunk references");
   }
 
@@ -96,7 +108,7 @@ class BasicChunkPool {
   /// released bytes make headroom.
   BasicChunkRef<Sync> acquire() {
     typename Sync::lock_guard lock(mu_);
-    if (!budget_.reserve(config_.chunk_bytes)) {
+    if (!reserve_bytes(config_.chunk_bytes)) {
       ++failures_;
       if (metrics_) metrics_->alloc_failures->inc();
       return {};
@@ -132,13 +144,19 @@ class BasicChunkPool {
   /// advisory under concurrency).
   bool can_acquire() const {
     typename Sync::lock_guard lock(mu_);
+    if (shared_budget_) {
+      return shared_budget_->headroom() >= config_.chunk_bytes;
+    }
     return budget_.headroom() >= config_.chunk_bytes;
   }
 
   /// Watermark admission signal — refuse *new* sessions while set, keep
-  /// serving existing ones until the hard budget stops them.
+  /// serving existing ones until the hard budget stops them. In shard mode
+  /// this reads the *shared* hysteresis, so every shard starts and stops
+  /// admitting together.
   bool under_pressure() const {
     typename Sync::lock_guard lock(mu_);
+    if (shared_budget_) return shared_budget_->under_pressure();
     return budget_.under_pressure();
   }
 
@@ -149,12 +167,18 @@ class BasicChunkPool {
     s.reuses = reuses_;
     s.creations = chunks_.size();
     s.failures = failures_;
-    s.pressure_episodes = budget_.pressure_episodes();
-    s.in_use_bytes = budget_.in_use();
-    s.peak_bytes = budget_.peak();
+    // Shard mode: in_use/peak are this pool's slice; pressure episodes are
+    // the shared budget's (process-wide) rising edges.
+    s.pressure_episodes = shared_budget_ ? shared_budget_->pressure_episodes()
+                                         : budget_.pressure_episodes();
+    s.in_use_bytes = local_in_use();
+    s.peak_bytes = shared_budget_ ? local_peak_ : budget_.peak();
     s.free_chunks = free_.size();
     return s;
   }
+
+  /// The shared budget this pool draws on (null in classic owned mode).
+  BasicSharedBudget<Sync>* shared_budget() const { return shared_budget_; }
 
   const PoolConfig& config() const { return config_; }
 
@@ -178,21 +202,48 @@ class BasicChunkPool {
         check::model_assert(f != chunk, "chunk recycled twice (double release)");
       }
     }
-    const std::uint64_t episodes_before = budget_.pressure_episodes();
     free_.push_back(chunk);
-    budget_.release(config_.chunk_bytes);
-    LSL_INVARIANT(budget_.pressure_episodes() == episodes_before,
-                  "pool: release raised pressure");
+    if (shared_budget_) {
+      local_in_use_ -= config_.chunk_bytes;
+      shared_budget_->release(config_.chunk_bytes);
+    } else {
+      const std::uint64_t episodes_before = budget_.pressure_episodes();
+      budget_.release(config_.chunk_bytes);
+      // (Owned budget only: with a shared budget another shard may raise
+      // pressure concurrently, so the episode count is not stable here.)
+      LSL_INVARIANT(budget_.pressure_episodes() == episodes_before,
+                    "pool: release raised pressure");
+    }
     publish_levels();
+  }
+
+  /// Reserve byte accounting for one chunk against whichever budget this
+  /// pool runs on; callers hold mu_.
+  bool reserve_bytes(std::uint64_t n) {
+    if (shared_budget_) {
+      if (!shared_budget_->reserve(n)) return false;
+      local_in_use_ += n;
+      local_peak_ = std::max(local_peak_, local_in_use_);
+      return true;
+    }
+    return budget_.reserve(n);
+  }
+
+  /// Bytes held by this pool's live refs; callers hold mu_ (or the pool is
+  /// quiescent, as in the destructor).
+  std::uint64_t local_in_use() const {
+    return shared_budget_ ? local_in_use_ : budget_.in_use();
   }
 
   /// Refresh attached gauges; callers hold mu_.
   void publish_levels() {
     if (!metrics_) return;
-    metrics_->bytes_in_use->set(static_cast<double>(budget_.in_use()));
+    metrics_->bytes_in_use->set(static_cast<double>(local_in_use()));
     metrics_->chunks_free->set(static_cast<double>(free_.size()));
     // The counter mirrors the budget's rising-edge count; publish the delta.
-    const std::uint64_t episodes = budget_.pressure_episodes();
+    const std::uint64_t episodes = shared_budget_
+                                       ? shared_budget_->pressure_episodes()
+                                       : budget_.pressure_episodes();
     const std::uint64_t seen = metrics_->pressure_episodes->value();
     if (episodes > seen) metrics_->pressure_episodes->inc(episodes - seen);
   }
@@ -200,6 +251,9 @@ class BasicChunkPool {
   const PoolConfig config_;
   mutable typename Sync::mutex mu_;
   MemoryBudget budget_;
+  BasicSharedBudget<Sync>* shared_budget_ = nullptr;
+  std::uint64_t local_in_use_ = 0;  ///< shard mode: this pool's slice
+  std::uint64_t local_peak_ = 0;    ///< shard mode: high-water of the slice
   /// every chunk ever born
   std::vector<std::unique_ptr<BasicChunk<Sync>>> chunks_;
   std::vector<BasicChunk<Sync>*> free_;  ///< recycled, ready to hand out

@@ -5,7 +5,10 @@
 
 #include "buf/budget.hpp"
 #include "buf/pool.hpp"
+#include "buf/shared_budget.hpp"
 #include "check/shim.hpp"
+#include "engine/drain_gate.hpp"
+#include "engine/post_queue.hpp"
 #include "live/shared_wheel.hpp"
 #include "metrics/metrics.hpp"
 #include "span/span.hpp"
@@ -23,6 +26,9 @@ using ModelWheel = live::BasicSharedDeadlineWheel<MS>;
 using ModelCounter = metrics::BasicCounter<MS>;
 using ModelGauge = metrics::BasicGauge<MS>;
 using ModelCounterMap = metrics::BasicInstrumentMap<MS, ModelCounter>;
+using ModelSharedBudget = buf::BasicSharedBudget<MS>;
+using ModelPostQueue = engine::BasicPostQueue<MS>;
+using ModelDrainGate = engine::BasicDrainGate<MS>;
 
 // ---------------------------------------------------------------------------
 // buf: ChunkPool + MemoryBudget
@@ -144,6 +150,103 @@ void pool_toctou_bug() {
   run_threads();
   check_that(delivered[0] == 1 && delivered[1] == 1,
              "can_acquire() promised headroom that acquire() then refused");
+}
+
+// The sharded runtime's budget protocol: two shard pools, each with its
+// own freelist and local accounting, draw on ONE SharedBudget. Three
+// contenders race across the pools against a two-chunk process-wide
+// ceiling. No schedule may ever admit bytes past the ceiling, every
+// acquire must resolve to a success or a refusal, and both the shared and
+// the per-shard local accounting must drain symmetric.
+void buf_shared_budget() {
+  buf::PoolConfig cfg;
+  cfg.chunk_bytes = 1024;
+  cfg.budget_bytes = 2 * 1024;
+  cfg.low_watermark = 0.25;
+  cfg.high_watermark = 0.75;
+  ModelSharedBudget budget(cfg.budget_bytes, cfg.low_watermark,
+                           cfg.high_watermark);
+  ModelPool shard_a(cfg, &budget);
+  ModelPool shard_b(cfg, &budget);
+  ModelPool* pools[3] = {&shard_a, &shard_b, &shard_a};
+  int got[3] = {0, 0, 0};
+  for (int i = 0; i < 3; ++i) {
+    spawn([&budget, &pools, &got, i] {
+      ModelRef r = pools[i]->acquire();
+      if (r) {
+        check_that(budget.in_use() <= budget.budget(),
+                   "shared budget admitted bytes past the ceiling");
+        r.data()[0] = static_cast<std::uint8_t>(i);
+        got[i] = 1;
+        r.reset();
+      }
+    });
+  }
+  run_threads();
+  const buf::PoolStats sa = shard_a.stats();
+  const buf::PoolStats sb = shard_b.stats();
+  check_that(sa.allocs + sb.allocs + sa.failures + sb.failures == 3,
+             "every cross-shard acquire success or refusal");
+  check_that(sa.allocs + sb.allocs ==
+                 static_cast<std::uint64_t>(got[0] + got[1] + got[2]),
+             "success count matches delivered refs");
+  check_that(got[0] + got[1] + got[2] >= 2,
+             "at most one contender can see an exhausted shared budget");
+  check_that(budget.in_use() == 0, "shared reserve/release symmetric");
+  check_that(sa.in_use_bytes == 0 && sb.in_use_bytes == 0,
+             "per-shard local accounting symmetric after drain");
+  check_that(budget.peak() <= budget.budget(),
+             "peak may never exceed the shared ceiling");
+  check_that(!budget.under_pressure(), "pressure must clear once drained");
+}
+
+// The sharded runtime's work-injection protocol: a control thread posts
+// closures into a shard's queue (the was-empty return deciding whether to
+// ring the engine's wakeup) while the shard thread drains. No schedule may
+// lose or duplicate a task, and the empty->non-empty edge must signal at
+// least once — the coalescing contract wakeup() relies on.
+void engine_post_queue() {
+  ModelPostQueue q;
+  int ran[2] = {0, 0};
+  int wakeups = 0;  // control-thread local
+  spawn([&] {
+    for (int i = 0; i < 2; ++i) {
+      if (q.post([&ran, i] { ++ran[i]; })) ++wakeups;
+    }
+  });
+  spawn([&] { q.drain(); });  // the shard thread's wakeup-driven drain
+  run_threads();
+  q.drain();  // the engine drains again on its next turn
+  check_that(ran[0] == 1 && ran[1] == 1,
+             "every posted task runs exactly once");
+  check_that(q.pending() == 0, "queue drained");
+  check_that(wakeups >= 1, "the empty->non-empty edge must signal a wakeup");
+  check_that(wakeups <= 2, "a non-empty queue must coalesce, not re-signal");
+}
+
+// The sharded runtime's drain rendezvous: SIGTERM can land more than once
+// and begin_drain() races itself, so exactly one request() wins; each
+// shard then finishes its sessions and arrives exactly once; all_done()
+// becomes true precisely at the last arrival (the over-arrival assert in
+// the gate stays armed throughout).
+void engine_drain_gate() {
+  ModelDrainGate gate(2);
+  bool won[2] = {false, false};
+  for (int i = 0; i < 2; ++i) {
+    spawn([&gate, &won, i] {
+      won[i] = gate.request();  // repeated signal: both shards may request
+      check_that(gate.requested(), "request() must be visible immediately");
+      const bool last = gate.arrive();
+      if (last) {
+        check_that(gate.all_done(), "last arrival must observe all_done");
+      }
+    });
+  }
+  run_threads();
+  check_that((won[0] ? 1 : 0) + (won[1] ? 1 : 0) == 1,
+             "exactly one racing request() may win");
+  check_that(gate.arrived() == 2, "every shard arrives exactly once");
+  check_that(gate.all_done(), "drain resolves once all shards arrive");
 }
 
 // ---------------------------------------------------------------------------
@@ -398,6 +501,18 @@ const std::vector<ScenarioDef>& defs() {
         "seeded bug: can_acquire()/acquire() check-then-act race", true,
         budgets(20000, 2, 20000)},
        &pool_toctou_bug},
+      {{"buf_shared_budget", "buf",
+        "2 shard pools on one SharedBudget; ceiling holds, drain symmetric",
+        false, budgets(120000, 2, 40000)},
+       &buf_shared_budget},
+      {{"engine_post_queue", "engine",
+        "cross-thread post/drain loses no task; empty edge signals wakeup",
+        false, budgets(60000, 2, 20000)},
+       &engine_post_queue},
+      {{"engine_drain_gate", "engine",
+        "racing drain requests: one winner, exact arrivals, all_done last",
+        false, budgets(60000, 2, 20000)},
+       &engine_drain_gate},
       {{"recorder_claim", "span",
         "2 writers + concurrent snapshot on the claim/fill/release ring",
         false, budgets(60000, 2, 20000)},

@@ -1,0 +1,60 @@
+// DrainGate: the cross-shard drain rendezvous.
+//
+// SIGTERM drain in the sharded daemon is a two-phase protocol: the
+// controller requests drain once (request()), every shard observes the
+// request on its own dispatch thread, finishes its in-flight sessions,
+// and arrives exactly once (arrive()); the controller (or anyone) asks
+// all_done() to learn whether every shard has arrived. The properties
+// the daemon depends on — a shard that checked requested()==false before
+// accepting can never see the gate already complete, arrivals are never
+// lost or double-counted, request() is idempotent — are explored
+// exhaustively by the model checker (src/check/suite.cpp scenario
+// "engine_drain_gate") rather than sampled under TSan.
+#pragma once
+
+#include <cstdint>
+
+#include "check/shim.hpp"
+
+namespace lsl::engine {
+
+/// N-party drain rendezvous: one idempotent request, one arrival per
+/// party, observable completion.
+template <typename Sync>
+class BasicDrainGate {
+ public:
+  explicit BasicDrainGate(std::uint32_t parties) : parties_(parties) {}
+  BasicDrainGate(const BasicDrainGate&) = delete;
+  BasicDrainGate& operator=(const BasicDrainGate&) = delete;
+
+  /// Ask every party to drain. Returns true on the first call, false on
+  /// repeats (signal handlers may fire more than once).
+  bool request() { return !requested_.exchange(true); }
+
+  bool requested() const { return requested_.load(); }
+
+  /// A party reports its drain complete. Returns true when this arrival
+  /// completed the gate. Arriving more than once per party is a protocol
+  /// violation (caught under the checked Sync policy).
+  bool arrive() {
+    const std::uint32_t before = arrived_.fetch_add(1);
+    if constexpr (Sync::kChecked) {
+      check::model_assert(before < parties_, "drain gate over-arrival");
+    }
+    return before + 1 == parties_;
+  }
+
+  std::uint32_t arrived() const { return arrived_.load(); }
+  std::uint32_t parties() const { return parties_; }
+  bool all_done() const { return arrived_.load() >= parties_; }
+
+ private:
+  const std::uint32_t parties_;
+  typename Sync::template atomic<bool> requested_{false};
+  typename Sync::template atomic<std::uint32_t> arrived_{0};
+};
+
+/// Production alias.
+using DrainGate = BasicDrainGate<check::StdSync>;
+
+}  // namespace lsl::engine

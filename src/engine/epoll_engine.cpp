@@ -1,6 +1,8 @@
-#include "posix/epoll_loop.hpp"
+#include "engine/epoll_engine.hpp"
 
 #include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
 
 #include <array>
 #include <cerrno>
@@ -8,15 +10,24 @@
 #include <stdexcept>
 #include <system_error>
 
-namespace lsl::posix {
+namespace lsl::engine {
 
-EpollLoop::EpollLoop() : epoll_(::epoll_create1(EPOLL_CLOEXEC)) {
+EpollEngine::EpollEngine() : epoll_(::epoll_create1(EPOLL_CLOEXEC)) {
   if (!epoll_.valid()) {
     throw std::system_error(errno, std::generic_category(), "epoll_create1");
   }
+  // The wakeup channel is an ordinary registered fd: a counting eventfd
+  // whose callback drains the count and runs the installed closure. It is
+  // excluded from watched_count() so run()'s "no fds left" exit condition
+  // keeps its pre-wakeup meaning.
+  wakeup_fd_.reset(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wakeup_fd_.valid()) {
+    throw std::system_error(errno, std::generic_category(), "eventfd");
+  }
+  add(wakeup_fd_.get(), EPOLLIN, [this](std::uint32_t) { drain_wakeup(); });
 }
 
-void EpollLoop::add(int fd, std::uint32_t events, IoCallback cb) {
+void EpollEngine::add(int fd, std::uint32_t events, IoCallback cb) {
   epoll_event ev{};
   ev.events = events;
   ev.data.fd = fd;
@@ -26,7 +37,7 @@ void EpollLoop::add(int fd, std::uint32_t events, IoCallback cb) {
   callbacks_[fd] = std::move(cb);
 }
 
-void EpollLoop::modify(int fd, std::uint32_t events) {
+void EpollEngine::modify(int fd, std::uint32_t events) {
   epoll_event ev{};
   ev.events = events;
   ev.data.fd = fd;
@@ -35,12 +46,12 @@ void EpollLoop::modify(int fd, std::uint32_t events) {
   }
 }
 
-void EpollLoop::remove(int fd) {
+void EpollEngine::remove(int fd) {
   ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
   callbacks_.erase(fd);
 }
 
-int EpollLoop::run_once(int timeout_ms) {
+int EpollEngine::run_once(int timeout_ms) {
   std::array<epoll_event, 64> events;
   const int n = ::epoll_wait(epoll_.get(), events.data(),
                              static_cast<int>(events.size()), timeout_ms);
@@ -71,11 +82,32 @@ int EpollLoop::run_once(int timeout_ms) {
   return n;
 }
 
-void EpollLoop::run() {
+void EpollEngine::run() {
   stopped_ = false;
-  while (!stopped_ && !callbacks_.empty()) {
+  while (!stopped_ && watched_count() > 0) {
     run_once(-1);
   }
 }
 
-}  // namespace lsl::posix
+void EpollEngine::wakeup() {
+  // write(2) on an eventfd is atomic and thread-safe; the counter adds up
+  // and the dispatch thread drains it in one read, so wakeups coalesce.
+  const std::uint64_t one = 1;
+  const auto n = ::write(wakeup_fd_.get(), &one, sizeof(one));
+  (void)n;  // EAGAIN means the counter is saturated — a wakeup is pending
+}
+
+void EpollEngine::drain_wakeup() {
+  std::uint64_t count = 0;
+  const auto n = ::read(wakeup_fd_.get(), &count, sizeof(count));
+  (void)n;  // EFD_NONBLOCK: EAGAIN just means a spurious wake
+  if (on_wakeup_) on_wakeup_();
+}
+
+std::unique_ptr<EventEngine> make_engine(std::string_view backend) {
+  if (backend == "epoll") return std::make_unique<EpollEngine>();
+  throw std::invalid_argument("make_engine: unknown backend '" +
+                              std::string(backend) + "'");
+}
+
+}  // namespace lsl::engine

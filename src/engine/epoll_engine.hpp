@@ -1,0 +1,61 @@
+// Single-threaded epoll event engine — the first EventEngine backend.
+//
+// The real-socket half of the repository (the lsd daemon, the posix client
+// and sink) is written against this engine so a whole relay chain — client,
+// several depots, sink — can run in one process over loopback, mirroring
+// how the simulated apps share one event queue. Each daemon shard owns one
+// EpollEngine; the eventfd-based wakeup() is how other threads get the
+// shard's attention (post a closure, then wakeup()).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <unordered_map>
+
+#include "engine/event_engine.hpp"
+#include "engine/fd.hpp"
+#include "metrics/instruments.hpp"
+
+namespace lsl::engine {
+
+/// Edge-triggered-free (level-triggered) epoll wrapper with an eventfd
+/// wakeup channel.
+class EpollEngine final : public EventEngine {
+ public:
+  EpollEngine();
+  ~EpollEngine() override = default;
+
+  std::string_view backend_name() const override { return "epoll"; }
+
+  void add(int fd, std::uint32_t events, IoCallback cb) override;
+  void modify(int fd, std::uint32_t events) override;
+  void remove(int fd) override;
+  int run_once(int timeout_ms = -1) override;
+  void run() override;
+  void stop() override { stopped_ = true; }
+
+  /// Registered fds, excluding the internal wakeup eventfd.
+  std::size_t watched_count() const override {
+    return callbacks_.size() - (wakeup_fd_.valid() ? 1u : 0u);
+  }
+
+  void set_metrics(metrics::LoopMetrics* m) override { metrics_ = m; }
+
+  void wakeup() override;
+  void set_wakeup_callback(std::function<void()> cb) override {
+    on_wakeup_ = std::move(cb);
+  }
+
+ private:
+  void drain_wakeup();
+
+  Fd epoll_;
+  Fd wakeup_fd_;
+  std::unordered_map<int, IoCallback> callbacks_;
+  std::function<void()> on_wakeup_;
+  metrics::LoopMetrics* metrics_ = nullptr;
+  bool stopped_ = false;
+};
+
+}  // namespace lsl::engine

@@ -1,0 +1,45 @@
+// RAII file descriptor.
+#pragma once
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace lsl::engine {
+
+/// Owns a POSIX file descriptor; closes on destruction. Move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  /// Release ownership without closing.
+  int release() { return std::exchange(fd_, -1); }
+
+  /// Close (if open) and optionally adopt a new descriptor.
+  void reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace lsl::engine

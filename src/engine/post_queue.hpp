@@ -1,0 +1,71 @@
+// Cross-thread post queue: how work gets onto a shard's dispatch thread.
+//
+// Any thread may post() a closure; the shard's dispatch thread drains the
+// queue (typically from the engine's wakeup callback) and runs every task
+// in FIFO order. The protocol is deliberately tiny — one mutex, one deque,
+// swap-and-run — and is templated over the check::Sync policy so the
+// model checker can prove the two properties the sharded daemon depends
+// on: no posted task is lost, and no task runs twice (src/check/suite.cpp
+// scenario "engine_post_queue").
+//
+// drain() moves the whole batch out under the lock and runs the tasks
+// *outside* it, so a task may itself post() (to this or another queue)
+// without deadlock; tasks posted during a drain land in the next batch.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "check/shim.hpp"
+
+namespace lsl::engine {
+
+/// MPSC task queue (any producer, the dispatch thread consumes).
+template <typename Sync>
+class BasicPostQueue {
+ public:
+  using Task = std::function<void()>;
+
+  BasicPostQueue() = default;
+  BasicPostQueue(const BasicPostQueue&) = delete;
+  BasicPostQueue& operator=(const BasicPostQueue&) = delete;
+
+  /// Enqueue; returns true when the queue was empty (the caller should
+  /// wake the consumer — returning this instead of always-waking lets
+  /// producers coalesce wakeups on a busy queue).
+  bool post(Task task) {
+    typename Sync::lock_guard lock(mu_);
+    const bool was_empty = tasks_.empty();
+    tasks_.push_back(std::move(task));
+    return was_empty;
+  }
+
+  /// Run every queued task in FIFO order on the calling thread. Returns
+  /// the number of tasks run. Tasks posted while draining go to the next
+  /// drain.
+  std::size_t drain() {
+    std::deque<Task> batch;
+    {
+      typename Sync::lock_guard lock(mu_);
+      batch.swap(tasks_);
+    }
+    for (auto& task : batch) task();
+    return batch.size();
+  }
+
+  std::size_t pending() const {
+    typename Sync::lock_guard lock(mu_);
+    return tasks_.size();
+  }
+
+ private:
+  mutable typename Sync::mutex mu_;
+  std::deque<Task> tasks_;
+};
+
+/// Production alias.
+using PostQueue = BasicPostQueue<check::StdSync>;
+
+}  // namespace lsl::engine

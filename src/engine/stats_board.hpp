@@ -1,0 +1,67 @@
+// StatsBoard: contention-free cross-thread publication of a stats struct.
+//
+// Each shard's dispatch thread owns its counters exclusively (plain
+// uint64 fields in LsdStats — no atomics on the hot path) and publishes a
+// copy to its board after every dispatch round; aggregation threads (the
+// admin socket, lsl_load's reporter) snapshot any board at any time. The
+// board is an array of relaxed-atomic words, so there is never a data
+// race, but a snapshot taken mid-publish may mix words from two adjacent
+// dispatch rounds. That is the deliberate trade: monotonic counters off
+// by one round cost nothing, a shared atomic per counter on the relay
+// fast path would. Snapshots are exact whenever the shard is quiescent
+// (drained, stopped, or simply between rounds), which is when tests and
+// drain reports read them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace lsl::engine {
+
+/// Single-writer multi-reader board for a trivially copyable stats struct
+/// whose size is a multiple of 8 bytes.
+template <typename T>
+class StatsBoard {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "StatsBoard needs a trivially copyable stats struct");
+  static_assert(sizeof(T) % sizeof(std::uint64_t) == 0,
+                "StatsBoard publishes whole 64-bit words");
+  static constexpr std::size_t kWords = sizeof(T) / sizeof(std::uint64_t);
+
+ public:
+  StatsBoard() { publish(T{}); }
+
+  StatsBoard(const StatsBoard&) = delete;
+  StatsBoard& operator=(const StatsBoard&) = delete;
+
+  /// Owner thread: publish the current value, word by word.
+  void publish(const T& value) {
+    std::uint64_t words[kWords];
+    std::memcpy(words, &value, sizeof(T));
+    for (std::size_t i = 0; i < kWords; ++i) {
+      std::atomic_ref<std::uint64_t>(words_[i]).store(
+          words[i], std::memory_order_relaxed);
+    }
+  }
+
+  /// Any thread: read the last published value (word-coherent; see file
+  /// comment for the mid-publish caveat).
+  T snapshot() const {
+    std::uint64_t words[kWords];
+    for (std::size_t i = 0; i < kWords; ++i) {
+      words[i] = std::atomic_ref<const std::uint64_t>(words_[i])
+                     .load(std::memory_order_relaxed);
+    }
+    T value;
+    std::memcpy(&value, words, sizeof(T));
+    return value;
+  }
+
+ private:
+  alignas(std::atomic_ref<std::uint64_t>::required_alignment)
+      std::uint64_t words_[kWords] = {};
+};
+
+}  // namespace lsl::engine

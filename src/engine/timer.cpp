@@ -1,4 +1,4 @@
-#include "posix/timer_fd.hpp"
+#include "engine/timer.hpp"
 
 #include <sys/epoll.h>
 #include <sys/timerfd.h>
@@ -8,28 +8,28 @@
 #include <cerrno>
 #include <system_error>
 
-namespace lsl::posix {
+namespace lsl::engine {
 
-TimerFd::TimerFd(EpollLoop& loop, std::function<void()> on_fire)
-    : loop_(loop), on_fire_(std::move(on_fire)) {
+EngineTimer::EngineTimer(EventEngine& engine, std::function<void()> on_fire)
+    : engine_(engine), on_fire_(std::move(on_fire)) {
   fd_.reset(::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC));
   if (!fd_.valid()) {
     throw std::system_error(errno, std::generic_category(), "timerfd_create");
   }
-  loop_.add(fd_.get(), EPOLLIN, [this](std::uint32_t) { on_readable(); });
+  engine_.add(fd_.get(), EPOLLIN, [this](std::uint32_t) { on_readable(); });
 }
 
-TimerFd::~TimerFd() {
-  if (fd_.valid()) loop_.remove(fd_.get());
+EngineTimer::~EngineTimer() {
+  if (fd_.valid()) engine_.remove(fd_.get());
 }
 
-std::int64_t TimerFd::now_ns() {
+std::int64_t EngineTimer::now_ns() {
   struct timespec ts;
   ::clock_gettime(CLOCK_MONOTONIC, &ts);
   return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
 }
 
-void TimerFd::arm(std::int64_t due_ns) {
+void EngineTimer::arm(std::int64_t due_ns) {
   if (armed_ && armed_due_ == due_ns) return;
   // it_value {0,0} would disarm; clamp a past/zero instant to 1 ns so the
   // timer still fires (immediately) instead of going silent.
@@ -42,7 +42,7 @@ void TimerFd::arm(std::int64_t due_ns) {
   armed_due_ = due_ns;
 }
 
-void TimerFd::disarm() {
+void EngineTimer::disarm() {
   if (!armed_) return;
   struct itimerspec spec = {};  // zero it_value = disarm
   ::timerfd_settime(fd_.get(), 0, &spec, nullptr);
@@ -50,7 +50,7 @@ void TimerFd::disarm() {
   armed_due_ = 0;
 }
 
-void TimerFd::on_readable() {
+void EngineTimer::on_readable() {
   std::uint64_t expirations = 0;
   // Drain the expiration count so level-triggered epoll quiesces.
   const auto n = ::read(fd_.get(), &expirations, sizeof(expirations));
@@ -60,4 +60,4 @@ void TimerFd::on_readable() {
   if (on_fire_) on_fire_();
 }
 
-}  // namespace lsl::posix
+}  // namespace lsl::engine

@@ -44,8 +44,9 @@ Fd listen_unix(const std::string& path) {
 
 }  // namespace
 
-AdminServer::AdminServer(EpollLoop& loop, std::string socket_path, Lsd& lsd)
-    : loop_(loop), lsd_(lsd), path_(std::move(socket_path)) {
+AdminServer::AdminServer(engine::EventEngine& loop, std::string socket_path,
+                         AdminSource& source)
+    : loop_(loop), source_(source), path_(std::move(socket_path)) {
   listener_ = listen_unix(path_);
   if (!listener_.valid()) {
     throw std::system_error(errno, std::generic_category(),
@@ -131,7 +132,7 @@ std::string AdminServer::cmd_stats() const {
   if (registry_) {
     metrics::write_jsonl(*registry_, out);
   } else {
-    const LsdStats& s = lsd_.stats();
+    const LsdStats s = source_.admin_stats();
     out << "{\"sessions_accepted\":" << s.sessions_accepted
         << ",\"sessions_completed\":" << s.sessions_completed
         << ",\"sessions_failed\":" << s.sessions_failed
@@ -155,13 +156,16 @@ std::string AdminServer::cmd_spans() const {
 }
 
 std::string AdminServer::cmd_health() const {
-  const LsdStats& s = lsd_.stats();
+  const AdminHealth h = source_.admin_health();
+  const LsdStats& s = h.stats;
   std::ostringstream out;
-  out << "{\"port\":" << lsd_.port()
-      << ",\"live_relays\":" << lsd_.live_relays()
-      << ",\"parked_relays\":" << lsd_.parked_relays()
-      << ",\"draining\":" << (lsd_.draining() ? "true" : "false")
-      << ",\"drain_done\":" << (lsd_.drain_done() ? "true" : "false")
+  out << "{\"port\":" << h.port << ",\"live_relays\":" << h.live_relays
+      << ",\"parked_relays\":" << h.parked_relays;
+  // Sharded daemons report their width; the classic daemon's output stays
+  // byte-identical (no new field).
+  if (h.shards > 0) out << ",\"shards\":" << h.shards;
+  out << ",\"draining\":" << (h.draining ? "true" : "false")
+      << ",\"drain_done\":" << (h.drain_done ? "true" : "false")
       << ",\"sessions_accepted\":" << s.sessions_accepted
       << ",\"sessions_completed\":" << s.sessions_completed
       << ",\"sessions_failed\":" << s.sessions_failed

@@ -34,14 +34,18 @@ class Tracer;
 
 namespace lsl::posix {
 
-class Lsd;
+class AdminSource;
 
-/// One admin endpoint bound to one daemon. Binds (and unlinks any stale
-/// socket file) in the constructor; throws std::system_error on failure.
-/// Removes the socket file again on destruction.
+/// One admin endpoint bound to one daemon — the single-threaded Lsd or
+/// the sharded runtime, via the AdminSource seam (posix/lsd.hpp); the
+/// sharded daemon's `stats` and `health` sum per-shard counters. Binds
+/// (and unlinks any stale socket file) in the constructor; throws
+/// std::system_error on failure. Removes the socket file again on
+/// destruction.
 class AdminServer {
  public:
-  AdminServer(EpollLoop& loop, std::string socket_path, Lsd& lsd);
+  AdminServer(engine::EventEngine& loop, std::string socket_path,
+              AdminSource& source);
   ~AdminServer();
 
   AdminServer(const AdminServer&) = delete;
@@ -78,8 +82,8 @@ class AdminServer {
   bool flush(Conn* c);
   void close_conn(Conn* c);
 
-  EpollLoop& loop_;
-  Lsd& lsd_;
+  engine::EventEngine& loop_;
+  AdminSource& source_;
   std::string path_;
   Fd listener_;
   const metrics::Registry* registry_ = nullptr;

@@ -1,64 +1,16 @@
-// Single-threaded epoll event loop.
-//
-// The real-socket half of the repository (the lsd daemon, the posix client
-// and sink) is written against this loop so a whole relay chain — client,
-// several depots, sink — can run in one process over loopback, mirroring
-// how the simulated apps share one event queue.
+// Single-threaded epoll event loop — now the epoll backend of the
+// engine layer (engine/epoll_engine.hpp, behind the engine::EventEngine
+// interface). This header keeps the historical lsl::posix::EpollLoop
+// spelling: tests, tools, and examples construct the concrete backend
+// directly, while the daemon itself is written against EventEngine so an
+// io_uring backend can slot in later.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <unordered_map>
-
-#include "metrics/instruments.hpp"
-#include "posix/fd.hpp"
+#include "engine/epoll_engine.hpp"
+#include "engine/event_engine.hpp"
 
 namespace lsl::posix {
 
-/// Edge-triggered-free (level-triggered) epoll wrapper.
-class EpollLoop {
- public:
-  /// Callback receives the ready EPOLL* event mask.
-  using IoCallback = std::function<void(std::uint32_t events)>;
-
-  EpollLoop();
-  ~EpollLoop() = default;
-
-  EpollLoop(const EpollLoop&) = delete;
-  EpollLoop& operator=(const EpollLoop&) = delete;
-
-  /// Register `fd` for `events` (EPOLLIN/EPOLLOUT/...). The callback stays
-  /// installed until remove().
-  void add(int fd, std::uint32_t events, IoCallback cb);
-
-  /// Change the interest mask of a registered fd.
-  void modify(int fd, std::uint32_t events);
-
-  /// Deregister; safe to call from inside the fd's own callback.
-  void remove(int fd);
-
-  /// Dispatch ready events once, waiting up to `timeout_ms` (-1 = forever).
-  /// Returns the number of events handled, or -1 on EINTR.
-  int run_once(int timeout_ms = -1);
-
-  /// Loop until stop() is called or no fds remain registered.
-  void run();
-
-  /// Make run() return after the current dispatch round.
-  void stop() { stopped_ = true; }
-
-  std::size_t watched_count() const { return callbacks_.size(); }
-
-  /// Attach a metrics bundle (must outlive the loop's use); null detaches.
-  /// Dispatch timing is only measured while a bundle is attached, so the
-  /// unmetered loop pays no clock_gettime cost.
-  void set_metrics(metrics::LoopMetrics* m) { metrics_ = m; }
-
- private:
-  Fd epoll_;
-  std::unordered_map<int, IoCallback> callbacks_;
-  metrics::LoopMetrics* metrics_ = nullptr;
-  bool stopped_ = false;
-};
+using EpollLoop = engine::EpollEngine;
 
 }  // namespace lsl::posix

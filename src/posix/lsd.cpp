@@ -153,14 +153,39 @@ void arm_reset(int fd) {
 
 }  // namespace
 
-Lsd::Lsd(EpollLoop& loop, const LsdConfig& config)
+LsdStats operator+(const LsdStats& a, const LsdStats& b) {
+  LsdStats s;
+  s.sessions_accepted = a.sessions_accepted + b.sessions_accepted;
+  s.sessions_completed = a.sessions_completed + b.sessions_completed;
+  s.sessions_failed = a.sessions_failed + b.sessions_failed;
+  s.sessions_refused = a.sessions_refused + b.sessions_refused;
+  s.bytes_relayed = a.bytes_relayed + b.bytes_relayed;
+  s.bytes_spliced = a.bytes_spliced + b.bytes_spliced;
+  s.fail_dial = a.fail_dial + b.fail_dial;
+  s.fail_header = a.fail_header + b.fail_header;
+  s.fail_peer_reset = a.fail_peer_reset + b.fail_peer_reset;
+  s.fail_timeout = a.fail_timeout + b.fail_timeout;
+  s.fail_other = a.fail_other + b.fail_other;
+  s.sessions_parked = a.sessions_parked + b.sessions_parked;
+  s.sessions_resumed = a.sessions_resumed + b.sessions_resumed;
+  s.accepts_dropped = a.accepts_dropped + b.accepts_dropped;
+  s.timeouts_header = a.timeouts_header + b.timeouts_header;
+  s.timeouts_dial = a.timeouts_dial + b.timeouts_dial;
+  s.timeouts_idle = a.timeouts_idle + b.timeouts_idle;
+  s.timeouts_stall = a.timeouts_stall + b.timeouts_stall;
+  s.sessions_refused_drain =
+      a.sessions_refused_drain + b.sessions_refused_drain;
+  return s;
+}
+
+Lsd::Lsd(engine::EventEngine& loop, const LsdConfig& config)
     : loop_(loop), config_(config) {
   pool_ = config_.shared_pool;
   if (pool_ == nullptr) {
     owned_pool_ = std::make_unique<buf::ChunkPool>(config_.pool);
     pool_ = owned_pool_.get();
   }
-  listener_ = listen_tcp(config_.bind, 64, &port_);
+  listener_ = listen_tcp(config_.bind, 64, &port_, config_.reuse_port);
   if (!listener_.valid()) {
     throw std::system_error(errno, std::generic_category(), "lsd: bind");
   }
@@ -1014,7 +1039,8 @@ void Lsd::crash() {
 
 void Lsd::restart() {
   if (!crashed_) return;
-  listener_ = listen_tcp(InetAddress{config_.bind.addr, port_}, 64, &port_);
+  listener_ = listen_tcp(InetAddress{config_.bind.addr, port_}, 64, &port_,
+                         config_.reuse_port);
   if (!listener_.valid()) {
     LSL_LOG_WARN("lsd: restart failed to re-bind port %u: %s",
                  static_cast<unsigned>(port_), std::strerror(errno));

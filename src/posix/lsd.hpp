@@ -73,6 +73,10 @@ struct LsdConfig {
   /// daemon arms a timerfd in its loop, so deadlines fire even while no
   /// socket is ready.
   live::LivenessConfig liveness;
+  /// Bind the listener with SO_REUSEPORT so several daemons (the shards
+  /// of a posix::ShardedLsd) can share one port and let the kernel
+  /// load-balance accepts. Off for the classic single daemon.
+  bool reuse_port = false;
 };
 
 /// Why a relay session failed (the largest contributor wins; a session
@@ -142,12 +146,41 @@ struct LsdStats {
   std::uint64_t sessions_refused_drain = 0;
 };
 
+/// Element-wise sum (aggregating per-shard counters at export).
+LsdStats operator+(const LsdStats& a, const LsdStats& b);
+
+/// The `health` snapshot an admin endpoint reports.
+struct AdminHealth {
+  std::uint16_t port = 0;
+  std::size_t live_relays = 0;
+  std::size_t parked_relays = 0;
+  bool draining = false;
+  bool drain_done = false;
+  /// Shard count; 0 = classic single daemon (the field is then omitted
+  /// from the health JSON, keeping the historical output byte-identical).
+  int shards = 0;
+  LsdStats stats;
+};
+
+/// What an admin endpoint needs from the daemon behind it — implemented by
+/// the single-threaded Lsd directly and by posix::ShardedLsd as a
+/// cross-shard aggregation. Both methods must be safe to call from the
+/// thread running the AdminServer's engine.
+class AdminSource {
+ public:
+  virtual ~AdminSource() = default;
+  virtual LsdStats admin_stats() const = 0;
+  virtual AdminHealth admin_health() const = 0;
+};
+
 /// One forwarding daemon instance.
-class Lsd {
+class Lsd : public AdminSource {
  public:
   /// Binds and starts listening immediately; throws std::system_error if
-  /// the socket cannot be bound.
-  Lsd(EpollLoop& loop, const LsdConfig& config);
+  /// the socket cannot be bound. The daemon is written against the
+  /// abstract EventEngine, so any backend (epoll today, io_uring later)
+  /// can drive it.
+  Lsd(engine::EventEngine& loop, const LsdConfig& config);
   ~Lsd();
 
   Lsd(const Lsd&) = delete;
@@ -157,6 +190,19 @@ class Lsd {
   std::uint16_t port() const { return port_; }
 
   const LsdStats& stats() const { return stats_; }
+
+  // AdminSource (the single-daemon admin endpoint reads straight through).
+  LsdStats admin_stats() const override { return stats_; }
+  AdminHealth admin_health() const override {
+    AdminHealth h;
+    h.port = port_;
+    h.live_relays = live_relays();
+    h.parked_relays = parked_relays();
+    h.draining = draining_;
+    h.drain_done = drain_done_;
+    h.stats = stats_;
+    return h;
+  }
 
   /// The chunk pool relays buffer through (daemon-owned or shared).
   buf::ChunkPool& pool() { return *pool_; }
@@ -322,7 +368,7 @@ class Lsd {
   /// The bounded drain expired: abort the stragglers and resolve.
   void on_drain_deadline();
 
-  EpollLoop& loop_;
+  engine::EventEngine& loop_;
   LsdConfig config_;
   Fd listener_;
   std::uint16_t port_ = 0;

@@ -44,11 +44,14 @@ bool set_nodelay(int fd) {
 }
 
 Fd listen_tcp(const InetAddress& bind_addr, int backlog,
-              std::uint16_t* bound_port) {
+              std::uint16_t* bound_port, bool reuse_port) {
   Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) return {};
   const int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuse_port) {
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+  }
   sockaddr_in sa = bind_addr.to_sockaddr();
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
     return {};

@@ -37,10 +37,13 @@ bool set_nodelay(int fd);
 
 /// Create a nonblocking listening socket bound to `bind_addr` with
 /// SO_REUSEADDR. If bind_addr.port == 0, an ephemeral port is chosen;
-/// `bound_port` (when non-null) receives the actual port. Invalid Fd on
-/// failure (errno is preserved).
+/// `bound_port` (when non-null) receives the actual port. With
+/// `reuse_port`, SO_REUSEPORT is also set — several listeners (one per
+/// daemon shard) bind the same address and the kernel load-balances
+/// accepted connections across them. Invalid Fd on failure (errno is
+/// preserved).
 Fd listen_tcp(const InetAddress& bind_addr, int backlog = 64,
-              std::uint16_t* bound_port = nullptr);
+              std::uint16_t* bound_port = nullptr, bool reuse_port = false);
 
 /// Begin a nonblocking connect to `remote`. On return the socket is either
 /// connected or connecting (EINPROGRESS) — wait for EPOLLOUT and check

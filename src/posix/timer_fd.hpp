@@ -1,56 +1,12 @@
-// timerfd wrapper: turns a DeadlineWheel due-instant into an epoll wakeup.
-//
-// The daemon's deadlines must fire even when no socket is ready — a silent
-// peer generates no events, which is exactly the case liveness exists to
-// catch. A TimerFd registers in the same EpollLoop as the sockets; arming
-// it at the wheel's next_due() makes the loop's plain run() wake for
-// deadlines with no host-side polling and no computed-timeout plumbing.
+// timerfd wrapper — moved to the engine layer (engine/timer.hpp) as
+// engine::EngineTimer; this header keeps the historical lsl::posix::TimerFd
+// spelling for existing call sites.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-
-#include "posix/epoll_loop.hpp"
-#include "posix/fd.hpp"
+#include "engine/timer.hpp"
 
 namespace lsl::posix {
 
-/// A CLOCK_MONOTONIC timerfd registered in an EpollLoop.
-class TimerFd {
- public:
-  /// Creates the timerfd (disarmed) and registers it for EPOLLIN; `on_fire`
-  /// runs whenever the armed instant passes. Throws std::system_error if
-  /// the timer cannot be created.
-  TimerFd(EpollLoop& loop, std::function<void()> on_fire);
-  ~TimerFd();
-
-  TimerFd(const TimerFd&) = delete;
-  TimerFd& operator=(const TimerFd&) = delete;
-
-  /// Current CLOCK_MONOTONIC time in nanoseconds — the timebase armed
-  /// instants are expressed in (and the one the daemon's DeadlineWheel
-  /// runs on).
-  static std::int64_t now_ns();
-
-  /// Arm (or re-arm) for absolute monotonic instant `due_ns`; an instant
-  /// at or before now fires on the next loop turn. Arming at the instant
-  /// already armed is a no-op (skips the syscall).
-  void arm(std::int64_t due_ns);
-
-  /// Disarm without unregistering.
-  void disarm();
-
-  bool armed() const { return armed_; }
-  int fd() const { return fd_.get(); }
-
- private:
-  void on_readable();
-
-  EpollLoop& loop_;
-  Fd fd_;
-  std::function<void()> on_fire_;
-  bool armed_ = false;
-  std::int64_t armed_due_ = 0;
-};
+using TimerFd = engine::EngineTimer;
 
 }  // namespace lsl::posix

@@ -1,0 +1,24 @@
+// Negative fixture for the thread-discipline rule: this path is the one
+// sanctioned ownership point for OS threads under src/, so the bare
+// std::thread below must NOT fire (the self-test asserts it).
+#pragma once
+
+#include <thread>
+#include <utility>
+
+namespace fixture::engine {
+
+class ShardThread {
+ public:
+  ShardThread() = default;
+  template <typename Fn>
+  explicit ShardThread(Fn&& fn) : thread_(std::forward<Fn>(fn)) {}
+  ~ShardThread() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  std::thread thread_;
+};
+
+}  // namespace fixture::engine

@@ -1,0 +1,14 @@
+// Seeded fixture: the shard-thread carve-out is exactly one file, not the
+// whole of src/engine/ — a bare std::thread in any sibling must still
+// fire thread-discipline.
+#pragma once
+
+#include <thread>
+
+namespace fixture::engine {
+
+inline void spawn_detached() {
+  std::thread([] {}).detach();
+}
+
+}  // namespace fixture::engine

@@ -11,9 +11,15 @@
 //   lsl_load [--sessions=N] [--bytes=SIZE] [--budget=SIZE] [--chunk=SIZE]
 //            [--buffer=SIZE] [--no-splice] [--seed=S] [--json=FILE]
 //            [--metrics-out=FILE] [--log-level=LEVEL]
-//            [--trace] [--spans-out=FILE]
+//            [--trace] [--spans-out=FILE] [--cores=N]
 //
 // SIZE accepts k/m/g suffixes (binary units): --bytes=4m, --budget=64m.
+// --cores=N (alias --shards=N) with N >= 2 switches the daemon under test
+// to the sharded runtime (posix::ShardedLsd, N SO_REUSEPORT shards on one
+// port, one shared budget) and splits the client across N driver threads,
+// each with its own event loop and verifying sink. --cores=1 (the
+// default) runs the classic single-threaded daemon on the shared loop —
+// that path is untouched, so its metric exports stay byte-identical.
 // --trace mints one trace id per session slot (deterministic from --seed)
 // so every session's lifecycle lands in the daemon's flight recorder;
 // --spans-out dumps the recorder as JSONL on exit (implies --trace) for
@@ -32,6 +38,7 @@
 #include <csignal>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "buf/pool.hpp"
@@ -41,6 +48,7 @@
 #include "posix/client.hpp"
 #include "posix/epoll_loop.hpp"
 #include "posix/lsd.hpp"
+#include "posix/sharded_lsd.hpp"
 #include "posix/socket_util.hpp"
 #include "span/span.hpp"
 #include "util/log.hpp"
@@ -63,6 +71,7 @@ struct Options {
   std::string metrics_file;
   bool trace = false;
   std::string spans_file;
+  int cores = 1;
 };
 
 bool parse_size(const char* s, std::uint64_t* out) {
@@ -99,7 +108,7 @@ void usage() {
       "                [--chunk=SIZE] [--buffer=SIZE] [--no-splice]\n"
       "                [--seed=S] [--timeout=SECONDS] [--json=FILE]\n"
       "                [--metrics-out=FILE] [--log-level=LEVEL]\n"
-      "                [--trace] [--spans-out=FILE]\n");
+      "                [--trace] [--spans-out=FILE] [--cores=N]\n");
 }
 
 /// Peak resident set of this process, in bytes (Linux ru_maxrss is KiB).
@@ -118,6 +127,260 @@ struct Slot {
   std::chrono::steady_clock::time_point next_attempt{};
   bool relaunch_due = false;
 };
+
+/// What one driver thread contributes to the run totals.
+struct DriverResult {
+  std::size_t verified = 0;
+  std::size_t mismatched = 0;
+  std::uint64_t payload = 0;
+  bool gave_up = false;
+};
+
+/// One driver thread's whole world: a private event loop, a private
+/// verifying sink, and `count` session slots (global indices starting at
+/// `slot_offset`, so trace ids stay deterministic across the split).
+/// Retry/backoff semantics are identical to the classic single-loop path.
+DriverResult drive_slots(std::uint16_t daemon_port, const Options& opt,
+                         std::size_t count, std::size_t slot_offset,
+                         std::chrono::steady_clock::time_point t0,
+                         metrics::Histogram* session_ms) {
+  DriverResult res;
+  if (count == 0) return res;
+  posix::EpollLoop loop;
+  posix::PosixSinkServer sink(loop, posix::InetAddress::loopback(0),
+                              /*expect_header=*/true,
+                              static_cast<std::uint32_t>(opt.seed));
+  sink.on_complete = [&](const posix::SinkResult& r) {
+    if (r.verified) {
+      ++res.verified;
+      res.payload += r.payload_bytes;
+      session_ms->observe(r.seconds * 1000.0);  // atomic: safe cross-thread
+    } else {
+      ++res.mismatched;
+    }
+  };
+
+  posix::PosixSourceConfig scfg;
+  scfg.route = {posix::InetAddress::loopback(daemon_port)};
+  scfg.destination = posix::InetAddress::loopback(sink.port());
+  scfg.payload_bytes = opt.bytes;
+  scfg.payload_seed = static_cast<std::uint32_t>(opt.seed);
+
+  std::vector<Slot> slots(count);
+  constexpr std::uint32_t kMaxAttempts = 25;
+  auto launch = [&](Slot& s) {
+    ++s.attempts;
+    s.relaunch_due = false;
+    posix::PosixSourceConfig cfg = scfg;
+    if (opt.trace) {
+      const std::size_t idx =
+          slot_offset + static_cast<std::size_t>(&s - slots.data());
+      cfg.trace_id = span::mint_trace_id(opt.seed * 100003 + idx);
+    }
+    s.source = std::make_unique<posix::PosixSource>(loop, cfg);
+    Slot* sp = &s;
+    s.source->on_done = [&, sp](bool ok) {
+      if (ok) {
+        sp->completed = true;
+        return;
+      }
+      sp->relaunch_due = true;
+      sp->next_attempt = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(20 * sp->attempts);
+    };
+    s.source->start();
+  };
+
+  for (auto& s : slots) launch(s);
+  const auto deadline = t0 + std::chrono::duration<double>(opt.timeout_s);
+  while (res.verified + res.mismatched < count) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now > deadline) {
+      res.gave_up = true;
+      break;
+    }
+    for (auto& s : slots) {
+      if (s.relaunch_due && now >= s.next_attempt) {
+        if (s.attempts >= kMaxAttempts) {
+          ++res.mismatched;
+          s.relaunch_due = false;
+        } else {
+          launch(s);
+        }
+      }
+    }
+    loop.run_once(20);
+  }
+  return res;
+}
+
+/// The sharded leg: N SO_REUSEPORT daemon shards (posix::ShardedLsd, one
+/// shared budget) driven by N client threads. Reports the same summary
+/// and JSON shape as the classic path plus "cores"/"shards" fields; the
+/// budget assertion checks the *shared* budget's peak, which is the real
+/// process-wide ceiling (per-shard local peaks need not coincide).
+int run_sharded(const Options& opt) {
+  metrics::Registry registry;
+  metrics::Histogram& session_ms =
+      registry.histogram("load.session_ms", metrics::latency_ms_bounds());
+
+  posix::ShardedLsdConfig dcfg;
+  dcfg.base.buffer_bytes = opt.buffer;
+  dcfg.base.use_splice = opt.splice;
+  dcfg.base.pool.chunk_bytes = opt.chunk;
+  dcfg.base.pool.budget_bytes = opt.budget;
+  dcfg.shards = opt.cores;
+  dcfg.registry = &registry;
+  // Declared before the daemon: shard teardown flushes open stream
+  // windows through the tracer, so it must outlive the ShardedLsd.
+  std::unique_ptr<span::Tracer> tracer;
+  if (opt.trace) {
+    tracer = std::make_unique<span::Tracer>("lsd.sharded", 64 * 1024);
+  }
+  dcfg.tracer = tracer.get();
+  posix::ShardedLsd daemon(dcfg);
+
+  // Split the slots round-robin-ish: first (sessions % cores) drivers take
+  // one extra so every session has exactly one owner.
+  const std::size_t cores = static_cast<std::size_t>(opt.cores);
+  const std::size_t base = opt.sessions / cores;
+  const std::size_t extra = opt.sessions % cores;
+  std::vector<DriverResult> results(cores);
+  std::vector<std::thread> drivers;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t offset = 0;
+  for (std::size_t d = 0; d < cores; ++d) {
+    const std::size_t count = base + (d < extra ? 1 : 0);
+    const std::size_t my_offset = offset;
+    offset += count;
+    drivers.emplace_back([&, d, count, my_offset] {
+      results[d] = drive_slots(daemon.port(), opt, count, my_offset, t0,
+                               &session_ms);
+    });
+  }
+  for (auto& t : drivers) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::size_t verified = 0;
+  std::size_t mismatched = 0;
+  std::uint64_t payload_total = 0;
+  bool gave_up = false;
+  for (const DriverResult& r : results) {
+    verified += r.verified;
+    mismatched += r.mismatched;
+    payload_total += r.payload;
+    gave_up = gave_up || r.gave_up;
+  }
+
+  const buf::PoolStats pool = daemon.pool_stats();
+  const std::uint64_t budget_peak = daemon.budget().peak();
+  const posix::LsdStats st = daemon.stats();
+  const std::uint64_t rss = peak_rss_bytes();
+  const double reuse_rate =
+      pool.allocs > 0
+          ? static_cast<double>(pool.reuses) / static_cast<double>(pool.allocs)
+          : 0.0;
+  const double mbps =
+      elapsed > 0 ? static_cast<double>(payload_total) * 8 / 1e6 / elapsed
+                  : 0.0;
+  const double sessions_per_s =
+      elapsed > 0 ? static_cast<double>(verified) / elapsed : 0.0;
+
+  std::printf(
+      "lsl_load: %zu/%zu sessions verified in %.3f s "
+      "(%.2f Mbit/s aggregate, %.2f sessions/s, %d shards)\n",
+      verified, opt.sessions, elapsed, mbps, sessions_per_s, opt.cores);
+  std::printf(
+      "  pool: shared peak %llu / budget %llu bytes, %llu allocs "
+      "(%.1f%% reuse), %llu refusals, %llu pressure episodes\n",
+      static_cast<unsigned long long>(budget_peak),
+      static_cast<unsigned long long>(opt.budget),
+      static_cast<unsigned long long>(pool.allocs), reuse_rate * 100,
+      static_cast<unsigned long long>(pool.failures),
+      static_cast<unsigned long long>(pool.pressure_episodes));
+  std::printf(
+      "  daemon: %llu relayed (%llu spliced), %llu sessions refused at "
+      "admission; peak RSS %llu KiB\n",
+      static_cast<unsigned long long>(st.bytes_relayed),
+      static_cast<unsigned long long>(st.bytes_spliced),
+      static_cast<unsigned long long>(st.sessions_refused),
+      static_cast<unsigned long long>(rss / 1024));
+  std::printf("  session latency: p50 %.1f ms, p90 %.1f ms, p99 %.1f ms\n",
+              session_ms.percentile(0.50), session_ms.percentile(0.90),
+              session_ms.percentile(0.99));
+
+  const bool over_budget = opt.budget > 0 && budget_peak > opt.budget;
+  const bool ok = !gave_up && mismatched == 0 &&
+                  verified == opt.sessions && !over_budget;
+
+  if (!opt.json_file.empty()) {
+    std::FILE* f = std::fopen(opt.json_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "lsl_load: cannot write %s\n",
+                   opt.json_file.c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\"sessions\": %zu, \"verified\": %zu, \"bytes_per_session\": %llu,"
+        " \"elapsed_s\": %.6f, \"aggregate_mbps\": %.3f,"
+        " \"sessions_per_s\": %.3f, \"splice\": %s,"
+        " \"cores\": %d, \"shards\": %d,"
+        " \"bytes_relayed\": %llu, \"bytes_spliced\": %llu,"
+        " \"pool_budget_bytes\": %llu, \"pool_peak_bytes\": %llu,"
+        " \"pool_allocs\": %llu, \"pool_reuse_rate\": %.4f,"
+        " \"pool_failures\": %llu, \"pool_pressure_episodes\": %llu,"
+        " \"sessions_refused\": %llu, \"peak_rss_bytes\": %llu,"
+        " \"latency_p50_ms\": %.3f, \"latency_p90_ms\": %.3f,"
+        " \"latency_p99_ms\": %.3f,"
+        " \"ok\": %s}\n",
+        opt.sessions, verified,
+        static_cast<unsigned long long>(opt.bytes), elapsed, mbps,
+        sessions_per_s, opt.splice ? "true" : "false", opt.cores, opt.cores,
+        static_cast<unsigned long long>(st.bytes_relayed),
+        static_cast<unsigned long long>(st.bytes_spliced),
+        static_cast<unsigned long long>(opt.budget),
+        static_cast<unsigned long long>(budget_peak),
+        static_cast<unsigned long long>(pool.allocs), reuse_rate,
+        static_cast<unsigned long long>(pool.failures),
+        static_cast<unsigned long long>(pool.pressure_episodes),
+        static_cast<unsigned long long>(st.sessions_refused),
+        static_cast<unsigned long long>(rss), session_ms.percentile(0.50),
+        session_ms.percentile(0.90), session_ms.percentile(0.99),
+        ok ? "true" : "false");
+    std::fclose(f);
+  }
+  if (!opt.spans_file.empty()) {
+    if (!span::dump_file(*tracer, opt.spans_file)) {
+      std::fprintf(stderr, "lsl_load: cannot write %s\n",
+                   opt.spans_file.c_str());
+      return 1;
+    }
+    std::printf("  spans: %llu recorded (%llu dropped) -> %s\n",
+                static_cast<unsigned long long>(tracer->recorder().recorded()),
+                static_cast<unsigned long long>(tracer->recorder().dropped()),
+                opt.spans_file.c_str());
+  }
+  if (!opt.metrics_file.empty() &&
+      !metrics::write_file(registry, opt.metrics_file)) {
+    std::fprintf(stderr, "lsl_load: cannot write %s\n",
+                 opt.metrics_file.c_str());
+    return 1;
+  }
+  if (over_budget) {
+    std::fprintf(stderr, "lsl_load: FAIL shared budget peak exceeded\n");
+  }
+  if (gave_up) {
+    std::fprintf(stderr, "lsl_load: FAIL timed out with sessions pending\n");
+  }
+  if (mismatched > 0) {
+    std::fprintf(stderr, "lsl_load: FAIL %zu sessions failed verification\n",
+                 mismatched);
+  }
+  return ok ? 0 : 1;
+}
 
 }  // namespace
 
@@ -158,6 +421,13 @@ int main(int argc, char** argv) {
     } else if ((v = arg_value("--spans-out", argc, argv, &i)) != nullptr) {
       opt.spans_file = v;
       opt.trace = true;
+    } else if ((v = arg_value("--cores", argc, argv, &i)) != nullptr ||
+               (v = arg_value("--shards", argc, argv, &i)) != nullptr) {
+      opt.cores = std::atoi(v);
+      if (opt.cores < 1) {
+        std::fprintf(stderr, "lsl_load: --cores must be >= 1\n");
+        return 2;
+      }
     } else if ((v = arg_value("--log-level", argc, argv, &i)) != nullptr) {
       const auto lvl = util::parse_log_level(v);
       if (!lvl) {
@@ -175,6 +445,9 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  // --cores=1 stays on the classic single-loop path below, untouched, so
+  // its summary and metric exports remain byte-identical run to run.
+  if (opt.cores > 1) return run_sharded(opt);
 
   metrics::Registry registry;
   buf::PoolMetrics pool_metrics(registry);
