@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "exp/striped.hpp"
 #include "lsl/apps.hpp"
 #include "lsl/depot.hpp"
 #include "lsl/directory.hpp"
@@ -222,5 +223,34 @@ int main() {
              util::Cell(stripe_weighted.mean(), 2),
              util::Cell(stripe_weighted.stddev(), 2)});
   lsl::bench::emit(t, "abl_multipath");
+
+  // Striped legs: ONE session over N lanes of a 4-chain braid (src/stripe),
+  // not the N cascaded sessions above — the lanes share a session id, a v3
+  // wire header maps them back, and the sink reassembles the merged stream.
+  util::Table ts("Extension: striped sessions over a 4-chain braid (32MB)",
+                 {"configuration", "mbps", "sd"});
+  const auto add_striped = [&](const std::string& name,
+                               std::uint16_t stripes, std::uint8_t red,
+                               bool weighted) {
+    util::RunningStats s;
+    for (std::size_t i = 0; i < iters; ++i) {
+      exp::StripedParams p;
+      p.paths = 4;
+      p.stripes = stripes;
+      p.redundancy = red;
+      p.weighted = weighted;
+      p.bytes = bytes;
+      p.seed = seed0 + i;
+      const exp::StripedResult r = exp::run_striped(p);
+      if (r.verified) s.add(r.mbps);
+    }
+    ts.add_row({name, util::Cell(s.mean(), 2), util::Cell(s.stddev(), 2)});
+  };
+  for (std::uint16_t n = 1; n <= 4; ++n) {
+    add_striped("striped x" + std::to_string(n), n, 0, false);
+  }
+  add_striped("striped x4 weighted", 4, 0, true);
+  add_striped("striped x4 redundancy 1", 4, 1, false);
+  lsl::bench::emit(ts, "abl_multipath_striped");
   return 0;
 }

@@ -3,7 +3,13 @@
 // stream recovers independently and the aggregate window grows N times
 // faster), but unlike LSL it multiplies the flow's aggressiveness at the
 // shared bottleneck instead of shortening the control loops.
+//
+// The striped legs (src/stripe) change the topology, not just the
+// connection count: one session over N *disjoint* depot chains, so the
+// lanes aggregate independent path bandwidth instead of contending for
+// one bottleneck, and the sink reassembles the merged stream.
 #include "bench_common.hpp"
+#include "exp/striped.hpp"
 #include "util/stats.hpp"
 #include "util/units.hpp"
 
@@ -37,6 +43,22 @@ int main() {
   }
   cfg.mode = exp::Mode::kLsl;
   add("LSL (1 depot)", cfg);
+
+  // One striped session over n disjoint chains, Case-1-like per-path WAN.
+  for (std::uint16_t n = 1; n <= 4; ++n) {
+    util::RunningStats s;
+    for (std::size_t i = 0; i < iters; ++i) {
+      exp::StripedParams p;
+      p.paths = 4;
+      p.stripes = n;
+      p.bytes = bytes;
+      p.seed = bench::base_seed() + i;
+      const exp::StripedResult r = exp::run_striped(p);
+      if (r.verified) s.add(r.mbps);
+    }
+    t.add_row({"LSL striped x" + std::to_string(n), util::Cell(s.mean(), 2),
+               util::Cell(s.stddev(), 2)});
+  }
 
   bench::emit(t, "abl_parallel_tcp");
   return 0;

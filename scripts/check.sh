@@ -3,16 +3,17 @@
 # (warnings-as-errors) configuration and again under each sanitizer, run
 # the lsl-lint static analyzer, the clang-tidy semantic tier (skips where
 # the binary is absent), the mcheck (deterministic model-checker) test
-# label, the chaos (scripted fault-injection) label, and finish with the
-# shard (SO_REUSEPORT multi-shard runtime) label — run both plain and
-# again under tsan, where the cross-shard publication protocols face the
-# race detector. Usage:
+# label, the chaos (scripted fault-injection) label, the shard
+# (SO_REUSEPORT multi-shard runtime) label — run both plain and again
+# under tsan, where the cross-shard publication protocols face the race
+# detector — and finish with the stripe (striped multipath session) label,
+# likewise run plain and under tsan. Usage:
 #
 #   scripts/check.sh [--quick] [--only CONFIG]
 #
 #   --quick         plain + lint only (the pre-push subset)
 #   --only CONFIG   run a single configuration:
-#                   plain|asan|ubsan|tsan|lint|tidy|mcheck|chaos|shard
+#                   plain|asan|ubsan|tsan|lint|tidy|mcheck|chaos|shard|stripe
 #
 # Build trees go to build-check-<config>/ so the default build/ directory
 # is left untouched. Every configuration keeps LSL_WERROR=ON: a warning
@@ -23,12 +24,12 @@ cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
-configs=(plain asan ubsan tsan lint tidy mcheck chaos shard)
+configs=(plain asan ubsan tsan lint tidy mcheck chaos shard stripe)
 case "${1:-}" in
   --quick) configs=(plain lint) ;;
   --only)  configs=("${2:?--only needs a config}") ;;
   "")      ;;
-  *) echo "usage: scripts/check.sh [--quick] [--only plain|asan|ubsan|tsan|lint|tidy|mcheck|chaos|shard]" >&2
+  *) echo "usage: scripts/check.sh [--quick] [--only plain|asan|ubsan|tsan|lint|tidy|mcheck|chaos|shard|stripe]" >&2
      exit 2 ;;
 esac
 
@@ -79,6 +80,19 @@ for config in "${configs[@]}"; do
              -DLSL_SANITIZE=thread >/dev/null
        cmake --build build-check-tsan -j "$jobs"
        ctest --test-dir build-check-tsan --output-on-failure -L shard \
+             --timeout "$test_timeout" ;;
+    stripe) # the striped multipath tier, by ctest label: sim determinism
+            # plus real-socket stripe-kill chaos, once plain and once under
+            # tsan — the reassembling sink and the re-striping source meet
+            # the race detector with real lanes in flight
+       cmake -B build-check -S . -DLSL_WERROR=ON >/dev/null
+       cmake --build build-check -j "$jobs"
+       ctest --test-dir build-check --output-on-failure -L stripe \
+             --timeout "$test_timeout"
+       cmake -B build-check-tsan -S . -DLSL_WERROR=ON \
+             -DLSL_SANITIZE=thread >/dev/null
+       cmake --build build-check-tsan -j "$jobs"
+       ctest --test-dir build-check-tsan --output-on-failure -L stripe \
              --timeout "$test_timeout" ;;
     *) echo "check.sh: unknown config '$config'" >&2; exit 2 ;;
   esac

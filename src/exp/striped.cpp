@@ -1,0 +1,607 @@
+#include "exp/striped.hpp"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "fault/fault_metrics.hpp"
+#include "fault/injector.hpp"
+#include "lsl/apps.hpp"
+#include "lsl/directory.hpp"
+#include "lsl/payload.hpp"
+#include "lsl/selector.hpp"
+#include "lsl/session_id.hpp"
+#include "sim/network.hpp"
+#include "stripe/plan.hpp"
+#include "stripe/reassemble.hpp"
+#include "stripe/stripe_metrics.hpp"
+#include "tcp/stack.hpp"
+#include "util/contract.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace lsl::exp {
+
+namespace {
+
+constexpr sim::PortNum kSinkPort = 5001;
+constexpr sim::PortNum kDepotPort = 4000;
+
+std::string depot_name(std::size_t path) {
+  return "depot" + std::to_string(path + 1);
+}
+
+/// Random-access lane-order payload filler: maps a connection-relative lane
+/// offset through a LaneCursor onto merged-stream offsets and generates the
+/// seeded content there. SourceApp offsets are monotonic per connection,
+/// but the filler tolerates a rewind by rebuilding its cursor.
+struct LaneFiller {
+  core::StripeInfo info;
+  std::uint64_t lane_total;
+  std::uint64_t base;  ///< lane offset this connection starts at
+  core::PayloadGenerator gen;
+  stripe::LaneCursor cursor;
+  std::uint64_t conn_off = 0;
+
+  LaneFiller(const core::StripeInfo& i, std::uint64_t total,
+             std::uint64_t base_off, std::uint64_t seed)
+      : info(i), lane_total(total), base(base_off), gen(seed),
+        cursor(i, total) {
+    cursor.skip(base);
+  }
+
+  void fill(std::uint64_t offset, std::span<std::uint8_t> out) {
+    if (offset != conn_off) {
+      cursor = stripe::LaneCursor(info, lane_total);
+      cursor.skip(base + offset);
+      conn_off = offset;
+    }
+    std::size_t done = 0;
+    while (done < out.size()) {
+      const auto r = cursor.next(out.size() - done);
+      if (r.length == 0) break;  // lane exhausted (caller sized the transfer)
+      gen.seek(r.global);
+      gen.generate(out.subspan(done, static_cast<std::size_t>(r.length)));
+      done += static_cast<std::size_t>(r.length);
+      conn_off += r.length;
+    }
+  }
+};
+
+/// The whole striped run: braid topology, lane sources, reassembling sink,
+/// and the death/restripe driver. One instance per run_striped call.
+class StripedRun {
+ public:
+  explicit StripedRun(const StripedParams& params) : p_(params) {}
+  StripedResult run();
+
+ private:
+  struct Lane {
+    std::uint16_t id = 0;
+    std::optional<core::StripeInfo> info;  ///< absent for stripes == 1
+    std::uint64_t total = 0;               ///< full lane byte count
+    std::string depot;                     ///< current chain's depot
+    std::uint64_t delivered = 0;  ///< in-order lane bytes at the sink
+    util::SimTime start = -1;
+    bool completed = false;  ///< all lane payload merged
+    bool dead = false;       ///< lost; absorbed or awaiting a restripe
+  };
+
+  /// One accepted sink-side connection (a lane, or its replacement).
+  struct Conn {
+    tcp::TcpSocket* sock = nullptr;
+    std::vector<std::uint8_t> buf;  ///< header accumulation
+    bool header_done = false;
+    std::uint16_t lane_id = 0;
+    std::optional<stripe::LaneCursor> cursor;  ///< striped placement
+    std::uint64_t direct_pos = 0;              ///< unstriped placement
+    std::uint64_t payload_left = 0;
+    bool want_trailer = false;
+    std::vector<std::uint8_t> trailer;
+    bool closed = false;  ///< finished or dead; callbacks disarmed
+  };
+
+  void build_topology();
+  void seed_database(core::PathDatabase& db) const;
+  void make_plan();
+  void launch_lane(std::size_t li, std::uint64_t resume_at);
+  void on_accept(tcp::TcpSocket* sock);
+  void on_conn_readable(Conn* c);
+  void feed_payload(Conn* c, std::span<const std::uint8_t> data);
+  void conn_dead(Conn* c);
+  void lane_death(std::size_t li);
+  bool coverage_without_dead() const;
+  void schedule_restripe(std::size_t li);
+  void scan_dead_depots();
+  double path_rate_mbps(std::size_t path) const;
+
+  sim::EventQueue& ev() { return net_->sim().events(); }
+
+  const StripedParams& p_;
+  StripedResult res_;
+
+  std::unique_ptr<sim::Network> net_;
+  sim::Node* src_ = nullptr;
+  sim::Node* dst_ = nullptr;
+  std::vector<sim::Node*> depot_hosts_;
+  std::unique_ptr<tcp::TcpStack> src_stack_;
+  std::unique_ptr<tcp::TcpStack> dst_stack_;
+  std::vector<std::unique_ptr<tcp::TcpStack>> depot_stacks_;
+  core::SessionDirectory dir_;
+  std::vector<std::unique_ptr<core::DepotApp>> depot_apps_;
+  std::optional<fault::FaultMetrics> fault_metrics_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+
+  core::PathDatabase db_;
+  std::unique_ptr<core::RouteSelector> selector_;
+  std::unique_ptr<fault::ReroutePolicy> rerouter_;
+  std::unique_ptr<fault::RetryPolicy> policy_;
+  std::vector<core::CandidateRoute> candidates_;
+
+  stripe::StripePlan plan_;
+  std::vector<Lane> lanes_;
+  core::SessionId session_;
+  md5::Digest session_digest_;
+
+  std::optional<stripe::StripeMetrics> stripe_metrics_;
+  std::unique_ptr<stripe::Reassembler> reasm_;
+  std::optional<core::PayloadVerifier> verifier_;
+  std::vector<std::unique_ptr<core::SourceApp>> sources_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  std::optional<md5::Digest> wire_trailer_;
+  util::SimTime first_start_ = -1;
+  util::SimTime merge_time_ = -1;
+  bool restripe_failed_ = false;
+};
+
+double StripedRun::path_rate_mbps(std::size_t path) const {
+  if (path < p_.path_rate_mbps.size()) return p_.path_rate_mbps[path];
+  return p_.wan_rate.as_mbps();
+}
+
+void StripedRun::build_topology() {
+  net_ = std::make_unique<sim::Network>(p_.seed);
+  src_ = &net_->add_host("src");
+  dst_ = &net_->add_host("dst");
+  sim::Node& gw_a = net_->add_router("gw_a");
+  sim::Node& gw_b = net_->add_router("gw_b");
+
+  // Fat access links: the braid's aggregate must be WAN-limited, or the
+  // multipath sweep would just measure the shared edge.
+  sim::LinkConfig access;
+  access.rate = util::DataRate::mbps(1000);
+  access.delay = p_.access_delay;
+  access.queue_bytes = util::kMiB;
+  net_->connect(*src_, gw_a, access);
+  net_->connect(gw_b, *dst_, access);
+
+  for (std::size_t i = 0; i < p_.paths; ++i) {
+    sim::LinkConfig seg;
+    seg.rate = util::DataRate::mbps(path_rate_mbps(i));
+    seg.delay = p_.one_way_delay / 2;
+    seg.loss_rate = p_.loss / 2.0;
+    seg.queue_bytes = p_.wan_queue_bytes;
+
+    sim::Node& j = net_->add_router("J" + std::to_string(i + 1));
+    net_->connect(gw_a, j, seg);
+    net_->connect(j, gw_b, seg);
+
+    sim::Node& d = net_->add_host(depot_name(i));
+    sim::LinkConfig dlink;
+    dlink.rate = util::DataRate::mbps(1000);
+    dlink.delay = util::millis(0.5);
+    dlink.queue_bytes = util::kMiB;
+    net_->connect(j, d, dlink);
+    depot_hosts_.push_back(&d);
+  }
+  net_->compute_routes();
+
+  tcp::TcpConfig tcpc = p_.tcp;
+  tcpc.carry_data = true;  // reassembly and MD5 need real bytes
+
+  src_stack_ = std::make_unique<tcp::TcpStack>(*net_, *src_, tcpc);
+  dst_stack_ = std::make_unique<tcp::TcpStack>(*net_, *dst_, tcpc);
+  for (sim::Node* d : depot_hosts_) {
+    depot_stacks_.push_back(std::make_unique<tcp::TcpStack>(*net_, *d, tcpc));
+  }
+
+  if (p_.metrics != nullptr) fault_metrics_.emplace(*p_.metrics);
+  for (auto& stack : depot_stacks_) {
+    core::DepotConfig dcfg = p_.depot;
+    dcfg.port = kDepotPort;
+    depot_apps_.push_back(
+        std::make_unique<core::DepotApp>(*stack, dcfg, &dir_));
+  }
+
+  injector_ = std::make_unique<fault::FaultInjector>(
+      *net_, p_.plan, fault_metrics_ ? &*fault_metrics_ : nullptr);
+  for (std::size_t i = 0; i < depot_apps_.size(); ++i) {
+    injector_->register_depot(depot_name(i), depot_apps_[i].get());
+  }
+}
+
+void StripedRun::seed_database(core::PathDatabase& db) const {
+  // Deterministic seeding from the braid's own geometry (cf. run_chaos):
+  // each src<->depot_i / depot_i<->dst sublink crosses one access link,
+  // one WAN segment, and the depot's local link.
+  for (std::size_t i = 0; i < p_.paths; ++i) {
+    const double one_way_s = util::to_seconds(p_.access_delay) +
+                             util::to_seconds(p_.one_way_delay) / 2.0 +
+                             0.5e-3;
+    const double rtt_ms = 2.0 * one_way_s * 1e3;
+    const double bw = path_rate_mbps(i);
+    const double loss = std::max(p_.loss / 2.0, 1e-7);
+    const std::string d = depot_name(i);
+    db.observe_rtt_ms("src", d, rtt_ms);
+    db.observe_bandwidth_mbps("src", d, bw);
+    db.observe_loss_rate("src", d, loss);
+    db.observe_rtt_ms(d, "dst", rtt_ms);
+    db.observe_bandwidth_mbps(d, "dst", bw);
+    db.observe_loss_rate(d, "dst", loss);
+  }
+}
+
+void StripedRun::make_plan() {
+  seed_database(db_);
+  selector_ = std::make_unique<core::RouteSelector>(
+      db_, 1448.0, util::to_seconds(p_.depot.session_setup_latency));
+  rerouter_ = std::make_unique<fault::ReroutePolicy>(*selector_);
+  policy_ = std::make_unique<fault::RetryPolicy>(
+      p_.retry, p_.seed ^ 0x9e3779b97f4a7c15ull);
+
+  for (std::size_t i = 0; i < p_.paths; ++i) {
+    core::CandidateRoute r;
+    r.waypoints = {"src", depot_name(i), "dst"};
+    candidates_.push_back(std::move(r));
+  }
+
+  const std::vector<core::CandidateRoute> routes = stripe::disjoint_routes(
+      *selector_, candidates_, p_.stripes, p_.bytes);
+  LSL_PRECONDITION(routes.size() == p_.stripes,
+                   "striped: not enough disjoint chains for the lane count");
+
+  if (p_.stripes >= 2) {
+    if (p_.weighted) {
+      std::vector<double> weights;
+      for (const core::CandidateRoute& r : routes) {
+        const double t = selector_->predict_transfer_seconds(r, p_.bytes);
+        weights.push_back(t > 0.0 ? 1.0 / t : 1.0);
+      }
+      plan_ = stripe::StripePlan::weighted(p_.bytes, weights);
+    } else {
+      plan_ = stripe::StripePlan::round_robin(p_.bytes, p_.stripes, p_.chunk,
+                                              p_.redundancy);
+    }
+  }
+
+  lanes_.resize(p_.stripes);
+  for (std::size_t j = 0; j < p_.stripes; ++j) {
+    Lane& lane = lanes_[j];
+    lane.id = static_cast<std::uint16_t>(j);
+    lane.depot = routes[j].waypoints[1];
+    if (p_.stripes >= 2) {
+      lane.info = plan_.lanes[j];
+      lane.total = plan_.lane_bytes[j];
+    } else {
+      lane.total = p_.bytes;  // degenerate: one unstriped chain
+    }
+  }
+}
+
+void StripedRun::launch_lane(std::size_t li, std::uint64_t resume_at) {
+  Lane& lane = lanes_[li];
+  core::SourceConfig scfg;
+  scfg.payload_bytes = lane.total - resume_at;
+  scfg.payload_seed = p_.seed;
+  scfg.use_header = true;
+  scfg.header.session = session_;
+  scfg.header.flags |= core::kFlagDigestTrailer;
+  scfg.header.payload_length = lane.total - resume_at;
+  scfg.header.resume_offset = resume_at;
+  scfg.header.stripe = lane.info;
+  sim::Node* depot_node = net_->find_node(lane.depot);
+  scfg.header.hops.push_back({depot_node->id(), kDepotPort});
+  scfg.header.destination = {dst_->id(), kSinkPort};
+  // Every lane ships the merged stream's digest: only the reassembling
+  // sink can check it, and a surviving lane's trailer still vouches for
+  // the whole session after another lane died.
+  scfg.trailer_digest = session_digest_;
+  if (lane.info) {
+    auto filler = std::make_shared<LaneFiller>(*lane.info, lane.total,
+                                               resume_at, p_.seed);
+    scfg.payload_fill = [filler](std::uint64_t off,
+                                 std::span<std::uint8_t> out) {
+      filler->fill(off, out);
+    };
+  }
+
+  const sim::Endpoint first_hop{depot_node->id(), kDepotPort};
+  sources_.push_back(std::make_unique<core::SourceApp>(
+      *src_stack_, first_hop, scfg, &dir_));
+  core::SourceApp* app = sources_.back().get();
+  app->start();
+  if (lane.start < 0) lane.start = app->start_time();
+  if (first_start_ < 0) first_start_ = app->start_time();
+}
+
+void StripedRun::on_accept(tcp::TcpSocket* sock) {
+  conns_.push_back(std::make_unique<Conn>());
+  Conn* c = conns_.back().get();
+  c->sock = sock;
+  sock->on_readable = [this, c] { on_conn_readable(c); };
+  sock->on_error = [this, c](tcp::TcpError) { conn_dead(c); };
+}
+
+void StripedRun::on_conn_readable(Conn* c) {
+  if (c->closed) return;
+  std::array<std::uint8_t, 64 * 1024> buf;
+  for (;;) {
+    const std::size_t n = c->sock->recv(buf);
+    if (n == 0) break;
+    std::span<const std::uint8_t> data(buf.data(), n);
+
+    if (!c->header_done) {
+      c->buf.insert(c->buf.end(), data.begin(), data.end());
+      const auto need = core::header_length(c->buf);
+      if (!need || c->buf.size() < *need) continue;
+      const auto header =
+          core::decode_header({c->buf.data(), *need});
+      if (!header) {
+        conn_dead(c);
+        return;
+      }
+      c->header_done = true;
+      c->payload_left = header->payload_length;
+      c->want_trailer = header->has_digest();
+      if (header->stripe) {
+        c->lane_id = header->stripe->stripe_id;
+        c->cursor.emplace(*header->stripe,
+                          header->resume_offset + header->payload_length);
+        c->cursor->skip(header->resume_offset);
+      } else {
+        c->lane_id = 0;
+        c->direct_pos = header->resume_offset;
+      }
+      const std::vector<std::uint8_t> rest(c->buf.begin() +
+                                               static_cast<long>(*need),
+                                           c->buf.end());
+      c->buf.clear();
+      if (!rest.empty()) feed_payload(c, rest);
+      if (c->closed) return;
+      continue;
+    }
+    feed_payload(c, data);
+    if (c->closed) return;
+  }
+
+  if (c->sock->eof()) {
+    if (c->payload_left == 0 &&
+        (!c->want_trailer || c->trailer.size() == md5::Digest{}.bytes.size())) {
+      c->closed = true;
+      if (c->lane_id < lanes_.size()) lanes_[c->lane_id].completed = true;
+    } else {
+      conn_dead(c);
+    }
+  }
+}
+
+void StripedRun::feed_payload(Conn* c, std::span<const std::uint8_t> data) {
+  Lane& lane = lanes_[c->lane_id];
+  while (!data.empty() && c->payload_left > 0) {
+    std::uint64_t global;
+    std::uint64_t len;
+    if (c->cursor) {
+      const auto r =
+          c->cursor->next(std::min<std::uint64_t>(data.size(),
+                                                  c->payload_left));
+      if (r.length == 0) break;  // malformed lane: longer than its plan
+      global = r.global;
+      len = r.length;
+    } else {
+      global = c->direct_pos;
+      len = std::min<std::uint64_t>(data.size(), c->payload_left);
+      c->direct_pos += len;
+    }
+    reasm_->offer(c->lane_id, global,
+                  data.first(static_cast<std::size_t>(len)));
+    lane.delivered += len;
+    c->payload_left -= len;
+    data = data.subspan(static_cast<std::size_t>(len));
+
+    if (stripe_metrics_ && lane.start >= 0) {
+      const double elapsed = util::to_seconds(ev().now() - lane.start);
+      if (elapsed > 0.0) {
+        stripe_metrics_->on_lane_rate(
+            lane.id, 8.0 * static_cast<double>(lane.delivered) / elapsed);
+      }
+    }
+  }
+  if (c->payload_left == 0 && c->want_trailer && !data.empty()) {
+    const std::size_t take = std::min<std::size_t>(
+        data.size(), md5::Digest{}.bytes.size() - c->trailer.size());
+    c->trailer.insert(c->trailer.end(), data.begin(),
+                      data.begin() + static_cast<long>(take));
+    if (c->trailer.size() == md5::Digest{}.bytes.size() && !wire_trailer_) {
+      md5::Digest d;
+      std::copy(c->trailer.begin(), c->trailer.end(), d.bytes.begin());
+      wire_trailer_ = d;
+    }
+  }
+  if (reasm_->complete() && merge_time_ < 0) {
+    merge_time_ = ev().now();
+    if (stripe_metrics_) stripe_metrics_->sessions_completed->inc();
+  }
+}
+
+void StripedRun::conn_dead(Conn* c) {
+  if (c->closed) return;
+  c->closed = true;
+  // A pre-header death cannot name its lane; the dead-depot scan in the
+  // driver loop attributes it instead.
+  if (!c->header_done) return;
+  lane_death(c->lane_id);
+}
+
+void StripedRun::lane_death(std::size_t li) {
+  Lane& lane = lanes_[li];
+  if (lane.dead || lane.completed) return;
+  if (lane.delivered >= lane.total) {
+    // All payload already merged — only the trailer was cut off. Another
+    // lane's (identical) trailer vouches for the session.
+    lane.completed = true;
+    return;
+  }
+  lane.dead = true;
+  ++res_.stripes_lost;
+  if (stripe_metrics_) stripe_metrics_->stripes_lost->inc();
+  LSL_LOG_INFO("striped: lane %u died on %s at %llu/%llu lane bytes",
+               static_cast<unsigned>(lane.id), lane.depot.c_str(),
+               static_cast<unsigned long long>(lane.delivered),
+               static_cast<unsigned long long>(lane.total));
+  if (coverage_without_dead()) {
+    LSL_LOG_INFO("striped: redundancy covers lane %u, no restripe",
+                 static_cast<unsigned>(lane.id));
+    return;
+  }
+  schedule_restripe(li);
+}
+
+bool StripedRun::coverage_without_dead() const {
+  if (p_.stripes < 2) return false;
+  const std::uint16_t count = plan_.stripe_count();
+  std::vector<bool> covered(count, false);
+  for (const Lane& l : lanes_) {
+    if (l.dead || !l.info) continue;
+    if (l.info->mode == core::StripeMode::kContiguous) {
+      covered[l.id] = true;
+    } else {
+      for (std::uint16_t k = 0; k <= l.info->redundancy; ++k) {
+        covered[(l.id + k) % count] = true;
+      }
+    }
+  }
+  return std::all_of(covered.begin(), covered.end(),
+                     [](bool b) { return b; });
+}
+
+void StripedRun::schedule_restripe(std::size_t li) {
+  const auto delay = policy_->next_delay();
+  if (!delay) {
+    restripe_failed_ = true;
+    return;
+  }
+  if (fault_metrics_) fault_metrics_->on_attempt();
+  ev().schedule_in(*delay, [this, li] {
+    Lane& lane = lanes_[li];
+    std::set<std::string> excluded = injector_->dead_depots();
+    excluded.insert(lane.depot);
+    for (const Lane& l : lanes_) {
+      if (!l.dead && !l.completed) excluded.insert(l.depot);
+    }
+    fault::RerouteError err = fault::RerouteError::kNone;
+    const auto chosen = rerouter_->choose_excluding(
+        candidates_, excluded, lane.total - lane.delivered, &err);
+    if (!chosen) {
+      // A crashed chain may come back (scripted restart): burn the tick
+      // and try again while the budget lasts, like run_chaos.
+      LSL_LOG_WARN("striped: no spare chain for lane %u (%s)",
+                   static_cast<unsigned>(lane.id), fault::to_string(err));
+      schedule_restripe(li);
+      return;
+    }
+    lane.depot = chosen->waypoints[1];
+    lane.dead = false;
+    ++res_.stripes_recovered;
+    if (stripe_metrics_) stripe_metrics_->stripes_recovered->inc();
+    res_.retransmitted_bytes += lane.total - lane.delivered;
+    LSL_LOG_INFO("striped: lane %u re-striped onto %s (resume %llu)",
+                 static_cast<unsigned>(lane.id), lane.depot.c_str(),
+                 static_cast<unsigned long long>(lane.delivered));
+    launch_lane(li, lane.delivered);
+  });
+}
+
+void StripedRun::scan_dead_depots() {
+  const std::set<std::string>& dead = injector_->dead_depots();
+  if (dead.empty()) return;
+  for (std::size_t li = 0; li < lanes_.size(); ++li) {
+    const Lane& lane = lanes_[li];
+    if (!lane.dead && !lane.completed && dead.count(lane.depot) > 0) {
+      lane_death(li);
+    }
+  }
+}
+
+StripedResult StripedRun::run() {
+  LSL_PRECONDITION(p_.stripes >= 1 && p_.stripes <= core::kMaxStripes,
+                   "striped: lane count out of range");
+  LSL_PRECONDITION(p_.paths >= p_.stripes,
+                   "striped: need at least one path per lane");
+  res_.lanes = p_.stripes;
+
+  build_topology();
+  make_plan();
+
+  util::Rng id_rng(p_.seed);
+  session_ = core::SessionId::generate(id_rng);
+  session_digest_ = core::stream_digest(p_.seed, p_.bytes);
+
+  if (p_.metrics != nullptr) {
+    stripe_metrics_.emplace(*p_.metrics, p_.stripes);
+  }
+  stripe::Reassembler::Config rc;
+  rc.session_bytes = p_.bytes;
+  rc.stripe_count = p_.stripes;
+  rc.metrics = stripe_metrics_ ? &*stripe_metrics_ : nullptr;
+  reasm_ = std::make_unique<stripe::Reassembler>(rc);
+  if (p_.verify_content) {
+    verifier_.emplace(p_.seed);
+    reasm_->on_frontier = [this](std::uint64_t,
+                                 std::span<const std::uint8_t> data) {
+      verifier_->feed(data);
+    };
+  }
+
+  dst_stack_->listen(kSinkPort,
+                     [this](tcp::TcpSocket* s) { on_accept(s); });
+
+  injector_->arm();
+  for (std::size_t li = 0; li < lanes_.size(); ++li) launch_lane(li, 0);
+
+  // Drive until the merge completes and a trailer arrived to check it
+  // against, a restripe ran out of budget, or nothing is left to simulate.
+  while (!(reasm_->complete() && wire_trailer_) && !restripe_failed_ &&
+         ev().now() <= p_.deadline && ev().step()) {
+    scan_dead_depots();
+  }
+
+  res_.attempts = policy_->attempts_made();
+  res_.faults_injected = injector_->injected();
+  res_.duplicate_bytes = reasm_->duplicate_bytes();
+  for (const Lane& lane : lanes_) res_.lane_routes.push_back(lane.depot);
+
+  if (reasm_->complete()) {
+    res_.completed = true;
+    const bool content_ok = !verifier_ || verifier_->ok();
+    const bool digest_ok =
+        wire_trailer_ && reasm_->digest() == *wire_trailer_;
+    res_.verified = content_ok && digest_ok;
+    const util::SimDuration elapsed = merge_time_ - first_start_;
+    res_.seconds = util::to_seconds(elapsed);
+    res_.mbps = util::throughput_mbps(p_.bytes, elapsed);
+  }
+  return res_;
+}
+
+}  // namespace
+
+StripedResult run_striped(const StripedParams& params) {
+  StripedRun run(params);
+  return run.run();
+}
+
+}  // namespace lsl::exp

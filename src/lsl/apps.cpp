@@ -24,7 +24,12 @@ void SourceApp::start() {
   const bool real = stack_.default_config().carry_data;
   if (real) {
     generator_.emplace(config_.payload_seed);
-    if (config_.use_header && config_.header.has_digest()) hasher_.emplace();
+    // A precomputed trailer (striped lanes ship the merged stream's digest)
+    // replaces per-connection hashing.
+    if (config_.use_header && config_.header.has_digest() &&
+        !config_.trailer_digest) {
+      hasher_.emplace();
+    }
   }
   open_connection(0);
 }
@@ -149,7 +154,12 @@ void SourceApp::pump() {
             std::min<std::uint64_t>({payload_left_, sizeof(buf),
                                      socket_->send_space()}));
         if (want == 0) return;
-        generator_->generate(std::span<std::uint8_t>(buf, want));
+        if (config_.payload_fill) {
+          config_.payload_fill(config_.payload_bytes - payload_left_,
+                               std::span<std::uint8_t>(buf, want));
+        } else {
+          generator_->generate(std::span<std::uint8_t>(buf, want));
+        }
         if (hasher_) {
           hasher_->update(std::span<const std::uint8_t>(buf, want));
         }
@@ -177,9 +187,13 @@ void SourceApp::pump() {
       continue;
     }
 
-    // 3. Digest trailer (real mode with the digest flag).
-    if (hasher_ && !trailer_staged_) {
-      const md5::Digest d = hasher_->finalize();
+    // 3. Digest trailer (real mode with the digest flag): hashed here, or
+    // the caller-supplied merged-stream digest for striped lanes.
+    const bool send_trailer =
+        real && config_.use_header && config_.header.has_digest();
+    if (send_trailer && !trailer_staged_) {
+      const md5::Digest d =
+          hasher_ ? hasher_->finalize() : *config_.trailer_digest;
       pending_.assign(d.bytes.begin(), d.bytes.end());
       pending_off_ = 0;
       trailer_staged_ = true;

@@ -54,6 +54,19 @@ struct SourceConfig {
   std::optional<std::uint64_t> corrupt_at_byte;
   /// Fires when corrupt_at_byte is applied (fault accounting).
   std::function<void(std::uint64_t)> on_corrupt;
+  /// Striping hook (real mode): when set, payload bytes come from this
+  /// filler instead of the seeded generator. `offset` is the absolute
+  /// position within this connection's payload_bytes; the stripe layer maps
+  /// it onto the merged stream through a LaneCursor (src/stripe/plan.hpp).
+  /// Offsets may jump backwards across a resume — fillers must be
+  /// random-access, like PayloadGenerator::seek.
+  std::function<void(std::uint64_t offset, std::span<std::uint8_t> out)>
+      payload_fill;
+  /// With kFlagDigestTrailer: ship this precomputed digest instead of
+  /// hashing this connection's own bytes. Striped lanes carry the *merged
+  /// stream's* digest — identical on every lane — which only the
+  /// reassembling sink can check (docs/STRIPING.md).
+  std::optional<md5::Digest> trailer_digest;
 };
 
 /// The sending end system.

@@ -134,6 +134,9 @@ void DepotApp::pull_upstream(Relay& r) {
     }
   }
 
+  if (r.stripe_lane < 0 && r.header && r.header->stripe) {
+    r.stripe_lane = r.header->stripe->stripe_id;
+  }
   // The header is in: adopt its trace id (once — trace_id goes non-zero)
   // and backfill the accept/header-read spans, whose interval opened at
   // accept but whose join key only exists now.
@@ -401,7 +404,7 @@ void DepotApp::note_stream(Relay& r, std::uint64_t took) {
     r.window_base = r.relayed - took;
   }
   if (r.relayed - r.window_base >= span::kStreamWindowBytes) {
-    tracer_->emit(r.trace_id, span::kSpanStreamWindow,
+    tracer_->emit(r.trace_id, span::stream_window_name(r.stripe_lane),
                   util::to_seconds(r.window_open),
                   util::to_seconds(stack_.sim().now()), r.relayed);
     r.window_open = -1;
@@ -410,7 +413,7 @@ void DepotApp::note_stream(Relay& r, std::uint64_t took) {
 
 void DepotApp::flush_stream_window(Relay& r) {
   if (tracer_ == nullptr || r.trace_id == 0 || r.window_open < 0) return;
-  tracer_->emit(r.trace_id, span::kSpanStreamWindow,
+  tracer_->emit(r.trace_id, span::stream_window_name(r.stripe_lane),
                 util::to_seconds(r.window_open),
                 util::to_seconds(stack_.sim().now()), r.relayed);
   r.window_open = -1;

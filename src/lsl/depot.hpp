@@ -230,6 +230,10 @@ class DepotApp {
     std::uint64_t relayed = 0;       ///< payload bytes this relay pushed
     std::uint64_t window_base = 0;   ///< `relayed` at stream-window open
     util::SimTime window_open = -1;  ///< -1 = no open stream window
+    /// Stripe lane of a striped (wire v3) session, -1 otherwise: selects
+    /// the lane-indexed stream-window span name and feeds the daemon's
+    /// striped-relay census (admin `health` "stripes").
+    int stripe_lane = -1;
 
     /// Per-relay liveness deadlines (inert while DepotConfig::liveness is
     /// all zeros).

@@ -9,6 +9,7 @@ namespace {
 constexpr std::uint8_t kMagic[4] = {'L', 'S', 'L', '1'};
 constexpr std::uint8_t kVersion = 1;
 constexpr std::uint8_t kVersionTraced = 2;
+constexpr std::uint8_t kVersionStriped = 3;
 
 void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 8));
@@ -44,6 +45,25 @@ std::uint64_t get_u64(const std::uint8_t* p) {
 
 }  // namespace
 
+bool stripe_info_valid(const StripeInfo& s) {
+  if (s.stripe_count < 2 || s.stripe_count > kMaxStripes) return false;
+  if (s.stripe_id >= s.stripe_count) return false;
+  if (s.redundancy >= s.stripe_count) return false;
+  switch (s.mode) {
+    case StripeMode::kRoundRobin:
+      // The interleave unit is the whole geometry; a zero chunk would make
+      // every lane own nothing. range_lo is meaningless here.
+      return s.chunk > 0 && s.range_lo == 0;
+    case StripeMode::kContiguous:
+      // Contiguous lanes are described by range_lo + payload_length alone;
+      // redundancy needs interleaving to mask loss, so it is round-robin
+      // only (docs/STRIPING.md discusses the trade-off).
+      return s.chunk == 0 && s.redundancy == 0 &&
+             s.range_lo <= s.session_bytes;
+  }
+  return false;
+}
+
 SessionHeader SessionHeader::popped() const {
   SessionHeader h = *this;
   if (!h.hops.empty()) h.hops.erase(h.hops.begin());
@@ -54,15 +74,31 @@ void encode_header(const SessionHeader& h, std::vector<std::uint8_t>& out) {
   if (h.hops.size() > kMaxHops) {
     throw std::length_error("LSL route exceeds kMaxHops");
   }
+  if (h.stripe && !stripe_info_valid(*h.stripe)) {
+    throw std::invalid_argument("LSL stripe block is malformed");
+  }
   out.reserve(out.size() + h.encoded_size());
   out.insert(out.end(), kMagic, kMagic + 4);
-  out.push_back(h.trace_id != 0 ? kVersionTraced : kVersion);
+  out.push_back(h.stripe ? kVersionStriped
+                         : (h.trace_id != 0 ? kVersionTraced : kVersion));
   out.push_back(h.flags);
   put_u16(out, static_cast<std::uint16_t>(h.hops.size()));
   out.insert(out.end(), h.session.bytes().begin(), h.session.bytes().end());
   put_u64(out, h.payload_length);
   put_u64(out, h.resume_offset);
-  if (h.trace_id != 0) put_u64(out, h.trace_id);
+  // Version 3 always carries the trace-id field (zero when untraced) so the
+  // fixed length is a function of the version byte alone.
+  if (h.stripe || h.trace_id != 0) put_u64(out, h.trace_id);
+  if (h.stripe) {
+    put_u16(out, h.stripe->stripe_id);
+    put_u16(out, h.stripe->stripe_count);
+    put_u32(out, h.stripe->chunk);
+    out.push_back(h.stripe->redundancy);
+    out.push_back(static_cast<std::uint8_t>(h.stripe->mode));
+    put_u16(out, 0);  // reserved — must be zero on the wire
+    put_u64(out, h.stripe->session_bytes);
+    put_u64(out, h.stripe->range_lo);
+  }
   for (const HopAddress& hop : h.hops) {
     put_u32(out, hop.addr);
     put_u16(out, hop.port);
@@ -75,13 +111,17 @@ std::optional<std::size_t> header_length(
     std::span<const std::uint8_t> prefix) {
   if (prefix.size() < kHeaderPrefixBytes) return std::nullopt;
   if (std::memcmp(prefix.data(), kMagic, 4) != 0) return std::nullopt;
-  if (prefix[4] != kVersion && prefix[4] != kVersionTraced) {
+  if (prefix[4] != kVersion && prefix[4] != kVersionTraced &&
+      prefix[4] != kVersionStriped) {
     return std::nullopt;
   }
   const std::uint16_t hops = get_u16(prefix.data() + 6);
   if (hops > kMaxHops) return std::nullopt;
-  const std::size_t fixed =
-      prefix[4] == kVersionTraced ? kFixedHeaderBytesV2 : kFixedHeaderBytes;
+  const std::size_t fixed = prefix[4] == kVersionStriped
+                                ? kFixedHeaderBytesV3
+                                : (prefix[4] == kVersionTraced
+                                       ? kFixedHeaderBytesV2
+                                       : kFixedHeaderBytes);
   return fixed + kBytesPerHop * static_cast<std::size_t>(hops);
 }
 
@@ -98,12 +138,35 @@ std::optional<SessionHeader> decode_header(std::span<const std::uint8_t> buf) {
   h.payload_length = get_u64(buf.data() + 24);
   h.resume_offset = get_u64(buf.data() + 32);
   const std::uint8_t* p = buf.data() + 40;
-  if (buf[4] == kVersionTraced) {
+  if (buf[4] == kVersionTraced || buf[4] == kVersionStriped) {
     h.trace_id = get_u64(p);
     p += kTraceIdBytes;
     // A version-2 header with trace id 0 would re-encode as version 1 and
-    // change length mid-chain; reject it at the edge instead.
-    if (h.trace_id == 0) return std::nullopt;
+    // change length mid-chain; reject it at the edge instead. (Version 3
+    // carries the field unconditionally, so zero is legal there.)
+    if (h.trace_id == 0 && buf[4] == kVersionTraced) return std::nullopt;
+  }
+  if (buf[4] == kVersionStriped) {
+    StripeInfo s;
+    s.stripe_id = get_u16(p);
+    s.stripe_count = get_u16(p + 2);
+    s.chunk = get_u32(p + 4);
+    s.redundancy = p[8];
+    const std::uint8_t mode = p[9];
+    const std::uint16_t reserved = get_u16(p + 10);
+    s.session_bytes = get_u64(p + 12);
+    s.range_lo = get_u64(p + 20);
+    p += kStripeBytes;
+    if (mode > static_cast<std::uint8_t>(StripeMode::kContiguous)) {
+      return std::nullopt;
+    }
+    s.mode = static_cast<StripeMode>(mode);
+    // A version-3 header describing fewer than two stripes would re-encode
+    // shorter (version 1/2) and change length mid-chain — reject, like the
+    // zero-trace-id case above. Reserved bits must be zero so they stay
+    // available for a future revision.
+    if (reserved != 0 || !stripe_info_valid(s)) return std::nullopt;
+    h.stripe = s;
   }
   h.hops.reserve(hop_count);
   for (std::uint16_t i = 0; i < hop_count; ++i) {

@@ -16,7 +16,8 @@
 //   8  16  session id
 //  24   8  payload length in bytes
 //  32   8  resume offset (first payload byte carried; 0 for new sessions)
-// [40   8  trace id — version 2 only; joins per-depot span records]
+// [40   8  trace id — versions 2 and 3; joins per-depot span records]
+// [48  28  stripe block — version 3 only; see StripeInfo]
 //   ..  6*n remaining hops: address(4) + port(2)
 //   ..  6  final destination: address(4) + port(2)
 //
@@ -25,6 +26,14 @@
 // byte-identical to what a version-1-only peer expects, and a traced
 // session fails fast (header rejected) at such a peer instead of
 // silently losing its trace id mid-chain.
+//
+// Version 3 extends the same bargain to striping: a header is encoded as
+// version 3 if and only if it carries a stripe block (the session is split
+// across >= 2 disjoint depot chains; see docs/STRIPING.md). Version 3
+// always carries the trace-id field — zero when untraced — so the fixed
+// length stays unambiguous, and unstriped sessions remain byte-identical
+// to version 1/2 peers. A striped lane arriving at a stripe-unaware peer
+// is rejected at header parse instead of being reassembled wrongly.
 //
 // "address" is a node id in the simulator and an IPv4 address in the posix
 // implementation — both 32 bits, so headers are layout-identical.
@@ -63,8 +72,60 @@ inline constexpr std::size_t kTraceIdBytes = 8;
 inline constexpr std::size_t kFixedHeaderBytesV2 =
     kFixedHeaderBytes + kTraceIdBytes;
 
+/// Bytes of the stripe block (version 3 headers only): stripe id(2) +
+/// stripe count(2) + chunk(4) + redundancy(1) + mode(1) + reserved(2) +
+/// session bytes(8) + range lo(8).
+inline constexpr std::size_t kStripeBytes = 28;
+
+/// Maximum stripe fan-out a session may declare (mirrors kMaxHops: each
+/// stripe rides its own depot chain, so wider makes no sense on this wire).
+inline constexpr std::size_t kMaxStripes = 16;
+
+/// Fixed portion of a version-3 (striped) header: version 2's fields —
+/// the trace id is always present, zero when untraced — plus the stripe
+/// block between trace id and the route.
+inline constexpr std::size_t kFixedHeaderBytesV3 =
+    kFixedHeaderBytesV2 + kStripeBytes;
+
 /// Bytes each route entry adds: address(4) + port(2).
 inline constexpr std::size_t kBytesPerHop = 6;
+
+/// How a StripePlan assigns session bytes to stripes (wire `mode` field).
+enum class StripeMode : std::uint8_t {
+  /// Byte-interleaved: logical stripe s owns every chunk c with
+  /// c % stripe_count == s. Fully derivable from the stripe block, so a
+  /// lane can carry extra neighbouring stripes for redundancy.
+  kRoundRobin = 0,
+  /// Contiguous: this lane carries exactly [range_lo, range_lo +
+  /// payload_length). Used for weighted (rate-proportional) plans;
+  /// incompatible with redundancy (nothing to interleave).
+  kContiguous = 1,
+};
+
+/// The version-3 stripe block: everything a sink (or a rejoining lane)
+/// needs to map this connection's bytes back into the merged stream.
+///
+/// Round-robin semantics with redundancy r: lane j carries logical stripes
+/// {j, j+1, ..., j+r} (mod stripe_count), each logical stripe s owning the
+/// byte set { k*count*chunk + s*chunk + [0, chunk) } ∩ [0, session_bytes).
+/// payload_length in the enclosing header is the lane's own byte count and
+/// resume_offset is lane-relative (TCP in-order delivery makes per-lane
+/// progress a prefix, so one offset suffices — same trick as v1 resume).
+struct StripeInfo {
+  std::uint16_t stripe_id = 0;     ///< this lane's index, < stripe_count
+  std::uint16_t stripe_count = 0;  ///< total lanes, in [2, kMaxStripes]
+  std::uint32_t chunk = 0;         ///< interleave unit; 0 in contiguous mode
+  std::uint8_t redundancy = 0;     ///< extra stripes carried; < stripe_count
+  StripeMode mode = StripeMode::kRoundRobin;
+  std::uint64_t session_bytes = 0;  ///< merged-stream total length
+  std::uint64_t range_lo = 0;       ///< contiguous lane start; 0 otherwise
+
+  friend bool operator==(const StripeInfo&, const StripeInfo&) = default;
+};
+
+/// True when `s` is an internally consistent stripe block (the conditions
+/// decode_header enforces; encode_header throws on their violation).
+bool stripe_info_valid(const StripeInfo& s);
 
 /// Header flags.
 enum SessionFlags : std::uint8_t {
@@ -101,11 +162,15 @@ struct SessionHeader {
   /// unchanged hop to hop. 0 (the default) means untraced: the header is
   /// then encoded as version 1, byte-identical to pre-tracing builds.
   std::uint64_t trace_id = 0;
+  /// Stripe block: present exactly when this connection is one lane of a
+  /// striped session. Engaged => encoded as version 3 (see file comment).
+  std::optional<StripeInfo> stripe;
   std::vector<HopAddress> hops;         ///< remaining relay depots
   HopAddress destination;               ///< ultimate sink
 
   bool has_digest() const { return (flags & kFlagDigestTrailer) != 0; }
   bool is_resume() const { return (flags & kFlagResume) != 0; }
+  bool is_striped() const { return stripe.has_value(); }
 
   /// Next endpoint to dial: the first remaining hop, or the destination.
   HopAddress next_hop() const { return hops.empty() ? destination : hops[0]; }
@@ -115,8 +180,10 @@ struct SessionHeader {
 
   /// Encoded size of this header in bytes (version dependent).
   std::size_t encoded_size() const {
-    return (trace_id != 0 ? kFixedHeaderBytesV2 : kFixedHeaderBytes) +
-           kBytesPerHop * hops.size();
+    const std::size_t fixed =
+        stripe ? kFixedHeaderBytesV3
+               : (trace_id != 0 ? kFixedHeaderBytesV2 : kFixedHeaderBytes);
+    return fixed + kBytesPerHop * hops.size();
   }
 };
 

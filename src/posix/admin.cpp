@@ -164,6 +164,9 @@ std::string AdminServer::cmd_health() const {
   // Sharded daemons report their width; the classic daemon's output stays
   // byte-identical (no new field).
   if (h.shards > 0) out << ",\"shards\":" << h.shards;
+  // Likewise striped sessions: the field appears only while striped (wire
+  // v3) relays are live, so unstriped daemons keep the historical output.
+  if (h.stripes > 0) out << ",\"stripes\":" << h.stripes;
   out << ",\"draining\":" << (h.draining ? "true" : "false")
       << ",\"drain_done\":" << (h.drain_done ? "true" : "false")
       << ",\"sessions_accepted\":" << s.sessions_accepted

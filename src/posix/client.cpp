@@ -10,6 +10,8 @@
 #include <random>
 #include <system_error>
 
+#include "stripe/plan.hpp"
+#include "stripe/reassemble.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -21,6 +23,9 @@ PosixSource::PosixSource(EpollLoop& loop, PosixSourceConfig config)
     : loop_(loop),
       config_(std::move(config)),
       generator_(config_.payload_seed) {
+  // Striped lanes recover from loss above this layer (a replacement lane
+  // on a spare chain), never via kFlagResume.
+  if (config_.stripe) config_.resumable = false;
   // An MD5 trailer hashes the whole stream through one connection; it
   // cannot rewind to a resume offset. Content verification for resumable
   // sessions comes from the sink's seeded generator instead.
@@ -32,8 +37,12 @@ PosixSource::~PosixSource() {
 }
 
 void PosixSource::start() {
-  util::Rng rng(config_.payload_seed ^ 0xabcdef);
-  session_ = core::SessionId::generate(rng);
+  if (config_.session) {
+    session_ = *config_.session;
+  } else {
+    util::Rng rng(config_.payload_seed ^ 0xabcdef);
+    session_ = core::SessionId::generate(rng);
+  }
   open_connection(0);
 }
 
@@ -48,11 +57,12 @@ void PosixSource::open_connection(std::uint64_t offset) {
   generator_.seek(offset);
 
   const bool use_header = !config_.route.empty() || config_.send_digest ||
-                          config_.resumable;
+                          config_.resumable || config_.stripe.has_value();
   if (use_header) {
     core::SessionHeader h;
     h.session = session_;
     h.trace_id = config_.trace_id;
+    h.stripe = config_.stripe;
     if (config_.send_digest) h.flags |= core::kFlagDigestTrailer;
     if (offset > 0) {
       h.flags |= core::kFlagResume;
@@ -218,8 +228,14 @@ void PosixSource::pump() {
       const std::size_t chunk = static_cast<std::size_t>(
           std::min<std::uint64_t>(payload_left_, 64 * 1024));
       staged_.resize(chunk);
-      generator_.generate(staged_);
-      hasher_.update(std::span<const std::uint8_t>(staged_.data(), chunk));
+      if (config_.payload_fill) {
+        config_.payload_fill(config_.payload_bytes - payload_left_, staged_);
+      } else {
+        generator_.generate(staged_);
+      }
+      if (!config_.trailer_digest) {
+        hasher_.update(std::span<const std::uint8_t>(staged_.data(), chunk));
+      }
       if (config_.corrupt_one_byte && !corrupted_yet_) {
         staged_[chunk / 2] ^= 0xff;  // after hashing: wire differs from hash
         corrupted_yet_ = true;
@@ -228,7 +244,8 @@ void PosixSource::pump() {
       continue;
     }
     if (config_.send_digest && !trailer_sent_) {
-      const md5::Digest d = hasher_.finalize();
+      const md5::Digest d = config_.trailer_digest ? *config_.trailer_digest
+                                                   : hasher_.finalize();
       staged_.assign(d.bytes.begin(), d.bytes.end());
       trailer_sent_ = true;
       continue;
@@ -265,9 +282,41 @@ struct PosixSinkServer::Conn {
   core::PayloadVerifier verifier;
   std::vector<std::uint8_t> trailer;
   bool failed = false;
+  /// Striped lanes: the session's merge point and this lane's placement
+  /// cursor (unstriped sessions leave both unset and verify per-conn).
+  StripeGroup* group = nullptr;
+  std::optional<stripe::LaneCursor> cursor;
+  /// Lane finished cleanly but the merge hasn't: held open, off the loop,
+  /// until the group resolves and sends every lane its status byte.
+  bool parked = false;
 
   Conn(std::uint64_t seed, bool check_content)
       : verifier(seed, check_content) {}
+};
+
+struct PosixSinkServer::StripeGroup {
+  stripe::Reassembler reasm;
+  core::PayloadVerifier verifier;
+  std::optional<md5::Digest> trailer;
+  std::optional<core::SessionHeader> first_header;
+  std::chrono::steady_clock::time_point first_accept;
+  std::vector<Conn*> parked;
+  bool reported = false;
+  bool ok = false;
+
+  StripeGroup(const core::StripeInfo& info, std::uint64_t seed,
+              bool check_content,
+              std::chrono::steady_clock::time_point accepted)
+      : reasm(stripe::Reassembler::Config{.session_bytes = info.session_bytes,
+                                          .stripe_count = info.stripe_count,
+                                          .metrics = nullptr}),
+        verifier(seed, check_content),
+        first_accept(accepted) {
+    reasm.on_frontier = [this](std::uint64_t,
+                               std::span<const std::uint8_t> data) {
+      verifier.feed(data);
+    };
+  }
 };
 
 PosixSinkServer::PosixSinkServer(EpollLoop& loop, const InetAddress& bind,
@@ -325,6 +374,37 @@ void PosixSinkServer::on_readable(Conn* c) {
         if (c->header_buf.size() >= *len) {
           c->header = core::decode_header(c->header_buf);
           c->header_done = true;
+          if (c->header && c->header->stripe) {
+            const core::StripeInfo& info = *c->header->stripe;
+            // The lane's claimed extent must fit its plan, or reassembly
+            // offers could land outside the session (decode validates the
+            // block itself, not the lengths around it).
+            const std::uint64_t lane_total =
+                c->header->resume_offset + c->header->payload_length;
+            const bool sane =
+                info.mode == core::StripeMode::kContiguous
+                    ? lane_total <= info.session_bytes - info.range_lo
+                    : lane_total <= stripe::round_robin_lane_bytes(info);
+            if (!sane) {
+              c->failed = true;
+              close_conn(c, std::nullopt);
+              return;
+            }
+            auto [it, fresh] = groups_.try_emplace(c->header->session);
+            if (fresh) {
+              it->second = std::make_unique<StripeGroup>(
+                  info, payload_seed_, verify_content_, c->accepted_at);
+              it->second->first_header = c->header;
+            }
+            c->group = it->second.get();
+            // The lane's cursor places its bytes in the merged stream; a
+            // replacement lane's resume_offset skips what the dead lane
+            // already delivered.
+            c->cursor.emplace(info,
+                              c->header->resume_offset +
+                                  c->header->payload_length);
+            c->cursor->skip(c->header->resume_offset);
+          }
           continue;
         }
         want = *len - c->header_buf.size();
@@ -366,23 +446,117 @@ void PosixSinkServer::on_readable(Conn* c) {
     }
     const long n = read_some(c->sock.get(), buf, want);
     if (n == 0) {
-      finish(c);
+      if (c->group) {
+        finish_striped_lane(c);
+      } else {
+        finish(c);
+      }
       return;
     }
     if (n < 0) {
       if (n == -2) {
         c->failed = true;
-        finish(c);
+        if (c->group) {
+          finish_striped_lane(c);
+        } else {
+          finish(c);
+        }
       }
       return;
     }
     if (c->payload_received < payload_total) {
-      c->verifier.feed(std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+      const std::span<const std::uint8_t> data(buf,
+                                               static_cast<std::size_t>(n));
+      if (c->group) {
+        feed_stripe(c, data);
+      } else {
+        c->verifier.feed(data);
+      }
       c->payload_received += static_cast<std::uint64_t>(n);
+      bytes_received_ += static_cast<std::uint64_t>(n);
     } else if (digest && c->trailer.size() < core::kDigestTrailerBytes) {
       c->trailer.insert(c->trailer.end(), buf, buf + n);
+      if (c->group && !c->group->trailer &&
+          c->trailer.size() == core::kDigestTrailerBytes) {
+        md5::Digest d;
+        std::copy(c->trailer.begin(), c->trailer.end(), d.bytes.begin());
+        c->group->trailer = d;
+        maybe_complete_group(c->group);
+      }
     }
   }
+}
+
+void PosixSinkServer::feed_stripe(Conn* c, std::span<const std::uint8_t> data) {
+  while (!data.empty()) {
+    const auto r = c->cursor->next(data.size());
+    if (r.length == 0) return;  // lane overran its plan; surplus is dropped
+    c->group->reasm.offer(c->header->stripe->stripe_id, r.global,
+                          data.first(static_cast<std::size_t>(r.length)));
+    data = data.subspan(static_cast<std::size_t>(r.length));
+  }
+  maybe_complete_group(c->group);
+}
+
+void PosixSinkServer::maybe_complete_group(StripeGroup* g) {
+  if (g->reported || !g->reasm.complete() || !g->trailer) return;
+  g->reported = true;
+  g->ok = g->verifier.ok() && g->reasm.digest() == *g->trailer;
+
+  SinkResult res;
+  res.verified = g->ok;
+  res.payload_bytes = g->reasm.frontier();
+  res.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - g->first_accept)
+                    .count();
+  res.header = g->first_header;
+
+  // Release every lane that was waiting on the merge; lanes still
+  // streaming (redundant surplus) get their status at their own EOF.
+  const std::vector<Conn*> parked = std::move(g->parked);
+  g->parked.clear();
+  const std::uint8_t status = g->ok ? core::kStatusOk : core::kStatusFail;
+  for (Conn* c : parked) close_conn(c, status);
+
+  if (on_complete) on_complete(res);
+}
+
+void PosixSinkServer::finish_striped_lane(Conn* c) {
+  StripeGroup* g = c->group;
+  const bool digest = c->header->has_digest();
+  const bool lane_ok = !c->failed &&
+                       c->payload_received == c->header->payload_length &&
+                       (!digest || c->trailer.size() ==
+                                       core::kDigestTrailerBytes);
+  if (!lane_ok) {
+    // A dead lane: close without a status byte so the source sees the
+    // failure and re-stripes. The merge keeps whatever the lane delivered.
+    close_conn(c, std::nullopt);
+    return;
+  }
+  if (g->reported) {
+    close_conn(c, g->ok ? core::kStatusOk : core::kStatusFail);
+    return;
+  }
+  // Lane done, merge not: park until the last lane lands.
+  c->parked = true;
+  loop_.remove(c->sock.get());
+  g->parked.push_back(c);
+}
+
+void PosixSinkServer::close_conn(Conn* c, std::optional<std::uint8_t> status) {
+  if (c->group) {
+    auto& parked = c->group->parked;
+    parked.erase(std::remove(parked.begin(), parked.end(), c), parked.end());
+  }
+  if (c->sock.valid()) {
+    if (status) write_some(c->sock.get(), &*status, 1);
+    if (!c->parked) loop_.remove(c->sock.get());
+    c->sock.reset();
+  }
+  conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                              [c](const auto& p) { return p.get() == c; }),
+               conns_.end());
 }
 
 void PosixSinkServer::finish(Conn* c) {

@@ -9,8 +9,10 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "lsl/payload.hpp"
@@ -53,6 +55,24 @@ struct PosixSourceConfig {
   /// each depot propagates hop-to-hop (wire version 2) and joins its spans
   /// on. Zero (the default) keeps the wire byte-identical to version 1.
   std::uint64_t trace_id = 0;
+  /// Session id override: striped lanes must share one id so the sink can
+  /// group them into a single reassembly. Unset generates a fresh id.
+  std::optional<core::SessionId> session;
+  /// Striping: stamp this lane's StripeInfo into the header (wire version
+  /// 3) so the sink maps the lane's bytes back into the merged stream.
+  /// payload_bytes is then the *lane's* byte count, and `resumable` is
+  /// forced off — lane loss is handled above (StripedPosixSource) by
+  /// re-striping onto a spare chain, not by kFlagResume.
+  std::optional<core::StripeInfo> stripe;
+  /// Payload filler consulted instead of the seeded generator when set.
+  /// `offset` is lane-relative; striped lanes map it onto merged-stream
+  /// content through a stripe::LaneCursor.
+  std::function<void(std::uint64_t offset, std::span<std::uint8_t> out)>
+      payload_fill;
+  /// With send_digest: ship this precomputed digest instead of hashing
+  /// this connection's own bytes (striped lanes all carry the merged
+  /// stream's digest, which only the reassembling sink can check).
+  std::optional<md5::Digest> trailer_digest;
 };
 
 /// Streams one LSL session (or a raw TCP transfer when route is empty and
@@ -148,14 +168,26 @@ class PosixSinkServer {
 
   std::uint16_t port() const { return port_; }
 
+  /// Payload bytes accepted across all sessions so far — a cheap progress
+  /// probe for drivers that need "mid-transfer" (chaos tests inject there).
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
   /// Fires once per completed session.
   std::function<void(const SinkResult&)> on_complete;
 
  private:
   struct Conn;
+  /// One striped session's merge point: lanes sharing a session id feed a
+  /// stripe::Reassembler; completed lanes park until the merge finishes,
+  /// then every lane gets the end-to-end status byte at once.
+  struct StripeGroup;
   void on_accept();
   void on_readable(Conn* c);
   void finish(Conn* c);
+  void feed_stripe(Conn* c, std::span<const std::uint8_t> data);
+  void finish_striped_lane(Conn* c);
+  void maybe_complete_group(StripeGroup* g);
+  void close_conn(Conn* c, std::optional<std::uint8_t> status);
 
   EpollLoop& loop_;
   bool expect_header_;
@@ -163,7 +195,11 @@ class PosixSinkServer {
   bool verify_content_;
   Fd listener_;
   std::uint16_t port_ = 0;
+  std::uint64_t bytes_received_ = 0;
   std::vector<std::unique_ptr<Conn>> conns_;
+  /// Reassembly state per striped session; kept for the server's lifetime
+  /// so a late replacement lane can still join its session.
+  std::map<core::SessionId, std::unique_ptr<StripeGroup>> groups_;
 };
 
 }  // namespace lsl::posix

@@ -107,6 +107,10 @@ struct Lsd::Relay {
   std::uint64_t relayed = 0;        ///< payload bytes this relay pushed
   std::uint64_t window_base = 0;    ///< `relayed` at stream-window open
   std::int64_t window_open_ns = -1; ///< -1 = no open stream window
+  /// Stripe lane of a striped (wire v3) session, -1 otherwise: selects the
+  /// lane-indexed stream-window span name and feeds the striped-relay
+  /// census the admin `health` endpoint reports as "stripes".
+  int stripe_lane = -1;
 
   // Resume machinery. payload_pulled counts unique payload bytes taken
   // from the upstream (the high-water mark a resume offset is checked
@@ -389,6 +393,7 @@ bool Lsd::pump_upstream(Relay* r) {
         r->header = *h;
         r->header_done = true;
         r->trace_id = r->header.trace_id;
+        if (r->header.stripe) r->stripe_lane = r->header.stripe->stripe_id;
         if (tracer_ != nullptr && r->trace_id != 0) {
           // Backfilled: the interval opened at accept, but the join key
           // only exists once the header is parsed.
@@ -689,6 +694,14 @@ bool Lsd::pump_downstream(Relay* r) {
   return true;
 }
 
+std::size_t Lsd::striped_relays() const {
+  std::size_t n = 0;
+  for (const auto& [_, r] : relays_) {
+    if (r->stripe_lane >= 0) ++n;
+  }
+  return n;
+}
+
 void Lsd::note_stream(Relay* r, std::uint64_t took) {
   r->relayed += took;
   if (!tracer_ || r->trace_id == 0) return;
@@ -700,7 +713,7 @@ void Lsd::note_stream(Relay* r, std::uint64_t took) {
     r->window_base = r->relayed - took;
   }
   if (r->relayed - r->window_base >= span::kStreamWindowBytes) {
-    tracer_->emit(r->trace_id, span::kSpanStreamWindow,
+    tracer_->emit(r->trace_id, span::stream_window_name(r->stripe_lane),
                   span_sec(r->window_open_ns), span_sec(now_ns()), r->relayed);
     r->window_open_ns = -1;
   }
@@ -708,7 +721,7 @@ void Lsd::note_stream(Relay* r, std::uint64_t took) {
 
 void Lsd::flush_stream_window(Relay* r) {
   if (!tracer_ || r->trace_id == 0 || r->window_open_ns < 0) return;
-  tracer_->emit(r->trace_id, span::kSpanStreamWindow,
+  tracer_->emit(r->trace_id, span::stream_window_name(r->stripe_lane),
                 span_sec(r->window_open_ns), span_sec(now_ns()), r->relayed);
   r->window_open_ns = -1;
 }

@@ -159,6 +159,9 @@ struct AdminHealth {
   /// Shard count; 0 = classic single daemon (the field is then omitted
   /// from the health JSON, keeping the historical output byte-identical).
   int shards = 0;
+  /// Live relays that are lanes of striped (wire v3) sessions; 0 also
+  /// omits the field from the health JSON, same bargain as `shards`.
+  std::size_t stripes = 0;
   LsdStats stats;
 };
 
@@ -200,6 +203,7 @@ class Lsd : public AdminSource {
     h.parked_relays = parked_relays();
     h.draining = draining_;
     h.drain_done = drain_done_;
+    h.stripes = striped_relays();
     h.stats = stats_;
     return h;
   }
@@ -226,6 +230,9 @@ class Lsd : public AdminSource {
   /// health snapshot.
   std::size_t live_relays() const { return relays_.size(); }
   std::size_t parked_relays() const { return parked_.size(); }
+  /// Live relays carrying striped (wire v3) sessions — the admin `health`
+  /// "stripes" field on a striped daemon.
+  std::size_t striped_relays() const;
 
   /// Milliseconds until the daemon's next internal deadline (liveness,
   /// park expiry, drain bound) is due — the DeadlineWheel convention:

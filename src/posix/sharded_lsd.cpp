@@ -117,6 +117,7 @@ void ShardedLsd::publish(Shard& s) {
   HealthWords h;
   h.live_relays = s.lsd->live_relays();
   h.parked_relays = s.lsd->parked_relays();
+  h.striped_relays = s.lsd->striped_relays();
   h.draining = s.lsd->draining() ? 1 : 0;
   h.drain_done = s.lsd->drain_done() ? 1 : 0;
   s.health.publish(h);
@@ -184,6 +185,7 @@ AdminHealth ShardedLsd::admin_health() const {
     const HealthWords w = s->health.snapshot();
     h.live_relays += w.live_relays;
     h.parked_relays += w.parked_relays;
+    h.stripes += w.striped_relays;
   }
   h.stats = stats();
   return h;

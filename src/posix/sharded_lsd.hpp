@@ -122,6 +122,7 @@ class ShardedLsd : public AdminSource {
   struct HealthWords {
     std::uint64_t live_relays = 0;
     std::uint64_t parked_relays = 0;
+    std::uint64_t striped_relays = 0;
     std::uint64_t draining = 0;
     std::uint64_t drain_done = 0;
   };

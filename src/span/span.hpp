@@ -51,6 +51,30 @@ inline constexpr const char* kSpanSalvage = "span.salvage";
 inline constexpr const char* kSpanResume = "span.resume";
 inline constexpr const char* kSpanDrain = "span.drain";
 
+// Lane-indexed stream-window names for striped sessions (wire version 3):
+// each lane's windows carry its stripe id so tools/lsl_spans can render a
+// striped transfer as parallel lanes. SpanRecord::name must be a static
+// literal, so the sixteen possible lanes (wire kMaxStripes) are enumerated
+// rather than formatted; every entry is catalogued in OBSERVABILITY.md.
+inline constexpr const char* kSpanStreamWindowLane[] = {
+    "span.stream_window.s0",  "span.stream_window.s1",
+    "span.stream_window.s2",  "span.stream_window.s3",
+    "span.stream_window.s4",  "span.stream_window.s5",
+    "span.stream_window.s6",  "span.stream_window.s7",
+    "span.stream_window.s8",  "span.stream_window.s9",
+    "span.stream_window.s10", "span.stream_window.s11",
+    "span.stream_window.s12", "span.stream_window.s13",
+    "span.stream_window.s14", "span.stream_window.s15",
+};
+
+/// The stream-window span name for a relay: lane-indexed when the session
+/// is striped (stripe_lane in [0, 16)), the bare name otherwise.
+inline constexpr const char* stream_window_name(int stripe_lane) {
+  return stripe_lane >= 0 && stripe_lane < 16
+             ? kSpanStreamWindowLane[stripe_lane]
+             : kSpanStreamWindow;
+}
+
 /// Stream progress granularity: one span.stream_window closes per this
 /// many relayed bytes (plus a final partial window at session end), so the
 /// hot path pays one comparison per chunk regardless of transfer size.

@@ -1,0 +1,99 @@
+#include "stripe/reassemble.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stripe/stripe_metrics.hpp"
+
+namespace lsl::stripe {
+
+Reassembler::Reassembler(const Config& config)
+    : config_(config), per_stripe_(config.stripe_count) {}
+
+std::uint64_t Reassembler::offer(std::uint16_t stripe_id, std::uint64_t global,
+                                 std::span<const std::uint8_t> data) {
+  if (data.empty()) return 0;
+  const std::uint64_t end = global + data.size();
+  if (end > config_.session_bytes) {
+    throw std::out_of_range("Reassembler::offer beyond session_bytes");
+  }
+  if (stripe_id < per_stripe_.size()) {
+    per_stripe_[stripe_id].insert(global, end);
+  }
+
+  // Walk the uncovered sub-ranges of [global, end): everything else is a
+  // redundant copy (by design with redundancy >= 1, or re-striped overlap)
+  // and is dropped without touching the hash.
+  std::uint64_t fresh = 0;
+  std::uint64_t pos = global;
+  while (pos < end) {
+    const auto gap = covered_.next_gap(pos, end);
+    if (!gap) break;
+    const auto [lo, hi] = *gap;
+    const std::span<const std::uint8_t> piece =
+        data.subspan(lo - global, hi - lo);
+    if (lo == frontier_) {
+      // Fast path: this piece extends the in-order prefix directly.
+      hash_.update(piece);
+      if (on_frontier) on_frontier(lo, piece);
+      frontier_ = hi;
+    } else {
+      pending_.emplace(lo, std::vector<std::uint8_t>(piece.begin(),
+                                                     piece.end()));
+      buffered_ += piece.size();
+    }
+    covered_.insert(lo, hi);
+    fresh += hi - lo;
+    pos = hi;
+  }
+  duplicate_ += data.size() - fresh;
+  advance_frontier();
+  if (config_.metrics != nullptr) {
+    config_.metrics->bytes_merged->inc(fresh);
+    config_.metrics->bytes_duplicate->inc(data.size() - fresh);
+    config_.metrics->reassembly_buffer_bytes->set(
+        static_cast<double>(buffered_));
+    config_.metrics->holes_outstanding->set(
+        static_cast<double>(holes_outstanding()));
+  }
+  return fresh;
+}
+
+void Reassembler::advance_frontier() {
+  // Drain parked chunks that now abut the in-order prefix. Entries never
+  // overlap, so each either starts exactly at the frontier or still waits.
+  auto it = pending_.begin();
+  while (it != pending_.end() && it->first == frontier_) {
+    hash_.update(std::span<const std::uint8_t>(it->second));
+    if (on_frontier) {
+      on_frontier(it->first, std::span<const std::uint8_t>(it->second));
+    }
+    frontier_ += it->second.size();
+    buffered_ -= it->second.size();
+    it = pending_.erase(it);
+  }
+}
+
+std::size_t Reassembler::holes_outstanding() const {
+  if (covered_.empty()) return 0;
+  // Gaps between the disjoint covered intervals, plus the leading gap when
+  // byte 0 itself has not arrived. The tail beyond max_end() is not a hole:
+  // those bytes may simply still be in flight on a healthy lane.
+  std::size_t holes = covered_.interval_count() - 1;
+  if (!covered_.contains(0)) ++holes;
+  return holes;
+}
+
+std::uint64_t Reassembler::stripe_received(std::uint16_t stripe_id) const {
+  return stripe_id < per_stripe_.size() ? per_stripe_[stripe_id].total() : 0;
+}
+
+md5::Digest Reassembler::digest() {
+  if (!finalized_) {
+    final_digest_ = hash_.finalize();
+    finalized_ = true;
+  }
+  return final_digest_;
+}
+
+}  // namespace lsl::stripe

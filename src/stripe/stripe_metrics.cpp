@@ -1,0 +1,24 @@
+#include "stripe/stripe_metrics.hpp"
+
+#include <string>
+
+namespace lsl::stripe {
+
+StripeMetrics::StripeMetrics(metrics::Registry& reg, std::uint16_t lanes)
+    : bytes_merged(&reg.counter("stripe.bytes_merged")),
+      bytes_duplicate(&reg.counter("stripe.bytes_duplicate")),
+      stripes_lost(&reg.counter("stripe.stripes_lost")),
+      stripes_recovered(&reg.counter("stripe.stripes_recovered")),
+      sessions_completed(&reg.counter("stripe.sessions_completed")),
+      reassembly_buffer_bytes(&reg.gauge("stripe.reassembly_buffer_bytes")),
+      holes_outstanding(&reg.gauge("stripe.holes_outstanding")) {
+  lane_bps.reserve(lanes);
+  for (std::uint16_t i = 0; i < lanes; ++i) {
+    // Instanced names follow the `<component>.<instance>.<metric>`
+    // convention: stripe.lane<i>.bps.
+    lane_bps.push_back(
+        &reg.gauge("stripe.lane" + std::to_string(i) + ".bps"));
+  }
+}
+
+}  // namespace lsl::stripe

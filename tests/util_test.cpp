@@ -340,6 +340,74 @@ TEST(IntervalSet, CoveredWithin) {
   EXPECT_EQ(s.covered_within(20, 30), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Reassembly patterns (src/stripe uses one IntervalSet per stripe plus a
+// global one): interleaved multi-writer coverage, duplicate and
+// overlapping deliveries, and completeness checks adjacent to UINT64_MAX.
+
+TEST(IntervalSet, InterleavedMultiWriterConvergesToOneInterval) {
+  // Three writers deal 4 KiB cells round-robin (writer w owns cells with
+  // index % 3 == w) and deliver them in mutually interleaved order — the
+  // stripe reassembler's coverage pattern.
+  constexpr std::uint64_t kCell = 4096;
+  constexpr std::uint64_t kCells = 3 * 17;
+  IntervalSet s;
+  std::uint64_t inserted = 0;
+  for (std::uint64_t k = 0; k < kCells / 3; ++k) {
+    for (std::uint64_t w = 0; w < 3; ++w) {
+      // Writer w delivers its cells back-to-front: maximal disorder across
+      // writers, in-order never happens until the very end.
+      const std::uint64_t cell = (kCells / 3 - 1 - k) * 3 + w;
+      s.insert(cell * kCell, (cell + 1) * kCell);
+      inserted += kCell;
+      EXPECT_EQ(s.total(), inserted);
+    }
+  }
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_TRUE(s.contains(0, kCells * kCell));
+  EXPECT_FALSE(s.next_gap(0, kCells * kCell).has_value());
+}
+
+TEST(IntervalSet, DuplicateAndOverlappingInsertsKeepExactTotal) {
+  IntervalSet s;
+  s.insert(100, 200);
+  s.insert(100, 200);  // exact duplicate: nothing new
+  EXPECT_EQ(s.total(), 100u);
+  s.insert(150, 250);  // straddles the right edge: +50
+  EXPECT_EQ(s.total(), 150u);
+  s.insert(50, 260);  // superset of everything so far
+  EXPECT_EQ(s.total(), 210u);
+  EXPECT_EQ(s.interval_count(), 1u);
+  // covered_within is how the reassembler prices a redundant delivery.
+  EXPECT_EQ(s.covered_within(50, 260), 210u);
+  EXPECT_EQ(s.covered_within(0, 50), 0u);
+}
+
+TEST(IntervalSet, CompletenessAdjacentToUint64Max) {
+  // A stream whose last byte sits at UINT64_MAX - 1: completeness must be
+  // decidable without any end+1 overflow.
+  constexpr std::uint64_t kTop = std::numeric_limits<std::uint64_t>::max();
+  IntervalSet s;
+  s.insert(0, kTop / 2);
+  s.insert(kTop / 2, kTop);  // adjacent halves merge into [0, kTop)
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.total(), kTop);
+  EXPECT_TRUE(s.contains(0, kTop));
+  EXPECT_TRUE(s.contains(kTop - 1));
+  EXPECT_FALSE(s.next_gap(0, kTop).has_value());
+  EXPECT_EQ(s.max_end(), kTop);
+
+  // Poke a one-byte hole just under the top and find it again.
+  IntervalSet holed;
+  holed.insert(0, kTop - 1);
+  const auto g = holed.next_gap(0, kTop);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->first, kTop - 1);
+  EXPECT_EQ(g->second, kTop);
+  holed.insert(kTop - 1, kTop);
+  EXPECT_FALSE(holed.next_gap(0, kTop).has_value());
+}
+
 /// Property: random inserts/erases agree with a naive bitmap model.
 class IntervalSetProperty : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -708,6 +708,37 @@ void rule_live_metrics_docs(const std::vector<SourceFile>& files,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: stripe-metrics-docs
+// ---------------------------------------------------------------------------
+
+// Same contract for the striping subsystem: src/stripe registers its
+// reassembly/lane instruments with un-instanced `stripe.*` literals at the
+// StripeMetrics attach site (including the sixteen per-lane rate gauges),
+// so every such literal anywhere under src/stripe must be catalogued in
+// docs/OBSERVABILITY.md.
+void rule_stripe_metrics_docs(const std::vector<SourceFile>& files,
+                              const std::string& observability_md,
+                              std::vector<Violation>* out) {
+  for (const SourceFile& f : files) {
+    if (f.rel.rfind("src/stripe/", 0) != 0) continue;
+    for (const StringLit& lit : f.strings) {
+      if (lit.value.rfind("stripe.", 0) != 0) continue;
+      if (lit.value.find_first_not_of(
+              "abcdefghijklmnopqrstuvwxyz0123456789_.") !=
+          std::string::npos) {
+        continue;  // prose mentioning the prefix, not an instrument name
+      }
+      if (observability_md.find(lit.value) == std::string::npos &&
+          !f.suppressed(lit.line, "stripe-metrics-docs")) {
+        out->push_back({f.rel, lit.line, "stripe-metrics-docs",
+                        "stripe metric '" + lit.value +
+                            "' is not catalogued in docs/OBSERVABILITY.md"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: span-names-docs
 // ---------------------------------------------------------------------------
 
@@ -979,6 +1010,7 @@ std::vector<Violation> run_lint(const fs::path& root) {
   rule_fault_metrics_docs(files, observability_md, &vs);
   rule_pool_metrics_docs(files, observability_md, &vs);
   rule_live_metrics_docs(files, observability_md, &vs);
+  rule_stripe_metrics_docs(files, observability_md, &vs);
   rule_span_names_docs(files, observability_md, &vs);
 
   std::sort(vs.begin(), vs.end(), [](const Violation& a, const Violation& b) {
@@ -994,8 +1026,8 @@ const std::vector<std::string>& all_rules() {
       "switch-exhaustive",  "switch-default-comment", "raw-new-delete",
       "blocking-io",        "wire-docs",              "metrics-docs",
       "fault-metrics-docs", "pool-metrics-docs",      "live-metrics-docs",
-      "span-names-docs",    "pragma-once",            "lock-order",
-      "thread-discipline"};
+      "stripe-metrics-docs", "span-names-docs",       "pragma-once",
+      "lock-order",         "thread-discipline"};
   return kRules;
 }
 

@@ -1,0 +1,23 @@
+// Fixture: stripe-metrics-docs must flag an instrument name that the
+// fixture OBSERVABILITY.md does not catalogue.
+#include <string>
+
+namespace lsl::stripe {
+
+std::string documented_metric() {
+  return "stripe.bytes_merged";  // catalogued in testdata/docs/OBSERVABILITY.md
+}
+
+std::string undocumented_metric() {
+  return "stripe.undocumented_total";  // should fire
+}
+
+std::string suppressed_metric() {
+  return "stripe.shadow_total";  // lsl-lint: allow(stripe-metrics-docs)
+}
+
+std::string prose_mention() {
+  return "stripe. prefix prose never fires";  // not an instrument name
+}
+
+}  // namespace lsl::stripe

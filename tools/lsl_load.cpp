@@ -11,7 +11,7 @@
 //   lsl_load [--sessions=N] [--bytes=SIZE] [--budget=SIZE] [--chunk=SIZE]
 //            [--buffer=SIZE] [--no-splice] [--seed=S] [--json=FILE]
 //            [--metrics-out=FILE] [--log-level=LEVEL]
-//            [--trace] [--spans-out=FILE] [--cores=N]
+//            [--trace] [--spans-out=FILE] [--cores=N] [--stripes=N]
 //
 // SIZE accepts k/m/g suffixes (binary units): --bytes=4m, --budget=64m.
 // --cores=N (alias --shards=N) with N >= 2 switches the daemon under test
@@ -28,6 +28,13 @@
 // Sessions refused by pool-pressure admission control are retried with
 // backoff (the client half of the hop-by-hop backpressure contract), so a
 // run under memory pressure completes late rather than failing.
+// --stripes=N with N >= 2 turns every session into a striped (wire v3)
+// transfer: N lanes per session, each relayed by the daemon as its own
+// connection, merged by the sink's reassembler. All lanes of a slot share
+// one session id, so a failed attempt relaunches under a fresh id to keep
+// sink groups distinct. Striping composes with the classic single-loop
+// path only (the sharded split would scatter a session's lanes across
+// per-thread sinks), so --stripes requires --cores=1.
 #include <sys/resource.h>
 
 #include <chrono>
@@ -45,13 +52,16 @@
 #include "metrics/export.hpp"
 #include "metrics/instruments.hpp"
 #include "metrics/metrics.hpp"
+#include "lsl/session_id.hpp"
 #include "posix/client.hpp"
 #include "posix/epoll_loop.hpp"
 #include "posix/lsd.hpp"
 #include "posix/sharded_lsd.hpp"
 #include "posix/socket_util.hpp"
+#include "posix/striped_client.hpp"
 #include "span/span.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
 #include "util/units.hpp"
 
 using namespace lsl;
@@ -72,6 +82,7 @@ struct Options {
   bool trace = false;
   std::string spans_file;
   int cores = 1;
+  int stripes = 1;
 };
 
 bool parse_size(const char* s, std::uint64_t* out) {
@@ -108,7 +119,8 @@ void usage() {
       "                [--chunk=SIZE] [--buffer=SIZE] [--no-splice]\n"
       "                [--seed=S] [--timeout=SECONDS] [--json=FILE]\n"
       "                [--metrics-out=FILE] [--log-level=LEVEL]\n"
-      "                [--trace] [--spans-out=FILE] [--cores=N]\n");
+      "                [--trace] [--spans-out=FILE] [--cores=N]\n"
+      "                [--stripes=N]\n");
 }
 
 /// Peak resident set of this process, in bytes (Linux ru_maxrss is KiB).
@@ -122,6 +134,7 @@ std::uint64_t peak_rss_bytes() {
 /// verifies (admission refusals surface as failed attempts).
 struct Slot {
   std::unique_ptr<posix::PosixSource> source;
+  std::unique_ptr<posix::StripedPosixSource> striped;
   std::uint32_t attempts = 0;
   bool completed = false;
   std::chrono::steady_clock::time_point next_attempt{};
@@ -428,6 +441,12 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "lsl_load: --cores must be >= 1\n");
         return 2;
       }
+    } else if ((v = arg_value("--stripes", argc, argv, &i)) != nullptr) {
+      opt.stripes = std::atoi(v);
+      if (opt.stripes < 1 || opt.stripes > 16) {
+        std::fprintf(stderr, "lsl_load: --stripes must be in 1..16\n");
+        return 2;
+      }
     } else if ((v = arg_value("--log-level", argc, argv, &i)) != nullptr) {
       const auto lvl = util::parse_log_level(v);
       if (!lvl) {
@@ -443,6 +462,12 @@ int main(int argc, char** argv) {
   }
   if (opt.sessions == 0 || opt.bytes == 0) {
     usage();
+    return 2;
+  }
+  if (opt.stripes > 1 && opt.cores > 1) {
+    std::fprintf(stderr,
+                 "lsl_load: --stripes requires --cores=1 (a striped "
+                 "session's lanes must share one sink)\n");
     return 2;
   }
   // --cores=1 stays on the classic single-loop path below, untouched, so
@@ -500,19 +525,16 @@ int main(int argc, char** argv) {
 
   std::vector<Slot> slots(opt.sessions);
   constexpr std::uint32_t kMaxAttempts = 25;
+  // Striped slots mint one session id per attempt from this stream: the
+  // sink groups lanes by session id and keeps groups for its lifetime, so
+  // a relaunched attempt must not rejoin its failed predecessor's group.
+  util::Rng striped_sessions(opt.seed ^ 0x517217e5);
   auto launch = [&](Slot& s) {
     ++s.attempts;
     s.relaunch_due = false;
-    posix::PosixSourceConfig cfg = scfg;
-    if (opt.trace) {
-      // One id per slot, stable across retry attempts (a retried slot is
-      // the same logical transfer) and deterministic from the run seed.
-      const std::size_t idx = static_cast<std::size_t>(&s - slots.data());
-      cfg.trace_id = span::mint_trace_id(opt.seed * 100003 + idx);
-    }
-    s.source = std::make_unique<posix::PosixSource>(loop, cfg);
+    const std::size_t idx = static_cast<std::size_t>(&s - slots.data());
     Slot* sp = &s;
-    s.source->on_done = [&, sp](bool ok) {
+    const auto done = [&, sp](bool ok) {
       if (ok) {
         sp->completed = true;
         return;
@@ -523,6 +545,38 @@ int main(int argc, char** argv) {
       sp->next_attempt = std::chrono::steady_clock::now() +
                          std::chrono::milliseconds(20 * sp->attempts);
     };
+    if (opt.stripes > 1) {
+      posix::StripedPosixSourceConfig cfg;
+      for (int j = 0; j < opt.stripes; ++j) {
+        cfg.lane_routes.push_back(
+            {posix::InetAddress::loopback(daemon.port())});
+      }
+      cfg.destination = posix::InetAddress::loopback(sink.port());
+      cfg.payload_bytes = opt.bytes;
+      cfg.payload_seed = static_cast<std::uint32_t>(opt.seed);
+      // Lane recovery here is whole-slot relaunch under backoff (same
+      // contract as unstriped slots); in-session re-striping is for real
+      // multi-depot deployments with spare chains to move to.
+      cfg.max_restripes = 0;
+      cfg.session = core::SessionId::generate(striped_sessions);
+      if (opt.trace) {
+        cfg.trace_id = span::mint_trace_id(opt.seed * 100003 + idx);
+      }
+      s.source.reset();
+      s.striped = std::make_unique<posix::StripedPosixSource>(
+          loop, std::move(cfg));
+      s.striped->on_done = done;
+      s.striped->start();
+      return;
+    }
+    posix::PosixSourceConfig cfg = scfg;
+    if (opt.trace) {
+      // One id per slot, stable across retry attempts (a retried slot is
+      // the same logical transfer) and deterministic from the run seed.
+      cfg.trace_id = span::mint_trace_id(opt.seed * 100003 + idx);
+    }
+    s.source = std::make_unique<posix::PosixSource>(loop, cfg);
+    s.source->on_done = done;
     s.source->start();
   };
 
@@ -571,6 +625,21 @@ int main(int argc, char** argv) {
       "lsl_load: %zu/%zu sessions verified in %.3f s "
       "(%.2f Mbit/s aggregate, %.2f sessions/s)\n",
       verified, opt.sessions, elapsed, mbps, sessions_per_s);
+  std::string stripes_json;
+  if (opt.stripes > 1) {
+    std::uint64_t lanes_lost = 0;
+    std::uint64_t lanes_recovered = 0;
+    for (const Slot& s : slots) {
+      if (!s.striped) continue;
+      lanes_lost += s.striped->stripes_lost();
+      lanes_recovered += s.striped->stripes_recovered();
+    }
+    std::printf("  striping: %d lanes/session, %llu lanes lost, "
+                "%llu recovered\n",
+                opt.stripes, static_cast<unsigned long long>(lanes_lost),
+                static_cast<unsigned long long>(lanes_recovered));
+    stripes_json = " \"stripes\": " + std::to_string(opt.stripes) + ",";
+  }
   std::printf(
       "  pool: peak %llu / budget %llu bytes, %llu allocs "
       "(%.1f%% reuse), %llu refusals, %llu pressure episodes\n",
@@ -605,7 +674,7 @@ int main(int argc, char** argv) {
         f,
         "{\"sessions\": %zu, \"verified\": %zu, \"bytes_per_session\": %llu,"
         " \"elapsed_s\": %.6f, \"aggregate_mbps\": %.3f,"
-        " \"sessions_per_s\": %.3f, \"splice\": %s,"
+        " \"sessions_per_s\": %.3f, \"splice\": %s,%s"
         " \"bytes_relayed\": %llu, \"bytes_spliced\": %llu,"
         " \"pool_budget_bytes\": %llu, \"pool_peak_bytes\": %llu,"
         " \"pool_allocs\": %llu, \"pool_reuse_rate\": %.4f,"
@@ -617,6 +686,7 @@ int main(int argc, char** argv) {
         opt.sessions, verified,
         static_cast<unsigned long long>(opt.bytes), elapsed, mbps,
         sessions_per_s, opt.splice ? "true" : "false",
+        stripes_json.c_str(),
         static_cast<unsigned long long>(st.bytes_relayed),
         static_cast<unsigned long long>(st.bytes_spliced),
         static_cast<unsigned long long>(opt.budget),

@@ -17,6 +17,17 @@
 //                 each time) under exponential backoff with seeded jitter
 //   --backoff DUR base retry delay, fault-spec duration syntax (e.g. 200ms,
 //                 1s); default 200ms, doubling per attempt, capped at 5s
+//   --stripes N   stripe the session over N lanes (2..16, wire version 3):
+//                 the first N -v hops become one single-depot chain per
+//                 lane (missing hops leave lanes direct), extra hops are
+//                 spare chains consumed when a lane dies mid-transfer.
+//                 Requires -n (the striped source maps generated content
+//                 onto lanes); --retry does not apply (recovery is
+//                 per-lane re-striping, not whole-session retries).
+//   --stripe-chunk BYTES   round-robin cell size (default 65536)
+//   --redundancy N         extra carriers per logical stripe (default 0;
+//                          lanes then overlap, and a dead lane needs no
+//                          re-striping at all)
 //   --log-level LEVEL   debug|info|warn|error|off (default warn)
 #include <fcntl.h>
 #include <sys/epoll.h>
@@ -46,6 +57,7 @@
 #include "metrics/metrics.hpp"
 #include "posix/epoll_loop.hpp"
 #include "posix/socket_util.hpp"
+#include "posix/striped_client.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
 
@@ -69,6 +81,7 @@ int usage() {
                "usage: lsl_send [-v HOP_IP:PORT]... DEST_IP:PORT "
                "(-f FILE | -n BYTES [-s SEED]) "
                "[--metrics-out FILE] [--retry N] [--backoff DUR] "
+               "[--stripes N [--stripe-chunk BYTES] [--redundancy N]] "
                "[--log-level LEVEL]\n");
   return 2;
 }
@@ -103,6 +116,9 @@ int main(int argc, char** argv) {
   fault::RetryConfig retry_cfg;
   retry_cfg.max_attempts = 0;  // no retries unless asked
   retry_cfg.base_delay = 200 * util::kMillisecond;
+  unsigned long stripes = 0;
+  unsigned long stripe_chunk = 64 * 1024;
+  unsigned long redundancy = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -141,6 +157,23 @@ int main(int argc, char** argv) {
       const auto d = fault::parse_duration(v);
       if (!d || *d <= 0) return usage();
       retry_cfg.base_delay = *d;
+    } else if (arg == "--stripes") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      stripes = std::strtoul(v, nullptr, 10);
+      if (stripes < 2 || stripes > 16) {
+        std::fprintf(stderr, "lsl_send: --stripes must be in 2..16\n");
+        return 2;
+      }
+    } else if (arg == "--stripe-chunk") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      stripe_chunk = std::strtoul(v, nullptr, 10);
+      if (stripe_chunk == 0) return usage();
+    } else if (arg == "--redundancy") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      redundancy = std::strtoul(v, nullptr, 10);
     } else if (arg == "--log-level") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -201,6 +234,61 @@ int main(int argc, char** argv) {
   // Session ids draw from one stream: each retry gets a fresh, distinct
   // session, and a fixed seed reproduces the whole sequence.
   util::Rng session_rng(seed ^ 0x1234567);
+
+  // Striped mode: one wire-v3 session over N lanes via StripedPosixSource
+  // (nonblocking, so lane recovery can overlap the surviving lanes).
+  if (stripes >= 2) {
+    if (!file.empty()) {
+      std::fprintf(stderr, "lsl_send: --stripes requires -n, not -f\n");
+      return 2;
+    }
+    if (redundancy >= stripes) {
+      std::fprintf(stderr, "lsl_send: --redundancy must be < --stripes\n");
+      return 2;
+    }
+    posix::StripedPosixSourceConfig cfg;
+    for (unsigned long j = 0; j < stripes; ++j) {
+      std::vector<posix::InetAddress> route;
+      if (j < hops.size()) route.push_back(hops[j]);
+      cfg.lane_routes.push_back(std::move(route));
+    }
+    for (std::size_t j = stripes; j < hops.size(); ++j) {
+      cfg.spare_routes.push_back({hops[j]});
+    }
+    cfg.destination = dest;
+    cfg.payload_bytes = length;
+    cfg.payload_seed = seed;
+    cfg.chunk = static_cast<std::uint32_t>(stripe_chunk);
+    cfg.redundancy = static_cast<std::uint8_t>(redundancy);
+    cfg.session = core::SessionId::generate(session_rng);
+    posix::EpollLoop loop;
+    posix::StripedPosixSource src(loop, std::move(cfg));
+    std::fprintf(stderr,
+                 "lsl_send: striping %llu bytes over %lu lanes "
+                 "(chunk %lu, redundancy %lu, %zu spare chain(s))\n",
+                 static_cast<unsigned long long>(length), stripes,
+                 stripe_chunk, redundancy,
+                 hops.size() > stripes ? hops.size() - stripes : 0);
+    bool done = false;
+    bool ok = false;
+    src.on_done = [&](bool o) {
+      done = true;
+      ok = o;
+    };
+    src.start();
+    while (!done) {
+      if (loop.run_once(500) < 0) break;
+    }
+    std::fprintf(stderr,
+                 "lsl_send: %s; %u stripe(s) lost, %u recovered, "
+                 "%llu bytes retransmitted\n",
+                 ok ? "delivered and verified" : "delivery FAILED",
+                 src.stripes_lost(), src.stripes_recovered(),
+                 static_cast<unsigned long long>(src.retransmitted_bytes()));
+    if (ok && m_bytes != nullptr) m_bytes->inc(length);
+    dump_metrics();
+    return ok ? 0 : 1;
+  }
 
   // One complete transfer attempt: connect, stream, await the status byte.
   const auto attempt = [&]() -> int {

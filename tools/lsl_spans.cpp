@@ -6,8 +6,10 @@
 // group-by: this tool reads any number of dump files, groups records by
 // trace id, orders hops by first appearance, and prints one timeline per
 // session with a per-hop latency breakdown (header read, dial, stream
-// time). Node-scope records (trace id 0 — e.g. span.drain) are summarized
-// separately.
+// time). Striped sessions (wire v3) emit lane-indexed stream windows
+// (span.stream_window.s<i>); those render as per-lane rows under their
+// hop so a striped transfer reads as parallel lanes. Node-scope records
+// (trace id 0 — e.g. span.drain) are summarized separately.
 //
 //   lsl_spans [--chrome=FILE] [--trace=HEX] file.jsonl [file.jsonl ...]
 //
@@ -98,6 +100,14 @@ std::string jesc(const std::string& s) {
   return out;
 }
 
+/// One stripe lane's stream-window rollup within a hop (striped sessions
+/// emit span.stream_window.s<i> instead of the bare name).
+struct LaneStats {
+  double stream_s = 0.0;
+  std::size_t windows = 0;
+  std::uint64_t bytes = 0;
+};
+
 /// Per-hop latency rollup within one trace.
 struct HopStats {
   std::string src;
@@ -109,7 +119,17 @@ struct HopStats {
   std::uint64_t bytes = 0;  ///< max stream-window progress mark
   std::size_t parks = 0;
   std::size_t resumes = 0;
+  std::map<int, LaneStats> lanes;  ///< striped sessions only
 };
+
+/// Stripe lane of a stream-window span name: "span.stream_window.s<i>"
+/// yields i, the bare "span.stream_window" (and anything else) yields -1.
+int stream_window_lane(const std::string& span) {
+  static const std::string prefix = "span.stream_window.s";
+  if (span.rfind(prefix, 0) != 0) return -1;
+  const int lane = std::atoi(span.c_str() + prefix.size());
+  return lane >= 0 && lane < 16 ? lane : -1;
+}
 
 void write_chrome(const std::string& path, const std::vector<Rec>& recs) {
   std::ofstream out(path);
@@ -238,10 +258,18 @@ int main(int argc, char** argv) {
         it->header_s = r.end - r.start;
       } else if (r.span == "span.dial") {
         it->dial_s = r.end - r.start;
-      } else if (r.span == "span.stream_window") {
+      } else if (r.span.rfind("span.stream_window", 0) == 0) {
+        // Bare or lane-suffixed: both count toward the hop's stream time;
+        // lane-suffixed windows additionally land in the lane breakdown.
         it->stream_s += r.end - r.start;
         ++it->windows;
         it->bytes = std::max(it->bytes, r.bytes);
+        if (const int lane = stream_window_lane(r.span); lane >= 0) {
+          LaneStats& ls = it->lanes[lane];
+          ls.stream_s += r.end - r.start;
+          ++ls.windows;
+          ls.bytes = std::max(ls.bytes, r.bytes);
+        }
       } else if (r.span == "span.park") {
         ++it->parks;
       } else if (r.span == "span.resume") {
@@ -266,6 +294,13 @@ int main(int argc, char** argv) {
       if (h.parks > 0) std::printf("  parked x%zu", h.parks);
       if (h.resumes > 0) std::printf("  resumed x%zu", h.resumes);
       std::printf("\n");
+      for (const auto& [lane, ls] : h.lanes) {
+        std::printf("    lane s%-2d       stream %8.6fs in %zu window%s "
+                    "(%llu bytes)\n",
+                    lane, ls.stream_s, ls.windows,
+                    ls.windows == 1 ? "" : "s",
+                    static_cast<unsigned long long>(ls.bytes));
+      }
     }
     std::printf("  timeline (t0 = %.6f):\n", t0);
     for (const auto& r : trs) {
