@@ -38,6 +38,15 @@
 //                       drawing on one shared memory budget (docs/ENGINE.md).
 //                       Default 1: the classic single-threaded daemon,
 //                       byte-identical to previous releases
+//   --health            attach a depot HealthBoard (one per shard with
+//                       --shards>1): the daemon scores every next hop it
+//                       dials, and the admin `health` response gains
+//                       per-depot rows (docs/HEALTH.md)
+//   --gossip-peers=P1,P2  admin-socket paths of peer daemons to poll with
+//                       the `gossip` command; their rows merge into the
+//                       local board(s) by judgement blending. Implies
+//                       --health; requires --admin-socket on the peers
+//   --gossip-interval=DUR  poll cadence (default 1s)
 //
 // SIGTERM (or Ctrl-C) in daemon mode triggers a graceful drain: the daemon
 // refuses new sessions, lets in-flight ones finish, then exits printing a
@@ -49,13 +58,16 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "fault/spec.hpp"
 #include "live/liveness.hpp"
+#include "health/board.hpp"
 #include "posix/admin.hpp"
 #include "posix/client.hpp"
 #include "posix/epoll_loop.hpp"
 #include "posix/fault_driver.hpp"
+#include "posix/gossip_poller.hpp"
 #include "posix/lsd.hpp"
 #include "posix/sharded_lsd.hpp"
 #include "span/span.hpp"
@@ -69,12 +81,33 @@ volatile std::sig_atomic_t g_drain_requested = 0;
 
 void on_terminate_signal(int) { g_drain_requested = 1; }
 
+/// Health-plane options shared by the classic and sharded daemon paths.
+struct HealthOptions {
+  bool enabled = false;                   ///< --health (or implied)
+  std::vector<std::string> gossip_peers;  ///< --gossip-peers admin paths
+  std::chrono::milliseconds gossip_interval{1000};
+};
+
+std::vector<std::string> split_commas(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::string item = list.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 int run_daemon(std::uint16_t port, std::size_t buffer,
                std::chrono::milliseconds resume_grace,
                const std::string& fault_spec,
                const live::LivenessConfig& liveness,
                const std::string& spans_out,
-               const std::string& admin_socket) {
+               const std::string& admin_socket, const HealthOptions& health) {
   posix::EpollLoop loop;
   posix::LsdConfig cfg;
   cfg.bind = posix::InetAddress{0, port};  // INADDR_ANY
@@ -82,9 +115,30 @@ int run_daemon(std::uint16_t port, std::size_t buffer,
   cfg.resume_grace = resume_grace;
   cfg.liveness = liveness;
   // Declared before the daemon: Lsd teardown flushes open stream windows
-  // through the tracer, so it must outlive the Lsd.
+  // through the tracer, so it must outlive the Lsd; the health board must
+  // outlive it too (finish() scores next hops through it).
   std::unique_ptr<span::Tracer> tracer;
+  std::unique_ptr<health::HealthBoard> board;
   posix::Lsd daemon(loop, cfg);
+
+  std::unique_ptr<posix::GossipPoller> gossip;
+  if (health.enabled) {
+    board = std::make_unique<health::HealthBoard>();
+    daemon.set_health_board(board.get());
+    if (!health.gossip_peers.empty()) {
+      posix::GossipPollerConfig gcfg;
+      gcfg.peers = health.gossip_peers;
+      gcfg.interval = health.gossip_interval;
+      gossip = std::make_unique<posix::GossipPoller>(
+          loop, std::vector<health::HealthBoard*>{board.get()}, gcfg);
+      std::printf("lsd: health plane on, gossiping with %zu peer(s) every "
+                  "%lld ms\n",
+                  health.gossip_peers.size(),
+                  static_cast<long long>(health.gossip_interval.count()));
+    } else {
+      std::printf("lsd: health plane on\n");
+    }
+  }
 
   if (!spans_out.empty()) {
     tracer = std::make_unique<span::Tracer>("lsd." +
@@ -133,6 +187,10 @@ int run_daemon(std::uint16_t port, std::size_t buffer,
     }
     if (daemon.draining() && daemon.drain_done()) break;
     int wait = driver ? driver->next_timeout_ms() : daemon.next_timeout_ms();
+    if (gossip) {
+      const int g = gossip->next_timeout_ms();
+      if (g >= 0 && (wait < 0 || g < wait)) wait = g;
+    }
     if (wait < 0 || wait > 500) wait = 500;
     // run_once returns -1 only on EINTR — which is exactly how SIGTERM
     // announces itself mid-epoll_wait. Loop around so the drain flag is
@@ -143,6 +201,7 @@ int run_daemon(std::uint16_t port, std::size_t buffer,
     } else {
       daemon.expire_parked();
     }
+    if (gossip) gossip->poll();
   }
   int rc = 0;
   if (daemon.draining()) {
@@ -169,13 +228,15 @@ int run_sharded(std::uint16_t port, std::size_t buffer,
                 const std::string& fault_spec,
                 const live::LivenessConfig& liveness,
                 const std::string& spans_out,
-                const std::string& admin_socket, int shards) {
+                const std::string& admin_socket, int shards,
+                const HealthOptions& health) {
   posix::ShardedLsdConfig scfg;
   scfg.base.bind = posix::InetAddress{0, port};  // INADDR_ANY
   scfg.base.buffer_bytes = buffer;
   scfg.base.resume_grace = resume_grace;
   scfg.base.liveness = liveness;
   scfg.shards = shards;
+  scfg.health_plane = health.enabled;
 
   // Declared before the daemon: shard teardown flushes open stream windows
   // through the tracer, so it must outlive the ShardedLsd. The recorder is
@@ -214,6 +275,23 @@ int run_sharded(std::uint16_t port, std::size_t buffer,
     std::printf("lsd: admin socket at %s\n", admin_socket.c_str());
   }
 
+  // Gossip rides the control loop: remote rows merge into every shard's
+  // (mutex-guarded) board, so each shard routes on the fleet's judgement.
+  std::unique_ptr<posix::GossipPoller> gossip;
+  if (health.enabled && !health.gossip_peers.empty()) {
+    posix::GossipPollerConfig gcfg;
+    gcfg.peers = health.gossip_peers;
+    gcfg.interval = health.gossip_interval;
+    gossip = std::make_unique<posix::GossipPoller>(
+        control, daemon.health_boards(), gcfg);
+    std::printf("lsd: health plane on, gossiping with %zu peer(s) every "
+                "%lld ms\n",
+                health.gossip_peers.size(),
+                static_cast<long long>(health.gossip_interval.count()));
+  } else if (health.enabled) {
+    std::printf("lsd: health plane on\n");
+  }
+
   std::printf("lsd: sharded forwarding daemon on port %u "
               "(%d shards, buffer %zu bytes, resume grace %lld ms)\n",
               daemon.port(), daemon.shard_count(), buffer,
@@ -229,6 +307,7 @@ int run_sharded(std::uint16_t port, std::size_t buffer,
     if (daemon.draining() && daemon.drain_done()) break;
     // run_once returns -1 only on EINTR — how SIGTERM announces itself.
     if (control.run_once(200) < 0) continue;
+    if (gossip) gossip->poll();
   }
   int rc = 0;
   if (daemon.draining()) {
@@ -317,6 +396,7 @@ int main(int argc, char** argv) {
     std::string admin_socket;
     live::LivenessConfig liveness;  // all-zero: deadlines off
     int shards = 1;
+    HealthOptions health;
     bool have_port = false;
     for (int i = 2; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -339,6 +419,19 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "lsd: bad --shards (need >= 1)\n");
           return 2;
         }
+      } else if (arg == "--health") {
+        health.enabled = true;
+      } else if (arg.rfind("--gossip-peers=", 0) == 0) {
+        health.gossip_peers = split_commas(arg.substr(15));
+        health.enabled = true;  // gossip without a board is meaningless
+      } else if (arg.rfind("--gossip-interval=", 0) == 0) {
+        const auto d = fault::parse_duration(arg.substr(18));
+        if (!d || *d <= 0) {
+          std::fprintf(stderr, "lsd: bad --gossip-interval duration\n");
+          return 2;
+        }
+        health.gossip_interval =
+            std::chrono::milliseconds(*d / util::kMillisecond);
       } else if (arg == "--liveness") {
         const auto drain = liveness.drain_deadline;  // may be set already
         liveness = live::LivenessConfig::recommended();
@@ -362,10 +455,10 @@ int main(int argc, char** argv) {
     // exports) stays byte-identical to previous releases.
     if (shards > 1) {
       return run_sharded(port, buffer, grace, fault_spec, liveness,
-                         spans_out, admin_socket, shards);
+                         spans_out, admin_socket, shards, health);
     }
     return run_daemon(port, buffer, grace, fault_spec, liveness, spans_out,
-                      admin_socket);
+                      admin_socket, health);
   }
   std::uint64_t bytes = 8 * util::kMiB;
   if (argc > 1) bytes = std::strtoull(argv[1], nullptr, 10);

@@ -20,6 +20,15 @@
 # threads + 2 driver threads need real parallelism to show a speedup, and
 # on fewer cores the legs just time-slice one another. Below that the
 # curve is still measured and written with "gate": "skipped: N cpus".
+#
+# Depot churn (docs/HEALTH.md acceptance): a 3-depot run with the health
+# plane on is measured twice — once healthy, once with a scripted
+# mid-run crash of one seed-chosen depot (--churn-spec). Load-aware
+# admission must shed the dead depot instead of burning every slot's
+# retry budget, so the churned run's p99 completion latency must stay
+# <= CHURN_P99_FACTOR (default 2.0) x the healthy baseline's p99, and at
+# least one fault must actually have been injected.
+#
 # The baseline file is then refreshed. With --update, comparison is
 # skipped (use after intentional perf-relevant changes).
 set -euo pipefail
@@ -32,6 +41,7 @@ update_only=false
 REGRESSION_FRACTION="${REGRESSION_FRACTION:-0.8}"
 TRACING_OVERHEAD_FRACTION="${TRACING_OVERHEAD_FRACTION:-0.95}"
 SHARD_SPEEDUP_FLOOR="${SHARD_SPEEDUP_FLOOR:-1.3}"
+CHURN_P99_FACTOR="${CHURN_P99_FACTOR:-2.0}"
 BASELINE=BENCH_pool.json
 jobs=$(nproc 2>/dev/null || echo 4)
 cpus=$(nproc 2>/dev/null || echo 1)
@@ -60,6 +70,18 @@ trap 'rm -rf "$tmp"' EXIT
 ./build/tools/lsl_load --sessions=64 --bytes=2m --budget=64m --cores=2 \
   --json="$tmp/shard2.json"
 
+# Depot churn leg: 3 depots behind the client-side health plane, healthy
+# first, then with one seed-chosen depot crashed mid-run (byte-keyed so
+# the fault lands deterministically mid-load regardless of machine speed)
+# and restarted shortly after. Same seed, same topology — only the fault
+# differs.
+./build/tools/lsl_load --sessions=48 --bytes=2m --budget=64m \
+  --depots=3 --health --json="$tmp/healthy3.json"
+./build/tools/lsl_load --sessions=48 --bytes=2m --budget=64m \
+  --depots=3 --health \
+  --churn-spec="crash:depot=d1,at_bytes=8388608,for=500ms" \
+  --json="$tmp/churn3.json"
+
 # Chunk-pool fallback, sized so every chunk turns over several times:
 # budget/chunk = 512 chunks carrying 64 x 8 MiB = 8192 chunk-loads, so
 # the reuse rate must be high if recycling works at all.
@@ -72,7 +94,8 @@ trap 'rm -rf "$tmp"' EXIT
   >"$tmp/micro.json" 2>/dev/null
 
 python3 - "$tmp" "$BASELINE" "$REGRESSION_FRACTION" "$update_only" \
-  "$TRACING_OVERHEAD_FRACTION" "$SHARD_SPEEDUP_FLOOR" "$cpus" <<'EOF'
+  "$TRACING_OVERHEAD_FRACTION" "$SHARD_SPEEDUP_FLOOR" "$cpus" \
+  "$CHURN_P99_FACTOR" <<'EOF'
 import json, sys, os
 
 tmp, baseline_path, frac, update_only = (
@@ -80,10 +103,13 @@ tmp, baseline_path, frac, update_only = (
 trace_frac = float(sys.argv[5])
 shard_floor = float(sys.argv[6])
 cpus = int(sys.argv[7])
+churn_factor = float(sys.argv[8])
 
 splice = json.load(open(os.path.join(tmp, "splice.json")))
 traced = json.load(open(os.path.join(tmp, "traced.json")))
 shard2 = json.load(open(os.path.join(tmp, "shard2.json")))
+healthy3 = json.load(open(os.path.join(tmp, "healthy3.json")))
+churn3 = json.load(open(os.path.join(tmp, "churn3.json")))
 pool = json.load(open(os.path.join(tmp, "pool.json")))
 micro = json.load(open(os.path.join(tmp, "micro.json")))
 
@@ -129,6 +155,23 @@ if cpus >= 4:
 else:
     gate = "skipped: %d cpus" % cpus
 
+# Depot churn: every session must still verify in both 3-depot runs, the
+# scripted crash must actually have fired, and the health plane must keep
+# the churned run's tail within the factor of the healthy baseline.
+if not healthy3["ok"]:
+    failures.append("healthy 3-depot lsl_load run failed")
+if not churn3["ok"]:
+    failures.append("churned 3-depot lsl_load run failed")
+if churn3.get("churn_faults", 0) < 1:
+    failures.append("churn run: the scripted fault never fired")
+churn_ratio = churn3["latency_p99_ms"] / max(healthy3["latency_p99_ms"], 1e-9)
+if churn_ratio > churn_factor:
+    failures.append(
+        "churn p99 gate: churned p99 %.1f ms is %.2fx the healthy "
+        "baseline's %.1f ms (ceiling %.1fx)"
+        % (churn3["latency_p99_ms"], churn_ratio,
+           healthy3["latency_p99_ms"], churn_factor))
+
 bench = {
     b["name"]: b.get("bytes_per_second", b.get("real_time"))
     for b in micro.get("benchmarks", [])
@@ -154,10 +197,23 @@ result = {
         "cpus": cpus,
         "gate": gate,
     },
+    "depot_churn": {
+        "healthy_p99_ms": round(healthy3["latency_p99_ms"], 3),
+        "churn_p99_ms": round(churn3["latency_p99_ms"], 3),
+        "p99_ratio": round(churn_ratio, 4),
+        "ceiling": churn_factor,
+        "churn_depot": churn3.get("churn_depot"),
+        "churn_faults": churn3.get("churn_faults", 0),
+    },
     "lsl_load_args": {
         "splice": "--sessions=64 --bytes=2m --budget=64m",
         "traced": "--sessions=64 --bytes=2m --budget=64m --trace",
         "shard2": "--sessions=64 --bytes=2m --budget=64m --cores=2",
+        "healthy3": "--sessions=48 --bytes=2m --budget=64m --depots=3 "
+                    "--health",
+        "churn3": "--sessions=48 --bytes=2m --budget=64m --depots=3 "
+                  "--health --churn-spec=crash:depot=d1,"
+                  "at_bytes=8388608,for=500ms",
         "fallback": "--sessions=64 --bytes=8m --budget=32m --no-splice",
     },
 }

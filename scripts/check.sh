@@ -6,14 +6,17 @@
 # label, the chaos (scripted fault-injection) label, the shard
 # (SO_REUSEPORT multi-shard runtime) label — run both plain and again
 # under tsan, where the cross-shard publication protocols face the race
-# detector — and finish with the stripe (striped multipath session) label,
-# likewise run plain and under tsan. Usage:
+# detector — the stripe (striped multipath session) label, likewise run
+# plain and under tsan, and finish with the health (depot health plane)
+# label, also plain + tsan: the HealthBoard is shared between shard
+# threads, the gossip poller, and admin snapshots, so its lock discipline
+# earns a dedicated pass under the race detector. Usage:
 #
 #   scripts/check.sh [--quick] [--only CONFIG]
 #
 #   --quick         plain + lint only (the pre-push subset)
 #   --only CONFIG   run a single configuration:
-#                   plain|asan|ubsan|tsan|lint|tidy|mcheck|chaos|shard|stripe
+#                   plain|asan|ubsan|tsan|lint|tidy|mcheck|chaos|shard|stripe|health
 #
 # Build trees go to build-check-<config>/ so the default build/ directory
 # is left untouched. Every configuration keeps LSL_WERROR=ON: a warning
@@ -24,12 +27,12 @@ cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
 
-configs=(plain asan ubsan tsan lint tidy mcheck chaos shard stripe)
+configs=(plain asan ubsan tsan lint tidy mcheck chaos shard stripe health)
 case "${1:-}" in
   --quick) configs=(plain lint) ;;
   --only)  configs=("${2:?--only needs a config}") ;;
   "")      ;;
-  *) echo "usage: scripts/check.sh [--quick] [--only plain|asan|ubsan|tsan|lint|tidy|mcheck|chaos|shard|stripe]" >&2
+  *) echo "usage: scripts/check.sh [--quick] [--only plain|asan|ubsan|tsan|lint|tidy|mcheck|chaos|shard|stripe|health]" >&2
      exit 2 ;;
 esac
 
@@ -93,6 +96,20 @@ for config in "${configs[@]}"; do
              -DLSL_SANITIZE=thread >/dev/null
        cmake --build build-check-tsan -j "$jobs"
        ctest --test-dir build-check-tsan --output-on-failure -L stripe \
+             --timeout "$test_timeout" ;;
+    health) # the depot-health-plane tier, by ctest label: sim determinism
+            # (scorecard hysteresis, gossip codec, mid-transfer migration)
+            # plus the real-socket admin/gossip/migration suite, once plain
+            # and once under tsan — the board's one mutex is contended by
+            # shard threads, the gossip poller, and admin snapshots
+       cmake -B build-check -S . -DLSL_WERROR=ON >/dev/null
+       cmake --build build-check -j "$jobs"
+       ctest --test-dir build-check --output-on-failure -L health \
+             --timeout "$test_timeout"
+       cmake -B build-check-tsan -S . -DLSL_WERROR=ON \
+             -DLSL_SANITIZE=thread >/dev/null
+       cmake --build build-check-tsan -j "$jobs"
+       ctest --test-dir build-check-tsan --output-on-failure -L health \
              --timeout "$test_timeout" ;;
     *) echo "check.sh: unknown config '$config'" >&2; exit 2 ;;
   esac

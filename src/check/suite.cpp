@@ -9,6 +9,7 @@
 #include "check/shim.hpp"
 #include "engine/drain_gate.hpp"
 #include "engine/post_queue.hpp"
+#include "health/board.hpp"
 #include "live/shared_wheel.hpp"
 #include "metrics/metrics.hpp"
 #include "span/span.hpp"
@@ -29,6 +30,7 @@ using ModelCounterMap = metrics::BasicInstrumentMap<MS, ModelCounter>;
 using ModelSharedBudget = buf::BasicSharedBudget<MS>;
 using ModelPostQueue = engine::BasicPostQueue<MS>;
 using ModelDrainGate = engine::BasicDrainGate<MS>;
+using ModelHealthBoard = health::BasicHealthBoard<MS>;
 
 // ---------------------------------------------------------------------------
 // buf: ChunkPool + MemoryBudget
@@ -411,6 +413,59 @@ void gauge_seed_bug() {
 }
 
 // ---------------------------------------------------------------------------
+// health: HealthBoard scoring + hysteresis
+// ---------------------------------------------------------------------------
+
+// Two observers race failure/success observations on one depot (the
+// daemon's relay finishes vs a sibling's — or under ShardedLsd, the shard
+// thread vs the gossip poller's merge path, which shares the same lock).
+// The invariants are what no interleaving may break: every counter update
+// lands, every state change is recorded exactly once, the additive score
+// commutes at a single instant, and hysteresis moves at most one level
+// per observation (the board's own kChecked model_assert arms that last
+// one on every internal step as well).
+void health_transitions() {
+  ModelHealthBoard board;
+  const std::uint64_t t = 1000;  // one instant: decay stays out of the frame
+  health::HealthEffect eff[4];
+  spawn([&] {
+    eff[0] = board.observe_failure("d1", t);
+    eff[1] = board.observe_failure("d1", t);
+  });
+  spawn([&] {
+    eff[2] = board.observe_failure("d1", t);
+    eff[3] = board.observe_success("d1", t);
+  });
+  run_threads();
+  std::uint64_t stepped = 0;
+  for (const health::HealthEffect& e : eff) {
+    check_that(e.steps() <= 1, "hysteresis must move at most one level");
+    if (e.transitioned()) ++stepped;
+  }
+  const health::DepotHealth row = board.row("d1");
+  check_that(row.failures == 3 && row.successes == 1,
+             "an observation's counter update was lost");
+  check_that(row.transitions == stepped,
+             "a state transition was lost or invented");
+  check_that(board.transitions() == stepped,
+             "the board-wide transition total drifted from the row's");
+  // 3 failures and 1 success at one instant: the additive score is
+  // order-independent (1 - 3*0.25 + 0.15; clamping never binds en route).
+  const double want = 1.0 - 3 * 0.25 + 0.15;
+  check_that(row.score > want - 1e-9 && row.score < want + 1e-9,
+             "score must commute across observation orders");
+  // Where the ladder halts depends on when the success landed — but a
+  // 0.40 score can never read healthy (it is inside the demote band) and
+  // never dead (the streak is broken and the score clears demote_dead).
+  check_that(row.state == health::DepotState::kDegraded ||
+                 row.state == health::DepotState::kSuspect,
+             "final state must sit inside the hysteresis band");
+  check_that(!board.admissible("d1") ||
+                 row.state == health::DepotState::kDegraded,
+             "admission verdict must match the final state");
+}
+
+// ---------------------------------------------------------------------------
 // check: the shims themselves
 // ---------------------------------------------------------------------------
 
@@ -537,6 +592,11 @@ const std::vector<ScenarioDef>& defs() {
         "seeded bug: pre-seam Gauge extreme-seeding store clobbers a CAS",
         true, budgets(20000, 2, 20000)},
        &gauge_seed_bug},
+      {{"health_transitions", "health",
+        "racing observers on one depot: no lost transition, one-step "
+        "hysteresis",
+        false, budgets(60000, 2, 20000)},
+       &health_transitions},
       {{"cv_handoff", "check",
         "producer/consumer over the model condvar (predicate loop)", false,
         budgets(20000, 2, 20000)},

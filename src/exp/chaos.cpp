@@ -1,11 +1,14 @@
 #include "exp/chaos.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 
 #include "fault/fault_metrics.hpp"
 #include "fault/injector.hpp"
+#include "health/health_metrics.hpp"
 #include "lsl/apps.hpp"
 #include "lsl/directory.hpp"
 #include "lsl/selector.hpp"
@@ -183,21 +186,52 @@ ChaosResult run_chaos(const ChaosParams& params) {
   // never aliases the simulator's own RNG consumers.
   fault::RetryPolicy policy(params.retry, cp.seed ^ 0x9e3779b97f4a7c15ull);
 
+  // --- Health plane (fully inert when disabled: no board, no events, no
+  // instruments — same-seed exports stay byte-identical) -------------------
+  const bool health_on = params.health.enabled;
+  std::optional<health::HealthBoard> board;
+  std::optional<health::HealthMetrics> hm;
+  std::optional<core::SessionLedger> ledger;
+  if (health_on) {
+    board.emplace(params.health.board);
+    if (cp.metrics != nullptr) {
+      hm.emplace(*cp.metrics);
+      board->set_metrics(&*hm);
+    }
+    selector.set_health(&*board);
+    rerouter.set_health_board(&*board);
+    ledger.emplace(cp.seed);
+  }
+
   // --- Sink --------------------------------------------------------------
   bool sink_done = false;
   bool sink_verified = false;
   util::SimTime sink_time = 0;
+  core::SessionId completed_session;  // health mode: ledger-verdicted id
   core::SinkConfig sink_cfg;
   sink_cfg.expect_header = true;
   sink_cfg.verify_payload = true;
   sink_cfg.payload_seed = cp.seed;
+  if (health_on) sink_cfg.ledger = &*ledger;
   core::SinkServer sink(dst_stack, kSinkPort, sink_cfg, &dir);
-  sink.on_complete = [&](core::SinkApp& app) {
-    if (app.payload_received() != bytes) return;  // truncated husk
-    sink_done = true;
-    sink_verified = app.verified();
-    sink_time = app.complete_time();
-  };
+  if (health_on) {
+    // Completion is a *stream* property once connections can hand the
+    // session to each other: the ledger verdicts when the stitched
+    // frontier reaches the total, whichever connections carried it.
+    ledger->on_session_complete = [&](const core::SessionId& id,
+                                      const core::SessionLedger::Session& s) {
+      sink_done = true;
+      sink_time = s.complete_time;
+      completed_session = id;
+    };
+  } else {
+    sink.on_complete = [&](core::SinkApp& app) {
+      if (app.payload_received() != bytes) return;  // truncated husk
+      sink_done = true;
+      sink_verified = app.verified();
+      sink_time = app.complete_time();
+    };
+  }
 
   // --- Attempt loop ------------------------------------------------------
   auto& ev = net.sim().events();
@@ -212,6 +246,101 @@ ChaosResult run_chaos(const ChaosParams& params) {
   util::SimTime first_start = -1;
   util::SimTime first_failure = -1;
   bool first_attempt = true;
+
+  // --- Health sampling + proactive migration (health mode only) ----------
+  core::SourceApp* active_source = nullptr;
+  core::SessionId active_session;
+  std::optional<health::MigrationPolicy> migrator;
+  struct ProbeCounters {
+    std::uint64_t relayed = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t pressure = 0;
+    std::uint64_t failed = 0;
+  };
+  std::vector<ProbeCounters> probe_prev(depot_apps.size());
+  bool probe_pending = false;
+  std::function<void()> probe_tick = [&] {
+    probe_pending = false;
+    // The tick chain must eventually stop so the attempt loop's dead-path
+    // detection (event queue drains) still works: stop on verdict or when
+    // the source abandoned. A source that *cleanly* finished queuing stays
+    // probed while resumable — its bytes may still be stranded behind a
+    // wedged depot, which is exactly when migration earns its keep.
+    if (sink_done || active_source == nullptr || active_source->gave_up() ||
+        (active_source->finished() && !params.resumable_attempts)) {
+      return;
+    }
+    const auto now_ms =
+        static_cast<std::uint64_t>(util::to_millis(ev.now()));
+    const double interval_s = util::to_seconds(params.health.probe_interval);
+    const std::set<std::string> dead = injector.dead_depots();
+    for (std::size_t i = 0; i < depot_apps.size(); ++i) {
+      const std::string name = "depot" + std::to_string(i + 1);
+      const core::DepotStats& st = depot_apps[i]->stats();
+      const ProbeCounters cur{
+          st.bytes_relayed, st.timeouts_stall,
+          st.backpressure_stalls + st.sessions_refused_memory,
+          st.sessions_failed};
+      if (dead.count(name) != 0) {
+        board->observe_failure(name, now_ms);
+      } else {
+        if (cur.failed > probe_prev[i].failed) board->observe_failure(name, now_ms);
+        if (cur.stalls > probe_prev[i].stalls) board->observe_timeout(name, now_ms);
+        if (cur.pressure > probe_prev[i].pressure) {
+          board->observe_pressure(name, now_ms);
+        }
+        const std::uint64_t delta = cur.relayed - probe_prev[i].relayed;
+        if (delta > 0) {
+          board->observe_bps(name, static_cast<double>(delta) * 8.0 /
+                                       interval_s, now_ms);
+        } else if (st.sessions_accepted >
+                   st.sessions_completed + st.sessions_failed) {
+          // Sessions live, nothing moved this tick: a stalled relay — the
+          // signal a kSlow fault (or a genuinely wedged depot) produces
+          // without killing the connection.
+          board->observe_timeout(name, now_ms);
+        }
+      }
+      probe_prev[i] = cur;
+    }
+    // Proactive mid-transfer re-selection: evacuate the live session off a
+    // depot the board now calls suspect, *before* its retry budget fires.
+    if (migrator) {
+      const std::string offender = migrator->should_migrate(route, now_ms);
+      if (!offender.empty()) {
+        std::set<std::string> excluded = dead;
+        excluded.insert(offender);
+        const auto chosen =
+            rerouter.choose_excluding(candidates, excluded, bytes);
+        if (chosen) {
+          std::vector<std::string> next(chosen->waypoints.begin() + 1,
+                                        chosen->waypoints.end() - 1);
+          std::vector<core::HopAddress> hops;
+          for (const std::string& n : next) {
+            hops.push_back({net.find_node(n)->id(), kDepotPort});
+          }
+          sim::Node* fd = net.find_node(next.front());
+          // The floor is the sink's stitched frontier — never the source's
+          // ack counter, which can exceed what actually escaped the dying
+          // chain's buffers.
+          const std::uint64_t floor = ledger->frontier(active_session);
+          if (active_source->migrate({fd->id(), kDepotPort}, std::move(hops),
+                                     floor)) {
+            migrator->note_migrated(now_ms);
+            board->note_migration();
+            ++res.migrations;
+            if (res.migrations == 1) res.migration_floor = floor;
+            LSL_LOG_INFO("chaos: migrated off %s at floor %llu",
+                         offender.c_str(),
+                         static_cast<unsigned long long>(floor));
+            route = std::move(next);
+          }
+        }
+      }
+    }
+    probe_pending = true;
+    ev.schedule_in(params.health.probe_interval, probe_tick);
+  };
 
   for (;;) {
     // Build this attempt's session over `route`.
@@ -252,6 +381,17 @@ ChaosResult run_chaos(const ChaosParams& params) {
         src_stack, first_hop, scfg, &dir));
     core::SourceApp* source = sources.back().get();
     injector.register_source(source);
+    if (health_on) {
+      active_source = source;
+      active_session = scfg.header.session;
+      // A fresh MigrationPolicy per attempt: the per-session migration
+      // budget and cooldown restart with the session.
+      migrator.emplace(&*board, params.health.migration);
+      if (!probe_pending) {
+        probe_pending = true;
+        ev.schedule_in(params.health.probe_interval, probe_tick);
+      }
+    }
     source->start();
     if (first_start < 0) first_start = source->start_time();
     first_attempt = false;
@@ -263,6 +403,16 @@ ChaosResult run_chaos(const ChaosParams& params) {
     }
     res.resumes += source->resumes();
 
+    if (health_on && sink_done) {
+      // Stream-level verdict: content checked against the seeded generator
+      // across every stitched connection, digest against the whole-stream
+      // MD5 — the proof that a migration resumed from the exact floor.
+      res.stream_digest_ok =
+          ledger->digest(completed_session) ==
+          core::stream_digest(cp.seed, bytes);
+      sink_verified =
+          ledger->content_ok(completed_session) && res.stream_digest_ok;
+    }
     if (sink_done && sink_verified) {
       res.completed = true;
       res.verified = true;
@@ -323,6 +473,7 @@ ChaosResult run_chaos(const ChaosParams& params) {
   res.attempts = policy.attempts_made();
   res.faults_injected = injector.injected();
   res.final_route = route;
+  if (health_on) res.health_transitions = board->transitions();
   if (res.completed) {
     const util::SimDuration elapsed = sink_time - first_start;
     res.seconds = util::to_seconds(elapsed);

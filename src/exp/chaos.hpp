@@ -22,9 +22,30 @@
 #include "exp/chain.hpp"
 #include "fault/policy.hpp"
 #include "fault/spec.hpp"
+#include "health/board.hpp"
+#include "health/migration.hpp"
 #include "metrics/metrics.hpp"
 
 namespace lsl::exp {
+
+/// Health-plane knobs for a chaos run. Disabled (the default) schedules
+/// nothing and allocates nothing: same-seed metric exports stay
+/// byte-identical with and without this struct present — the repository's
+/// determinism invariant (tests/health_test.cpp pins it).
+struct ChaosHealth {
+  /// Master switch for the whole plane (board, sampling, migration).
+  bool enabled = false;
+  health::HealthConfig board;
+  /// Mid-transfer re-selection; `migration.enabled` still gates it inside
+  /// an enabled plane, so scoring can run with migration off (admission
+  /// only).
+  health::MigrationConfig migration;
+  /// Depot scorecard sampling period (simulated time). Each tick folds
+  /// every depot's relay-rate delta, stall/pressure counters, and
+  /// injector-known deaths into the board, then consults the
+  /// MigrationPolicy for the live attempt.
+  util::SimDuration probe_interval = util::millis(100);
+};
 
 /// Parameters of one chaos run.
 struct ChaosParams {
@@ -39,6 +60,9 @@ struct ChaosParams {
   /// the seeded generator). Non-resumable attempts carry the full MD5
   /// trailer and recover by policy-driven retransfer.
   bool resumable_attempts = false;
+  /// Adaptive depot health plane (requires resumable_attempts when
+  /// migration is enabled — migration rides the resume machinery).
+  ChaosHealth health;
 };
 
 /// Outcome of one chaos run.
@@ -57,6 +81,15 @@ struct ChaosResult {
   std::vector<std::string> final_route;  ///< depot names of the last attempt
   double seconds = 0.0;  ///< source start (first attempt) -> verified sink
   double mbps = 0.0;
+  // --- Health plane (all zero when ChaosParams::health is disabled) ------
+  std::size_t migrations = 0;  ///< proactive mid-transfer re-selections
+  /// Stream offset the first migration resumed from (the sink's exact
+  /// acknowledged frontier at that instant); 0 when no migration happened.
+  std::uint64_t migration_floor = 0;
+  /// Health mode: the ledger-stitched stream's MD5 matched the seeded
+  /// generator's digest over the full payload (false when not health mode).
+  bool stream_digest_ok = false;
+  std::uint64_t health_transitions = 0;  ///< board state changes observed
 };
 
 /// Run one transfer under the fault plan; recover per the policies.

@@ -35,6 +35,17 @@ const char* to_string(RerouteError e) {
   return "?";  // unreachable: all enumerators handled above
 }
 
+std::set<std::string> ReroutePolicy::excluded_depots() const {
+  if (board_ == nullptr) return failed_;
+  std::set<std::string> out;
+  for (const std::string& d : failed_) {
+    // Re-admission: the board's judgement supersedes the sticky memory.
+    // Only depots it still calls suspect-or-worse stay banned.
+    if (board_->state(d) >= health::DepotState::kSuspect) out.insert(d);
+  }
+  return out;
+}
+
 std::optional<core::CandidateRoute> ReroutePolicy::choose_excluding(
     const std::vector<core::CandidateRoute>& candidates,
     const std::set<std::string>& dead_depots, std::uint64_t bytes,
@@ -46,11 +57,13 @@ std::optional<core::CandidateRoute> ReroutePolicy::choose_excluding(
     set_error(RerouteError::kNoCandidates);
     return std::nullopt;
   }
+  const std::set<std::string> noted = excluded_depots();
   std::vector<core::CandidateRoute> alive;
   for (const core::CandidateRoute& c : candidates) {
     bool ok = true;
     for (std::size_t i = 1; i + 1 < c.waypoints.size(); ++i) {
-      if (dead_depots.count(c.waypoints[i]) != 0) {
+      if (dead_depots.count(c.waypoints[i]) != 0 ||
+          noted.count(c.waypoints[i]) != 0) {
         ok = false;
         break;
       }

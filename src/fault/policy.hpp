@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "health/board.hpp"
 #include "lsl/selector.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
@@ -83,15 +84,38 @@ class ReroutePolicy {
 
   /// The fastest candidate (per RouteSelector::choose) whose *interior*
   /// waypoints — the depots; endpoints are the session's own hosts — avoid
-  /// `dead_depots`. Returns nullopt with a distinct RerouteError when the
-  /// candidate list is empty or fully eliminated.
+  /// `dead_depots` and every depot noted via note_depot_failure() that is
+  /// not yet re-admitted (see set_health_board). Returns nullopt with a
+  /// distinct RerouteError when the candidate list is empty or fully
+  /// eliminated.
   std::optional<core::CandidateRoute> choose_excluding(
       const std::vector<core::CandidateRoute>& candidates,
       const std::set<std::string>& dead_depots, std::uint64_t bytes,
       RerouteError* error = nullptr) const;
 
+  /// Remember a depot this policy saw fail (a dial error, a mid-relay
+  /// death). Noted depots are excluded from future choices. Without a
+  /// health board this memory is sticky for the policy's lifetime — the
+  /// historical behavior that turned one bad afternoon into a permanent
+  /// ban; attach a board to make the exclusion score-driven instead.
+  void note_depot_failure(const std::string& depot) {
+    failed_.insert(depot);
+  }
+
+  /// Attach a health board for re-admission: a noted depot stays excluded
+  /// only while the board still judges it suspect-or-worse. A depot whose
+  /// score recovered (decay plus probe successes promoting it back to
+  /// degraded or healthy) becomes eligible again — recovered depots must
+  /// not be shunned forever. nullptr reverts to sticky exclusion.
+  void set_health_board(const health::HealthBoard* board) { board_ = board; }
+
+  /// Noted failures still in force (after board-driven re-admission).
+  std::set<std::string> excluded_depots() const;
+
  private:
   core::RouteSelector& selector_;
+  std::set<std::string> failed_;
+  const health::HealthBoard* board_ = nullptr;
 };
 
 }  // namespace lsl::fault

@@ -1,0 +1,448 @@
+// The depot health plane: a per-depot scorecard shared verbatim by the
+// simulator and the posix daemon.
+//
+// The paper picks depots once, at session start, from static NWS forecasts;
+// a fleet serving heavy traffic needs placement to track depot health
+// *continuously*. A HealthBoard folds the liveness signals the rest of the
+// repository already emits — observed relay rate (`live.slowest_relay_bps`),
+// pool-pressure episodes (`pool.pressure_episodes`), failure/timeout streaks
+// (`fault.*` / `recovery.*`), park/salvage counts — into one score per depot
+// and a hysteretic state machine:
+//
+//   healthy -> degraded -> suspect -> dead     (demotions, score falling)
+//   dead -> suspect -> degraded -> healthy     (promotions, score recovering)
+//
+// Every observation moves the state at most ONE step (hysteresis is monotone
+// per observer — the model-checker scenario `health_transitions` explores
+// this exhaustively), and promotion thresholds sit strictly above demotion
+// thresholds so a score oscillating inside the band cannot flap the state.
+// Decay is deterministic: scores relax toward a neutral value as a pure
+// function of caller-supplied timestamps (simulated or steady-clock
+// milliseconds) — no wall-clock reads, no hidden RNG — so a seeded sim run
+// replays bit-for-bit and, with the plane disabled, same-seed metric
+// exports stay byte-identical (the repository's guarded invariant).
+//
+// Written over the `Sync` policy seam (src/check/shim.hpp):
+// `HealthBoard` = BasicHealthBoard<StdSync> is the production alias the
+// daemon's gossip thread and admin snapshots share; the model checker
+// instantiates BasicHealthBoard<ModelSync> and enumerates interleavings.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/shim.hpp"
+#include "health/health_metrics.hpp"
+
+namespace lsl::health {
+
+/// The hysteretic depot states, ordered from best to worst. `kDegraded`
+/// depots still admit sessions (the selector spreads load away from them);
+/// `kSuspect` and `kDead` depots are refused placement.
+enum class DepotState : std::uint8_t {
+  kHealthy = 0,
+  kDegraded = 1,
+  kSuspect = 2,
+  kDead = 3,
+};
+
+inline const char* to_string(DepotState s) {
+  switch (s) {
+    case DepotState::kHealthy:
+      return "healthy";
+    case DepotState::kDegraded:
+      return "degraded";
+    case DepotState::kSuspect:
+      return "suspect";
+    case DepotState::kDead:
+      return "dead";
+  }
+  return "unknown";
+}
+
+/// Scoring and hysteresis knobs. Scores live in [0, 1]; a fresh depot
+/// starts at 1.0. Every demotion threshold sits strictly below the
+/// corresponding promotion threshold — that gap is the hysteresis band.
+struct HealthConfig {
+  // Score deltas per observation.
+  double fail_penalty = 0.25;      ///< dial failure / relay error
+  double timeout_penalty = 0.20;   ///< stall-watchdog / deadline expiry
+  double pressure_penalty = 0.10;  ///< pool-pressure episode
+  double park_penalty = 0.05;      ///< session parked (upstream died there)
+  double success_reward = 0.15;    ///< relay completed cleanly
+
+  /// EWMA gain for the observed-bps series.
+  double ewma_alpha = 0.3;
+  /// Observed EWMA bps below this is a collapse (scored like a timeout,
+  /// without extending the failure streak). 0 disables collapse scoring.
+  double collapse_bps = 0.0;
+
+  // Demotion thresholds (state worsens when score falls to or below).
+  double demote_degraded = 0.60;
+  double demote_suspect = 0.35;
+  double demote_dead = 0.10;
+  // Promotion thresholds (state improves when score rises to or above).
+  double promote_healthy = 0.75;
+  double promote_degraded = 0.55;
+  double promote_suspect = 0.30;
+
+  /// Consecutive failures/timeouts that force the target state to kDead
+  /// regardless of score.
+  std::uint32_t dead_streak = 4;
+
+  /// Deterministic decay: the score relaxes toward `neutral_score` with
+  /// this half-life (milliseconds of caller-supplied time). 0 disables
+  /// decay — scores then move only on observations. Decay is what re-admits
+  /// a dead depot: once the score drifts back above promote_suspect, the
+  /// next tick steps it to suspect and probe successes walk it home.
+  std::uint64_t decay_half_life_ms = 10'000;
+  double neutral_score = 0.70;
+};
+
+/// One depot's scorecard row — the snapshot the admin socket exports and
+/// the gossip protocol ships.
+struct DepotHealth {
+  std::string name;
+  DepotState state = DepotState::kHealthy;
+  double score = 1.0;
+  double ewma_bps = 0.0;
+  std::uint32_t fail_streak = 0;
+  std::uint64_t successes = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t pressure_episodes = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t salvages = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t last_update_ms = 0;
+};
+
+/// What one observation did to the depot's state — the unit the
+/// model-checker invariants are phrased over.
+struct HealthEffect {
+  DepotState before = DepotState::kHealthy;
+  DepotState after = DepotState::kHealthy;
+  bool transitioned() const { return before != after; }
+  /// Levels moved; hysteresis is monotone, so this is always <= 1.
+  int steps() const {
+    const int d = static_cast<int>(after) - static_cast<int>(before);
+    return d < 0 ? -d : d;
+  }
+};
+
+template <typename Sync>
+class BasicHealthBoard {
+ public:
+  explicit BasicHealthBoard(HealthConfig cfg = {}) : cfg_(cfg) {}
+
+  BasicHealthBoard(const BasicHealthBoard&) = delete;
+  BasicHealthBoard& operator=(const BasicHealthBoard&) = delete;
+
+  /// Attach (or detach) a metrics bundle; transition/gossip counters bump
+  /// through it. Call before concurrent use.
+  void set_metrics(HealthMetrics* m) { metrics_ = m; }
+
+  const HealthConfig& config() const { return cfg_; }
+
+  // --- Observers (each applies decay, scores, then steps the state) -------
+
+  HealthEffect observe_success(const std::string& name, std::uint64_t now_ms) {
+    typename Sync::lock_guard lock(mu_);
+    Entry& e = touch(name, now_ms);
+    ++e.row.successes;
+    e.row.fail_streak = 0;
+    bump(e, cfg_.success_reward);
+    return step(e);
+  }
+
+  /// Fold one observed delivery rate (bits/second) into the depot's EWMA.
+  /// A rate above the collapse floor counts as progress (resets the
+  /// failure streak); at or below it, the depot is scored like a timeout.
+  HealthEffect observe_bps(const std::string& name, double bps,
+                           std::uint64_t now_ms) {
+    typename Sync::lock_guard lock(mu_);
+    Entry& e = touch(name, now_ms);
+    e.row.ewma_bps = e.bps_samples == 0
+                         ? bps
+                         : cfg_.ewma_alpha * bps +
+                               (1.0 - cfg_.ewma_alpha) * e.row.ewma_bps;
+    ++e.bps_samples;
+    if (cfg_.collapse_bps > 0.0 && e.row.ewma_bps <= cfg_.collapse_bps) {
+      bump(e, -cfg_.timeout_penalty);
+    } else {
+      e.row.fail_streak = 0;
+      bump(e, cfg_.success_reward * 0.5);
+    }
+    return step(e);
+  }
+
+  HealthEffect observe_failure(const std::string& name, std::uint64_t now_ms) {
+    typename Sync::lock_guard lock(mu_);
+    Entry& e = touch(name, now_ms);
+    ++e.row.failures;
+    ++e.row.fail_streak;
+    bump(e, -cfg_.fail_penalty);
+    return step(e);
+  }
+
+  HealthEffect observe_timeout(const std::string& name, std::uint64_t now_ms) {
+    typename Sync::lock_guard lock(mu_);
+    Entry& e = touch(name, now_ms);
+    ++e.row.timeouts;
+    ++e.row.fail_streak;
+    bump(e, -cfg_.timeout_penalty);
+    return step(e);
+  }
+
+  HealthEffect observe_pressure(const std::string& name,
+                                std::uint64_t now_ms) {
+    typename Sync::lock_guard lock(mu_);
+    Entry& e = touch(name, now_ms);
+    ++e.row.pressure_episodes;
+    bump(e, -cfg_.pressure_penalty);
+    return step(e);
+  }
+
+  HealthEffect observe_park(const std::string& name, std::uint64_t now_ms) {
+    typename Sync::lock_guard lock(mu_);
+    Entry& e = touch(name, now_ms);
+    ++e.row.parks;
+    bump(e, -cfg_.park_penalty);
+    return step(e);
+  }
+
+  HealthEffect observe_salvage(const std::string& name,
+                               std::uint64_t now_ms) {
+    typename Sync::lock_guard lock(mu_);
+    Entry& e = touch(name, now_ms);
+    ++e.row.salvages;
+    return step(e);
+  }
+
+  /// Apply decay to every known depot and re-evaluate each state (one step
+  /// at most, as ever). This is what lets an idle dead depot drift back to
+  /// suspect and become probe-eligible again.
+  void tick(std::uint64_t now_ms) {
+    typename Sync::lock_guard lock(mu_);
+    for (auto& [name, e] : entries_) {
+      touch_entry(e, now_ms);
+      step(e);
+    }
+  }
+
+  /// Fold a remote scorecard row (gossip) into the local one: the local
+  /// score and EWMA shift toward the remote values by `weight` in (0, 1].
+  /// Remote event counters are NOT added (they would double-count when
+  /// gossip cycles); only the judgement is blended.
+  HealthEffect merge(const DepotHealth& remote, double weight,
+                     std::uint64_t now_ms) {
+    typename Sync::lock_guard lock(mu_);
+    Entry& e = touch(remote.name, now_ms);
+    const double w = std::clamp(weight, 0.0, 1.0);
+    e.row.score = clamp01(e.row.score + w * (remote.score - e.row.score));
+    if (remote.ewma_bps > 0.0) {
+      e.row.ewma_bps = e.bps_samples == 0
+                           ? remote.ewma_bps
+                           : e.row.ewma_bps +
+                                 w * (remote.ewma_bps - e.row.ewma_bps);
+      ++e.bps_samples;
+    }
+    ++gossip_merged_;
+    if (metrics_ != nullptr) metrics_->on_gossip_merged();
+    return step(e);
+  }
+
+  // --- Queries -------------------------------------------------------------
+
+  /// Unknown depots are healthy: the plane refuses placement only on
+  /// evidence, never on ignorance.
+  DepotState state(const std::string& name) const {
+    typename Sync::lock_guard lock(mu_);
+    const auto it = entries_.find(name);
+    return it == entries_.end() ? DepotState::kHealthy : it->second.row.state;
+  }
+
+  double score(const std::string& name) const {
+    typename Sync::lock_guard lock(mu_);
+    const auto it = entries_.find(name);
+    return it == entries_.end() ? 1.0 : it->second.row.score;
+  }
+
+  /// Placement admission: healthy and degraded depots accept sessions;
+  /// suspect and dead ones are refused.
+  bool admissible(const std::string& name) const {
+    return state(name) <= DepotState::kDegraded;
+  }
+
+  /// Count a placement refused because of this board's verdict.
+  void note_admission_refused() {
+    typename Sync::lock_guard lock(mu_);
+    ++admission_refused_;
+    if (metrics_ != nullptr) metrics_->on_admission_refused();
+  }
+
+  /// Count a live session proactively re-routed off a suspect depot.
+  void note_migration() {
+    typename Sync::lock_guard lock(mu_);
+    ++migrations_;
+    if (metrics_ != nullptr) metrics_->on_migration();
+  }
+
+  /// Snapshot one row; a default row (healthy, score 1) for unknown names.
+  DepotHealth row(const std::string& name) const {
+    typename Sync::lock_guard lock(mu_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      DepotHealth r;
+      r.name = name;
+      return r;
+    }
+    return it->second.row;
+  }
+
+  /// Snapshot every row, sorted by depot name (the map order) — the admin
+  /// socket's `health` per-depot export and the gossip payload.
+  std::vector<DepotHealth> rows() const {
+    typename Sync::lock_guard lock(mu_);
+    std::vector<DepotHealth> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, e] : entries_) out.push_back(e.row);
+    return out;
+  }
+
+  std::uint64_t transitions() const {
+    typename Sync::lock_guard lock(mu_);
+    return transitions_;
+  }
+  std::uint64_t admission_refused() const {
+    typename Sync::lock_guard lock(mu_);
+    return admission_refused_;
+  }
+  std::uint64_t migrations() const {
+    typename Sync::lock_guard lock(mu_);
+    return migrations_;
+  }
+  std::uint64_t gossip_merged() const {
+    typename Sync::lock_guard lock(mu_);
+    return gossip_merged_;
+  }
+  std::size_t depots() const {
+    typename Sync::lock_guard lock(mu_);
+    return entries_.size();
+  }
+
+ private:
+  struct Entry {
+    DepotHealth row;
+    std::uint64_t bps_samples = 0;
+  };
+
+  static double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+  void bump(Entry& e, double delta) {
+    e.row.score = clamp01(e.row.score + delta);
+  }
+
+  /// Find-or-create, then apply decay for the elapsed interval. Decay is a
+  /// pure function of (score, dt, config) — deterministic under replay.
+  Entry& touch(const std::string& name, std::uint64_t now_ms) {
+    auto [it, fresh] = entries_.try_emplace(name);
+    Entry& e = it->second;
+    if (fresh) {
+      e.row.name = name;
+      e.row.last_update_ms = now_ms;
+    }
+    touch_entry(e, now_ms);
+    return e;
+  }
+
+  void touch_entry(Entry& e, std::uint64_t now_ms) {
+    if (now_ms <= e.row.last_update_ms) return;  // time never runs backward
+    if (cfg_.decay_half_life_ms > 0) {
+      const double dt =
+          static_cast<double>(now_ms - e.row.last_update_ms);
+      const double factor = std::exp2(
+          -dt / static_cast<double>(cfg_.decay_half_life_ms));
+      e.row.score = clamp01(cfg_.neutral_score +
+                            (e.row.score - cfg_.neutral_score) * factor);
+      // A quiet interval also lets a stale streak expire: decay is the
+      // depot's way back in when no traffic probes it.
+      if (factor < 0.5) e.row.fail_streak = 0;
+    }
+    e.row.last_update_ms = now_ms;
+  }
+
+  /// The state the score/streak argue for, ignoring hysteresis.
+  DepotState target(const Entry& e) const {
+    if (e.row.fail_streak >= cfg_.dead_streak ||
+        e.row.score <= cfg_.demote_dead) {
+      return DepotState::kDead;
+    }
+    if (e.row.score <= cfg_.demote_suspect) return DepotState::kSuspect;
+    if (e.row.score <= cfg_.demote_degraded) return DepotState::kDegraded;
+    return DepotState::kHealthy;
+  }
+
+  /// Move at most one level toward the target; promotions additionally
+  /// require the score to clear the *promotion* threshold of the next
+  /// better state (the hysteresis band holds otherwise).
+  HealthEffect step(Entry& e) {
+    HealthEffect eff;
+    eff.before = e.row.state;
+    const DepotState want = target(e);
+    DepotState next = e.row.state;
+    if (want > e.row.state) {
+      next = static_cast<DepotState>(static_cast<std::uint8_t>(e.row.state) +
+                                     1);
+    } else if (want < e.row.state) {
+      const double gate = e.row.state == DepotState::kDead
+                              ? cfg_.promote_suspect
+                          : e.row.state == DepotState::kSuspect
+                              ? cfg_.promote_degraded
+                              : cfg_.promote_healthy;
+      if (e.row.score >= gate) {
+        next = static_cast<DepotState>(
+            static_cast<std::uint8_t>(e.row.state) - 1);
+      }
+    }
+    if (next != e.row.state) {
+      e.row.state = next;
+      ++e.row.transitions;
+      ++transitions_;
+      if (metrics_ != nullptr) {
+        metrics_->on_transition(/*promotion=*/next < eff.before);
+        double suspect = 0;
+        for (const auto& [n, other] : entries_) {
+          if (other.row.state >= DepotState::kSuspect) suspect += 1.0;
+        }
+        metrics_->suspect_depots->set(suspect);
+      }
+    }
+    eff.after = e.row.state;
+    if constexpr (Sync::kChecked) {
+      check::model_assert(eff.steps() <= 1,
+                          "health: a single observation moved the state "
+                          "more than one level");
+    }
+    return eff;
+  }
+
+  HealthConfig cfg_;
+  mutable typename Sync::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::uint64_t transitions_ = 0;
+  std::uint64_t admission_refused_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t gossip_merged_ = 0;
+  HealthMetrics* metrics_ = nullptr;
+};
+
+/// Production alias: std:: primitives, shared by the daemon's epoll loop,
+/// its gossip poller, and admin snapshots.
+using HealthBoard = BasicHealthBoard<check::StdSync>;
+
+}  // namespace lsl::health

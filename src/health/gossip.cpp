@@ -1,0 +1,89 @@
+#include "health/gossip.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace lsl::health {
+
+namespace {
+
+// Scores travel with fixed precision so encode/decode round-trips are
+// stable across locales and platforms.
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string encode_gossip(const std::vector<DepotHealth>& rows) {
+  std::ostringstream out;
+  for (const DepotHealth& r : rows) {
+    out << "h1 " << r.name << ' ' << static_cast<unsigned>(r.state) << ' '
+        << format_double(r.score) << ' ' << format_double(r.ewma_bps) << ' '
+        << r.failures << ' ' << r.successes << ' ' << r.timeouts << '\n';
+  }
+  return out.str();
+}
+
+std::vector<DepotHealth> decode_gossip(const std::string& text) {
+  std::vector<DepotHealth> rows;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag != "h1") continue;  // unknown version: skip, don't fail
+    DepotHealth r;
+    unsigned state = 0;
+    if (!(ls >> r.name >> state >> r.score >> r.ewma_bps >> r.failures >>
+          r.successes >> r.timeouts)) {
+      continue;  // malformed row: advisory data, drop it
+    }
+    if (state > static_cast<unsigned>(DepotState::kDead)) continue;
+    r.state = static_cast<DepotState>(state);
+    r.score = std::clamp(r.score, 0.0, 1.0);
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+std::vector<DepotHealth> merge_rows(
+    const std::vector<std::vector<DepotHealth>>& shards) {
+  std::map<std::string, DepotHealth> merged;
+  for (const auto& shard : shards) {
+    for (const DepotHealth& r : shard) {
+      auto [it, fresh] = merged.try_emplace(r.name, r);
+      if (fresh) continue;
+      DepotHealth& m = it->second;
+      // Pessimistic view: any shard seeing trouble is trouble.
+      m.state = std::max(m.state, r.state);
+      m.score = std::min(m.score, r.score);
+      if (m.ewma_bps == 0.0) {
+        m.ewma_bps = r.ewma_bps;
+      } else if (r.ewma_bps > 0.0) {
+        m.ewma_bps = std::min(m.ewma_bps, r.ewma_bps);
+      }
+      m.fail_streak = std::max(m.fail_streak, r.fail_streak);
+      m.successes += r.successes;
+      m.failures += r.failures;
+      m.timeouts += r.timeouts;
+      m.pressure_episodes += r.pressure_episodes;
+      m.parks += r.parks;
+      m.salvages += r.salvages;
+      m.transitions += r.transitions;
+      m.last_update_ms = std::max(m.last_update_ms, r.last_update_ms);
+    }
+  }
+  std::vector<DepotHealth> out;
+  out.reserve(merged.size());
+  for (auto& [name, r] : merged) out.push_back(std::move(r));
+  return out;
+}
+
+}  // namespace lsl::health

@@ -1,0 +1,42 @@
+// Scorecard gossip: the line-oriented text codec `lsd_relay` peers use to
+// exchange depot health judgements.
+//
+// A relay learns about its *own* upstreams the hard way — dial failures,
+// stall watchdogs, collapsed relay rates — but sessions route through
+// chains of depots, and the depot two hops away learns nothing until its
+// own dial fails. Gossip closes that gap: each daemon exposes its rows
+// over the admin socket (`gossip` command), peers poll and merge them with
+// a configurable weight (judgement blending, never counter addition — see
+// BasicHealthBoard::merge for the double-count argument).
+//
+// Wire format (one row per line, space-separated, `#`-prefixed comments
+// ignored, documented in docs/HEALTH.md):
+//
+//   h1 <depot> <state> <score> <ewma_bps> <failures> <successes> <timeouts>
+//
+// `h1` is the version tag; unknown tags are skipped so the protocol can
+// grow. Depot names are host:port or topology identifiers — never spaces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "health/board.hpp"
+
+namespace lsl::health {
+
+/// Render rows in gossip wire format, one `h1` line per depot.
+std::string encode_gossip(const std::vector<DepotHealth>& rows);
+
+/// Parse gossip text; malformed or unknown-version lines are skipped
+/// (gossip is advisory — a bad peer must never take the daemon down).
+std::vector<DepotHealth> decode_gossip(const std::string& text);
+
+/// Merge scorecard rows from several shards (or several polls) into one
+/// view: same-name rows keep the worst state, the minimum score, and the
+/// sum of event counters. Used by ShardedLsd to present one fleet row set
+/// over the admin socket.
+std::vector<DepotHealth> merge_rows(
+    const std::vector<std::vector<DepotHealth>>& shards);
+
+}  // namespace lsl::health

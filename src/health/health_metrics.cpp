@@ -1,0 +1,14 @@
+#include "health/health_metrics.hpp"
+
+namespace lsl::health {
+
+HealthMetrics::HealthMetrics(metrics::Registry& reg)
+    : transitions(&reg.counter("health.transitions")),
+      demotions(&reg.counter("health.demotions")),
+      promotions(&reg.counter("health.promotions")),
+      admission_refused(&reg.counter("health.admission_refused")),
+      migrations(&reg.counter("health.migrations")),
+      gossip_merged(&reg.counter("health.gossip_merged")),
+      suspect_depots(&reg.gauge("health.suspect_depots")) {}
+
+}  // namespace lsl::health

@@ -1,0 +1,40 @@
+// Health-plane instruments.
+//
+// Like the fault/pool/live bundles, health metrics are daemon-global flat
+// names (`health.*`): one daemon, one health board, one set of
+// instruments. Every name registered here must appear in
+// docs/OBSERVABILITY.md — the `health-metrics-docs` rule of tools/lsl_lint
+// enforces that for any `health.` string literal in this directory.
+#pragma once
+
+#include "metrics/metrics.hpp"
+
+namespace lsl::health {
+
+/// Pre-resolved health-plane instruments (see the metrics bundle pattern in
+/// src/metrics/instruments.hpp: resolve once, hot path touches atomics).
+struct HealthMetrics {
+  explicit HealthMetrics(metrics::Registry& reg);
+
+  metrics::Counter* transitions;        ///< state changes, either direction
+  metrics::Counter* demotions;          ///< transitions toward dead
+  metrics::Counter* promotions;         ///< transitions toward healthy
+  metrics::Counter* admission_refused;  ///< placements refused on health
+  metrics::Counter* migrations;         ///< live sessions proactively moved
+  metrics::Counter* gossip_merged;      ///< peer scorecard rows folded in
+  metrics::Gauge* suspect_depots;       ///< depots currently suspect-or-worse
+
+  void on_transition(bool promotion) {
+    transitions->inc();
+    if (promotion) {
+      promotions->inc();
+    } else {
+      demotions->inc();
+    }
+  }
+  void on_admission_refused() { admission_refused->inc(); }
+  void on_migration() { migrations->inc(); }
+  void on_gossip_merged() { gossip_merged->inc(); }
+};
+
+}  // namespace lsl::health

@@ -1,0 +1,78 @@
+// Proactive mid-transfer re-selection policy.
+//
+// The fault machinery (src/fault) reacts: a depot dies, the retry budget
+// burns, the reroute policy picks a new chain, the session resumes from
+// its acked floor. MigrationPolicy acts *before* the budget fires: when a
+// live session's interior depot crosses into suspect on the HealthBoard
+// (stall watchdog, pressure episode, bps collapse), the source re-routes
+// immediately, resuming from the exact acked floor the sink reports.
+// Migration composes with — never replaces — park/salvage/resume: if the
+// move itself fails, the ordinary retry path takes over.
+//
+// The policy is pure bookkeeping over caller-supplied time (deterministic
+// under seeded replay) and defaults OFF, preserving the repository's
+// byte-identical same-seed export invariant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "health/board.hpp"
+
+namespace lsl::health {
+
+struct MigrationConfig {
+  /// Master switch; everything below is inert while false.
+  bool enabled = false;
+  /// A depot at or past this state triggers migration (suspect by
+  /// default: degraded depots are spread away from, not evacuated).
+  DepotState trigger = DepotState::kSuspect;
+  /// Hard cap on migrations per session — a flapping board must not turn
+  /// one transfer into a route carousel.
+  std::uint32_t max_migrations = 2;
+  /// Minimum quiet time between two migrations of the same session.
+  std::uint64_t cooldown_ms = 500;
+};
+
+/// Per-session migration trigger. One instance per live session; the
+/// drivers (exp::run_chaos, tools/lsl_load) poll it against the board.
+class MigrationPolicy {
+ public:
+  MigrationPolicy(const HealthBoard* board, MigrationConfig cfg)
+      : board_(board), cfg_(cfg) {}
+
+  const MigrationConfig& config() const { return cfg_; }
+  std::uint32_t migrations() const { return migrations_; }
+
+  /// If any interior depot of the live route has crossed the trigger
+  /// state (and budget/cooldown allow), return its name; empty string
+  /// otherwise. Does NOT count the migration — call note_migrated() once
+  /// the re-route is actually issued, so a failed attempt can retry.
+  std::string should_migrate(const std::vector<std::string>& interior_depots,
+                             std::uint64_t now_ms) const {
+    if (!cfg_.enabled || board_ == nullptr) return {};
+    if (migrations_ >= cfg_.max_migrations) return {};
+    if (last_migration_ms_ != 0 &&
+        now_ms < last_migration_ms_ + cfg_.cooldown_ms) {
+      return {};
+    }
+    for (const std::string& d : interior_depots) {
+      if (board_->state(d) >= cfg_.trigger) return d;
+    }
+    return {};
+  }
+
+  void note_migrated(std::uint64_t now_ms) {
+    ++migrations_;
+    last_migration_ms_ = now_ms;
+  }
+
+ private:
+  const HealthBoard* board_;
+  MigrationConfig cfg_;
+  std::uint32_t migrations_ = 0;
+  std::uint64_t last_migration_ms_ = 0;
+};
+
+}  // namespace lsl::health

@@ -7,6 +7,76 @@
 
 namespace lsl::core {
 
+// --- SessionLedger -----------------------------------------------------------
+
+void SessionLedger::open(const SessionId& id, std::uint64_t total,
+                         util::SimTime now) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    it = sessions_.emplace(id, State(seed_)).first;
+    it->second.s.total = total;
+    it->second.s.first_accept = now;
+  }
+  ++it->second.s.connections;
+}
+
+void SessionLedger::feed(const SessionId& id, std::uint64_t offset,
+                         std::span<const std::uint8_t> data,
+                         util::SimTime now) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;  // never opened: nothing to stitch
+  State& st = it->second;
+  if (st.s.completed || st.s.gap_refused) return;
+  if (offset > st.s.frontier) {
+    // The connection claims bytes past everything we hold: acked data was
+    // lost in a dead chain. Refuse the session rather than paper over it.
+    st.s.gap_refused = true;
+    LSL_LOG_WARN("ledger: gap at %llu (frontier %llu), session refused",
+                 static_cast<unsigned long long>(offset),
+                 static_cast<unsigned long long>(st.s.frontier));
+    return;
+  }
+  // Discard the duplicated prefix; feed only frontier-advancing bytes so
+  // the verifier's MD5 covers each stream byte exactly once.
+  const std::uint64_t skip = st.s.frontier - offset;
+  if (skip >= data.size()) return;
+  const auto fresh = data.subspan(static_cast<std::size_t>(skip));
+  st.verifier.feed(fresh);
+  st.s.frontier += fresh.size();
+  if (st.s.frontier >= st.s.total) {
+    st.s.completed = true;
+    st.s.complete_time = now;
+    if (on_session_complete) on_session_complete(id, st.s);
+  }
+}
+
+const SessionLedger::Session* SessionLedger::find(const SessionId& id) const {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second.s;
+}
+
+std::uint64_t SessionLedger::frontier(const SessionId& id) const {
+  const Session* s = find(id);
+  return s == nullptr ? 0 : s->frontier;
+}
+
+bool SessionLedger::completed(const SessionId& id) const {
+  const Session* s = find(id);
+  return s != nullptr && s->completed;
+}
+
+bool SessionLedger::content_ok(const SessionId& id) const {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  return !it->second.s.gap_refused && it->second.verifier.ok();
+}
+
+md5::Digest SessionLedger::digest(const SessionId& id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) return {};
+  return it->second.verifier.digest();
+}
+
 // --- SourceApp ---------------------------------------------------------------
 
 SourceApp::SourceApp(tcp::TcpStack& stack, sim::Endpoint first_hop,
@@ -42,13 +112,22 @@ void SourceApp::open_connection(std::uint64_t resume_offset) {
   trailer_staged_ = false;
   payload_left_ = config_.payload_bytes - resume_offset;
 
+  conn_offset_ = resume_offset;
   SessionHeader wire_header;
   if (config_.use_header) {
     // The route's first hop is the endpoint we dial; the header we transmit
     // carries the *remaining* hops (the depot we connect to must not see
     // itself in the route, or it would relay to itself).
     wire_header = config_.header.popped();
-    if (resumes_ > 0) {
+    if (migrated_) {
+      // A migrated session travels a chain that has never seen it:
+      // kFlagMigrate (not kFlagResume — fresh depots would refuse an
+      // unknown-session resume) with the remaining-bytes convention, so
+      // the sink's ledger can splice it at resume_offset.
+      wire_header.flags |= kFlagMigrate;
+      wire_header.resume_offset = resume_offset;
+      wire_header.payload_length = config_.payload_bytes - resume_offset;
+    } else if (resumes_ > 0) {
       wire_header.flags |= kFlagResume;
       wire_header.resume_offset = resume_offset;
     }
@@ -107,6 +186,11 @@ void SourceApp::handle_connection_error() {
   const std::uint64_t acked = socket_->stats().bytes_acked;
   std::uint64_t acked_payload =
       acked > header_wire_bytes_ ? acked - header_wire_bytes_ : 0;
+  // Post-migration connections start mid-stream, so the conn-relative ack
+  // count must be rebased to a global offset. (Pre-migration resumes keep
+  // the historical conservative floor: the depot rebind path discards the
+  // duplicated prefix either way.)
+  if (migrated_) acked_payload += conn_offset_;
   acked_payload = std::min(acked_payload, config_.payload_bytes);
   ++resumes_;
   // Detach from the dead socket: its on_closed (fired right after this
@@ -114,9 +198,41 @@ void SourceApp::handle_connection_error() {
   socket_->on_closed = nullptr;
   socket_->on_writable = nullptr;
   socket_ = nullptr;  // the dead socket stays owned by the stack
-  stack_.sim().events().schedule_in(delay, [this, acked_payload] {
-    if (!finished_) open_connection(acked_payload);
+  const std::uint64_t epoch = epoch_;
+  stack_.sim().events().schedule_in(delay, [this, acked_payload, epoch] {
+    if (!finished_ && epoch == epoch_) open_connection(acked_payload);
   });
+}
+
+bool SourceApp::migrate(sim::Endpoint new_first_hop,
+                        std::vector<HopAddress> hops, std::uint64_t floor) {
+  assert(config_.resumable &&
+         "migration rides the resume machinery: the source must be resumable");
+  if (gave_up_ || socket_ == nullptr) return false;
+  if (floor >= config_.payload_bytes) return false;
+  // A source that already queued everything — even one whose FIN handshake
+  // completed — can still migrate: its bytes may be stranded in a dying
+  // chain's buffers downstream. The sink's acknowledged frontier, not our
+  // send counter or FIN, is the truth about delivery.
+  finished_ = false;
+
+  ++epoch_;  // void any pending reconnect event from the old chain
+  migrated_ = true;
+  ++migrations_;
+
+  // Detach and abort the old connection; the old chain's depots will park
+  // or fail the husk on their own (their bytes-in-flight die with it —
+  // that is why the floor comes from the sink, not from our ack counter).
+  socket_->on_error = nullptr;
+  socket_->on_closed = nullptr;
+  socket_->on_writable = nullptr;
+  if (socket_->state() != tcp::TcpState::kClosed) socket_->abort();
+  socket_ = nullptr;
+
+  first_hop_ = new_first_hop;
+  config_.header.hops = std::move(hops);
+  open_connection(floor);
+  return true;
 }
 
 void SourceApp::simulate_disconnect() {
@@ -241,7 +357,10 @@ SinkApp::SinkApp(tcp::TcpSocket* socket, SinkConfig config,
   }
   if (!config_.expect_header) header_done_ = true;
 
-  if (config_.verify_payload && real) {
+  if (config_.verify_payload && real && config_.ledger == nullptr) {
+    // With a ledger, stream-level verification happens there: a migrate
+    // connection is only a fragment, so checking it against offset 0 of
+    // the generator would be meaningless.
     verifier_.emplace(config_.payload_seed);
   }
 
@@ -294,6 +413,17 @@ void SinkApp::consume_real() {
           header_ = decode_header(header_buf_);
           header_done_ = true;
           header_buf_.clear();
+          if (config_.ledger != nullptr &&
+              (header_->flags & kFlagUnboundedStream) == 0) {
+            // Register with the stream ledger: a migrate header's
+            // (resume_offset, payload_length) pair is (floor, remaining),
+            // so the logical total is their sum.
+            const std::uint64_t total =
+                header_->is_migrate()
+                    ? header_->resume_offset + header_->payload_length
+                    : header_->payload_length;
+            config_.ledger->open(header_->session, total, socket_->now());
+          }
           continue;
         }
         want = *len - header_buf_.size();
@@ -323,6 +453,13 @@ void SinkApp::consume_real() {
         if (!verifier_->feed(std::span<const std::uint8_t>(buf.data(), got))) {
           content_ok_ = false;
         }
+      }
+      if (config_.ledger != nullptr && header_) {
+        const std::uint64_t base =
+            header_->is_migrate() ? header_->resume_offset : 0;
+        config_.ledger->feed(header_->session, base + payload_received_,
+                             std::span<const std::uint8_t>(buf.data(), got),
+                             socket_->now());
       }
       payload_received_ += got;
       continue;

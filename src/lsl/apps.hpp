@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -28,6 +29,66 @@
 #include "util/units.hpp"
 
 namespace lsl::core {
+
+/// Cross-connection session reassembly (sink side).
+///
+/// Mid-transfer migration (docs/HEALTH.md) splits one logical session
+/// across connections arriving through *different* depot chains: the
+/// original carries bytes [0, k) before being abandoned, the kFlagMigrate
+/// replacement [floor, total) with floor <= k. No single connection sees
+/// the whole stream, so per-connection verification cannot vouch for it.
+/// The ledger stitches the pieces: per session id it tracks the contiguous
+/// frontier from byte 0, silently discards re-sent prefix bytes, refuses
+/// gaps (a migrate connection claiming bytes past the frontier means
+/// acked data was lost — the session is failed, never papered over), and
+/// feeds only frontier-advancing bytes to one PayloadVerifier, keeping the
+/// whole-stream MD5 checkable end to end.
+class SessionLedger {
+ public:
+  explicit SessionLedger(std::uint64_t payload_seed)
+      : seed_(payload_seed) {}
+
+  struct Session {
+    std::uint64_t total = 0;     ///< logical session bytes
+    std::uint64_t frontier = 0;  ///< contiguous bytes secured from 0
+    bool gap_refused = false;    ///< a connection claimed bytes we lack
+    bool completed = false;      ///< frontier reached total
+    std::size_t connections = 0; ///< connections that carried the session
+    util::SimTime first_accept = 0;
+    util::SimTime complete_time = 0;
+  };
+
+  /// Note a connection joining `id` (the first one creates the session).
+  /// `total` must agree across connections (resume_offset + payload_length
+  /// for migrate headers, payload_length for the original).
+  void open(const SessionId& id, std::uint64_t total, util::SimTime now);
+
+  /// Feed payload bytes at absolute stream offset `offset`. Duplicated
+  /// prefix bytes (offset + data below the frontier) are discarded; a gap
+  /// (offset above the frontier) refuses the session.
+  void feed(const SessionId& id, std::uint64_t offset,
+            std::span<const std::uint8_t> data, util::SimTime now);
+
+  /// Fires once per session, when its frontier reaches its total.
+  std::function<void(const SessionId&, const Session&)> on_session_complete;
+
+  const Session* find(const SessionId& id) const;
+  std::uint64_t frontier(const SessionId& id) const;
+  bool completed(const SessionId& id) const;
+  /// Whole-stream content verdict (seeded-generator comparison).
+  bool content_ok(const SessionId& id) const;
+  /// MD5 over the stitched stream fed so far.
+  md5::Digest digest(const SessionId& id);
+
+ private:
+  struct State {
+    Session s;
+    PayloadVerifier verifier;
+    explicit State(std::uint64_t seed) : verifier(seed) {}
+  };
+  std::uint64_t seed_;
+  std::map<SessionId, State> sessions_;
+};
 
 /// Configuration of one sending application.
 struct SourceConfig {
@@ -97,8 +158,23 @@ class SourceApp {
   /// With `resumable`, the source reconnects and resumes automatically.
   void simulate_disconnect();
 
+  /// Proactive mid-transfer re-selection (health plane, docs/HEALTH.md):
+  /// abandon the current connection and continue the session through
+  /// `new_first_hop` / `hops` (the full new route, first hop included),
+  /// retransmitting from `floor` — the sink's acknowledged frontier. The
+  /// replacement connection carries kFlagMigrate (resume_offset = floor,
+  /// payload_length = remaining), which fresh depots relay as an ordinary
+  /// session and the sink splices via its SessionLedger. Requires
+  /// `resumable`; returns false (and does nothing) when the session has
+  /// already finished or fully queued its payload.
+  bool migrate(sim::Endpoint new_first_hop, std::vector<HopAddress> hops,
+               std::uint64_t floor);
+
   /// Number of successful reconnect-and-resume cycles so far.
   std::size_t resumes() const { return resumes_; }
+
+  /// Number of proactive migrations issued so far.
+  std::size_t migrations() const { return migrations_; }
 
   /// True when a reconnect_backoff policy exhausted its attempt budget and
   /// the source abandoned the transfer (finished() is also true then).
@@ -125,6 +201,12 @@ class SourceApp {
   bool finished_ = false;
   bool gave_up_ = false;
   std::size_t resumes_ = 0;
+  std::size_t migrations_ = 0;
+  bool migrated_ = false;          ///< session left its original chain
+  std::uint64_t conn_offset_ = 0;  ///< stream offset this connection began at
+  /// Bumped on migrate so a pending reconnect event from the abandoned
+  /// chain cannot open a stale connection.
+  std::uint64_t epoch_ = 0;
   std::size_t header_wire_bytes_ = 0;
   util::SimTime start_time_ = 0;
   util::SimTime established_time_ = 0;
@@ -136,6 +218,12 @@ struct SinkConfig {
   bool verify_payload = false;  ///< real mode: check content + MD5 trailer
   std::uint64_t payload_seed = 1;
   std::size_t read_chunk = 64 * 1024;
+  /// Cross-connection reassembly for migrated sessions (health plane).
+  /// When set, headered payload additionally flows into the ledger, which
+  /// then owns stream-level verification and completion; per-connection
+  /// verification is skipped (a migrate connection is only a stream
+  /// fragment). Null — the default — changes nothing.
+  SessionLedger* ledger = nullptr;
 };
 
 /// One accepted receiving connection.

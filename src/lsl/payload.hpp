@@ -55,7 +55,7 @@ class PayloadVerifier {
   std::uint64_t verified_bytes() const { return verified_; }
 
   /// MD5 over everything fed so far (mirrors the sender's stream digest).
-  md5::Digest digest() { return hash_copy_digest(); }
+  md5::Digest digest() const { return hash_copy_digest(); }
 
  private:
   md5::Digest hash_copy_digest() const;

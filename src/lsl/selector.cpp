@@ -105,7 +105,23 @@ double RouteSelector::predict_transfer_seconds(const CandidateRoute& route,
 
   const double steady =
       static_cast<double>(bytes) * 8.0 / (bottleneck_mbps * 1e6);
-  return setup + ramp + steady;
+  double predicted = setup + ramp + steady;
+
+  // Health-plane admission: a suspect or dead interior depot makes the
+  // route ineligible; degraded depots inflate its predicted time so load
+  // spreads away from them when a healthy alternative exists.
+  if (health_ != nullptr && route.waypoints.size() > 2) {
+    for (std::size_t i = 1; i + 1 < route.waypoints.size(); ++i) {
+      const health::DepotState st = health_->state(route.waypoints[i]);
+      if (st >= health::DepotState::kSuspect) {
+        return std::numeric_limits<double>::infinity();
+      }
+      if (st == health::DepotState::kDegraded) {
+        predicted *= degraded_penalty_;
+      }
+    }
+  }
+  return predicted;
 }
 
 const CandidateRoute& RouteSelector::choose(

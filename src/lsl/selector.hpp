@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "health/board.hpp"
 #include "nws/forecaster.hpp"
 
 namespace lsl::core {
@@ -87,10 +88,26 @@ class RouteSelector {
   const CandidateRoute& choose(const std::vector<CandidateRoute>& candidates,
                                std::uint64_t bytes) const;
 
+  /// Attach a health board: route scoring then folds depot liveness into
+  /// the forecast-based prediction. Interior waypoints (everything but the
+  /// endpoints) that are suspect or dead make the route +infinity —
+  /// refused placement — and degraded ones multiply the predicted time by
+  /// `degraded_penalty`, spreading load toward healthy depots without
+  /// banning a merely slow one. nullptr detaches (the default: selection
+  /// is pure forecast arithmetic, and deterministic exports stay intact).
+  void set_health(const health::HealthBoard* board,
+                  double degraded_penalty = 2.0) {
+    health_ = board;
+    degraded_penalty_ = degraded_penalty;
+  }
+  const health::HealthBoard* health() const { return health_; }
+
  private:
   PathDatabase& db_;
   double mss_;
   double depot_setup_s_;
+  const health::HealthBoard* health_ = nullptr;
+  double degraded_penalty_ = 2.0;
 };
 
 }  // namespace lsl::core

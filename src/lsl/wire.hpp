@@ -140,6 +140,14 @@ enum SessionFlags : std::uint8_t {
   /// connections may come and go without disrupting the integrity of the
   /// session-layer handle"; the ultimate server never notices).
   kFlagResume = 1u << 2,
+  /// This connection continues a session that migrated off its old depot
+  /// chain mid-transfer (health plane, docs/HEALTH.md): resume_offset is
+  /// the sink-acknowledged floor and payload_length the *remaining* byte
+  /// count, like a striped replacement lane. Depots on the new chain relay
+  /// it as a fresh session (no prior state to re-bind, unlike
+  /// kFlagResume); the SINK recognises the session id and splices the
+  /// bytes onto what it already holds.
+  kFlagMigrate = 1u << 3,
 };
 
 /// Session completion status byte sent by the sink back to the source just
@@ -170,6 +178,7 @@ struct SessionHeader {
 
   bool has_digest() const { return (flags & kFlagDigestTrailer) != 0; }
   bool is_resume() const { return (flags & kFlagResume) != 0; }
+  bool is_migrate() const { return (flags & kFlagMigrate) != 0; }
   bool is_striped() const { return stripe.has_value(); }
 
   /// Next endpoint to dial: the first remaining hop, or the destination.

@@ -181,6 +181,22 @@ double Forecaster::predict() const {
   return battery_[best_index()].predictor->predict(last_);
 }
 
+void Forecaster::observe_at(double value, double when) {
+  observe(value);
+  last_at_ = std::max(last_at_, when);
+}
+
+double Forecaster::predict_at(double now) const {
+  const double fresh = predict();
+  if (count_ == 0 || horizon_ <= 0.0) return fresh;
+  const double age = now - last_at_;
+  if (age <= horizon_) return fresh;
+  // Past the horizon the forecast decays toward ignorance: scale by
+  // horizon/age, so a forecast twice its horizon old is worth half its
+  // face value and the limit at infinite age is the empty-forecaster 0.
+  return fresh * (horizon_ / age);
+}
+
 const std::string& Forecaster::best_predictor() const {
   return battery_[best_index()].predictor->name();
 }

@@ -67,6 +67,29 @@ class Forecaster {
   /// Forecast of the next measurement. Before any observation, returns 0.
   double predict() const;
 
+  /// Staleness horizon in caller time units (simulated or wall seconds —
+  /// the forecaster never reads a clock). 0, the default, disables
+  /// staleness entirely: timeless observe()/predict() behave as before.
+  void set_horizon(double horizon) { horizon_ = horizon; }
+  double horizon() const { return horizon_; }
+
+  /// Timestamped observe: like observe(), and also remembers when the
+  /// measurement was taken for staleness accounting.
+  void observe_at(double value, double when);
+
+  /// Staleness-aware forecast: a forecast younger than the horizon is
+  /// returned as-is; past the horizon it decays toward ignorance (0 — the
+  /// same answer an empty forecaster gives) in proportion to its age:
+  ///
+  ///   predict_at(now) = predict() * horizon / age      (age > horizon)
+  ///
+  /// A 5-minute-horizon bandwidth forecast an hour old is worth a twelfth
+  /// of its face value, not full trust forever.
+  double predict_at(double now) const;
+
+  /// Time of the most recent observe_at(); 0 before any.
+  double last_observed_at() const { return last_at_; }
+
   /// Name of the predictor currently winning the error tournament.
   const std::string& best_predictor() const;
 
@@ -86,6 +109,8 @@ class Forecaster {
   std::vector<Entry> battery_;
   std::size_t count_ = 0;
   double last_ = 0.0;
+  double horizon_ = 0.0;
+  double last_at_ = 0.0;
 };
 
 }  // namespace lsl::nws

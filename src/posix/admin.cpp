@@ -11,6 +11,7 @@
 #include <sstream>
 #include <system_error>
 
+#include "health/gossip.hpp"
 #include "metrics/export.hpp"
 #include "metrics/metrics.hpp"
 #include "posix/lsd.hpp"
@@ -121,8 +122,11 @@ void AdminServer::handle_command(Conn* c, const std::string& line) {
     c->out += cmd_spans();
   } else if (line == "health") {
     c->out += cmd_health();
+  } else if (line == "gossip") {
+    c->out += cmd_gossip();
   } else {
-    c->out += "{\"error\":\"unknown command (try stats|spans|health)\"}\n";
+    c->out +=
+        "{\"error\":\"unknown command (try stats|spans|health|gossip)\"}\n";
   }
   c->out += "\n";  // blank line = end of response
 }
@@ -175,8 +179,39 @@ std::string AdminServer::cmd_health() const {
       << ",\"sessions_parked\":" << s.sessions_parked
       << ",\"sessions_resumed\":" << s.sessions_resumed
       << ",\"bytes_relayed\":" << s.bytes_relayed
-      << ",\"bytes_spliced\":" << s.bytes_spliced << "}\n";
+      << ",\"bytes_spliced\":" << s.bytes_spliced;
+  // Depot scorecard rows appear only when a HealthBoard is attached and
+  // has observed something — a board-less daemon's output stays
+  // byte-identical (same bargain as "shards"/"stripes" above).
+  if (!h.depots.empty()) {
+    out << ",\"depots\":[";
+    bool first = true;
+    for (const auto& d : h.depots) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"name\":\"" << d.name << "\",\"state\":\""
+          << health::to_string(d.state) << "\",\"score\":" << d.score
+          << ",\"ewma_bps\":" << d.ewma_bps
+          << ",\"successes\":" << d.successes
+          << ",\"failures\":" << d.failures << ",\"timeouts\":" << d.timeouts
+          << ",\"parks\":" << d.parks << ",\"salvages\":" << d.salvages
+          << ",\"transitions\":" << d.transitions << "}";
+    }
+    out << "]";
+  }
+  out << "}\n";
   return out.str();
+}
+
+std::string AdminServer::cmd_gossip() const {
+  const AdminHealth h = source_.admin_health();
+  if (h.depots.empty()) {
+    // An empty scorecard must still yield a response line (same framing
+    // argument as `spans`); decode_gossip skips `#` comments, so a poller
+    // can feed the whole body straight through.
+    return "# none\n";
+  }
+  return health::encode_gossip(h.depots);
 }
 
 bool AdminServer::flush(Conn* c) {

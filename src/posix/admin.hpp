@@ -77,6 +77,9 @@ class AdminServer {
   std::string cmd_stats() const;
   std::string cmd_spans() const;
   std::string cmd_health() const;
+  /// Depot scorecard rows in gossip wire format ("h1 ..." lines, or a
+  /// lone "# none" comment when the board is empty or absent).
+  std::string cmd_gossip() const;
   /// Write staged bytes; adjusts EPOLLOUT interest. False = peer gone
   /// (the connection was closed and `c` freed).
   bool flush(Conn* c);

@@ -64,11 +64,21 @@ void PosixSource::open_connection(std::uint64_t offset) {
     h.trace_id = config_.trace_id;
     h.stripe = config_.stripe;
     if (config_.send_digest) h.flags |= core::kFlagDigestTrailer;
-    if (offset > 0) {
-      h.flags |= core::kFlagResume;
+    if (migrated_) {
+      // A migrate connection is an ordinary session to every depot on the
+      // fresh chain — only the sink (in adopt mode) splices it onto the
+      // original stream at `offset`. payload_length is the REMAINDER, so
+      // total = resume_offset + payload_length (docs/PROTOCOL.md, bit 3).
+      h.flags |= core::kFlagMigrate;
       h.resume_offset = offset;
+      h.payload_length = config_.payload_bytes - offset;
+    } else {
+      if (offset > 0) {
+        h.flags |= core::kFlagResume;
+        h.resume_offset = offset;
+      }
+      h.payload_length = config_.payload_bytes;
     }
-    h.payload_length = config_.payload_bytes;
     for (std::size_t i = 1; i < config_.route.size(); ++i) {
       h.hops.push_back({config_.route[i].addr, config_.route[i].port});
     }
@@ -176,13 +186,18 @@ void PosixSource::note_acked() {
 
 void PosixSource::handle_connection_error() {
   if (finished_) return;
-  if (!config_.resumable || !config_.reconnect_backoff || write_done_) {
+  // write_done_ does not make a death terminal: the chain may have died
+  // holding acked-but-undelivered bytes, and a resume (or a driver-side
+  // migrate) refills everything past the floor — open_connection resets
+  // the write state for the new connection.
+  if (!config_.resumable || !config_.reconnect_backoff) {
     finish(false);
     return;
   }
   const auto delay = config_.reconnect_backoff();
   if (!delay) {
     LSL_LOG_WARN("source: reconnect budget exhausted; giving up");
+    gave_up_ = true;
     finish(false);
     return;
   }
@@ -199,6 +214,39 @@ void PosixSource::handle_connection_error() {
   // this source backs off.
   timer_purpose_ = TimerPurpose::kBackoff;
   arm_timer_in(*delay);
+}
+
+bool PosixSource::migrate(std::vector<InetAddress> new_route,
+                          std::uint64_t floor) {
+  // Migration rides the resume machinery (a digest trailer cannot rewind)
+  // and striped lanes re-stripe above this layer instead.
+  if (!config_.resumable || config_.stripe) return false;
+  if (finished_ || gave_up_) return false;
+  if (floor >= config_.payload_bytes) return false;
+
+  // Abandon the current chain: the dying depots park or fail the husk on
+  // their own. Any pending dial/backoff timer belongs to the old chain too.
+  if (timer_) timer_->disarm();
+  timer_purpose_ = TimerPurpose::kNone;
+  if (sock_.valid()) {
+    loop_.remove(sock_.get());
+    sock_.reset();
+  }
+  connecting_ = false;
+  write_done_ = false;  // bytes past `floor` go out again, via the new chain
+  status_ = 0;
+  migrated_ = true;
+  ++migrations_;
+  config_.route = std::move(new_route);
+  // The sink's frontier replaces — never maxes with — our first-hop ack
+  // floor: SIOCOUTQ counts bytes the dying chain acknowledged but may
+  // never deliver, and a reconnect floor above the sink's frontier would
+  // open a gap the adoption ledger must refuse.
+  acked_floor_ = floor;
+  LSL_LOG_INFO("source: migrating at floor %llu",
+               static_cast<unsigned long long>(floor));
+  open_connection(floor);
+  return true;
 }
 
 void PosixSource::pump() {
@@ -289,8 +337,32 @@ struct PosixSinkServer::Conn {
   /// Lane finished cleanly but the merge hasn't: held open, off the loop,
   /// until the group resolves and sends every lane its status byte.
   bool parked = false;
+  /// Adoption mode: the session ledger this connection feeds, and the
+  /// absolute stream offset its first payload byte lands at (a migrate
+  /// connection's resume_offset; 0 for the original). Unset when the
+  /// connection verifies per-conn as before.
+  SessionState* session = nullptr;
+  std::uint64_t session_base = 0;
 
   Conn(std::uint64_t seed, bool check_content)
+      : verifier(seed, check_content) {}
+};
+
+struct PosixSinkServer::SessionState {
+  core::SessionId id;
+  std::uint64_t total = 0;     ///< logical session bytes
+  std::uint64_t frontier = 0;  ///< contiguous bytes secured from 0
+  bool completed = false;
+  bool ok = false;
+  bool gap_refused = false;  ///< a connection claimed bytes we lack
+  std::size_t connections = 0;
+  core::PayloadVerifier verifier;
+  std::optional<core::SessionHeader> first_header;
+  std::chrono::steady_clock::time_point first_accept;
+  /// Connections currently attached (live fds feeding this session).
+  std::vector<Conn*> attached;
+
+  SessionState(std::uint64_t seed, bool check_content)
       : verifier(seed, check_content) {}
 };
 
@@ -404,6 +476,12 @@ void PosixSinkServer::on_readable(Conn* c) {
                               c->header->resume_offset +
                                   c->header->payload_length);
             c->cursor->skip(c->header->resume_offset);
+          } else if (adopt_migrations_ && c->header &&
+                     (c->header->flags & core::kFlagUnboundedStream) == 0 &&
+                     !c->header->has_digest()) {
+            // Adoption mode: bounded, digest-free sessions (the resumable
+            // kind migration rides) are tracked by id across connections.
+            adopt_session(c);
           }
           continue;
         }
@@ -448,6 +526,12 @@ void PosixSinkServer::on_readable(Conn* c) {
     if (n == 0) {
       if (c->group) {
         finish_striped_lane(c);
+      } else if (c->session) {
+        // An adopted connection ending before its session completes is a
+        // husk (the abandoned chain's leftover) or a mid-stream death the
+        // source's resume/migration machinery recovers from: close
+        // silently — the session verdict comes from complete_session.
+        close_conn(c, std::nullopt);
       } else {
         finish(c);
       }
@@ -458,6 +542,8 @@ void PosixSinkServer::on_readable(Conn* c) {
         c->failed = true;
         if (c->group) {
           finish_striped_lane(c);
+        } else if (c->session) {
+          close_conn(c, std::nullopt);
         } else {
           finish(c);
         }
@@ -467,13 +553,24 @@ void PosixSinkServer::on_readable(Conn* c) {
     if (c->payload_received < payload_total) {
       const std::span<const std::uint8_t> data(buf,
                                                static_cast<std::size_t>(n));
+      bytes_received_ += static_cast<std::uint64_t>(n);
       if (c->group) {
         feed_stripe(c, data);
+        c->payload_received += static_cast<std::uint64_t>(n);
+      } else if (c->session) {
+        SessionState* s = c->session;
+        if (!feed_session(c, data)) {
+          // The connection opened a gap past the stitched frontier: acked
+          // bytes died with the old chain. Refuse it outright.
+          c->failed = true;
+          close_conn(c, core::kStatusFail);
+          return;
+        }
+        if (s->completed) return;  // complete_session closed this conn
       } else {
         c->verifier.feed(data);
+        c->payload_received += static_cast<std::uint64_t>(n);
       }
-      c->payload_received += static_cast<std::uint64_t>(n);
-      bytes_received_ += static_cast<std::uint64_t>(n);
     } else if (digest && c->trailer.size() < core::kDigestTrailerBytes) {
       c->trailer.insert(c->trailer.end(), buf, buf + n);
       if (c->group && !c->group->trailer &&
@@ -496,6 +593,94 @@ void PosixSinkServer::feed_stripe(Conn* c, std::span<const std::uint8_t> data) {
     data = data.subspan(static_cast<std::size_t>(r.length));
   }
   maybe_complete_group(c->group);
+}
+
+PosixSinkServer::SessionState* PosixSinkServer::adopt_session(Conn* c) {
+  const core::SessionHeader& h = *c->header;
+  // A migrate header carries (floor, remaining); the logical total is their
+  // sum. Resume and original headers carry the full payload length.
+  const std::uint64_t base =
+      (h.is_migrate() || h.is_resume()) ? h.resume_offset : 0;
+  const std::uint64_t total = h.is_migrate()
+                                  ? h.resume_offset + h.payload_length
+                                  : h.payload_length;
+  auto [it, fresh] = sessions_.try_emplace(h.session);
+  if (fresh) {
+    it->second =
+        std::make_unique<SessionState>(payload_seed_, verify_content_);
+    SessionState* s = it->second.get();
+    s->id = h.session;
+    s->total = total;
+    s->first_header = c->header;
+    s->first_accept = c->accepted_at;
+  }
+  SessionState* s = it->second.get();
+  ++s->connections;
+  s->attached.push_back(c);
+  c->session = s;
+  c->session_base = base;
+  return s;
+}
+
+bool PosixSinkServer::feed_session(Conn* c, std::span<const std::uint8_t> data) {
+  SessionState* s = c->session;
+  const std::uint64_t off = c->session_base + c->payload_received;
+  c->payload_received += data.size();
+  if (s->completed) return true;  // late husk bytes after the verdict
+  if (off > s->frontier) {
+    s->gap_refused = true;
+    LSL_LOG_WARN("sink: session gap at %llu (frontier %llu); refused",
+                 static_cast<unsigned long long>(off),
+                 static_cast<unsigned long long>(s->frontier));
+    return false;
+  }
+  // Discard the duplicated prefix; feed only frontier-advancing bytes so
+  // the stitched MD5 covers each stream byte exactly once.
+  const std::uint64_t skip = s->frontier - off;
+  if (skip >= data.size()) return true;
+  const auto fresh = data.subspan(static_cast<std::size_t>(skip));
+  s->verifier.feed(fresh);
+  s->frontier += fresh.size();
+  if (s->frontier >= s->total) complete_session(s);
+  return true;
+}
+
+void PosixSinkServer::complete_session(SessionState* s) {
+  s->completed = true;
+  s->ok = !s->gap_refused && s->verifier.ok();
+
+  SinkResult res;
+  res.verified = s->ok;
+  res.payload_bytes = s->frontier;
+  res.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - s->first_accept)
+                    .count();
+  res.header = s->first_header;
+
+  // One status byte per attached connection, then close them all — the
+  // verdict is a stream property, delivered to whichever connection is
+  // still carrying the session (husks included).
+  const std::uint8_t status = s->ok ? core::kStatusOk : core::kStatusFail;
+  const std::vector<Conn*> attached = s->attached;  // close_conn edits it
+  for (Conn* conn : attached) close_conn(conn, status);
+
+  if (on_complete) on_complete(res);
+}
+
+std::uint64_t PosixSinkServer::session_frontier(
+    const core::SessionId& id) const {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? 0 : it->second->frontier;
+}
+
+bool PosixSinkServer::session_completed(const core::SessionId& id) const {
+  const auto it = sessions_.find(id);
+  return it != sessions_.end() && it->second->completed;
+}
+
+md5::Digest PosixSinkServer::session_digest(const core::SessionId& id) const {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? md5::Digest{} : it->second->verifier.digest();
 }
 
 void PosixSinkServer::maybe_complete_group(StripeGroup* g) {
@@ -548,6 +733,10 @@ void PosixSinkServer::close_conn(Conn* c, std::optional<std::uint8_t> status) {
   if (c->group) {
     auto& parked = c->group->parked;
     parked.erase(std::remove(parked.begin(), parked.end(), c), parked.end());
+  }
+  if (c->session) {
+    auto& at = c->session->attached;
+    at.erase(std::remove(at.begin(), at.end(), c), at.end());
   }
   if (c->sock.valid()) {
     if (status) write_some(c->sock.get(), &*status, 1);

@@ -89,6 +89,17 @@ class PosixSource {
   /// completion by closing the connection after our FIN.
   void start();
 
+  /// Proactive mid-transfer re-selection: abandon the current chain and
+  /// re-send everything past `floor` through `new_route` with kFlagMigrate.
+  /// `floor` must be the sink's acknowledged stream frontier (the driver
+  /// reads it from PosixSinkServer::session_frontier) — never this source's
+  /// own ack counter, which counts bytes that may still be stranded in the
+  /// dying chain's buffers. Fresh depots relay the migrate connection as an
+  /// ordinary session; only a sink in adopt mode splices it (requires
+  /// `resumable`, like the kFlagResume machinery it rides). Returns false
+  /// when the source already gave up or `floor` covers the payload.
+  bool migrate(std::vector<InetAddress> new_route, std::uint64_t floor);
+
   /// Completion callback: `ok` is false on any socket/protocol error.
   std::function<void(bool ok)> on_done;
 
@@ -96,6 +107,11 @@ class PosixSource {
 
   /// Resume cycles performed (reconnects after mid-stream loss).
   std::size_t resumes() const { return resumes_; }
+
+  /// Proactive migrations performed (mid-transfer route re-selections).
+  std::size_t migrations() const { return migrations_; }
+
+  core::SessionId session() const { return session_; }
 
  private:
   void on_io(std::uint32_t events);
@@ -141,6 +157,9 @@ class PosixSource {
   std::uint64_t wire_written_ = 0;   ///< bytes handed to this connection
   std::uint64_t acked_floor_ = 0;    ///< payload offset known delivered
   std::size_t resumes_ = 0;
+  std::size_t migrations_ = 0;
+  bool migrated_ = false;  ///< headers carry kFlagMigrate from now on
+  bool gave_up_ = false;   ///< terminal: budget exhausted or hard failure
 };
 
 /// Result of one received session.
@@ -175,8 +194,31 @@ class PosixSinkServer {
   /// Fires once per completed session.
   std::function<void(const SinkResult&)> on_complete;
 
+  // --- Migration adoption ----------------------------------------------------
+  // With adoption on, every headered (non-striped, bounded) session is
+  // tracked by id across connections: a kFlagMigrate connection splices
+  // onto the original stream at its resume_offset, duplicate prefixes are
+  // discarded, gaps are refused, and completion becomes a *stream*
+  // property — on_complete fires exactly once, when the stitched frontier
+  // reaches the session total, and husk connections (the dying chain's
+  // leftovers) close silently. Off (the default), the sink behaves exactly
+  // as before — one verdict per connection.
+
+  void set_adopt_migrations(bool on) { adopt_migrations_ = on; }
+
+  /// The session's acknowledged stream frontier — the exact floor a
+  /// migrating source must resume from. 0 for unknown sessions.
+  std::uint64_t session_frontier(const core::SessionId& id) const;
+  bool session_completed(const core::SessionId& id) const;
+  /// MD5 of the stitched stream so far (frontier-advancing bytes only, in
+  /// order) — equals the whole-payload digest once the session completes.
+  md5::Digest session_digest(const core::SessionId& id) const;
+
  private:
   struct Conn;
+  /// One adopted session's ledger: the stitched frontier, the in-order
+  /// verifier, and the single-shot completion latch.
+  struct SessionState;
   /// One striped session's merge point: lanes sharing a session id feed a
   /// stripe::Reassembler; completed lanes park until the merge finishes,
   /// then every lane gets the end-to-end status byte at once.
@@ -188,6 +230,15 @@ class PosixSinkServer {
   void finish_striped_lane(Conn* c);
   void maybe_complete_group(StripeGroup* g);
   void close_conn(Conn* c, std::optional<std::uint8_t> status);
+  /// Adoption-mode plumbing: attach the connection to its session ledger
+  /// (creating it on first sight) and feed payload at the stream offset the
+  /// connection is positioned at. feed_session returns false when the
+  /// connection opened a gap and must be refused.
+  SessionState* adopt_session(Conn* c);
+  bool feed_session(Conn* c, std::span<const std::uint8_t> data);
+  /// Stream complete: stamp the verdict, fan the status byte out to every
+  /// connection still attached to this session, and fire on_complete once.
+  void complete_session(SessionState* s);
 
   EpollLoop& loop_;
   bool expect_header_;
@@ -196,10 +247,14 @@ class PosixSinkServer {
   Fd listener_;
   std::uint16_t port_ = 0;
   std::uint64_t bytes_received_ = 0;
+  bool adopt_migrations_ = false;
   std::vector<std::unique_ptr<Conn>> conns_;
   /// Reassembly state per striped session; kept for the server's lifetime
   /// so a late replacement lane can still join its session.
   std::map<core::SessionId, std::unique_ptr<StripeGroup>> groups_;
+  /// Adopted-session ledgers (adopt mode only); kept for the server's
+  /// lifetime so frontier/digest stay queryable after completion.
+  std::map<core::SessionId, std::unique_ptr<SessionState>> sessions_;
 };
 
 }  // namespace lsl::posix

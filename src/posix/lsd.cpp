@@ -112,6 +112,13 @@ struct Lsd::Relay {
   /// census the admin `health` endpoint reports as "stripes".
   int stripe_lane = -1;
 
+  // Health-plane attribution (populated only while a HealthBoard is
+  // attached). next_hop_name scores the depot this relay dialed;
+  // peer_name (the upstream's IP, ephemeral port dropped) takes the
+  // park/salvage blame when the *source* side of the relay dies.
+  std::string next_hop_name;
+  std::string peer_name;
+
   // Resume machinery. payload_pulled counts unique payload bytes taken
   // from the upstream (the high-water mark a resume offset is checked
   // against); spill holds bytes salvaged from a dying upstream's kernel
@@ -139,6 +146,21 @@ struct Lsd::Relay {
 };
 
 namespace {
+
+/// Dotted-quad IP of the connected peer, without the (ephemeral) port —
+/// the stable identity health observations are keyed by.
+std::string peer_ip_of(int fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (getpeername(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    return {};
+  }
+  const std::uint32_t a = ntohl(sa.sin_addr.s_addr);
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (a >> 24) & 255,
+                (a >> 16) & 255, (a >> 8) & 255, a & 255);
+  return buf;
+}
 
 double ms_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(
@@ -259,6 +281,7 @@ void Lsd::on_accept() {
     r->up = std::move(conn);
     r->accepted_at = std::chrono::steady_clock::now();
     r->accept_ns = now_ns();
+    if (health_ != nullptr) r->peer_name = peer_ip_of(r->up.get());
     relays_.emplace(r, std::move(owned));
     r->up_events = EPOLLIN;
     // Each top-level event turn ends by re-pumping relays that stopped
@@ -415,6 +438,9 @@ bool Lsd::pump_upstream(Relay* r) {
 
         // Dial onward and stage the popped header.
         const core::HopAddress next = r->header.next_hop();
+        if (health_ != nullptr) {
+          r->next_hop_name = InetAddress{next.addr, next.port}.to_string();
+        }
         core::encode_header(r->header.popped(), r->fwd);
         r->down = connect_tcp(InetAddress{next.addr, next.port});
         if (!r->down.valid()) {
@@ -797,6 +823,28 @@ void Lsd::finish(Relay* r, bool ok, LsdFailReason reason) {
       case LsdFailReason::kOther: ++stats_.fail_other; break;
     }
   }
+  // Score the depot this relay dialed: a clean completion promotes it
+  // (and feeds the delivered rate into its EWMA); a dial failure or a
+  // liveness timeout demotes it. Header/reset failures stay neutral —
+  // they indict the upstream, not the next hop.
+  if (health_ != nullptr && !r->next_hop_name.empty()) {
+    const std::uint64_t now_ms =
+        static_cast<std::uint64_t>(now_ns() / 1'000'000);
+    if (ok) {
+      health_->observe_success(r->next_hop_name, now_ms);
+      const double secs =
+          static_cast<double>(now_ns() - r->dial_start_ns) / 1e9;
+      if (r->dial_start_ns > 0 && secs > 0.0 && r->payload_pulled > 0) {
+        health_->observe_bps(
+            r->next_hop_name,
+            static_cast<double>(r->payload_pulled) * 8.0 / secs, now_ms);
+      }
+    } else if (reason == LsdFailReason::kDial) {
+      health_->observe_failure(r->next_hop_name, now_ms);
+    } else if (reason == LsdFailReason::kTimeout) {
+      health_->observe_timeout(r->next_hop_name, now_ms);
+    }
+  }
   r->live.cancel_all();
   wheel_.cancel(r->park_token);
   r->park_token = live::DeadlineWheel::kInvalidToken;
@@ -936,6 +984,14 @@ void Lsd::park_relay(Relay* r) {
   // Last writer wins: a re-parked session replaces its stale index entry.
   parked_[r->header.session] = r;
   ++stats_.sessions_parked;
+  // The park indicts the peer whose connection died under the session,
+  // not the depot we dialed onward.
+  if (health_ != nullptr && !r->peer_name.empty()) {
+    const std::uint64_t now_ms =
+        static_cast<std::uint64_t>(now_ns() / 1'000'000);
+    health_->observe_park(r->peer_name, now_ms);
+    if (!r->spill.empty()) health_->observe_salvage(r->peer_name, now_ms);
+  }
   LSL_LOG_INFO("lsd: parked session %s at offset %llu (salvaged %zu bytes)",
                r->header.session.hex().c_str(),
                static_cast<unsigned long long>(r->payload_pulled),

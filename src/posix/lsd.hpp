@@ -26,6 +26,7 @@
 
 #include "buf/chunk_ring.hpp"
 #include "buf/pool.hpp"
+#include "health/board.hpp"
 #include "live/deadline_wheel.hpp"
 #include "live/live_metrics.hpp"
 #include "live/liveness.hpp"
@@ -163,6 +164,12 @@ struct AdminHealth {
   /// omits the field from the health JSON, same bargain as `shards`.
   std::size_t stripes = 0;
   LsdStats stats;
+  /// Per-depot scorecard rows (next hops this daemon has dialed, scored by
+  /// its HealthBoard). Empty — and omitted from the health JSON, keeping
+  /// the historical output byte-identical — when no board is attached.
+  /// The sharded daemon merges its shards' rows pessimistically
+  /// (health::merge_rows). Also what the admin `gossip` command serves.
+  std::vector<health::DepotHealth> depots;
 };
 
 /// What an admin endpoint needs from the daemon behind it — implemented by
@@ -205,6 +212,7 @@ class Lsd : public AdminSource {
     h.drain_done = drain_done_;
     h.stripes = striped_relays();
     h.stats = stats_;
+    if (health_ != nullptr) h.depots = health_->rows();
     return h;
   }
 
@@ -217,6 +225,17 @@ class Lsd : public AdminSource {
 
   /// Attach the liveness instruments (`live.*`); null detaches.
   void set_live_metrics(live::LiveMetrics* m) { live_metrics_ = m; }
+
+  /// Attach a depot health board (must outlive the daemon); null detaches.
+  /// With a board attached the daemon scores the next hops it dials —
+  /// dial failures and liveness timeouts demote, completed relays promote
+  /// and feed the observed-bps EWMA, parks/salvages mark the upstream
+  /// peer — and the admin `health` response gains per-depot rows (the
+  /// `gossip` command serves the same rows to polling peers). Off by
+  /// default: an unattached daemon behaves — and reports — exactly as
+  /// before.
+  void set_health_board(health::HealthBoard* b) { health_ = b; }
+  health::HealthBoard* health_board() const { return health_; }
 
   /// Attach a span tracer (must outlive the daemon); null detaches. Off by
   /// default; even when attached, spans are only emitted for sessions whose
@@ -401,6 +420,7 @@ class Lsd : public AdminSource {
   live::DeadlineWheel wheel_;
   std::unique_ptr<TimerFd> timer_;  ///< lazily created on first deadline
   live::LiveMetrics* live_metrics_ = nullptr;
+  health::HealthBoard* health_ = nullptr;
   span::Tracer* tracer_ = nullptr;
   std::int64_t drain_start_ns_ = 0;  ///< span.drain opens at begin_drain
   bool dial_blackhole_ = false;

@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "health/gossip.hpp"
 #include "util/contract.hpp"
 #include "util/log.hpp"
 
@@ -47,6 +48,10 @@ ShardedLsd::ShardedLsd(const ShardedLsdConfig& config)
       s->engine->set_metrics(s->loop_metrics.get());
     }
     if (config_.tracer != nullptr) s->lsd->set_tracer(config_.tracer);
+    if (config_.health_plane) {
+      s->health_board = std::make_unique<health::HealthBoard>(config_.health);
+      s->lsd->set_health_board(s->health_board.get());
+    }
 
     // The drain rendezvous: the report is written on the shard thread
     // before the gate arrival's RMW publishes it.
@@ -175,6 +180,14 @@ live::DrainReport ShardedLsd::drain_report() const {
   return merged;
 }
 
+std::vector<health::HealthBoard*> ShardedLsd::health_boards() const {
+  std::vector<health::HealthBoard*> boards;
+  if (!config_.health_plane) return boards;
+  boards.reserve(shards_.size());
+  for (const auto& s : shards_) boards.push_back(s->health_board.get());
+  return boards;
+}
+
 AdminHealth ShardedLsd::admin_health() const {
   AdminHealth h;
   h.port = port_;
@@ -188,6 +201,12 @@ AdminHealth ShardedLsd::admin_health() const {
     h.stripes += w.striped_relays;
   }
   h.stats = stats();
+  if (config_.health_plane) {
+    std::vector<std::vector<health::DepotHealth>> rows;
+    rows.reserve(shards_.size());
+    for (const auto& s : shards_) rows.push_back(s->health_board->rows());
+    h.depots = health::merge_rows(rows);
+  }
   return h;
 }
 

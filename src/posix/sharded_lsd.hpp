@@ -42,6 +42,7 @@
 #include "engine/shard_thread.hpp"
 #include "engine/stats_board.hpp"
 #include "fault/spec.hpp"
+#include "health/board.hpp"
 #include "live/liveness.hpp"
 #include "metrics/instruments.hpp"
 #include "posix/fault_driver.hpp"
@@ -68,6 +69,14 @@ struct ShardedLsdConfig {
   /// Optional fault plan, applied to every shard (each shard runs its own
   /// LsdFaultDriver over a copy, mirroring one-driver-per-daemon).
   std::optional<fault::FaultPlan> fault_plan;
+  /// Build a per-shard HealthBoard and attach it to each shard daemon.
+  /// The admin `health`/`gossip` responses then carry one fleet row set —
+  /// the pessimistic cross-shard merge (health::merge_rows: worst state,
+  /// minimum score, summed counters). Off by default: an unattached fleet
+  /// reports byte-identical output to the pre-health daemon.
+  bool health_plane = false;
+  /// Knobs for the per-shard boards when `health_plane` is set.
+  health::HealthConfig health;
 };
 
 /// N SO_REUSEPORT shard daemons behind one port. Threads start in the
@@ -117,6 +126,11 @@ class ShardedLsd : public AdminSource {
   LsdStats admin_stats() const override { return stats(); }
   AdminHealth admin_health() const override;
 
+  /// The per-shard health boards (empty unless config.health_plane). Each
+  /// board is mutex-guarded, so a gossip poller on the control thread may
+  /// merge remote rows into them while the shards observe.
+  std::vector<health::HealthBoard*> health_boards() const;
+
  private:
   /// Cross-thread health words published alongside the stats board.
   struct HealthWords {
@@ -135,6 +149,10 @@ class ShardedLsd : public AdminSource {
     std::unique_ptr<metrics::LoopMetrics> loop_metrics;
     std::unique_ptr<Lsd> lsd;
     std::unique_ptr<LsdFaultDriver> fault;
+    /// Per-shard scorecard (mutex-guarded, so the admin thread may read
+    /// rows() while the shard thread observes); null unless
+    /// config.health_plane.
+    std::unique_ptr<health::HealthBoard> health_board;
     engine::PostQueue posts;
     engine::StatsBoard<LsdStats> board;
     engine::StatsBoard<HealthWords> health;

@@ -1,6 +1,7 @@
 #include "stripe/plan.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -113,6 +114,14 @@ std::vector<core::CandidateRoute> disjoint_routes(
       bool clash = false;
       for (std::size_t i = 1; i + 1 < r.waypoints.size(); ++i) {
         if (used.count(r.waypoints[i]) != 0) clash = true;
+      }
+      // With a health board attached, a route the selector refuses
+      // (suspect/dead interior depot scores +infinity) never becomes a
+      // lane — better to stripe narrower than to place a lane on a depot
+      // the plane has condemned.
+      if (!clash && selector.health() != nullptr &&
+          std::isinf(selector.predict_transfer_seconds(r, bytes))) {
+        clash = true;
       }
       if (!clash) eligible.push_back(r);
     }

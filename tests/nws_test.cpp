@@ -107,5 +107,57 @@ TEST(Forecaster, EmptyBatteryRejected) {
                std::invalid_argument);
 }
 
+TEST(Staleness, FreshForecastReturnedAtFaceValue) {
+  Forecaster f;
+  f.set_horizon(10.0);
+  f.observe_at(80.0, 100.0);
+  // Anywhere inside the horizon the staleness-aware answer is the plain
+  // forecast, boundary included.
+  EXPECT_DOUBLE_EQ(f.predict_at(100.0), f.predict());
+  EXPECT_DOUBLE_EQ(f.predict_at(105.0), f.predict());
+  EXPECT_DOUBLE_EQ(f.predict_at(110.0), f.predict());
+}
+
+TEST(Staleness, ForecastOlderThanHorizonDecaysTowardIgnorance) {
+  Forecaster f;
+  f.set_horizon(5.0);
+  f.observe_at(80.0, 100.0);
+  const double fresh = f.predict();
+  ASSERT_GT(fresh, 0.0);
+  // Twice the horizon old: half the face value; 20x old: a twentieth.
+  EXPECT_DOUBLE_EQ(f.predict_at(110.0), fresh * 0.5);
+  EXPECT_DOUBLE_EQ(f.predict_at(200.0), fresh * 0.05);
+  // Decay is monotone in age and limits to the empty-forecaster answer, 0.
+  double prev = f.predict_at(106.0);
+  for (double now : {120.0, 400.0, 1e4, 1e8}) {
+    const double cur = f.predict_at(now);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+  EXPECT_NEAR(f.predict_at(1e12), 0.0, 1e-9);
+}
+
+TEST(Staleness, ZeroHorizonDisablesDecay) {
+  Forecaster f;  // horizon defaults to 0: timeless behaviour
+  f.observe_at(42.0, 1.0);
+  EXPECT_DOUBLE_EQ(f.predict_at(1e9), f.predict());
+}
+
+TEST(Staleness, NewObservationRestoresFreshness) {
+  Forecaster f;
+  f.set_horizon(5.0);
+  f.observe_at(80.0, 100.0);
+  ASSERT_LT(f.predict_at(150.0), f.predict());  // stale by then
+  f.observe_at(80.0, 150.0);
+  EXPECT_DOUBLE_EQ(f.last_observed_at(), 150.0);
+  EXPECT_DOUBLE_EQ(f.predict_at(150.0), f.predict());  // fresh again
+}
+
+TEST(Staleness, EmptyForecasterStaysIgnorant) {
+  Forecaster f;
+  f.set_horizon(5.0);
+  EXPECT_DOUBLE_EQ(f.predict_at(1e6), 0.0);
+}
+
 }  // namespace
 }  // namespace lsl::nws

@@ -30,6 +30,10 @@
 //                           appears in the docs/OBSERVABILITY.md catalogue
 //   live-metrics-docs       every `live.*` instrument name in src/live
 //                           appears in the docs/OBSERVABILITY.md catalogue
+//   stripe-metrics-docs     every `stripe.*` instrument name in src/stripe
+//                           appears in the docs/OBSERVABILITY.md catalogue
+//   health-metrics-docs     every `health.*` instrument name in src/health
+//                           appears in the docs/OBSERVABILITY.md catalogue
 //   span-names-docs         every `span.*` span name anywhere under src/
 //                           appears in the docs/OBSERVABILITY.md span
 //                           catalogue
@@ -739,6 +743,37 @@ void rule_stripe_metrics_docs(const std::vector<SourceFile>& files,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: health-metrics-docs
+// ---------------------------------------------------------------------------
+
+// Same contract for the depot health plane: src/health registers its
+// transition/admission/gossip instruments with un-instanced `health.*`
+// literals at the HealthMetrics attach site, and the admin socket's
+// per-depot rows are keyed on the same vocabulary — so every such literal
+// anywhere under src/health must be catalogued in docs/OBSERVABILITY.md.
+void rule_health_metrics_docs(const std::vector<SourceFile>& files,
+                              const std::string& observability_md,
+                              std::vector<Violation>* out) {
+  for (const SourceFile& f : files) {
+    if (f.rel.rfind("src/health/", 0) != 0) continue;
+    for (const StringLit& lit : f.strings) {
+      if (lit.value.rfind("health.", 0) != 0) continue;
+      if (lit.value.find_first_not_of(
+              "abcdefghijklmnopqrstuvwxyz0123456789_.") !=
+          std::string::npos) {
+        continue;  // prose mentioning the prefix, not an instrument name
+      }
+      if (observability_md.find(lit.value) == std::string::npos &&
+          !f.suppressed(lit.line, "health-metrics-docs")) {
+        out->push_back({f.rel, lit.line, "health-metrics-docs",
+                        "health metric '" + lit.value +
+                            "' is not catalogued in docs/OBSERVABILITY.md"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: span-names-docs
 // ---------------------------------------------------------------------------
 
@@ -1011,6 +1046,7 @@ std::vector<Violation> run_lint(const fs::path& root) {
   rule_pool_metrics_docs(files, observability_md, &vs);
   rule_live_metrics_docs(files, observability_md, &vs);
   rule_stripe_metrics_docs(files, observability_md, &vs);
+  rule_health_metrics_docs(files, observability_md, &vs);
   rule_span_names_docs(files, observability_md, &vs);
 
   std::sort(vs.begin(), vs.end(), [](const Violation& a, const Violation& b) {
@@ -1026,8 +1062,8 @@ const std::vector<std::string>& all_rules() {
       "switch-exhaustive",  "switch-default-comment", "raw-new-delete",
       "blocking-io",        "wire-docs",              "metrics-docs",
       "fault-metrics-docs", "pool-metrics-docs",      "live-metrics-docs",
-      "stripe-metrics-docs", "span-names-docs",       "pragma-once",
-      "lock-order",         "thread-discipline"};
+      "stripe-metrics-docs", "health-metrics-docs",   "span-names-docs",
+      "pragma-once",        "lock-order",             "thread-discipline"};
   return kRules;
 }
 

@@ -1,0 +1,23 @@
+// Fixture: health-metrics-docs must flag an instrument name that the
+// fixture OBSERVABILITY.md does not catalogue.
+#include <string>
+
+namespace lsl::health {
+
+std::string documented_metric() {
+  return "health.transitions";  // catalogued in testdata/docs/OBSERVABILITY.md
+}
+
+std::string undocumented_metric() {
+  return "health.undocumented_total";  // should fire
+}
+
+std::string suppressed_metric() {
+  return "health.shadow_total";  // lsl-lint: allow(health-metrics-docs)
+}
+
+std::string prose_mention() {
+  return "health. prefix prose never fires";  // not an instrument name
+}
+
+}  // namespace lsl::health

@@ -12,6 +12,7 @@
 //            [--buffer=SIZE] [--no-splice] [--seed=S] [--json=FILE]
 //            [--metrics-out=FILE] [--log-level=LEVEL]
 //            [--trace] [--spans-out=FILE] [--cores=N] [--stripes=N]
+//            [--depots=N] [--churn-spec=SPEC] [--health]
 //
 // SIZE accepts k/m/g suffixes (binary units): --bytes=4m, --budget=64m.
 // --cores=N (alias --shards=N) with N >= 2 switches the daemon under test
@@ -35,6 +36,16 @@
 // sink groups distinct. Striping composes with the classic single-loop
 // path only (the sharded split would scatter a session's lanes across
 // per-thread sinks), so --stripes requires --cores=1.
+//
+// --depots=N runs N independent daemon instances and spreads sessions
+// across them (classic path only); --churn-spec=SPEC arms a fault plan
+// (docs/FAULTS.md grammar) against one depot chosen from --seed mid-run —
+// the churn acceptance scenario from docs/HEALTH.md. --health attaches a
+// client-side depot HealthBoard: each attempt routes to the best-scoring
+// admissible depot and completions/failures feed its scores, so churned
+// depots shed load instead of burning every slot's retry budget. With
+// --cores>1, --churn-spec applies the plan to every shard of the one
+// sharded daemon; --depots/--health require --cores=1.
 #include <sys/resource.h>
 
 #include <chrono>
@@ -49,12 +60,15 @@
 #include <vector>
 
 #include "buf/pool.hpp"
+#include "fault/spec.hpp"
+#include "health/board.hpp"
 #include "metrics/export.hpp"
 #include "metrics/instruments.hpp"
 #include "metrics/metrics.hpp"
 #include "lsl/session_id.hpp"
 #include "posix/client.hpp"
 #include "posix/epoll_loop.hpp"
+#include "posix/fault_driver.hpp"
 #include "posix/lsd.hpp"
 #include "posix/sharded_lsd.hpp"
 #include "posix/socket_util.hpp"
@@ -83,6 +97,9 @@ struct Options {
   std::string spans_file;
   int cores = 1;
   int stripes = 1;
+  int depots = 1;
+  std::string churn_spec;
+  bool health = false;
 };
 
 bool parse_size(const char* s, std::uint64_t* out) {
@@ -120,7 +137,16 @@ void usage() {
       "                [--seed=S] [--timeout=SECONDS] [--json=FILE]\n"
       "                [--metrics-out=FILE] [--log-level=LEVEL]\n"
       "                [--trace] [--spans-out=FILE] [--cores=N]\n"
-      "                [--stripes=N]\n");
+      "                [--stripes=N] [--depots=N] [--churn-spec=SPEC]\n"
+      "                [--health]\n");
+}
+
+/// Monotonic milliseconds for client-side HealthBoard timestamps.
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 /// Peak resident set of this process, in bytes (Linux ru_maxrss is KiB).
@@ -135,10 +161,18 @@ std::uint64_t peak_rss_bytes() {
 struct Slot {
   std::unique_ptr<posix::PosixSource> source;
   std::unique_ptr<posix::StripedPosixSource> striped;
+  std::string depot;  ///< depot name this attempt routed through (--health)
   std::uint32_t attempts = 0;
   bool completed = false;
   std::chrono::steady_clock::time_point next_attempt{};
   bool relaunch_due = false;
+  /// --health only: the slot's stable session id — the sink's adoption
+  /// ledger stitches every attempt and migration of this transfer under it.
+  core::SessionId session{};
+  /// The source's chain died mid-stream: the driver should re-route it
+  /// from the sink's frontier instead of letting it wait out the outage.
+  bool migrate_due = false;
+  std::uint32_t reroutes = 0;  ///< mid-transfer re-selections performed
 };
 
 /// What one driver thread contributes to the run totals.
@@ -244,6 +278,15 @@ int run_sharded(const Options& opt) {
   dcfg.base.pool.budget_bytes = opt.budget;
   dcfg.shards = opt.cores;
   dcfg.registry = &registry;
+  if (!opt.churn_spec.empty()) {
+    std::string err;
+    const auto plan = fault::parse_fault_spec(opt.churn_spec, &err);
+    if (!plan) {
+      std::fprintf(stderr, "lsl_load: bad --churn-spec: %s\n", err.c_str());
+      return 2;
+    }
+    dcfg.fault_plan = *plan;
+  }
   // Declared before the daemon: shard teardown flushes open stream
   // windows through the tracer, so it must outlive the ShardedLsd.
   std::unique_ptr<span::Tracer> tracer;
@@ -447,6 +490,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "lsl_load: --stripes must be in 1..16\n");
         return 2;
       }
+    } else if ((v = arg_value("--depots", argc, argv, &i)) != nullptr) {
+      opt.depots = std::atoi(v);
+      if (opt.depots < 1 || opt.depots > 8) {
+        std::fprintf(stderr, "lsl_load: --depots must be in 1..8\n");
+        return 2;
+      }
+    } else if ((v = arg_value("--churn-spec", argc, argv, &i)) != nullptr) {
+      opt.churn_spec = v;
+    } else if (std::strcmp(argv[i], "--health") == 0) {
+      opt.health = true;
     } else if ((v = arg_value("--log-level", argc, argv, &i)) != nullptr) {
       const auto lvl = util::parse_log_level(v);
       if (!lvl) {
@@ -470,6 +523,18 @@ int main(int argc, char** argv) {
                  "session's lanes must share one sink)\n");
     return 2;
   }
+  if (opt.cores > 1 && (opt.depots > 1 || opt.health)) {
+    std::fprintf(stderr,
+                 "lsl_load: --depots/--health require --cores=1 (the "
+                 "sharded leg runs one daemon)\n");
+    return 2;
+  }
+  if (opt.stripes > 1 && opt.depots > 1) {
+    std::fprintf(stderr,
+                 "lsl_load: --stripes requires --depots=1 (lanes already "
+                 "spread across the one daemon)\n");
+    return 2;
+  }
   // --cores=1 stays on the classic single-loop path below, untouched, so
   // its summary and metric exports remain byte-identical run to run.
   if (opt.cores > 1) return run_sharded(opt);
@@ -490,12 +555,54 @@ int main(int argc, char** argv) {
   dcfg.use_splice = opt.splice;
   dcfg.pool.chunk_bytes = opt.chunk;
   dcfg.pool.budget_bytes = opt.budget;
-  // Declared before the daemon: teardown flushes open stream windows
+  // Declared before the daemons: teardown flushes open stream windows
   // through the tracer, so it must outlive the Lsd (like the metrics).
   std::unique_ptr<span::Tracer> tracer;
-  posix::Lsd daemon(loop, dcfg);
+  // Depot 0 is "the daemon" of the historical single-depot path and keeps
+  // the metric/tracer hookup, so --depots=1 output stays byte-identical;
+  // extra depots are bare instances sessions spread across.
+  std::vector<std::unique_ptr<posix::Lsd>> daemons;
+  for (int i = 0; i < opt.depots; ++i) {
+    daemons.push_back(std::make_unique<posix::Lsd>(loop, dcfg));
+  }
+  posix::Lsd& daemon = *daemons.front();
   daemon.set_metrics(&lsd_metrics);
   daemon.pool().set_metrics(&pool_metrics);
+
+  std::vector<std::string> depot_names;
+  for (const auto& d : daemons) {
+    depot_names.push_back("127.0.0.1:" + std::to_string(d->port()));
+  }
+
+  // Client-side health plane: the load driver is the source app here, so
+  // the board that admission-guards depot choice lives with it. Sessions
+  // under the plane run resumable with the sink in adopt mode: every
+  // attempt and mid-transfer re-route of a slot is stitched under the
+  // slot's stable session id, so a re-selected transfer resumes from the
+  // sink's acked frontier instead of starting over.
+  health::HealthBoard board;
+  if (opt.health) sink.set_adopt_migrations(true);
+
+  // Churn: arm the fault plan against one depot chosen from the seed —
+  // deterministic, but not always depot 0, so the health plane is tested
+  // against a target the client did not hard-code around.
+  std::unique_ptr<posix::LsdFaultDriver> churn;
+  std::size_t churned_depot = 0;
+  if (!opt.churn_spec.empty()) {
+    std::string err;
+    const auto plan = fault::parse_fault_spec(opt.churn_spec, &err);
+    if (!plan) {
+      std::fprintf(stderr, "lsl_load: bad --churn-spec: %s\n", err.c_str());
+      return 2;
+    }
+    util::Rng churn_rng(opt.seed ^ 0xc09b9u);
+    churned_depot = static_cast<std::size_t>(churn_rng() % daemons.size());
+    churn = std::make_unique<posix::LsdFaultDriver>(*daemons[churned_depot],
+                                                    *plan);
+    churn->arm();
+    std::printf("lsl_load: churn plan %s armed on depot %zu of %zu\n",
+                plan->to_spec().c_str(), churned_depot, daemons.size());
+  }
 
   if (opt.trace) {
     // Big enough that a default run's full lifecycle survives the ring.
@@ -506,14 +613,25 @@ int main(int argc, char** argv) {
 
   std::size_t verified = 0;
   std::size_t mismatched = 0;
+  std::size_t failed_attempts = 0;
   std::uint64_t payload_total = 0;
+  // Exact completion times alongside the histogram: the exported buckets
+  // double (latency_ms_bounds), which is fine for dashboards but too
+  // coarse for the churn p99 gate — a tail one bucket up always reads as
+  // exactly 2x. The summary and JSON percentiles interpolate the samples.
+  std::vector<double> session_ms_samples;
   sink.on_complete = [&](const posix::SinkResult& r) {
     if (r.verified) {
       ++verified;
       payload_total += r.payload_bytes;
       session_ms.observe(r.seconds * 1000.0);
+      session_ms_samples.push_back(r.seconds * 1000.0);
     } else {
-      ++mismatched;
+      // A truncated or corrupt attempt: the source sees the same death
+      // (no kStatusOk) and relaunches the slot under backoff, so this is
+      // a retryable attempt, not a lost session. Slots that never recover
+      // are charged against the run when their retry budget runs out.
+      ++failed_attempts;
     }
   };
 
@@ -525,16 +643,68 @@ int main(int argc, char** argv) {
 
   std::vector<Slot> slots(opt.sessions);
   constexpr std::uint32_t kMaxAttempts = 25;
+  // Mid-transfer re-selections before a source gives the slot back to the
+  // relaunch path: enough to ride out a rolling outage, small enough that
+  // a totally dead topology still fails fast.
+  constexpr std::uint32_t kMaxReroutes = 8;
+  if (opt.health) {
+    util::Rng health_sessions(opt.seed ^ 0x5ea15e55);
+    for (auto& s : slots) {
+      s.session = core::SessionId::generate(health_sessions);
+    }
+  }
   // Striped slots mint one session id per attempt from this stream: the
   // sink groups lanes by session id and keeps groups for its lifetime, so
   // a relaunched attempt must not rejoin its failed predecessor's group.
   util::Rng striped_sessions(opt.seed ^ 0x517217e5);
+  // Depot choice per attempt. Without --health: rotate, so a retry after
+  // a depot failure lands elsewhere (the naive baseline the churn gate
+  // compares against). With --health: the best-scoring admissible depot,
+  // scanning from a rotating start so equal scores still spread; when the
+  // board refuses everyone, fall back to the least-bad depot — refusing
+  // to run at all would be worse than a degraded depot.
+  auto pick_depot = [&](std::size_t idx, std::uint32_t prior) {
+    const std::size_t n = daemons.size();
+    const std::size_t fallback = (idx + prior) % n;
+    if (!opt.health || n == 1) return fallback;
+    bool found = false;
+    double best = -1.0;
+    std::size_t best_i = fallback;
+    double best_any = -1.0;
+    std::size_t best_any_i = fallback;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t cand = (idx + prior + k) % n;
+      const double sc = board.score(depot_names[cand]);
+      if (sc > best_any) {
+        best_any = sc;
+        best_any_i = cand;
+      }
+      if (board.admissible(depot_names[cand]) && sc > best) {
+        found = true;
+        best = sc;
+        best_i = cand;
+      }
+    }
+    if (!found) {
+      board.note_admission_refused();
+      return best_any_i;
+    }
+    return best_i;
+  };
   auto launch = [&](Slot& s) {
     ++s.attempts;
     s.relaunch_due = false;
     const std::size_t idx = static_cast<std::size_t>(&s - slots.data());
     Slot* sp = &s;
     const auto done = [&, sp](bool ok) {
+      if (opt.health && !sp->depot.empty()) {
+        const std::uint64_t ms = steady_ms();
+        if (ok) {
+          board.observe_success(sp->depot, ms);
+        } else {
+          board.observe_failure(sp->depot, ms);
+        }
+      }
       if (ok) {
         sp->completed = true;
         return;
@@ -570,6 +740,28 @@ int main(int argc, char** argv) {
       return;
     }
     posix::PosixSourceConfig cfg = scfg;
+    const std::size_t depot_idx = pick_depot(idx, s.attempts - 1);
+    s.depot = depot_names[depot_idx];
+    cfg.route = {posix::InetAddress::loopback(daemons[depot_idx]->port())};
+    if (opt.health) {
+      cfg.session = s.session;
+      cfg.resumable = true;
+      // A chain death lands here before the source fails the slot: charge
+      // the depot and ask the driver loop for a re-route from the sink's
+      // frontier. The returned delay is only the fallback re-dial for
+      // when the migrate cannot run (the board refuses every depot, or
+      // the verdict raced the death) — by then a short outage has passed.
+      cfg.reconnect_backoff =
+          [&, sp]() -> std::optional<std::chrono::milliseconds> {
+        if (!sp->depot.empty()) {
+          board.observe_failure(sp->depot, steady_ms());
+        }
+        if (sp->reroutes >= kMaxReroutes) return std::nullopt;
+        ++sp->reroutes;
+        sp->migrate_due = true;
+        return std::chrono::milliseconds(100);
+      };
+    }
     if (opt.trace) {
       // One id per slot, stable across retry attempts (a retried slot is
       // the same logical transfer) and deterministic from the run seed.
@@ -593,8 +785,32 @@ int main(int argc, char** argv) {
       break;
     }
     for (auto& s : slots) {
+      if (s.migrate_due) {
+        s.migrate_due = false;
+        if (s.source && !s.source->finished() &&
+            !sink.session_completed(s.session)) {
+          // Proactive mid-transfer re-selection: pick a fresh admissible
+          // depot (the failure just charged tanked the dead one's score)
+          // and resume from the sink's acked frontier — never the
+          // source's own counter, which includes bytes stranded in the
+          // dead chain's buffers.
+          const std::size_t idx = static_cast<std::size_t>(&s - slots.data());
+          const std::size_t to = pick_depot(idx, s.attempts - 1 + s.reroutes);
+          const std::uint64_t floor = sink.session_frontier(s.session);
+          if (s.source->migrate(
+                  {posix::InetAddress::loopback(daemons[to]->port())},
+                  floor)) {
+            s.depot = depot_names[to];
+            board.note_migration();
+          }
+        }
+      }
       if (s.relaunch_due && now >= s.next_attempt) {
-        if (s.attempts >= kMaxAttempts) {
+        if (opt.health && sink.session_completed(s.session)) {
+          // The verdict byte died with the chain, but the sink already
+          // ruled on (and counted) the stitched stream: the slot is done.
+          s.relaunch_due = false;
+        } else if (s.attempts >= kMaxAttempts) {
           ++mismatched;  // counts against the run
           s.relaunch_due = false;
         } else {
@@ -603,13 +819,31 @@ int main(int argc, char** argv) {
       }
     }
     loop.run_once(20);
+    if (churn) churn->poll();
   }
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  const auto pool = daemon.pool().stats();
-  const auto& st = daemon.stats();
+  // Aggregate across depots: counters sum; peak is the per-depot maximum
+  // (each depot owns a full budget, so the assertion is per-pool). With
+  // --depots=1 every figure matches the historical single-daemon output.
+  buf::PoolStats pool;
+  bool pool_over = false;
+  for (const auto& d : daemons) {
+    const buf::PoolStats ps = d->pool().stats();
+    pool.allocs += ps.allocs;
+    pool.reuses += ps.reuses;
+    pool.creations += ps.creations;
+    pool.failures += ps.failures;
+    pool.in_use_bytes += ps.in_use_bytes;
+    pool.free_chunks += ps.free_chunks;
+    pool.pressure_episodes += ps.pressure_episodes;
+    if (ps.peak_bytes > pool.peak_bytes) pool.peak_bytes = ps.peak_bytes;
+    pool_over = pool_over || (opt.budget > 0 && ps.peak_bytes > opt.budget);
+  }
+  posix::LsdStats st;
+  for (const auto& d : daemons) st = st + d->stats();
   const std::uint64_t rss = peak_rss_bytes();
   const double reuse_rate =
       pool.allocs > 0
@@ -625,6 +859,10 @@ int main(int argc, char** argv) {
       "lsl_load: %zu/%zu sessions verified in %.3f s "
       "(%.2f Mbit/s aggregate, %.2f sessions/s)\n",
       verified, opt.sessions, elapsed, mbps, sessions_per_s);
+  if (failed_attempts > 0) {
+    std::printf("  retries: %zu failed attempts relaunched\n",
+                failed_attempts);
+  }
   std::string stripes_json;
   if (opt.stripes > 1) {
     std::uint64_t lanes_lost = 0;
@@ -655,11 +893,42 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(st.bytes_spliced),
       static_cast<unsigned long long>(st.sessions_refused),
       static_cast<unsigned long long>(rss / 1024));
+  std::sort(session_ms_samples.begin(), session_ms_samples.end());
+  const auto latency_pct = [&](double q) -> double {
+    if (session_ms_samples.empty()) return 0.0;
+    const double rank = q * static_cast<double>(session_ms_samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, session_ms_samples.size() - 1);
+    return session_ms_samples[lo] +
+           (rank - static_cast<double>(lo)) *
+               (session_ms_samples[hi] - session_ms_samples[lo]);
+  };
   std::printf("  session latency: p50 %.1f ms, p90 %.1f ms, p99 %.1f ms\n",
-              session_ms.percentile(0.50), session_ms.percentile(0.90),
-              session_ms.percentile(0.99));
+              latency_pct(0.50), latency_pct(0.90), latency_pct(0.99));
+  std::string churn_json;
+  if (opt.depots > 1) {
+    churn_json += " \"depots\": " + std::to_string(opt.depots) + ",";
+  }
+  if (opt.health) {
+    std::printf(
+        "  health: %zu depot rows, %llu admission refusals, "
+        "%llu mid-transfer re-selections\n",
+        board.rows().size(),
+        static_cast<unsigned long long>(board.admission_refused()),
+        static_cast<unsigned long long>(board.migrations()));
+    churn_json += " \"health\": true, \"migrations\": " +
+                  std::to_string(board.migrations()) + ",";
+  }
+  if (churn) {
+    std::printf("  churn: depot %zu, %llu faults injected\n", churned_depot,
+                static_cast<unsigned long long>(churn->injected()));
+    churn_json += " \"churn_spec\": \"" + opt.churn_spec + "\"," +
+                  " \"churn_depot\": " + std::to_string(churned_depot) +
+                  ", \"churn_faults\": " + std::to_string(churn->injected()) +
+                  ",";
+  }
 
-  const bool over_budget = opt.budget > 0 && pool.peak_bytes > opt.budget;
+  const bool over_budget = pool_over;
   const bool ok = !gave_up && mismatched == 0 &&
                   verified == opt.sessions && !over_budget;
 
@@ -672,9 +941,10 @@ int main(int argc, char** argv) {
     }
     std::fprintf(
         f,
-        "{\"sessions\": %zu, \"verified\": %zu, \"bytes_per_session\": %llu,"
+        "{\"sessions\": %zu, \"verified\": %zu, \"failed_attempts\": %zu,"
+        " \"bytes_per_session\": %llu,"
         " \"elapsed_s\": %.6f, \"aggregate_mbps\": %.3f,"
-        " \"sessions_per_s\": %.3f, \"splice\": %s,%s"
+        " \"sessions_per_s\": %.3f, \"splice\": %s,%s%s"
         " \"bytes_relayed\": %llu, \"bytes_spliced\": %llu,"
         " \"pool_budget_bytes\": %llu, \"pool_peak_bytes\": %llu,"
         " \"pool_allocs\": %llu, \"pool_reuse_rate\": %.4f,"
@@ -683,10 +953,10 @@ int main(int argc, char** argv) {
         " \"latency_p50_ms\": %.3f, \"latency_p90_ms\": %.3f,"
         " \"latency_p99_ms\": %.3f,"
         " \"ok\": %s}\n",
-        opt.sessions, verified,
+        opt.sessions, verified, failed_attempts,
         static_cast<unsigned long long>(opt.bytes), elapsed, mbps,
         sessions_per_s, opt.splice ? "true" : "false",
-        stripes_json.c_str(),
+        stripes_json.c_str(), churn_json.c_str(),
         static_cast<unsigned long long>(st.bytes_relayed),
         static_cast<unsigned long long>(st.bytes_spliced),
         static_cast<unsigned long long>(opt.budget),
@@ -695,8 +965,8 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(pool.failures),
         static_cast<unsigned long long>(pool.pressure_episodes),
         static_cast<unsigned long long>(st.sessions_refused),
-        static_cast<unsigned long long>(rss), session_ms.percentile(0.50),
-        session_ms.percentile(0.90), session_ms.percentile(0.99),
+        static_cast<unsigned long long>(rss), latency_pct(0.50),
+        latency_pct(0.90), latency_pct(0.99),
         ok ? "true" : "false");
     std::fclose(f);
   }
